@@ -1,0 +1,134 @@
+//! The bursty jammer: alternating jam bursts and quiet gaps.
+
+use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
+use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
+
+/// Jams in fixed-length bursts separated by fixed-length gaps — the
+/// rate-limited bursty pattern of Awerbuch et al. [4] and Richa et al.
+/// [27, 28].
+///
+/// The duty cycle is `burst/(burst+gap)`; budget exhaustion is handled by
+/// the engine (jams fizzle once broke).
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyJammer {
+    burst: u64,
+    gap: u64,
+    phase_offset: u64,
+}
+
+impl BurstyJammer {
+    /// Creates a jammer that jams `burst` slots then sleeps `gap` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst + gap == 0`.
+    #[must_use]
+    pub fn new(burst: u64, gap: u64) -> Self {
+        assert!(burst + gap > 0, "burst + gap must be positive");
+        Self {
+            burst,
+            gap,
+            phase_offset: 0,
+        }
+    }
+
+    /// Shifts the burst pattern by `offset` slots (for phase-alignment
+    /// experiments).
+    #[must_use]
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.phase_offset = offset;
+        self
+    }
+
+    /// The duty cycle `burst/(burst+gap)`.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        self.burst as f64 / (self.burst + self.gap) as f64
+    }
+
+    fn jams_at(&self, slot: u64) -> bool {
+        let period = self.burst + self.gap;
+        (slot + self.phase_offset) % period < self.burst
+    }
+}
+
+impl Adversary for BurstyJammer {
+    fn plan(&mut self, slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        if self.jams_at(slot.index()) {
+            AdversaryMove::jam_all()
+        } else {
+            AdversaryMove::idle()
+        }
+    }
+}
+
+impl PhaseAdversary for BurstyJammer {
+    fn plan_phase(&mut self, ctx: &PhaseCtx) -> PhasePlan {
+        // Deterministic duty cycle over the phase.
+        let jam = (ctx.phase_len as f64 * self.duty_cycle()).round() as u64;
+        PhasePlan::jam(jam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_radio::Budget;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_period() {
+        let _ = BurstyJammer::new(0, 0);
+    }
+
+    #[test]
+    fn pattern_is_periodic() {
+        let mut carol = BurstyJammer::new(3, 2);
+        let ctx = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        let pattern: Vec<bool> = (0..10)
+            .map(|t| carol.plan(Slot::new(t), &ctx).jam.is_active())
+            .collect();
+        assert_eq!(
+            pattern,
+            [true, true, true, false, false, true, true, true, false, false]
+        );
+        assert!((carol.duty_cycle() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_shifts_pattern() {
+        let mut carol = BurstyJammer::new(1, 1).with_offset(1);
+        let ctx = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        assert!(!carol.plan(Slot::new(0), &ctx).jam.is_active());
+        assert!(carol.plan(Slot::new(1), &ctx).jam.is_active());
+    }
+
+    #[test]
+    fn bursty_attack_does_not_stop_broadcast() {
+        let params = Params::builder(32).build().unwrap();
+        let cfg = RunConfig::seeded(9).carol_budget(Budget::limited(4_000));
+        let mut carol = BurstyJammer::new(50, 50);
+        let outcome = run_broadcast(&params, &mut carol, &cfg);
+        assert!(outcome.informed_fraction() > 0.9);
+    }
+
+    #[test]
+    fn phase_plan_respects_duty_cycle() {
+        let mut carol = BurstyJammer::new(1, 3);
+        let ctx = PhaseCtx {
+            round: 6,
+            phase: rcb_core::PhaseKind::Inform,
+            phase_len: 4000,
+            budget_remaining: None,
+            uninformed: 1,
+        };
+        assert_eq!(carol.plan_phase(&ctx).jam_slots, 1000);
+    }
+}

@@ -1,0 +1,94 @@
+//! The continuous jammer: scorched earth until the budget runs out.
+
+use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
+use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
+
+/// Jams every slot of every phase while the pooled budget lasts.
+///
+/// This is the strategy the Lemma 11 budget argument is written against:
+/// Carol delays delivery exactly as long as her energy holds, then the
+/// first un-jammed round completes the broadcast. Sweeping her budget `T`
+/// and fitting cost-vs-`T` reproduces the `T^{1/(k+1)}` exponent of
+/// Theorem 1 (experiment E1).
+///
+/// # Example
+///
+/// ```
+/// use rcb_adversary::ContinuousJammer;
+/// use rcb_core::{run_broadcast, Params, RunConfig};
+/// use rcb_radio::Budget;
+///
+/// let params = Params::builder(32).build()?;
+/// let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
+/// let outcome = run_broadcast(&params, &mut ContinuousJammer, &cfg);
+/// assert_eq!(outcome.carol_spend(), 500); // she spends it all
+/// # Ok::<(), rcb_core::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContinuousJammer;
+
+impl Adversary for ContinuousJammer {
+    fn plan(&mut self, _slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        AdversaryMove::jam_all()
+    }
+}
+
+impl PhaseAdversary for ContinuousJammer {
+    fn plan_phase(&mut self, ctx: &PhaseCtx) -> PhasePlan {
+        PhasePlan::jam(ctx.phase_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_radio::Budget;
+
+    #[test]
+    fn spends_entire_budget_then_protocol_succeeds() {
+        let params = Params::builder(32).build().unwrap();
+        let budget = 2_000u64;
+        let cfg = RunConfig::seeded(3).carol_budget(Budget::limited(budget));
+        let mut carol = ContinuousJammer;
+        let outcome = run_broadcast(&params, &mut carol, &cfg);
+        assert_eq!(outcome.carol_spend(), budget);
+        assert!(
+            outcome.informed_fraction() > 0.9,
+            "after she is broke the broadcast must go through: {}",
+            outcome.informed_fraction()
+        );
+    }
+
+    #[test]
+    fn delays_scale_with_budget() {
+        let params = Params::builder(32).build().unwrap();
+        let slots_for = |budget: u64, seed: u64| {
+            let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(budget));
+            run_broadcast(&params, &mut ContinuousJammer, &cfg).slots
+        };
+        let small = slots_for(500, 1);
+        let large = slots_for(20_000, 1);
+        assert!(
+            large > small,
+            "a 40x budget must delay termination: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn phase_level_plan_matches_slot_level_intent() {
+        let mut carol = ContinuousJammer;
+        let ctx = PhaseCtx {
+            round: 5,
+            phase: rcb_core::PhaseKind::Inform,
+            phase_len: 1000,
+            budget_remaining: Some(600),
+            uninformed: 10,
+        };
+        let plan = carol.plan_phase(&ctx);
+        // She *asks* for everything; the simulator clamps to her budget.
+        assert_eq!(plan.jam_slots, 1000);
+        assert!(plan.spare.is_none());
+        assert_eq!(plan.byz_sends, 0);
+    }
+}

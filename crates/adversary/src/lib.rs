@@ -1,0 +1,48 @@
+//! Carol's strategy library.
+//!
+//! Theorem 1 quantifies over *every* adversary; the lemmas of §2.3 and §2.2
+//! identify the worst cases. This crate makes each named attack from the
+//! paper executable, at both simulation granularities:
+//!
+//! * slot level ([`rcb_radio::Adversary`]) for the exact engine, and
+//! * phase level ([`rcb_core::fast::PhaseAdversary`]) for the fast
+//!   simulator.
+//!
+//! | strategy | paper reference | what it does |
+//! |---|---|---|
+//! | [`ContinuousJammer`] | Lemma 10/11 budget argument | jam every slot until broke |
+//! | [`RandomJammer`] | Pelc–Peleg-style random faults | jam each slot i.i.d. with probability `p` |
+//! | [`BurstyJammer`] | Awerbuch et al. bursty model | alternating jam bursts and sleep gaps |
+//! | [`PhaseBlocker`] | Lemma 10 strategies 1 & 2 | jam a β-fraction of chosen phase kinds each round |
+//! | [`EpsilonExtractor`] | §2.3 n-uniform discussion | block propagation totally but spare hand-picked nodes |
+//! | [`NackSpoofer`] | §2.2 spoofing attack | Byzantine fake nacks keep Alice awake |
+//! | [`ReactiveJammer`] | §4.1 | jam only slots with detected RSSI activity |
+//!
+//! Every strategy is deterministic given its seed; the analysis harness
+//! constructs them from a serialisable [`StrategySpec`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bursty;
+mod continuous;
+mod nuniform;
+mod phase_blocker;
+mod random;
+mod reactive;
+mod spec;
+mod spoofer;
+
+pub use bursty::BurstyJammer;
+pub use continuous::ContinuousJammer;
+pub use nuniform::EpsilonExtractor;
+pub use phase_blocker::{PhaseBlocker, PhaseTarget};
+pub use random::RandomJammer;
+pub use reactive::ReactiveJammer;
+pub use spec::StrategySpec;
+pub use spoofer::NackSpoofer;
+
+// Re-export the passive baselines so downstream code has one import path
+// for "every adversary".
+pub use rcb_core::fast::SilentPhaseAdversary;
+pub use rcb_radio::SilentAdversary;

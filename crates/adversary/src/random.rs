@@ -1,0 +1,110 @@
+//! The random jammer: i.i.d. per-slot jamming.
+
+use rand::{Rng, SeedableRng};
+use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
+use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
+use rcb_rng::{Binomial, SimRng};
+
+/// Jams each slot independently with probability `p` (cf. the random
+/// fault models of Pelc & Peleg [25]).
+///
+/// Unlike the phase blockers this adversary is oblivious — it neither
+/// reads the schedule nor adapts — making it the "weak" comparison point
+/// in the E2 delivery table.
+#[derive(Debug, Clone)]
+pub struct RandomJammer {
+    p: f64,
+    rng: SimRng,
+}
+
+impl RandomJammer {
+    /// Creates a jammer that jams each slot with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self {
+            p,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The per-slot jam probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Adversary for RandomJammer {
+    fn plan(&mut self, _slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        if self.rng.gen_bool(self.p) {
+            AdversaryMove::jam_all()
+        } else {
+            AdversaryMove::idle()
+        }
+    }
+}
+
+impl PhaseAdversary for RandomJammer {
+    fn plan_phase(&mut self, ctx: &PhaseCtx) -> PhasePlan {
+        let jam = Binomial::new(ctx.phase_len, self.p)
+            .expect("validated probability")
+            .sample(&mut self.rng);
+        PhasePlan::jam(jam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_radio::Budget;
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_bad_probability() {
+        let _ = RandomJammer::new(1.5, 0);
+    }
+
+    #[test]
+    fn jam_rate_tracks_p() {
+        let mut carol = RandomJammer::new(0.3, 7);
+        let ctx = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        let jams = (0..10_000)
+            .filter(|&t| carol.plan(Slot::new(t), &ctx).jam.is_active())
+            .count();
+        assert!((2_700..3_300).contains(&jams), "jams {jams}");
+    }
+
+    #[test]
+    fn half_rate_jamming_delays_but_does_not_stop_broadcast() {
+        let params = Params::builder(32).build().unwrap();
+        let cfg = RunConfig::seeded(5).carol_budget(Budget::limited(5_000));
+        let mut carol = RandomJammer::new(0.5, 11);
+        let outcome = run_broadcast(&params, &mut carol, &cfg);
+        assert!(outcome.informed_fraction() > 0.9);
+        assert!(outcome.carol_spend() > 0);
+    }
+
+    #[test]
+    fn phase_plan_density_matches_p() {
+        let mut carol = RandomJammer::new(0.25, 3);
+        let ctx = PhaseCtx {
+            round: 8,
+            phase: rcb_core::PhaseKind::Request,
+            phase_len: 100_000,
+            budget_remaining: None,
+            uninformed: 5,
+        };
+        let plan = carol.plan_phase(&ctx);
+        let frac = plan.jam_slots as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Serialisable strategy specifications — the analysis harness names its
+//! adversaries with these and constructs fresh instances per trial.
+
+use rcb_core::fast::PhaseAdversary;
+use rcb_core::{Params, RoundSchedule};
+use rcb_radio::Adversary;
+
+use crate::{
+    BurstyJammer, ContinuousJammer, EpsilonExtractor, NackSpoofer, PhaseBlocker, PhaseTarget,
+    RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
+};
+
+/// A named, parameterised adversary strategy.
+///
+/// # Example
+///
+/// ```
+/// use rcb_adversary::StrategySpec;
+/// use rcb_core::Params;
+///
+/// let params = Params::builder(64).build()?;
+/// let mut carol = StrategySpec::Continuous.slot_adversary(&params, 7);
+/// let mut fast_carol = StrategySpec::Continuous.phase_adversary(&params, 7);
+/// # let _ = (&mut carol, &mut fast_carol);
+/// # Ok::<(), rcb_core::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategySpec {
+    /// No attack.
+    Silent,
+    /// Jam everything until broke.
+    Continuous,
+    /// Jam each slot i.i.d. with this probability.
+    Random(f64),
+    /// Bursts of `burst` jammed slots separated by `gap` quiet slots.
+    Bursty {
+        /// Jammed slots per burst.
+        burst: u64,
+        /// Quiet slots between bursts.
+        gap: u64,
+    },
+    /// Lemma 10 strategy 1: block inform + propagation with fraction β.
+    BlockDissemination(f64),
+    /// Lemma 10 strategy 2: block request phases with fraction β.
+    BlockRequest(f64),
+    /// Block every phase with fraction β.
+    BlockAll(f64),
+    /// §2.3 n-uniform extraction, sparing this many nodes.
+    Extract(u32),
+    /// §2.2 nack spoofing at this per-slot rate.
+    Spoof(f64),
+    /// §4.1 reactive RSSI jamming.
+    Reactive,
+}
+
+impl StrategySpec {
+    /// Short stable name for tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            StrategySpec::Silent => "silent".into(),
+            StrategySpec::Continuous => "continuous".into(),
+            StrategySpec::Random(p) => format!("random(p={p})"),
+            StrategySpec::Bursty { burst, gap } => format!("bursty({burst}/{gap})"),
+            StrategySpec::BlockDissemination(b) => format!("block-dissem(β={b})"),
+            StrategySpec::BlockRequest(b) => format!("block-request(β={b})"),
+            StrategySpec::BlockAll(b) => format!("block-all(β={b})"),
+            StrategySpec::Extract(x) => format!("extract(x={x})"),
+            StrategySpec::Spoof(r) => format!("spoof(rate={r})"),
+            StrategySpec::Reactive => "reactive".into(),
+        }
+    }
+
+    /// Builds the slot-level adversary for the exact engine.
+    #[must_use]
+    pub fn slot_adversary(&self, params: &Params, seed: u64) -> Box<dyn Adversary> {
+        let schedule = RoundSchedule::new(params);
+        match *self {
+            StrategySpec::Silent => Box::new(SilentAdversary),
+            StrategySpec::Continuous => Box::new(ContinuousJammer),
+            StrategySpec::Random(p) => Box::new(RandomJammer::new(p, seed)),
+            StrategySpec::Bursty { burst, gap } => Box::new(BurstyJammer::new(burst, gap)),
+            StrategySpec::BlockDissemination(beta) => Box::new(PhaseBlocker::new(
+                schedule,
+                PhaseTarget::dissemination(),
+                beta,
+            )),
+            StrategySpec::BlockRequest(beta) => {
+                Box::new(PhaseBlocker::new(schedule, PhaseTarget::termination(), beta))
+            }
+            StrategySpec::BlockAll(beta) => {
+                Box::new(PhaseBlocker::new(schedule, PhaseTarget::all(), beta))
+            }
+            StrategySpec::Extract(x) => Box::new(EpsilonExtractor::sparing_first(schedule, x)),
+            StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
+            StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
+        }
+    }
+
+    /// Builds the phase-level adversary for the fast simulator.
+    #[must_use]
+    pub fn phase_adversary(&self, params: &Params, seed: u64) -> Box<dyn PhaseAdversary> {
+        let schedule = RoundSchedule::new(params);
+        match *self {
+            StrategySpec::Silent => Box::new(SilentPhaseAdversary),
+            StrategySpec::Continuous => Box::new(ContinuousJammer),
+            StrategySpec::Random(p) => Box::new(RandomJammer::new(p, seed)),
+            StrategySpec::Bursty { burst, gap } => Box::new(BurstyJammer::new(burst, gap)),
+            StrategySpec::BlockDissemination(beta) => Box::new(PhaseBlocker::new(
+                schedule,
+                PhaseTarget::dissemination(),
+                beta,
+            )),
+            StrategySpec::BlockRequest(beta) => {
+                Box::new(PhaseBlocker::new(schedule, PhaseTarget::termination(), beta))
+            }
+            StrategySpec::BlockAll(beta) => {
+                Box::new(PhaseBlocker::new(schedule, PhaseTarget::all(), beta))
+            }
+            StrategySpec::Extract(x) => Box::new(EpsilonExtractor::sparing_first(schedule, x)),
+            StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
+            StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
+        }
+    }
+
+    /// Every strategy with representative parameters, for the E2 delivery
+    /// sweep.
+    #[must_use]
+    pub fn roster() -> Vec<StrategySpec> {
+        vec![
+            StrategySpec::Silent,
+            StrategySpec::Continuous,
+            StrategySpec::Random(0.5),
+            StrategySpec::Bursty { burst: 64, gap: 64 },
+            StrategySpec::BlockDissemination(1.0),
+            StrategySpec::BlockRequest(1.0),
+            StrategySpec::BlockAll(0.55),
+            StrategySpec::Extract(8),
+            StrategySpec::Spoof(1.0),
+            StrategySpec::Reactive,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::fast::{FastConfig, run_fast};
+    use rcb_core::{run_broadcast, RunConfig};
+    use rcb_radio::Budget;
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<String> = StrategySpec::roster().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn every_spec_builds_and_runs_on_both_engines() {
+        let params = Params::builder(16).build().unwrap();
+        for spec in StrategySpec::roster() {
+            let mut slot_carol = spec.slot_adversary(&params, 1);
+            let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
+            let o = run_broadcast(&params, slot_carol.as_mut(), &cfg);
+            assert!(o.slots > 0, "{} produced empty run", spec.name());
+
+            let mut phase_carol = spec.phase_adversary(&params, 1);
+            let fo = run_fast(
+                &params,
+                phase_carol.as_mut(),
+                &FastConfig::seeded(1).carol_budget(500),
+            );
+            assert!(fo.slots > 0, "{} produced empty fast run", spec.name());
+            assert!(fo.carol_spend() <= 500);
+        }
+    }
+}

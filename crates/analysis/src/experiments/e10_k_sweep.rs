@@ -1,0 +1,121 @@
+//! E10 — §3 / §3.2: the `k` trade-off and its limits.
+//!
+//! Raising `k` improves the competitive exponent `1/(k+1)` but multiplies
+//! latency and quiet-phase costs by `Θ(k)` (the extra propagation steps)
+//! and pushes `ln^k n` into Alice's constants — §3.2 proves `k = ω(1)` is
+//! outright infeasible. We sweep `k` at fixed `n` and measure all three
+//! effects.
+
+use rcb_adversary::ContinuousJammer;
+use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_core::Params;
+
+use super::{must_provision, ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::{fit_loglog, run_trials, Summary, Table};
+
+/// Runs E10 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let (n, ks, budgets, trials): (u64, Vec<u32>, Vec<u64>, u32) = match scale {
+        Scale::Smoke => (1 << 12, vec![2, 3], vec![1 << 16, 1 << 19], 2),
+        Scale::Full => (
+            1 << 14,
+            vec![2, 3, 4],
+            vec![1 << 15, 1 << 18, 1 << 21, 1 << 24],
+            5,
+        ),
+    };
+
+    let mut table = Table::new(vec![
+        "k",
+        "quiet node cost",
+        "quiet alice cost",
+        "quiet slots",
+        "fitted cost exponent",
+        "theory 1/(k+1)",
+    ]);
+    let mut exponents = Vec::new();
+    let mut alice_quiet_by_k = Vec::new();
+    for &k in &ks {
+        let quiet_params = Params::builder(n).k(k).build().unwrap();
+        let quiet = run_trials(0xE10 ^ u64::from(k), trials, |seed| {
+            let o = run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed));
+            (o.mean_node_cost(), o.slots as f64, o.alice_cost.total() as f64)
+        });
+        let quiet_cost: Summary = quiet.iter().map(|r| r.0).collect();
+        let quiet_slots: Summary = quiet.iter().map(|r| r.1).collect();
+        let quiet_alice: Summary = quiet.iter().map(|r| r.2).collect();
+
+        let mut pts = Vec::new();
+        for &budget in &budgets {
+            let params = must_provision(n, k, budget);
+            let jammed: Summary = run_trials(0xE10A ^ budget ^ u64::from(k), trials, |seed| {
+                let o = run_fast(
+                    &params,
+                    &mut ContinuousJammer,
+                    &FastConfig::seeded(seed).carol_budget(budget),
+                );
+                (o.mean_node_cost() - quiet_cost.mean()).max(0.0)
+            })
+            .into_iter()
+            .collect();
+            pts.push((budget as f64, jammed.mean()));
+        }
+        let fit = fit_loglog(&pts);
+        table.row(vec![
+            k.to_string(),
+            fmt_f(quiet_cost.mean()),
+            fmt_f(quiet_alice.mean()),
+            fmt_f(quiet_slots.mean()),
+            fmt_f(fit.exponent),
+            fmt_f(1.0 / (f64::from(k) + 1.0)),
+        ]);
+        exponents.push(fit.exponent);
+        alice_quiet_by_k.push(quiet_alice.mean());
+    }
+
+    // Shape check: the competitive exponent improves (decreases) with k —
+    // the benefit side of the §3 trade-off. The cost side (Θ(k) latency
+    // and Alice's ln^k n factor) is real in the budget formulas but is
+    // confounded at practical n by probability clamping (phase lengths
+    // scale as 2^{(1+1/k)i}, which *shrinks* with k at fixed i); it is
+    // reported, not asserted.
+    let exponents_improve = exponents.windows(2).all(|w| w[1] < w[0] + 0.05);
+    let findings = vec![
+        format!(
+            "fitted cost exponents across k: {:?} — higher k is more resource-competitive",
+            exponents.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+        ),
+        format!(
+            "Alice's quiet cost across k: {:?}; at practical n the clamped early rounds \
+             dominate, masking the asymptotic ln^k n penalty §3.2 proves — the builder \
+             enforces the §3.2 infeasibility by rejecting k > 8 outright",
+            alice_quiet_by_k
+                .iter()
+                .map(|c| format!("{c:.0}"))
+                .collect::<Vec<_>>()
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E10",
+        title: "the k trade-off",
+        claim: "Increasing k improves the competitive ratio toward T^{1/(k+1)} but costs Θ(k) \
+                in latency/energy; k = ω(1) is infeasible (§3, §3.2).",
+        tables: vec![(format!("k sweep at n = {n}"), table)],
+        findings,
+        pass: exponents_improve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_k_tradeoff_visible() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+    }
+}

@@ -1,0 +1,116 @@
+//! E5 — load balancing: Alice's cost matches a node's up to polylog
+//! factors, and no individual node is singled out.
+//!
+//! Two measurements: (a) fast-sim sweep of `alice_cost / mean_node_cost`
+//! across jamming budgets — must stay within polylog factors; (b) exact
+//! engine per-node cost distribution — `max/mean` must stay small (the
+//! adversary "cannot force any particular node to spend a
+//! disproportionate amount", §1.1).
+
+use rcb_adversary::ContinuousJammer;
+use rcb_core::fast::{run_fast, FastConfig};
+use rcb_core::{run_broadcast, RunConfig};
+use rcb_radio::Budget;
+
+use super::{must_provision, ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::{run_trials, Summary, Table};
+
+/// Runs E5 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let (n_fast, budgets, trials, n_exact): (u64, Vec<u64>, u32, u64) = match scale {
+        Scale::Smoke => (1 << 12, vec![1 << 16, 1 << 19], 2, 64),
+        Scale::Full => (
+            1 << 14,
+            vec![1 << 14, 1 << 17, 1 << 20, 1 << 23],
+            6,
+            256,
+        ),
+    };
+
+    // (a) Alice vs node mean across the budget sweep.
+    let mut ratio_table = Table::new(vec!["carol budget", "alice cost", "node cost", "ratio"]);
+    let mut worst_ratio: f64 = 0.0;
+    for &budget in &budgets {
+        let params = must_provision(n_fast, 2, budget);
+        let results = run_trials(0xE5 ^ budget, trials, |seed| {
+            let o = run_fast(
+                &params,
+                &mut ContinuousJammer,
+                &FastConfig::seeded(seed).carol_budget(budget),
+            );
+            (o.alice_cost.total() as f64, o.mean_node_cost())
+        });
+        let alice: Summary = results.iter().map(|r| r.0).collect();
+        let node: Summary = results.iter().map(|r| r.1).collect();
+        let ratio = alice.mean() / node.mean().max(1.0);
+        worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio.max(1e-9)));
+        ratio_table.row(vec![
+            budget.to_string(),
+            fmt_f(alice.mean()),
+            fmt_f(node.mean()),
+            fmt_f(ratio),
+        ]);
+    }
+
+    // (b) per-node dispersion on the exact engine.
+    let exact_budget = 4_000u64;
+    let params = must_provision(n_exact, 2, exact_budget);
+    let disp = run_trials(0xE5AC, trials.min(4), |seed| {
+        let mut carol = ContinuousJammer;
+        let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(exact_budget));
+        let o = run_broadcast(&params, &mut carol, &cfg);
+        let max = o.max_node_cost.unwrap_or(0) as f64;
+        (max / o.mean_node_cost().max(1.0), o.informed_fraction())
+    });
+    let max_over_mean: Summary = disp.iter().map(|r| r.0).collect();
+    let mut disp_table = Table::new(vec!["n", "trials", "max/mean node cost", "worst"]);
+    disp_table.row(vec![
+        n_exact.to_string(),
+        disp.len().to_string(),
+        fmt_f(max_over_mean.mean()),
+        fmt_f(max_over_mean.max()),
+    ]);
+
+    let ln_n = (n_fast as f64).ln();
+    let pass = worst_ratio < 30.0 * ln_n && max_over_mean.max() < 5.0;
+    let findings = vec![
+        format!(
+            "alice/node cost ratio stays within [{:.2}, {:.2}] across the sweep — \
+             polylog-bounded (ln n = {:.1})",
+            1.0 / worst_ratio.max(1.0),
+            worst_ratio,
+            ln_n
+        ),
+        format!(
+            "per-node dispersion max/mean = {:.2} (worst {:.2}): no node is singled out",
+            max_over_mean.mean(),
+            max_over_mean.max()
+        ),
+    ];
+
+    ExperimentReport {
+        id: "E5",
+        title: "load balancing",
+        claim: "Alice and each correct node incur asymptotically equal costs up to \
+                logarithmic factors (§1.1 'load balanced'; Theorem 1).",
+        tables: vec![
+            ("alice vs mean node cost (continuous jammer)".into(), ratio_table),
+            ("per-node dispersion (exact engine)".into(), disp_table),
+        ],
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_balanced() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+    }
+}

@@ -1,0 +1,124 @@
+//! E6 — §4.1: decoy traffic defeats a reactive jammer (`f < 1/24`).
+//!
+//! A reactive Carol sees in-slot RSSI and jams only active slots. Against
+//! the plain protocol she kills every `m` transmission at minimal cost;
+//! with decoy hardening she cannot tell `m` from chaff, burns budget on
+//! decoys, and delivery goes through once she is broke (Lemma 19's
+//! mechanism). This experiment runs both protocol variants on the exact
+//! engine (reactivity is a slot-level capability).
+
+use rcb_adversary::ReactiveJammer;
+use rcb_core::{run_broadcast, DecoyConfig, Params, RunConfig};
+use rcb_radio::Budget;
+
+use super::{ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::{run_trials, Summary, Table};
+
+/// Runs E6 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let (n, trials): (u64, u32) = match scale {
+        Scale::Smoke => (32, 2),
+        Scale::Full => (128, 4),
+    };
+    // Self-calibrated budget window. Against the *plain* protocol a
+    // reactive Carol only reacts to m-transmissions, so her total spend to
+    // block the entire schedule is small — measure it with a probe run.
+    // Budgets of 1.5–2.5× that probe keep plain fully blocked while the
+    // decoy-hardened protocol (where she must also jam chaff, several
+    // times more active slots) drains her mid-schedule. The extra round
+    // margin guarantees clean rounds remain after she goes broke.
+    let margin = 4u32;
+    let plain_block_spend = {
+        let params = Params::builder(n).max_round_margin(margin).build().unwrap();
+        let mut carol = ReactiveJammer::new(params.clone());
+        let cfg = RunConfig::seeded(0xE6).carol_budget(Budget::limited(u64::MAX / 2));
+        run_broadcast(&params, &mut carol, &cfg).carol_spend()
+    };
+    let budgets = vec![plain_block_spend * 3 / 2, plain_block_spend * 5 / 2];
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "carol budget",
+        "informed frac",
+        "carol spent",
+        "node cost (mean)",
+    ]);
+    let mut findings = Vec::new();
+    let mut plain_blocked = true;
+    let mut hardened_delivered = true;
+
+    for &budget in &budgets {
+        for hardened in [false, true] {
+            let params: Params = {
+                let b = Params::builder(n).max_round_margin(margin);
+                let b = if hardened {
+                    b.decoys(DecoyConfig::recommended())
+                } else {
+                    b
+                };
+                b.build().unwrap()
+            };
+            let results = run_trials(0xE6 ^ budget ^ u64::from(hardened), trials, |seed| {
+                let mut carol = ReactiveJammer::new(params.clone());
+                let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(budget));
+                let o = run_broadcast(&params, &mut carol, &cfg);
+                (
+                    o.informed_fraction(),
+                    o.carol_spend() as f64,
+                    o.mean_node_cost(),
+                )
+            });
+            let informed: Summary = results.iter().map(|r| r.0).collect();
+            let spent: Summary = results.iter().map(|r| r.1).collect();
+            let node: Summary = results.iter().map(|r| r.2).collect();
+            table.row(vec![
+                if hardened { "decoy-hardened".into() } else { "plain".to_string() },
+                budget.to_string(),
+                fmt_f(informed.mean()),
+                fmt_f(spent.mean()),
+                fmt_f(node.mean()),
+            ]);
+            if hardened {
+                hardened_delivered &= informed.min() > 0.9;
+            } else {
+                plain_blocked &= informed.max() < 0.1;
+            }
+        }
+    }
+
+    findings.push(format!(
+        "plain protocol vs reactive Carol: delivery blocked entirely ({}); decoy-hardened: \
+         ≥90% informed once she drains on chaff ({})",
+        if plain_blocked { "confirmed" } else { "NOT confirmed" },
+        if hardened_delivered { "confirmed" } else { "NOT confirmed" },
+    ));
+    findings.push(
+        "the correct nodes themselves bear the decoy cost — no free external noise is \
+         assumed (contrast with [23], as §4.1 notes)"
+            .into(),
+    );
+
+    ExperimentReport {
+        id: "E6",
+        title: "reactive jamming and decoy hardening",
+        claim: "With each node sending decoys, a reactive Carol with f < 1/24 cannot prevent \
+                communication indefinitely, and the protocol stays resource-competitive \
+                (§4.1, Lemma 19).",
+        tables: vec![("reactive adversary, exact engine".into(), table)],
+        findings,
+        pass: plain_blocked && hardened_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_decoys_beat_reactive_jamming() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+    }
+}

@@ -1,0 +1,188 @@
+//! E7 — baselines: the naive strawman pays `Θ(T)`, KSY pays `Θ(T^{0.62})`,
+//! ε-BROADCAST pays `Õ(T^{1/3})` (at `k = 2`).
+//!
+//! Part A sweeps a continuous jammer against naive broadcast, epidemic
+//! gossip, and ε-BROADCAST at the same `n` on the exact engine. Part B
+//! fits the two-player KSY reconstruction's exponent. The punchline table
+//! compares fitted exponents with theory.
+
+use rcb_adversary::ContinuousJammer;
+use rcb_baselines::ksy::{run_ksy, KsyConfig};
+use rcb_baselines::{run_epidemic, run_naive, EpidemicConfig, NaiveConfig};
+use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_core::Params;
+
+use super::{must_provision, ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::{fit_loglog, run_trials, Summary, Table};
+
+/// Runs E7 and renders the report.
+///
+/// The naive/epidemic baselines run on the exact engine at small `n`
+/// (their cost shape is `Θ(T)` regardless of `n`); ε-BROADCAST's exponent
+/// is fitted at large `n` on the fast simulator, because its `T^{1/(k+1)}`
+/// regime only appears once round probabilities leave the clamp region —
+/// the paper's own "for n sufficiently large".
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let (n, budgets, trials, ksy_budgets): (u64, Vec<u64>, u32, Vec<u64>) = match scale {
+        Scale::Smoke => (32, vec![1_000, 8_000], 2, vec![1_000, 30_000, 1_000_000]),
+        Scale::Full => (
+            64,
+            vec![1_000, 4_000, 16_000, 64_000],
+            4,
+            vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+        ),
+    };
+    let (ours_n, ours_budgets): (u64, Vec<u64>) = match scale {
+        Scale::Smoke => (1 << 18, vec![1 << 20, 1 << 22, 1 << 24]),
+        Scale::Full => (1 << 20, vec![1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28]),
+    };
+
+    // Part A1: naive and epidemic under the same jammer (exact engine).
+    let mut cost_table = Table::new(vec!["T", "naive node cost", "epidemic node cost"]);
+    let mut naive_pts = Vec::new();
+    let mut epi_pts = Vec::new();
+    for &t in &budgets {
+        let naive: Summary = run_trials(0xE7A ^ t, trials, |seed| {
+            let o = run_naive(
+                &NaiveConfig {
+                    n,
+                    horizon: t + 200,
+                    carol_budget: rcb_radio::Budget::limited(t),
+                    seed,
+                },
+                &mut ContinuousJammer,
+            );
+            o.mean_node_cost()
+        })
+        .into_iter()
+        .collect();
+        let epidemic: Summary = run_trials(0xE7B ^ t, trials, |seed| {
+            let o = run_epidemic(
+                &EpidemicConfig::new(n, t + 200, rcb_radio::Budget::limited(t), seed),
+                &mut ContinuousJammer,
+            );
+            o.mean_node_cost()
+        })
+        .into_iter()
+        .collect();
+        cost_table.row(vec![
+            t.to_string(),
+            fmt_f(naive.mean()),
+            fmt_f(epidemic.mean()),
+        ]);
+        naive_pts.push((t as f64, naive.mean()));
+        epi_pts.push((t as f64, epidemic.mean()));
+    }
+    let naive_fit = fit_loglog(&naive_pts);
+    let epi_fit = fit_loglog(&epi_pts);
+
+    // Part A2: ε-BROADCAST marginal cost at large n (fast simulator).
+    let quiet_params = Params::builder(ours_n).build().unwrap();
+    let quiet_node: f64 = {
+        let xs = run_trials(0xE701, trials, |seed| {
+            run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed))
+                .mean_node_cost()
+        });
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let mut ours_table = Table::new(vec!["T", "ε-BROADCAST node cost − quiet"]);
+    let mut ours_pts = Vec::new();
+    for &t in &ours_budgets {
+        let params = must_provision(ours_n, 2, t);
+        let ours: Summary = run_trials(0xE7C ^ t, trials, |seed| {
+            let o = run_fast(
+                &params,
+                &mut ContinuousJammer,
+                &FastConfig::seeded(seed).carol_budget(t),
+            );
+            (o.mean_node_cost() - quiet_node).max(0.0)
+        })
+        .into_iter()
+        .collect();
+        ours_table.row(vec![t.to_string(), fmt_f(ours.mean())]);
+        ours_pts.push((t as f64, ours.mean()));
+    }
+    let ours_fit = fit_loglog(&ours_pts);
+
+    // Part B: the two-player KSY exponent.
+    let mut ksy_pts = Vec::new();
+    for &t in &ksy_budgets {
+        let recv: Summary = run_trials(0xE7D ^ t, trials.max(4), |seed| {
+            let o = run_ksy(&KsyConfig {
+                carol_budget: t,
+                max_epochs: 40,
+                seed,
+            });
+            o.receiver_cost as f64
+        })
+        .into_iter()
+        .collect();
+        ksy_pts.push((t as f64, recv.mean()));
+    }
+    let ksy_fit = fit_loglog(&ksy_pts);
+
+    let mut exponent_table = Table::new(vec!["protocol", "fitted cost exponent", "theory"]);
+    exponent_table.row(vec![
+        "naive always-on".into(),
+        fmt_f(naive_fit.exponent),
+        "1.0".into(),
+    ]);
+    exponent_table.row(vec![
+        "epidemic gossip".into(),
+        fmt_f(epi_fit.exponent),
+        "1.0".into(),
+    ]);
+    exponent_table.row(vec![
+        "KSY two-player [23]".into(),
+        fmt_f(ksy_fit.exponent),
+        "φ−1 ≈ 0.618".into(),
+    ]);
+    exponent_table.row(vec![
+        "ε-BROADCAST (k=2)".into(),
+        fmt_f(ours_fit.exponent),
+        "1/3 ≈ 0.333".into(),
+    ]);
+
+    let pass = naive_fit.exponent > 0.85
+        && epi_fit.exponent > 0.7
+        && (0.45..0.8).contains(&ksy_fit.exponent)
+        && ours_fit.exponent < naive_fit.exponent.min(ksy_fit.exponent);
+    let findings = vec![
+        format!(
+            "fitted exponents — naive {:.3}, epidemic {:.3}, KSY {:.3}, ε-BROADCAST {:.3}: \
+             the ordering of who wins (ours < KSY < naive) matches the paper's pitch",
+            naive_fit.exponent, epi_fit.exponent, ksy_fit.exponent, ours_fit.exponent
+        ),
+        "§1.1's strawman verdict reproduced: naive receivers 'spend at least as much as the \
+         adversary'"
+            .into(),
+    ];
+
+    ExperimentReport {
+        id: "E7",
+        title: "baseline comparison",
+        claim: "The naive protocol has very poor resource competitiveness (per-device Θ(T)); \
+                prior work [23] achieves O(T^{0.62}); ε-BROADCAST achieves Õ(T^{1/(k+1)}) \
+                (§1, §1.2).",
+        tables: vec![
+            (format!("baseline per-node cost vs Carol's spend, n = {n}"), cost_table),
+            (format!("ε-BROADCAST marginal node cost, n = {ours_n}"), ours_table),
+            ("fitted exponents".into(), exponent_table),
+        ],
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_ordering_holds() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The reproduction experiments (see `DESIGN.md` §5 for the index).
+//!
+//! Each module regenerates one analytical claim of the paper as a measured
+//! table. All experiments run at two scales:
+//!
+//! * [`Scale::Smoke`] — seconds; exercised by `cargo test`;
+//! * [`Scale::Full`] — minutes; what `reproduce` runs and what
+//!   `EXPERIMENTS.md` archives.
+
+use std::fmt;
+
+use rcb_core::{Params, ParamsError};
+
+use crate::Table;
+
+pub mod e10_k_sweep;
+pub mod e1_cost_scaling;
+pub mod e2_delivery;
+pub mod e3_latency;
+pub mod e4_quiet_costs;
+pub mod e5_load_balance;
+pub mod e6_reactive;
+pub mod e7_baselines;
+pub mod e8_spoofing;
+pub mod e9_unknown_n;
+pub mod x2_nuniform;
+
+/// How much compute an experiment may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small populations, few trials — for the test suite.
+    Smoke,
+    /// The EXPERIMENTS.md configuration.
+    Full,
+}
+
+/// A rendered experiment outcome.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "E1").
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper claim being reproduced.
+    pub claim: &'static str,
+    /// Result tables, each with a caption.
+    pub tables: Vec<(String, Table)>,
+    /// Free-form findings (fitted exponents, ratios, …).
+    pub findings: Vec<String>,
+    /// Whether the measured shape matches the paper's claim.
+    pub pass: bool,
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "*Paper claim:* {}", self.claim)?;
+        writeln!(f)?;
+        for (caption, table) in &self.tables {
+            writeln!(f, "**{caption}**")?;
+            writeln!(f)?;
+            writeln!(f, "{table}")?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "- {finding}")?;
+        }
+        writeln!(
+            f,
+            "- **verdict: {}**",
+            if self.pass { "SHAPE REPRODUCED" } else { "MISMATCH" }
+        )
+    }
+}
+
+/// Builds `Params` whose schedule provably outlasts a Carol budget: the
+/// margin is set so her [`Params::unblockable_round`] falls inside the
+/// schedule (the Lemma 11 provisioning rule).
+///
+/// # Errors
+///
+/// Propagates [`ParamsError`] from the builder.
+pub fn provisioned_params(n: u64, k: u32, carol_budget: u64) -> Result<Params, ParamsError> {
+    let probe = Params::builder(n).k(k).build()?;
+    let broke_round = probe.unblockable_round(carol_budget);
+    let margin = (broke_round + 1)
+        .saturating_sub(probe.lg_n_ceil())
+        .max(2);
+    Params::builder(n).k(k).max_round_margin(margin).build()
+}
+
+/// Convenience wrapper used by most experiments.
+pub(crate) fn must_provision(n: u64, k: u32, carol_budget: u64) -> Params {
+    provisioned_params(n, k, carol_budget).expect("experiment parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioning_covers_the_budget() {
+        let budget = 1_000_000u64;
+        let p = provisioned_params(1024, 2, budget).unwrap();
+        assert!(
+            p.unblockable_round(budget) <= p.max_round(),
+            "Carol must go broke within the schedule"
+        );
+    }
+
+    #[test]
+    fn provisioning_keeps_minimum_margin() {
+        let p = provisioned_params(1024, 2, 0).unwrap();
+        assert!(p.max_round() >= p.lg_n_ceil() + 2);
+    }
+
+    #[test]
+    fn report_renders_verdict() {
+        let report = ExperimentReport {
+            id: "E0",
+            title: "smoke",
+            claim: "none",
+            tables: vec![("cap".into(), Table::new(vec!["a"]))],
+            findings: vec!["finding".into()],
+            pass: true,
+        };
+        let text = report.to_string();
+        assert!(text.contains("E0"));
+        assert!(text.contains("SHAPE REPRODUCED"));
+    }
+}

@@ -1,0 +1,84 @@
+//! X2 — the n-uniform power (§2.3): Carol chooses *which* nodes learn `m`.
+//!
+//! An n-uniform adversary who blocks dissemination while sparing a chosen
+//! set of `x` nodes steers the informed set exactly: only the spared nodes
+//! ever receive `m` while her budget lasts. This is the mechanism behind
+//! the ε-fraction in Theorem 1 — she can hand-pick the sacrificed nodes.
+
+use rcb_adversary::EpsilonExtractor;
+use rcb_core::{run_broadcast, Params, RoundSchedule, RunConfig};
+use rcb_radio::Budget;
+
+use super::{ExperimentReport, Scale};
+use crate::{run_trials, Summary, Table};
+
+/// Runs X2 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let (n, spare_counts, trials): (u64, Vec<u32>, u32) = match scale {
+        Scale::Smoke => (32, vec![4, 12], 2),
+        Scale::Full => (128, vec![4, 16, 48, 96], 4),
+    };
+
+    let params = Params::builder(n).build().unwrap();
+    let mut table = Table::new(vec![
+        "spared x",
+        "informed (mean)",
+        "informed (max)",
+        "still active (mean)",
+    ]);
+    let mut pass = true;
+    for &x in &spare_counts {
+        let results = run_trials(0x112 ^ u64::from(x), trials, |seed| {
+            let schedule = RoundSchedule::new(&params);
+            let mut carol = EpsilonExtractor::sparing_first(schedule, x);
+            // Unlimited budget: she controls the whole schedule.
+            let cfg = RunConfig::seeded(seed).carol_budget(Budget::unlimited());
+            let o = run_broadcast(&params, &mut carol, &cfg);
+            (o.informed_nodes as f64, o.unterminated_nodes as f64)
+        });
+        let informed: Summary = results.iter().map(|r| r.0).collect();
+        let active: Summary = results.iter().map(|r| r.1).collect();
+        table.row(vec![
+            x.to_string(),
+            format!("{:.1}", informed.mean()),
+            format!("{:.0}", informed.max()),
+            format!("{:.1}", active.mean()),
+        ]);
+        // Exactly the spared set can be informed — never more.
+        pass &= informed.max() <= f64::from(x) + 0.5;
+        // And the spared set actually receives m (saturated listening).
+        pass &= informed.mean() >= f64::from(x) * 0.75;
+    }
+
+    let findings = vec![
+        "the informed set tracks the spared set exactly: Carol 'decides which nodes receive m \
+         since she is n-uniform' (§2.3)"
+            .into(),
+        "un-spared nodes stay active rather than terminating uninformed — their request \
+         phases stay noisy, so the Lemma 6/7 counters keep them awake; Carol can steer who \
+         learns m but not force mass bogus termination"
+            .into(),
+    ];
+
+    ExperimentReport {
+        id: "X2",
+        title: "n-uniform targeting",
+        claim: "When Carol blocks an inform or propagation phase she decides how many (and \
+                which) nodes receive m, because she is an n-uniform adversary (§2.3).",
+        tables: vec![(format!("ε-extraction at n = {n}, unlimited budget"), table)],
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_extraction_is_exact() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Ordinary least squares, specialised for log-log exponent fits.
+//!
+//! The reproduction's central measurements are power laws: Theorem 1 says
+//! per-node cost grows as `T^{1/(k+1)}`, Corollary 1 says latency grows as
+//! `n^{1+1/k}`. Fitting `ln y = α·ln x + β` recovers the exponent `α`.
+
+/// A fitted power law `y ≈ e^β · x^α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The exponent `α` (slope in log-log space).
+    pub exponent: f64,
+    /// The log-space intercept `β`.
+    pub intercept: f64,
+    /// Coefficient of determination of the log-log fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted `y` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        (self.intercept + self.exponent * x.ln()).exp()
+    }
+}
+
+/// Plain OLS on `(x, y)` pairs: returns `(slope, intercept, r²)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are supplied or all `x` are equal.
+#[must_use]
+pub fn fit_ols(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 1e-12,
+        "x values are degenerate; cannot fit a slope"
+    );
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    // R².
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot <= 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    (slope, intercept, r2)
+}
+
+/// Fits a power law to positive `(x, y)` data by OLS in log-log space.
+///
+/// Points with non-positive coordinates are skipped (a zero-cost sample
+/// carries no exponent information).
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+///
+/// # Example
+///
+/// ```
+/// use rcb_analysis::fit_loglog;
+/// let data: Vec<(f64, f64)> = (1..=6).map(|i| {
+///     let x = 10f64.powi(i);
+///     (x, 3.0 * x.powf(0.5))
+/// }).collect();
+/// let fit = fit_loglog(&data);
+/// assert!((fit.exponent - 0.5).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+#[must_use]
+pub fn fit_loglog(points: &[(f64, f64)]) -> PowerLawFit {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let (exponent, intercept, r_squared) = fit_ols(&logs);
+    PowerLawFit {
+        exponent,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_known_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let (slope, intercept, r2) = fit_ols(&pts);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_known_power_law_with_noise() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = 4f64.powi(i);
+                let noise = 1.0 + 0.02 * ((i % 3) as f64 - 1.0);
+                (x, 5.0 * x.powf(1.0 / 3.0) * noise)
+            })
+            .collect();
+        let fit = fit_loglog(&pts);
+        assert!((fit.exponent - 1.0 / 3.0).abs() < 0.02, "{}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+        // predict() inverts the transform.
+        let y = fit.predict(4096.0);
+        assert!((y / (5.0 * 4096f64.powf(1.0 / 3.0)) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (1.0, 0.0), (10.0, 10.0), (100.0, 100.0)];
+        let fit = fit_loglog(&pts);
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_insufficient_data() {
+        let _ = fit_ols(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_vertical_data() {
+        let _ = fit_ols(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

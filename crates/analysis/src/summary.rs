@@ -1,0 +1,103 @@
+//! Sample summaries for experiment tables.
+
+use rcb_rng::stats::{quantile, RunningStats};
+
+/// Summary statistics over a set of trial measurements.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    stats: RunningStats,
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from samples.
+    #[must_use]
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        let stats: RunningStats = samples.iter().copied().collect();
+        Self { stats, samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        self.stats.std_error()
+    }
+
+    /// Minimum.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// Maximum.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        quantile(&self.samples, 0.5).unwrap_or(0.0)
+    }
+
+    /// Arbitrary quantile in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.samples, q).unwrap_or(0.0)
+    }
+
+    /// `mean ± sem` rendered compactly for tables.
+    #[must_use]
+    pub fn display_mean_sem(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean(), self.sem())
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert!(s.sem() > 0.0);
+        assert!(s.display_mean_sem().contains("3.0"));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::from_samples(vec![]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.median(), 0.0);
+    }
+}

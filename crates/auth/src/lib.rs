@@ -1,0 +1,52 @@
+//! Simulated message authentication for the evildoers simulator.
+//!
+//! The paper's model (§1.1) is *partially authenticated*: Alice is the only
+//! participant whose messages can be authenticated ("scalable dissemination
+//! of a small number of public keys is possible and we may assume that her
+//! public key (and, perhaps, only hers) is known to all receivers").
+//! Consequently:
+//!
+//! * the broadcast message `m` **cannot** be forged or tampered with
+//!   undetectably, and
+//! * `nack` / decoy traffic **can** be spoofed by Carol's Byzantine nodes —
+//!   which is exactly the attack surface the request phase must tolerate.
+//!
+//! A real deployment would use pre-distributed keys (Chan–Perrig–Song [9]);
+//! we substitute a capability-style scheme: holding a [`SecretKey`] value is
+//! the *only* way to produce a [`Tag`] that verifies against the matching
+//! [`KeyId`]. Tags are deterministic keyed hashes (FNV-1a with SplitMix-like
+//! finalisation) — not cryptographically strong, but the simulation's threat
+//! model only requires that the *type system* withholds Alice's key from
+//! Byzantine code, which it does: `SecretKey` has no public constructor from
+//! raw parts, so only the issuing [`Authority`] can mint one.
+//!
+//! # Example
+//!
+//! ```
+//! use rcb_auth::{Authority, Payload};
+//!
+//! let mut authority = Authority::new(99);
+//! let alice = authority.issue_key();
+//! let verifier = authority.verifier();
+//!
+//! let m = Payload::from_static(b"the broadcast message");
+//! let signed = alice.sign(&m);
+//! assert!(verifier.verify(alice.id(), &m, &signed));
+//!
+//! // Tampering is detected.
+//! let forged = Payload::from_static(b"the broadcast messagf");
+//! assert!(!verifier.verify(alice.id(), &forged, &signed));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod authority;
+mod hash;
+mod payload;
+mod signed;
+
+pub use authority::{Authority, SecretKey, Verifier};
+pub use hash::keyed_digest;
+pub use payload::Payload;
+pub use signed::{KeyId, Signed, Tag};

@@ -1,0 +1,131 @@
+//! Byte payloads carried over the simulated channel.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// An immutable byte payload (the content of a broadcast message `m`).
+///
+/// A thin newtype over [`bytes::Bytes`] so payloads are cheap to clone into
+/// every receiver's inbox without copying, while hiding the representation
+/// from the public API.
+///
+/// # Example
+///
+/// ```
+/// use rcb_auth::Payload;
+/// let m = Payload::new(vec![1, 2, 3]);
+/// assert_eq!(m.as_bytes(), &[1, 2, 3]);
+/// assert_eq!(m.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload(Bytes);
+
+impl Payload {
+    /// Creates a payload from owned bytes.
+    #[must_use]
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        Self(bytes.into())
+    }
+
+    /// Creates a payload from a static byte string (zero-copy).
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self(Bytes::from_static(bytes))
+    }
+
+    /// Borrows the payload bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns a copy with one bit flipped — a convenience for tests that
+    /// need a tampered variant of a payload.
+    #[must_use]
+    pub fn tampered(&self) -> Self {
+        let mut v = self.0.to_vec();
+        if v.is_empty() {
+            v.push(1);
+        } else {
+            v[0] ^= 1;
+        }
+        Self(Bytes::from(v))
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload[{} bytes]", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Self::new(v)
+    }
+}
+
+impl From<&'static str> for Payload {
+    fn from(s: &'static str) -> Self {
+        Self::from_static(s.as_bytes())
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Payload::new(vec![9, 8, 7]);
+        assert_eq!(p.as_bytes(), &[9, 8, 7]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(Payload::default().is_empty());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let p = Payload::new(vec![0u8; 1024]);
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn tampered_differs_and_is_reversible() {
+        let p = Payload::from_static(b"msg");
+        let t = p.tampered();
+        assert_ne!(p, t);
+        assert_eq!(t.tampered(), p);
+    }
+
+    #[test]
+    fn tampered_empty_payload_becomes_nonempty() {
+        let p = Payload::default();
+        assert!(!p.tampered().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_length() {
+        assert_eq!(Payload::from_static(b"abc").to_string(), "payload[3 bytes]");
+    }
+}

@@ -1,0 +1,87 @@
+//! Key identities, tags, and signed payload wrappers.
+
+use std::fmt;
+
+use crate::payload::Payload;
+
+/// Public identity of a signing key (e.g. "Alice's public key").
+///
+/// Known network-wide; safe to hand to Byzantine code — possession of a
+/// `KeyId` conveys no signing capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub(crate) u64);
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+/// An authentication tag over a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub(crate) u64);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag:{:016x}", self.0)
+    }
+}
+
+/// A payload together with its signer identity and tag.
+///
+/// This is what travels over the channel when Alice broadcasts `m`.
+/// Receivers verify it with a [`Verifier`](crate::Verifier); Carol can
+/// *replay* a `Signed` she has heard (harmless — it is the true `m`) but
+/// cannot mint one for a payload Alice never signed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signed {
+    signer: KeyId,
+    payload: Payload,
+    tag: Tag,
+}
+
+impl Signed {
+    pub(crate) fn new(signer: KeyId, payload: Payload, tag: Tag) -> Self {
+        Self {
+            signer,
+            payload,
+            tag,
+        }
+    }
+
+    /// The claimed signer.
+    #[must_use]
+    pub fn signer(&self) -> KeyId {
+        self.signer
+    }
+
+    /// The carried payload.
+    #[must_use]
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// The authentication tag.
+    #[must_use]
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Produces a tampered copy (payload altered, tag kept) for tests and
+    /// Byzantine "alter messages" behaviour. Verification of the result
+    /// must fail.
+    #[must_use]
+    pub fn with_tampered_payload(&self) -> Self {
+        Self {
+            signer: self.signer,
+            payload: self.payload.tampered(),
+            tag: self.tag,
+        }
+    }
+}
+
+impl fmt::Display for Signed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signed<{} by {}>", self.payload, self.signer)
+    }
+}

@@ -1,0 +1,238 @@
+//! Epidemic gossip without backoff — a non-competitive relaying baseline.
+//!
+//! Informed nodes relay `m` with probability `λ/n` per slot (like the
+//! propagation phase of ε-BROADCAST) but *never stop*, and uninformed
+//! nodes listen with a fixed constant probability forever. Delivery is
+//! fast and robust, but the energy profile has no jamming response at all:
+//! every jammed slot costs the listeners in expectation, so per-node cost
+//! grows linearly in `T` — the pattern "many algorithms for communication
+//! in WSNs suffer" (§1.1).
+
+use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_core::{BroadcastOutcome, EngineKind};
+use rcb_radio::{
+    Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
+    Reception, Slot,
+};
+use rcb_rng::{SeedTree, SimRng};
+
+/// Configuration for an epidemic-gossip run.
+#[derive(Debug, Clone)]
+pub struct EpidemicConfig {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Per-slot listen probability of uninformed nodes.
+    pub listen_p: f64,
+    /// Relay probability is `relay_rate / n`.
+    pub relay_rate: f64,
+    /// Hard stop.
+    pub horizon: u64,
+    /// Carol's pooled budget.
+    pub carol_budget: Budget,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EpidemicConfig {
+    /// A reasonable default configuration.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
+        Self {
+            n,
+            listen_p: 0.5,
+            relay_rate: 1.0,
+            horizon,
+            carol_budget,
+            seed,
+        }
+    }
+}
+
+/// Alice under gossip: transmits with probability 1/2 until the horizon.
+struct GossipAlice {
+    signed_m: Signed,
+    horizon: u64,
+    done: bool,
+}
+
+impl NodeProtocol for GossipAlice {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        if rand::Rng::gen_bool(rng, 0.5) {
+            Action::Send(Payload::Broadcast(self.signed_m.clone()))
+        } else {
+            Action::Sleep
+        }
+    }
+    fn on_reception(&mut self, _: Slot, _: Reception) {}
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        true
+    }
+}
+
+/// A gossip node: listens until informed, then relays forever (until the
+/// horizon).
+struct GossipNode {
+    verifier: Verifier,
+    alice_key: KeyId,
+    listen_p: f64,
+    relay_p: f64,
+    horizon: u64,
+    message: Option<Signed>,
+    done: bool,
+}
+
+impl NodeProtocol for GossipNode {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        match &self.message {
+            Some(m) => {
+                if rand::Rng::gen_bool(rng, self.relay_p) {
+                    Action::Send(Payload::Broadcast(m.clone()))
+                } else {
+                    Action::Sleep
+                }
+            }
+            None => {
+                if rand::Rng::gen_bool(rng, self.listen_p) {
+                    Action::Listen
+                } else {
+                    Action::Sleep
+                }
+            }
+        }
+    }
+    fn on_reception(&mut self, _: Slot, reception: Reception) {
+        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
+            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
+                self.message = Some(signed);
+            }
+        }
+    }
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        self.message.is_some()
+    }
+}
+
+/// Runs epidemic gossip and reports a [`BroadcastOutcome`].
+#[must_use]
+pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+    assert!(
+        (0.0..=1.0).contains(&config.listen_p),
+        "listen_p must be a probability"
+    );
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"gossip payload m"));
+
+    let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
+    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
+    roster.push(Box::new(GossipAlice {
+        signed_m,
+        horizon: config.horizon,
+        done: false,
+    }));
+    for _ in 0..config.n {
+        roster.push(Box::new(GossipNode {
+            verifier,
+            alice_key: alice_key.id(),
+            listen_p: config.listen_p,
+            relay_p,
+            horizon: config.horizon,
+            message: None,
+            done: false,
+        }));
+    }
+    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    let engine = ExactEngine::new(EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: 0,
+        stop_when_all_terminated: true,
+    });
+    let report = engine.run_with_carol_budget(
+        &mut roster,
+        budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
+
+    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
+    let mut node_total = CostBreakdown::default();
+    for c in &node_costs {
+        node_total.absorb(c);
+    }
+    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
+    BroadcastOutcome {
+        n: config.n,
+        informed_nodes,
+        uninformed_terminated: 0,
+        unterminated_nodes: config.n - informed_nodes,
+        alice_terminated: report.terminated[0],
+        alice_cost: report.participant_costs[0],
+        node_total_cost: node_total,
+        max_node_cost: node_costs.iter().map(CostBreakdown::total).max(),
+        carol_cost: report.carol_cost,
+        slots: report.slots_elapsed,
+        rounds_entered: 0,
+        engine: EngineKind::Exact,
+        node_costs: Some(node_costs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::ContinuousJammer;
+    use rcb_radio::SilentAdversary;
+
+    #[test]
+    fn gossip_delivers_quickly_when_quiet() {
+        let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
+        let outcome = run_epidemic(&cfg, &mut SilentAdversary);
+        assert_eq!(outcome.informed_nodes, 32);
+        // Gossip never stops on its own (the run lasts to the horizon),
+        // but informed nodes stop listening: per-node listen cost is far
+        // below the 0.5 × horizon an uninformed node would pay.
+        let mean_listens = outcome.node_total_cost.listens as f64 / 32.0;
+        assert!(mean_listens < 200.0, "mean listens {mean_listens}");
+    }
+
+    #[test]
+    fn listener_cost_scales_with_jamming() {
+        let t = 3_000u64;
+        let cfg = EpidemicConfig::new(8, t + 500, Budget::limited(t), 2);
+        let outcome = run_epidemic(&cfg, &mut ContinuousJammer);
+        assert_eq!(outcome.informed_nodes, 8);
+        // Uninformed nodes listened with p=0.5 through all T jammed slots:
+        // expected cost ≈ T/2 each — linear in T, unlike ε-BROADCAST.
+        let per_node = outcome.mean_node_cost();
+        assert!(
+            per_node > t as f64 * 0.4,
+            "per-node cost {per_node} should be ≈ T/2 = {}",
+            t / 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "listen_p must be a probability")]
+    fn rejects_bad_listen_p() {
+        let mut cfg = EpidemicConfig::new(4, 10, Budget::unlimited(), 0);
+        cfg.listen_p = 1.5;
+        let _ = run_epidemic(&cfg, &mut SilentAdversary);
+    }
+}

@@ -1,0 +1,26 @@
+//! Comparison protocols for the E7 baseline experiments.
+//!
+//! The paper's pitch is relative: ε-BROADCAST's `Õ(T^{1/(k+1)})` beats both
+//! the naive strawman of §1.1 ("a correct node continually sends m until
+//! the jamming stops; this yields very poor resource competitiveness since
+//! each node spends at least as much as the adversary") and the earlier
+//! golden-ratio bound `O(T^{φ−1}) = O(T^{0.62})` of King–Saia–Young [23].
+//! This crate implements those comparators:
+//!
+//! * [`NaiveBroadcast`] — always-on sender, always-listening receivers;
+//!   per-device cost `Θ(T)`. Runs on the exact engine against any
+//!   [`rcb_radio::Adversary`].
+//! * [`EpidemicGossip`] — constant-rate relaying without backoff; receivers
+//!   still pay `Θ(T)` listening through jamming.
+//! * [`ksy`] — a two-player epoch protocol reproducing the *shape* of
+//!   [23]: per-player cost `O(T^{φ−1})` against a continuous jammer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epidemic;
+pub mod ksy;
+mod naive;
+
+pub use epidemic::{run_epidemic, EpidemicConfig};
+pub use naive::{run_naive, NaiveConfig};

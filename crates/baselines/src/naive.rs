@@ -1,0 +1,217 @@
+//! The naive always-on broadcast — §1.1's strawman.
+
+use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_core::{BroadcastOutcome, EngineKind};
+use rcb_radio::{
+    Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
+    Reception, Slot,
+};
+use rcb_rng::{SeedTree, SimRng};
+
+/// Configuration for a naive-broadcast run.
+#[derive(Debug, Clone)]
+pub struct NaiveConfig {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Alice transmits in every slot until this horizon, then terminates
+    /// (she has no feedback channel; the naive protocol just runs "long
+    /// enough" — pick a horizon past the adversary's budget).
+    pub horizon: u64,
+    /// Carol's pooled budget.
+    pub carol_budget: Budget,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Alice: transmits `m` in **every** slot until the horizon.
+struct NaiveAlice {
+    signed_m: Signed,
+    horizon: u64,
+    done: bool,
+}
+
+impl NodeProtocol for NaiveAlice {
+    fn act(&mut self, slot: Slot, _rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        Action::Send(Payload::Broadcast(self.signed_m.clone()))
+    }
+    fn on_reception(&mut self, _: Slot, _: Reception) {}
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        true
+    }
+}
+
+/// Receiver: listens in **every** slot until it hears a verified `m`.
+struct NaiveReceiver {
+    verifier: Verifier,
+    alice_key: KeyId,
+    informed: bool,
+}
+
+impl NodeProtocol for NaiveReceiver {
+    fn act(&mut self, _: Slot, _rng: &mut SimRng) -> Action {
+        if self.informed {
+            Action::Sleep
+        } else {
+            Action::Listen
+        }
+    }
+    fn on_reception(&mut self, _: Slot, reception: Reception) {
+        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
+            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
+                self.informed = true;
+            }
+        }
+    }
+    fn has_terminated(&self) -> bool {
+        self.informed
+    }
+    fn is_informed(&self) -> bool {
+        self.informed
+    }
+}
+
+/// Runs the naive protocol and reports a [`BroadcastOutcome`] (with
+/// `rounds_entered = 0`; the naive protocol has no rounds).
+///
+/// # Example
+///
+/// ```
+/// use rcb_baselines::{run_naive, NaiveConfig};
+/// use rcb_radio::{Budget, SilentAdversary};
+///
+/// let outcome = run_naive(
+///     &NaiveConfig { n: 8, horizon: 100, carol_budget: Budget::unlimited(), seed: 1 },
+///     &mut SilentAdversary,
+/// );
+/// assert_eq!(outcome.informed_nodes, 8); // first slot delivers to all
+/// ```
+#[must_use]
+pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"naive payload m"));
+
+    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
+    roster.push(Box::new(NaiveAlice {
+        signed_m,
+        horizon: config.horizon,
+        done: false,
+    }));
+    for _ in 0..config.n {
+        roster.push(Box::new(NaiveReceiver {
+            verifier,
+            alice_key: alice_key.id(),
+            informed: false,
+        }));
+    }
+    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    let engine = ExactEngine::new(EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: 0,
+        stop_when_all_terminated: true,
+    });
+    let mut roster = roster;
+    let report = engine.run_with_carol_budget(
+        &mut roster,
+        budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
+
+    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
+    let mut node_total = CostBreakdown::default();
+    for c in &node_costs {
+        node_total.absorb(c);
+    }
+    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
+    BroadcastOutcome {
+        n: config.n,
+        informed_nodes,
+        uninformed_terminated: 0,
+        unterminated_nodes: config.n - informed_nodes,
+        alice_terminated: report.terminated[0],
+        alice_cost: report.participant_costs[0],
+        node_total_cost: node_total,
+        max_node_cost: node_costs.iter().map(CostBreakdown::total).max(),
+        carol_cost: report.carol_cost,
+        slots: report.slots_elapsed,
+        rounds_entered: 0,
+        engine: EngineKind::Exact,
+        node_costs: Some(node_costs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::ContinuousJammer;
+    use rcb_radio::SilentAdversary;
+
+    #[test]
+    fn instant_delivery_without_jamming() {
+        let outcome = run_naive(
+            &NaiveConfig {
+                n: 16,
+                horizon: 50,
+                carol_budget: Budget::unlimited(),
+                seed: 1,
+            },
+            &mut SilentAdversary,
+        );
+        assert_eq!(outcome.informed_nodes, 16);
+        // Every receiver paid exactly one listen.
+        assert_eq!(outcome.node_total_cost.listens, 16);
+    }
+
+    #[test]
+    fn receiver_cost_tracks_carol_spend_linearly() {
+        // The point of the baseline: per-node cost ≈ T, competitive ratio
+        // ≈ 1 — "each node spends at least as much as the adversary".
+        for (t, seed) in [(200u64, 2u64), (2_000, 3)] {
+            let outcome = run_naive(
+                &NaiveConfig {
+                    n: 4,
+                    horizon: t + 50,
+                    carol_budget: Budget::limited(t),
+                    seed,
+                },
+                &mut ContinuousJammer,
+            );
+            assert_eq!(outcome.carol_spend(), t);
+            assert_eq!(outcome.informed_nodes, 4, "delivery after she is broke");
+            let per_node = outcome.mean_node_cost();
+            assert!(
+                per_node >= t as f64,
+                "naive receivers listen through all T={t} jammed slots, got {per_node}"
+            );
+        }
+    }
+
+    #[test]
+    fn alice_pays_every_slot_until_horizon_or_everyone_done() {
+        let outcome = run_naive(
+            &NaiveConfig {
+                n: 2,
+                horizon: 1_000,
+                carol_budget: Budget::limited(100),
+                seed: 4,
+            },
+            &mut ContinuousJammer,
+        );
+        // Delivery at slot 100 (first un-jammed slot); engine stops when
+        // all terminated... Alice only terminates at the horizon, so she
+        // keeps transmitting: cost equals slots elapsed.
+        assert_eq!(outcome.alice_cost.sends, outcome.slots.min(1_000));
+        assert!(outcome.alice_cost.sends >= 100);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benches for the two simulation engines: exact slot-by-slot
+//! versus phase-level aggregation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_core::{run_broadcast, Params, RunConfig};
+use rcb_radio::SilentAdversary;
+
+fn bench_exact_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_engine_quiet");
+    group.sample_size(10);
+    for n in [16u64, 64, 128] {
+        let params = Params::builder(n).build().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_broadcast(
+                    &params,
+                    &mut SilentAdversary,
+                    &RunConfig::seeded(1),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_engine_quiet");
+    group.sample_size(10);
+    for n in [1u64 << 12, 1 << 16, 1 << 20] {
+        let params = Params::builder(n).build().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_fast(
+                    &params,
+                    &mut SilentPhaseAdversary,
+                    &FastConfig::seeded(1),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_engine, bench_fast_engine);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the randomness substrate: the fast simulator's
+//! throughput is bounded by binomial sampling, so BTPE must stay O(1)
+//! across population scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rcb_rng::{Binomial, Geometric, SimRng};
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    // BINV regime (small n·p) and BTPE regime (large n·p) — expected O(1)
+    // for BTPE regardless of n.
+    for (label, n, p) in [
+        ("binv_np2", 200u64, 0.01f64),
+        ("btpe_np100", 100_000, 0.001),
+        ("btpe_np_huge", 1 << 40, 1e-6),
+    ] {
+        let d = Binomial::new(n, p).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut rng = SimRng::seed_from_u64(1);
+            b.iter(|| std::hint::black_box(d.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    let g = Geometric::new(0.01).unwrap();
+    c.bench_function("geometric_p01", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(g.sample(&mut rng)));
+    });
+}
+
+fn bench_raw_rng(c: &mut Criterion) {
+    c.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = SimRng::seed_from_u64(3);
+        b.iter(|| std::hint::black_box(rand::RngCore::next_u64(&mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_binomial, bench_geometric, bench_raw_rng);
+criterion_main!(benches);

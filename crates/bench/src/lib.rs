@@ -1,0 +1,52 @@
+//! Shared machinery for the `reproduce` binary and the criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rcb_analysis::experiments::{self, ExperimentReport, Scale};
+
+/// Every experiment in the reproduction suite, by id.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "x2",
+];
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for an unknown id.
+#[must_use]
+pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentReport> {
+    let report = match id.to_ascii_lowercase().as_str() {
+        "e1" => experiments::e1_cost_scaling::run(scale),
+        "e2" => experiments::e2_delivery::run(scale),
+        "e3" => experiments::e3_latency::run(scale),
+        "e4" => experiments::e4_quiet_costs::run(scale),
+        "e5" => experiments::e5_load_balance::run(scale),
+        "e6" => experiments::e6_reactive::run(scale),
+        "e7" => experiments::e7_baselines::run(scale),
+        "e8" => experiments::e8_spoofing::run(scale),
+        "e9" => experiments::e9_unknown_n::run(scale),
+        "e10" => experiments::e10_k_sweep::run(scale),
+        "x2" => experiments::x2_nuniform::run(scale),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("e99", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn ids_are_exhaustive_and_runnable() {
+        // Run the two cheapest to keep the test fast; existence checks for
+        // the rest.
+        assert!(run_experiment("x2", Scale::Smoke).is_some());
+        assert!(run_experiment("E4", Scale::Smoke).is_some());
+        assert_eq!(EXPERIMENT_IDS.len(), 11);
+    }
+}

@@ -1,0 +1,314 @@
+//! Alice: the trusted sender's state machine.
+//!
+//! Per Figures 1–2, Alice:
+//!
+//! * transmits `m` in each inform-phase slot with the round's send
+//!   probability,
+//! * sleeps through propagation phases (relaying is the nodes' job — and
+//!   she can never safely delegate her role, since any "the inform phase
+//!   succeeded" report could be spoofed, §2.1),
+//! * samples request-phase slots and counts *noisy* ones (nacks, Byzantine
+//!   spoofs, and jamming all count — she cannot tell them apart), and
+//! * terminates at the end of a request phase in which she heard at most
+//!   `5c·ln n` noisy slots, provided the round has reached the §2.3
+//!   termination floor.
+
+use rcb_auth::Signed;
+use rcb_radio::{Action, NodeProtocol, Payload, Reception, Slot};
+use rcb_rng::SimRng;
+
+use crate::params::Params;
+use crate::probabilities::{phase_probabilities, PhaseProbabilities};
+use crate::schedule::{Cursor, PhaseKind, RoundSchedule, SlotPosition};
+
+/// Alice's protocol state machine (implements [`NodeProtocol`]).
+///
+/// Constructed by the orchestration in [`crate::broadcast`]; the signed
+/// message is minted once and cloned into every transmission.
+#[derive(Debug)]
+pub struct Alice {
+    params: Params,
+    cursor: Cursor,
+    signed_m: Signed,
+    threshold: u64,
+    /// Cached probabilities for the current (round, phase).
+    probs: PhaseProbabilities,
+    cached_phase: Option<(u32, u32)>,
+    /// Position of the slot most recently returned by `act`.
+    current: Option<SlotPosition>,
+    /// Noisy receptions heard in the current request phase.
+    noisy_heard: u64,
+    /// Set when a request phase has just finished and the counter is ready
+    /// to be judged (at the next `act` call, when all receptions are in).
+    pending_eval: Option<u32>,
+    /// Highest round already judged — guards against re-judging the final
+    /// round when the schedule cursor pins past the last slot.
+    evaluated_through: u32,
+    terminated: bool,
+    /// Statistics: how many times Alice transmitted `m`.
+    sends: u64,
+}
+
+impl Alice {
+    /// Creates Alice from validated parameters and her signed message.
+    #[must_use]
+    pub fn new(params: Params, signed_m: Signed) -> Self {
+        let schedule = RoundSchedule::new(&params);
+        let threshold = params.termination_threshold();
+        Self {
+            params,
+            cursor: Cursor::new(schedule),
+            signed_m,
+            threshold,
+            probs: PhaseProbabilities::default(),
+            cached_phase: None,
+            current: None,
+            noisy_heard: 0,
+            pending_eval: None,
+            evaluated_through: 0,
+            terminated: false,
+            sends: 0,
+        }
+    }
+
+    /// The signed broadcast message.
+    #[must_use]
+    pub fn signed_message(&self) -> &Signed {
+        &self.signed_m
+    }
+
+    /// How many times `m` has been transmitted so far.
+    #[must_use]
+    pub fn send_count(&self) -> u64 {
+        self.sends
+    }
+
+    fn refresh_probs(&mut self, pos: &SlotPosition) {
+        let key = (pos.round, pos.phase.ordinal(self.params.k()));
+        if self.cached_phase != Some(key) {
+            self.probs = phase_probabilities(&self.params, pos.round, pos.phase);
+            self.cached_phase = Some(key);
+        }
+    }
+
+    fn evaluate_request_phase(&mut self, round: u32) {
+        if round <= self.evaluated_through {
+            return; // already judged (pinned final-slot replays)
+        }
+        self.evaluated_through = round;
+        if round >= self.params.min_termination_round() && self.noisy_heard <= self.threshold {
+            self.terminated = true;
+        }
+        self.noisy_heard = 0;
+    }
+}
+
+impl NodeProtocol for Alice {
+    fn act(&mut self, _slot: Slot, rng: &mut SimRng) -> Action {
+        // Judge the just-finished request phase now that all of its
+        // receptions have been delivered.
+        if let Some(round) = self.pending_eval.take() {
+            self.evaluate_request_phase(round);
+            if self.terminated {
+                return Action::Sleep;
+            }
+        }
+        let pos = self.cursor.advance();
+        self.refresh_probs(&pos);
+        self.current = Some(pos);
+
+        match pos.phase {
+            PhaseKind::Inform => {
+                if rand::Rng::gen_bool(rng, self.probs.alice_send) {
+                    self.sends += 1;
+                    Action::Send(Payload::Broadcast(self.signed_m.clone()))
+                } else {
+                    Action::Sleep
+                }
+            }
+            PhaseKind::Propagation { .. } => Action::Sleep,
+            PhaseKind::Request => {
+                if pos.is_phase_end() {
+                    self.pending_eval = Some(pos.round);
+                }
+                if rand::Rng::gen_bool(rng, self.probs.alice_listen) {
+                    Action::Listen
+                } else {
+                    Action::Sleep
+                }
+            }
+        }
+    }
+
+    fn on_reception(&mut self, _slot: Slot, reception: Reception) {
+        let in_request = matches!(
+            self.current,
+            Some(SlotPosition {
+                phase: PhaseKind::Request,
+                ..
+            })
+        );
+        if in_request && reception.is_noisy() {
+            self.noisy_heard += 1;
+        }
+    }
+
+    fn has_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn is_informed(&self) -> bool {
+        true // she is the source of m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rcb_auth::{Authority, Payload as Bytes};
+
+    fn make_alice(n: u64, min_term: u32) -> Alice {
+        let params = Params::builder(n)
+            .min_termination_round(min_term)
+            .build()
+            .unwrap();
+        let mut authority = Authority::new(1);
+        let key = authority.issue_key();
+        let signed = key.sign(&Bytes::from_static(b"m"));
+        Alice::new(params, signed)
+    }
+
+    fn drive_phase(alice: &mut Alice, rng: &mut SimRng, len: u64, noisy: bool) -> (u64, u64) {
+        // Returns (sends, listens) over `len` slots, injecting `noisy`
+        // receptions whenever she listens.
+        let mut sends = 0;
+        let mut listens = 0;
+        for t in 0..len {
+            match alice.act(Slot::new(t), rng) {
+                Action::Send(_) => sends += 1,
+                Action::Listen => {
+                    listens += 1;
+                    alice.on_reception(
+                        Slot::new(t),
+                        if noisy {
+                            Reception::Noise
+                        } else {
+                            Reception::Silence
+                        },
+                    );
+                }
+                Action::Sleep => {}
+            }
+            if alice.has_terminated() {
+                break;
+            }
+        }
+        (sends, listens)
+    }
+
+    #[test]
+    fn sends_only_in_inform_listens_only_in_request() {
+        let mut alice = make_alice(256, 1);
+        let mut rng = SimRng::seed_from_u64(1);
+        let schedule = RoundSchedule::new(
+            &Params::builder(256).min_termination_round(1).build().unwrap(),
+        );
+        let mut sends_outside_inform = 0;
+        let mut listens_outside_request = 0;
+        for t in 0..schedule.round_len(1) + schedule.round_len(2) {
+            let pos = schedule.locate(t);
+            match alice.act(Slot::new(t), &mut rng) {
+                Action::Send(p) => {
+                    assert!(matches!(p, Payload::Broadcast(_)));
+                    if pos.phase != PhaseKind::Inform {
+                        sends_outside_inform += 1;
+                    }
+                }
+                Action::Listen => {
+                    if pos.phase != PhaseKind::Request {
+                        listens_outside_request += 1;
+                    }
+                    alice.on_reception(Slot::new(t), Reception::Noise);
+                }
+                Action::Sleep => {}
+            }
+            if alice.has_terminated() {
+                break;
+            }
+        }
+        assert_eq!(sends_outside_inform, 0);
+        assert_eq!(listens_outside_request, 0);
+    }
+
+    #[test]
+    fn terminates_after_quiet_request_phase() {
+        let mut alice = make_alice(256, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        // Round 1 is tiny; drive an entire round with silence everywhere.
+        let schedule = RoundSchedule::new(
+            &Params::builder(256).min_termination_round(1).build().unwrap(),
+        );
+        let round_len = schedule.round_len(1);
+        drive_phase(&mut alice, &mut rng, round_len, false);
+        // One more act() call triggers the pending evaluation.
+        let _ = alice.act(Slot::new(round_len), &mut rng);
+        assert!(alice.has_terminated());
+    }
+
+    #[test]
+    fn does_not_terminate_before_min_round() {
+        let mut alice = make_alice(256, 5);
+        let mut rng = SimRng::seed_from_u64(3);
+        let schedule = RoundSchedule::new(
+            &Params::builder(256).min_termination_round(5).build().unwrap(),
+        );
+        // Drive rounds 1–4 fully silent: she must stay active.
+        let slots: u64 = (1..=4).map(|i| schedule.round_len(i)).sum();
+        drive_phase(&mut alice, &mut rng, slots, false);
+        let _ = alice.act(Slot::new(slots), &mut rng);
+        assert!(!alice.has_terminated());
+    }
+
+    #[test]
+    fn stays_active_when_request_phase_is_noisy() {
+        // Lemma 5's mechanism: while every listened request slot is noisy,
+        // Alice hears far more than the 5c·ln n threshold in every round at
+        // or past the §2.3 termination floor, so she never terminates. Use
+        // the default floor (3 lg ln n), which is where the margins hold.
+        let params = Params::builder(64).build().unwrap(); // floor defaults
+        let mut authority = rcb_auth::Authority::new(1);
+        let key = authority.issue_key();
+        let signed = key.sign(&Bytes::from_static(b"m"));
+        let mut alice = Alice::new(params.clone(), signed);
+        let mut rng = SimRng::seed_from_u64(4);
+        let schedule = RoundSchedule::new(&params);
+        for t in 0..schedule.total_slots() + 2 {
+            match alice.act(Slot::new(t), &mut rng) {
+                Action::Listen => alice.on_reception(Slot::new(t), Reception::Noise),
+                Action::Send(_) | Action::Sleep => {}
+            }
+            assert!(
+                !alice.has_terminated(),
+                "terminated at slot {t} (round {}) despite all-noise",
+                schedule.locate(t).round
+            );
+        }
+    }
+
+    #[test]
+    fn send_counter_tracks_transmissions() {
+        let mut alice = make_alice(64, 1);
+        let mut rng = SimRng::seed_from_u64(5);
+        let (sends, _) = drive_phase(&mut alice, &mut rng, 50, true);
+        assert_eq!(alice.send_count(), sends);
+        assert!(sends > 0, "round-1 send probability is clamped to 1");
+    }
+
+    #[test]
+    fn is_always_informed() {
+        let alice = make_alice(64, 1);
+        assert!(alice.is_informed());
+        assert!(!alice.has_terminated());
+    }
+}

@@ -1,0 +1,296 @@
+//! Orchestration: assemble Alice, the nodes, budgets, and an adversary,
+//! and run ε-BROADCAST on the exact engine.
+
+use rcb_auth::{Authority, Payload as MessageBytes};
+use rcb_radio::{
+    Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, RunReport,
+    StopReason,
+};
+use rcb_rng::SeedTree;
+
+use crate::alice::Alice;
+use crate::node::ReceiverNode;
+use crate::outcome::{BroadcastOutcome, EngineKind};
+use crate::params::Params;
+use crate::schedule::RoundSchedule;
+
+/// Per-run configuration that is not a protocol parameter.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Carol's pooled budget. Use [`Params::carol_budget`] for the paper's
+    /// threat model, or [`Budget::unlimited`] to measure pure strategy
+    /// shapes.
+    pub carol_budget: Budget,
+    /// Whether Alice and the nodes are held to their computed budgets
+    /// (`true` for the paper's model; `false` to observe unconstrained
+    /// costs).
+    pub enforce_correct_budgets: bool,
+    /// Slot-trace retention (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Master seed for the run.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            carol_budget: Budget::unlimited(),
+            enforce_correct_budgets: true,
+            trace_capacity: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config with the given seed and defaults elsewhere.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets Carol's budget.
+    #[must_use]
+    pub fn carol_budget(mut self, budget: Budget) -> Self {
+        self.carol_budget = budget;
+        self
+    }
+
+    /// Enables slot tracing with the given capacity.
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Disables correct-side budget enforcement.
+    #[must_use]
+    pub fn unconstrained_correct(mut self) -> Self {
+        self.enforce_correct_budgets = false;
+        self
+    }
+}
+
+/// Runs one ε-BROADCAST execution on the exact engine.
+///
+/// Index 0 of the roster is Alice; `1..=n` are the receiver nodes. The
+/// outcome separates her accounting from theirs.
+///
+/// # Example
+///
+/// ```
+/// use rcb_core::{run_broadcast, Params, RunConfig};
+/// use rcb_radio::SilentAdversary;
+///
+/// let params = Params::builder(32).min_termination_round(3).build()?;
+/// let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(7));
+/// assert!(outcome.informed_fraction() > 0.9);
+/// # Ok::<(), rcb_core::ParamsError>(())
+/// ```
+#[must_use]
+pub fn run_broadcast(
+    params: &Params,
+    adversary: &mut dyn Adversary,
+    config: &RunConfig,
+) -> BroadcastOutcome {
+    run_broadcast_with_report(params, adversary, config).0
+}
+
+/// Like [`run_broadcast`] but also returns the raw engine report (for
+/// trace inspection and engine-level assertions in tests).
+#[must_use]
+pub fn run_broadcast_with_report(
+    params: &Params,
+    adversary: &mut dyn Adversary,
+    config: &RunConfig,
+) -> (BroadcastOutcome, RunReport) {
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"the broadcast payload m"));
+
+    let n = params.n() as usize;
+    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(n + 1);
+    roster.push(Box::new(Alice::new(params.clone(), signed_m)));
+    for _ in 0..n {
+        roster.push(Box::new(ReceiverNode::new(
+            params.clone(),
+            verifier,
+            alice_key.id(),
+        )));
+    }
+
+    let budgets: Vec<Budget> = if config.enforce_correct_budgets {
+        std::iter::once(Budget::limited(params.alice_budget()))
+            .chain(std::iter::repeat(Budget::limited(params.node_budget())).take(n))
+            .collect()
+    } else {
+        vec![Budget::unlimited(); n + 1]
+    };
+
+    let schedule = RoundSchedule::new(params);
+    let engine = ExactEngine::new(EngineConfig {
+        max_slots: schedule.total_slots() + 4,
+        trace_capacity: config.trace_capacity,
+        stop_when_all_terminated: true,
+    });
+    let report = engine.run_with_carol_budget(
+        &mut roster,
+        budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
+
+    let outcome = summarize(params, &schedule, &report);
+    (outcome, report)
+}
+
+/// Condenses an engine report into a [`BroadcastOutcome`] (roster layout:
+/// index 0 = Alice, `1..=n` = nodes).
+fn summarize(params: &Params, schedule: &RoundSchedule, report: &RunReport) -> BroadcastOutcome {
+    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
+    let mut node_total = CostBreakdown::default();
+    for c in &node_costs {
+        node_total.absorb(c);
+    }
+    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
+    let terminated_nodes = report.terminated[1..].iter().filter(|&&b| b).count() as u64;
+    let uninformed_terminated = report.informed[1..]
+        .iter()
+        .zip(&report.terminated[1..])
+        .filter(|(&inf, &term)| term && !inf)
+        .count() as u64;
+    let max_node_cost = node_costs.iter().map(CostBreakdown::total).max();
+    let rounds_entered = schedule
+        .locate(report.slots_elapsed.saturating_sub(1))
+        .round;
+
+    BroadcastOutcome {
+        n: params.n(),
+        informed_nodes,
+        uninformed_terminated,
+        unterminated_nodes: params.n() - terminated_nodes,
+        alice_terminated: report.terminated[0],
+        alice_cost: report.participant_costs[0],
+        node_total_cost: node_total,
+        max_node_cost,
+        carol_cost: report.carol_cost,
+        slots: report.slots_elapsed,
+        rounds_entered,
+        engine: EngineKind::Exact,
+        node_costs: Some(node_costs),
+    }
+}
+
+/// Sanity helper used by tests: did the engine stop because everyone
+/// finished?
+#[must_use]
+pub fn stopped_cleanly(report: &RunReport) -> bool {
+    report.stop_reason == StopReason::AllTerminated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_radio::SilentAdversary;
+
+    #[test]
+    fn silent_adversary_full_delivery() {
+        let params = Params::builder(64).min_termination_round(3).build().unwrap();
+        let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(42));
+        assert!(
+            outcome.informed_fraction() >= 0.95,
+            "informed {}/{}",
+            outcome.informed_nodes,
+            outcome.n
+        );
+        assert!(outcome.alice_terminated);
+        assert_eq!(outcome.unterminated_nodes, 0);
+        assert_eq!(outcome.carol_spend(), 0);
+        assert_eq!(outcome.engine, EngineKind::Exact);
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent() {
+        let params = Params::builder(32).min_termination_round(3).build().unwrap();
+        let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(1));
+        assert_eq!(
+            outcome.informed_nodes + outcome.uninformed_terminated + outcome.unterminated_nodes,
+            outcome.n,
+            "every node is informed xor sacrificed xor unterminated"
+        );
+        let node_costs = outcome.node_costs.as_ref().unwrap();
+        assert_eq!(node_costs.len(), 32);
+        let total: u64 = node_costs.iter().map(|c| c.total()).sum();
+        assert_eq!(total, outcome.node_total_cost.total());
+        assert_eq!(
+            outcome.max_node_cost.unwrap(),
+            node_costs.iter().map(|c| c.total()).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_by_seed() {
+        let params = Params::builder(32).min_termination_round(3).build().unwrap();
+        let a = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(9));
+        let b = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(9));
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.informed_nodes, b.informed_nodes);
+        assert_eq!(a.alice_cost, b.alice_cost);
+        assert_eq!(a.node_total_cost, b.node_total_cost);
+        let c = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(10));
+        // Different seeds almost surely differ somewhere.
+        assert!(
+            a.slots != c.slots
+                || a.alice_cost != c.alice_cost
+                || a.node_total_cost != c.node_total_cost
+        );
+    }
+
+    #[test]
+    fn quiet_run_is_cheap_for_everyone() {
+        // Lemma 9: without jamming, costs are polylogarithmic.
+        let params = Params::builder(256).min_termination_round(4).build().unwrap();
+        let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(5));
+        assert!(outcome.completed());
+        // Budgets provision for the worst case n^{1/2}; a quiet run must
+        // spend far less.
+        assert!(
+            outcome.alice_cost.total() < params.alice_budget() / 2,
+            "alice spent {} of {}",
+            outcome.alice_cost.total(),
+            params.alice_budget()
+        );
+        assert!(
+            outcome.max_node_cost.unwrap() < params.node_budget(),
+            "max node {} of {}",
+            outcome.max_node_cost.unwrap(),
+            params.node_budget()
+        );
+    }
+
+    #[test]
+    fn trace_capture_works_through_orchestration() {
+        let params = Params::builder(16).min_termination_round(2).build().unwrap();
+        let (_, report) = run_broadcast_with_report(
+            &params,
+            &mut SilentAdversary,
+            &RunConfig::seeded(2).trace(4096),
+        );
+        assert!(!report.trace.is_empty());
+        assert!(stopped_cleanly(&report));
+    }
+
+    #[test]
+    fn unconstrained_config_lifts_budgets() {
+        let params = Params::builder(16).min_termination_round(2).build().unwrap();
+        let cfg = RunConfig::seeded(3).unconstrained_correct();
+        let (_, report) = run_broadcast_with_report(&params, &mut SilentAdversary, &cfg);
+        assert!(report.participant_refusals.iter().all(|&r| r == 0));
+    }
+}

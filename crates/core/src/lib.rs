@@ -1,0 +1,63 @@
+//! # rcb-core — the ε-BROADCAST protocol
+//!
+//! A faithful implementation of the resource-competitive broadcast protocol
+//! of **Gilbert & Young, "Making Evildoers Pay: Resource-Competitive
+//! Broadcast in Sensor Networks" (PODC 2012)**.
+//!
+//! ## The problem
+//!
+//! A trusted sender Alice must deliver a message `m` to `n` correct,
+//! severely energy-constrained devices over a single jammed channel, while
+//! an adversary Carol controlling `f·n` Byzantine devices spends energy to
+//! stop her. The protocol guarantees (Theorem 1), w.h.p.:
+//!
+//! * at least `(1−ε)n` correct nodes receive `m`, within `O(n^{1+1/k})`
+//!   slots;
+//! * if Carol's coalition jams for `T` slots, Alice and each correct node
+//!   individually spend only `Õ(T^{1/(k+1)} + 1)` — so sustained attack
+//!   drains Carol polynomially faster than anyone she attacks.
+//!
+//! ## Crate layout
+//!
+//! * [`Params`] — validated protocol parameters and derived budgets;
+//! * [`RoundSchedule`] / [`PhaseKind`] — the slot → (round, phase) map;
+//! * [`probabilities`] — the Figure 1/2 formulas, in one auditable place;
+//! * [`Alice`] and [`ReceiverNode`] — the state machines, pluggable into
+//!   `rcb-radio`'s exact engine;
+//! * [`run_broadcast`] — one-call orchestration producing a
+//!   [`BroadcastOutcome`];
+//! * [`fast`] — the phase-level aggregated simulator for large `n`;
+//! * [`DecoyConfig`] — §4.1 reactive hardening; [`SizeKnowledge`] — §4.2
+//!   unknown-size operation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rcb_core::{run_broadcast, Params, RunConfig};
+//! use rcb_radio::SilentAdversary;
+//!
+//! let params = Params::builder(64).min_termination_round(3).build()?;
+//! let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(1));
+//! assert!(outcome.informed_fraction() > 0.9);
+//! assert!(outcome.completed());
+//! # Ok::<(), rcb_core::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alice;
+mod broadcast;
+pub mod fast;
+mod node;
+mod outcome;
+mod params;
+pub mod probabilities;
+mod schedule;
+
+pub use alice::Alice;
+pub use broadcast::{run_broadcast, run_broadcast_with_report, stopped_cleanly, RunConfig};
+pub use node::ReceiverNode;
+pub use outcome::{BroadcastOutcome, EngineKind};
+pub use params::{DecoyConfig, Params, ParamsBuilder, ParamsError, SizeKnowledge, Variant};
+pub use schedule::{phase_exponent, Cursor, PhaseKind, RoundSchedule, SlotPosition};

@@ -1,0 +1,525 @@
+//! Receiver nodes: the uninformed → informed → terminated state machine.
+//!
+//! A node's life under ε-BROADCAST:
+//!
+//! * **Uninformed** — samples listen slots during inform/propagation
+//!   phases; in request phases it nacks with probability `1/n`, listens
+//!   with the request rate, and terminates (uninformed!) at the end of a
+//!   request phase in which it heard at most `5c·ln n` noisy slots — this
+//!   is where the ε-fraction sacrifice comes from.
+//! * **Informed** — on receiving a verified `m` it joins the *next*
+//!   propagation step's relay set `S_{i,h}`, transmits `m` with probability
+//!   `1/n` during that step, and terminates at the end of the step
+//!   ("keeping `S_i` around … is wasteful", §2.1). Nodes informed in the
+//!   final step have no relay duty and terminate when the request phase
+//!   begins.
+//! * With §4.1 decoy hardening, every active node also transmits decoys
+//!   during inform/propagation phases so a reactive jammer cannot
+//!   distinguish `m`-slots by RSSI.
+
+use rcb_auth::{KeyId, Verifier};
+use rcb_radio::{Action, NodeProtocol, Payload, Reception, Slot};
+use rcb_rng::SimRng;
+
+use crate::params::{Params, SizeKnowledge};
+use crate::probabilities::{phase_probabilities, PhaseProbabilities};
+use crate::schedule::{Cursor, PhaseKind, RoundSchedule, SlotPosition};
+
+/// Where a node is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Uninformed,
+    /// Holds `m`; `relay_step` is the propagation step in which it must
+    /// transmit (`None` = informed too late in the round to have a duty).
+    Informed { relay_step: Option<u32> },
+    Done { informed: bool },
+}
+
+/// A receiver node's protocol state machine (implements [`NodeProtocol`]).
+#[derive(Debug)]
+pub struct ReceiverNode {
+    params: Params,
+    cursor: Cursor,
+    verifier: Verifier,
+    alice_key: KeyId,
+    status: Status,
+    /// The verified message, once received (kept for relaying).
+    message: Option<rcb_auth::Signed>,
+    probs: PhaseProbabilities,
+    cached_phase: Option<(u32, u32)>,
+    current: Option<SlotPosition>,
+    noisy_heard: u64,
+    pending_eval: Option<u32>,
+    /// Highest round already judged — guards against re-judging the final
+    /// round when the schedule cursor pins past the last slot.
+    evaluated_through: u32,
+    threshold: u64,
+    /// §4.2 g-loop segment count (1 = disabled).
+    g_segments: u32,
+}
+
+impl ReceiverNode {
+    /// Creates an uninformed node that will accept messages signed by
+    /// `alice_key`.
+    #[must_use]
+    pub fn new(params: Params, verifier: Verifier, alice_key: KeyId) -> Self {
+        let schedule = RoundSchedule::new(&params);
+        let threshold = params.termination_threshold();
+        let g_segments = match params.size_knowledge() {
+            SizeKnowledge::PolynomialOverestimate { nu } => {
+                (64 - (nu.max(2) - 1).leading_zeros()).max(1)
+            }
+            _ => 1,
+        };
+        Self {
+            params,
+            cursor: Cursor::new(schedule),
+            verifier,
+            alice_key,
+            status: Status::Uninformed,
+            message: None,
+            probs: PhaseProbabilities::default(),
+            cached_phase: None,
+            current: None,
+            noisy_heard: 0,
+            pending_eval: None,
+            evaluated_through: 0,
+            threshold,
+            g_segments,
+        }
+    }
+
+    /// Whether the node terminated *without* the message (sacrificed).
+    #[must_use]
+    pub fn terminated_uninformed(&self) -> bool {
+        matches!(self.status, Status::Done { informed: false })
+    }
+
+    fn refresh_probs(&mut self, pos: &SlotPosition) {
+        let key = (pos.round, pos.phase.ordinal(self.params.k()));
+        if self.cached_phase != Some(key) {
+            self.probs = phase_probabilities(&self.params, pos.round, pos.phase);
+            self.cached_phase = Some(key);
+        }
+    }
+
+    /// The §4.2 g-loop send probability for relays and nacks: the phase is
+    /// divided into `g_segments` equal segments; in segment `g` (1-based)
+    /// the send probability is `2^{−g}`. One segment satisfies
+    /// `2^g ∈ [n, 2n)`, where the behaviour matches `1/n` within a factor
+    /// of 2. With `g_segments == 1` this is the ordinary `1/n`.
+    fn send_prob_for(&self, pos: &SlotPosition, base: f64) -> f64 {
+        if self.g_segments <= 1 {
+            return base;
+        }
+        let seg_len = (pos.phase_len / u64::from(self.g_segments)).max(1);
+        let g = (pos.offset / seg_len + 1).min(u64::from(self.g_segments)) as i32;
+        0.5f64.powi(g)
+    }
+
+    fn evaluate_request_phase(&mut self, round: u32) {
+        if round <= self.evaluated_through {
+            return; // already judged (pinned final-slot replays)
+        }
+        self.evaluated_through = round;
+        if matches!(self.status, Status::Uninformed)
+            && round >= self.params.min_termination_round()
+            && self.noisy_heard <= self.threshold
+        {
+            self.status = Status::Done { informed: false };
+        }
+        self.noisy_heard = 0;
+    }
+
+    fn act_uninformed(&mut self, pos: &SlotPosition, rng: &mut SimRng) -> Action {
+        match pos.phase {
+            PhaseKind::Inform | PhaseKind::Propagation { .. } => {
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
+                {
+                    return Action::Send(Payload::Decoy);
+                }
+                if rand::Rng::gen_bool(rng, self.probs.uninformed_listen) {
+                    Action::Listen
+                } else {
+                    Action::Sleep
+                }
+            }
+            PhaseKind::Request => {
+                if pos.is_phase_end() {
+                    self.pending_eval = Some(pos.round);
+                }
+                let nack_p = self.send_prob_for(pos, self.probs.uninformed_nack);
+                if rand::Rng::gen_bool(rng, nack_p) {
+                    return Action::Send(Payload::Nack);
+                }
+                if rand::Rng::gen_bool(rng, self.probs.uninformed_listen) {
+                    Action::Listen
+                } else {
+                    Action::Sleep
+                }
+            }
+        }
+    }
+
+    fn act_informed(
+        &mut self,
+        relay_step: Option<u32>,
+        pos: &SlotPosition,
+        rng: &mut SimRng,
+    ) -> Action {
+        match pos.phase {
+            PhaseKind::Propagation { step } if Some(step) == relay_step => {
+                // Relay duty: transmit m with probability 1/n; terminate at
+                // the end of the step.
+                if pos.is_phase_end() {
+                    self.status = Status::Done { informed: true };
+                }
+                let send_p = self.send_prob_for(pos, self.probs.informed_send);
+                if rand::Rng::gen_bool(rng, send_p) {
+                    let m = self
+                        .message
+                        .clone()
+                        .expect("informed node always holds the message");
+                    return Action::Send(Payload::Broadcast(m));
+                }
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
+                {
+                    return Action::Send(Payload::Decoy);
+                }
+                Action::Sleep
+            }
+            PhaseKind::Request => {
+                // Informed with no pending duty: the round is over for us.
+                self.status = Status::Done { informed: true };
+                Action::Sleep
+            }
+            _ => {
+                // Waiting for our relay step (or duty-free); decoys only.
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
+                {
+                    return Action::Send(Payload::Decoy);
+                }
+                Action::Sleep
+            }
+        }
+    }
+}
+
+impl NodeProtocol for ReceiverNode {
+    fn act(&mut self, _slot: Slot, rng: &mut SimRng) -> Action {
+        if let Some(round) = self.pending_eval.take() {
+            self.evaluate_request_phase(round);
+            if self.has_terminated() {
+                return Action::Sleep;
+            }
+        }
+        let pos = self.cursor.advance();
+        self.refresh_probs(&pos);
+        self.current = Some(pos);
+
+        match self.status {
+            Status::Uninformed => self.act_uninformed(&pos, rng),
+            Status::Informed { relay_step } => self.act_informed(relay_step, &pos, rng),
+            Status::Done { .. } => Action::Sleep,
+        }
+    }
+
+    fn on_reception(&mut self, _slot: Slot, reception: Reception) {
+        let Some(pos) = self.current else { return };
+        match (&reception, pos.phase) {
+            (Reception::Frame(Payload::Broadcast(signed)), _) => {
+                if matches!(self.status, Status::Uninformed)
+                    && signed.signer() == self.alice_key
+                    && self.verifier.verify_signed(signed)
+                {
+                    // Join the NEXT propagation step's relay set.
+                    let relay_step = match pos.phase {
+                        PhaseKind::Inform => Some(1),
+                        PhaseKind::Propagation { step } => {
+                            let next = step + 1;
+                            if next <= self.params.propagation_steps() {
+                                Some(next)
+                            } else {
+                                None
+                            }
+                        }
+                        PhaseKind::Request => None, // unreachable: no one relays here
+                    };
+                    self.message = Some(signed.clone());
+                    self.status = Status::Informed { relay_step };
+                }
+            }
+            (_, PhaseKind::Request) => {
+                if matches!(self.status, Status::Uninformed) && reception.is_noisy() {
+                    self.noisy_heard += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn has_terminated(&self) -> bool {
+        matches!(self.status, Status::Done { .. })
+    }
+
+    fn is_informed(&self) -> bool {
+        matches!(
+            self.status,
+            Status::Informed { .. } | Status::Done { informed: true }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rcb_auth::{Authority, Payload as Bytes, Signed};
+
+    struct Fixture {
+        node: ReceiverNode,
+        signed: Signed,
+        forged: Signed,
+        params: Params,
+    }
+
+    fn fixture(n: u64, min_term: u32) -> Fixture {
+        let params = Params::builder(n)
+            .min_termination_round(min_term)
+            .build()
+            .unwrap();
+        let mut authority = Authority::new(1);
+        let alice = authority.issue_key();
+        let signed = alice.sign(&Bytes::from_static(b"m"));
+        let forged = signed.with_tampered_payload();
+        let node = ReceiverNode::new(params.clone(), authority.verifier(), alice.id());
+        Fixture {
+            node,
+            signed,
+            forged,
+            params,
+        }
+    }
+
+    #[test]
+    fn verified_message_informs() {
+        let mut fx = fixture(64, 1);
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = fx.node.act(Slot::ZERO, &mut rng); // inform phase, slot 0
+        fx.node
+            .on_reception(Slot::ZERO, Reception::Frame(Payload::Broadcast(fx.signed)));
+        assert!(fx.node.is_informed());
+        assert!(!fx.node.has_terminated());
+    }
+
+    #[test]
+    fn tampered_message_is_rejected() {
+        let mut fx = fixture(64, 1);
+        let mut rng = SimRng::seed_from_u64(2);
+        let _ = fx.node.act(Slot::ZERO, &mut rng);
+        fx.node
+            .on_reception(Slot::ZERO, Reception::Frame(Payload::Broadcast(fx.forged)));
+        assert!(!fx.node.is_informed());
+    }
+
+    #[test]
+    fn garbage_and_nack_frames_do_not_inform() {
+        let mut fx = fixture(64, 1);
+        let mut rng = SimRng::seed_from_u64(3);
+        let _ = fx.node.act(Slot::ZERO, &mut rng);
+        fx.node
+            .on_reception(Slot::ZERO, Reception::Frame(Payload::Garbage(7)));
+        fx.node.on_reception(Slot::ZERO, Reception::Frame(Payload::Nack));
+        fx.node.on_reception(Slot::ZERO, Reception::Noise);
+        assert!(!fx.node.is_informed());
+    }
+
+    #[test]
+    fn informed_node_relays_then_terminates() {
+        let mut fx = fixture(64, 1);
+        let mut rng = SimRng::seed_from_u64(4);
+        let schedule = RoundSchedule::new(&fx.params);
+        // Inform the node in slot 0.
+        let _ = fx.node.act(Slot::ZERO, &mut rng);
+        fx.node
+            .on_reception(Slot::ZERO, Reception::Frame(Payload::Broadcast(fx.signed)));
+        // Drive through the rest of round 1.
+        let mut relayed = 0u64;
+        let mut listened_after_informed = 0u64;
+        for t in 1..schedule.round_len(1) + 1 {
+            match fx.node.act(Slot::new(t), &mut rng) {
+                Action::Send(Payload::Broadcast(_)) => {
+                    relayed += 1;
+                    let pos = schedule.locate(t);
+                    assert_eq!(pos.phase, PhaseKind::Propagation { step: 1 });
+                }
+                Action::Listen => listened_after_informed += 1,
+                _ => {}
+            }
+            if fx.node.has_terminated() {
+                break;
+            }
+        }
+        assert!(fx.node.has_terminated(), "must terminate by request phase");
+        assert!(fx.node.is_informed());
+        assert_eq!(listened_after_informed, 0, "informed nodes never listen");
+        // With phase length 3 at round 1 and p = 1/64, relaying is unlikely
+        // but allowed; just ensure it only happened in the right phase.
+        let _ = relayed;
+    }
+
+    #[test]
+    fn uninformed_node_terminates_after_quiet_request_phase() {
+        let mut fx = fixture(64, 1);
+        let mut rng = SimRng::seed_from_u64(5);
+        let schedule = RoundSchedule::new(&fx.params);
+        let round_len = schedule.round_len(1);
+        for t in 0..=round_len {
+            let a = fx.node.act(Slot::new(t), &mut rng);
+            if matches!(a, Action::Listen) {
+                fx.node.on_reception(Slot::new(t), Reception::Silence);
+            }
+            if fx.node.has_terminated() {
+                break;
+            }
+        }
+        assert!(fx.node.has_terminated());
+        assert!(fx.node.terminated_uninformed());
+        assert!(!fx.node.is_informed());
+    }
+
+    #[test]
+    fn uninformed_node_respects_min_termination_round() {
+        let mut fx = fixture(64, 4);
+        let mut rng = SimRng::seed_from_u64(6);
+        let schedule = RoundSchedule::new(&fx.params);
+        let slots: u64 = (1..=3).map(|i| schedule.round_len(i)).sum();
+        for t in 0..=slots {
+            let a = fx.node.act(Slot::new(t), &mut rng);
+            if matches!(a, Action::Listen) {
+                fx.node.on_reception(Slot::new(t), Reception::Silence);
+            }
+        }
+        assert!(!fx.node.has_terminated(), "must stay active until round 4");
+    }
+
+    #[test]
+    fn noisy_request_phase_keeps_node_active() {
+        // Lemma 7's mechanism: while every listened request slot is noisy,
+        // a node hears well above the 5c·ln n threshold in every round at
+        // or past the default §2.3 termination floor, so it never
+        // terminates uninformed.
+        let params = Params::builder(64).build().unwrap(); // default floor
+        let mut authority = Authority::new(1);
+        let alice = authority.issue_key();
+        let mut node = ReceiverNode::new(params.clone(), authority.verifier(), alice.id());
+        let mut rng = SimRng::seed_from_u64(7);
+        let schedule = RoundSchedule::new(&params);
+        for t in 0..schedule.total_slots() + 2 {
+            let a = node.act(Slot::new(t), &mut rng);
+            if matches!(a, Action::Listen) {
+                node.on_reception(Slot::new(t), Reception::Noise);
+            }
+            assert!(
+                !node.has_terminated(),
+                "terminated at slot {t} (round {}) despite all-noise",
+                schedule.locate(t).round
+            );
+        }
+    }
+
+    #[test]
+    fn node_informed_in_last_step_has_no_relay_duty() {
+        let params = Params::builder(64).k(3).min_termination_round(1).build().unwrap();
+        let mut authority = Authority::new(1);
+        let alice = authority.issue_key();
+        let signed = alice.sign(&Bytes::from_static(b"m"));
+        let mut node = ReceiverNode::new(params.clone(), authority.verifier(), alice.id());
+        let schedule = RoundSchedule::new(&params);
+        let mut rng = SimRng::seed_from_u64(8);
+        // Drive to the last propagation step (step 2 for k=3) of round 1.
+        let mut t = 0u64;
+        loop {
+            let pos = schedule.locate(t);
+            let _ = node.act(Slot::new(t), &mut rng);
+            if pos.phase == (PhaseKind::Propagation { step: 2 }) {
+                node.on_reception(
+                    Slot::new(t),
+                    Reception::Frame(Payload::Broadcast(signed.clone())),
+                );
+                break;
+            }
+            t += 1;
+        }
+        assert!(node.is_informed());
+        // It must not relay (no step 3 exists) and must terminate once the
+        // request phase starts.
+        t += 1;
+        let mut sent = false;
+        while !node.has_terminated() {
+            if matches!(
+                node.act(Slot::new(t), &mut rng),
+                Action::Send(Payload::Broadcast(_))
+            ) {
+                sent = true;
+            }
+            t += 1;
+            assert!(t < schedule.total_slots(), "never terminated");
+        }
+        assert!(!sent, "no relay duty for last-step recruits");
+        assert!(node.is_informed());
+    }
+
+    #[test]
+    fn decoy_hardened_node_sends_decoys() {
+        let params = Params::builder(16)
+            .min_termination_round(1)
+            .decoys(crate::params::DecoyConfig {
+                rate: 8.0, // deliberately large so decoys appear fast
+                listen_boost: 1.0,
+            })
+            .build()
+            .unwrap();
+        let mut authority = Authority::new(1);
+        let alice = authority.issue_key();
+        let mut node = ReceiverNode::new(params, authority.verifier(), alice.id());
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut decoys = 0;
+        for t in 0..200 {
+            if matches!(node.act(Slot::new(t), &mut rng), Action::Send(Payload::Decoy)) {
+                decoys += 1;
+            }
+            if node.has_terminated() {
+                break;
+            }
+        }
+        assert!(decoys > 0, "decoy rate 8/16 must fire within 200 slots");
+    }
+
+    #[test]
+    fn g_loop_send_probability_sweeps_segments() {
+        let params = Params::builder(64)
+            .size_knowledge(SizeKnowledge::PolynomialOverestimate { nu: 4096 })
+            .min_termination_round(1)
+            .build()
+            .unwrap();
+        let mut authority = Authority::new(1);
+        let alice = authority.issue_key();
+        let node = ReceiverNode::new(params, authority.verifier(), alice.id());
+        assert_eq!(node.g_segments, 12); // lg 4096
+        let pos = SlotPosition {
+            round: 5,
+            phase: PhaseKind::Propagation { step: 1 },
+            offset: 0,
+            phase_len: 1200,
+        };
+        // Segment 1 (offset 0): probability 1/2.
+        assert!((node.send_prob_for(&pos, 0.0) - 0.5).abs() < 1e-12);
+        // Last segment: 2^-12.
+        let last = SlotPosition {
+            offset: 1199,
+            ..pos
+        };
+        assert!((node.send_prob_for(&last, 0.0) - 0.5f64.powi(12)).abs() < 1e-15);
+    }
+}

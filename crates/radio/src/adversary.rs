@@ -1,0 +1,169 @@
+//! The adversary interface: adaptive by default, optionally reactive.
+//!
+//! Carol is a single logical adversary controlling her own device and all
+//! Byzantine devices; the engine talks to her through this trait. Her
+//! information model follows §1.1:
+//!
+//! * **adaptive** — [`Adversary::observe`] hands her complete information
+//!   about every past slot: who sent what, who listened, what the channel
+//!   resolution was. She never sees the *current* slot's actions before
+//!   committing… unless she is
+//! * **reactive** — then [`Adversary::react`] is additionally called after
+//!   the correct devices' actions are fixed, with the RSSI bit (is anyone
+//!   transmitting right now?) but **not** message content. This is the
+//!   CCA/RSSI capability of §4.1: "while RSSI enables Carol to detect
+//!   channel activity, it provides no information about the transmitted
+//!   content."
+
+use crate::channel::JamDirective;
+use crate::message::{Payload, PayloadKind};
+use crate::participant::ParticipantId;
+use crate::slot::Slot;
+
+/// What Carol decides to do in one slot.
+#[derive(Debug, Clone, Default)]
+pub struct AdversaryMove {
+    /// Jamming decision. Anything but [`JamDirective::None`] costs one unit
+    /// (if the pool is broke, the jam fizzles and the engine records it).
+    pub jam: JamDirective,
+    /// Frames transmitted by Byzantine devices this slot (spoofed nacks,
+    /// garbage, replayed `m`, …). Each costs one unit; frames beyond the
+    /// remaining budget are dropped.
+    pub sends: Vec<Payload>,
+}
+
+impl AdversaryMove {
+    /// A move that does nothing.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self::default()
+    }
+
+    /// A move that jams every listener.
+    #[must_use]
+    pub fn jam_all() -> Self {
+        Self {
+            jam: JamDirective::All,
+            sends: Vec::new(),
+        }
+    }
+}
+
+/// What Carol learns about a slot after it resolves (full information).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotObservation<'a> {
+    /// Which correct participants transmitted, and what kind of frame.
+    pub correct_sends: &'a [(ParticipantId, PayloadKind)],
+    /// Which correct participants listened.
+    pub listeners: &'a [ParticipantId],
+    /// Whether her jam directive actually took effect (budget permitting).
+    pub jam_executed: bool,
+}
+
+/// Budget context handed to the adversary when planning.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryCtx {
+    /// Units remaining in Carol's pool (`None` = unlimited).
+    pub budget_remaining: Option<u64>,
+    /// Units spent so far.
+    pub spent: u64,
+}
+
+impl AdversaryCtx {
+    /// Whether at least `units` more can be spent.
+    #[must_use]
+    pub fn can_afford(&self, units: u64) -> bool {
+        match self.budget_remaining {
+            None => true,
+            Some(rem) => rem >= units,
+        }
+    }
+}
+
+/// Carol's strategy interface.
+///
+/// Implementations live in `rcb-adversary`; the engine only needs these
+/// hooks. All methods have sensible defaults except [`plan`](Self::plan),
+/// so a passive adversary is one line (see [`SilentAdversary`]).
+pub trait Adversary {
+    /// Decides this slot's move *before* seeing any current-slot activity.
+    fn plan(&mut self, slot: Slot, ctx: &AdversaryCtx) -> AdversaryMove;
+
+    /// Reactive override: called only when [`is_reactive`](Self::is_reactive)
+    /// is true, after correct actions are committed. `activity` is the RSSI
+    /// bit — “is at least one correct device transmitting right now?”.
+    /// Returns the final move (default: keep the planned one).
+    fn react(&mut self, slot: Slot, activity: bool, planned: AdversaryMove) -> AdversaryMove {
+        let _ = (slot, activity);
+        planned
+    }
+
+    /// Whether this adversary gets the in-slot RSSI callback.
+    fn is_reactive(&self) -> bool {
+        false
+    }
+
+    /// Full-information feedback after the slot resolves (adaptive power).
+    fn observe(&mut self, slot: Slot, observation: &SlotObservation<'_>) {
+        let _ = (slot, observation);
+    }
+}
+
+/// An adversary that never acts. Useful as the no-attack baseline and in
+/// tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentAdversary;
+
+impl Adversary for SilentAdversary {
+    fn plan(&mut self, _slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        AdversaryMove::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_move_is_free() {
+        let mv = AdversaryMove::idle();
+        assert!(!mv.jam.is_active());
+        assert!(mv.sends.is_empty());
+    }
+
+    #[test]
+    fn jam_all_move() {
+        let mv = AdversaryMove::jam_all();
+        assert!(mv.jam.is_active());
+    }
+
+    #[test]
+    fn ctx_affordability() {
+        let unlimited = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        assert!(unlimited.can_afford(u64::MAX));
+        let tight = AdversaryCtx {
+            budget_remaining: Some(2),
+            spent: 98,
+        };
+        assert!(tight.can_afford(2));
+        assert!(!tight.can_afford(3));
+    }
+
+    #[test]
+    fn silent_adversary_defaults() {
+        let mut carol = SilentAdversary;
+        assert!(!carol.is_reactive());
+        let ctx = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        let mv = carol.plan(Slot::ZERO, &ctx);
+        assert!(!mv.jam.is_active());
+        // Default react keeps the planned move.
+        let kept = carol.react(Slot::ZERO, true, AdversaryMove::jam_all());
+        assert!(kept.jam.is_active());
+    }
+}

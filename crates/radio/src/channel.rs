@@ -1,0 +1,255 @@
+//! Channel resolution: who hears what, under n-uniform jamming.
+
+use std::fmt;
+
+use crate::message::Payload;
+use crate::participant::{ParticipantId, Reception};
+
+/// A set of participant ids, kept sorted for `O(log n)` membership tests.
+///
+/// Used to express jam targeting. Construction from an arbitrary iterator
+/// deduplicates.
+///
+/// # Example
+///
+/// ```
+/// use rcb_radio::{IdSet, ParticipantId};
+/// let set: IdSet = [3u32, 1, 3].into_iter().map(ParticipantId::new).collect();
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(ParticipantId::new(1)));
+/// assert!(!set.contains(ParticipantId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IdSet {
+    sorted: Vec<ParticipantId>,
+}
+
+impl IdSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ids in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, id: ParticipantId) -> bool {
+        self.sorted.binary_search(&id).is_ok()
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ParticipantId> + '_ {
+        self.sorted.iter().copied()
+    }
+}
+
+impl FromIterator<ParticipantId> for IdSet {
+    fn from_iter<I: IntoIterator<Item = ParticipantId>>(iter: I) -> Self {
+        let mut sorted: Vec<ParticipantId> = iter.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self { sorted }
+    }
+}
+
+impl Extend<ParticipantId> for IdSet {
+    fn extend<I: IntoIterator<Item = ParticipantId>>(&mut self, iter: I) {
+        self.sorted.extend(iter);
+        self.sorted.sort_unstable();
+        self.sorted.dedup();
+    }
+}
+
+/// Carol's per-slot jamming decision, with n-uniform targeting.
+///
+/// Any directive other than [`JamDirective::None`] costs one energy unit
+/// from Carol's pooled budget — the *choice* of targets is free (she
+/// partitions receivers, §1.1), the *transmission* is what costs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum JamDirective {
+    /// Do not jam.
+    #[default]
+    None,
+    /// Every listener hears noise (the 1-uniform special case).
+    All,
+    /// Jam all listeners *except* the given ids — the n-uniform power used
+    /// by the ε-extraction attack: Carol blocks a propagation phase while
+    /// letting a hand-picked subset become informed (§2.3).
+    AllExcept(IdSet),
+    /// Jam only the given ids.
+    Only(IdSet),
+}
+
+impl JamDirective {
+    /// Whether this directive jams anything at all (and therefore costs).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(self, JamDirective::None)
+    }
+
+    /// Whether a particular listener is jammed under this directive.
+    #[must_use]
+    pub fn jams(&self, listener: ParticipantId) -> bool {
+        match self {
+            JamDirective::None => false,
+            JamDirective::All => true,
+            JamDirective::AllExcept(spared) => !spared.contains(listener),
+            JamDirective::Only(targets) => targets.contains(listener),
+        }
+    }
+}
+
+impl fmt::Display for JamDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JamDirective::None => write!(f, "no-jam"),
+            JamDirective::All => write!(f, "jam-all"),
+            JamDirective::AllExcept(s) => write!(f, "jam-all-except({})", s.len()),
+            JamDirective::Only(s) => write!(f, "jam-only({})", s.len()),
+        }
+    }
+}
+
+/// Resolves what one listener hears, given this slot's transmissions and
+/// the jam directive.
+///
+/// Implements the §1.1 semantics:
+///
+/// * jammed for this listener → [`Reception::Noise`] (data discarded);
+/// * 0 transmissions, not jammed → [`Reception::Silence`] (silence is
+///   unforgeable — note jamming *adds* noise, so a jammed-but-quiet slot is
+///   noise, never fake silence; what cannot happen is an *active* slot
+///   sounding silent);
+/// * exactly 1 transmission → the frame is delivered;
+/// * ≥ 2 transmissions → collision noise.
+#[must_use]
+pub fn resolve_for_listener(
+    listener: ParticipantId,
+    transmissions: &[Payload],
+    jam: &JamDirective,
+) -> Reception {
+    if jam.jams(listener) {
+        return Reception::Noise;
+    }
+    match transmissions {
+        [] => Reception::Silence,
+        [only] => Reception::Frame(only.clone()),
+        _ => Reception::Noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ParticipantId {
+        ParticipantId::new(i)
+    }
+
+    #[test]
+    fn idset_dedup_and_membership() {
+        let set: IdSet = [5u32, 1, 5, 9].into_iter().map(pid).collect();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(pid(5)));
+        assert!(!set.contains(pid(2)));
+        assert_eq!(
+            set.iter().map(ParticipantId::index).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+    }
+
+    #[test]
+    fn idset_extend() {
+        let mut set: IdSet = [1u32].into_iter().map(pid).collect();
+        set.extend([pid(3), pid(1)]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn silence_when_quiet_and_unjammed() {
+        assert_eq!(
+            resolve_for_listener(pid(0), &[], &JamDirective::None),
+            Reception::Silence
+        );
+    }
+
+    #[test]
+    fn single_transmission_delivers() {
+        let r = resolve_for_listener(pid(0), &[Payload::Nack], &JamDirective::None);
+        assert_eq!(r, Reception::Frame(Payload::Nack));
+    }
+
+    #[test]
+    fn collision_is_noise() {
+        let r = resolve_for_listener(
+            pid(0),
+            &[Payload::Nack, Payload::Decoy],
+            &JamDirective::None,
+        );
+        assert_eq!(r, Reception::Noise);
+    }
+
+    #[test]
+    fn jam_all_hits_everyone() {
+        for i in 0..5 {
+            assert_eq!(
+                resolve_for_listener(pid(i), &[Payload::Nack], &JamDirective::All),
+                Reception::Noise
+            );
+        }
+    }
+
+    #[test]
+    fn jamming_quiet_slot_is_noise_not_silence() {
+        // Carol cannot forge silence — but jamming an otherwise silent slot
+        // makes it *noisy*, which is allowed (she adds activity).
+        assert_eq!(
+            resolve_for_listener(pid(0), &[], &JamDirective::All),
+            Reception::Noise
+        );
+    }
+
+    #[test]
+    fn n_uniform_all_except_spares_chosen_listeners() {
+        let spared: IdSet = [2u32, 4].into_iter().map(pid).collect();
+        let jam = JamDirective::AllExcept(spared);
+        let tx = [Payload::Nack];
+        assert_eq!(
+            resolve_for_listener(pid(2), &tx, &jam),
+            Reception::Frame(Payload::Nack)
+        );
+        assert_eq!(resolve_for_listener(pid(3), &tx, &jam), Reception::Noise);
+    }
+
+    #[test]
+    fn n_uniform_only_targets_chosen_listeners() {
+        let targets: IdSet = [7u32].into_iter().map(pid).collect();
+        let jam = JamDirective::Only(targets);
+        let tx = [Payload::Decoy];
+        assert_eq!(resolve_for_listener(pid(7), &tx, &jam), Reception::Noise);
+        assert_eq!(
+            resolve_for_listener(pid(8), &tx, &jam),
+            Reception::Frame(Payload::Decoy)
+        );
+    }
+
+    #[test]
+    fn directive_activity_and_display() {
+        assert!(!JamDirective::None.is_active());
+        assert!(JamDirective::All.is_active());
+        assert_eq!(JamDirective::None.to_string(), "no-jam");
+        assert_eq!(JamDirective::All.to_string(), "jam-all");
+    }
+}

@@ -1,0 +1,349 @@
+//! Energy accounting: budgets, meters, and the ledger.
+//!
+//! Energy is *the* resource in resource-competitive analysis: the paper's
+//! guarantees are statements about how much each side spends. The ledger
+//! enforces budgets strictly — a correct node whose budget is exhausted
+//! sleeps (the engine notifies its protocol), and a broke Carol's jam
+//! directives fizzle, which is precisely how the protocol eventually
+//! reaches an unblockable round (Lemma 11).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An energy budget: a cap on total units spendable, or unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget(Option<u64>);
+
+impl Budget {
+    /// A budget of `units`.
+    #[must_use]
+    pub const fn limited(units: u64) -> Self {
+        Budget(Some(units))
+    }
+
+    /// No cap.
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Budget(None)
+    }
+
+    /// The cap, if any.
+    #[must_use]
+    pub const fn cap(self) -> Option<u64> {
+        self.0
+    }
+
+    /// Whether `spent + 1` would exceed this budget.
+    #[must_use]
+    pub fn allows(self, spent: u64) -> bool {
+        match self.0 {
+            None => true,
+            Some(cap) => spent < cap,
+        }
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => write!(f, "∞"),
+            Some(cap) => write!(f, "{cap}"),
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+/// The chargeable operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Transmitting a frame.
+    Send,
+    /// Receiving for one slot.
+    Listen,
+    /// Jamming one slot (adversary only).
+    Jam,
+}
+
+/// Result of a charge attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChargeOutcome {
+    /// The unit was charged.
+    Charged,
+    /// The budget is exhausted; the operation must not take effect.
+    Refused,
+}
+
+impl ChargeOutcome {
+    /// Whether the charge went through.
+    #[must_use]
+    pub fn is_charged(self) -> bool {
+        matches!(self, ChargeOutcome::Charged)
+    }
+}
+
+/// Per-participant spend, broken down by operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Units spent transmitting.
+    pub sends: u64,
+    /// Units spent listening.
+    pub listens: u64,
+    /// Units spent jamming (zero for correct participants).
+    pub jams: u64,
+}
+
+impl CostBreakdown {
+    /// Total units spent.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.sends + self.listens + self.jams
+    }
+
+    /// Adds another breakdown (for pooling Byzantine devices).
+    pub fn absorb(&mut self, other: &CostBreakdown) {
+        self.sends += other.sends;
+        self.listens += other.listens;
+        self.jams += other.jams;
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} units (send {}, listen {}, jam {})",
+            self.total(),
+            self.sends,
+            self.listens,
+            self.jams
+        )
+    }
+}
+
+/// A single participant's meter: budget plus running breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+struct Meter {
+    budget: Budget,
+    spent: CostBreakdown,
+    refusals: u64,
+}
+
+impl Meter {
+    fn try_charge(&mut self, op: Op) -> ChargeOutcome {
+        if !self.budget.allows(self.spent.total()) {
+            self.refusals += 1;
+            return ChargeOutcome::Refused;
+        }
+        match op {
+            Op::Send => self.spent.sends += 1,
+            Op::Listen => self.spent.listens += 1,
+            Op::Jam => self.spent.jams += 1,
+        }
+        ChargeOutcome::Charged
+    }
+}
+
+/// The simulation's energy ledger: one meter per correct participant plus
+/// Carol's pooled meter.
+///
+/// # Example
+///
+/// ```
+/// use rcb_radio::{Budget, EnergyLedger, Op, ParticipantId};
+///
+/// let mut ledger = EnergyLedger::new(vec![Budget::limited(2)], Budget::limited(1));
+/// let p = ParticipantId::new(0);
+/// assert!(ledger.charge_participant(p, Op::Listen).is_charged());
+/// assert!(ledger.charge_participant(p, Op::Send).is_charged());
+/// assert!(!ledger.charge_participant(p, Op::Send).is_charged()); // broke
+/// assert!(ledger.charge_carol(Op::Jam).is_charged());
+/// assert!(!ledger.charge_carol(Op::Jam).is_charged()); // Carol broke too
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyLedger {
+    participants: Vec<Meter>,
+    carol: Meter,
+}
+
+impl EnergyLedger {
+    /// Creates a ledger with the given per-participant budgets and Carol's
+    /// pooled budget.
+    #[must_use]
+    pub fn new(participant_budgets: Vec<Budget>, carol_budget: Budget) -> Self {
+        Self {
+            participants: participant_budgets
+                .into_iter()
+                .map(|budget| Meter {
+                    budget,
+                    ..Meter::default()
+                })
+                .collect(),
+            carol: Meter {
+                budget: carol_budget,
+                ..Meter::default()
+            },
+        }
+    }
+
+    /// Number of correct participants tracked.
+    #[must_use]
+    pub fn participant_count(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Attempts to charge one unit to a correct participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this ledger.
+    pub fn charge_participant(&mut self, id: impl ParticipantIdLike, op: Op) -> ChargeOutcome {
+        let idx = id.into_index();
+        self.participants[idx].try_charge(op)
+    }
+
+    /// Attempts to charge one unit to Carol's pool.
+    pub fn charge_carol(&mut self, op: Op) -> ChargeOutcome {
+        self.carol.try_charge(op)
+    }
+
+    /// A participant's spend so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn participant_spend(&self, id: impl ParticipantIdLike) -> CostBreakdown {
+        self.participants[id.into_index()].spent
+    }
+
+    /// How many operations a participant had refused for lack of budget.
+    #[must_use]
+    pub fn participant_refusals(&self, id: impl ParticipantIdLike) -> u64 {
+        self.participants[id.into_index()].refusals
+    }
+
+    /// Carol's pooled spend so far.
+    #[must_use]
+    pub fn carol_spend(&self) -> CostBreakdown {
+        self.carol.spent
+    }
+
+    /// Carol's remaining budget, if capped.
+    #[must_use]
+    pub fn carol_remaining(&self) -> Option<u64> {
+        self.carol
+            .budget
+            .cap()
+            .map(|cap| cap.saturating_sub(self.carol.spent.total()))
+    }
+
+    /// Snapshot of every participant's spend.
+    #[must_use]
+    pub fn all_participant_spend(&self) -> Vec<CostBreakdown> {
+        self.participants.iter().map(|m| m.spent).collect()
+    }
+}
+
+/// Anything convertible to a roster index (lets the ledger be used with
+/// either raw indices or [`crate::ParticipantId`]).
+pub trait ParticipantIdLike: Copy {
+    /// The roster index.
+    fn into_index(self) -> usize;
+}
+
+impl ParticipantIdLike for usize {
+    fn into_index(self) -> usize {
+        self
+    }
+}
+
+impl ParticipantIdLike for crate::participant::ParticipantId {
+    fn into_index(self) -> usize {
+        self.index() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::ParticipantId;
+
+    #[test]
+    fn budget_semantics() {
+        assert!(Budget::unlimited().allows(u64::MAX - 1));
+        assert!(Budget::limited(3).allows(2));
+        assert!(!Budget::limited(3).allows(3));
+        assert_eq!(Budget::limited(3).cap(), Some(3));
+        assert_eq!(Budget::unlimited().to_string(), "∞");
+        assert_eq!(Budget::limited(5).to_string(), "5");
+    }
+
+    #[test]
+    fn breakdown_totals_and_absorb() {
+        let mut a = CostBreakdown {
+            sends: 1,
+            listens: 2,
+            jams: 0,
+        };
+        let b = CostBreakdown {
+            sends: 0,
+            listens: 5,
+            jams: 7,
+        };
+        a.absorb(&b);
+        assert_eq!(a.total(), 15);
+        assert_eq!(a.listens, 7);
+        assert_eq!(a.jams, 7);
+    }
+
+    #[test]
+    fn ledger_enforces_participant_budget() {
+        let mut ledger = EnergyLedger::new(vec![Budget::limited(2)], Budget::unlimited());
+        let p = ParticipantId::new(0);
+        assert!(ledger.charge_participant(p, Op::Listen).is_charged());
+        assert!(ledger.charge_participant(p, Op::Listen).is_charged());
+        assert!(!ledger.charge_participant(p, Op::Listen).is_charged());
+        assert_eq!(ledger.participant_spend(p).total(), 2);
+        assert_eq!(ledger.participant_refusals(p), 1);
+    }
+
+    #[test]
+    fn ledger_enforces_carol_budget() {
+        let mut ledger = EnergyLedger::new(vec![], Budget::limited(2));
+        assert!(ledger.charge_carol(Op::Jam).is_charged());
+        assert_eq!(ledger.carol_remaining(), Some(1));
+        assert!(ledger.charge_carol(Op::Send).is_charged());
+        assert!(!ledger.charge_carol(Op::Jam).is_charged());
+        assert_eq!(ledger.carol_spend().total(), 2);
+        assert_eq!(ledger.carol_spend().jams, 1);
+        assert_eq!(ledger.carol_spend().sends, 1);
+        assert_eq!(ledger.carol_remaining(), Some(0));
+    }
+
+    #[test]
+    fn unlimited_budget_never_refuses() {
+        let mut ledger = EnergyLedger::new(vec![Budget::unlimited()], Budget::unlimited());
+        for _ in 0..10_000 {
+            assert!(ledger.charge_participant(0usize, Op::Send).is_charged());
+        }
+        assert_eq!(ledger.participant_spend(0usize).sends, 10_000);
+    }
+
+    #[test]
+    fn independent_meters() {
+        let mut ledger = EnergyLedger::new(
+            vec![Budget::limited(1), Budget::limited(1)],
+            Budget::unlimited(),
+        );
+        assert!(ledger.charge_participant(0usize, Op::Send).is_charged());
+        // Participant 0 being broke must not affect participant 1.
+        assert!(!ledger.charge_participant(0usize, Op::Send).is_charged());
+        assert!(ledger.charge_participant(1usize, Op::Send).is_charged());
+    }
+}

@@ -1,0 +1,620 @@
+//! The exact per-node slot engine — ground truth for the whole workspace.
+//!
+//! Every participant's protocol state machine is driven slot-by-slot; the
+//! channel is resolved per listener (n-uniform semantics); every radio
+//! operation is charged against the [`EnergyLedger`]. The faster
+//! phase-level simulator in `rcb-core` is statistically cross-validated
+//! against this engine.
+
+use rcb_rng::{SeedTree, SimRng};
+
+use crate::adversary::{Adversary, AdversaryCtx, SlotObservation};
+use crate::channel::{resolve_for_listener, JamDirective};
+use crate::energy::{Budget, CostBreakdown, EnergyLedger, Op};
+use crate::message::{Payload, PayloadKind};
+use crate::participant::{Action, NodeProtocol, ParticipantId, Reception};
+use crate::slot::Slot;
+use crate::trace::{SlotRecord, Trace};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hard stop after this many slots (protects against non-terminating
+    /// protocols; the ε-BROADCAST cap is `O(n^{1+1/k})` so orchestration
+    /// sets this comfortably above the final round).
+    pub max_slots: u64,
+    /// Retain at most this many slot records (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Stop as soon as every participant reports
+    /// [`has_terminated`](NodeProtocol::has_terminated).
+    pub stop_when_all_terminated: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_slots: 10_000_000,
+            trace_capacity: 0,
+            stop_when_all_terminated: true,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every participant terminated its protocol.
+    AllTerminated,
+    /// The [`EngineConfig::max_slots`] cap was reached first.
+    SlotCapReached,
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of slots simulated.
+    pub slots_elapsed: u64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Per-participant spend (index-aligned with the roster).
+    pub participant_costs: Vec<CostBreakdown>,
+    /// Per-participant count of operations refused for lack of budget.
+    pub participant_refusals: Vec<u64>,
+    /// Carol's pooled spend.
+    pub carol_cost: CostBreakdown,
+    /// Per-participant informed flags at the end of the run.
+    pub informed: Vec<bool>,
+    /// Per-participant terminated flags at the end of the run.
+    pub terminated: Vec<bool>,
+    /// Slots in which Carol's jam executed.
+    pub jammed_slots: u64,
+    /// Slots containing at least one transmission or an executed jam.
+    pub noisy_slots: u64,
+    /// Optional slot trace (empty if tracing was disabled).
+    pub trace: Trace,
+}
+
+impl RunReport {
+    /// Number of participants that ended the run informed.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of participants that ended the run terminated.
+    #[must_use]
+    pub fn terminated_count(&self) -> usize {
+        self.terminated.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether every participant is either informed or (at least)
+    /// terminated — the doc-example convenience.
+    #[must_use]
+    pub fn all_terminated_or_informed(&self) -> bool {
+        self.informed
+            .iter()
+            .zip(&self.terminated)
+            .all(|(&i, &t)| i || t)
+    }
+
+    /// The maximum total spend across participants (load-balance metric).
+    #[must_use]
+    pub fn max_participant_cost(&self) -> u64 {
+        self.participant_costs
+            .iter()
+            .map(CostBreakdown::total)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The exact slot-by-slot engine.
+///
+/// See the [crate docs](crate) for a runnable example.
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    config: EngineConfig,
+}
+
+impl ExactEngine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs a roster of participants against an adversary.
+    ///
+    /// `budgets` must be index-aligned with `participants`; each
+    /// participant's RNG stream is derived from `seeds` as
+    /// `("participant", index)`, so runs are exactly reproducible from the
+    /// master seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` and `budgets` lengths differ.
+    pub fn run(
+        &self,
+        mut participants: Vec<Box<dyn NodeProtocol>>,
+        budgets: Vec<Budget>,
+        adversary: &mut dyn Adversary,
+        seeds: &SeedTree,
+    ) -> RunReport {
+        self.run_with_carol_budget(
+            &mut participants,
+            budgets,
+            Budget::unlimited(),
+            adversary,
+            seeds,
+        )
+    }
+
+    /// Like [`run`](Self::run) but with a cap on Carol's pooled budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` and `budgets` lengths differ.
+    pub fn run_with_carol_budget(
+        &self,
+        participants: &mut [Box<dyn NodeProtocol>],
+        budgets: Vec<Budget>,
+        carol_budget: Budget,
+        adversary: &mut dyn Adversary,
+        seeds: &SeedTree,
+    ) -> RunReport {
+        assert_eq!(
+            participants.len(),
+            budgets.len(),
+            "one budget per participant required"
+        );
+        let n = participants.len();
+        let mut ledger = EnergyLedger::new(budgets, carol_budget);
+        let mut rngs: Vec<SimRng> = (0..n)
+            .map(|i| seeds.stream("participant", i as u64))
+            .collect();
+        let mut trace = Trace::with_capacity(self.config.trace_capacity);
+
+        // Scratch buffers reused across slots.
+        let mut transmissions: Vec<Payload> = Vec::new();
+        let mut correct_sends: Vec<(ParticipantId, PayloadKind)> = Vec::new();
+        let mut listeners: Vec<ParticipantId> = Vec::new();
+
+        let mut jammed_slots = 0u64;
+        let mut noisy_slots = 0u64;
+        let mut slot = Slot::ZERO;
+        let stop_reason = loop {
+            if slot.index() >= self.config.max_slots {
+                break StopReason::SlotCapReached;
+            }
+            if self.config.stop_when_all_terminated
+                && participants.iter().all(|p| p.has_terminated())
+            {
+                break StopReason::AllTerminated;
+            }
+
+            transmissions.clear();
+            correct_sends.clear();
+            listeners.clear();
+
+            // 1. Correct participants commit their actions.
+            for (i, participant) in participants.iter_mut().enumerate() {
+                if participant.has_terminated() {
+                    continue;
+                }
+                let id = ParticipantId::new(i as u32);
+                match participant.act(slot, &mut rngs[i]) {
+                    Action::Sleep => {}
+                    Action::Send(payload) => {
+                        if ledger.charge_participant(id, Op::Send).is_charged() {
+                            correct_sends.push((id, payload.kind()));
+                            transmissions.push(payload);
+                        } else {
+                            participant.on_budget_exhausted(slot);
+                        }
+                    }
+                    Action::Listen => {
+                        if ledger.charge_participant(id, Op::Listen).is_charged() {
+                            listeners.push(id);
+                        } else {
+                            participant.on_budget_exhausted(slot);
+                        }
+                    }
+                }
+            }
+
+            // 2. Carol plans; reactive Carol additionally sees the RSSI bit.
+            let ctx = AdversaryCtx {
+                budget_remaining: ledger.carol_remaining(),
+                spent: ledger.carol_spend().total(),
+            };
+            let mut mv = adversary.plan(slot, &ctx);
+            if adversary.is_reactive() {
+                let activity = !transmissions.is_empty();
+                mv = adversary.react(slot, activity, mv);
+            }
+
+            // 3. Charge Carol: Byzantine sends first, then the jam.
+            for payload in mv.sends {
+                if ledger.charge_carol(Op::Send).is_charged() {
+                    transmissions.push(payload);
+                } // beyond budget: the frame never airs
+            }
+            let jam = if mv.jam.is_active() {
+                if ledger.charge_carol(Op::Jam).is_charged() {
+                    mv.jam
+                } else {
+                    JamDirective::None // broke: the jam fizzles
+                }
+            } else {
+                JamDirective::None
+            };
+            let jam_executed = jam.is_active();
+            if jam_executed {
+                jammed_slots += 1;
+            }
+            if jam_executed || !transmissions.is_empty() {
+                noisy_slots += 1;
+            }
+
+            // 4. Resolve the channel per listener (n-uniform semantics).
+            let mut delivered = 0u32;
+            for &listener in &listeners {
+                let reception = resolve_for_listener(listener, &transmissions, &jam);
+                if matches!(reception, Reception::Frame(_)) {
+                    delivered += 1;
+                }
+                participants[listener.index() as usize].on_reception(slot, reception);
+            }
+
+            // 5. Full-information feedback to the adaptive adversary.
+            adversary.observe(
+                slot,
+                &SlotObservation {
+                    correct_sends: &correct_sends,
+                    listeners: &listeners,
+                    jam_executed,
+                },
+            );
+
+            if self.config.trace_capacity > 0 {
+                trace.push(SlotRecord {
+                    slot: slot.index(),
+                    transmissions: transmissions.len().min(u16::MAX as usize) as u16,
+                    jammed: jam_executed,
+                    listeners: listeners.len() as u32,
+                    delivered,
+                });
+            }
+
+            slot = slot.next();
+        };
+
+        RunReport {
+            slots_elapsed: slot.index(),
+            stop_reason,
+            participant_costs: ledger.all_participant_spend(),
+            participant_refusals: (0..n).map(|i| ledger.participant_refusals(i)).collect(),
+            carol_cost: ledger.carol_spend(),
+            informed: participants.iter().map(|p| p.is_informed()).collect(),
+            terminated: participants.iter().map(|p| p.has_terminated()).collect(),
+            jammed_slots,
+            noisy_slots,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryMove, SilentAdversary};
+    use crate::channel::IdSet;
+
+    /// Sends `payload` every slot, forever.
+    struct Chatter(Payload);
+    impl NodeProtocol for Chatter {
+        fn act(&mut self, _: Slot, _: &mut SimRng) -> Action {
+            Action::Send(self.0.clone())
+        }
+        fn on_reception(&mut self, _: Slot, _: Reception) {}
+        fn has_terminated(&self) -> bool {
+            false
+        }
+        fn is_informed(&self) -> bool {
+            true
+        }
+    }
+
+    /// Listens every slot, records everything heard, terminates on a frame.
+    #[derive(Default)]
+    struct Recorder {
+        heard: Vec<Reception>,
+        got_frame: bool,
+    }
+    impl NodeProtocol for Recorder {
+        fn act(&mut self, _: Slot, _: &mut SimRng) -> Action {
+            if self.got_frame {
+                Action::Sleep
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_reception(&mut self, _: Slot, r: Reception) {
+            if matches!(r, Reception::Frame(_)) {
+                self.got_frame = true;
+            }
+            self.heard.push(r);
+        }
+        fn has_terminated(&self) -> bool {
+            self.got_frame
+        }
+        fn is_informed(&self) -> bool {
+            self.got_frame
+        }
+    }
+
+    fn cfg(max_slots: u64) -> EngineConfig {
+        EngineConfig {
+            max_slots,
+            trace_capacity: 1024,
+            stop_when_all_terminated: true,
+        }
+    }
+
+    #[test]
+    fn single_sender_single_listener_delivers_immediately() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let report = ExactEngine::new(cfg(100)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut SilentAdversary,
+            &SeedTree::new(1),
+        );
+        // The recorder terminates after slot 0; the chatter never does, so
+        // the run hits the cap — but the recorder is informed.
+        assert_eq!(report.stop_reason, StopReason::SlotCapReached);
+        assert!(report.informed[1]);
+        assert_eq!(report.participant_costs[1].listens, 1);
+        assert_eq!(report.noisy_slots, 100);
+    }
+
+    #[test]
+    fn collision_of_two_senders_is_noise() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Chatter(Payload::Decoy)),
+            Box::new(Recorder::default()),
+        ];
+        let report = ExactEngine::new(cfg(10)).run(
+            participants,
+            vec![Budget::unlimited(); 3],
+            &mut SilentAdversary,
+            &SeedTree::new(2),
+        );
+        assert!(!report.informed[2], "collisions must never deliver");
+        assert_eq!(report.participant_costs[2].listens, 10);
+    }
+
+    #[test]
+    fn silence_reaches_idle_channel_listener() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![Box::new(Recorder::default())];
+        let report = ExactEngine::new(cfg(5)).run(
+            participants,
+            vec![Budget::unlimited()],
+            &mut SilentAdversary,
+            &SeedTree::new(3),
+        );
+        assert_eq!(report.noisy_slots, 0);
+        assert!(!report.informed[0]);
+    }
+
+    /// Jams everything, forever.
+    struct JamAllCarol;
+    impl Adversary for JamAllCarol {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove::jam_all()
+        }
+    }
+
+    #[test]
+    fn jamming_blocks_delivery_and_is_charged() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let mut carol = JamAllCarol;
+        let report = ExactEngine::new(cfg(50)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut carol,
+            &SeedTree::new(4),
+        );
+        assert!(!report.informed[1]);
+        assert_eq!(report.jammed_slots, 50);
+        assert_eq!(report.carol_cost.jams, 50);
+    }
+
+    #[test]
+    fn broke_carol_jams_fizzle() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let mut carol = JamAllCarol;
+        let mut roster = participants;
+        let report = ExactEngine::new(cfg(50)).run_with_carol_budget(
+            &mut roster,
+            vec![Budget::unlimited(); 2],
+            Budget::limited(3),
+            &mut carol,
+            &SeedTree::new(5),
+        );
+        // Exactly 3 jams execute, then the listener receives in slot 3.
+        assert_eq!(report.carol_cost.jams, 3);
+        assert_eq!(report.jammed_slots, 3);
+        assert!(report.informed[1]);
+        assert_eq!(report.participant_costs[1].listens, 4);
+    }
+
+    /// Carol spares one chosen listener while jamming everyone else.
+    struct NUniformCarol {
+        spare: ParticipantId,
+    }
+    impl Adversary for NUniformCarol {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove {
+                jam: JamDirective::AllExcept([self.spare].into_iter().collect::<IdSet>()),
+                sends: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn n_uniform_jamming_informs_only_the_spared_listener() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+            Box::new(Recorder::default()),
+        ];
+        let mut carol = NUniformCarol {
+            spare: ParticipantId::new(1),
+        };
+        let report = ExactEngine::new(cfg(20)).run(
+            participants,
+            vec![Budget::unlimited(); 3],
+            &mut carol,
+            &SeedTree::new(6),
+        );
+        assert!(report.informed[1], "spared listener must receive");
+        assert!(!report.informed[2], "jammed listener must not receive");
+    }
+
+    #[test]
+    fn participant_budget_exhaustion_silences_it() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let mut roster = participants;
+        let report = ExactEngine::new(cfg(10)).run_with_carol_budget(
+            &mut roster,
+            vec![Budget::limited(4), Budget::unlimited()],
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            &SeedTree::new(7),
+        );
+        assert_eq!(report.participant_costs[0].sends, 4);
+        assert_eq!(report.participant_refusals[0], 6);
+        // After the sender goes broke the channel falls silent.
+        assert_eq!(report.noisy_slots, 4);
+    }
+
+    #[test]
+    fn byzantine_sends_collide_with_correct_traffic() {
+        struct NackSpammer;
+        impl Adversary for NackSpammer {
+            fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+                AdversaryMove {
+                    jam: JamDirective::None,
+                    sends: vec![Payload::Garbage(0)],
+                }
+            }
+        }
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let mut carol = NackSpammer;
+        let report = ExactEngine::new(cfg(10)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut carol,
+            &SeedTree::new(8),
+        );
+        assert!(!report.informed[1], "constant collisions block delivery");
+        assert_eq!(report.carol_cost.sends, 10);
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_equal_seeds() {
+        fn run_once(seed: u64) -> RunReport {
+            let participants: Vec<Box<dyn NodeProtocol>> = vec![
+                Box::new(Chatter(Payload::Nack)),
+                Box::new(Recorder::default()),
+                Box::new(Recorder::default()),
+            ];
+            ExactEngine::new(cfg(30)).run(
+                participants,
+                vec![Budget::unlimited(); 3],
+                &mut JamAllCarol,
+                &SeedTree::new(seed),
+            )
+        }
+        let a = run_once(11);
+        let b = run_once(11);
+        assert_eq!(a.slots_elapsed, b.slots_elapsed);
+        assert_eq!(a.participant_costs[1].total(), b.participant_costs[1].total());
+        assert_eq!(a.informed, b.informed);
+    }
+
+    #[test]
+    fn trace_records_slot_facts() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let report = ExactEngine::new(cfg(5)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut SilentAdversary,
+            &SeedTree::new(9),
+        );
+        assert!(report.trace.len() >= 1);
+        let r0 = report.trace.get(Slot::ZERO).unwrap();
+        assert_eq!(r0.transmissions, 1);
+        assert_eq!(r0.listeners, 1);
+        assert_eq!(r0.delivered, 1);
+        assert!(!r0.jammed);
+    }
+
+    #[test]
+    fn all_terminated_stops_early() {
+        // Two recorders, one chatter that terminates after sending once.
+        struct OneShot {
+            sent: bool,
+        }
+        impl NodeProtocol for OneShot {
+            fn act(&mut self, _: Slot, _: &mut SimRng) -> Action {
+                if self.sent {
+                    Action::Sleep
+                } else {
+                    self.sent = true;
+                    Action::Send(Payload::Nack)
+                }
+            }
+            fn on_reception(&mut self, _: Slot, _: Reception) {}
+            fn has_terminated(&self) -> bool {
+                self.sent
+            }
+            fn is_informed(&self) -> bool {
+                true
+            }
+        }
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(OneShot { sent: false }),
+            Box::new(Recorder::default()),
+        ];
+        let report = ExactEngine::new(cfg(1000)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut SilentAdversary,
+            &SeedTree::new(10),
+        );
+        assert_eq!(report.stop_reason, StopReason::AllTerminated);
+        assert!(report.slots_elapsed < 1000);
+        assert!(report.all_terminated_or_informed());
+    }
+}

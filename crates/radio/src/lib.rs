@@ -1,0 +1,88 @@
+//! Time-slotted single-hop radio simulator — the network model of
+//! Gilbert & Young (§1.1), implemented as an executable substrate.
+//!
+//! # The model
+//!
+//! Time is divided into discrete slots. In each slot every device either
+//! **sleeps** (free), **sends** one frame, or **listens** (each costing one
+//! energy unit). A listener perceives one of three outcomes:
+//!
+//! * **silence** — no transmissions, not jammed. Silence cannot be forged:
+//!   no adversary action can make an active channel sound silent.
+//! * **a frame** — exactly one transmission reached it un-jammed.
+//! * **noise** — two or more transmissions collided, or the slot was jammed
+//!   *for this listener*. Jamming is indistinguishable from collision.
+//!
+//! The adversary Carol is **n-uniform**: her [`JamDirective`] may target any
+//! subset of listeners, so some devices hear noise while others receive the
+//! same slot cleanly. She is **adaptive** (full information about all past
+//! behaviour, via [`Adversary::observe`]) and optionally **reactive** (sees
+//! the current slot's channel activity before committing to jam, via
+//! [`Adversary::react`]).
+//!
+//! Every operation draws on an [`EnergyLedger`]: correct devices have
+//! individual budgets, Carol has a pooled budget covering herself and her
+//! Byzantine devices. When her budget is exhausted, jam directives fizzle —
+//! this is the mechanism that makes resource competitiveness *observable*.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rcb_radio::{
+//!     Action, Budget, EngineConfig, ExactEngine, NodeProtocol, Reception,
+//!     SilentAdversary, Slot,
+//! };
+//! use rcb_rng::{SeedTree, SimRng};
+//!
+//! /// A sender that transmits in every slot until slot 10.
+//! struct Beacon;
+//! impl NodeProtocol for Beacon {
+//!     fn act(&mut self, slot: Slot, _rng: &mut SimRng) -> Action {
+//!         Action::Send(rcb_radio::Payload::Nack)
+//!     }
+//!     fn on_reception(&mut self, _: Slot, _: Reception) {}
+//!     fn has_terminated(&self) -> bool { false }
+//!     fn is_informed(&self) -> bool { true }
+//! }
+//!
+//! /// A receiver that listens until it hears anything.
+//! struct Ear { heard: bool }
+//! impl NodeProtocol for Ear {
+//!     fn act(&mut self, _: Slot, _: &mut SimRng) -> Action {
+//!         if self.heard { Action::Sleep } else { Action::Listen }
+//!     }
+//!     fn on_reception(&mut self, _: Slot, r: Reception) {
+//!         if matches!(r, Reception::Frame(_)) { self.heard = true; }
+//!     }
+//!     fn has_terminated(&self) -> bool { self.heard }
+//!     fn is_informed(&self) -> bool { self.heard }
+//! }
+//!
+//! let participants: Vec<Box<dyn NodeProtocol>> =
+//!     vec![Box::new(Beacon), Box::new(Ear { heard: false })];
+//! let budgets = vec![Budget::unlimited(); 2];
+//! let report = ExactEngine::new(EngineConfig::default())
+//!     .run(participants, budgets, &mut SilentAdversary, &SeedTree::new(1));
+//! assert!(report.all_terminated_or_informed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod channel;
+mod energy;
+mod engine;
+mod message;
+mod participant;
+mod slot;
+mod trace;
+
+pub use adversary::{Adversary, AdversaryCtx, AdversaryMove, SilentAdversary, SlotObservation};
+pub use channel::{resolve_for_listener, IdSet, JamDirective};
+pub use energy::{Budget, ChargeOutcome, CostBreakdown, EnergyLedger, Op};
+pub use engine::{EngineConfig, ExactEngine, RunReport, StopReason};
+pub use message::{Payload, PayloadKind};
+pub use participant::{Action, NodeProtocol, ParticipantId, Reception};
+pub use slot::Slot;
+pub use trace::{SlotRecord, Trace};

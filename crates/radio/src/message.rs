@@ -1,0 +1,102 @@
+//! Frames carried over the simulated channel.
+//!
+//! Radio frames carry no trustworthy origin: any device can put any bytes
+//! on the air. Authenticity is carried *inside* the payload (the broadcast
+//! message `m` travels as an [`rcb_auth::Signed`]), which is why
+//! [`Payload`] has no sender field — exactly the paper's model, where
+//! "correct nodes may be spoofed".
+
+use std::fmt;
+
+use rcb_auth::Signed;
+
+/// A frame payload as heard on the channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// The authenticated broadcast message `m` (only Alice can mint a
+    /// verifying instance; Carol can at most replay or tamper it).
+    Broadcast(Signed),
+    /// An unauthenticated negative acknowledgement ("I do not have `m`
+    /// yet"). Spoofable by Carol — the request phase is designed around
+    /// this.
+    Nack,
+    /// Unauthenticated decoy traffic (§4.1): content-free noise correct
+    /// nodes emit so a reactive jammer cannot tell `m`-slots from chaff.
+    Decoy,
+    /// Arbitrary Byzantine junk: tampered copies of `m`, garbage bytes,
+    /// fake look-alike traffic. The discriminant distinguishes variants so
+    /// adversaries can emit distinct junk frames.
+    Garbage(u64),
+}
+
+impl Payload {
+    /// The kind of this payload, without its content.
+    #[must_use]
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Payload::Broadcast(_) => PayloadKind::Broadcast,
+            Payload::Nack => PayloadKind::Nack,
+            Payload::Decoy => PayloadKind::Decoy,
+            Payload::Garbage(_) => PayloadKind::Garbage,
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Broadcast(s) => write!(f, "broadcast({s})"),
+            Payload::Nack => write!(f, "nack"),
+            Payload::Decoy => write!(f, "decoy"),
+            Payload::Garbage(x) => write!(f, "garbage({x})"),
+        }
+    }
+}
+
+/// Payload discriminant, for observation records and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// The broadcast message `m`.
+    Broadcast,
+    /// A negative acknowledgement.
+    Nack,
+    /// A decoy frame.
+    Decoy,
+    /// Byzantine junk.
+    Garbage,
+}
+
+impl fmt::Display for PayloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PayloadKind::Broadcast => "broadcast",
+            PayloadKind::Nack => "nack",
+            PayloadKind::Decoy => "decoy",
+            PayloadKind::Garbage => "garbage",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_auth::{Authority, Payload as Bytes};
+
+    #[test]
+    fn kind_mapping() {
+        let mut auth = Authority::new(0);
+        let key = auth.issue_key();
+        let signed = key.sign(&Bytes::from_static(b"m"));
+        assert_eq!(Payload::Broadcast(signed).kind(), PayloadKind::Broadcast);
+        assert_eq!(Payload::Nack.kind(), PayloadKind::Nack);
+        assert_eq!(Payload::Decoy.kind(), PayloadKind::Decoy);
+        assert_eq!(Payload::Garbage(3).kind(), PayloadKind::Garbage);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Payload::Nack.to_string(), "nack");
+        assert_eq!(PayloadKind::Garbage.to_string(), "garbage");
+    }
+}

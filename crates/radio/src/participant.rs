@@ -1,0 +1,149 @@
+//! Participants, their per-slot actions, and what they hear.
+
+use std::fmt;
+
+use rcb_rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::message::Payload;
+use crate::slot::Slot;
+
+/// Index of a correct participant in a simulation roster.
+///
+/// By convention (established by `rcb-core`'s orchestration) index 0 is
+/// Alice and `1..=n` are the receiver nodes, but the engine itself treats
+/// all participants uniformly.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ParticipantId(u32);
+
+impl ParticipantId {
+    /// Creates an id from a roster index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        ParticipantId(index)
+    }
+
+    /// The roster index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ParticipantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ParticipantId {
+    fn from(v: u32) -> Self {
+        ParticipantId(v)
+    }
+}
+
+/// What a device does in one slot.
+///
+/// The radio is half-duplex: a device cannot send and listen in the same
+/// slot, hence a single action — this is also why "p cannot hear its own
+/// transmissions" (§2, request phase) holds by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Radio off. Free (sleep power is negligible on sensor motes).
+    Sleep,
+    /// Transmit one frame. Costs one energy unit.
+    Send(Payload),
+    /// Receive for the whole slot. Costs one energy unit.
+    Listen,
+}
+
+impl Action {
+    /// Whether this action uses the radio (and therefore costs energy).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Action::Sleep)
+    }
+}
+
+/// What a listening device hears in one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reception {
+    /// No channel activity. Cannot be forged by the adversary.
+    Silence,
+    /// Collision or jamming — indistinguishable from each other, and any
+    /// concurrently transmitted data is lost.
+    Noise,
+    /// Exactly one un-jammed transmission: the frame is delivered.
+    Frame(Payload),
+}
+
+impl Reception {
+    /// Whether the slot sounded noisy (used by the request-phase counters:
+    /// a *noisy* slot is one that is jammed or contains ≥ 1 transmission —
+    /// a delivered frame also counts as channel activity).
+    #[must_use]
+    pub fn is_noisy(&self) -> bool {
+        !matches!(self, Reception::Silence)
+    }
+}
+
+/// A correct participant's protocol logic, driven slot-by-slot by the
+/// engine.
+///
+/// Implementations are state machines: [`act`](NodeProtocol::act) is called
+/// exactly once per slot while the participant has not terminated, and
+/// [`on_reception`](NodeProtocol::on_reception) is called in the same slot
+/// if (and only if) the action was [`Action::Listen`].
+pub trait NodeProtocol {
+    /// Decides this slot's action. `rng` is the participant's private
+    /// deterministic stream.
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action;
+
+    /// Delivers what was heard. Called only for slots where `act` returned
+    /// [`Action::Listen`] (and the energy charge succeeded).
+    fn on_reception(&mut self, slot: Slot, reception: Reception);
+
+    /// Notifies that the requested action was suppressed because the
+    /// participant's energy budget is exhausted. The default keeps the
+    /// state machine running (it simply slept instead).
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        let _ = slot;
+    }
+
+    /// Whether this participant has terminated its protocol. Once true the
+    /// engine stops scheduling it; it must stay true.
+    fn has_terminated(&self) -> bool;
+
+    /// Whether this participant holds the broadcast message `m`. (For
+    /// sender-side participants this is trivially true.)
+    fn is_informed(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_activity() {
+        assert!(!Action::Sleep.is_active());
+        assert!(Action::Listen.is_active());
+        assert!(Action::Send(Payload::Nack).is_active());
+    }
+
+    #[test]
+    fn reception_noisiness() {
+        assert!(!Reception::Silence.is_noisy());
+        assert!(Reception::Noise.is_noisy());
+        assert!(Reception::Frame(Payload::Decoy).is_noisy());
+    }
+
+    #[test]
+    fn participant_id_roundtrip() {
+        let p = ParticipantId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "p7");
+        assert_eq!(ParticipantId::from(7u32), p);
+    }
+}

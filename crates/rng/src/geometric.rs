@@ -1,0 +1,167 @@
+//! Geometric sampling for skip-ahead Bernoulli streams.
+//!
+//! A node that listens each slot independently with probability `p` can be
+//! simulated without touching the slots it sleeps through: the gap to its
+//! next active slot is `Geometric(p)`. The exact engine uses this to skip
+//! a participant forward across long idle stretches.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// Error returned when constructing a [`Geometric`] with an invalid `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometricError(());
+
+impl fmt::Display for GeometricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probability must be finite and in (0, 1]")
+    }
+}
+
+impl std::error::Error for GeometricError {}
+
+/// Samples the number of failures before the first success of a Bernoulli
+/// process with success probability `p`.
+///
+/// Support is `{0, 1, 2, …}`; `P(X = k) = (1−p)^k · p`.
+///
+/// # Example
+///
+/// ```
+/// use rcb_rng::{Geometric, SimRng};
+/// use rand::SeedableRng;
+///
+/// let mut rng = SimRng::seed_from_u64(2);
+/// let g = Geometric::new(0.25)?;
+/// let gap = g.sample(&mut rng);
+/// // Skip `gap` silent slots, act in slot `gap`.
+/// # let _ = gap;
+/// # Ok::<(), rcb_rng::GeometricError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    ln_q: f64,
+}
+
+impl Geometric {
+    /// Creates a sampler with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometricError`] if `p` is not finite or not in `(0, 1]`.
+    /// (`p = 0` is rejected: the waiting time would be infinite.)
+    pub fn new(p: f64) -> Result<Self, GeometricError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) || p == 0.0 {
+            return Err(GeometricError(()));
+        }
+        Ok(Self {
+            p,
+            ln_q: (-p).ln_1p(),
+        })
+    }
+
+    /// The success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one variate: failures before the first success.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inversion: ⌊ln U / ln(1−p)⌋ is Geometric(p).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let x = u.ln() / self.ln_q;
+        if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+
+    /// Mean `= (1−p)/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+    use rand::SeedableRng;
+
+    type TestRng = crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.5).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+        assert!(Geometric::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = TestRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn moments_match_for_various_p() {
+        for (i, &p) in [0.5f64, 0.1, 0.01, 0.9].iter().enumerate() {
+            let g = Geometric::new(p).unwrap();
+            let mut rng = TestRng::seed_from_u64(40 + i as u64);
+            let mut acc = RunningStats::new();
+            for _ in 0..60_000 {
+                acc.push(g.sample(&mut rng) as f64);
+            }
+            let mean = g.mean();
+            let sd = ((1.0 - p) / (p * p)).sqrt();
+            let se = sd / (60_000f64).sqrt();
+            assert!(
+                (acc.mean() - mean).abs() < 6.0 * se,
+                "p={p}: mean {} want {mean}",
+                acc.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bernoulli_loop_distribution() {
+        // The sampler must agree with literally flipping coins.
+        let p = 0.2;
+        let g = Geometric::new(p).unwrap();
+        let mut rng = TestRng::seed_from_u64(50);
+        let mut direct = RunningStats::new();
+        let mut inverted = RunningStats::new();
+        for _ in 0..30_000 {
+            inverted.push(g.sample(&mut rng) as f64);
+            let mut k = 0u64;
+            while !rand::Rng::gen_bool(&mut rng, p) {
+                k += 1;
+            }
+            direct.push(k as f64);
+        }
+        assert!((direct.mean() - inverted.mean()).abs() < 0.1);
+        assert!((direct.variance() - inverted.variance()).abs() < 2.0);
+    }
+
+    #[test]
+    fn tiny_p_does_not_overflow() {
+        let g = Geometric::new(1e-300).unwrap();
+        let mut rng = TestRng::seed_from_u64(51);
+        let x = g.sample(&mut rng);
+        assert!(x > 0, "waiting time for p=1e-300 is astronomically large");
+    }
+}

@@ -1,0 +1,266 @@
+//! Log-space combinatorics: `ln Γ`, binomial pmf/cdf.
+//!
+//! The fast phase-level simulator needs `P(Bin(N, p) ≤ θ)` for enormous `N`
+//! (phase length × population) and small thresholds `θ = O(log n)`; these
+//! are computed by summing log-space pmf terms, which requires an accurate
+//! `ln Γ`. We implement the Lanczos approximation — no external math crate.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Lanczos approximation with `g = 7`, 9 coefficients; absolute error below
+/// `1e-13` over the domain we use (arguments ≥ 1 in practice).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (poles and the reflection branch are not needed by
+/// this crate and are therefore not implemented).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7).
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    const SQRT_TWO_PI: f64 = 2.506_628_274_631_000_5;
+
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_93;
+    for (i, c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i as f64) + 1.0);
+    }
+    let t = x + G + 0.5;
+    SQRT_TWO_PI.ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` via `ln Γ(n+1)`.
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small cases looked up exactly to avoid accumulating approximation
+    // error where it is cheap to be exact.
+    const EXACT: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5040.0,
+        40320.0,
+        362880.0,
+        3628800.0,
+        39916800.0,
+        479001600.0,
+        6227020800.0,
+        87178291200.0,
+        1307674368000.0,
+        20922789888000.0,
+        355687428096000.0,
+        6402373705728000.0,
+        121645100408832000.0,
+        2432902008176640000.0,
+    ];
+    if n <= 20 {
+        EXACT[n as usize].ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`, the log binomial coefficient.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Log of the binomial pmf `P(Bin(n, p) = k)`.
+///
+/// Handles the degenerate edges `p = 0` and `p = 1` exactly.
+#[must_use]
+pub fn ln_binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p >= 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln_1p_adjusted()
+}
+
+/// `P(Bin(n, p) ≤ k)` by direct log-space summation of `k + 1` terms.
+///
+/// Intended for small `k` (the protocol thresholds are `O(log n)`); cost is
+/// `O(k)` regardless of `n`.
+#[must_use]
+pub fn binomial_cdf_upto(n: u64, p: f64, k: u64) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    let k = k.min(n);
+    // Sum pmf terms with the log-sum-exp trick anchored at the largest term.
+    let logs: Vec<f64> = (0..=k).map(|j| ln_binomial_pmf(n, p, j)).collect();
+    let m = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let sum: f64 = logs.iter().map(|l| (l - m).exp()).sum();
+    (m + sum.ln()).exp().min(1.0)
+}
+
+/// Numerically careful `(1 − p).ln()` helper.
+///
+/// For the pmf we need `ln(1 − p)`; `ln_1p(−p)` is accurate for small `p`.
+trait Ln1pAdjusted {
+    fn ln_1p_adjusted(self) -> f64;
+}
+
+impl Ln1pAdjusted for f64 {
+    fn ln_1p_adjusted(self) -> f64 {
+        // `self` is already `1 − p`; recover accuracy via ln_1p when close
+        // to 1 (i.e. p small).
+        let p = 1.0 - self;
+        if p.abs() < 0.5 {
+            (-p).ln_1p()
+        } else {
+            self.ln()
+        }
+    }
+}
+
+/// Mean of `Bin(n, p)`.
+#[must_use]
+pub fn binomial_mean(n: u64, p: f64) -> f64 {
+    n as f64 * p
+}
+
+/// Variance of `Bin(n, p)`.
+#[must_use]
+pub fn binomial_variance(n: u64, p: f64) -> f64 {
+    n as f64 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..=20 {
+            let expect: f64 = (1..n).map(|i| (i as f64).ln()).sum();
+            assert_close(ln_gamma(n as f64), expect, 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        assert_close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-10,
+        );
+        // Γ(3/2) = √π / 2.
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert_close(ln_choose(5, 2), 10f64.ln(), 1e-12);
+        assert_close(ln_choose(10, 5), 252f64.ln(), 1e-12);
+        assert_eq!(ln_choose(3, 7), f64::NEG_INFINITY);
+        assert_close(ln_choose(7, 0), 0.0, 1e-15);
+        assert_close(ln_choose(7, 7), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_small_n() {
+        for &(n, p) in &[(10u64, 0.3f64), (25, 0.5), (40, 0.01), (17, 0.99)] {
+            let total: f64 = (0..=n).map(|k| ln_binomial_pmf(n, p, k).exp()).sum();
+            assert_close(total, 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_edges() {
+        assert_eq!(ln_binomial_pmf(10, 0.0, 0), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 0.0, 1), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial_pmf(10, 1.0, 10), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 1.0, 9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cdf_matches_direct_sum() {
+        let n = 100;
+        let p = 0.07;
+        for k in [0u64, 1, 5, 10, 50, 100] {
+            let direct: f64 = (0..=k.min(n)).map(|j| ln_binomial_pmf(n, p, j).exp()).sum();
+            assert_close(binomial_cdf_upto(n, p, k), direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let n = 1_000_000;
+        let p = 3e-5;
+        let mut prev = 0.0;
+        for k in 0..60 {
+            let c = binomial_cdf_upto(n, p, k);
+            assert!(c >= prev - 1e-12, "cdf must be nondecreasing");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        // Mean is 30; far above the mean the cdf approaches 1.
+        assert!(binomial_cdf_upto(n, p, 59) > 0.99999);
+    }
+
+    #[test]
+    fn cdf_huge_population_small_threshold() {
+        // Poisson regime: N=2^40, p=2^-40 → mean 1. P(X ≤ 0) ≈ e^{-1}.
+        let n = 1u64 << 40;
+        let p = (1u64 << 40) as f64;
+        let c = binomial_cdf_upto(n, 1.0 / p, 0);
+        assert_close(c, (-1.0f64).exp(), 1e-6);
+    }
+}

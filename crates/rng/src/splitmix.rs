@@ -1,0 +1,105 @@
+//! SplitMix64: the canonical 64-bit seed expander (Steele, Lea & Flood 2014).
+
+/// A tiny, full-period 64-bit generator used to expand seeds.
+///
+/// SplitMix64 passes BigCrush for its size class and — more importantly for
+/// us — turns *any* 64-bit value, including pathological ones like `0` or
+/// small integers, into well-mixed state suitable for seeding
+/// [`Xoshiro256PlusPlus`](crate::Xoshiro256PlusPlus). It is also used as a
+/// cheap keyed mixer for [`SeedTree`](crate::SeedTree) label hashing.
+///
+/// # Example
+///
+/// ```
+/// use rcb_rng::SplitMix64;
+/// let mut sm = SplitMix64::new(0);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates an expander starting from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 bits of the expansion.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Self::mix(self.state)
+    }
+
+    /// The stateless finalizer: a bijective mixing of one 64-bit word.
+    ///
+    /// Exposed so that callers can hash small fixed inputs (e.g. stream
+    /// labels) without materialising a generator.
+    #[must_use]
+    pub fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fills `out` with expanded words.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        for w in out {
+            *w = self.next_u64();
+        }
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_seed_zero() {
+        // First outputs of SplitMix64 with seed 0, cross-checked against the
+        // reference C implementation by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn reference_vector_seed_nonzero() {
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(first, sm2.next_u64(), "deterministic for equal seeds");
+        assert_ne!(first, SplitMix64::new(1234568).next_u64());
+    }
+
+    #[test]
+    fn mix_is_not_identity_and_spreads_low_entropy() {
+        // Consecutive small inputs must map to far-apart outputs.
+        let a = SplitMix64::mix(1);
+        let b = SplitMix64::mix(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10, "outputs should differ in many bits");
+    }
+
+    #[test]
+    fn fill_matches_sequential_calls() {
+        let mut a = SplitMix64::new(42);
+        let mut buf = [0u64; 8];
+        a.fill_u64(&mut buf);
+        let mut b = SplitMix64::new(42);
+        for w in buf {
+            assert_eq!(w, b.next_u64());
+        }
+    }
+}

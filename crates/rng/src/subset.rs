@@ -1,0 +1,198 @@
+//! Uniform sampling of distinct indices.
+//!
+//! When a propagation-phase slot succeeds, *every listener* of that slot
+//! becomes informed; the aggregated simulator knows only how many of the
+//! `u` uninformed nodes listened. Converting that count into concrete node
+//! identities (for per-node bookkeeping) requires a uniform `k`-subset of
+//! `{0, …, u−1}` — Floyd's algorithm does this in `O(k)` expected time and
+//! `O(k)` space, independent of `u`.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+/// Samples `k` distinct values uniformly from `0..n` (Floyd's algorithm).
+///
+/// The returned vector is in insertion order, **not** sorted and **not**
+/// uniformly permuted; callers that need a uniform random *sequence* should
+/// shuffle it.
+///
+/// # Panics
+///
+/// Panics if `k > n` — there is no `k`-subset to sample.
+///
+/// # Example
+///
+/// ```
+/// use rcb_rng::{subset::sample_distinct, SimRng};
+/// use rand::SeedableRng;
+///
+/// let mut rng = SimRng::seed_from_u64(3);
+/// let picks = sample_distinct(&mut rng, 1_000_000, 5);
+/// assert_eq!(picks.len(), 5);
+/// ```
+#[must_use]
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: u64, k: u64) -> Vec<u64> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(k as usize);
+    let mut out = Vec::with_capacity(k as usize);
+    // Floyd: for j = n-k .. n-1, pick t in [0, j]; insert t unless already
+    // present, in which case insert j. Produces a uniform k-subset.
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+/// Fisher–Yates partial shuffle: moves a uniform `k`-subset of `items` to
+/// the front, in uniform random order, and returns that prefix length.
+///
+/// Used when a phase informs `k` nodes out of a materialised roster and the
+/// caller wants both the identities and a random service order.
+pub fn partial_shuffle<T, R: Rng + ?Sized>(rng: &mut R, items: &mut [T], k: usize) -> usize {
+    let k = k.min(items.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..items.len());
+        items.swap(i, j);
+    }
+    k
+}
+
+/// Draws a Bernoulli subset: each of `0..n` included independently w.p. `p`.
+///
+/// Implemented with geometric skips so the cost is proportional to the
+/// output size, not to `n`. Used by the exact engine to decide which nodes
+/// act in a slot without iterating all of them.
+#[must_use]
+pub fn bernoulli_subset<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> Vec<u64> {
+    if p <= 0.0 || n == 0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..n).collect();
+    }
+    let ln_q = (-p).ln_1p();
+    let mut out = Vec::new();
+    let mut idx = 0u64;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = u.ln() / ln_q;
+        if skip >= (n - idx) as f64 {
+            return out;
+        }
+        idx += skip as u64;
+        out.push(idx);
+        idx += 1;
+        if idx >= n {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    type TestRng = crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = TestRng::seed_from_u64(0);
+        for &(n, k) in &[(10u64, 10u64), (100, 3), (1 << 40, 50), (1, 1), (5, 0)] {
+            let v = sample_distinct(&mut rng, n, k);
+            assert_eq!(v.len(), k as usize);
+            let set: HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), k as usize, "duplicates for n={n} k={k}");
+            assert!(v.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversized_k() {
+        let mut rng = TestRng::seed_from_u64(0);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sample_distinct_is_approximately_uniform() {
+        // Sample 2-subsets of {0..5}; each element should appear with
+        // frequency 2/6 = 1/3.
+        let mut rng = TestRng::seed_from_u64(9);
+        let mut counts = [0u32; 6];
+        const TRIALS: u32 = 60_000;
+        for _ in 0..TRIALS {
+            for x in sample_distinct(&mut rng, 6, 2) {
+                counts[x as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = f64::from(c) / f64::from(TRIALS);
+            assert!(
+                (freq - 1.0 / 3.0).abs() < 0.01,
+                "element {i} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_shuffle_prefix_is_subset() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let mut items: Vec<u32> = (0..50).collect();
+        let k = partial_shuffle(&mut rng, &mut items, 7);
+        assert_eq!(k, 7);
+        let prefix: HashSet<_> = items[..7].iter().collect();
+        assert_eq!(prefix.len(), 7);
+        // Still a permutation of the original multiset.
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_k_larger_than_len() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let mut items = vec![1, 2, 3];
+        assert_eq!(partial_shuffle(&mut rng, &mut items, 10), 3);
+    }
+
+    #[test]
+    fn bernoulli_subset_edges() {
+        let mut rng = TestRng::seed_from_u64(3);
+        assert!(bernoulli_subset(&mut rng, 100, 0.0).is_empty());
+        assert_eq!(
+            bernoulli_subset(&mut rng, 5, 1.0),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(bernoulli_subset(&mut rng, 0, 0.7).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_subset_density_matches_p() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let n = 200_000u64;
+        let p = 0.03;
+        let total: usize = (0..20)
+            .map(|_| bernoulli_subset(&mut rng, n, p).len())
+            .sum();
+        let mean = total as f64 / 20.0;
+        let expect = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p) / 20.0).sqrt();
+        assert!(
+            (mean - expect).abs() < 6.0 * sd,
+            "mean {mean}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_subset_is_sorted_and_distinct() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let v = bernoulli_subset(&mut rng, 10_000, 0.05);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.iter().all(|&x| x < 10_000));
+    }
+}

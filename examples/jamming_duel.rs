@@ -1,0 +1,46 @@
+//! Jamming duel: Carol sweeps her budget upward; watch her lose the
+//! economics. This is Theorem 1 as a spectator sport — every extra slot
+//! she jams costs her 1 unit but costs each defender only ~T^{-2/3}.
+//!
+//! ```text
+//! cargo run --release --example jamming_duel
+//! ```
+
+use evildoers::adversary::ContinuousJammer;
+use evildoers::analysis::experiments::provisioned_params;
+use evildoers::core::fast::{run_fast, FastConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 16;
+    println!("n = {n} correct nodes; Carol jams continuously until broke\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>22}",
+        "carol budget", "carol spent", "node cost", "alice cost", "node cost / carol spend"
+    );
+
+    for exp in [14u32, 16, 18, 20, 22, 24] {
+        let budget = 1u64 << exp;
+        let params = provisioned_params(n, 2, budget)?;
+        let outcome = run_fast(
+            &params,
+            &mut ContinuousJammer,
+            &FastConfig::seeded(1).carol_budget(budget),
+        );
+        println!(
+            "{:>12} {:>12} {:>14.1} {:>14} {:>22.6}",
+            budget,
+            outcome.carol_spend(),
+            outcome.mean_node_cost(),
+            outcome.alice_cost.total(),
+            outcome.node_competitive_ratio(),
+        );
+        assert!(
+            outcome.informed_fraction() > 0.9,
+            "the broadcast always gets through"
+        );
+    }
+
+    println!("\nthe ratio collapses as T grows: delaying m forces Carol to deplete");
+    println!("her energy polynomially faster than anyone she attacks (Theorem 1).");
+    Ok(())
+}

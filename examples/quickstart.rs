@@ -1,0 +1,33 @@
+//! Quickstart: one ε-BROADCAST execution, quiet channel.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use evildoers::core::{run_broadcast, Params, RunConfig};
+use evildoers::radio::SilentAdversary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 256 correct receiver nodes; all protocol constants at paper defaults
+    // (k = 2, ε′ = 0.005, c = 2; budgets computed from Lemma 11).
+    let params = Params::builder(256).build()?;
+    println!("protocol: {params}");
+    println!("alice budget: {} units", params.alice_budget());
+    println!("node budget:  {} units", params.node_budget());
+
+    let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(7));
+
+    println!("\n--- outcome ---");
+    println!("informed nodes:     {}/{}", outcome.informed_nodes, outcome.n);
+    println!("sacrificed nodes:   {}", outcome.uninformed_terminated);
+    println!("slots elapsed:      {}", outcome.slots);
+    println!("rounds entered:     {}", outcome.rounds_entered);
+    println!("alice spent:        {}", outcome.alice_cost);
+    println!("mean node spend:    {:.1} units", outcome.mean_node_cost());
+    println!(
+        "max node spend:     {} units",
+        outcome.max_node_cost.unwrap_or(0)
+    );
+    assert!(outcome.completed(), "quiet runs always complete");
+    Ok(())
+}

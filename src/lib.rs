@@ -1,0 +1,48 @@
+//! # evildoers — resource-competitive broadcast in jammed sensor networks
+//!
+//! A full reproduction of **Gilbert & Young, "Making Evildoers Pay:
+//! Resource-Competitive Broadcast in Sensor Networks" (PODC 2012)**: the
+//! ε-BROADCAST protocol, the slotted single-hop radio model it runs on, the
+//! adversaries it defends against, the baselines it beats, and the
+//! measurement harness that regenerates every claim of the paper.
+//!
+//! This umbrella crate re-exports the workspace so applications can depend
+//! on one name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`rng`] | `rcb-rng` | deterministic streams, exact binomial/geometric samplers |
+//! | [`auth`] | `rcb-auth` | Alice-only simulated authentication |
+//! | [`radio`] | `rcb-radio` | the §1.1 channel model and exact engine |
+//! | [`core`] | `rcb-core` | ε-BROADCAST (Figures 1–2, §4.1, §4.2) and the fast simulator |
+//! | [`adversary`] | `rcb-adversary` | Carol strategies (blockers, spoofers, reactive, n-uniform) |
+//! | [`baselines`] | `rcb-baselines` | naive, epidemic, and KSY-style comparators |
+//! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E10/X2 |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use evildoers::core::{run_broadcast, Params, RunConfig};
+//! use evildoers::adversary::ContinuousJammer;
+//! use evildoers::radio::Budget;
+//!
+//! // 64 correct nodes; Carol jams everything with a budget of 2000 slots.
+//! let params = Params::builder(64).build()?;
+//! let cfg = RunConfig::seeded(42).carol_budget(Budget::limited(2_000));
+//! let outcome = run_broadcast(&params, &mut ContinuousJammer, &cfg);
+//!
+//! assert!(outcome.informed_fraction() > 0.9); // she cannot stop the broadcast
+//! assert_eq!(outcome.carol_spend(), 2_000);   // and she paid for trying
+//! # Ok::<(), evildoers::core::ParamsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rcb_adversary as adversary;
+pub use rcb_analysis as analysis;
+pub use rcb_auth as auth;
+pub use rcb_baselines as baselines;
+pub use rcb_core as core;
+pub use rcb_radio as radio;
+pub use rcb_rng as rng;

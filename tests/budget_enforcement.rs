@@ -1,0 +1,100 @@
+//! Cross-crate integration: energy budgets are hard constraints — for the
+//! defenders (Lemma 11's feasibility) and for Carol (the mechanism that
+//! forces an unblockable round).
+
+use evildoers::adversary::ContinuousJammer;
+use evildoers::core::{run_broadcast, run_broadcast_with_report, Params, RunConfig};
+use evildoers::radio::{Budget, SilentAdversary};
+
+#[test]
+fn computed_budgets_are_never_exhausted_in_normal_operation() {
+    // Quiet and jammed runs with enforced budgets: zero refusals means the
+    // Lemma 11 provisioning really is sufficient.
+    let params = Params::builder(64).max_round_margin(3).build().unwrap();
+    for (label, budget) in [("quiet", None), ("jammed", Some(2_000u64))] {
+        let cfg = match budget {
+            Some(b) => RunConfig::seeded(3).carol_budget(Budget::limited(b)),
+            None => RunConfig::seeded(3),
+        };
+        let (outcome, report) = if budget.is_some() {
+            run_broadcast_with_report(&params, &mut ContinuousJammer, &cfg)
+        } else {
+            run_broadcast_with_report(&params, &mut SilentAdversary, &cfg)
+        };
+        assert!(
+            report.participant_refusals.iter().all(|&r| r == 0),
+            "{label}: some participant hit its budget"
+        );
+        assert!(outcome.informed_fraction() > 0.9, "{label}");
+        // Spend stays within the computed caps.
+        assert!(outcome.alice_cost.total() <= params.alice_budget());
+        assert!(outcome.max_node_cost.unwrap() <= params.node_budget());
+    }
+}
+
+#[test]
+fn starved_nodes_degrade_gracefully_not_catastrophically() {
+    // Deliberately under-provision (1% of the computed budget): the engine
+    // must refuse operations rather than overspend, and the run must still
+    // finish without panicking.
+    let params = Params::builder(32)
+        .budget_scale(0.01)
+        .max_round_margin(2)
+        .build()
+        .unwrap();
+    let (outcome, report) = run_broadcast_with_report(
+        &params,
+        &mut ContinuousJammer,
+        &RunConfig::seeded(4).carol_budget(Budget::limited(1_000)),
+    );
+    let refused: u64 = report.participant_refusals.iter().sum();
+    assert!(refused > 0, "starvation must actually bite");
+    // Nobody overspent their (tiny) cap.
+    for (i, cost) in outcome.node_costs.as_ref().unwrap().iter().enumerate() {
+        assert!(
+            cost.total() <= params.node_budget(),
+            "node {i} overspent: {} > {}",
+            cost.total(),
+            params.node_budget()
+        );
+    }
+}
+
+#[test]
+fn carols_pool_is_a_hard_cap_under_every_strategy() {
+    use evildoers::adversary::StrategySpec;
+    let params = Params::builder(32).max_round_margin(2).build().unwrap();
+    let budget = 777u64;
+    for spec in StrategySpec::roster() {
+        let mut carol = spec.slot_adversary(&params, 5);
+        let cfg = RunConfig::seeded(5).carol_budget(Budget::limited(budget));
+        let outcome = run_broadcast(&params, carol.as_mut(), &cfg);
+        assert!(
+            outcome.carol_spend() <= budget,
+            "{}: spent {} of {budget}",
+            spec.name(),
+            outcome.carol_spend()
+        );
+    }
+}
+
+#[test]
+fn unblockable_round_prediction_matches_observed_behaviour() {
+    // Params::unblockable_round predicts where a continuous jammer goes
+    // broke; the run must enter (at least) that round and deliver there.
+    let budget = 3_000u64;
+    let params = Params::builder(32).max_round_margin(6).build().unwrap();
+    let predicted = params.unblockable_round(budget);
+    assert!(predicted <= params.max_round(), "test setup: schedule covers it");
+    let outcome = run_broadcast(
+        &params,
+        &mut ContinuousJammer,
+        &RunConfig::seeded(6).carol_budget(Budget::limited(budget)),
+    );
+    assert!(outcome.informed_fraction() > 0.9);
+    assert!(
+        outcome.rounds_entered >= predicted.saturating_sub(1),
+        "delivery at round {} but Carol could block through ~{predicted}",
+        outcome.rounds_entered
+    );
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration: exact replayability from a single master seed,
+//! across engines, adversaries, and protocol variants.
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::fast::{run_fast, FastConfig};
+use evildoers::core::{run_broadcast, Params, RunConfig, Variant};
+use evildoers::radio::Budget;
+
+#[test]
+fn exact_engine_replays_bit_for_bit() {
+    let params = Params::builder(32).max_round_margin(3).build().unwrap();
+    for spec in [
+        StrategySpec::Continuous,
+        StrategySpec::Random(0.4),
+        StrategySpec::Spoof(0.8),
+        StrategySpec::Extract(4),
+    ] {
+        let run = |seed: u64| {
+            let mut carol = spec.slot_adversary(&params, seed);
+            let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(1_000));
+            run_broadcast(&params, carol.as_mut(), &cfg)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.slots, b.slots, "{}", spec.name());
+        assert_eq!(a.informed_nodes, b.informed_nodes, "{}", spec.name());
+        assert_eq!(a.alice_cost, b.alice_cost, "{}", spec.name());
+        assert_eq!(a.node_total_cost, b.node_total_cost, "{}", spec.name());
+        assert_eq!(a.carol_cost, b.carol_cost, "{}", spec.name());
+        assert_eq!(a.node_costs, b.node_costs, "{}", spec.name());
+    }
+}
+
+#[test]
+fn fast_sim_replays_bit_for_bit() {
+    let params = Params::builder(10_000).build().unwrap();
+    let run = |seed: u64| {
+        let mut carol = StrategySpec::BlockDissemination(1.0).phase_adversary(&params, seed);
+        run_fast(
+            &params,
+            carol.as_mut(),
+            &FastConfig::seeded(seed).carol_budget(100_000),
+        )
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.informed_nodes, b.informed_nodes);
+    assert_eq!(a.node_total_cost, b.node_total_cost);
+    assert_eq!(a.carol_cost, b.carol_cost);
+    assert_eq!(a.slots, b.slots);
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    let params = Params::builder(32).build().unwrap();
+    let run = |seed: u64| {
+        run_broadcast(
+            &params,
+            &mut evildoers::radio::SilentAdversary,
+            &RunConfig::seeded(seed),
+        )
+    };
+    let outcomes: Vec<_> = (0..4).map(run).collect();
+    let all_same_costs = outcomes
+        .windows(2)
+        .all(|w| w[0].node_total_cost == w[1].node_total_cost);
+    assert!(!all_same_costs, "distinct seeds should perturb the runs");
+}
+
+#[test]
+fn figure_one_and_figure_two_variants_both_run() {
+    for variant in [Variant::K2Paper, Variant::GeneralK] {
+        let params = Params::builder(32).variant(variant).build().unwrap();
+        let o = run_broadcast(
+            &params,
+            &mut evildoers::radio::SilentAdversary,
+            &RunConfig::seeded(11),
+        );
+        assert!(
+            o.informed_fraction() > 0.9,
+            "{variant:?} quiet delivery failed"
+        );
+        assert!(o.completed(), "{variant:?} must terminate cleanly");
+    }
+}
+
+#[test]
+fn k3_protocol_with_two_propagation_steps_delivers() {
+    let params = Params::builder(32).k(3).build().unwrap();
+    assert_eq!(params.propagation_steps(), 2);
+    let o = run_broadcast(
+        &params,
+        &mut evildoers::radio::SilentAdversary,
+        &RunConfig::seeded(13),
+    );
+    assert!(o.informed_fraction() > 0.9);
+    assert!(o.completed());
+}

@@ -1,0 +1,154 @@
+//! Cross-validation: the phase-level fast simulator must agree
+//! statistically with the exact slot engine — same delivery, same cost
+//! scales — across quiet, jammed, and spoofed conditions.
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::fast::{run_fast, FastConfig};
+use evildoers::core::{run_broadcast, Params, RunConfig};
+use evildoers::radio::Budget;
+use evildoers::rng::stats::RunningStats;
+
+struct Agreement {
+    exact_informed: RunningStats,
+    fast_informed: RunningStats,
+    exact_node_cost: RunningStats,
+    fast_node_cost: RunningStats,
+    exact_alice: RunningStats,
+    fast_alice: RunningStats,
+}
+
+fn compare(spec: StrategySpec, n: u64, budget: Option<u64>, trials: u64, margin: u32) -> Agreement {
+    let params = Params::builder(n).max_round_margin(margin).build().unwrap();
+    let mut agg = Agreement {
+        exact_informed: RunningStats::new(),
+        fast_informed: RunningStats::new(),
+        exact_node_cost: RunningStats::new(),
+        fast_node_cost: RunningStats::new(),
+        exact_alice: RunningStats::new(),
+        fast_alice: RunningStats::new(),
+    };
+    for trial in 0..trials {
+        let seed = 1000 + trial;
+        let mut slot_carol = spec.slot_adversary(&params, seed);
+        let cfg = match budget {
+            Some(b) => RunConfig::seeded(seed).carol_budget(Budget::limited(b)),
+            None => RunConfig::seeded(seed),
+        };
+        let exact = run_broadcast(&params, slot_carol.as_mut(), &cfg);
+        agg.exact_informed.push(exact.informed_fraction());
+        agg.exact_node_cost.push(exact.mean_node_cost());
+        agg.exact_alice.push(exact.alice_cost.total() as f64);
+
+        let mut phase_carol = spec.phase_adversary(&params, seed);
+        let fcfg = match budget {
+            Some(b) => FastConfig::seeded(seed).carol_budget(b),
+            None => FastConfig::seeded(seed),
+        };
+        let fast = run_fast(&params, phase_carol.as_mut(), &fcfg);
+        agg.fast_informed.push(fast.informed_fraction());
+        agg.fast_node_cost.push(fast.mean_node_cost());
+        agg.fast_alice.push(fast.alice_cost.total() as f64);
+    }
+    agg
+}
+
+fn assert_close(label: &str, a: f64, b: f64, rel_tol: f64, abs_tol: f64) {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1e-9);
+    assert!(
+        diff <= abs_tol + rel_tol * scale,
+        "{label}: exact {a} vs fast {b} (diff {diff})"
+    );
+}
+
+#[test]
+fn quiet_runs_agree() {
+    let agg = compare(StrategySpec::Silent, 64, None, 4, 2);
+    assert_close(
+        "informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.02,
+        0.02,
+    );
+    assert_close(
+        "mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.25,
+        2.0,
+    );
+    assert_close(
+        "alice cost",
+        agg.exact_alice.mean(),
+        agg.fast_alice.mean(),
+        0.25,
+        10.0,
+    );
+}
+
+#[test]
+fn continuous_jamming_agrees() {
+    let agg = compare(StrategySpec::Continuous, 64, Some(2_000), 4, 3);
+    assert_close(
+        "informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    // Costs under jamming include clamped full-phase listening; both
+    // engines must land on the same scale.
+    assert_close(
+        "mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.3,
+        5.0,
+    );
+    assert_close(
+        "alice cost",
+        agg.exact_alice.mean(),
+        agg.fast_alice.mean(),
+        0.3,
+        20.0,
+    );
+}
+
+#[test]
+fn request_spoofing_agrees() {
+    let agg = compare(StrategySpec::Spoof(1.0), 64, Some(3_000), 4, 3);
+    assert_close(
+        "informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "alice cost",
+        agg.exact_alice.mean(),
+        agg.fast_alice.mean(),
+        0.35,
+        20.0,
+    );
+}
+
+#[test]
+fn dissemination_blocking_agrees() {
+    let agg = compare(StrategySpec::BlockDissemination(1.0), 64, Some(2_500), 4, 3);
+    assert_close(
+        "informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.3,
+        5.0,
+    );
+}

@@ -1,0 +1,77 @@
+//! Property-based integration tests: protocol invariants under randomised
+//! configurations (proptest).
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::{run_broadcast, Params, RunConfig};
+use evildoers::radio::Budget;
+use proptest::prelude::*;
+
+fn strategy_spec() -> impl Strategy<Value = StrategySpec> {
+    prop_oneof![
+        Just(StrategySpec::Silent),
+        Just(StrategySpec::Continuous),
+        (0.05f64..0.95).prop_map(StrategySpec::Random),
+        (1u64..64, 1u64..64).prop_map(|(burst, gap)| StrategySpec::Bursty { burst, gap }),
+        (0.55f64..1.0).prop_map(StrategySpec::BlockDissemination),
+        (0.55f64..1.0).prop_map(StrategySpec::BlockRequest),
+        (1u32..8).prop_map(StrategySpec::Extract),
+        (0.1f64..1.0).prop_map(StrategySpec::Spoof),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No configuration may violate the conservation/accounting laws.
+    #[test]
+    fn accounting_invariants_hold_for_random_configs(
+        spec in strategy_spec(),
+        seed in 0u64..1_000_000,
+        budget in 0u64..2_000,
+        n_exp in 4u32..6, // n ∈ {16, 32}
+    ) {
+        let n = 1u64 << n_exp;
+        let params = Params::builder(n).max_round_margin(2).build().unwrap();
+        let mut carol = spec.slot_adversary(&params, seed);
+        let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(budget));
+        let o = run_broadcast(&params, carol.as_mut(), &cfg);
+
+        // Partition law.
+        prop_assert_eq!(
+            o.informed_nodes + o.uninformed_terminated + o.unterminated_nodes,
+            o.n
+        );
+        // Budget laws.
+        prop_assert!(o.carol_spend() <= budget);
+        prop_assert!(o.alice_cost.total() <= params.alice_budget());
+        let max = o.max_node_cost.unwrap_or(0);
+        prop_assert!(max <= params.node_budget());
+        // Cost composition.
+        let costs = o.node_costs.as_ref().unwrap();
+        let sum: u64 = costs.iter().map(|c| c.total()).sum();
+        prop_assert_eq!(sum, o.node_total_cost.total());
+        // The schedule cap bounds every run.
+        let schedule = evildoers::core::RoundSchedule::new(&params);
+        prop_assert!(o.slots <= schedule.total_slots() + 4);
+    }
+
+    /// Sacrifice never exceeds a third of the population for budgeted
+    /// adversaries at these scales (the measured ε is far below the
+    /// analytical renormalisation).
+    #[test]
+    fn sacrificed_fraction_stays_small(
+        seed in 0u64..1_000_000,
+        budget in 0u64..1_500,
+    ) {
+        let params = Params::builder(32).max_round_margin(3).build().unwrap();
+        let mut carol = StrategySpec::Continuous.slot_adversary(&params, seed);
+        let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(budget));
+        let o = run_broadcast(&params, carol.as_mut(), &cfg);
+        prop_assert!(
+            (o.uninformed_terminated as f64) <= 0.34 * o.n as f64,
+            "sacrificed {} of {}",
+            o.uninformed_terminated,
+            o.n
+        );
+    }
+}

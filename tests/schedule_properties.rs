@@ -1,0 +1,87 @@
+//! Property-based tests on the round/phase schedule — the data structure
+//! every participant and adversary must agree on exactly.
+
+use evildoers::core::{Cursor, PhaseKind, RoundSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Cursor::advance` and `RoundSchedule::locate` are the same function
+    /// (one incremental, one random-access) for every shape.
+    #[test]
+    fn cursor_and_locate_agree(
+        k in 2u32..6,
+        start in 1u32..4,
+        extra in 0u32..8,
+    ) {
+        let max = start + extra;
+        prop_assume!((1.0 + 1.0 / f64::from(k)) * f64::from(max) < 62.0);
+        let schedule = RoundSchedule::with_shape(k, start, max);
+        let mut cursor = Cursor::new(schedule.clone());
+        let total = schedule.total_slots().min(5_000);
+        for slot in 0..total {
+            let a = cursor.advance();
+            let b = schedule.locate(slot);
+            prop_assert_eq!(a, b, "slot {}", slot);
+        }
+    }
+
+    /// Phase lengths are monotone in the round index and rounds partition
+    /// the slot axis with no gaps or overlaps.
+    #[test]
+    fn rounds_partition_the_slot_axis(
+        k in 2u32..6,
+        max in 2u32..14,
+    ) {
+        prop_assume!((1.0 + 1.0 / f64::from(k)) * f64::from(max) < 62.0);
+        let schedule = RoundSchedule::with_shape(k, 1, max);
+        let mut expected_start = 0u64;
+        for i in 1..=max {
+            prop_assert_eq!(schedule.round_start(i), expected_start);
+            prop_assert_eq!(schedule.round_len(i), (u64::from(k) + 1) * schedule.phase_len(i));
+            if i > 1 {
+                prop_assert!(schedule.phase_len(i) > schedule.phase_len(i - 1));
+            }
+            expected_start += schedule.round_len(i);
+        }
+        prop_assert_eq!(schedule.total_slots(), expected_start);
+    }
+
+    /// Every round contains exactly one inform phase, k−1 propagation
+    /// steps in ascending order, and one request phase — in that order.
+    #[test]
+    fn phase_order_within_each_round(
+        k in 2u32..6,
+        max in 1u32..8,
+    ) {
+        prop_assume!((1.0 + 1.0 / f64::from(k)) * f64::from(max) < 62.0);
+        let schedule = RoundSchedule::with_shape(k, 1, max);
+        for i in 1..=max {
+            let len = schedule.phase_len(i);
+            let start = schedule.round_start(i);
+            // Sample the first slot of each phase.
+            let mut expected = vec![PhaseKind::Inform];
+            for h in 1..k {
+                expected.push(PhaseKind::Propagation { step: h });
+            }
+            expected.push(PhaseKind::Request);
+            for (ordinal, want) in expected.iter().enumerate() {
+                let pos = schedule.locate(start + ordinal as u64 * len);
+                prop_assert_eq!(pos.round, i);
+                prop_assert_eq!(&pos.phase, want);
+                prop_assert!(pos.is_phase_start());
+            }
+        }
+    }
+
+    /// `locate` is total: any slot index (even far beyond the schedule)
+    /// maps to a valid position within bounds.
+    #[test]
+    fn locate_is_total(slot in 0u64..u64::MAX / 4) {
+        let schedule = RoundSchedule::with_shape(2, 1, 12);
+        let pos = schedule.locate(slot);
+        prop_assert!(pos.round >= 1 && pos.round <= 12);
+        prop_assert!(pos.offset < pos.phase_len);
+    }
+}
