@@ -15,12 +15,12 @@ use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 ///
 /// ```
 /// use rcb_adversary::ContinuousJammer;
-/// use rcb_core::{run_broadcast, Params, RunConfig};
+/// use rcb_core::{BroadcastScratch, Params, RunConfig};
 /// use rcb_radio::Budget;
 ///
 /// let params = Params::builder(32).build()?;
 /// let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
-/// let outcome = run_broadcast(&params, &mut ContinuousJammer, &cfg);
+/// let (outcome, _) = BroadcastScratch::new().run(&params, &mut ContinuousJammer, &cfg);
 /// assert_eq!(outcome.carol_spend(), 500); // she spends it all
 /// # Ok::<(), rcb_core::ParamsError>(())
 /// ```
@@ -42,7 +42,9 @@ impl PhaseAdversary for ContinuousJammer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_core::{Params, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     #[test]

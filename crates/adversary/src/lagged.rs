@@ -1,0 +1,113 @@
+//! The lagged reactive jammer — detection-then-jam with one slot of
+//! latency.
+//!
+//! Real sensor-network jammers often cannot perform in-slot CCA: by the
+//! time the radio has detected energy on the channel, the slot is over.
+//! The best such hardware can do is jam the *following* slot, hoping the
+//! transmission pattern is bursty enough that activity predicts activity.
+//! Against ε-BROADCAST's memoryless per-slot sampling this is a weak
+//! strategy — which is exactly why it is worth measuring next to the
+//! in-slot [`ReactiveJammer`](crate::ReactiveJammer) (§4.1): the delta
+//! between the two isolates the value of the RSSI capability the paper's
+//! hardening is designed to defeat.
+//!
+//! This adversary is inherently **slot-only**: its decision depends on the
+//! activity of the immediately preceding slot, which the phase-level
+//! aggregated simulator does not represent. `StrategySpec::LaggedReactive`
+//! therefore has no phase-level counterpart, and the `Scenario` builder
+//! rejects it on the fast engine with a typed error.
+
+use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot, SlotObservation};
+
+/// Jams slot `t + 1` whenever any correct device transmitted in slot `t`.
+///
+/// Uses only the adaptive [`Adversary::observe`] feedback — no in-slot
+/// RSSI — so [`Adversary::is_reactive`] stays `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaggedJammer {
+    jam_next: bool,
+}
+
+impl LaggedJammer {
+    /// Creates a lagged jammer (no pending jam).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for LaggedJammer {
+    fn plan(&mut self, _slot: Slot, ctx: &AdversaryCtx) -> AdversaryMove {
+        let fire = std::mem::take(&mut self.jam_next);
+        if fire && ctx.can_afford(1) {
+            AdversaryMove::jam_all()
+        } else {
+            AdversaryMove::idle()
+        }
+    }
+
+    fn observe(&mut self, _slot: Slot, observation: &SlotObservation<'_>) {
+        self.jam_next = !observation.correct_sends.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::{BroadcastScratch, Params, RunConfig};
+    use rcb_radio::{Budget, ParticipantId, PayloadKind};
+
+    fn observation(sends: &[(ParticipantId, PayloadKind)]) -> SlotObservation<'_> {
+        SlotObservation {
+            correct_sends: sends,
+            listeners: &[],
+            jam_executed: false,
+        }
+    }
+
+    #[test]
+    fn jams_exactly_one_slot_after_activity() {
+        let mut carol = LaggedJammer::new();
+        let ctx = AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        };
+        // Quiet slot: nothing planned next.
+        carol.observe(Slot::ZERO, &observation(&[]));
+        assert!(!carol.plan(Slot::new(1), &ctx).jam.is_active());
+        // Active slot: the next plan jams, and only the next.
+        let sends = [(ParticipantId::new(0), PayloadKind::Broadcast)];
+        carol.observe(Slot::new(1), &observation(&sends));
+        assert!(carol.plan(Slot::new(2), &ctx).jam.is_active());
+        carol.observe(Slot::new(2), &observation(&[]));
+        assert!(!carol.plan(Slot::new(3), &ctx).jam.is_active());
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let mut carol = LaggedJammer::new();
+        let broke = AdversaryCtx {
+            budget_remaining: Some(0),
+            spent: 10,
+        };
+        let sends = [(ParticipantId::new(0), PayloadKind::Broadcast)];
+        carol.observe(Slot::ZERO, &observation(&sends));
+        assert!(!carol.plan(Slot::new(1), &broke).jam.is_active());
+    }
+
+    #[test]
+    fn is_not_reactive_and_cannot_blank_the_protocol() {
+        // One slot of lag misses the memoryless per-slot sampling: unlike
+        // the in-slot ReactiveJammer, delivery goes through.
+        let params = Params::builder(32).max_round_margin(3).build().unwrap();
+        let mut carol = LaggedJammer::new();
+        assert!(!rcb_radio::Adversary::is_reactive(&carol));
+        let cfg = RunConfig::seeded(3).carol_budget(Budget::limited(2_000));
+        let (outcome, _) = BroadcastScratch::new().run(&params, &mut carol, &cfg);
+        assert!(
+            outcome.informed_fraction() > 0.9,
+            "informed {}",
+            outcome.informed_fraction()
+        );
+    }
+}

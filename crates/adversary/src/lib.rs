@@ -17,15 +17,21 @@
 //! | [`EpsilonExtractor`] | §2.3 n-uniform discussion | block propagation totally but spare hand-picked nodes |
 //! | [`NackSpoofer`] | §2.2 spoofing attack | Byzantine fake nacks keep Alice awake |
 //! | [`ReactiveJammer`] | §4.1 | jam only slots with detected RSSI activity |
+//! | [`LaggedJammer`] | §4.1 without in-slot CCA | jam the slot *after* detected activity (slot-only) |
 //!
 //! Every strategy is deterministic given its seed; the analysis harness
-//! constructs them from a serialisable [`StrategySpec`].
+//! constructs them from a serialisable [`StrategySpec`]. Strategies whose
+//! decisions are inherently slot-granular (currently [`LaggedJammer`])
+//! have no phase-level counterpart — [`StrategySpec::phase_adversary`]
+//! returns `None` for them and `rcb_sim::Scenario` rejects the
+//! combination with a typed error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bursty;
 mod continuous;
+mod lagged;
 mod nuniform;
 mod phase_blocker;
 mod random;
@@ -35,6 +41,7 @@ mod spoofer;
 
 pub use bursty::BurstyJammer;
 pub use continuous::ContinuousJammer;
+pub use lagged::LaggedJammer;
 pub use nuniform::EpsilonExtractor;
 pub use phase_blocker::{PhaseBlocker, PhaseTarget};
 pub use random::RandomJammer;
@@ -46,3 +53,17 @@ pub use spoofer::NackSpoofer;
 // for "every adversary".
 pub use rcb_core::fast::SilentPhaseAdversary;
 pub use rcb_radio::SilentAdversary;
+
+#[cfg(test)]
+mod test_util {
+    use rcb_core::{BroadcastOutcome, BroadcastScratch, Params, RunConfig};
+
+    /// One-shot scratch run, shared by every strategy's test module.
+    pub(crate) fn run_broadcast(
+        params: &Params,
+        adversary: &mut dyn rcb_radio::Adversary,
+        config: &RunConfig,
+    ) -> BroadcastOutcome {
+        BroadcastScratch::new().run(params, adversary, config).0
+    }
+}

@@ -77,7 +77,9 @@ impl PhaseAdversary for EpsilonExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_core::{Params, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     #[test]
@@ -95,7 +97,11 @@ mod tests {
             outcome.informed_nodes
         );
         // And the spared nodes do get the message (they hear Alice clean).
-        assert!(outcome.informed_nodes >= 4, "informed {}", outcome.informed_nodes);
+        assert!(
+            outcome.informed_nodes >= 4,
+            "informed {}",
+            outcome.informed_nodes
+        );
     }
 
     #[test]

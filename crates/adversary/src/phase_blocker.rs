@@ -84,7 +84,10 @@ impl PhaseBlocker {
     /// Panics if `beta` is not in `(0, 1]`.
     #[must_use]
     pub fn new(schedule: RoundSchedule, target: PhaseTarget, beta: f64) -> Self {
-        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1], got {beta}");
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0,1], got {beta}"
+        );
         Self {
             schedule,
             target,
@@ -133,7 +136,9 @@ impl PhaseAdversary for PhaseBlocker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_core::{Params, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     fn schedule(n: u64) -> (Params, RoundSchedule) {

@@ -61,7 +61,9 @@ impl PhaseAdversary for RandomJammer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_core::{Params, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     #[test]

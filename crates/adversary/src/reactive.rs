@@ -85,7 +85,8 @@ impl PhaseAdversary for ReactiveJammer {
         // the reactive advantage by requesting ceil(P(active)·len) jams —
         // with decoys this is large (she pays for chaff), without decoys
         // it is just the m-slots.
-        let probs = rcb_core::probabilities::phase_probabilities(&self.params, ctx.round, ctx.phase);
+        let probs =
+            rcb_core::probabilities::phase_probabilities(&self.params, ctx.round, ctx.phase);
         let active_nodes = ctx.uninformed as f64;
         let p_decoy = if probs.decoy_send > 0.0 {
             1.0 - (1.0 - probs.decoy_send).powf(active_nodes)
@@ -94,9 +95,7 @@ impl PhaseAdversary for ReactiveJammer {
         };
         let p_m = match ctx.phase {
             PhaseKind::Inform => probs.alice_send,
-            PhaseKind::Propagation { .. } => {
-                1.0 - (1.0 - probs.informed_send).powf(active_nodes)
-            }
+            PhaseKind::Propagation { .. } => 1.0 - (1.0 - probs.informed_send).powf(active_nodes),
             PhaseKind::Request => 1.0 - (1.0 - probs.uninformed_nack).powf(active_nodes),
         };
         let p_active = 1.0 - (1.0 - p_m) * (1.0 - p_decoy);
@@ -107,7 +106,9 @@ impl PhaseAdversary for ReactiveJammer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, DecoyConfig, RunConfig};
+    use rcb_core::{DecoyConfig, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     #[test]

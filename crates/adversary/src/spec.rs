@@ -1,13 +1,14 @@
-//! Serialisable strategy specifications — the analysis harness names its
-//! adversaries with these and constructs fresh instances per trial.
+//! Serialisable strategy specifications — `rcb_sim::Scenario` and the
+//! analysis harness name their adversaries with these and construct fresh
+//! instances per trial.
 
 use rcb_core::fast::PhaseAdversary;
 use rcb_core::{Params, RoundSchedule};
 use rcb_radio::Adversary;
 
 use crate::{
-    BurstyJammer, ContinuousJammer, EpsilonExtractor, NackSpoofer, PhaseBlocker, PhaseTarget,
-    RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
+    BurstyJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer, NackSpoofer, PhaseBlocker,
+    PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
 };
 
 /// A named, parameterised adversary strategy.
@@ -20,7 +21,9 @@ use crate::{
 ///
 /// let params = Params::builder(64).build()?;
 /// let mut carol = StrategySpec::Continuous.slot_adversary(&params, 7);
-/// let mut fast_carol = StrategySpec::Continuous.phase_adversary(&params, 7);
+/// let mut fast_carol = StrategySpec::Continuous
+///     .phase_adversary(&params, 7)
+///     .expect("continuous jamming has a phase-level model");
 /// # let _ = (&mut carol, &mut fast_carol);
 /// # Ok::<(), rcb_core::ParamsError>(())
 /// ```
@@ -51,6 +54,9 @@ pub enum StrategySpec {
     Spoof(f64),
     /// §4.1 reactive RSSI jamming.
     Reactive,
+    /// Detection-then-jam with one slot of latency (no in-slot CCA).
+    /// Slot-only: has no phase-level model.
+    LaggedReactive,
 }
 
 impl StrategySpec {
@@ -68,7 +74,32 @@ impl StrategySpec {
             StrategySpec::Extract(x) => format!("extract(x={x})"),
             StrategySpec::Spoof(r) => format!("spoof(rate={r})"),
             StrategySpec::Reactive => "reactive".into(),
+            StrategySpec::LaggedReactive => "lagged-reactive".into(),
         }
+    }
+
+    /// Whether this strategy's behaviour is defined in terms of the
+    /// ε-BROADCAST round/phase schedule. Schedule-bound strategies are
+    /// meaningless against protocols without rounds (the baselines), and
+    /// `Scenario` rejects those combinations.
+    #[must_use]
+    pub fn requires_schedule(&self) -> bool {
+        matches!(
+            self,
+            StrategySpec::BlockDissemination(_)
+                | StrategySpec::BlockRequest(_)
+                | StrategySpec::BlockAll(_)
+                | StrategySpec::Extract(_)
+                | StrategySpec::Spoof(_)
+                | StrategySpec::Reactive
+        )
+    }
+
+    /// Whether a phase-level (fast simulator) model of this strategy
+    /// exists. See [`StrategySpec::phase_adversary`].
+    #[must_use]
+    pub fn supports_phase(&self) -> bool {
+        !matches!(self, StrategySpec::LaggedReactive)
     }
 
     /// Builds the slot-level adversary for the exact engine.
@@ -85,23 +116,43 @@ impl StrategySpec {
                 PhaseTarget::dissemination(),
                 beta,
             )),
-            StrategySpec::BlockRequest(beta) => {
-                Box::new(PhaseBlocker::new(schedule, PhaseTarget::termination(), beta))
-            }
+            StrategySpec::BlockRequest(beta) => Box::new(PhaseBlocker::new(
+                schedule,
+                PhaseTarget::termination(),
+                beta,
+            )),
             StrategySpec::BlockAll(beta) => {
                 Box::new(PhaseBlocker::new(schedule, PhaseTarget::all(), beta))
             }
             StrategySpec::Extract(x) => Box::new(EpsilonExtractor::sparing_first(schedule, x)),
             StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
             StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
+            StrategySpec::LaggedReactive => Box::new(LaggedJammer::new()),
         }
     }
 
-    /// Builds the phase-level adversary for the fast simulator.
+    /// Builds the slot-level adversary for protocols *without* a round
+    /// schedule (the baselines). Returns `None` when the strategy is
+    /// schedule-bound (see [`StrategySpec::requires_schedule`]).
     #[must_use]
-    pub fn phase_adversary(&self, params: &Params, seed: u64) -> Box<dyn PhaseAdversary> {
-        let schedule = RoundSchedule::new(params);
+    pub fn schedule_free_slot_adversary(&self, seed: u64) -> Option<Box<dyn Adversary>> {
         match *self {
+            StrategySpec::Silent => Some(Box::new(SilentAdversary)),
+            StrategySpec::Continuous => Some(Box::new(ContinuousJammer)),
+            StrategySpec::Random(p) => Some(Box::new(RandomJammer::new(p, seed))),
+            StrategySpec::Bursty { burst, gap } => Some(Box::new(BurstyJammer::new(burst, gap))),
+            StrategySpec::LaggedReactive => Some(Box::new(LaggedJammer::new())),
+            _ => None,
+        }
+    }
+
+    /// Builds the phase-level adversary for the fast simulator, or `None`
+    /// when the strategy is slot-only (see
+    /// [`StrategySpec::supports_phase`]).
+    #[must_use]
+    pub fn phase_adversary(&self, params: &Params, seed: u64) -> Option<Box<dyn PhaseAdversary>> {
+        let schedule = RoundSchedule::new(params);
+        Some(match *self {
             StrategySpec::Silent => Box::new(SilentPhaseAdversary),
             StrategySpec::Continuous => Box::new(ContinuousJammer),
             StrategySpec::Random(p) => Box::new(RandomJammer::new(p, seed)),
@@ -111,20 +162,23 @@ impl StrategySpec {
                 PhaseTarget::dissemination(),
                 beta,
             )),
-            StrategySpec::BlockRequest(beta) => {
-                Box::new(PhaseBlocker::new(schedule, PhaseTarget::termination(), beta))
-            }
+            StrategySpec::BlockRequest(beta) => Box::new(PhaseBlocker::new(
+                schedule,
+                PhaseTarget::termination(),
+                beta,
+            )),
             StrategySpec::BlockAll(beta) => {
                 Box::new(PhaseBlocker::new(schedule, PhaseTarget::all(), beta))
             }
             StrategySpec::Extract(x) => Box::new(EpsilonExtractor::sparing_first(schedule, x)),
             StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
             StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
-        }
+            StrategySpec::LaggedReactive => return None,
+        })
     }
 
-    /// Every strategy with representative parameters, for the E2 delivery
-    /// sweep.
+    /// Every phase-capable strategy with representative parameters, for
+    /// the E2 delivery sweep (runs on the fast simulator).
     #[must_use]
     pub fn roster() -> Vec<StrategySpec> {
         vec![
@@ -140,18 +194,30 @@ impl StrategySpec {
             StrategySpec::Reactive,
         ]
     }
+
+    /// The full strategy roster, including slot-only strategies that the
+    /// fast simulator cannot model.
+    #[must_use]
+    pub fn full_roster() -> Vec<StrategySpec> {
+        let mut roster = Self::roster();
+        roster.push(StrategySpec::LaggedReactive);
+        roster
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::fast::{FastConfig, run_fast};
-    use rcb_core::{run_broadcast, RunConfig};
+    use rcb_core::fast::{run_fast, FastConfig};
+    use rcb_core::{BroadcastScratch, RunConfig};
     use rcb_radio::Budget;
 
     #[test]
     fn names_are_unique() {
-        let names: Vec<String> = StrategySpec::roster().iter().map(|s| s.name()).collect();
+        let names: Vec<String> = StrategySpec::full_roster()
+            .iter()
+            .map(|s| s.name())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -161,20 +227,48 @@ mod tests {
     #[test]
     fn every_spec_builds_and_runs_on_both_engines() {
         let params = Params::builder(16).build().unwrap();
-        for spec in StrategySpec::roster() {
+        let mut scratch = BroadcastScratch::new();
+        for spec in StrategySpec::full_roster() {
             let mut slot_carol = spec.slot_adversary(&params, 1);
             let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
-            let o = run_broadcast(&params, slot_carol.as_mut(), &cfg);
+            let (o, _) = scratch.run(&params, slot_carol.as_mut(), &cfg);
             assert!(o.slots > 0, "{} produced empty run", spec.name());
 
-            let mut phase_carol = spec.phase_adversary(&params, 1);
-            let fo = run_fast(
-                &params,
-                phase_carol.as_mut(),
-                &FastConfig::seeded(1).carol_budget(500),
+            match spec.phase_adversary(&params, 1) {
+                Some(mut phase_carol) => {
+                    let fo = run_fast(
+                        &params,
+                        phase_carol.as_mut(),
+                        &FastConfig::seeded(1).carol_budget(500),
+                    );
+                    assert!(fo.slots > 0, "{} produced empty fast run", spec.name());
+                    assert!(fo.carol_spend() <= 500);
+                }
+                None => assert!(
+                    !spec.supports_phase(),
+                    "{} returned no phase adversary but claims phase support",
+                    spec.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn capability_flags_are_consistent() {
+        for spec in StrategySpec::full_roster() {
+            let params = Params::builder(16).build().unwrap();
+            assert_eq!(
+                spec.phase_adversary(&params, 0).is_some(),
+                spec.supports_phase(),
+                "{}",
+                spec.name()
             );
-            assert!(fo.slots > 0, "{} produced empty fast run", spec.name());
-            assert!(fo.carol_spend() <= 500);
+            assert_eq!(
+                spec.schedule_free_slot_adversary(0).is_some(),
+                !spec.requires_schedule(),
+                "{}",
+                spec.name()
+            );
         }
     }
 }

@@ -103,7 +103,9 @@ impl PhaseAdversary for NackSpoofer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{run_broadcast, Params, RunConfig};
+    use rcb_core::{Params, RunConfig};
+
+    use crate::test_util::run_broadcast;
     use rcb_radio::Budget;
 
     fn setup(n: u64) -> (Params, RoundSchedule) {
@@ -184,6 +186,10 @@ mod tests {
             uninformed: 3,
         };
         let plan = carol.plan_phase(&ctx);
-        assert!((4_600..5_400).contains(&plan.byz_sends), "{}", plan.byz_sends);
+        assert!(
+            (4_600..5_400).contains(&plan.byz_sends),
+            "{}",
+            plan.byz_sends
+        );
     }
 }

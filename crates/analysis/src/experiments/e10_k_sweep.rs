@@ -6,13 +6,13 @@
 //! outright infeasible. We sweep `k` at fixed `n` and measure all three
 //! effects.
 
-use rcb_adversary::ContinuousJammer;
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_adversary::StrategySpec;
 use rcb_core::Params;
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Summary, Table};
+use crate::{fit_loglog, Summary, Table};
 
 /// Runs E10 and renders the report.
 #[must_use]
@@ -39,27 +39,30 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut alice_quiet_by_k = Vec::new();
     for &k in &ks {
         let quiet_params = Params::builder(n).k(k).build().unwrap();
-        let quiet = run_trials(0xE10 ^ u64::from(k), trials, |seed| {
-            let o = run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed));
-            (o.mean_node_cost(), o.slots as f64, o.alice_cost.total() as f64)
-        });
-        let quiet_cost: Summary = quiet.iter().map(|r| r.0).collect();
-        let quiet_slots: Summary = quiet.iter().map(|r| r.1).collect();
-        let quiet_alice: Summary = quiet.iter().map(|r| r.2).collect();
+        let quiet = Scenario::broadcast(quiet_params)
+            .engine(Engine::Fast)
+            .seed(0xE10 ^ u64::from(k))
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        let quiet_cost: Summary = quiet.iter().map(|o| o.mean_node_cost()).collect();
+        let quiet_slots: Summary = quiet.iter().map(|o| o.slots as f64).collect();
+        let quiet_alice: Summary = quiet.iter().map(|o| o.alice_cost.total() as f64).collect();
 
         let mut pts = Vec::new();
         for &budget in &budgets {
             let params = must_provision(n, k, budget);
-            let jammed: Summary = run_trials(0xE10A ^ budget ^ u64::from(k), trials, |seed| {
-                let o = run_fast(
-                    &params,
-                    &mut ContinuousJammer,
-                    &FastConfig::seeded(seed).carol_budget(budget),
-                );
-                (o.mean_node_cost() - quiet_cost.mean()).max(0.0)
-            })
-            .into_iter()
-            .collect();
+            let jammed: Summary = Scenario::broadcast(params)
+                .engine(Engine::Fast)
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(budget)
+                .seed(0xE10A ^ budget ^ u64::from(k))
+                .build()
+                .expect("valid scenario")
+                .run_batch(trials)
+                .iter()
+                .map(|o| (o.mean_node_cost() - quiet_cost.mean()).max(0.0))
+                .collect();
             pts.push((budget as f64, jammed.mean()));
         }
         let fit = fit_loglog(&pts);
@@ -85,7 +88,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let findings = vec![
         format!(
             "fitted cost exponents across k: {:?} — higher k is more resource-competitive",
-            exponents.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+            exponents
+                .iter()
+                .map(|e| format!("{e:.3}"))
+                .collect::<Vec<_>>()
         ),
         format!(
             "Alice's quiet cost across k: {:?}; at practical n the clamped early rounds \

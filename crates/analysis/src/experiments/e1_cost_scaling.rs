@@ -5,13 +5,13 @@
 //! quiet run — the quiet cost is Theorem 1's additive `+1` term) and fit
 //! the log-log slope against her measured spend. Theory: `1/(k+1)`.
 
-use rcb_adversary::ContinuousJammer;
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_adversary::StrategySpec;
 use rcb_core::Params;
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Table};
+use crate::{fit_loglog, Table};
 
 /// Sweep configuration for one `k`.
 struct SweepPlan {
@@ -57,38 +57,39 @@ struct Point {
 fn sweep(plan: &SweepPlan, base_seed: u64) -> (Vec<Point>, f64, f64) {
     // Quiet baseline (the "+1" additive term of Theorem 1).
     let quiet_params = Params::builder(plan.n).k(plan.k).build().unwrap();
-    let quiet: Vec<(f64, f64)> = run_trials(base_seed ^ 0xA11CE, plan.trials, |seed| {
-        let o = run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed));
-        (o.mean_node_cost(), o.alice_cost.total() as f64)
-    });
-    let quiet_node: f64 = quiet.iter().map(|p| p.0).sum::<f64>() / quiet.len() as f64;
-    let quiet_alice: f64 = quiet.iter().map(|p| p.1).sum::<f64>() / quiet.len() as f64;
+    let quiet = Scenario::broadcast(quiet_params)
+        .engine(Engine::Fast)
+        .seed(base_seed ^ 0xA11CE)
+        .build()
+        .expect("quiet fast scenario is valid")
+        .run_batch(plan.trials);
+    let quiet_node: f64 =
+        quiet.iter().map(|o| o.mean_node_cost()).sum::<f64>() / quiet.len() as f64;
+    let quiet_alice: f64 = quiet
+        .iter()
+        .map(|o| o.alice_cost.total() as f64)
+        .sum::<f64>()
+        / quiet.len() as f64;
 
     let mut points = Vec::new();
     for &budget in &plan.budgets {
         let params = must_provision(plan.n, plan.k, budget);
-        let outcomes = run_trials(base_seed ^ budget, plan.trials, |seed| {
-            let mut carol = ContinuousJammer;
-            let o = run_fast(
-                &params,
-                &mut carol,
-                &FastConfig::seeded(seed).carol_budget(budget),
-            );
-            (
-                o.carol_spend() as f64,
-                o.mean_node_cost(),
-                o.alice_cost.total() as f64,
-                o.informed_fraction(),
-            )
-        });
-        let avg = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
+        let outcomes = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(base_seed ^ budget)
+            .build()
+            .expect("jammed fast scenario is valid")
+            .run_batch(plan.trials);
+        let avg = |f: &dyn Fn(&rcb_sim::ScenarioOutcome) -> f64| {
             outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
         };
         points.push(Point {
             budget,
-            carol_spent: avg(&|o| o.0),
-            node_marginal: (avg(&|o| o.1) - quiet_node).max(0.0),
-            alice_marginal: (avg(&|o| o.2) - quiet_alice).max(0.0),
+            carol_spent: avg(&|o| o.carol_spend() as f64),
+            node_marginal: (avg(&|o| o.mean_node_cost()) - quiet_node).max(0.0),
+            alice_marginal: (avg(&|o| o.alice_cost.total() as f64) - quiet_alice).max(0.0),
         });
     }
     (points, quiet_node, quiet_alice)
@@ -141,7 +142,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
         );
         findings.push(format!(
             "k={}: node exponent {:.3} (theory {:.3}, R²={:.3}); alice exponent {:.3} (R²={:.3})",
-            plan.k, node_fit.exponent, theory, node_fit.r_squared, alice_fit.exponent,
+            plan.k,
+            node_fit.exponent,
+            theory,
+            node_fit.r_squared,
+            alice_fit.exponent,
             alice_fit.r_squared
         ));
         let ok = match scale {
@@ -149,9 +154,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
             Scale::Smoke => node_fit.exponent > 0.0 && node_fit.exponent < 0.85,
             // Full: within a generous band of 1/(k+1); the clamp-region
             // transition biases small-T points upward.
-            Scale::Full => {
-                (node_fit.exponent - theory).abs() < 0.18 && node_fit.r_squared > 0.85
-            }
+            Scale::Full => (node_fit.exponent - theory).abs() < 0.18 && node_fit.r_squared > 0.85,
         };
         if !ok {
             pass = false;

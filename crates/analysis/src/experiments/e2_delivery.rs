@@ -5,12 +5,12 @@
 //! fraction and the sacrificed (terminated-uninformed) fraction.
 
 use rcb_adversary::StrategySpec;
-use rcb_core::fast::{run_fast, FastConfig};
 use rcb_core::{DecoyConfig, Params};
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{run_trials, Summary, Table};
+use crate::{Summary, Table};
 
 /// Runs E2 and renders the report.
 #[must_use]
@@ -37,27 +37,24 @@ pub fn run(scale: Scale) -> ExperimentReport {
             // Reactive Carol is only covered by Theorem 1 with the §4.1
             // decoy hardening; run her against the hardened protocol.
             let params: Params = if spec == StrategySpec::Reactive {
-                must_provision(n, 2, budget)
-                    .with_decoys(DecoyConfig::recommended())
+                must_provision(n, 2, budget).with_decoys(DecoyConfig::recommended())
             } else {
                 must_provision(n, 2, budget)
             };
-            let results = run_trials(0xE2 ^ n, trials, |seed| {
-                let mut carol = spec.phase_adversary(&params, seed);
-                let o = run_fast(
-                    &params,
-                    carol.as_mut(),
-                    &FastConfig::seeded(seed).carol_budget(budget),
-                );
-                (
-                    o.informed_fraction(),
-                    o.uninformed_terminated as f64 / o.n as f64,
-                    o.carol_spend() as f64,
-                )
-            });
-            let informed: Summary = results.iter().map(|r| r.0).collect();
-            let sacrificed: Summary = results.iter().map(|r| r.1).collect();
-            let spent: Summary = results.iter().map(|r| r.2).collect();
+            let outcomes = Scenario::broadcast(params)
+                .engine(Engine::Fast)
+                .adversary(spec)
+                .carol_budget(budget)
+                .seed(0xE2 ^ n)
+                .build()
+                .expect("every roster strategy is phase-capable")
+                .run_batch(trials);
+            let informed: Summary = outcomes.iter().map(|o| o.informed_fraction()).collect();
+            let sacrificed: Summary = outcomes
+                .iter()
+                .map(|o| o.uninformed_terminated as f64 / o.n as f64)
+                .collect();
+            let spent: Summary = outcomes.iter().map(|o| o.carol_spend() as f64).collect();
             table.row(vec![
                 spec.name(),
                 n.to_string(),

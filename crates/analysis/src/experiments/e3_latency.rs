@@ -5,12 +5,12 @@
 //! better, since that budget jams the channel continuously for as long
 //! (Corollary 1).
 
-use rcb_adversary::ContinuousJammer;
-use rcb_core::fast::{run_fast, FastConfig};
+use rcb_adversary::StrategySpec;
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Summary, Table};
+use crate::{fit_loglog, Summary, Table};
 
 /// Runs E3 and renders the report.
 #[must_use]
@@ -22,31 +22,38 @@ pub fn run(scale: Scale) -> ExperimentReport {
     };
     let theory = 1.0 + 1.0 / f64::from(k);
 
-    let mut table = Table::new(vec!["n", "carol budget", "slots (mean)", "slots ≥ T spent?"]);
+    let mut table = Table::new(vec![
+        "n",
+        "carol budget",
+        "slots (mean)",
+        "slots ≥ T spent?",
+    ]);
     let mut points = Vec::new();
     let mut all_bounded_below = true;
     for &n in &ns {
         let budget = 2 * (n as f64).powf(theory) as u64;
         let params = must_provision(n, k, budget);
-        let results = run_trials(0xE3 ^ n, trials, |seed| {
-            let o = run_fast(
-                &params,
-                &mut ContinuousJammer,
-                &FastConfig::seeded(seed).carol_budget(budget),
-            );
-            (o.slots as f64, o.carol_spend() as f64, o.completed())
-        });
-        let slots: Summary = results.iter().map(|r| r.0).collect();
-        let spent: Summary = results.iter().map(|r| r.1).collect();
-        let lower_bound_ok = results.iter().all(|r| r.0 >= r.1);
+        let outcomes = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(0xE3 ^ n)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        let slots: Summary = outcomes.iter().map(|o| o.slots as f64).collect();
+        let lower_bound_ok = outcomes.iter().all(|o| o.slots >= o.carol_spend());
         all_bounded_below &= lower_bound_ok;
         table.row(vec![
             n.to_string(),
             budget.to_string(),
             fmt_f(slots.mean()),
-            if lower_bound_ok { "yes".into() } else { "NO".into() },
+            if lower_bound_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
-        let _ = spent;
         points.push((n as f64, slots.mean()));
     }
 
@@ -71,7 +78,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
         title: "latency and its optimality",
         claim: "Alice and all correct nodes terminate within O(n^{1+1/k}) slots, and this \
                 latency is asymptotically optimal (Theorem 1; Corollary 1).",
-        tables: vec![("slots to completion vs n (continuous jammer, paper-regime budget)".into(), table)],
+        tables: vec![(
+            "slots to completion vs n (continuous jammer, paper-regime budget)".into(),
+            table,
+        )],
         findings,
         pass,
     }

@@ -6,19 +6,22 @@
 //! toward 0 (any genuine polynomial dependence would show a stable
 //! positive slope).
 
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
 use rcb_core::Params;
+use rcb_sim::{Engine, Scenario};
 
 use super::{ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Summary, Table};
+use crate::{fit_loglog, Summary, Table};
 
 /// Runs E4 and renders the report.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
     let (ns, trials): (Vec<u64>, u32) = match scale {
         Scale::Smoke => (vec![1 << 10, 1 << 13, 1 << 16], 2),
-        Scale::Full => (vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20], 6),
+        Scale::Full => (
+            vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20],
+            6,
+        ),
     };
 
     let mut table = Table::new(vec![
@@ -32,20 +35,28 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut alice_points = Vec::new();
     for &n in &ns {
         let params = Params::builder(n).build().unwrap();
-        let results = run_trials(0xE4 ^ n, trials, |seed| {
-            let o = run_fast(&params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed));
+        let node_budget = params.node_budget();
+        let outcomes = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .seed(0xE4 ^ n)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        for o in &outcomes {
             assert!(o.completed(), "quiet runs must complete");
-            (o.alice_cost.total() as f64, o.mean_node_cost())
-        });
-        let alice: Summary = results.iter().map(|r| r.0).collect();
-        let node: Summary = results.iter().map(|r| r.1).collect();
+        }
+        let alice: Summary = outcomes
+            .iter()
+            .map(|o| o.alice_cost.total() as f64)
+            .collect();
+        let node: Summary = outcomes.iter().map(|o| o.mean_node_cost()).collect();
         let polylog = (n as f64).ln().powf(4.5);
         table.row(vec![
             n.to_string(),
             fmt_f(alice.mean()),
             fmt_f(node.mean()),
             fmt_f(node.mean() / polylog),
-            params.node_budget().to_string(),
+            node_budget.to_string(),
         ]);
         node_points.push((n as f64, node.mean()));
         alice_points.push((n as f64, alice.mean()));

@@ -7,26 +7,19 @@
 //! adversary "cannot force any particular node to spend a
 //! disproportionate amount", §1.1).
 
-use rcb_adversary::ContinuousJammer;
-use rcb_core::fast::{run_fast, FastConfig};
-use rcb_core::{run_broadcast, RunConfig};
-use rcb_radio::Budget;
+use rcb_adversary::StrategySpec;
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{run_trials, Summary, Table};
+use crate::{Summary, Table};
 
 /// Runs E5 and renders the report.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
     let (n_fast, budgets, trials, n_exact): (u64, Vec<u64>, u32, u64) = match scale {
         Scale::Smoke => (1 << 12, vec![1 << 16, 1 << 19], 2, 64),
-        Scale::Full => (
-            1 << 14,
-            vec![1 << 14, 1 << 17, 1 << 20, 1 << 23],
-            6,
-            256,
-        ),
+        Scale::Full => (1 << 14, vec![1 << 14, 1 << 17, 1 << 20, 1 << 23], 6, 256),
     };
 
     // (a) Alice vs node mean across the budget sweep.
@@ -34,16 +27,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut worst_ratio: f64 = 0.0;
     for &budget in &budgets {
         let params = must_provision(n_fast, 2, budget);
-        let results = run_trials(0xE5 ^ budget, trials, |seed| {
-            let o = run_fast(
-                &params,
-                &mut ContinuousJammer,
-                &FastConfig::seeded(seed).carol_budget(budget),
-            );
-            (o.alice_cost.total() as f64, o.mean_node_cost())
-        });
-        let alice: Summary = results.iter().map(|r| r.0).collect();
-        let node: Summary = results.iter().map(|r| r.1).collect();
+        let outcomes = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(0xE5 ^ budget)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        let alice: Summary = outcomes
+            .iter()
+            .map(|o| o.alice_cost.total() as f64)
+            .collect();
+        let node: Summary = outcomes.iter().map(|o| o.mean_node_cost()).collect();
         let ratio = alice.mean() / node.mean().max(1.0);
         worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio.max(1e-9)));
         ratio_table.row(vec![
@@ -57,13 +53,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // (b) per-node dispersion on the exact engine.
     let exact_budget = 4_000u64;
     let params = must_provision(n_exact, 2, exact_budget);
-    let disp = run_trials(0xE5AC, trials.min(4), |seed| {
-        let mut carol = ContinuousJammer;
-        let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(exact_budget));
-        let o = run_broadcast(&params, &mut carol, &cfg);
-        let max = o.max_node_cost.unwrap_or(0) as f64;
-        (max / o.mean_node_cost().max(1.0), o.informed_fraction())
-    });
+    let disp: Vec<(f64, f64)> = Scenario::broadcast(params)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(exact_budget)
+        .seed(0xE5AC)
+        .build()
+        .expect("valid scenario")
+        .run_batch(trials.min(4))
+        .iter()
+        .map(|o| {
+            let max = o.max_node_cost.unwrap_or(0) as f64;
+            (max / o.mean_node_cost().max(1.0), o.informed_fraction())
+        })
+        .collect();
     let max_over_mean: Summary = disp.iter().map(|r| r.0).collect();
     let mut disp_table = Table::new(vec!["n", "trials", "max/mean node cost", "worst"]);
     disp_table.row(vec![
@@ -96,7 +98,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "Alice and each correct node incur asymptotically equal costs up to \
                 logarithmic factors (§1.1 'load balanced'; Theorem 1).",
         tables: vec![
-            ("alice vs mean node cost (continuous jammer)".into(), ratio_table),
+            (
+                "alice vs mean node cost (continuous jammer)".into(),
+                ratio_table,
+            ),
             ("per-node dispersion (exact engine)".into(), disp_table),
         ],
         findings,

@@ -7,13 +7,13 @@
 //! mechanism). This experiment runs both protocol variants on the exact
 //! engine (reactivity is a slot-level capability).
 
-use rcb_adversary::ReactiveJammer;
-use rcb_core::{run_broadcast, DecoyConfig, Params, RunConfig};
-use rcb_radio::Budget;
+use rcb_adversary::StrategySpec;
+use rcb_core::{DecoyConfig, Params};
+use rcb_sim::Scenario;
 
 use super::{ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{run_trials, Summary, Table};
+use crate::{Summary, Table};
 
 /// Runs E6 and renders the report.
 #[must_use]
@@ -32,9 +32,14 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let margin = 4u32;
     let plain_block_spend = {
         let params = Params::builder(n).max_round_margin(margin).build().unwrap();
-        let mut carol = ReactiveJammer::new(params.clone());
-        let cfg = RunConfig::seeded(0xE6).carol_budget(Budget::limited(u64::MAX / 2));
-        run_broadcast(&params, &mut carol, &cfg).carol_spend()
+        Scenario::broadcast(params)
+            .adversary(StrategySpec::Reactive)
+            .carol_budget(u64::MAX / 2)
+            .seed(0xE6)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .carol_spend()
     };
     let budgets = vec![plain_block_spend * 3 / 2, plain_block_spend * 5 / 2];
 
@@ -60,21 +65,22 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 };
                 b.build().unwrap()
             };
-            let results = run_trials(0xE6 ^ budget ^ u64::from(hardened), trials, |seed| {
-                let mut carol = ReactiveJammer::new(params.clone());
-                let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(budget));
-                let o = run_broadcast(&params, &mut carol, &cfg);
-                (
-                    o.informed_fraction(),
-                    o.carol_spend() as f64,
-                    o.mean_node_cost(),
-                )
-            });
-            let informed: Summary = results.iter().map(|r| r.0).collect();
-            let spent: Summary = results.iter().map(|r| r.1).collect();
-            let node: Summary = results.iter().map(|r| r.2).collect();
+            let outcomes = Scenario::broadcast(params)
+                .adversary(StrategySpec::Reactive)
+                .carol_budget(budget)
+                .seed(0xE6 ^ budget ^ u64::from(hardened))
+                .build()
+                .expect("valid scenario")
+                .run_batch(trials);
+            let informed: Summary = outcomes.iter().map(|o| o.informed_fraction()).collect();
+            let spent: Summary = outcomes.iter().map(|o| o.carol_spend() as f64).collect();
+            let node: Summary = outcomes.iter().map(|o| o.mean_node_cost()).collect();
             table.row(vec![
-                if hardened { "decoy-hardened".into() } else { "plain".to_string() },
+                if hardened {
+                    "decoy-hardened".into()
+                } else {
+                    "plain".to_string()
+                },
                 budget.to_string(),
                 fmt_f(informed.mean()),
                 fmt_f(spent.mean()),
@@ -91,8 +97,16 @@ pub fn run(scale: Scale) -> ExperimentReport {
     findings.push(format!(
         "plain protocol vs reactive Carol: delivery blocked entirely ({}); decoy-hardened: \
          ≥90% informed once she drains on chaff ({})",
-        if plain_blocked { "confirmed" } else { "NOT confirmed" },
-        if hardened_delivered { "confirmed" } else { "NOT confirmed" },
+        if plain_blocked {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        },
+        if hardened_delivered {
+            "confirmed"
+        } else {
+            "NOT confirmed"
+        },
     ));
     findings.push(
         "the correct nodes themselves bear the decoy cost — no free external noise is \

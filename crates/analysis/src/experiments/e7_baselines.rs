@@ -4,17 +4,16 @@
 //! Part A sweeps a continuous jammer against naive broadcast, epidemic
 //! gossip, and ε-BROADCAST at the same `n` on the exact engine. Part B
 //! fits the two-player KSY reconstruction's exponent. The punchline table
-//! compares fitted exponents with theory.
+//! compares fitted exponents with theory. Every protocol runs through the
+//! same `Scenario` builder — this experiment is the API's raison d'être.
 
-use rcb_adversary::ContinuousJammer;
-use rcb_baselines::ksy::{run_ksy, KsyConfig};
-use rcb_baselines::{run_epidemic, run_naive, EpidemicConfig, NaiveConfig};
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
+use rcb_adversary::StrategySpec;
 use rcb_core::Params;
+use rcb_sim::{Engine, EpidemicSpec, KsySpec, NaiveSpec, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Summary, Table};
+use crate::{fit_loglog, Summary, Table};
 
 /// Runs E7 and renders the report.
 ///
@@ -44,29 +43,29 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let mut naive_pts = Vec::new();
     let mut epi_pts = Vec::new();
     for &t in &budgets {
-        let naive: Summary = run_trials(0xE7A ^ t, trials, |seed| {
-            let o = run_naive(
-                &NaiveConfig {
-                    n,
-                    horizon: t + 200,
-                    carol_budget: rcb_radio::Budget::limited(t),
-                    seed,
-                },
-                &mut ContinuousJammer,
-            );
-            o.mean_node_cost()
+        let naive: Summary = Scenario::naive(NaiveSpec {
+            n,
+            horizon: t + 200,
         })
-        .into_iter()
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(t)
+        .seed(0xE7A ^ t)
+        .build()
+        .expect("valid scenario")
+        .run_batch(trials)
+        .iter()
+        .map(|o| o.mean_node_cost())
         .collect();
-        let epidemic: Summary = run_trials(0xE7B ^ t, trials, |seed| {
-            let o = run_epidemic(
-                &EpidemicConfig::new(n, t + 200, rcb_radio::Budget::limited(t), seed),
-                &mut ContinuousJammer,
-            );
-            o.mean_node_cost()
-        })
-        .into_iter()
-        .collect();
+        let epidemic: Summary = Scenario::epidemic(EpidemicSpec::new(n, t + 200))
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(t)
+            .seed(0xE7B ^ t)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials)
+            .iter()
+            .map(|o| o.mean_node_cost())
+            .collect();
         cost_table.row(vec![
             t.to_string(),
             fmt_f(naive.mean()),
@@ -81,26 +80,29 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Part A2: ε-BROADCAST marginal cost at large n (fast simulator).
     let quiet_params = Params::builder(ours_n).build().unwrap();
     let quiet_node: f64 = {
-        let xs = run_trials(0xE701, trials, |seed| {
-            run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed))
-                .mean_node_cost()
-        });
-        xs.iter().sum::<f64>() / xs.len() as f64
+        let xs = Scenario::broadcast(quiet_params)
+            .engine(Engine::Fast)
+            .seed(0xE701)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        xs.iter().map(|o| o.mean_node_cost()).sum::<f64>() / xs.len() as f64
     };
     let mut ours_table = Table::new(vec!["T", "ε-BROADCAST node cost − quiet"]);
     let mut ours_pts = Vec::new();
     for &t in &ours_budgets {
         let params = must_provision(ours_n, 2, t);
-        let ours: Summary = run_trials(0xE7C ^ t, trials, |seed| {
-            let o = run_fast(
-                &params,
-                &mut ContinuousJammer,
-                &FastConfig::seeded(seed).carol_budget(t),
-            );
-            (o.mean_node_cost() - quiet_node).max(0.0)
-        })
-        .into_iter()
-        .collect();
+        let ours: Summary = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(t)
+            .seed(0xE7C ^ t)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials)
+            .iter()
+            .map(|o| (o.mean_node_cost() - quiet_node).max(0.0))
+            .collect();
         ours_table.row(vec![t.to_string(), fmt_f(ours.mean())]);
         ours_pts.push((t as f64, ours.mean()));
     }
@@ -109,16 +111,16 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Part B: the two-player KSY exponent.
     let mut ksy_pts = Vec::new();
     for &t in &ksy_budgets {
-        let recv: Summary = run_trials(0xE7D ^ t, trials.max(4), |seed| {
-            let o = run_ksy(&KsyConfig {
-                carol_budget: t,
-                max_epochs: 40,
-                seed,
-            });
-            o.receiver_cost as f64
-        })
-        .into_iter()
-        .collect();
+        let recv: Summary = Scenario::ksy(KsySpec { max_epochs: 40 })
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(t)
+            .seed(0xE7D ^ t)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials.max(4))
+            .iter()
+            .map(|o| o.ksy.expect("ksy outcome").receiver_cost as f64)
+            .collect();
         ksy_pts.push((t as f64, recv.mean()));
     }
     let ksy_fit = fit_loglog(&ksy_pts);
@@ -167,8 +169,14 @@ pub fn run(scale: Scale) -> ExperimentReport {
                 prior work [23] achieves O(T^{0.62}); ε-BROADCAST achieves Õ(T^{1/(k+1)}) \
                 (§1, §1.2).",
         tables: vec![
-            (format!("baseline per-node cost vs Carol's spend, n = {n}"), cost_table),
-            (format!("ε-BROADCAST marginal node cost, n = {ours_n}"), ours_table),
+            (
+                format!("baseline per-node cost vs Carol's spend, n = {n}"),
+                cost_table,
+            ),
+            (
+                format!("ε-BROADCAST marginal node cost, n = {ours_n}"),
+                ours_table,
+            ),
             ("fitted exponents".into(), exponent_table),
         ],
         findings,

@@ -8,12 +8,12 @@
 //! uninformed termination can be forced.
 
 use rcb_adversary::StrategySpec;
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
 use rcb_core::Params;
+use rcb_sim::{Engine, Scenario};
 
 use super::{must_provision, ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{fit_loglog, run_trials, Summary, Table};
+use crate::{fit_loglog, Summary, Table};
 
 /// Runs E8 and renders the report.
 #[must_use]
@@ -26,12 +26,13 @@ pub fn run(scale: Scale) -> ExperimentReport {
     // Quiet baseline for Alice's marginal cost.
     let quiet_params = Params::builder(n).build().unwrap();
     let quiet_alice: f64 = {
-        let xs = run_trials(0xE80, trials, |seed| {
-            run_fast(&quiet_params, &mut SilentPhaseAdversary, &FastConfig::seeded(seed))
-                .alice_cost
-                .total() as f64
-        });
-        xs.iter().sum::<f64>() / xs.len() as f64
+        let xs = Scenario::broadcast(quiet_params)
+            .engine(Engine::Fast)
+            .seed(0xE80)
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        xs.iter().map(|o| o.alice_cost.total() as f64).sum::<f64>() / xs.len() as f64
     };
 
     let mut findings = Vec::new();
@@ -50,24 +51,24 @@ pub fn run(scale: Scale) -> ExperimentReport {
         let mut max_sacrificed: f64 = 0.0;
         for &budget in &budgets {
             let params = must_provision(n, 2, budget);
-            let results = run_trials(0xE8 ^ budget, trials, |seed| {
-                let mut carol = spec.phase_adversary(&params, seed);
-                let o = run_fast(
-                    &params,
-                    carol.as_mut(),
-                    &FastConfig::seeded(seed).carol_budget(budget),
-                );
-                (
-                    o.carol_spend() as f64,
-                    (o.alice_cost.total() as f64 - quiet_alice).max(0.0),
-                    o.informed_fraction(),
-                    o.uninformed_terminated as f64 / o.n as f64,
-                )
-            });
-            let spent: Summary = results.iter().map(|r| r.0).collect();
-            let extra: Summary = results.iter().map(|r| r.1).collect();
-            let informed: Summary = results.iter().map(|r| r.2).collect();
-            let sacrificed: Summary = results.iter().map(|r| r.3).collect();
+            let outcomes = Scenario::broadcast(params)
+                .engine(Engine::Fast)
+                .adversary(spec)
+                .carol_budget(budget)
+                .seed(0xE8 ^ budget)
+                .build()
+                .expect("valid scenario")
+                .run_batch(trials);
+            let spent: Summary = outcomes.iter().map(|o| o.carol_spend() as f64).collect();
+            let extra: Summary = outcomes
+                .iter()
+                .map(|o| (o.alice_cost.total() as f64 - quiet_alice).max(0.0))
+                .collect();
+            let informed: Summary = outcomes.iter().map(|o| o.informed_fraction()).collect();
+            let sacrificed: Summary = outcomes
+                .iter()
+                .map(|o| o.uninformed_terminated as f64 / o.n as f64)
+                .collect();
             min_informed = min_informed.min(informed.min());
             max_sacrificed = max_sacrificed.max(sacrificed.max());
             table.row(vec![

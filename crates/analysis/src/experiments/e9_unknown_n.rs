@@ -6,13 +6,13 @@
 //! constant-factor cost increase for the former and a log-factor increase
 //! for the latter, with guarantees intact.
 
-use rcb_adversary::ContinuousJammer;
-use rcb_core::{run_broadcast, Params, RunConfig, SizeKnowledge};
-use rcb_radio::{Budget, SilentAdversary};
+use rcb_adversary::StrategySpec;
+use rcb_core::{Params, SizeKnowledge};
+use rcb_sim::Scenario;
 
 use super::{ExperimentReport, Scale};
 use crate::table::fmt_f;
-use crate::{run_trials, Summary, Table};
+use crate::{Summary, Table};
 
 /// Runs E9 and renders the report.
 #[must_use]
@@ -25,7 +25,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let regimes: Vec<(&str, SizeKnowledge)> = vec![
         ("exact n", SizeKnowledge::Exact),
         ("n̂ = 2n", SizeKnowledge::Approximate { n_hat: 2 * n }),
-        ("ν = n²", SizeKnowledge::PolynomialOverestimate { nu: n * n }),
+        (
+            "ν = n²",
+            SizeKnowledge::PolynomialOverestimate { nu: n * n },
+        ),
     ];
 
     let mut table = Table::new(vec![
@@ -46,31 +49,27 @@ pub fn run(scale: Scale) -> ExperimentReport {
             .build()
             .unwrap();
         for jammed in [false, true] {
-            let results = run_trials(0xE9 ^ u64::from(jammed), trials, |seed| {
-                let cfg = if jammed {
-                    RunConfig::seeded(seed).carol_budget(Budget::limited(jam_budget))
-                } else {
-                    RunConfig::seeded(seed)
-                };
-                let o = if jammed {
-                    run_broadcast(&params, &mut ContinuousJammer, &cfg)
-                } else {
-                    run_broadcast(&params, &mut SilentAdversary, &cfg)
-                };
-                (
-                    o.informed_fraction(),
-                    o.mean_node_cost(),
-                    o.alice_cost.total() as f64,
-                    o.slots as f64,
-                )
-            });
-            let informed: Summary = results.iter().map(|r| r.0).collect();
-            let node: Summary = results.iter().map(|r| r.1).collect();
-            let alice: Summary = results.iter().map(|r| r.2).collect();
-            let slots: Summary = results.iter().map(|r| r.3).collect();
+            let mut builder = Scenario::broadcast(params.clone()).seed(0xE9 ^ u64::from(jammed));
+            if jammed {
+                builder = builder
+                    .adversary(StrategySpec::Continuous)
+                    .carol_budget(jam_budget);
+            }
+            let outcomes = builder.build().expect("valid scenario").run_batch(trials);
+            let informed: Summary = outcomes.iter().map(|o| o.informed_fraction()).collect();
+            let node: Summary = outcomes.iter().map(|o| o.mean_node_cost()).collect();
+            let alice: Summary = outcomes
+                .iter()
+                .map(|o| o.alice_cost.total() as f64)
+                .collect();
+            let slots: Summary = outcomes.iter().map(|o| o.slots as f64).collect();
             table.row(vec![
                 (*label).to_string(),
-                if jammed { "continuous".into() } else { "silent".to_string() },
+                if jammed {
+                    "continuous".into()
+                } else {
+                    "silent".to_string()
+                },
                 fmt_f(informed.mean()),
                 fmt_f(node.mean()),
                 fmt_f(alice.mean()),

@@ -68,7 +68,11 @@ impl fmt::Display for ExperimentReport {
         writeln!(
             f,
             "- **verdict: {}**",
-            if self.pass { "SHAPE REPRODUCED" } else { "MISMATCH" }
+            if self.pass {
+                "SHAPE REPRODUCED"
+            } else {
+                "MISMATCH"
+            }
         )
     }
 }
@@ -83,9 +87,7 @@ impl fmt::Display for ExperimentReport {
 pub fn provisioned_params(n: u64, k: u32, carol_budget: u64) -> Result<Params, ParamsError> {
     let probe = Params::builder(n).k(k).build()?;
     let broke_round = probe.unblockable_round(carol_budget);
-    let margin = (broke_round + 1)
-        .saturating_sub(probe.lg_n_ceil())
-        .max(2);
+    let margin = (broke_round + 1).saturating_sub(probe.lg_n_ceil()).max(2);
     Params::builder(n).k(k).max_round_margin(margin).build()
 }
 

@@ -5,12 +5,12 @@
 //! ever receive `m` while her budget lasts. This is the mechanism behind
 //! the ε-fraction in Theorem 1 — she can hand-pick the sacrificed nodes.
 
-use rcb_adversary::EpsilonExtractor;
-use rcb_core::{run_broadcast, Params, RoundSchedule, RunConfig};
-use rcb_radio::Budget;
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::Scenario;
 
 use super::{ExperimentReport, Scale};
-use crate::{run_trials, Summary, Table};
+use crate::{Summary, Table};
 
 /// Runs X2 and renders the report.
 #[must_use]
@@ -29,16 +29,19 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ]);
     let mut pass = true;
     for &x in &spare_counts {
-        let results = run_trials(0x112 ^ u64::from(x), trials, |seed| {
-            let schedule = RoundSchedule::new(&params);
-            let mut carol = EpsilonExtractor::sparing_first(schedule, x);
-            // Unlimited budget: she controls the whole schedule.
-            let cfg = RunConfig::seeded(seed).carol_budget(Budget::unlimited());
-            let o = run_broadcast(&params, &mut carol, &cfg);
-            (o.informed_nodes as f64, o.unterminated_nodes as f64)
-        });
-        let informed: Summary = results.iter().map(|r| r.0).collect();
-        let active: Summary = results.iter().map(|r| r.1).collect();
+        // Unlimited budget (the builder default): she controls the whole
+        // schedule.
+        let outcomes = Scenario::broadcast(params.clone())
+            .adversary(StrategySpec::Extract(x))
+            .seed(0x112 ^ u64::from(x))
+            .build()
+            .expect("valid scenario")
+            .run_batch(trials);
+        let informed: Summary = outcomes.iter().map(|o| o.informed_nodes as f64).collect();
+        let active: Summary = outcomes
+            .iter()
+            .map(|o| o.unterminated_nodes as f64)
+            .collect();
         table.row(vec![
             x.to_string(),
             format!("{:.1}", informed.mean()),

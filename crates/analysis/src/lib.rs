@@ -25,6 +25,6 @@ mod summary;
 mod table;
 
 pub use regression::{fit_loglog, fit_ols, PowerLawFit};
-pub use runner::run_trials;
+pub use runner::{run_trials, run_trials_scoped};
 pub use summary::Summary;
 pub use table::Table;

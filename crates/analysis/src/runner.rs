@@ -1,103 +1,10 @@
 //! Parallel trial execution with deterministic per-trial seeds.
+//!
+//! The implementation moved to `rcb_sim::batch` when `Scenario::run_batch`
+//! folded trial execution into the unified API: results are now routed
+//! channel-by-index into disjoint slots instead of through a global
+//! results mutex (which measurably serialised short trials). This module
+//! re-exports the runner so existing `rcb_analysis::run_trials` callers
+//! keep working.
 
-use parking_lot::Mutex;
-use rcb_rng::SeedTree;
-
-/// Runs `trials` independent executions of `trial_fn` across worker
-/// threads, collecting results in trial order.
-///
-/// Each trial receives a seed derived as `SeedTree::new(base_seed)
-/// .leaf_seed("trial", index)` — so a whole experiment replays from one
-/// number regardless of thread scheduling.
-///
-/// # Example
-///
-/// ```
-/// use rcb_analysis::run_trials;
-/// let squares = run_trials(7, 8, |seed| (seed % 100) * (seed % 100));
-/// assert_eq!(squares.len(), 8);
-/// // Deterministic regardless of parallelism.
-/// assert_eq!(squares, run_trials(7, 8, |seed| (seed % 100) * (seed % 100)));
-/// ```
-pub fn run_trials<T, F>(base_seed: u64, trials: u32, trial_fn: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64) -> T + Sync,
-{
-    let tree = SeedTree::new(base_seed);
-    let seeds: Vec<u64> = (0..trials).map(|i| tree.leaf_seed("trial", i.into())).collect();
-
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials.max(1) as usize);
-
-    if workers <= 1 || trials <= 1 {
-        return seeds.into_iter().map(&trial_fn).collect();
-    }
-
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= seeds.len() {
-                    break;
-                }
-                let out = trial_fn(seeds[idx]);
-                results.lock()[idx] = Some(out);
-            });
-        }
-    })
-    .expect("trial worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every trial index visited"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
-
-    #[test]
-    fn runs_every_trial_exactly_once() {
-        let counter = AtomicU32::new(0);
-        let out = run_trials(1, 32, |seed| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            seed
-        });
-        assert_eq!(out.len(), 32);
-        assert_eq!(counter.load(Ordering::Relaxed), 32);
-        // Seeds are pairwise distinct.
-        let mut sorted = out.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 32);
-    }
-
-    #[test]
-    fn deterministic_ordering_across_runs() {
-        let a = run_trials(9, 16, |seed| seed.wrapping_mul(3));
-        let b = run_trials(9, 16, |seed| seed.wrapping_mul(3));
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn single_trial_short_circuits() {
-        let out = run_trials(2, 1, |seed| seed + 1);
-        assert_eq!(out.len(), 1);
-    }
-
-    #[test]
-    fn zero_trials_is_empty() {
-        let out: Vec<u64> = run_trials(2, 0, |seed| seed);
-        assert!(out.is_empty());
-    }
-}
+pub use rcb_sim::{run_trials, run_trials_scoped};

@@ -127,8 +127,19 @@ impl NodeProtocol for GossipNode {
 }
 
 /// Runs epidemic gossip and reports a [`BroadcastOutcome`].
+///
+/// This is the execution engine behind `rcb_sim::Scenario::epidemic`;
+/// prefer the `Scenario` builder in application code.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability (the `Scenario` builder
+/// rejects this with a typed error instead).
 #[must_use]
-pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+pub fn execute_epidemic(
+    config: &EpidemicConfig,
+    adversary: &mut dyn Adversary,
+) -> BroadcastOutcome {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -163,13 +174,8 @@ pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> B
         trace_capacity: 0,
         stop_when_all_terminated: true,
     });
-    let report = engine.run_with_carol_budget(
-        &mut roster,
-        budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
+    let report =
+        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
 
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();
@@ -194,6 +200,16 @@ pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> B
     }
 }
 
+/// Deprecated alias for [`execute_epidemic`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use rcb_sim::Scenario::epidemic(..) or execute_epidemic"
+)]
+#[must_use]
+pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+    execute_epidemic(config, adversary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,7 +219,7 @@ mod tests {
     #[test]
     fn gossip_delivers_quickly_when_quiet() {
         let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
-        let outcome = run_epidemic(&cfg, &mut SilentAdversary);
+        let outcome = execute_epidemic(&cfg, &mut SilentAdversary);
         assert_eq!(outcome.informed_nodes, 32);
         // Gossip never stops on its own (the run lasts to the horizon),
         // but informed nodes stop listening: per-node listen cost is far
@@ -216,7 +232,7 @@ mod tests {
     fn listener_cost_scales_with_jamming() {
         let t = 3_000u64;
         let cfg = EpidemicConfig::new(8, t + 500, Budget::limited(t), 2);
-        let outcome = run_epidemic(&cfg, &mut ContinuousJammer);
+        let outcome = execute_epidemic(&cfg, &mut ContinuousJammer);
         assert_eq!(outcome.informed_nodes, 8);
         // Uninformed nodes listened with p=0.5 through all T jammed slots:
         // expected cost ≈ T/2 each — linear in T, unlike ε-BROADCAST.
@@ -233,6 +249,6 @@ mod tests {
     fn rejects_bad_listen_p() {
         let mut cfg = EpidemicConfig::new(4, 10, Budget::unlimited(), 0);
         cfg.listen_p = 1.5;
-        let _ = run_epidemic(&cfg, &mut SilentAdversary);
+        let _ = execute_epidemic(&cfg, &mut SilentAdversary);
     }
 }

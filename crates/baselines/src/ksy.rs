@@ -25,7 +25,7 @@ use rcb_rng::{subset::sample_distinct, SeedTree, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// The golden ratio φ.
-pub const PHI: f64 = 1.618_033_988_749_894_9;
+pub const PHI: f64 = 1.618_033_988_749_895;
 
 /// Configuration for a two-player KSY-style run.
 #[derive(Debug, Clone, Copy)]

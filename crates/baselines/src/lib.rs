@@ -5,15 +5,36 @@
 //! the jamming stops; this yields very poor resource competitiveness since
 //! each node spends at least as much as the adversary") and the earlier
 //! golden-ratio bound `O(T^{φ−1}) = O(T^{0.62})` of King–Saia–Young [23].
-//! This crate implements those comparators:
+//! This crate implements those comparators.
 //!
-//! * [`NaiveBroadcast`] — always-on sender, always-listening receivers;
-//!   per-device cost `Θ(T)`. Runs on the exact engine against any
-//!   [`rcb_radio::Adversary`].
-//! * [`EpidemicGossip`] — constant-rate relaying without backoff; receivers
-//!   still pay `Θ(T)` listening through jamming.
+//! ## Where to start
+//!
+//! **Run baselines through `rcb-sim`'s `Scenario` builder**, which gives
+//! every protocol the same adversary vocabulary, outcome type, and
+//! batching, and rejects invalid combinations with a typed error:
+//!
+//! ```text
+//! Scenario::naive(NaiveSpec { n: 8, horizon: 1_000 })
+//!     .adversary(StrategySpec::Continuous)
+//!     .carol_budget(500)
+//!     .build()?
+//!     .run()
+//! // likewise Scenario::epidemic(..) and Scenario::ksy(..)
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`execute_naive`] / [`NaiveConfig`] — always-on sender,
+//!   always-listening receivers; per-device cost `Θ(T)`. Runs on the
+//!   exact engine against any [`rcb_radio::Adversary`].
+//! * [`execute_epidemic`] / [`EpidemicConfig`] — constant-rate relaying
+//!   without backoff; receivers still pay `Θ(T)` listening through
+//!   jamming.
 //! * [`ksy`] — a two-player epoch protocol reproducing the *shape* of
 //!   [23]: per-player cost `O(T^{φ−1})` against a continuous jammer.
+//!
+//! The old `run_naive` / `run_epidemic` names remain as deprecated shims
+//! for one release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,5 +43,9 @@ mod epidemic;
 pub mod ksy;
 mod naive;
 
-pub use epidemic::{run_epidemic, EpidemicConfig};
-pub use naive::{run_naive, NaiveConfig};
+#[allow(deprecated)]
+pub use epidemic::run_epidemic;
+pub use epidemic::{execute_epidemic, EpidemicConfig};
+#[allow(deprecated)]
+pub use naive::run_naive;
+pub use naive::{execute_naive, NaiveConfig};

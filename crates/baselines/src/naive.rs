@@ -80,20 +80,23 @@ impl NodeProtocol for NaiveReceiver {
 /// Runs the naive protocol and reports a [`BroadcastOutcome`] (with
 /// `rounds_entered = 0`; the naive protocol has no rounds).
 ///
+/// This is the execution engine behind `rcb_sim::Scenario::naive`; prefer
+/// the `Scenario` builder in application code.
+///
 /// # Example
 ///
 /// ```
-/// use rcb_baselines::{run_naive, NaiveConfig};
+/// use rcb_baselines::{execute_naive, NaiveConfig};
 /// use rcb_radio::{Budget, SilentAdversary};
 ///
-/// let outcome = run_naive(
+/// let outcome = execute_naive(
 ///     &NaiveConfig { n: 8, horizon: 100, carol_budget: Budget::unlimited(), seed: 1 },
 ///     &mut SilentAdversary,
 /// );
 /// assert_eq!(outcome.informed_nodes, 8); // first slot delivers to all
 /// ```
 #[must_use]
-pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
     let seeds = SeedTree::new(config.seed);
     let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
     let alice_key = authority.issue_key();
@@ -120,13 +123,8 @@ pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Broadca
         stop_when_all_terminated: true,
     });
     let mut roster = roster;
-    let report = engine.run_with_carol_budget(
-        &mut roster,
-        budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
+    let report =
+        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
 
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();
@@ -151,6 +149,16 @@ pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Broadca
     }
 }
 
+/// Deprecated alias for [`execute_naive`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use rcb_sim::Scenario::naive(..) or execute_naive"
+)]
+#[must_use]
+pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+    execute_naive(config, adversary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +167,7 @@ mod tests {
 
     #[test]
     fn instant_delivery_without_jamming() {
-        let outcome = run_naive(
+        let outcome = execute_naive(
             &NaiveConfig {
                 n: 16,
                 horizon: 50,
@@ -178,7 +186,7 @@ mod tests {
         // The point of the baseline: per-node cost ≈ T, competitive ratio
         // ≈ 1 — "each node spends at least as much as the adversary".
         for (t, seed) in [(200u64, 2u64), (2_000, 3)] {
-            let outcome = run_naive(
+            let outcome = execute_naive(
                 &NaiveConfig {
                     n: 4,
                     horizon: t + 50,
@@ -199,7 +207,7 @@ mod tests {
 
     #[test]
     fn alice_pays_every_slot_until_horizon_or_everyone_done() {
-        let outcome = run_naive(
+        let outcome = execute_naive(
             &NaiveConfig {
                 n: 2,
                 horizon: 1_000,

@@ -1,24 +1,21 @@
 //! Criterion benches for the two simulation engines: exact slot-by-slot
-//! versus phase-level aggregation.
+//! versus phase-level aggregation, both behind the same `Scenario`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rcb_core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
-use rcb_core::{run_broadcast, Params, RunConfig};
-use rcb_radio::SilentAdversary;
+use rcb_core::Params;
+use rcb_sim::{Engine, Scenario, ScenarioScratch};
 
 fn bench_exact_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_engine_quiet");
     group.sample_size(10);
     for n in [16u64, 64, 128] {
         let params = Params::builder(n).build().unwrap();
+        let scenario = Scenario::broadcast(params).seed(1).build().unwrap();
+        // Scratch reuse is the batched execution path; benchmark it so the
+        // number reflects what run_batch trials actually cost.
+        let mut scratch = ScenarioScratch::new();
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| {
-                std::hint::black_box(run_broadcast(
-                    &params,
-                    &mut SilentAdversary,
-                    &RunConfig::seeded(1),
-                ))
-            });
+            b.iter(|| std::hint::black_box(scenario.run_in(&mut scratch, 1)));
         });
     }
     group.finish();
@@ -29,14 +26,13 @@ fn bench_fast_engine(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1u64 << 12, 1 << 16, 1 << 20] {
         let params = Params::builder(n).build().unwrap();
+        let scenario = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .seed(1)
+            .build()
+            .unwrap();
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| {
-                std::hint::black_box(run_fast(
-                    &params,
-                    &mut SilentPhaseAdversary,
-                    &FastConfig::seeded(1),
-                ))
-            });
+            b.iter(|| std::hint::black_box(scenario.run()));
         });
     }
     group.finish();

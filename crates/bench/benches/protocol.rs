@@ -1,30 +1,30 @@
 //! Criterion benches for end-to-end protocol executions under attack —
-//! the workloads the experiment harness runs thousands of times.
+//! the workloads the experiment harness runs thousands of times. All
+//! paths go through the unified `Scenario` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rcb_adversary::{ContinuousJammer, NackSpoofer, StrategySpec};
-use rcb_baselines::ksy::{run_ksy, KsyConfig};
-use rcb_core::fast::{run_fast, FastConfig};
-use rcb_core::{run_broadcast, Params, RoundSchedule, RunConfig};
-use rcb_radio::Budget;
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::{Engine, KsySpec, Scenario};
 
 fn bench_jammed_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_jammed");
     group.sample_size(10);
     let params = Params::builder(64).build().unwrap();
-    group.bench_function("continuous_n64", |b| {
-        b.iter(|| {
-            let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(2_000));
-            std::hint::black_box(run_broadcast(&params, &mut ContinuousJammer, &cfg))
+    for (label, spec) in [
+        ("continuous_n64", StrategySpec::Continuous),
+        ("spoofer_n64", StrategySpec::Spoof(1.0)),
+    ] {
+        let scenario = Scenario::broadcast(params.clone())
+            .adversary(spec)
+            .carol_budget(2_000)
+            .seed(1)
+            .build()
+            .unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(scenario.run()));
         });
-    });
-    group.bench_function("spoofer_n64", |b| {
-        b.iter(|| {
-            let mut carol = NackSpoofer::new(RoundSchedule::new(&params), 1.0, 7);
-            let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(2_000));
-            std::hint::black_box(run_broadcast(&params, &mut carol, &cfg))
-        });
-    });
+    }
     group.finish();
 }
 
@@ -33,29 +33,29 @@ fn bench_jammed_fast(c: &mut Criterion) {
     group.sample_size(10);
     for n in [1u64 << 14, 1 << 18] {
         let params = Params::builder(n).build().unwrap();
+        let scenario = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(1 << 20)
+            .seed(1)
+            .build()
+            .unwrap();
         group.bench_function(BenchmarkId::new("continuous", n), |b| {
-            b.iter(|| {
-                let mut carol = StrategySpec::Continuous.phase_adversary(&params, 1);
-                std::hint::black_box(run_fast(
-                    &params,
-                    carol.as_mut(),
-                    &FastConfig::seeded(1).carol_budget(1 << 20),
-                ))
-            });
+            b.iter(|| std::hint::black_box(scenario.run()));
         });
     }
     group.finish();
 }
 
 fn bench_ksy(c: &mut Criterion) {
+    let scenario = Scenario::ksy(KsySpec { max_epochs: 40 })
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(1_000_000)
+        .seed(1)
+        .build()
+        .unwrap();
     c.bench_function("ksy_two_player_T1e6", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_ksy(&KsyConfig {
-                carol_budget: 1_000_000,
-                max_epochs: 40,
-                seed: 1,
-            }))
-        });
+        b.iter(|| std::hint::black_box(scenario.run()));
     });
 }
 

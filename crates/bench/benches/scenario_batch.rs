@@ -1,0 +1,48 @@
+//! `scenario_batch` — throughput baseline for `Scenario::run_batch`.
+//!
+//! Measures batched trial throughput (trials/sec) at n = 256, exact vs
+//! fast engine, quiet and jammed. This is the reference number future
+//! batching/sharding PRs must beat: run_batch owns per-worker scratch
+//! (rosters and budget vectors reset in place, not reallocated per
+//! trial), parallel workers, and channel-by-index result collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::{Engine, Scenario};
+
+const N: u64 = 256;
+const TRIALS: u32 = 16;
+
+fn scenario(engine: Engine, jammed: bool) -> Scenario {
+    let params = Params::builder(N).build().unwrap();
+    let mut builder = Scenario::broadcast(params).engine(engine).seed(1);
+    if jammed {
+        builder = builder
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(2_000);
+    }
+    builder.build().unwrap()
+}
+
+fn bench_run_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(TRIALS)));
+    for engine in [Engine::Exact, Engine::Fast] {
+        for jammed in [false, true] {
+            let s = scenario(engine, jammed);
+            let label = format!(
+                "{engine:?}/{}/n{N}",
+                if jammed { "jammed" } else { "quiet" }
+            );
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| std::hint::black_box(s.run_batch(TRIALS)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_batch);
+criterion_main!(benches);

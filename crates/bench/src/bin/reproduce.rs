@@ -65,7 +65,10 @@ fn main() -> ExitCode {
         }
     }
     if failures == 0 {
-        println!("\nall {} experiment(s) reproduced the paper's shape", ids.len());
+        println!(
+            "\nall {} experiment(s) reproduced the paper's shape",
+            ids.len()
+        );
         ExitCode::SUCCESS
     } else {
         println!("\n{failures} experiment(s) mismatched");

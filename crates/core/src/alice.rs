@@ -71,6 +71,22 @@ impl Alice {
         }
     }
 
+    /// Rewinds Alice to her pre-run state with a fresh signed message,
+    /// reusing the existing schedule allocation. Parameters must be
+    /// unchanged since construction — batched trials share one `Params`.
+    pub fn reset(&mut self, signed_m: Signed) {
+        self.cursor.reset();
+        self.signed_m = signed_m;
+        self.probs = PhaseProbabilities::default();
+        self.cached_phase = None;
+        self.current = None;
+        self.noisy_heard = 0;
+        self.pending_eval = None;
+        self.evaluated_through = 0;
+        self.terminated = false;
+        self.sends = 0;
+    }
+
     /// The signed broadcast message.
     #[must_use]
     pub fn signed_message(&self) -> &Signed {
@@ -212,7 +228,10 @@ mod tests {
         let mut alice = make_alice(256, 1);
         let mut rng = SimRng::seed_from_u64(1);
         let schedule = RoundSchedule::new(
-            &Params::builder(256).min_termination_round(1).build().unwrap(),
+            &Params::builder(256)
+                .min_termination_round(1)
+                .build()
+                .unwrap(),
         );
         let mut sends_outside_inform = 0;
         let mut listens_outside_request = 0;
@@ -247,7 +266,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         // Round 1 is tiny; drive an entire round with silence everywhere.
         let schedule = RoundSchedule::new(
-            &Params::builder(256).min_termination_round(1).build().unwrap(),
+            &Params::builder(256)
+                .min_termination_round(1)
+                .build()
+                .unwrap(),
         );
         let round_len = schedule.round_len(1);
         drive_phase(&mut alice, &mut rng, round_len, false);
@@ -261,7 +283,10 @@ mod tests {
         let mut alice = make_alice(256, 5);
         let mut rng = SimRng::seed_from_u64(3);
         let schedule = RoundSchedule::new(
-            &Params::builder(256).min_termination_round(5).build().unwrap(),
+            &Params::builder(256)
+                .min_termination_round(5)
+                .build()
+                .unwrap(),
         );
         // Drive rounds 1–4 fully silent: she must stay active.
         let slots: u64 = (1..=4).map(|i| schedule.round_len(i)).sum();

@@ -1,5 +1,13 @@
 //! Orchestration: assemble Alice, the nodes, budgets, and an adversary,
 //! and run ε-BROADCAST on the exact engine.
+//!
+//! The primary entry point is [`BroadcastScratch`], which keeps the
+//! roster, budget vector, and every node's schedule allocation alive
+//! across runs — batched trials reset the state machines in place instead
+//! of re-boxing `n + 1` participants per trial. The free functions
+//! [`run_broadcast`] / [`run_broadcast_with_report`] remain as thin
+//! deprecated shims for one release; new code should go through
+//! `rcb_sim::Scenario`.
 
 use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_radio::{
@@ -74,7 +82,14 @@ impl RunConfig {
     }
 }
 
-/// Runs one ε-BROADCAST execution on the exact engine.
+/// Reusable scratch state for exact-engine ε-BROADCAST executions.
+///
+/// Holds Alice, the receiver roster, and the budget vector across runs.
+/// On every [`run`](Self::run) with the same `Params`, the state machines
+/// are *reset in place* — no participant is re-boxed, no schedule is
+/// re-derived, and the budget vector is rebuilt inside its existing
+/// allocation. Changing `Params` between runs transparently rebuilds the
+/// roster.
 ///
 /// Index 0 of the roster is Alice; `1..=n` are the receiver nodes. The
 /// outcome separates her accounting from theirs.
@@ -82,72 +97,139 @@ impl RunConfig {
 /// # Example
 ///
 /// ```
-/// use rcb_core::{run_broadcast, Params, RunConfig};
+/// use rcb_core::{BroadcastScratch, Params, RunConfig};
 /// use rcb_radio::SilentAdversary;
 ///
 /// let params = Params::builder(32).min_termination_round(3).build()?;
-/// let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(7));
+/// let mut scratch = BroadcastScratch::new();
+/// let (outcome, _report) = scratch.run(&params, &mut SilentAdversary, &RunConfig::seeded(7));
 /// assert!(outcome.informed_fraction() > 0.9);
 /// # Ok::<(), rcb_core::ParamsError>(())
 /// ```
+#[derive(Debug, Default)]
+pub struct BroadcastScratch {
+    /// The parameter set the current roster was built for.
+    built_for: Option<Params>,
+    alice: Option<Alice>,
+    nodes: Vec<ReceiverNode>,
+    budgets: Vec<Budget>,
+}
+
+impl BroadcastScratch {
+    /// Creates an empty scratch; the roster is built on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one ε-BROADCAST execution on the exact engine, reusing the
+    /// scratch roster, and returns the outcome plus the raw engine report
+    /// (for trace inspection and engine-level assertions).
+    pub fn run(
+        &mut self,
+        params: &Params,
+        adversary: &mut dyn Adversary,
+        config: &RunConfig,
+    ) -> (BroadcastOutcome, RunReport) {
+        let seeds = SeedTree::new(config.seed);
+        let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+        let alice_key = authority.issue_key();
+        let verifier = authority.verifier();
+        let signed_m = alice_key.sign(&MessageBytes::from_static(b"the broadcast payload m"));
+
+        let n = params.n() as usize;
+        if self.built_for.as_ref() == Some(params) {
+            // Reset in place: every schedule/roster allocation survives.
+            let alice = self.alice.as_mut().expect("roster built");
+            alice.reset(signed_m);
+            for node in &mut self.nodes {
+                node.reset(verifier, alice_key.id());
+            }
+        } else {
+            self.alice = Some(Alice::new(params.clone(), signed_m));
+            self.nodes.clear();
+            self.nodes.reserve(n);
+            for _ in 0..n {
+                self.nodes
+                    .push(ReceiverNode::new(params.clone(), verifier, alice_key.id()));
+            }
+            self.built_for = Some(params.clone());
+        }
+
+        self.budgets.clear();
+        if config.enforce_correct_budgets {
+            self.budgets.push(Budget::limited(params.alice_budget()));
+            self.budgets.extend(std::iter::repeat_n(
+                Budget::limited(params.node_budget()),
+                n,
+            ));
+        } else {
+            self.budgets
+                .extend(std::iter::repeat_n(Budget::unlimited(), n + 1));
+        }
+
+        let schedule = RoundSchedule::new(params);
+        let engine = ExactEngine::new(EngineConfig {
+            max_slots: schedule.total_slots() + 4,
+            trace_capacity: config.trace_capacity,
+            stop_when_all_terminated: true,
+        });
+        let alice = self.alice.as_mut().expect("roster built");
+        let mut roster: Vec<&mut dyn NodeProtocol> = Vec::with_capacity(n + 1);
+        roster.push(alice);
+        roster.extend(
+            self.nodes
+                .iter_mut()
+                .map(|node| node as &mut dyn NodeProtocol),
+        );
+        let report = engine.run_with_roster(
+            &mut roster,
+            &self.budgets,
+            config.carol_budget,
+            adversary,
+            &seeds,
+        );
+
+        let outcome = summarize(params, &schedule, &report);
+        (outcome, report)
+    }
+}
+
+/// Runs one ε-BROADCAST execution on the exact engine.
+///
+/// Deprecated shim over [`BroadcastScratch`]; migrate to
+/// `rcb_sim::Scenario::broadcast(params)` (or use [`BroadcastScratch`]
+/// directly where `rcb-sim` is not available, e.g. inside this
+/// workspace's lower crates).
+#[deprecated(
+    since = "0.2.0",
+    note = "use rcb_sim::Scenario::broadcast(..) or rcb_core::BroadcastScratch"
+)]
 #[must_use]
 pub fn run_broadcast(
     params: &Params,
     adversary: &mut dyn Adversary,
     config: &RunConfig,
 ) -> BroadcastOutcome {
-    run_broadcast_with_report(params, adversary, config).0
+    BroadcastScratch::new().run(params, adversary, config).0
 }
 
-/// Like [`run_broadcast`] but also returns the raw engine report (for
-/// trace inspection and engine-level assertions in tests).
+/// Like [`run_broadcast`] but also returns the raw engine report.
+///
+/// Deprecated shim over [`BroadcastScratch`]; migrate to
+/// `rcb_sim::Scenario` (trace and refusal accounting are on
+/// `ScenarioOutcome`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use rcb_sim::Scenario::broadcast(..) or rcb_core::BroadcastScratch"
+)]
 #[must_use]
 pub fn run_broadcast_with_report(
     params: &Params,
     adversary: &mut dyn Adversary,
     config: &RunConfig,
 ) -> (BroadcastOutcome, RunReport) {
-    let seeds = SeedTree::new(config.seed);
-    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-    let alice_key = authority.issue_key();
-    let verifier = authority.verifier();
-    let signed_m = alice_key.sign(&MessageBytes::from_static(b"the broadcast payload m"));
-
-    let n = params.n() as usize;
-    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(n + 1);
-    roster.push(Box::new(Alice::new(params.clone(), signed_m)));
-    for _ in 0..n {
-        roster.push(Box::new(ReceiverNode::new(
-            params.clone(),
-            verifier,
-            alice_key.id(),
-        )));
-    }
-
-    let budgets: Vec<Budget> = if config.enforce_correct_budgets {
-        std::iter::once(Budget::limited(params.alice_budget()))
-            .chain(std::iter::repeat(Budget::limited(params.node_budget())).take(n))
-            .collect()
-    } else {
-        vec![Budget::unlimited(); n + 1]
-    };
-
-    let schedule = RoundSchedule::new(params);
-    let engine = ExactEngine::new(EngineConfig {
-        max_slots: schedule.total_slots() + 4,
-        trace_capacity: config.trace_capacity,
-        stop_when_all_terminated: true,
-    });
-    let report = engine.run_with_carol_budget(
-        &mut roster,
-        budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
-
-    let outcome = summarize(params, &schedule, &report);
-    (outcome, report)
+    BroadcastScratch::new().run(params, adversary, config)
 }
 
 /// Condenses an engine report into a [`BroadcastOutcome`] (roster layout:
@@ -199,9 +281,52 @@ mod tests {
     use super::*;
     use rcb_radio::SilentAdversary;
 
+    /// Convenience for tests: one-shot scratch run.
+    fn run_broadcast(
+        params: &Params,
+        adversary: &mut dyn Adversary,
+        config: &RunConfig,
+    ) -> BroadcastOutcome {
+        BroadcastScratch::new().run(params, adversary, config).0
+    }
+
+    #[test]
+    fn scratch_reuse_replays_identically() {
+        // A reused scratch must be indistinguishable from a fresh roster:
+        // same seed ⇒ bit-identical outcome, across different seeds and
+        // even across a parameter change that forces a rebuild.
+        let params_a = Params::builder(32)
+            .min_termination_round(3)
+            .build()
+            .unwrap();
+        let params_b = Params::builder(16)
+            .min_termination_round(2)
+            .build()
+            .unwrap();
+        let mut scratch = BroadcastScratch::new();
+        for (params, seed) in [
+            (&params_a, 1u64),
+            (&params_a, 2),
+            (&params_b, 1),
+            (&params_a, 1),
+        ] {
+            let cfg = RunConfig::seeded(seed);
+            let (reused, _) = scratch.run(params, &mut SilentAdversary, &cfg);
+            let (fresh, _) = BroadcastScratch::new().run(params, &mut SilentAdversary, &cfg);
+            assert_eq!(reused.slots, fresh.slots);
+            assert_eq!(reused.informed_nodes, fresh.informed_nodes);
+            assert_eq!(reused.alice_cost, fresh.alice_cost);
+            assert_eq!(reused.node_total_cost, fresh.node_total_cost);
+            assert_eq!(reused.node_costs, fresh.node_costs);
+        }
+    }
+
     #[test]
     fn silent_adversary_full_delivery() {
-        let params = Params::builder(64).min_termination_round(3).build().unwrap();
+        let params = Params::builder(64)
+            .min_termination_round(3)
+            .build()
+            .unwrap();
         let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(42));
         assert!(
             outcome.informed_fraction() >= 0.95,
@@ -217,7 +342,10 @@ mod tests {
 
     #[test]
     fn outcome_accounting_is_consistent() {
-        let params = Params::builder(32).min_termination_round(3).build().unwrap();
+        let params = Params::builder(32)
+            .min_termination_round(3)
+            .build()
+            .unwrap();
         let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(1));
         assert_eq!(
             outcome.informed_nodes + outcome.uninformed_terminated + outcome.unterminated_nodes,
@@ -236,7 +364,10 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_by_seed() {
-        let params = Params::builder(32).min_termination_round(3).build().unwrap();
+        let params = Params::builder(32)
+            .min_termination_round(3)
+            .build()
+            .unwrap();
         let a = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(9));
         let b = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(9));
         assert_eq!(a.slots, b.slots);
@@ -255,7 +386,10 @@ mod tests {
     #[test]
     fn quiet_run_is_cheap_for_everyone() {
         // Lemma 9: without jamming, costs are polylogarithmic.
-        let params = Params::builder(256).min_termination_round(4).build().unwrap();
+        let params = Params::builder(256)
+            .min_termination_round(4)
+            .build()
+            .unwrap();
         let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(5));
         assert!(outcome.completed());
         // Budgets provision for the worst case n^{1/2}; a quiet run must
@@ -276,8 +410,11 @@ mod tests {
 
     #[test]
     fn trace_capture_works_through_orchestration() {
-        let params = Params::builder(16).min_termination_round(2).build().unwrap();
-        let (_, report) = run_broadcast_with_report(
+        let params = Params::builder(16)
+            .min_termination_round(2)
+            .build()
+            .unwrap();
+        let (_, report) = BroadcastScratch::new().run(
             &params,
             &mut SilentAdversary,
             &RunConfig::seeded(2).trace(4096),
@@ -288,9 +425,26 @@ mod tests {
 
     #[test]
     fn unconstrained_config_lifts_budgets() {
-        let params = Params::builder(16).min_termination_round(2).build().unwrap();
+        let params = Params::builder(16)
+            .min_termination_round(2)
+            .build()
+            .unwrap();
         let cfg = RunConfig::seeded(3).unconstrained_correct();
-        let (_, report) = run_broadcast_with_report(&params, &mut SilentAdversary, &cfg);
+        let (_, report) = BroadcastScratch::new().run(&params, &mut SilentAdversary, &cfg);
         assert!(report.participant_refusals.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_scratch_path() {
+        #![allow(deprecated)]
+        let params = Params::builder(16)
+            .min_termination_round(2)
+            .build()
+            .unwrap();
+        let cfg = RunConfig::seeded(5);
+        let shim = super::run_broadcast(&params, &mut SilentAdversary, &cfg);
+        let (scratch, _) = BroadcastScratch::new().run(&params, &mut SilentAdversary, &cfg);
+        assert_eq!(shim.slots, scratch.slots);
+        assert_eq!(shim.node_total_cost, scratch.node_total_cost);
     }
 }

@@ -17,6 +17,24 @@
 //!   individually spend only `Õ(T^{1/(k+1)} + 1)` — so sustained attack
 //!   drains Carol polynomially faster than anyone she attacks.
 //!
+//! ## Where to start
+//!
+//! **Applications should not drive this crate directly.** The workspace's
+//! run-entry surface is `rcb-sim`'s `Scenario` builder, which composes
+//! this protocol with an engine and an adversary and validates the
+//! combination:
+//!
+//! ```text
+//! Scenario::broadcast(params)
+//!     .engine(Engine::Exact)            // or Engine::Fast
+//!     .adversary(StrategySpec::Continuous)
+//!     .carol_budget(2_000)
+//!     .build()?
+//!     .run()
+//! ```
+//!
+//! This crate holds the protocol itself and its execution machinery.
+//!
 //! ## Crate layout
 //!
 //! * [`Params`] — validated protocol parameters and derived budgets;
@@ -24,20 +42,22 @@
 //! * [`probabilities`] — the Figure 1/2 formulas, in one auditable place;
 //! * [`Alice`] and [`ReceiverNode`] — the state machines, pluggable into
 //!   `rcb-radio`'s exact engine;
-//! * [`run_broadcast`] — one-call orchestration producing a
-//!   [`BroadcastOutcome`];
+//! * [`BroadcastScratch`] — exact-engine orchestration with in-place
+//!   roster reuse across runs, producing a [`BroadcastOutcome`]
+//!   (the deprecated [`run_broadcast`] shims wrap it);
 //! * [`fast`] — the phase-level aggregated simulator for large `n`;
 //! * [`DecoyConfig`] — §4.1 reactive hardening; [`SizeKnowledge`] — §4.2
 //!   unknown-size operation.
 //!
-//! ## Quick start
+//! ## Direct use (protocol-level code and tests)
 //!
 //! ```
-//! use rcb_core::{run_broadcast, Params, RunConfig};
+//! use rcb_core::{BroadcastScratch, Params, RunConfig};
 //! use rcb_radio::SilentAdversary;
 //!
 //! let params = Params::builder(64).min_termination_round(3).build()?;
-//! let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(1));
+//! let mut scratch = BroadcastScratch::new();
+//! let (outcome, _report) = scratch.run(&params, &mut SilentAdversary, &RunConfig::seeded(1));
 //! assert!(outcome.informed_fraction() > 0.9);
 //! assert!(outcome.completed());
 //! # Ok::<(), rcb_core::ParamsError>(())
@@ -56,7 +76,9 @@ pub mod probabilities;
 mod schedule;
 
 pub use alice::Alice;
-pub use broadcast::{run_broadcast, run_broadcast_with_report, stopped_cleanly, RunConfig};
+#[allow(deprecated)]
+pub use broadcast::{run_broadcast, run_broadcast_with_report};
+pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};
 pub use params::{DecoyConfig, Params, ParamsBuilder, ParamsError, SizeKnowledge, Variant};

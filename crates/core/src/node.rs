@@ -31,8 +31,12 @@ enum Status {
     Uninformed,
     /// Holds `m`; `relay_step` is the propagation step in which it must
     /// transmit (`None` = informed too late in the round to have a duty).
-    Informed { relay_step: Option<u32> },
-    Done { informed: bool },
+    Informed {
+        relay_step: Option<u32>,
+    },
+    Done {
+        informed: bool,
+    },
 }
 
 /// A receiver node's protocol state machine (implements [`NodeProtocol`]).
@@ -95,6 +99,24 @@ impl ReceiverNode {
         matches!(self.status, Status::Done { informed: false })
     }
 
+    /// Rewinds the node to its pre-run uninformed state under a fresh
+    /// authority, reusing the existing schedule allocation. Parameters
+    /// must be unchanged since construction — batched trials share one
+    /// `Params`.
+    pub fn reset(&mut self, verifier: Verifier, alice_key: KeyId) {
+        self.cursor.reset();
+        self.verifier = verifier;
+        self.alice_key = alice_key;
+        self.status = Status::Uninformed;
+        self.message = None;
+        self.probs = PhaseProbabilities::default();
+        self.cached_phase = None;
+        self.current = None;
+        self.noisy_heard = 0;
+        self.pending_eval = None;
+        self.evaluated_through = 0;
+    }
+
     fn refresh_probs(&mut self, pos: &SlotPosition) {
         let key = (pos.round, pos.phase.ordinal(self.params.k()));
         if self.cached_phase != Some(key) {
@@ -134,8 +156,7 @@ impl ReceiverNode {
     fn act_uninformed(&mut self, pos: &SlotPosition, rng: &mut SimRng) -> Action {
         match pos.phase {
             PhaseKind::Inform | PhaseKind::Propagation { .. } => {
-                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
-                {
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send) {
                     return Action::Send(Payload::Decoy);
                 }
                 if rand::Rng::gen_bool(rng, self.probs.uninformed_listen) {
@@ -182,8 +203,7 @@ impl ReceiverNode {
                         .expect("informed node always holds the message");
                     return Action::Send(Payload::Broadcast(m));
                 }
-                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
-                {
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send) {
                     return Action::Send(Payload::Decoy);
                 }
                 Action::Sleep
@@ -195,8 +215,7 @@ impl ReceiverNode {
             }
             _ => {
                 // Waiting for our relay step (or duty-free); decoys only.
-                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send)
-                {
+                if self.probs.decoy_send > 0.0 && rand::Rng::gen_bool(rng, self.probs.decoy_send) {
                     return Action::Send(Payload::Decoy);
                 }
                 Action::Sleep
@@ -227,32 +246,31 @@ impl NodeProtocol for ReceiverNode {
     fn on_reception(&mut self, _slot: Slot, reception: Reception) {
         let Some(pos) = self.current else { return };
         match (&reception, pos.phase) {
-            (Reception::Frame(Payload::Broadcast(signed)), _) => {
+            (Reception::Frame(Payload::Broadcast(signed)), _)
                 if matches!(self.status, Status::Uninformed)
                     && signed.signer() == self.alice_key
-                    && self.verifier.verify_signed(signed)
-                {
-                    // Join the NEXT propagation step's relay set.
-                    let relay_step = match pos.phase {
-                        PhaseKind::Inform => Some(1),
-                        PhaseKind::Propagation { step } => {
-                            let next = step + 1;
-                            if next <= self.params.propagation_steps() {
-                                Some(next)
-                            } else {
-                                None
-                            }
+                    && self.verifier.verify_signed(signed) =>
+            {
+                // Join the NEXT propagation step's relay set.
+                let relay_step = match pos.phase {
+                    PhaseKind::Inform => Some(1),
+                    PhaseKind::Propagation { step } => {
+                        let next = step + 1;
+                        if next <= self.params.propagation_steps() {
+                            Some(next)
+                        } else {
+                            None
                         }
-                        PhaseKind::Request => None, // unreachable: no one relays here
-                    };
-                    self.message = Some(signed.clone());
-                    self.status = Status::Informed { relay_step };
-                }
+                    }
+                    PhaseKind::Request => None, // unreachable: no one relays here
+                };
+                self.message = Some(signed.clone());
+                self.status = Status::Informed { relay_step };
             }
-            (_, PhaseKind::Request) => {
-                if matches!(self.status, Status::Uninformed) && reception.is_noisy() {
-                    self.noisy_heard += 1;
-                }
+            (_, PhaseKind::Request)
+                if matches!(self.status, Status::Uninformed) && reception.is_noisy() =>
+            {
+                self.noisy_heard += 1;
             }
             _ => {}
         }
@@ -329,7 +347,8 @@ mod tests {
         let _ = fx.node.act(Slot::ZERO, &mut rng);
         fx.node
             .on_reception(Slot::ZERO, Reception::Frame(Payload::Garbage(7)));
-        fx.node.on_reception(Slot::ZERO, Reception::Frame(Payload::Nack));
+        fx.node
+            .on_reception(Slot::ZERO, Reception::Frame(Payload::Nack));
         fx.node.on_reception(Slot::ZERO, Reception::Noise);
         assert!(!fx.node.is_informed());
     }
@@ -430,7 +449,11 @@ mod tests {
 
     #[test]
     fn node_informed_in_last_step_has_no_relay_duty() {
-        let params = Params::builder(64).k(3).min_termination_round(1).build().unwrap();
+        let params = Params::builder(64)
+            .k(3)
+            .min_termination_round(1)
+            .build()
+            .unwrap();
         let mut authority = Authority::new(1);
         let alice = authority.issue_key();
         let signed = alice.sign(&Bytes::from_static(b"m"));
@@ -486,7 +509,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         let mut decoys = 0;
         for t in 0..200 {
-            if matches!(node.act(Slot::new(t), &mut rng), Action::Send(Payload::Decoy)) {
+            if matches!(
+                node.act(Slot::new(t), &mut rng),
+                Action::Send(Payload::Decoy)
+            ) {
                 decoys += 1;
             }
             if node.has_terminated() {

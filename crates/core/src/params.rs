@@ -224,9 +224,7 @@ impl Params {
                 | crate::schedule::PhaseKind::Propagation { .. } => {
                     p.uninformed_listen + p.decoy_send
                 }
-                crate::schedule::PhaseKind::Request => {
-                    p.uninformed_listen + p.uninformed_nack
-                }
+                crate::schedule::PhaseKind::Request => p.uninformed_listen + p.uninformed_nack,
             };
             total += len as f64 * per_slot;
         }
@@ -477,7 +475,8 @@ impl ParamsBuilder {
         if !(2..=8).contains(&self.k) {
             return Err(ParamsError::InvalidK);
         }
-        if !self.epsilon_prime.is_finite() || !(0.0..1.0).contains(&self.epsilon_prime)
+        if !self.epsilon_prime.is_finite()
+            || !(0.0..1.0).contains(&self.epsilon_prime)
             || self.epsilon_prime == 0.0
         {
             return Err(ParamsError::InvalidEpsilon);
@@ -490,7 +489,8 @@ impl ParamsBuilder {
         }
         match self.size_knowledge {
             SizeKnowledge::Exact => {}
-            SizeKnowledge::Approximate { n_hat } | SizeKnowledge::PolynomialOverestimate { nu: n_hat } => {
+            SizeKnowledge::Approximate { n_hat }
+            | SizeKnowledge::PolynomialOverestimate { nu: n_hat } => {
                 if n_hat < 2 {
                     return Err(ParamsError::InvalidSizeKnowledge);
                 }
@@ -499,7 +499,9 @@ impl ParamsBuilder {
         if !self.budget_scale.is_finite() || self.budget_scale <= 0.0 {
             return Err(ParamsError::InvalidBudgetScale);
         }
-        let ln_ln = ((self.n as f64).ln().max(std::f64::consts::E)).ln().max(1.0);
+        let ln_ln = ((self.n as f64).ln().max(std::f64::consts::E))
+            .ln()
+            .max(1.0);
         let default_min_term = (3.0 * ln_ln / 2f64.ln()).ceil() as u32;
         Ok(Params {
             n: self.n,
@@ -596,7 +598,10 @@ mod tests {
         let p = Params::builder(1024).build().unwrap();
         assert_eq!(p.min_termination_round(), 9);
         // Explicit override wins.
-        let p = Params::builder(1024).min_termination_round(4).build().unwrap();
+        let p = Params::builder(1024)
+            .min_termination_round(4)
+            .build()
+            .unwrap();
         assert_eq!(p.min_termination_round(), 4);
     }
 

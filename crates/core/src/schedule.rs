@@ -213,7 +213,7 @@ impl RoundSchedule {
         let offset = within % len;
         let phase = if phase_idx == 0 {
             PhaseKind::Inform
-        } else if phase_idx <= self.k - 1 {
+        } else if phase_idx < self.k {
             PhaseKind::Propagation { step: phase_idx }
         } else {
             PhaseKind::Request
@@ -284,6 +284,17 @@ impl Cursor {
             phase_len,
             exhausted: false,
         }
+    }
+
+    /// Rewinds the cursor to before slot 0 without rebuilding the
+    /// schedule — the allocation-free counterpart of [`Cursor::new`],
+    /// used when a protocol state machine is reset between batched runs.
+    pub fn reset(&mut self) {
+        self.round = self.schedule.start_round();
+        self.phase_ordinal = 0;
+        self.offset = 0;
+        self.phase_len = self.schedule.phase_len(self.round);
+        self.exhausted = false;
     }
 
     /// Advances to the next slot and returns its position.

@@ -176,10 +176,18 @@ impl EnergyLedger {
     /// pooled budget.
     #[must_use]
     pub fn new(participant_budgets: Vec<Budget>, carol_budget: Budget) -> Self {
+        Self::from_budgets(&participant_budgets, carol_budget)
+    }
+
+    /// Like [`new`](Self::new), but borrowing the budgets — callers that
+    /// keep a budget vector alive across runs (batched trials) build each
+    /// run's ledger without an intermediate copy of it.
+    #[must_use]
+    pub fn from_budgets(participant_budgets: &[Budget], carol_budget: Budget) -> Self {
         Self {
             participants: participant_budgets
-                .into_iter()
-                .map(|budget| Meter {
+                .iter()
+                .map(|&budget| Meter {
                     budget,
                     ..Meter::default()
                 })

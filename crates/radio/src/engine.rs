@@ -162,13 +162,40 @@ impl ExactEngine {
         adversary: &mut dyn Adversary,
         seeds: &SeedTree,
     ) -> RunReport {
+        let mut roster: Vec<&mut dyn NodeProtocol> = participants
+            .iter_mut()
+            .map(|p| &mut **p as &mut dyn NodeProtocol)
+            .collect();
+        self.run_with_roster(&mut roster, &budgets, carol_budget, adversary, seeds)
+    }
+
+    /// The allocation-light entry point: runs a roster of *borrowed*
+    /// participants against an adversary.
+    ///
+    /// Unlike [`run_with_carol_budget`](Self::run_with_carol_budget), the
+    /// engine takes no ownership — callers that execute many runs (batched
+    /// trials) keep their participant state machines and budget vectors
+    /// alive across runs and only reset them, instead of re-boxing
+    /// `n + 1` trait objects per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` and `budgets` lengths differ.
+    pub fn run_with_roster(
+        &self,
+        participants: &mut [&mut dyn NodeProtocol],
+        budgets: &[Budget],
+        carol_budget: Budget,
+        adversary: &mut dyn Adversary,
+        seeds: &SeedTree,
+    ) -> RunReport {
         assert_eq!(
             participants.len(),
             budgets.len(),
             "one budget per participant required"
         );
         let n = participants.len();
-        let mut ledger = EnergyLedger::new(budgets, carol_budget);
+        let mut ledger = EnergyLedger::from_budgets(budgets, carol_budget);
         let mut rngs: Vec<SimRng> = (0..n)
             .map(|i| seeds.stream("participant", i as u64))
             .collect();
@@ -556,7 +583,10 @@ mod tests {
         let a = run_once(11);
         let b = run_once(11);
         assert_eq!(a.slots_elapsed, b.slots_elapsed);
-        assert_eq!(a.participant_costs[1].total(), b.participant_costs[1].total());
+        assert_eq!(
+            a.participant_costs[1].total(),
+            b.participant_costs[1].total()
+        );
         assert_eq!(a.informed, b.informed);
     }
 
@@ -572,7 +602,7 @@ mod tests {
             &mut SilentAdversary,
             &SeedTree::new(9),
         );
-        assert!(report.trace.len() >= 1);
+        assert!(!report.trace.is_empty());
         let r0 = report.trace.get(Slot::ZERO).unwrap();
         assert_eq!(r0.transmissions, 1);
         assert_eq!(r0.listeners, 1);

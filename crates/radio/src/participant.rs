@@ -13,9 +13,7 @@ use crate::slot::Slot;
 /// By convention (established by `rcb-core`'s orchestration) index 0 is
 /// Alice and `1..=n` are the receiver nodes, but the engine itself treats
 /// all participants uniformly.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ParticipantId(u32);
 
 impl ParticipantId {

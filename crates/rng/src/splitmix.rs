@@ -89,7 +89,10 @@ mod tests {
         let a = SplitMix64::mix(1);
         let b = SplitMix64::mix(2);
         assert_ne!(a, b);
-        assert!((a ^ b).count_ones() > 10, "outputs should differ in many bits");
+        assert!(
+            (a ^ b).count_ones() > 10,
+            "outputs should differ in many bits"
+        );
     }
 
     #[test]

@@ -164,10 +164,7 @@ mod tests {
     fn bernoulli_subset_edges() {
         let mut rng = TestRng::seed_from_u64(3);
         assert!(bernoulli_subset(&mut rng, 100, 0.0).is_empty());
-        assert_eq!(
-            bernoulli_subset(&mut rng, 5, 1.0),
-            vec![0, 1, 2, 3, 4]
-        );
+        assert_eq!(bernoulli_subset(&mut rng, 5, 1.0), vec![0, 1, 2, 3, 4]);
         assert!(bernoulli_subset(&mut rng, 0, 0.7).is_empty());
     }
 

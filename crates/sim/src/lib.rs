@@ -1,0 +1,300 @@
+//! # rcb-sim — the unified `Scenario` API
+//!
+//! One builder for **protocol × engine × adversary**, with batched
+//! parallel execution. This crate is the run-entry surface for the whole
+//! workspace: every experiment, example, bench, and integration test
+//! expresses its execution as a [`Scenario`] instead of hand-wiring
+//! `rcb-core`, `rcb-baselines`, and `rcb-adversary` separately.
+//!
+//! ## The matrix
+//!
+//! | protocol | engines | adversaries |
+//! |---|---|---|
+//! | [`Scenario::broadcast`] (ε-BROADCAST) | [`Engine::Exact`], [`Engine::Fast`] | every [`StrategySpec`] (slot-only ones on `Exact` only) |
+//! | [`Scenario::naive`] (§1.1 strawman) | `Exact` | schedule-free strategies |
+//! | [`Scenario::epidemic`] (gossip) | `Exact` | schedule-free strategies |
+//! | [`Scenario::ksy`] (two-player [23]) | `Exact` | `Silent`, `Continuous` (budget required) |
+//!
+//! Invalid combinations are rejected at [`ScenarioBuilder::build`] with a
+//! typed [`ScenarioError`] — never a mid-run panic.
+//!
+//! ## One run
+//!
+//! ```
+//! use rcb_adversary::StrategySpec;
+//! use rcb_core::Params;
+//! use rcb_sim::{Engine, Scenario};
+//!
+//! let params = Params::builder(64).build()?;
+//! let outcome = Scenario::broadcast(params)
+//!     .engine(Engine::Exact)
+//!     .adversary(StrategySpec::Continuous)
+//!     .carol_budget(2_000)
+//!     .seed(42)
+//!     .build()?
+//!     .run();
+//! assert!(outcome.informed_fraction() > 0.9);
+//! assert_eq!(outcome.carol_spend(), 2_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Batched trials
+//!
+//! [`Scenario::run_batch`] runs `trials` executions across worker
+//! threads, derives per-trial seeds from the scenario's master seed
+//! (`SeedTree::new(seed).leaf_seed("trial", i)` — the same tree the
+//! analysis harness has always used), and reuses per-worker scratch: the
+//! roster and budget vectors are reset in place between trials instead of
+//! re-boxing `n + 1` participants each time.
+//!
+//! ```
+//! use rcb_core::Params;
+//! use rcb_sim::{Engine, Scenario};
+//!
+//! let params = Params::builder(1 << 12).build()?;
+//! let outcomes = Scenario::broadcast(params)
+//!     .engine(Engine::Fast)
+//!     .seed(7)
+//!     .build()?
+//!     .run_batch(4);
+//! assert_eq!(outcomes.len(), 4);
+//! assert!(outcomes.iter().all(|o| o.informed_fraction() > 0.9));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod outcome;
+mod scenario;
+
+pub use batch::{run_trials, run_trials_scoped};
+pub use outcome::ScenarioOutcome;
+pub use scenario::{
+    Engine, EpidemicSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
+    ScenarioError, ScenarioScratch,
+};
+
+// The strategy vocabulary is part of this crate's API surface.
+pub use rcb_adversary::StrategySpec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::Params;
+
+    fn params(n: u64) -> Params {
+        Params::builder(n).build().unwrap()
+    }
+
+    #[test]
+    fn every_protocol_runs_on_its_supported_engines() {
+        let b = Scenario::broadcast(params(16))
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(b.protocol, ProtocolKind::Broadcast);
+        assert!(b.completed());
+
+        let f = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(f.broadcast.engine, Engine::Fast);
+        assert!(f.informed_fraction() > 0.9);
+
+        let n = Scenario::naive(NaiveSpec { n: 8, horizon: 50 })
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(n.protocol, ProtocolKind::Naive);
+        assert_eq!(n.informed_nodes, 8);
+
+        let e = Scenario::epidemic(EpidemicSpec::new(8, 2_000))
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(e.protocol, ProtocolKind::Epidemic);
+        assert_eq!(e.informed_nodes, 8);
+
+        let k = Scenario::ksy(KsySpec::default())
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(10_000)
+            .seed(1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(k.protocol, ProtocolKind::Ksy);
+        let raw = k.ksy.expect("ksy outcome present");
+        assert!(raw.delivered);
+        assert_eq!(k.broadcast.node_total_cost.listens, raw.receiver_cost);
+        assert_eq!(k.carol_spend(), raw.carol_spend);
+    }
+
+    #[test]
+    fn fast_engine_rejects_baseline_protocols() {
+        for builder in [
+            Scenario::naive(NaiveSpec { n: 8, horizon: 10 }),
+            Scenario::epidemic(EpidemicSpec::new(8, 10)),
+            Scenario::ksy(KsySpec::default()),
+        ] {
+            let err = builder.engine(Engine::Fast).build().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ScenarioError::UnsupportedEngine {
+                        engine: Engine::Fast,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_only_strategy_rejected_on_fast_engine() {
+        let err = Scenario::broadcast(params(16))
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::LaggedReactive)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SlotOnlyStrategy {
+                strategy: "lagged-reactive".into()
+            }
+        );
+        // ... but it runs fine on the exact engine.
+        let o = Scenario::broadcast(params(16))
+            .adversary(StrategySpec::LaggedReactive)
+            .carol_budget(500)
+            .build()
+            .unwrap()
+            .run();
+        assert!(o.slots > 0);
+    }
+
+    #[test]
+    fn schedule_bound_strategies_rejected_on_baselines() {
+        for spec in [
+            StrategySpec::BlockDissemination(1.0),
+            StrategySpec::Spoof(1.0),
+            StrategySpec::Reactive,
+            StrategySpec::Extract(4),
+        ] {
+            let err = Scenario::naive(NaiveSpec { n: 8, horizon: 10 })
+                .adversary(spec)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::ScheduleBoundStrategy { .. }),
+                "{err}"
+            );
+        }
+        // Schedule-free strategies are accepted.
+        let o = Scenario::epidemic(EpidemicSpec::new(8, 500))
+            .adversary(StrategySpec::Random(0.3))
+            .carol_budget(100)
+            .build()
+            .unwrap()
+            .run();
+        assert!(o.slots > 0);
+    }
+
+    #[test]
+    fn ksy_adversary_rules() {
+        let err = Scenario::ksy(KsySpec::default())
+            .adversary(StrategySpec::Random(0.5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnsupportedAdversary { .. }));
+
+        let err = Scenario::ksy(KsySpec::default())
+            .adversary(StrategySpec::Continuous)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::BudgetRequired {
+                protocol: ProtocolKind::Ksy
+            }
+        );
+
+        // Silent needs no budget: it is the quiet channel.
+        let o = Scenario::ksy(KsySpec::default())
+            .seed(2)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(o.carol_spend(), 0);
+        assert!(o.ksy.unwrap().delivered);
+    }
+
+    #[test]
+    fn trace_rules() {
+        let err = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .trace(1024)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+
+        let err = Scenario::ksy(KsySpec::default())
+            .trace(1024)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+
+        let o = Scenario::broadcast(params(16))
+            .trace(4096)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!o.trace.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_epidemic_config_is_a_typed_error_not_a_panic() {
+        let mut spec = EpidemicSpec::new(8, 10);
+        spec.listen_p = 1.5;
+        let err = Scenario::epidemic(spec).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_ordered() {
+        let scenario = Scenario::broadcast(params(32))
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(500)
+            .seed(9)
+            .build()
+            .unwrap();
+        let a = scenario.run_batch(6);
+        let b = scenario.run_batch(6);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.slots, y.slots);
+            assert_eq!(x.broadcast.node_total_cost, y.broadcast.node_total_cost);
+            assert_eq!(x.broadcast.node_costs, y.broadcast.node_costs);
+        }
+        // Batch trials match one-at-a-time execution with the derived seed.
+        let solo = scenario.run_seeded(a[2].seed);
+        assert_eq!(solo.slots, a[2].slots);
+        assert_eq!(solo.broadcast.alice_cost, a[2].broadcast.alice_cost);
+    }
+
+    #[test]
+    fn builder_run_convenience() {
+        let outcome = Scenario::broadcast(params(16)).seed(4).run().unwrap();
+        assert!(outcome.completed());
+    }
+}

@@ -1,0 +1,117 @@
+//! The common outcome type every scenario produces.
+
+use std::ops::Deref;
+
+use rcb_baselines::ksy::KsyOutcome;
+use rcb_core::BroadcastOutcome;
+use rcb_radio::{StopReason, Trace};
+
+use crate::scenario::ProtocolKind;
+
+/// Everything one scenario execution measured — a superset of
+/// [`BroadcastOutcome`] that is uniform across protocols and engines.
+///
+/// The broadcast-shaped common measures (informed counts, per-side costs,
+/// slots, engine) live in [`broadcast`](Self::broadcast) and are reachable
+/// directly through `Deref`, so `outcome.informed_fraction()` and
+/// `outcome.slots` work on any protocol. Protocol- or engine-specific
+/// extras are optional fields:
+///
+/// * [`ksy`](Self::ksy) — the raw two-player epoch outcome when the
+///   protocol is KSY (its measures are also mapped into `broadcast`:
+///   sender → Alice, receiver → the single node, epochs → rounds);
+/// * [`stop_reason`](Self::stop_reason) /
+///   [`participant_refusals`](Self::participant_refusals) /
+///   [`trace`](Self::trace) — exact-engine bookkeeping, absent on the
+///   phase-level fast simulator.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Which protocol ran.
+    pub protocol: ProtocolKind,
+    /// Stable name of the adversary strategy (for tables).
+    pub strategy: String,
+    /// The master seed of this execution.
+    pub seed: u64,
+    /// The common broadcast-shaped measures.
+    pub broadcast: BroadcastOutcome,
+    /// Raw KSY two-player outcome (KSY protocol only).
+    pub ksy: Option<KsyOutcome>,
+    /// Why the exact engine stopped (exact engine only).
+    pub stop_reason: Option<StopReason>,
+    /// Per-participant budget-refusal counts, index 0 = Alice (exact
+    /// engine only).
+    pub participant_refusals: Option<Vec<u64>>,
+    /// Captured slot trace, when tracing was requested (exact engine
+    /// only).
+    pub trace: Option<Trace>,
+}
+
+impl Deref for ScenarioOutcome {
+    type Target = BroadcastOutcome;
+
+    fn deref(&self) -> &BroadcastOutcome {
+        &self.broadcast
+    }
+}
+
+impl ScenarioOutcome {
+    /// Total budget refusals across Alice and all nodes (0 when the
+    /// engine does not track refusals).
+    #[must_use]
+    pub fn total_refusals(&self) -> u64 {
+        self.participant_refusals
+            .as_ref()
+            .map(|r| r.iter().sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::EngineKind;
+    use rcb_radio::CostBreakdown;
+
+    fn outcome() -> ScenarioOutcome {
+        ScenarioOutcome {
+            protocol: ProtocolKind::Broadcast,
+            strategy: "silent".into(),
+            seed: 1,
+            broadcast: BroadcastOutcome {
+                n: 10,
+                informed_nodes: 9,
+                uninformed_terminated: 1,
+                unterminated_nodes: 0,
+                alice_terminated: true,
+                alice_cost: CostBreakdown::default(),
+                node_total_cost: CostBreakdown::default(),
+                max_node_cost: None,
+                carol_cost: CostBreakdown::default(),
+                slots: 100,
+                rounds_entered: 3,
+                engine: EngineKind::Exact,
+                node_costs: None,
+            },
+            ksy: None,
+            stop_reason: None,
+            participant_refusals: Some(vec![0, 2, 3]),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn deref_exposes_broadcast_measures() {
+        let o = outcome();
+        assert_eq!(o.slots, 100);
+        assert!((o.informed_fraction() - 0.9).abs() < 1e-12);
+        assert!(o.completed());
+    }
+
+    #[test]
+    fn refusal_total() {
+        let mut o = outcome();
+        assert_eq!(o.total_refusals(), 5);
+        o.participant_refusals = None;
+        assert_eq!(o.total_refusals(), 0);
+    }
+}

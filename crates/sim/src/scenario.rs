@@ -1,0 +1,667 @@
+//! The `Scenario` builder: one entry point for protocol × engine ×
+//! adversary.
+
+use std::fmt;
+
+use rcb_adversary::StrategySpec;
+use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
+use rcb_baselines::{execute_epidemic, execute_naive, EpidemicConfig, NaiveConfig};
+use rcb_core::fast::{run_fast, FastConfig};
+use rcb_core::{BroadcastOutcome, BroadcastScratch, EngineKind, Params, RunConfig};
+use rcb_radio::{Budget, CostBreakdown};
+
+use crate::batch::run_trials_scoped;
+use crate::outcome::ScenarioOutcome;
+
+/// Which simulation engine executes a scenario.
+///
+/// Re-exported from `rcb_core`: [`Engine::Exact`] is the slot-by-slot
+/// ground truth, [`Engine::Fast`] the phase-level aggregated simulator
+/// (ε-BROADCAST only).
+pub use rcb_core::EngineKind as Engine;
+
+/// Which protocol a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// ε-BROADCAST (Gilbert & Young, PODC 2012).
+    Broadcast,
+    /// The §1.1 naive always-on strawman.
+    Naive,
+    /// Epidemic gossip without backoff.
+    Epidemic,
+    /// The King–Saia–Young-style two-player comparator.
+    Ksy,
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolKind::Broadcast => "ε-broadcast",
+            ProtocolKind::Naive => "naive",
+            ProtocolKind::Epidemic => "epidemic",
+            ProtocolKind::Ksy => "ksy",
+        })
+    }
+}
+
+/// Configuration for [`Scenario::naive`] (budget and seed come from the
+/// builder).
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveSpec {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Alice transmits every slot until this horizon, then stops.
+    pub horizon: u64,
+}
+
+/// Configuration for [`Scenario::epidemic`] (budget and seed come from
+/// the builder).
+#[derive(Debug, Clone, Copy)]
+pub struct EpidemicSpec {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop.
+    pub horizon: u64,
+    /// Per-slot listen probability of uninformed nodes.
+    pub listen_p: f64,
+    /// Relay probability is `relay_rate / n`.
+    pub relay_rate: f64,
+}
+
+impl EpidemicSpec {
+    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            listen_p: 0.5,
+            relay_rate: 1.0,
+        }
+    }
+}
+
+/// Configuration for [`Scenario::ksy`] (the jamming budget `T` comes from
+/// the builder's `carol_budget`).
+#[derive(Debug, Clone, Copy)]
+pub struct KsySpec {
+    /// Stop after this many epochs even if undelivered.
+    pub max_epochs: u32,
+}
+
+impl Default for KsySpec {
+    fn default() -> Self {
+        Self { max_epochs: 40 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ProtocolSpec {
+    Broadcast(Box<Params>),
+    Naive(NaiveSpec),
+    Epidemic(EpidemicSpec),
+    Ksy(KsySpec),
+}
+
+impl ProtocolSpec {
+    fn kind(&self) -> ProtocolKind {
+        match self {
+            ProtocolSpec::Broadcast(_) => ProtocolKind::Broadcast,
+            ProtocolSpec::Naive(_) => ProtocolKind::Naive,
+            ProtocolSpec::Epidemic(_) => ProtocolKind::Epidemic,
+            ProtocolSpec::Ksy(_) => ProtocolKind::Ksy,
+        }
+    }
+}
+
+/// A protocol × engine × adversary combination rejected at build time.
+///
+/// Every variant names the conflicting pieces so experiment sweeps can
+/// filter combinations instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The engine cannot run this protocol (the fast simulator models
+    /// ε-BROADCAST's phase structure only).
+    UnsupportedEngine {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The requested engine.
+        engine: Engine,
+    },
+    /// The strategy has no phase-level model, so the fast simulator
+    /// cannot host it (e.g. `StrategySpec::LaggedReactive`).
+    SlotOnlyStrategy {
+        /// The offending strategy's stable name.
+        strategy: String,
+    },
+    /// The strategy is defined in terms of the ε-BROADCAST round/phase
+    /// schedule, which this protocol does not have.
+    ScheduleBoundStrategy {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The offending strategy's stable name.
+        strategy: String,
+    },
+    /// The protocol's execution model cannot host this adversary at all
+    /// (the two-player KSY comparator has a built-in continuous jammer).
+    UnsupportedAdversary {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The offending strategy's stable name.
+        strategy: String,
+    },
+    /// Slot tracing was requested from an engine that records no slots.
+    TraceUnsupported {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The requested engine.
+        engine: Engine,
+    },
+    /// This combination needs a finite Carol budget (a KSY run against
+    /// the continuous jammer is parameterised by her budget `T`).
+    BudgetRequired {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+    },
+    /// A protocol configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnsupportedEngine { protocol, engine } => write!(
+                f,
+                "the {engine:?} engine cannot run the {protocol} protocol"
+            ),
+            ScenarioError::SlotOnlyStrategy { strategy } => write!(
+                f,
+                "strategy {strategy} is slot-only and has no phase-level model for the fast engine"
+            ),
+            ScenarioError::ScheduleBoundStrategy { protocol, strategy } => write!(
+                f,
+                "strategy {strategy} targets the ε-BROADCAST round schedule, which the \
+                 {protocol} protocol does not have"
+            ),
+            ScenarioError::UnsupportedAdversary { protocol, strategy } => write!(
+                f,
+                "the {protocol} protocol cannot host the {strategy} strategy"
+            ),
+            ScenarioError::TraceUnsupported { protocol, engine } => write!(
+                f,
+                "slot tracing is unavailable for {protocol} on the {engine:?} engine"
+            ),
+            ScenarioError::BudgetRequired { protocol } => {
+                write!(f, "the {protocol} protocol requires a finite carol_budget")
+            }
+            ScenarioError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validated, runnable scenario.
+///
+/// Build one with [`Scenario::broadcast`], [`Scenario::naive`],
+/// [`Scenario::epidemic`], or [`Scenario::ksy`], compose engine /
+/// adversary / budget / seed on the returned [`ScenarioBuilder`], and
+/// execute with [`run`](Scenario::run) (one execution) or
+/// [`run_batch`](Scenario::run_batch) (parallel trials with derived
+/// seeds and scratch reuse).
+///
+/// # Example
+///
+/// ```
+/// use rcb_adversary::StrategySpec;
+/// use rcb_sim::{Engine, Scenario};
+/// use rcb_core::Params;
+///
+/// let params = Params::builder(64).build()?;
+/// let outcome = Scenario::broadcast(params)
+///     .adversary(StrategySpec::Continuous)
+///     .carol_budget(2_000)
+///     .seed(42)
+///     .build()?
+///     .run();
+/// assert!(outcome.informed_fraction() > 0.9); // she cannot stop the broadcast
+/// assert_eq!(outcome.carol_spend(), 2_000); // and she paid for trying
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    protocol: ProtocolSpec,
+    engine: Engine,
+    adversary: StrategySpec,
+    carol_budget: Option<u64>,
+    enforce_correct_budgets: bool,
+    trace_capacity: usize,
+    seed: u64,
+}
+
+/// Reusable per-worker scratch for batched scenario execution.
+#[derive(Debug, Default)]
+pub struct ScenarioScratch {
+    broadcast: BroadcastScratch,
+}
+
+impl ScenarioScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scenario {
+    /// Starts building an ε-BROADCAST scenario.
+    #[must_use]
+    pub fn broadcast(params: Params) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Broadcast(Box::new(params)))
+    }
+
+    /// Starts building a naive always-on broadcast scenario.
+    #[must_use]
+    pub fn naive(spec: NaiveSpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Naive(spec))
+    }
+
+    /// Starts building an epidemic-gossip scenario.
+    #[must_use]
+    pub fn epidemic(spec: EpidemicSpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Epidemic(spec))
+    }
+
+    /// Starts building a KSY-style two-player scenario.
+    #[must_use]
+    pub fn ksy(spec: KsySpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Ksy(spec))
+    }
+
+    /// Which protocol this scenario runs.
+    #[must_use]
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol.kind()
+    }
+
+    /// Which engine executes it.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The adversary strategy.
+    #[must_use]
+    pub fn adversary(&self) -> StrategySpec {
+        self.adversary
+    }
+
+    /// The master seed [`run`](Self::run) uses and
+    /// [`run_batch`](Self::run_batch) derives per-trial seeds from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The ε-BROADCAST parameters, when this is a broadcast scenario.
+    #[must_use]
+    pub fn params(&self) -> Option<&Params> {
+        match &self.protocol {
+            ProtocolSpec::Broadcast(params) => Some(params),
+            _ => None,
+        }
+    }
+
+    /// Runs the scenario once with its master seed.
+    #[must_use]
+    pub fn run(&self) -> ScenarioOutcome {
+        self.run_seeded(self.seed)
+    }
+
+    /// Runs the scenario once with an explicit seed (the master seed is
+    /// ignored).
+    #[must_use]
+    pub fn run_seeded(&self, seed: u64) -> ScenarioOutcome {
+        self.run_in(&mut ScenarioScratch::new(), seed)
+    }
+
+    /// Runs the scenario once, reusing caller-owned scratch allocations —
+    /// the single-threaded counterpart of [`run_batch`](Self::run_batch).
+    #[must_use]
+    pub fn run_in(&self, scratch: &mut ScenarioScratch, seed: u64) -> ScenarioOutcome {
+        match &self.protocol {
+            ProtocolSpec::Broadcast(params) => match self.engine {
+                Engine::Exact => self.run_broadcast_exact(scratch, params, seed),
+                Engine::Fast => self.run_broadcast_fast(params, seed),
+            },
+            ProtocolSpec::Naive(spec) => self.run_naive(*spec, seed),
+            ProtocolSpec::Epidemic(spec) => self.run_epidemic(*spec, seed),
+            ProtocolSpec::Ksy(spec) => self.run_ksy(*spec, seed),
+        }
+    }
+
+    /// Runs `trials` independent executions in parallel and returns their
+    /// outcomes in trial order.
+    ///
+    /// Per-trial seeds are derived as `SeedTree::new(self.seed)
+    /// .leaf_seed("trial", index)` — identical to the analysis harness's
+    /// historical derivation, and independent of thread scheduling. Each
+    /// worker thread owns one [`ScenarioScratch`], so rosters and budget
+    /// vectors are reset in place across the trials it executes instead
+    /// of being reallocated per trial.
+    #[must_use]
+    pub fn run_batch(&self, trials: u32) -> Vec<ScenarioOutcome> {
+        run_trials_scoped(self.seed, trials, ScenarioScratch::new, |scratch, seed| {
+            self.run_in(scratch, seed)
+        })
+    }
+
+    fn carol_budget_as_budget(&self) -> Budget {
+        match self.carol_budget {
+            Some(units) => Budget::limited(units),
+            None => Budget::unlimited(),
+        }
+    }
+
+    fn outcome(
+        &self,
+        broadcast: BroadcastOutcome,
+        seed: u64,
+        ksy: Option<KsyOutcome>,
+    ) -> ScenarioOutcome {
+        ScenarioOutcome {
+            protocol: self.protocol.kind(),
+            strategy: self.adversary.name(),
+            seed,
+            broadcast,
+            ksy,
+            stop_reason: None,
+            participant_refusals: None,
+            trace: None,
+        }
+    }
+
+    fn run_broadcast_exact(
+        &self,
+        scratch: &mut ScenarioScratch,
+        params: &Params,
+        seed: u64,
+    ) -> ScenarioOutcome {
+        let mut adversary = self.adversary.slot_adversary(params, seed);
+        let config = RunConfig {
+            carol_budget: self.carol_budget_as_budget(),
+            enforce_correct_budgets: self.enforce_correct_budgets,
+            trace_capacity: self.trace_capacity,
+            seed,
+        };
+        let (broadcast, report) = scratch.broadcast.run(params, adversary.as_mut(), &config);
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.stop_reason = Some(report.stop_reason);
+        outcome.participant_refusals = Some(report.participant_refusals);
+        if self.trace_capacity > 0 {
+            outcome.trace = Some(report.trace);
+        }
+        outcome
+    }
+
+    fn run_broadcast_fast(&self, params: &Params, seed: u64) -> ScenarioOutcome {
+        let mut adversary = self
+            .adversary
+            .phase_adversary(params, seed)
+            .expect("validated at build: strategy has a phase model");
+        let mut config = FastConfig::seeded(seed);
+        if let Some(units) = self.carol_budget {
+            config = config.carol_budget(units);
+        }
+        let broadcast = run_fast(params, adversary.as_mut(), &config);
+        self.outcome(broadcast, seed, None)
+    }
+
+    fn schedule_free_adversary(&self, seed: u64) -> Box<dyn rcb_radio::Adversary> {
+        self.adversary
+            .schedule_free_slot_adversary(seed)
+            .expect("validated at build: strategy is schedule-free")
+    }
+
+    fn run_naive(&self, spec: NaiveSpec, seed: u64) -> ScenarioOutcome {
+        let config = NaiveConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            carol_budget: self.carol_budget_as_budget(),
+            seed,
+        };
+        let broadcast = execute_naive(&config, self.schedule_free_adversary(seed).as_mut());
+        self.outcome(broadcast, seed, None)
+    }
+
+    fn run_epidemic(&self, spec: EpidemicSpec, seed: u64) -> ScenarioOutcome {
+        let config = EpidemicConfig {
+            n: spec.n,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            horizon: spec.horizon,
+            carol_budget: self.carol_budget_as_budget(),
+            seed,
+        };
+        let broadcast = execute_epidemic(&config, self.schedule_free_adversary(seed).as_mut());
+        self.outcome(broadcast, seed, None)
+    }
+
+    fn run_ksy(&self, spec: KsySpec, seed: u64) -> ScenarioOutcome {
+        // Silent Carol = a zero-budget jammer; otherwise the budget was
+        // validated finite at build time.
+        let budget = match self.adversary {
+            StrategySpec::Silent => 0,
+            _ => self.carol_budget.expect("validated at build"),
+        };
+        let ksy = run_ksy(&KsyConfig {
+            carol_budget: budget,
+            max_epochs: spec.max_epochs,
+            seed,
+        });
+        let broadcast = BroadcastOutcome {
+            n: 1,
+            informed_nodes: u64::from(ksy.delivered),
+            uninformed_terminated: 0,
+            unterminated_nodes: 1 - u64::from(ksy.delivered),
+            alice_terminated: ksy.delivered,
+            alice_cost: CostBreakdown {
+                sends: ksy.sender_cost,
+                listens: 0,
+                jams: 0,
+            },
+            node_total_cost: CostBreakdown {
+                sends: 0,
+                listens: ksy.receiver_cost,
+                jams: 0,
+            },
+            max_node_cost: Some(ksy.receiver_cost),
+            carol_cost: CostBreakdown {
+                sends: 0,
+                listens: 0,
+                jams: ksy.carol_spend,
+            },
+            slots: ksy.slots,
+            rounds_entered: ksy.delivery_epoch,
+            engine: EngineKind::Exact,
+            node_costs: None,
+        };
+        self.outcome(broadcast, seed, Some(ksy))
+    }
+}
+
+/// Builder for [`Scenario`]; see [`Scenario::broadcast`] and friends.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    protocol: ProtocolSpec,
+    engine: Engine,
+    adversary: StrategySpec,
+    carol_budget: Option<u64>,
+    enforce_correct_budgets: bool,
+    trace_capacity: usize,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    fn new(protocol: ProtocolSpec) -> Self {
+        Self {
+            protocol,
+            engine: Engine::Exact,
+            adversary: StrategySpec::Silent,
+            carol_budget: None,
+            enforce_correct_budgets: true,
+            trace_capacity: 0,
+            seed: 0,
+        }
+    }
+
+    /// Selects the simulation engine (default [`Engine::Exact`]).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the adversary strategy (default [`StrategySpec::Silent`]).
+    #[must_use]
+    pub fn adversary(mut self, adversary: StrategySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Caps Carol's pooled budget (default unlimited).
+    #[must_use]
+    pub fn carol_budget(mut self, units: u64) -> Self {
+        self.carol_budget = Some(units);
+        self
+    }
+
+    /// Lifts Carol's budget cap (measure pure strategy shapes).
+    #[must_use]
+    pub fn carol_unlimited(mut self) -> Self {
+        self.carol_budget = None;
+        self
+    }
+
+    /// Disables correct-side budget enforcement (exact ε-BROADCAST only;
+    /// the fast simulator and the baselines never enforce them).
+    #[must_use]
+    pub fn unconstrained_correct(mut self) -> Self {
+        self.enforce_correct_budgets = false;
+        self
+    }
+
+    /// Enables slot tracing with the given capacity (exact engine only).
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the combination and produces a runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] the combination violates; see
+    /// that type for the full compatibility matrix.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let protocol = self.protocol.kind();
+
+        // Engine × protocol: the fast simulator models ε-BROADCAST only.
+        if self.engine == Engine::Fast && protocol != ProtocolKind::Broadcast {
+            return Err(ScenarioError::UnsupportedEngine {
+                protocol,
+                engine: self.engine,
+            });
+        }
+
+        // Engine × adversary: slot-only strategies cannot run at phase
+        // granularity.
+        if self.engine == Engine::Fast && !self.adversary.supports_phase() {
+            return Err(ScenarioError::SlotOnlyStrategy {
+                strategy: self.adversary.name(),
+            });
+        }
+
+        // Protocol × adversary.
+        match protocol {
+            ProtocolKind::Broadcast => {}
+            ProtocolKind::Naive | ProtocolKind::Epidemic => {
+                if self.adversary.requires_schedule() {
+                    return Err(ScenarioError::ScheduleBoundStrategy {
+                        protocol,
+                        strategy: self.adversary.name(),
+                    });
+                }
+            }
+            ProtocolKind::Ksy => match self.adversary {
+                StrategySpec::Silent => {}
+                StrategySpec::Continuous => {
+                    if self.carol_budget.is_none() {
+                        return Err(ScenarioError::BudgetRequired { protocol });
+                    }
+                }
+                other => {
+                    return Err(ScenarioError::UnsupportedAdversary {
+                        protocol,
+                        strategy: other.name(),
+                    });
+                }
+            },
+        }
+
+        // Tracing exists only where a recording engine simulates slots
+        // one by one: ε-BROADCAST on the exact engine. (The baseline
+        // runners do not plumb trace capacity yet.)
+        if self.trace_capacity > 0
+            && (self.engine == Engine::Fast || protocol != ProtocolKind::Broadcast)
+        {
+            return Err(ScenarioError::TraceUnsupported {
+                protocol,
+                engine: self.engine,
+            });
+        }
+
+        // Protocol-spec value validation.
+        if let ProtocolSpec::Epidemic(spec) = &self.protocol {
+            if !(0.0..=1.0).contains(&spec.listen_p) || !spec.listen_p.is_finite() {
+                return Err(ScenarioError::InvalidConfig(format!(
+                    "epidemic listen_p must be a probability, got {}",
+                    spec.listen_p
+                )));
+            }
+            if !spec.relay_rate.is_finite() || spec.relay_rate < 0.0 {
+                return Err(ScenarioError::InvalidConfig(format!(
+                    "epidemic relay_rate must be nonnegative and finite, got {}",
+                    spec.relay_rate
+                )));
+            }
+        }
+
+        Ok(Scenario {
+            protocol: self.protocol,
+            engine: self.engine,
+            adversary: self.adversary,
+            carol_budget: self.carol_budget,
+            enforce_correct_budgets: self.enforce_correct_budgets,
+            trace_capacity: self.trace_capacity,
+            seed: self.seed,
+        })
+    }
+
+    /// Convenience: [`build`](Self::build) then run once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] from validation.
+    pub fn run(self) -> Result<ScenarioOutcome, ScenarioError> {
+        Ok(self.build()?.run())
+    }
+}

@@ -6,9 +6,9 @@
 //! cargo run --release --example jamming_duel
 //! ```
 
-use evildoers::adversary::ContinuousJammer;
+use evildoers::adversary::StrategySpec;
 use evildoers::analysis::experiments::provisioned_params;
-use evildoers::core::fast::{run_fast, FastConfig};
+use evildoers::sim::{Engine, Scenario};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1 << 16;
@@ -21,11 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for exp in [14u32, 16, 18, 20, 22, 24] {
         let budget = 1u64 << exp;
         let params = provisioned_params(n, 2, budget)?;
-        let outcome = run_fast(
-            &params,
-            &mut ContinuousJammer,
-            &FastConfig::seeded(1).carol_budget(budget),
-        );
+        let outcome = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(1)
+            .build()?
+            .run();
         println!(
             "{:>12} {:>12} {:>14.1} {:>14} {:>22.6}",
             budget,

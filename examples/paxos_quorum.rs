@@ -8,10 +8,9 @@
 //! cargo run --release --example paxos_quorum
 //! ```
 
-use evildoers::adversary::{NackSpoofer, PhaseBlocker, StrategySpec};
+use evildoers::adversary::StrategySpec;
 use evildoers::analysis::experiments::provisioned_params;
-use evildoers::core::{run_broadcast, RoundSchedule, RunConfig};
-use evildoers::radio::Budget;
+use evildoers::sim::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 128u64;
@@ -21,29 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("deployment: {n} nodes; Paxos needs a quorum of {quorum}");
     println!("Carol's coalition budget: {carol_budget} slot-units\n");
 
-    let schedule = RoundSchedule::new(&params);
-    let attacks: Vec<(&str, Box<dyn evildoers::radio::Adversary>)> = vec![
+    let attacks: Vec<(&str, StrategySpec)> = vec![
         (
             "dissemination blocker (Lemma 10 strategy 1)",
-            Box::new(PhaseBlocker::dissemination_blocker(schedule.clone())),
+            StrategySpec::BlockDissemination(1.0),
         ),
         (
             "request blocker (Lemma 10 strategy 2)",
-            Box::new(PhaseBlocker::request_blocker(schedule.clone())),
+            StrategySpec::BlockRequest(1.0),
         ),
-        (
-            "nack spoofer (§2.2)",
-            Box::new(NackSpoofer::new(schedule, 1.0, 99)),
-        ),
-        (
-            "continuous jammer",
-            StrategySpec::Continuous.slot_adversary(&params, 99),
-        ),
+        ("nack spoofer (§2.2)", StrategySpec::Spoof(1.0)),
+        ("continuous jammer", StrategySpec::Continuous),
     ];
 
-    for (name, mut carol) in attacks {
-        let cfg = RunConfig::seeded(2026).carol_budget(Budget::limited(carol_budget));
-        let outcome = run_broadcast(&params, carol.as_mut(), &cfg);
+    for (name, spec) in attacks {
+        let outcome = Scenario::broadcast(params.clone())
+            .adversary(spec)
+            .carol_budget(carol_budget)
+            .seed(2026)
+            .build()?
+            .run();
         let quorate = outcome.informed_nodes >= quorum;
         println!(
             "{name:<45} informed {:>3}/{n}  carol spent {:>5}  quorum: {}",

@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use evildoers::core::{run_broadcast, Params, RunConfig};
-use evildoers::radio::SilentAdversary;
+use evildoers::core::Params;
+use evildoers::sim::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 256 correct receiver nodes; all protocol constants at paper defaults
@@ -15,10 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alice budget: {} units", params.alice_budget());
     println!("node budget:  {} units", params.node_budget());
 
-    let outcome = run_broadcast(&params, &mut SilentAdversary, &RunConfig::seeded(7));
+    let outcome = Scenario::broadcast(params).seed(7).build()?.run();
 
     println!("\n--- outcome ---");
-    println!("informed nodes:     {}/{}", outcome.informed_nodes, outcome.n);
+    println!(
+        "informed nodes:     {}/{}",
+        outcome.informed_nodes, outcome.n
+    );
     println!("sacrificed nodes:   {}", outcome.uninformed_terminated);
     println!("slots elapsed:      {}", outcome.slots);
     println!("rounds entered:     {}", outcome.rounds_entered);

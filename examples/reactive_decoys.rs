@@ -8,9 +8,9 @@
 //! cargo run --release --example reactive_decoys
 //! ```
 
-use evildoers::adversary::ReactiveJammer;
-use evildoers::core::{run_broadcast, DecoyConfig, Params, RunConfig};
-use evildoers::radio::Budget;
+use evildoers::adversary::StrategySpec;
+use evildoers::core::{DecoyConfig, Params};
+use evildoers::sim::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64u64;
@@ -18,11 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Probe: what does it cost Carol to blank the *plain* protocol?
     let plain = Params::builder(n).max_round_margin(margin).build()?;
-    let probe = {
-        let mut carol = ReactiveJammer::new(plain.clone());
-        let cfg = RunConfig::seeded(5).carol_budget(Budget::limited(u64::MAX / 2));
-        run_broadcast(&plain, &mut carol, &cfg)
-    };
+    let probe = Scenario::broadcast(plain.clone())
+        .adversary(StrategySpec::Reactive)
+        .carol_budget(u64::MAX / 2)
+        .seed(5)
+        .build()?
+        .run();
     println!(
         "plain protocol, unlimited reactive Carol: informed {}/{} — blackout at only {} units",
         probe.informed_nodes,
@@ -32,22 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Give her double that budget — decisive against plain...
     let budget = probe.carol_spend() * 2;
-    let plain_run = {
-        let mut carol = ReactiveJammer::new(plain.clone());
-        let cfg = RunConfig::seeded(6).carol_budget(Budget::limited(budget));
-        run_broadcast(&plain, &mut carol, &cfg)
-    };
+    let plain_run = Scenario::broadcast(plain)
+        .adversary(StrategySpec::Reactive)
+        .carol_budget(budget)
+        .seed(6)
+        .build()?
+        .run();
 
     // ...but the decoy-hardened protocol makes chaff indistinguishable.
     let hardened = Params::builder(n)
         .max_round_margin(margin)
         .decoys(DecoyConfig::recommended())
         .build()?;
-    let hardened_run = {
-        let mut carol = ReactiveJammer::new(hardened.clone());
-        let cfg = RunConfig::seeded(6).carol_budget(Budget::limited(budget));
-        run_broadcast(&hardened, &mut carol, &cfg)
-    };
+    let hardened_run = Scenario::broadcast(hardened)
+        .adversary(StrategySpec::Reactive)
+        .carol_budget(budget)
+        .seed(6)
+        .build()?
+        .run();
 
     println!("\nwith Carol's budget fixed at {budget} units:");
     println!(

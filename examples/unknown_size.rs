@@ -8,9 +8,9 @@
 //! cargo run --release --example unknown_size
 //! ```
 
-use evildoers::adversary::ContinuousJammer;
-use evildoers::core::{run_broadcast, Params, RunConfig, SizeKnowledge};
-use evildoers::radio::Budget;
+use evildoers::adversary::StrategySpec;
+use evildoers::core::{Params, SizeKnowledge};
+use evildoers::sim::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64u64;
@@ -23,15 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, knowledge) in [
         ("exact n", SizeKnowledge::Exact),
-        ("estimate n̂ = 2n", SizeKnowledge::Approximate { n_hat: 2 * n }),
+        (
+            "estimate n̂ = 2n",
+            SizeKnowledge::Approximate { n_hat: 2 * n },
+        ),
         (
             "overestimate ν = n²",
             SizeKnowledge::PolynomialOverestimate { nu: n * n },
         ),
     ] {
         let params = Params::builder(n).size_knowledge(knowledge).build()?;
-        let cfg = RunConfig::seeded(3).carol_budget(Budget::limited(jam_budget));
-        let outcome = run_broadcast(&params, &mut ContinuousJammer, &cfg);
+        let outcome = Scenario::broadcast(params)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(jam_budget)
+            .seed(3)
+            .build()?
+            .run();
         println!(
             "{label:<28} {:>9}/{n} {:>12.1} {:>12} {:>10}",
             outcome.informed_nodes,

@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`sim`] | `rcb-sim` | **the unified `Scenario` API — start here** |
 //! | [`rng`] | `rcb-rng` | deterministic streams, exact binomial/geometric samplers |
 //! | [`auth`] | `rcb-auth` | Alice-only simulated authentication |
 //! | [`radio`] | `rcb-radio` | the §1.1 channel model and exact engine |
@@ -21,20 +22,30 @@
 //!
 //! ## Quick start
 //!
+//! Every execution — any protocol, either engine, any adversary — is one
+//! [`Scenario`](sim::Scenario):
+//!
 //! ```
-//! use evildoers::core::{run_broadcast, Params, RunConfig};
-//! use evildoers::adversary::ContinuousJammer;
-//! use evildoers::radio::Budget;
+//! use evildoers::adversary::StrategySpec;
+//! use evildoers::core::Params;
+//! use evildoers::sim::Scenario;
 //!
 //! // 64 correct nodes; Carol jams everything with a budget of 2000 slots.
 //! let params = Params::builder(64).build()?;
-//! let cfg = RunConfig::seeded(42).carol_budget(Budget::limited(2_000));
-//! let outcome = run_broadcast(&params, &mut ContinuousJammer, &cfg);
+//! let outcome = Scenario::broadcast(params)
+//!     .adversary(StrategySpec::Continuous)
+//!     .carol_budget(2_000)
+//!     .seed(42)
+//!     .build()?
+//!     .run();
 //!
 //! assert!(outcome.informed_fraction() > 0.9); // she cannot stop the broadcast
 //! assert_eq!(outcome.carol_spend(), 2_000);   // and she paid for trying
-//! # Ok::<(), evildoers::core::ParamsError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Batched, parallel sweeps with per-trial seed derivation are one more
+//! call — see [`sim::Scenario::run_batch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,3 +57,4 @@ pub use rcb_baselines as baselines;
 pub use rcb_core as core;
 pub use rcb_radio as radio;
 pub use rcb_rng as rng;
+pub use rcb_sim as sim;

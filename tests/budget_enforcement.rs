@@ -2,9 +2,9 @@
 //! defenders (Lemma 11's feasibility) and for Carol (the mechanism that
 //! forces an unblockable round).
 
-use evildoers::adversary::ContinuousJammer;
-use evildoers::core::{run_broadcast, run_broadcast_with_report, Params, RunConfig};
-use evildoers::radio::{Budget, SilentAdversary};
+use evildoers::adversary::StrategySpec;
+use evildoers::core::Params;
+use evildoers::sim::Scenario;
 
 #[test]
 fn computed_budgets_are_never_exhausted_in_normal_operation() {
@@ -12,17 +12,14 @@ fn computed_budgets_are_never_exhausted_in_normal_operation() {
     // Lemma 11 provisioning really is sufficient.
     let params = Params::builder(64).max_round_margin(3).build().unwrap();
     for (label, budget) in [("quiet", None), ("jammed", Some(2_000u64))] {
-        let cfg = match budget {
-            Some(b) => RunConfig::seeded(3).carol_budget(Budget::limited(b)),
-            None => RunConfig::seeded(3),
-        };
-        let (outcome, report) = if budget.is_some() {
-            run_broadcast_with_report(&params, &mut ContinuousJammer, &cfg)
-        } else {
-            run_broadcast_with_report(&params, &mut SilentAdversary, &cfg)
-        };
-        assert!(
-            report.participant_refusals.iter().all(|&r| r == 0),
+        let mut builder = Scenario::broadcast(params.clone()).seed(3);
+        if let Some(b) = budget {
+            builder = builder.adversary(StrategySpec::Continuous).carol_budget(b);
+        }
+        let outcome = builder.build().unwrap().run();
+        assert_eq!(
+            outcome.total_refusals(),
+            0,
             "{label}: some participant hit its budget"
         );
         assert!(outcome.informed_fraction() > 0.9, "{label}");
@@ -42,15 +39,26 @@ fn starved_nodes_degrade_gracefully_not_catastrophically() {
         .max_round_margin(2)
         .build()
         .unwrap();
-    let (outcome, report) = run_broadcast_with_report(
-        &params,
-        &mut ContinuousJammer,
-        &RunConfig::seeded(4).carol_budget(Budget::limited(1_000)),
+    let outcome = Scenario::broadcast(params.clone())
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(1_000)
+        .seed(4)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        outcome.total_refusals() > 0,
+        "starvation must actually bite"
     );
-    let refused: u64 = report.participant_refusals.iter().sum();
-    assert!(refused > 0, "starvation must actually bite");
     // Nobody overspent their (tiny) cap.
-    for (i, cost) in outcome.node_costs.as_ref().unwrap().iter().enumerate() {
+    for (i, cost) in outcome
+        .broadcast
+        .node_costs
+        .as_ref()
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
         assert!(
             cost.total() <= params.node_budget(),
             "node {i} overspent: {} > {}",
@@ -62,13 +70,16 @@ fn starved_nodes_degrade_gracefully_not_catastrophically() {
 
 #[test]
 fn carols_pool_is_a_hard_cap_under_every_strategy() {
-    use evildoers::adversary::StrategySpec;
     let params = Params::builder(32).max_round_margin(2).build().unwrap();
     let budget = 777u64;
-    for spec in StrategySpec::roster() {
-        let mut carol = spec.slot_adversary(&params, 5);
-        let cfg = RunConfig::seeded(5).carol_budget(Budget::limited(budget));
-        let outcome = run_broadcast(&params, carol.as_mut(), &cfg);
+    for spec in StrategySpec::full_roster() {
+        let outcome = Scenario::broadcast(params.clone())
+            .adversary(spec)
+            .carol_budget(budget)
+            .seed(5)
+            .build()
+            .unwrap()
+            .run();
         assert!(
             outcome.carol_spend() <= budget,
             "{}: spent {} of {budget}",
@@ -85,12 +96,17 @@ fn unblockable_round_prediction_matches_observed_behaviour() {
     let budget = 3_000u64;
     let params = Params::builder(32).max_round_margin(6).build().unwrap();
     let predicted = params.unblockable_round(budget);
-    assert!(predicted <= params.max_round(), "test setup: schedule covers it");
-    let outcome = run_broadcast(
-        &params,
-        &mut ContinuousJammer,
-        &RunConfig::seeded(6).carol_budget(Budget::limited(budget)),
+    assert!(
+        predicted <= params.max_round(),
+        "test setup: schedule covers it"
     );
+    let outcome = Scenario::broadcast(params)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(budget)
+        .seed(6)
+        .build()
+        .unwrap()
+        .run();
     assert!(outcome.informed_fraction() > 0.9);
     assert!(
         outcome.rounds_entered >= predicted.saturating_sub(1),

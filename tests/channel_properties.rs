@@ -1,8 +1,10 @@
-//! Property-based tests on the channel model — the §1.1 semantics that
-//! everything else rests on.
+//! Property-style tests on the channel model — the §1.1 semantics that
+//! everything else rests on. Inputs are drawn from a seeded RNG
+//! (replacing the earlier proptest harness, which is unavailable offline).
 
 use evildoers::radio::{resolve_for_listener, IdSet, JamDirective, ParticipantId, Payload};
-use proptest::prelude::*;
+use evildoers::rng::SimRng;
+use rand::{Rng, SeedableRng};
 
 fn payloads(count: usize) -> Vec<Payload> {
     (0..count).map(|i| Payload::Garbage(i as u64)).collect()
@@ -12,21 +14,23 @@ fn id_set(ids: &[u32]) -> IdSet {
     ids.iter().copied().map(ParticipantId::new).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_ids(rng: &mut SimRng, bound: u32, max_len: usize) -> Vec<u32> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0..bound)).collect()
+}
 
-    /// Silence cannot be forged: a listener hears silence iff there were
-    /// zero transmissions AND it was not jammed. Conversely, jamming or
-    /// any transmission always sounds noisy.
-    #[test]
-    fn silence_iff_quiet_and_unjammed(
-        tx_count in 0usize..5,
-        listener in 0u32..16,
-        targets in proptest::collection::vec(0u32..16, 0..6),
-        directive_kind in 0u8..4,
-    ) {
+/// Silence cannot be forged: a listener hears silence iff there were
+/// zero transmissions AND it was not jammed. Conversely, jamming or
+/// any transmission always sounds noisy.
+#[test]
+fn silence_iff_quiet_and_unjammed() {
+    let mut gen = SimRng::seed_from_u64(0x51CE);
+    for _ in 0..128 {
+        let tx_count = gen.gen_range(0usize..5);
+        let listener = gen.gen_range(0u32..16);
+        let targets = random_ids(&mut gen, 16, 5);
         let tx = payloads(tx_count);
-        let jam = match directive_kind {
+        let jam = match gen.gen_range(0u8..4) {
             0 => JamDirective::None,
             1 => JamDirective::All,
             2 => JamDirective::AllExcept(id_set(&targets)),
@@ -36,59 +40,70 @@ proptest! {
         let reception = resolve_for_listener(listener, &tx, &jam);
         let jammed = jam.jams(listener);
         let silent = !reception.is_noisy();
-        prop_assert_eq!(silent, tx_count == 0 && !jammed);
+        assert_eq!(silent, tx_count == 0 && !jammed);
     }
+}
 
-    /// Delivery happens exactly when there is a single transmission and
-    /// the listener is not jammed — and the delivered frame is that
-    /// transmission, unaltered.
-    #[test]
-    fn delivery_iff_singleton_and_clear(
-        tx_count in 0usize..5,
-        listener in 0u32..16,
-        spared in proptest::collection::vec(0u32..16, 0..6),
-    ) {
+/// Delivery happens exactly when there is a single transmission and
+/// the listener is not jammed — and the delivered frame is that
+/// transmission, unaltered.
+#[test]
+fn delivery_iff_singleton_and_clear() {
+    let mut gen = SimRng::seed_from_u64(0xDE11);
+    for _ in 0..128 {
+        let tx_count = gen.gen_range(0usize..5);
+        let listener = gen.gen_range(0u32..16);
+        let spared = random_ids(&mut gen, 16, 5);
         let tx = payloads(tx_count);
         let jam = JamDirective::AllExcept(id_set(&spared));
         let listener = ParticipantId::new(listener);
         let reception = resolve_for_listener(listener, &tx, &jam);
         let delivered = matches!(reception, evildoers::radio::Reception::Frame(_));
-        prop_assert_eq!(delivered, tx_count == 1 && !jam.jams(listener));
+        assert_eq!(delivered, tx_count == 1 && !jam.jams(listener));
         if let evildoers::radio::Reception::Frame(frame) = reception {
-            prop_assert_eq!(frame, tx[0].clone());
+            assert_eq!(frame, tx[0].clone());
         }
     }
+}
 
-    /// n-uniform consistency: `AllExcept(S)` and `Only(S)` partition the
-    /// listener space exactly by membership in `S`.
-    #[test]
-    fn targeting_partitions_by_membership(
-        ids in proptest::collection::vec(0u32..32, 0..10),
-        probe in 0u32..32,
-    ) {
+/// n-uniform consistency: `AllExcept(S)` and `Only(S)` partition the
+/// listener space exactly by membership in `S`.
+#[test]
+fn targeting_partitions_by_membership() {
+    let mut gen = SimRng::seed_from_u64(0x9AB7);
+    for _ in 0..128 {
+        let ids = random_ids(&mut gen, 32, 9);
+        let probe = gen.gen_range(0u32..32);
         let set = id_set(&ids);
         let except = JamDirective::AllExcept(set.clone());
         let only = JamDirective::Only(set.clone());
         let p = ParticipantId::new(probe);
-        prop_assert_eq!(except.jams(p), !set.contains(p));
-        prop_assert_eq!(only.jams(p), set.contains(p));
+        assert_eq!(except.jams(p), !set.contains(p));
+        assert_eq!(only.jams(p), set.contains(p));
     }
+}
 
-    /// IdSet behaves as a mathematical set: construction order and
-    /// duplicates are irrelevant; membership matches the source list.
-    #[test]
-    fn idset_is_a_set(mut ids in proptest::collection::vec(0u32..64, 0..20)) {
+/// IdSet behaves as a mathematical set: construction order and
+/// duplicates are irrelevant; membership matches the source list.
+#[test]
+fn idset_is_a_set() {
+    let mut gen = SimRng::seed_from_u64(0x1D5E);
+    for _ in 0..128 {
+        let mut ids = random_ids(&mut gen, 64, 19);
         let forward = id_set(&ids);
         ids.reverse();
         ids.extend(ids.clone()); // duplicates
         let scrambled = id_set(&ids);
-        prop_assert_eq!(forward.clone(), scrambled);
+        assert_eq!(forward.clone(), scrambled);
         for probe in 0u32..64 {
-            prop_assert_eq!(
+            assert_eq!(
                 forward.contains(ParticipantId::new(probe)),
                 ids.contains(&probe)
             );
         }
-        prop_assert!(forward.iter().zip(forward.iter().skip(1)).all(|(a, b)| a < b));
+        assert!(forward
+            .iter()
+            .zip(forward.iter().skip(1))
+            .all(|(a, b)| a < b));
     }
 }

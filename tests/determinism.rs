@@ -1,10 +1,23 @@
 //! Cross-crate integration: exact replayability from a single master seed,
-//! across engines, adversaries, and protocol variants.
+//! across protocols, engines, adversaries, and protocol variants.
 
 use evildoers::adversary::StrategySpec;
-use evildoers::core::fast::{run_fast, FastConfig};
-use evildoers::core::{run_broadcast, Params, RunConfig, Variant};
-use evildoers::radio::Budget;
+use evildoers::core::{Params, Variant};
+use evildoers::sim::{Engine, EpidemicSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome};
+
+fn assert_identical(a: &ScenarioOutcome, b: &ScenarioOutcome, label: &str) {
+    assert_eq!(a.seed, b.seed, "{label}");
+    assert_eq!(a.slots, b.slots, "{label}");
+    assert_eq!(a.informed_nodes, b.informed_nodes, "{label}");
+    assert_eq!(a.uninformed_terminated, b.uninformed_terminated, "{label}");
+    assert_eq!(a.alice_cost, b.alice_cost, "{label}");
+    assert_eq!(
+        a.broadcast.node_total_cost, b.broadcast.node_total_cost,
+        "{label}"
+    );
+    assert_eq!(a.broadcast.carol_cost, b.broadcast.carol_cost, "{label}");
+    assert_eq!(a.broadcast.node_costs, b.broadcast.node_costs, "{label}");
+}
 
 #[test]
 fn exact_engine_replays_bit_for_bit() {
@@ -14,56 +27,109 @@ fn exact_engine_replays_bit_for_bit() {
         StrategySpec::Random(0.4),
         StrategySpec::Spoof(0.8),
         StrategySpec::Extract(4),
+        StrategySpec::LaggedReactive,
     ] {
-        let run = |seed: u64| {
-            let mut carol = spec.slot_adversary(&params, seed);
-            let cfg = RunConfig::seeded(seed).carol_budget(Budget::limited(1_000));
-            run_broadcast(&params, carol.as_mut(), &cfg)
-        };
-        let a = run(42);
-        let b = run(42);
-        assert_eq!(a.slots, b.slots, "{}", spec.name());
-        assert_eq!(a.informed_nodes, b.informed_nodes, "{}", spec.name());
-        assert_eq!(a.alice_cost, b.alice_cost, "{}", spec.name());
-        assert_eq!(a.node_total_cost, b.node_total_cost, "{}", spec.name());
-        assert_eq!(a.carol_cost, b.carol_cost, "{}", spec.name());
-        assert_eq!(a.node_costs, b.node_costs, "{}", spec.name());
+        let scenario = Scenario::broadcast(params.clone())
+            .adversary(spec)
+            .carol_budget(1_000)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_identical(&scenario.run(), &scenario.run(), &spec.name());
     }
 }
 
 #[test]
 fn fast_sim_replays_bit_for_bit() {
     let params = Params::builder(10_000).build().unwrap();
-    let run = |seed: u64| {
-        let mut carol = StrategySpec::BlockDissemination(1.0).phase_adversary(&params, seed);
-        run_fast(
-            &params,
-            carol.as_mut(),
-            &FastConfig::seeded(seed).carol_budget(100_000),
-        )
-    };
-    let a = run(7);
-    let b = run(7);
-    assert_eq!(a.informed_nodes, b.informed_nodes);
-    assert_eq!(a.node_total_cost, b.node_total_cost);
-    assert_eq!(a.carol_cost, b.carol_cost);
-    assert_eq!(a.slots, b.slots);
+    let scenario = Scenario::broadcast(params)
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::BlockDissemination(1.0))
+        .carol_budget(100_000)
+        .seed(7)
+        .build()
+        .unwrap();
+    assert_identical(&scenario.run(), &scenario.run(), "fast/block-dissem");
+}
+
+#[test]
+fn every_protocol_engine_combination_is_deterministic() {
+    // Satellite guarantee of the Scenario API: same seed ⇒ identical
+    // ScenarioOutcome, for every protocol × engine pairing.
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        (
+            "broadcast/exact",
+            Scenario::broadcast(Params::builder(16).build().unwrap())
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(300)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "broadcast/fast",
+            Scenario::broadcast(Params::builder(4096).build().unwrap())
+                .engine(Engine::Fast)
+                .adversary(StrategySpec::Spoof(1.0))
+                .carol_budget(10_000)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "naive/exact",
+            Scenario::naive(NaiveSpec { n: 8, horizon: 400 })
+                .adversary(StrategySpec::Random(0.5))
+                .carol_budget(150)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "epidemic/exact",
+            Scenario::epidemic(EpidemicSpec::new(8, 800))
+                .adversary(StrategySpec::Bursty { burst: 16, gap: 16 })
+                .carol_budget(150)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "ksy/exact",
+            Scenario::ksy(KsySpec::default())
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(5_000)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+    ];
+    for (label, scenario) in &scenarios {
+        assert_identical(&scenario.run(), &scenario.run(), label);
+        // Batch execution replays the same per-trial stream.
+        let batch_a = scenario.run_batch(3);
+        let batch_b = scenario.run_batch(3);
+        for (a, b) in batch_a.iter().zip(&batch_b) {
+            assert_identical(a, b, label);
+        }
+    }
 }
 
 #[test]
 fn different_seeds_actually_differ() {
     let params = Params::builder(32).build().unwrap();
-    let run = |seed: u64| {
-        run_broadcast(
-            &params,
-            &mut evildoers::radio::SilentAdversary,
-            &RunConfig::seeded(seed),
-        )
-    };
-    let outcomes: Vec<_> = (0..4).map(run).collect();
+    let outcomes: Vec<_> = (0..4)
+        .map(|seed| {
+            Scenario::broadcast(params.clone())
+                .seed(seed)
+                .build()
+                .unwrap()
+                .run()
+        })
+        .collect();
     let all_same_costs = outcomes
         .windows(2)
-        .all(|w| w[0].node_total_cost == w[1].node_total_cost);
+        .all(|w| w[0].broadcast.node_total_cost == w[1].broadcast.node_total_cost);
     assert!(!all_same_costs, "distinct seeds should perturb the runs");
 }
 
@@ -71,11 +137,7 @@ fn different_seeds_actually_differ() {
 fn figure_one_and_figure_two_variants_both_run() {
     for variant in [Variant::K2Paper, Variant::GeneralK] {
         let params = Params::builder(32).variant(variant).build().unwrap();
-        let o = run_broadcast(
-            &params,
-            &mut evildoers::radio::SilentAdversary,
-            &RunConfig::seeded(11),
-        );
+        let o = Scenario::broadcast(params).seed(11).build().unwrap().run();
         assert!(
             o.informed_fraction() > 0.9,
             "{variant:?} quiet delivery failed"
@@ -88,11 +150,7 @@ fn figure_one_and_figure_two_variants_both_run() {
 fn k3_protocol_with_two_propagation_steps_delivers() {
     let params = Params::builder(32).k(3).build().unwrap();
     assert_eq!(params.propagation_steps(), 2);
-    let o = run_broadcast(
-        &params,
-        &mut evildoers::radio::SilentAdversary,
-        &RunConfig::seeded(13),
-    );
+    let o = Scenario::broadcast(params).seed(13).build().unwrap().run();
     assert!(o.informed_fraction() > 0.9);
     assert!(o.completed());
 }

@@ -1,12 +1,12 @@
 //! Cross-validation: the phase-level fast simulator must agree
 //! statistically with the exact slot engine — same delivery, same cost
-//! scales — across quiet, jammed, and spoofed conditions.
+//! scales — across quiet, jammed, and spoofed conditions. Both engines
+//! run through the same `Scenario`, differing only in `.engine(..)`.
 
 use evildoers::adversary::StrategySpec;
-use evildoers::core::fast::{run_fast, FastConfig};
-use evildoers::core::{run_broadcast, Params, RunConfig};
-use evildoers::radio::Budget;
+use evildoers::core::Params;
 use evildoers::rng::stats::RunningStats;
+use evildoers::sim::{Engine, Scenario};
 
 struct Agreement {
     exact_informed: RunningStats,
@@ -27,27 +27,28 @@ fn compare(spec: StrategySpec, n: u64, budget: Option<u64>, trials: u64, margin:
         exact_alice: RunningStats::new(),
         fast_alice: RunningStats::new(),
     };
+    let scenario_for = |engine: Engine| {
+        let mut builder = Scenario::broadcast(params.clone())
+            .engine(engine)
+            .adversary(spec);
+        if let Some(b) = budget {
+            builder = builder.carol_budget(b);
+        }
+        builder.build().expect("valid on both engines")
+    };
+    let exact = scenario_for(Engine::Exact);
+    let fast = scenario_for(Engine::Fast);
     for trial in 0..trials {
         let seed = 1000 + trial;
-        let mut slot_carol = spec.slot_adversary(&params, seed);
-        let cfg = match budget {
-            Some(b) => RunConfig::seeded(seed).carol_budget(Budget::limited(b)),
-            None => RunConfig::seeded(seed),
-        };
-        let exact = run_broadcast(&params, slot_carol.as_mut(), &cfg);
-        agg.exact_informed.push(exact.informed_fraction());
-        agg.exact_node_cost.push(exact.mean_node_cost());
-        agg.exact_alice.push(exact.alice_cost.total() as f64);
+        let e = exact.run_seeded(seed);
+        agg.exact_informed.push(e.informed_fraction());
+        agg.exact_node_cost.push(e.mean_node_cost());
+        agg.exact_alice.push(e.alice_cost.total() as f64);
 
-        let mut phase_carol = spec.phase_adversary(&params, seed);
-        let fcfg = match budget {
-            Some(b) => FastConfig::seeded(seed).carol_budget(b),
-            None => FastConfig::seeded(seed),
-        };
-        let fast = run_fast(&params, phase_carol.as_mut(), &fcfg);
-        agg.fast_informed.push(fast.informed_fraction());
-        agg.fast_node_cost.push(fast.mean_node_cost());
-        agg.fast_alice.push(fast.alice_cost.total() as f64);
+        let f = fast.run_seeded(seed);
+        agg.fast_informed.push(f.informed_fraction());
+        agg.fast_node_cost.push(f.mean_node_cost());
+        agg.fast_alice.push(f.alice_cost.total() as f64);
     }
     agg
 }

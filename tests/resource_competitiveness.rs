@@ -2,13 +2,11 @@
 //! end — defenders' spend grows sublinearly in Carol's, and the naive
 //! baseline demonstrates what failure looks like.
 
-use evildoers::adversary::ContinuousJammer;
+use evildoers::adversary::StrategySpec;
 use evildoers::analysis::experiments::provisioned_params;
 use evildoers::analysis::fit_loglog;
-use evildoers::baselines::{run_naive, NaiveConfig};
-use evildoers::core::fast::{run_fast, FastConfig, SilentPhaseAdversary};
 use evildoers::core::Params;
-use evildoers::radio::Budget;
+use evildoers::sim::{Engine, NaiveSpec, Scenario};
 
 #[test]
 fn node_cost_grows_sublinearly_in_carol_spend() {
@@ -17,19 +15,31 @@ fn node_cost_grows_sublinearly_in_carol_spend() {
     let n = 1u64 << 18;
     let quiet = {
         let params = Params::builder(n).build().unwrap();
-        run_fast(&params, &mut SilentPhaseAdversary, &FastConfig::seeded(9)).mean_node_cost()
+        Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .seed(9)
+            .build()
+            .unwrap()
+            .run()
+            .mean_node_cost()
     };
     let mut pts = Vec::new();
     for exp in [20u32, 22, 24] {
         let budget = 1u64 << exp;
         let params = provisioned_params(n, 2, budget).unwrap();
-        let o = run_fast(
-            &params,
-            &mut ContinuousJammer,
-            &FastConfig::seeded(9).carol_budget(budget),
-        );
+        let o = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(9)
+            .build()
+            .unwrap()
+            .run();
         assert!(o.informed_fraction() > 0.9);
-        pts.push((o.carol_spend() as f64, (o.mean_node_cost() - quiet).max(0.1)));
+        pts.push((
+            o.carol_spend() as f64,
+            (o.mean_node_cost() - quiet).max(0.1),
+        ));
     }
     let fit = fit_loglog(&pts);
     assert!(
@@ -52,15 +62,16 @@ fn node_cost_grows_sublinearly_in_carol_spend() {
 fn naive_baseline_pays_linearly_in_carol_spend() {
     let mut pts = Vec::new();
     for t in [500u64, 2_000, 8_000] {
-        let o = run_naive(
-            &NaiveConfig {
-                n: 8,
-                horizon: t + 100,
-                carol_budget: Budget::limited(t),
-                seed: 3,
-            },
-            &mut ContinuousJammer,
-        );
+        let o = Scenario::naive(NaiveSpec {
+            n: 8,
+            horizon: t + 100,
+        })
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(t)
+        .seed(3)
+        .build()
+        .unwrap()
+        .run();
         assert_eq!(o.informed_nodes, 8);
         pts.push((t as f64, o.mean_node_cost()));
     }
@@ -78,11 +89,14 @@ fn alice_and_nodes_stay_load_balanced_under_attack() {
     for exp in [18u32, 22] {
         let budget = 1u64 << exp;
         let params = provisioned_params(n, 2, budget).unwrap();
-        let o = run_fast(
-            &params,
-            &mut ContinuousJammer,
-            &FastConfig::seeded(4).carol_budget(budget),
-        );
+        let o = Scenario::broadcast(params)
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(budget)
+            .seed(4)
+            .build()
+            .unwrap()
+            .run();
         let ratio = o.alice_cost.total() as f64 / o.mean_node_cost().max(1.0);
         let polylog_bound = 40.0 * (n as f64).ln();
         assert!(
@@ -97,11 +111,14 @@ fn carol_budget_is_spent_exactly_never_exceeded() {
     let n = 1u64 << 12;
     let budget = 1u64 << 16;
     let params = provisioned_params(n, 2, budget).unwrap();
-    let o = run_fast(
-        &params,
-        &mut ContinuousJammer,
-        &FastConfig::seeded(8).carol_budget(budget),
-    );
+    let o = Scenario::broadcast(params)
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(budget)
+        .seed(8)
+        .build()
+        .unwrap()
+        .run();
     assert!(o.carol_spend() <= budget);
     // A continuous jammer with a sub-schedule budget spends all of it.
     assert!(

@@ -1,0 +1,186 @@
+//! The unified `Scenario` API, exercised end to end from the umbrella
+//! crate: strategy coverage, the invalid-combination matrix, batching,
+//! and outcome plumbing.
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::Params;
+use evildoers::sim::{
+    Engine, EpidemicSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioError,
+};
+
+fn params(n: u64) -> Params {
+    Params::builder(n).build().unwrap()
+}
+
+#[test]
+fn every_strategy_constructs_slot_and_phase_adversaries_where_defined() {
+    let p = params(16);
+    for spec in StrategySpec::full_roster() {
+        // Slot-level always exists.
+        let _slot = spec.slot_adversary(&p, 1);
+        // Phase-level exists exactly when the spec claims support.
+        assert_eq!(
+            spec.phase_adversary(&p, 1).is_some(),
+            spec.supports_phase(),
+            "{}",
+            spec.name()
+        );
+        // Names are stable (same name on repeated calls).
+        assert_eq!(spec.name(), spec.name());
+    }
+    // Names are unique across the full roster.
+    let mut names: Vec<String> = StrategySpec::full_roster()
+        .iter()
+        .map(StrategySpec::name)
+        .collect();
+    let total = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate strategy names");
+}
+
+#[test]
+fn every_strategy_runs_through_the_scenario_builder_on_its_engines() {
+    for spec in StrategySpec::full_roster() {
+        // Exact engine hosts everything.
+        let o = Scenario::broadcast(params(16))
+            .adversary(spec)
+            .carol_budget(400)
+            .seed(2)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
+            .run();
+        assert!(o.slots > 0, "{}", spec.name());
+
+        // Fast engine hosts exactly the phase-capable ones.
+        let fast = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .adversary(spec)
+            .carol_budget(400)
+            .seed(2)
+            .build();
+        match fast {
+            Ok(scenario) => {
+                assert!(spec.supports_phase(), "{}", spec.name());
+                assert!(scenario.run().slots > 0, "{}", spec.name());
+            }
+            Err(err) => {
+                assert!(!spec.supports_phase(), "{}: {err}", spec.name());
+                assert!(matches!(err, ScenarioError::SlotOnlyStrategy { .. }));
+            }
+        }
+    }
+}
+
+#[test]
+fn invalid_combinations_are_typed_errors_not_panics() {
+    // Fast engine × baseline protocol.
+    let err = Scenario::naive(NaiveSpec { n: 8, horizon: 10 })
+        .engine(Engine::Fast)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::UnsupportedEngine {
+            protocol: ProtocolKind::Naive,
+            engine: Engine::Fast,
+        }
+    );
+
+    // Schedule-bound strategy × baseline protocol.
+    let err = Scenario::epidemic(EpidemicSpec::new(8, 10))
+        .adversary(StrategySpec::BlockAll(0.5))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::ScheduleBoundStrategy { .. }));
+
+    // KSY × arbitrary adversary.
+    let err = Scenario::ksy(KsySpec::default())
+        .adversary(StrategySpec::Bursty { burst: 4, gap: 4 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::UnsupportedAdversary { .. }));
+
+    // KSY × continuous jamming without a budget.
+    let err = Scenario::ksy(KsySpec::default())
+        .adversary(StrategySpec::Continuous)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::BudgetRequired { .. }));
+
+    // Tracing off the exact broadcast path.
+    let err = Scenario::broadcast(params(4096))
+        .engine(Engine::Fast)
+        .trace(64)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+
+    // Out-of-range protocol config: typed error where the old entry
+    // point panicked.
+    let mut bad = EpidemicSpec::new(8, 10);
+    bad.listen_p = 2.0;
+    let err = Scenario::epidemic(bad).build().unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+
+    // Every error renders a human-readable message.
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn outcome_carries_engine_specific_extras() {
+    // Exact: stop reason, refusals, and (on request) the trace.
+    let o = Scenario::broadcast(params(16))
+        .trace(2048)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.stop_reason.is_some());
+    assert!(o.participant_refusals.is_some());
+    assert!(o.trace.is_some());
+
+    // Fast: none of the slot-level extras.
+    let o = Scenario::broadcast(params(4096))
+        .engine(Engine::Fast)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.stop_reason.is_none());
+    assert!(o.participant_refusals.is_none());
+    assert!(o.trace.is_none());
+
+    // KSY: the raw two-player outcome rides along, consistently mapped.
+    let o = Scenario::ksy(KsySpec::default())
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(2_000)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    let raw = o.ksy.unwrap();
+    assert_eq!(o.broadcast.alice_cost.sends, raw.sender_cost);
+    assert_eq!(o.broadcast.node_total_cost.listens, raw.receiver_cost);
+    assert_eq!(u64::from(raw.delivered), o.informed_nodes);
+}
+
+#[test]
+fn run_batch_scales_and_matches_solo_runs() {
+    let scenario = Scenario::broadcast(params(24))
+        .adversary(StrategySpec::Random(0.4))
+        .carol_budget(600)
+        .seed(77)
+        .build()
+        .unwrap();
+    let batch = scenario.run_batch(8);
+    assert_eq!(batch.len(), 8);
+    // Distinct derived seeds, each reproducible solo.
+    let mut seeds: Vec<u64> = batch.iter().map(|o| o.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 8);
+    let solo = scenario.run_seeded(batch[5].seed);
+    assert_eq!(solo.slots, batch[5].slots);
+    assert_eq!(solo.broadcast.node_costs, batch[5].broadcast.node_costs);
+}

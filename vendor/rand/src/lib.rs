@@ -1,0 +1,340 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides exactly the trait surface the workspace
+//! uses — [`RngCore`], [`SeedableRng`], and the [`Rng`] extension trait
+//! with `gen`, `gen_bool`, and `gen_range` — with semantics compatible
+//! with `rand 0.8` for those operations.
+//!
+//! The simulator pins its own generator (`rcb-rng`'s xoshiro256++) and
+//! overrides `seed_from_u64`, but protocol decisions *do* flow through
+//! this crate's conversion helpers (`gen_bool`, `gen_range`, `f64` in
+//! `[0, 1)`). `gen_bool` and `f64` match `rand 0.8` bit-for-bit;
+//! `gen_range` is unbiased Lemire sampling but always consumes one
+//! `next_u64` per draw, whereas `rand 0.8` width-matches sub-64-bit
+//! ranges (a `u32` range consumes 32 bits). **Swapping this stub for
+//! crates.io `rand` therefore shifts seeded simulation streams at
+//! `gen_range` call sites** — results stay statistically equivalent, but
+//! previously recorded `(seed → outcome)` pairs will not replay
+//! identically. Treat the swap as a stream-breaking change and re-baseline
+//! archived experiment numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (infallible in this workspace).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`fill_bytes`](Self::fill_bytes); never fails here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it SplitMix64-style
+    /// (the same expansion `rand 0.8` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sealed {
+    /// Integer types usable with [`Rng::gen_range`](super::Rng::gen_range).
+    pub trait RangeInt: Copy + PartialOrd {
+        fn to_u64(self) -> u64;
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl RangeInt for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize);
+}
+
+use sealed::RangeInt;
+
+/// A half-open or inclusive integer range that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply with rejection
+/// (Lemire's method — unbiased).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span == 0 {
+        return 0;
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let low = m as u64;
+        if low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        // Rejected: resample to stay unbiased.
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from empty range");
+        T::from_u64(lo + uniform_below(rng, hi - lo))
+    }
+}
+
+impl<T: RangeInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + uniform_below(rng, span + 1))
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the `rand 0.8`
+    /// `Standard` algorithm).
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let fraction = rng.next_u32() >> 8;
+        fraction as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p`.
+    ///
+    /// Implemented as a 64-bit integer threshold comparison (the `rand
+    /// 0.8` `Bernoulli` algorithm): exact for `p ≥ 1`, never true for
+    /// `p ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or negative.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(p >= 0.0, "gen_bool requires a probability, got {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // p ∈ [0, 1): scale to a 64-bit threshold.
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic generator for the tests below.
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_with_correct_mean() {
+        let mut rng = SplitMix(1);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 20_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gen_bool_edges_and_frequency() {
+        let mut rng = SplitMix(2);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = SplitMix(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let x: usize = rng.gen_range(0..6);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let x: u64 = rng.gen_range(10..=12);
+            assert!((10..=12).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SplitMix(4);
+        let _: u64 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn uniform_below_is_unbiased_at_small_spans() {
+        let mut rng = SplitMix(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            let freq = f64::from(c) / 30_000.0;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_expansion_is_deterministic() {
+        struct Raw([u8; 32]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Raw(seed)
+            }
+        }
+        let a = Raw::seed_from_u64(7);
+        let b = Raw::seed_from_u64(7);
+        let c = Raw::seed_from_u64(8);
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.0, c.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker [`Serialize`] / [`Deserialize`] traits and re-exports
+//! the no-op derives from `serde_derive`, so workspace types keep their
+//! annotations and downstream code can bound on the traits. No actual
+//! serialisation is implemented — nothing in the workspace serialises yet.
+//! When a real registry is available, replace the path dependencies with
+//! crates.io `serde = { version = "1", features = ["derive"] }` and
+//! everything keeps compiling.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+// Blanket-free impls for common std types so derived containers holding
+// them remain well-formed if bounds are ever added.
+macro_rules! markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+markers!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates its value types with
+//! `#[derive(Serialize, Deserialize)]` so that experiment archiving can be
+//! wired up once a real serde is available. Nothing in the workspace
+//! performs actual serialisation yet, so these derives emit marker-trait
+//! impls only (see `vendor/serde`): the attribute stays, the API contract
+//! stays, and swapping in the real crates later is a manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// Extracts the type name following `struct`/`enum` and its generics arity
+/// being zero-or-simple; good enough for the plain value types this
+/// workspace derives on (no generics are used on any serde-annotated type).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        let text = tok.to_string();
+        if text == "struct" || text == "enum" {
+            return tokens.next().map(|t| t.to_string());
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits `impl serde::Deserialize<'_> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'static>")
+}
