@@ -4,7 +4,7 @@ use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
 use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 
 /// Jams in fixed-length bursts separated by fixed-length gaps — the
-/// rate-limited bursty pattern of Awerbuch et al. [4] and Richa et al.
+/// rate-limited bursty pattern of Awerbuch et al. \[4\] and Richa et al.
 /// [27, 28].
 ///
 /// The duty cycle is `burst/(burst+gap)`; budget exhaustion is handled by

@@ -57,11 +57,14 @@ mod tests {
     use rcb_core::{BroadcastScratch, Params, RunConfig};
     use rcb_radio::{Budget, ParticipantId, PayloadKind};
 
-    fn observation(sends: &[(ParticipantId, PayloadKind)]) -> SlotObservation<'_> {
+    fn observation(
+        sends: &[(ParticipantId, rcb_radio::ChannelId, PayloadKind)],
+    ) -> SlotObservation<'_> {
         SlotObservation {
             correct_sends: sends,
             listeners: &[],
             jam_executed: false,
+            jammed_channels: &[],
         }
     }
 
@@ -76,7 +79,11 @@ mod tests {
         carol.observe(Slot::ZERO, &observation(&[]));
         assert!(!carol.plan(Slot::new(1), &ctx).jam.is_active());
         // Active slot: the next plan jams, and only the next.
-        let sends = [(ParticipantId::new(0), PayloadKind::Broadcast)];
+        let sends = [(
+            ParticipantId::new(0),
+            rcb_radio::ChannelId::ZERO,
+            PayloadKind::Broadcast,
+        )];
         carol.observe(Slot::new(1), &observation(&sends));
         assert!(carol.plan(Slot::new(2), &ctx).jam.is_active());
         carol.observe(Slot::new(2), &observation(&[]));
@@ -90,7 +97,11 @@ mod tests {
             budget_remaining: Some(0),
             spent: 10,
         };
-        let sends = [(ParticipantId::new(0), PayloadKind::Broadcast)];
+        let sends = [(
+            ParticipantId::new(0),
+            rcb_radio::ChannelId::ZERO,
+            PayloadKind::Broadcast,
+        )];
         carol.observe(Slot::ZERO, &observation(&sends));
         assert!(!carol.plan(Slot::new(1), &broke).jam.is_active());
     }

@@ -18,13 +18,19 @@
 //! | [`NackSpoofer`] | §2.2 spoofing attack | Byzantine fake nacks keep Alice awake |
 //! | [`ReactiveJammer`] | §4.1 | jam only slots with detected RSSI activity |
 //! | [`LaggedJammer`] | §4.1 without in-slot CCA | jam the slot *after* detected activity (slot-only) |
+//! | [`SplitJammer`] | Chen–Zheng multi-channel model | blanket every channel, splitting the budget (channel-aware) |
+//! | [`SweepJammer`] | Chen–Zheng multi-channel model | jam one channel at a time, sweeping the spectrum (channel-aware) |
+//! | [`ChannelLaggedJammer`] | multi-channel lagged CCA | jam last slot's active channels (channel-aware) |
 //!
 //! Every strategy is deterministic given its seed; the analysis harness
 //! constructs them from a serialisable [`StrategySpec`]. Strategies whose
-//! decisions are inherently slot-granular (currently [`LaggedJammer`])
-//! have no phase-level counterpart — [`StrategySpec::phase_adversary`]
-//! returns `None` for them and `rcb_sim::Scenario` rejects the
-//! combination with a typed error.
+//! decisions are inherently slot-granular (currently [`LaggedJammer`] and
+//! the channel-aware family) have no phase-level counterpart —
+//! [`StrategySpec::phase_adversary`] returns `None` for them and
+//! `rcb_sim::Scenario` rejects the combination with a typed error.
+//! Channel-aware strategies additionally require a protocol hosting a
+//! multi-channel spectrum ([`StrategySpec::requires_channels`]), which
+//! `Scenario` also enforces at build time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +38,7 @@
 mod bursty;
 mod continuous;
 mod lagged;
+mod multichannel;
 mod nuniform;
 mod phase_blocker;
 mod random;
@@ -42,6 +49,7 @@ mod spoofer;
 pub use bursty::BurstyJammer;
 pub use continuous::ContinuousJammer;
 pub use lagged::LaggedJammer;
+pub use multichannel::{ChannelLaggedJammer, SplitJammer, SweepJammer};
 pub use nuniform::EpsilonExtractor;
 pub use phase_blocker::{PhaseBlocker, PhaseTarget};
 pub use random::RandomJammer;

@@ -1,0 +1,252 @@
+//! Channel-capable jamming strategies for multi-channel spectra.
+//!
+//! On `C > 1` channels a jammer faces a new dilemma (Chen & Zheng
+//! 2019/2020): blanketing the whole spectrum costs `C` units per slot,
+//! while concentrating on fewer channels lets hopping protocols slip
+//! through on the rest. These three strategies realise the canonical
+//! points of that trade-off:
+//!
+//! * [`SplitJammer`] — blanket every channel, splitting the budget
+//!   uniformly; goes broke `C×` faster than a single-channel jammer;
+//! * [`SweepJammer`] — concentrate on one channel at a time, sweeping
+//!   the spectrum with a configurable dwell time;
+//! * [`ChannelLaggedJammer`] — the multi-channel
+//!   [`LaggedJammer`](crate::LaggedJammer): jam (in the next slot) every
+//!   channel that carried correct traffic.
+//!
+//! All three are inherently slot- and channel-granular: they have no
+//! phase-level model, and `rcb_sim::Scenario` rejects them on protocols
+//! that cannot host a multi-channel spectrum.
+
+use rcb_radio::{
+    Adversary, AdversaryCtx, AdversaryMove, ChannelId, JamDirective, JamPlan, Slot,
+    SlotObservation, Spectrum,
+};
+
+/// The budget-splitting uniform jammer: jams **every** channel of the
+/// spectrum in every slot, until broke.
+///
+/// The multi-channel analogue of
+/// [`ContinuousJammer`](crate::ContinuousJammer): with budget `T` and `C`
+/// channels the blanket holds for only `T / C` slots — the engine charges
+/// one unit per jammed channel and fizzles the remainder of the plan when
+/// the pool runs dry mid-slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitJammer {
+    spectrum: Spectrum,
+}
+
+impl SplitJammer {
+    /// Creates a jammer blanketing the given spectrum.
+    #[must_use]
+    pub fn new(spectrum: Spectrum) -> Self {
+        Self { spectrum }
+    }
+}
+
+impl Adversary for SplitJammer {
+    fn plan(&mut self, _slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        AdversaryMove::jam_spectrum(self.spectrum)
+    }
+}
+
+/// The channel-sweeping jammer: jams one channel at a time, hopping to
+/// the next every `dwell` slots (wrapping around the spectrum).
+///
+/// Spends like a single-channel jammer (one unit per slot) but covers
+/// each channel only a `1/C` fraction of the time — the concentrated
+/// extreme of the split/concentrate trade-off.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepJammer {
+    spectrum: Spectrum,
+    dwell: u64,
+}
+
+impl SweepJammer {
+    /// Creates a sweeper dwelling `dwell` slots on each channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dwell == 0`.
+    #[must_use]
+    pub fn new(spectrum: Spectrum, dwell: u64) -> Self {
+        assert!(dwell > 0, "dwell must be at least one slot");
+        Self { spectrum, dwell }
+    }
+
+    /// The channel targeted in `slot`.
+    #[must_use]
+    pub fn target(&self, slot: Slot) -> ChannelId {
+        let c = u64::from(self.spectrum.channel_count());
+        ChannelId::new(((slot.index() / self.dwell) % c) as u16)
+    }
+}
+
+impl Adversary for SweepJammer {
+    fn plan(&mut self, slot: Slot, _ctx: &AdversaryCtx) -> AdversaryMove {
+        AdversaryMove {
+            jam: JamPlan::on(self.target(slot), JamDirective::All),
+            sends: Vec::new(),
+        }
+    }
+}
+
+/// The multi-channel lagged reactive jammer: jams, in slot `t + 1`, every
+/// channel on which a correct device transmitted in slot `t`.
+///
+/// Like [`LaggedJammer`](crate::LaggedJammer) it models hardware without
+/// in-slot CCA — detection costs one slot of latency — but its detector
+/// is per-channel, so against a hopping protocol it pays one unit per
+/// *previously* active channel while the protocol has already hopped
+/// elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelLaggedJammer {
+    /// Channels with correct traffic in the previous slot (sorted).
+    pending: Vec<ChannelId>,
+}
+
+impl ChannelLaggedJammer {
+    /// Creates a lagged jammer (no pending jam).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for ChannelLaggedJammer {
+    fn plan(&mut self, _slot: Slot, ctx: &AdversaryCtx) -> AdversaryMove {
+        let pending = std::mem::take(&mut self.pending);
+        let affordable = match ctx.budget_remaining {
+            None => pending.len(),
+            Some(rem) => pending
+                .len()
+                .min(usize::try_from(rem).unwrap_or(usize::MAX)),
+        };
+        let mut jam = JamPlan::none();
+        for &channel in &pending[..affordable] {
+            jam.set(channel, JamDirective::All);
+        }
+        AdversaryMove {
+            jam,
+            sends: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, _slot: Slot, observation: &SlotObservation<'_>) {
+        self.pending.clear();
+        self.pending
+            .extend(observation.correct_sends.iter().map(|&(_, c, _)| c));
+        self.pending.sort_unstable();
+        self.pending.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_radio::{ParticipantId, PayloadKind};
+
+    fn ctx() -> AdversaryCtx {
+        AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        }
+    }
+
+    #[test]
+    fn split_jammer_blankets_the_spectrum() {
+        let mut carol = SplitJammer::new(Spectrum::new(4));
+        let mv = carol.plan(Slot::ZERO, &ctx());
+        assert_eq!(mv.jam.active_channel_count(), 4);
+        for c in Spectrum::new(4).channels() {
+            assert!(mv.jam.jams(c, ParticipantId::new(0)));
+        }
+    }
+
+    #[test]
+    fn sweep_jammer_cycles_channels_with_dwell() {
+        let mut carol = SweepJammer::new(Spectrum::new(3), 2);
+        let targets: Vec<u16> = (0..8)
+            .map(|t| {
+                let mv = carol.plan(Slot::new(t), &ctx());
+                assert_eq!(mv.jam.active_channel_count(), 1);
+                mv.jam.entries()[0].0.index()
+            })
+            .collect();
+        assert_eq!(targets, vec![0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell must be at least one slot")]
+    fn sweep_rejects_zero_dwell() {
+        let _ = SweepJammer::new(Spectrum::new(2), 0);
+    }
+
+    #[test]
+    fn channel_lagged_jams_exactly_the_previously_active_channels() {
+        let mut carol = ChannelLaggedJammer::new();
+        let sends = [
+            (
+                ParticipantId::new(0),
+                ChannelId::new(2),
+                PayloadKind::Broadcast,
+            ),
+            (ParticipantId::new(1), ChannelId::new(0), PayloadKind::Nack),
+            (ParticipantId::new(2), ChannelId::new(2), PayloadKind::Nack),
+        ];
+        carol.observe(
+            Slot::ZERO,
+            &SlotObservation {
+                correct_sends: &sends,
+                listeners: &[],
+                jam_executed: false,
+                jammed_channels: &[],
+            },
+        );
+        let mv = carol.plan(Slot::new(1), &ctx());
+        assert_eq!(mv.jam.active_channel_count(), 2, "channels deduplicated");
+        assert!(mv.jam.jams(ChannelId::new(0), ParticipantId::new(9)));
+        assert!(mv.jam.jams(ChannelId::new(2), ParticipantId::new(9)));
+        assert!(!mv.jam.jams(ChannelId::new(1), ParticipantId::new(9)));
+        // One slot of lag only: the next plan is idle.
+        carol.observe(
+            Slot::new(1),
+            &SlotObservation {
+                correct_sends: &[],
+                listeners: &[],
+                jam_executed: true,
+                jammed_channels: &[ChannelId::new(0), ChannelId::new(2)],
+            },
+        );
+        assert!(!carol.plan(Slot::new(2), &ctx()).jam.is_active());
+    }
+
+    #[test]
+    fn channel_lagged_respects_a_tight_budget() {
+        let mut carol = ChannelLaggedJammer::new();
+        let sends = [
+            (ParticipantId::new(0), ChannelId::new(0), PayloadKind::Nack),
+            (ParticipantId::new(1), ChannelId::new(1), PayloadKind::Nack),
+            (ParticipantId::new(2), ChannelId::new(2), PayloadKind::Nack),
+        ];
+        carol.observe(
+            Slot::ZERO,
+            &SlotObservation {
+                correct_sends: &sends,
+                listeners: &[],
+                jam_executed: false,
+                jammed_channels: &[],
+            },
+        );
+        let tight = AdversaryCtx {
+            budget_remaining: Some(2),
+            spent: 0,
+        };
+        let mv = carol.plan(Slot::new(1), &tight);
+        assert_eq!(
+            mv.jam.active_channel_count(),
+            2,
+            "she only commits what she can afford"
+        );
+    }
+}

@@ -53,7 +53,7 @@ impl Adversary for EpsilonExtractor {
         let pos = self.schedule.locate(slot.index());
         match pos.phase {
             PhaseKind::Inform | PhaseKind::Propagation { .. } => AdversaryMove {
-                jam: JamDirective::AllExcept(self.spared.clone()),
+                jam: JamDirective::AllExcept(self.spared.clone()).into(),
                 sends: Vec::new(),
             },
             PhaseKind::Request => AdversaryMove::idle(),
@@ -138,6 +138,9 @@ mod tests {
         // And an inform slot is jammed with sparing.
         let t0 = schedule.round_start(2);
         let mv = carol.plan(Slot::new(t0), &ctx);
-        assert!(matches!(mv.jam, JamDirective::AllExcept(_)));
+        assert!(matches!(
+            mv.jam.directive_on(rcb_radio::ChannelId::ZERO),
+            JamDirective::AllExcept(_)
+        ));
     }
 }

@@ -6,7 +6,7 @@ use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 use rcb_rng::{Binomial, SimRng};
 
 /// Jams each slot independently with probability `p` (cf. the random
-/// fault models of Pelc & Peleg [25]).
+/// fault models of Pelc & Peleg \[25\]).
 ///
 /// Unlike the phase blockers this adversary is oblivious — it neither
 /// reads the schedule nor adapts — making it the "weak" comparison point

@@ -4,11 +4,12 @@
 
 use rcb_core::fast::PhaseAdversary;
 use rcb_core::{Params, RoundSchedule};
-use rcb_radio::Adversary;
+use rcb_radio::{Adversary, Spectrum};
 
 use crate::{
-    BurstyJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer, NackSpoofer, PhaseBlocker,
-    PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
+    BurstyJammer, ChannelLaggedJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer,
+    NackSpoofer, PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary,
+    SilentPhaseAdversary, SplitJammer, SweepJammer,
 };
 
 /// A named, parameterised adversary strategy.
@@ -57,6 +58,19 @@ pub enum StrategySpec {
     /// Detection-then-jam with one slot of latency (no in-slot CCA).
     /// Slot-only: has no phase-level model.
     LaggedReactive,
+    /// Budget-splitting uniform jammer: blanket every channel of the
+    /// spectrum each slot (costs `C` units per slot). Channel-aware:
+    /// requires a protocol that hosts a multi-channel spectrum.
+    SplitUniform,
+    /// Channel-sweeping jammer: jam one channel at a time, hopping every
+    /// `dwell` slots. Channel-aware.
+    ChannelSweep {
+        /// Slots spent on each channel before hopping to the next.
+        dwell: u64,
+    },
+    /// Multi-channel lagged reactive: jam (next slot) every channel that
+    /// carried correct traffic. Channel-aware.
+    ChannelLagged,
 }
 
 impl StrategySpec {
@@ -75,6 +89,9 @@ impl StrategySpec {
             StrategySpec::Spoof(r) => format!("spoof(rate={r})"),
             StrategySpec::Reactive => "reactive".into(),
             StrategySpec::LaggedReactive => "lagged-reactive".into(),
+            StrategySpec::SplitUniform => "split-uniform".into(),
+            StrategySpec::ChannelSweep { dwell } => format!("channel-sweep(dwell={dwell})"),
+            StrategySpec::ChannelLagged => "channel-lagged".into(),
         }
     }
 
@@ -99,12 +116,46 @@ impl StrategySpec {
     /// exists. See [`StrategySpec::phase_adversary`].
     #[must_use]
     pub fn supports_phase(&self) -> bool {
-        !matches!(self, StrategySpec::LaggedReactive)
+        !matches!(
+            self,
+            StrategySpec::LaggedReactive
+                | StrategySpec::SplitUniform
+                | StrategySpec::ChannelSweep { .. }
+                | StrategySpec::ChannelLagged
+        )
     }
 
-    /// Builds the slot-level adversary for the exact engine.
+    /// Whether this strategy's behaviour is defined in terms of a
+    /// multi-channel spectrum. Channel-aware strategies are meaningless
+    /// against protocols pinned to the single-channel model, and
+    /// `Scenario` rejects those combinations at build time.
+    #[must_use]
+    pub fn requires_channels(&self) -> bool {
+        matches!(
+            self,
+            StrategySpec::SplitUniform
+                | StrategySpec::ChannelSweep { .. }
+                | StrategySpec::ChannelLagged
+        )
+    }
+
+    /// Builds the slot-level adversary for the exact engine, on the
+    /// single-channel spectrum.
     #[must_use]
     pub fn slot_adversary(&self, params: &Params, seed: u64) -> Box<dyn Adversary> {
+        self.slot_adversary_on(params, Spectrum::single(), seed)
+    }
+
+    /// Builds the slot-level adversary for the exact engine over an
+    /// explicit spectrum (channel-aware strategies split or sweep it;
+    /// single-channel strategies stay on channel 0).
+    #[must_use]
+    pub fn slot_adversary_on(
+        &self,
+        params: &Params,
+        spectrum: Spectrum,
+        seed: u64,
+    ) -> Box<dyn Adversary> {
         let schedule = RoundSchedule::new(params);
         match *self {
             StrategySpec::Silent => Box::new(SilentAdversary),
@@ -128,20 +179,40 @@ impl StrategySpec {
             StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
             StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
             StrategySpec::LaggedReactive => Box::new(LaggedJammer::new()),
+            StrategySpec::SplitUniform => Box::new(SplitJammer::new(spectrum)),
+            StrategySpec::ChannelSweep { dwell } => Box::new(SweepJammer::new(spectrum, dwell)),
+            StrategySpec::ChannelLagged => Box::new(ChannelLaggedJammer::new()),
         }
     }
 
     /// Builds the slot-level adversary for protocols *without* a round
-    /// schedule (the baselines). Returns `None` when the strategy is
-    /// schedule-bound (see [`StrategySpec::requires_schedule`]).
+    /// schedule (the baselines), on the single-channel spectrum. Returns
+    /// `None` when the strategy is schedule-bound (see
+    /// [`StrategySpec::requires_schedule`]).
     #[must_use]
     pub fn schedule_free_slot_adversary(&self, seed: u64) -> Option<Box<dyn Adversary>> {
+        self.schedule_free_slot_adversary_on(Spectrum::single(), seed)
+    }
+
+    /// Like [`schedule_free_slot_adversary`](Self::schedule_free_slot_adversary)
+    /// but over an explicit spectrum.
+    #[must_use]
+    pub fn schedule_free_slot_adversary_on(
+        &self,
+        spectrum: Spectrum,
+        seed: u64,
+    ) -> Option<Box<dyn Adversary>> {
         match *self {
             StrategySpec::Silent => Some(Box::new(SilentAdversary)),
             StrategySpec::Continuous => Some(Box::new(ContinuousJammer)),
             StrategySpec::Random(p) => Some(Box::new(RandomJammer::new(p, seed))),
             StrategySpec::Bursty { burst, gap } => Some(Box::new(BurstyJammer::new(burst, gap))),
             StrategySpec::LaggedReactive => Some(Box::new(LaggedJammer::new())),
+            StrategySpec::SplitUniform => Some(Box::new(SplitJammer::new(spectrum))),
+            StrategySpec::ChannelSweep { dwell } => {
+                Some(Box::new(SweepJammer::new(spectrum, dwell)))
+            }
+            StrategySpec::ChannelLagged => Some(Box::new(ChannelLaggedJammer::new())),
             _ => None,
         }
     }
@@ -173,7 +244,10 @@ impl StrategySpec {
             StrategySpec::Extract(x) => Box::new(EpsilonExtractor::sparing_first(schedule, x)),
             StrategySpec::Spoof(rate) => Box::new(NackSpoofer::new(schedule, rate, seed)),
             StrategySpec::Reactive => Box::new(ReactiveJammer::new(params.clone())),
-            StrategySpec::LaggedReactive => return None,
+            StrategySpec::LaggedReactive
+            | StrategySpec::SplitUniform
+            | StrategySpec::ChannelSweep { .. }
+            | StrategySpec::ChannelLagged => return None,
         })
     }
 
@@ -201,7 +275,19 @@ impl StrategySpec {
     pub fn full_roster() -> Vec<StrategySpec> {
         let mut roster = Self::roster();
         roster.push(StrategySpec::LaggedReactive);
+        roster.extend(Self::channel_roster());
         roster
+    }
+
+    /// Every channel-aware strategy with representative parameters, for
+    /// the E11 multi-channel sweep.
+    #[must_use]
+    pub fn channel_roster() -> Vec<StrategySpec> {
+        vec![
+            StrategySpec::SplitUniform,
+            StrategySpec::ChannelSweep { dwell: 8 },
+            StrategySpec::ChannelLagged,
+        ]
     }
 }
 

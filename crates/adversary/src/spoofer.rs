@@ -56,8 +56,8 @@ impl Adversary for NackSpoofer {
             PhaseKind::Request => {
                 if self.rng.gen_bool(self.rate) {
                     AdversaryMove {
-                        jam: rcb_radio::JamDirective::None,
-                        sends: vec![Payload::Nack],
+                        jam: rcb_radio::JamPlan::none(),
+                        sends: vec![Payload::Nack.into()],
                     }
                 } else {
                     AdversaryMove::idle()
@@ -66,8 +66,8 @@ impl Adversary for NackSpoofer {
             PhaseKind::Inform if self.pollute_inform => {
                 if self.rng.gen_bool(self.rate) {
                     AdversaryMove {
-                        jam: rcb_radio::JamDirective::None,
-                        sends: vec![Payload::Garbage(slot.index())],
+                        jam: rcb_radio::JamPlan::none(),
+                        sends: vec![Payload::Garbage(slot.index()).into()],
                     }
                 } else {
                     AdversaryMove::idle()
@@ -134,7 +134,7 @@ mod tests {
             let is_request = s.locate(t).phase == PhaseKind::Request;
             assert_eq!(!mv.sends.is_empty(), is_request, "slot {t}");
             if !mv.sends.is_empty() {
-                assert!(matches!(mv.sends[0], Payload::Nack));
+                assert!(matches!(mv.sends[0].payload, Payload::Nack));
             }
         }
     }
@@ -171,7 +171,10 @@ mod tests {
         };
         let t0 = s.round_start(3); // first inform slot of round 3
         let mv = carol.plan(Slot::new(t0), &ctx);
-        assert!(matches!(mv.sends.first(), Some(Payload::Garbage(_))));
+        assert!(matches!(
+            mv.sends.first().map(|tx| &tx.payload),
+            Some(Payload::Garbage(_))
+        ));
     }
 
     #[test]

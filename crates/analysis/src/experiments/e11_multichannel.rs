@@ -1,0 +1,164 @@
+//! E11 — multi-channel cost-competitiveness: splitting the jammer's
+//! budget across `C` channels.
+//!
+//! The multi-channel successors of the source paper (Chen & Zheng
+//! 2019/2020) observe that on `C > 1` channels a jammer faces a budget
+//! split: blanketing the whole spectrum costs `C` units per slot. This
+//! experiment runs the random-hopping broadcast against the
+//! budget-splitting uniform jammer with a **fixed** budget `T`, sweeping
+//! `C ∈ {1, 2, 4, 8}`: the blanket holds for only `T / C` slots, so the
+//! listeners' wasted energy — and with it the per-node cost — should
+//! shrink roughly like `1 / C`, while the per-channel jam accounting
+//! shows the split is uniform.
+
+use rcb_adversary::StrategySpec;
+use rcb_sim::{HoppingSpec, Scenario, ScenarioOutcome};
+
+use super::{ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::Table;
+
+struct Plan {
+    n: u64,
+    budget: u64,
+    horizon: u64,
+    trials: u32,
+}
+
+fn plan(scale: Scale) -> Plan {
+    match scale {
+        Scale::Smoke => Plan {
+            n: 24,
+            budget: 2_000,
+            horizon: 4_000,
+            trials: 3,
+        },
+        Scale::Full => Plan {
+            n: 128,
+            budget: 24_000,
+            horizon: 40_000,
+            trials: 8,
+        },
+    }
+}
+
+/// One sweep point: trial-averaged measures for one channel count.
+struct Point {
+    channels: u16,
+    informed_fraction: f64,
+    mean_node_cost: f64,
+    blanket_slots: f64,
+    jam_split_min: u64,
+    jam_split_max: u64,
+}
+
+fn sweep_point(plan: &Plan, channels: u16, base_seed: u64) -> Point {
+    let outcomes = Scenario::hopping(HoppingSpec::new(plan.n, plan.horizon))
+        .channels(channels)
+        .adversary(StrategySpec::SplitUniform)
+        .carol_budget(plan.budget)
+        .seed(base_seed ^ u64::from(channels))
+        .build()
+        .expect("hopping × split-uniform is a valid combination")
+        .run_batch(plan.trials);
+    let avg = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+        outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+    };
+    let mut jam_split_min = u64::MAX;
+    let mut jam_split_max = 0u64;
+    for o in &outcomes {
+        for &jams in &o.jam_slots_by_channel() {
+            jam_split_min = jam_split_min.min(jams);
+            jam_split_max = jam_split_max.max(jams);
+        }
+    }
+    Point {
+        channels,
+        informed_fraction: avg(&|o| o.informed_fraction()),
+        mean_node_cost: avg(&|o| o.mean_node_cost()),
+        blanket_slots: avg(&|o| o.jam_slots_by_channel().first().copied().unwrap_or(0) as f64),
+        jam_split_min,
+        jam_split_max,
+    }
+}
+
+/// Runs E11 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let plan = plan(scale);
+    let points: Vec<Point> = [1u16, 2, 4, 8]
+        .iter()
+        .map(|&c| sweep_point(&plan, c, 0xE11))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "C channels",
+        "informed",
+        "mean node cost",
+        "blanket slots",
+        "jam split (min..max per ch)",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.channels.to_string(),
+            fmt_f(p.informed_fraction),
+            fmt_f(p.mean_node_cost),
+            fmt_f(p.blanket_slots),
+            format!("{}..{}", p.jam_split_min, p.jam_split_max),
+        ]);
+    }
+    let tables = vec![(
+        format!(
+            "random-hopping broadcast vs split-uniform jammer, n = {}, T = {}, {} trials",
+            plan.n, plan.budget, plan.trials
+        ),
+        table,
+    )];
+
+    let c1 = &points[0];
+    let c8 = &points[3];
+    let cost_ratio = c8.mean_node_cost / c1.mean_node_cost.max(1.0);
+    let mut findings = vec![format!(
+        "fixed budget T = {}: mean node cost drops from {:.0} (C=1) to {:.0} (C=8), \
+         ratio {:.3} (theory ≈ 1/8 as the blanket shrinks from T to T/8 slots)",
+        plan.budget, c1.mean_node_cost, c8.mean_node_cost, cost_ratio
+    )];
+    let split_uniform = points
+        .iter()
+        .all(|p| p.jam_split_max.saturating_sub(p.jam_split_min) <= 1);
+    findings.push(format!(
+        "per-channel jam accounting: every channel carries ⌊T/C⌋ or ⌈T/C⌉ jammed slots \
+         (uniform split: {})",
+        if split_uniform { "yes" } else { "NO" }
+    ));
+
+    let delivery_ok = points.iter().all(|p| p.informed_fraction > 0.95);
+    let monotone = points.windows(2).all(|w| {
+        // Costs should not grow with C (allow 5% measurement slack).
+        w[1].mean_node_cost <= w[0].mean_node_cost * 1.05
+    });
+    let pass = delivery_ok && split_uniform && monotone && cost_ratio < 0.5;
+
+    ExperimentReport {
+        id: "E11",
+        title: "multi-channel budget splitting",
+        claim: "On C channels a uniform jammer must split its budget: with fixed T the \
+                blanket holds T/C slots, so listener cost against hopping broadcast \
+                improves roughly linearly in C (multi-channel model of Chen & Zheng).",
+        tables,
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_shows_cost_improving_with_channels() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+        assert_eq!(report.tables[0].1.len(), 4, "one row per channel count");
+    }
+}

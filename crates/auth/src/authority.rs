@@ -7,7 +7,7 @@ use crate::signed::{KeyId, Signed, Tag};
 /// The trusted key-issuing authority of a simulation.
 ///
 /// Models the pre-deployment key-distribution step assumed by the paper
-/// ([9]): before the network is attacked, Alice's public key is installed
+/// (\[9\]): before the network is attacked, Alice's public key is installed
 /// on every device. One `Authority` is created per simulation; it issues
 /// [`SecretKey`]s (to honest code only) and hands out [`Verifier`]s freely.
 #[derive(Debug)]

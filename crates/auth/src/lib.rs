@@ -11,7 +11,7 @@
 //! * `nack` / decoy traffic **can** be spoofed by Carol's Byzantine nodes —
 //!   which is exactly the attack surface the request phase must tolerate.
 //!
-//! A real deployment would use pre-distributed keys (Chan–Perrig–Song [9]);
+//! A real deployment would use pre-distributed keys (Chan–Perrig–Song \[9\]);
 //! we substitute a capability-style scheme: holding a [`SecretKey`] value is
 //! the *only* way to produce a [`Tag`] that verifies against the matching
 //! [`KeyId`]. Tags are deterministic keyed hashes (FNV-1a with SplitMix-like

@@ -171,8 +171,7 @@ pub fn execute_epidemic(
     let budgets = vec![Budget::unlimited(); config.n as usize + 1];
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
-        trace_capacity: 0,
-        stop_when_all_terminated: true,
+        ..EngineConfig::default()
     });
     let report =
         engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
@@ -198,16 +197,6 @@ pub fn execute_epidemic(
         engine: EngineKind::Exact,
         node_costs: Some(node_costs),
     }
-}
-
-/// Deprecated alias for [`execute_epidemic`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use rcb_sim::Scenario::epidemic(..) or execute_epidemic"
-)]
-#[must_use]
-pub fn run_epidemic(config: &EpidemicConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
-    execute_epidemic(config, adversary)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 //! and the players' cumulative spend is `Σ_{L_e ≤ T} L_e^{φ−1} =
 //! O(T^{φ−1})`.
 //!
-//! This is a *reconstruction*: [23]'s actual protocol is Las Vegas with
+//! This is a *reconstruction*: \[23\]'s actual protocol is Las Vegas with
 //! additional machinery for unknown budgets; what experiments need from it
 //! is the exponent, which this construction reproduces (see E7 and
 //! `DESIGN.md` for the substitution note).

@@ -4,7 +4,7 @@
 //! the naive strawman of §1.1 ("a correct node continually sends m until
 //! the jamming stops; this yields very poor resource competitiveness since
 //! each node spends at least as much as the adversary") and the earlier
-//! golden-ratio bound `O(T^{φ−1}) = O(T^{0.62})` of King–Saia–Young [23].
+//! golden-ratio bound `O(T^{φ−1}) = O(T^{0.62})` of King–Saia–Young \[23\].
 //! This crate implements those comparators.
 //!
 //! ## Where to start
@@ -31,10 +31,7 @@
 //!   without backoff; receivers still pay `Θ(T)` listening through
 //!   jamming.
 //! * [`ksy`] — a two-player epoch protocol reproducing the *shape* of
-//!   [23]: per-player cost `O(T^{φ−1})` against a continuous jammer.
-//!
-//! The old `run_naive` / `run_epidemic` names remain as deprecated shims
-//! for one release.
+//!   \[23\]: per-player cost `O(T^{φ−1})` against a continuous jammer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,9 +40,5 @@ mod epidemic;
 pub mod ksy;
 mod naive;
 
-#[allow(deprecated)]
-pub use epidemic::run_epidemic;
 pub use epidemic::{execute_epidemic, EpidemicConfig};
-#[allow(deprecated)]
-pub use naive::run_naive;
 pub use naive::{execute_naive, NaiveConfig};

@@ -119,8 +119,7 @@ pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Bro
     let budgets = vec![Budget::unlimited(); config.n as usize + 1];
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
-        trace_capacity: 0,
-        stop_when_all_terminated: true,
+        ..EngineConfig::default()
     });
     let mut roster = roster;
     let report =
@@ -147,16 +146,6 @@ pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Bro
         engine: EngineKind::Exact,
         node_costs: Some(node_costs),
     }
-}
-
-/// Deprecated alias for [`execute_naive`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use rcb_sim::Scenario::naive(..) or execute_naive"
-)]
-#[must_use]
-pub fn run_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
-    execute_naive(config, adversary)
 }
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! `scenario_multichannel` — per-channel resolution cost, tracked from
+//! day one of the multi-channel engine.
+//!
+//! Three comparisons at n = 256:
+//!
+//! * `broadcast/Exact/c1` — the single-channel ε-BROADCAST run, directly
+//!   comparable against the `scenario_batch` exact-engine numbers: C = 1
+//!   must show no regression from threading the channel dimension
+//!   through the engine.
+//! * `hopping/c1` vs `hopping/c8` — the same hopping workload on a
+//!   1-channel and an 8-channel spectrum (split-uniform jammer), which
+//!   prices the `ChannelLoad` grouping and per-channel jam charging as
+//!   the spectrum widens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::{HoppingSpec, Scenario};
+
+const N: u64 = 256;
+const TRIALS: u32 = 16;
+
+fn hopping(channels: u16) -> Scenario {
+    Scenario::hopping(HoppingSpec::new(N, 3_000))
+        .channels(channels)
+        .adversary(StrategySpec::SplitUniform)
+        .carol_budget(2_000)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_multichannel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_multichannel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(TRIALS)));
+
+    // C = 1 broadcast: the no-regression reference against the
+    // single-channel engine numbers in `scenario_batch`.
+    let broadcast = Scenario::broadcast(Params::builder(N).build().unwrap())
+        .channels(1)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(2_000)
+        .seed(1)
+        .build()
+        .unwrap();
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("broadcast/Exact/c1/n{N}")),
+        |b| {
+            b.iter(|| std::hint::black_box(broadcast.run_batch(TRIALS)));
+        },
+    );
+
+    for channels in [1u16, 8] {
+        let s = hopping(channels);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("hopping/c{channels}/n{N}")),
+            |b| {
+                b.iter(|| std::hint::black_box(s.run_batch(TRIALS)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multichannel);
+criterion_main!(benches);

@@ -4,10 +4,8 @@
 //! The primary entry point is [`BroadcastScratch`], which keeps the
 //! roster, budget vector, and every node's schedule allocation alive
 //! across runs — batched trials reset the state machines in place instead
-//! of re-boxing `n + 1` participants per trial. The free functions
-//! [`run_broadcast`] / [`run_broadcast_with_report`] remain as thin
-//! deprecated shims for one release; new code should go through
-//! `rcb_sim::Scenario`.
+//! of re-boxing `n + 1` participants per trial. New code should go
+//! through `rcb_sim::Scenario`.
 
 use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_radio::{
@@ -172,7 +170,7 @@ impl BroadcastScratch {
         let engine = ExactEngine::new(EngineConfig {
             max_slots: schedule.total_slots() + 4,
             trace_capacity: config.trace_capacity,
-            stop_when_all_terminated: true,
+            ..EngineConfig::default()
         });
         let alice = self.alice.as_mut().expect("roster built");
         let mut roster: Vec<&mut dyn NodeProtocol> = Vec::with_capacity(n + 1);
@@ -193,43 +191,6 @@ impl BroadcastScratch {
         let outcome = summarize(params, &schedule, &report);
         (outcome, report)
     }
-}
-
-/// Runs one ε-BROADCAST execution on the exact engine.
-///
-/// Deprecated shim over [`BroadcastScratch`]; migrate to
-/// `rcb_sim::Scenario::broadcast(params)` (or use [`BroadcastScratch`]
-/// directly where `rcb-sim` is not available, e.g. inside this
-/// workspace's lower crates).
-#[deprecated(
-    since = "0.2.0",
-    note = "use rcb_sim::Scenario::broadcast(..) or rcb_core::BroadcastScratch"
-)]
-#[must_use]
-pub fn run_broadcast(
-    params: &Params,
-    adversary: &mut dyn Adversary,
-    config: &RunConfig,
-) -> BroadcastOutcome {
-    BroadcastScratch::new().run(params, adversary, config).0
-}
-
-/// Like [`run_broadcast`] but also returns the raw engine report.
-///
-/// Deprecated shim over [`BroadcastScratch`]; migrate to
-/// `rcb_sim::Scenario` (trace and refusal accounting are on
-/// `ScenarioOutcome`).
-#[deprecated(
-    since = "0.2.0",
-    note = "use rcb_sim::Scenario::broadcast(..) or rcb_core::BroadcastScratch"
-)]
-#[must_use]
-pub fn run_broadcast_with_report(
-    params: &Params,
-    adversary: &mut dyn Adversary,
-    config: &RunConfig,
-) -> (BroadcastOutcome, RunReport) {
-    BroadcastScratch::new().run(params, adversary, config)
 }
 
 /// Condenses an engine report into a [`BroadcastOutcome`] (roster layout:
@@ -435,16 +396,27 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_the_scratch_path() {
-        #![allow(deprecated)]
+    fn single_channel_stats_flow_through_orchestration() {
         let params = Params::builder(16)
             .min_termination_round(2)
             .build()
             .unwrap();
-        let cfg = RunConfig::seeded(5);
-        let shim = super::run_broadcast(&params, &mut SilentAdversary, &cfg);
-        let (scratch, _) = BroadcastScratch::new().run(&params, &mut SilentAdversary, &cfg);
-        assert_eq!(shim.slots, scratch.slots);
-        assert_eq!(shim.node_total_cost, scratch.node_total_cost);
+        let (outcome, report) =
+            BroadcastScratch::new().run(&params, &mut SilentAdversary, &RunConfig::seeded(5));
+        assert_eq!(
+            report.channel_stats.len(),
+            1,
+            "ε-BROADCAST is single-channel"
+        );
+        let stats = report.channel_stats[0];
+        assert_eq!(
+            stats.correct_sends,
+            outcome.alice_cost.sends + outcome.node_total_cost.sends
+        );
+        assert_eq!(
+            stats.correct_listens,
+            outcome.alice_cost.listens + outcome.node_total_cost.listens
+        );
+        assert_eq!(stats.jammed_slots, 0);
     }
 }

@@ -1,0 +1,298 @@
+//! Multi-channel epidemic-style random-hopping broadcast — the first
+//! `C > 1` workload.
+//!
+//! The protocol generalises epidemic gossip to a multi-channel spectrum
+//! in the spirit of the multi-channel successors of the source paper
+//! (Chen & Zheng 2019/2020): every active device retunes to a uniformly
+//! random channel each slot. Alice transmits `m` on her hop; uninformed
+//! nodes listen on theirs; informed nodes relay at rate `λ/n`. Delivery
+//! happens whenever a listener's hop coincides with exactly one
+//! transmitter's hop on an un-jammed channel.
+//!
+//! The point of the workload: a jammer can no longer blanket the network
+//! for one unit per slot. Blocking *every* rendezvous costs `C` units per
+//! slot (the budget-splitting [`SplitJammer`](../../rcb_adversary) — her
+//! budget drains `C×` faster), while anything cheaper leaves un-jammed
+//! channels through which hops rendezvous. Experiment E11 measures the
+//! resulting cost-competitiveness improvement as `C` grows.
+
+use rand::Rng;
+use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_radio::{
+    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol,
+    Payload, Reception, RunReport, Slot, Spectrum,
+};
+use rcb_rng::{SeedTree, SimRng};
+
+use crate::outcome::{BroadcastOutcome, EngineKind};
+
+/// Configuration for a random-hopping broadcast run.
+///
+/// The spectrum is passed separately to [`execute_hopping`] so one
+/// config can be swept across channel counts.
+#[derive(Debug, Clone)]
+pub struct HoppingConfig {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop.
+    pub horizon: u64,
+    /// Per-slot listen probability of uninformed nodes.
+    pub listen_p: f64,
+    /// Relay probability is `relay_rate / n`.
+    pub relay_rate: f64,
+    /// Carol's pooled budget.
+    pub carol_budget: Budget,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HoppingConfig {
+    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            listen_p: 0.5,
+            relay_rate: 1.0,
+            carol_budget,
+            seed,
+        }
+    }
+}
+
+/// Draws a uniformly random channel of `spectrum`.
+fn hop(rng: &mut SimRng, spectrum: Spectrum) -> ChannelId {
+    let c = spectrum.channel_count();
+    if c == 1 {
+        ChannelId::ZERO
+    } else {
+        ChannelId::new(rng.gen_range(0..c))
+    }
+}
+
+/// Alice under hopping gossip: transmits `m` with probability 1/2 on a
+/// fresh random channel each slot, until the horizon.
+struct HoppingAlice {
+    signed_m: Signed,
+    spectrum: Spectrum,
+    horizon: u64,
+    tuned: ChannelId,
+    done: bool,
+}
+
+impl NodeProtocol for HoppingAlice {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        if rng.gen_bool(0.5) {
+            self.tuned = hop(rng, self.spectrum);
+            Action::Send(Payload::Broadcast(self.signed_m.clone()))
+        } else {
+            Action::Sleep
+        }
+    }
+    fn channel(&self, _: Slot) -> ChannelId {
+        self.tuned
+    }
+    fn on_reception(&mut self, _: Slot, _: Reception) {}
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        true
+    }
+}
+
+/// A hopping node: listens on random channels until informed, then
+/// relays on random channels (until the horizon).
+struct HoppingNode {
+    verifier: Verifier,
+    alice_key: KeyId,
+    spectrum: Spectrum,
+    listen_p: f64,
+    relay_p: f64,
+    horizon: u64,
+    tuned: ChannelId,
+    message: Option<Signed>,
+    done: bool,
+}
+
+impl NodeProtocol for HoppingNode {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        match &self.message {
+            Some(m) => {
+                if rng.gen_bool(self.relay_p) {
+                    self.tuned = hop(rng, self.spectrum);
+                    Action::Send(Payload::Broadcast(m.clone()))
+                } else {
+                    Action::Sleep
+                }
+            }
+            None => {
+                if rng.gen_bool(self.listen_p) {
+                    self.tuned = hop(rng, self.spectrum);
+                    Action::Listen
+                } else {
+                    Action::Sleep
+                }
+            }
+        }
+    }
+    fn channel(&self, _: Slot) -> ChannelId {
+        self.tuned
+    }
+    fn on_reception(&mut self, _: Slot, reception: Reception) {
+        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
+            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
+                self.message = Some(signed);
+            }
+        }
+    }
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        self.message.is_some()
+    }
+}
+
+/// Runs random-hopping broadcast over `spectrum` and reports the outcome
+/// plus the raw engine report (whose
+/// [`channel_stats`](RunReport::channel_stats) carry the per-channel
+/// accounting).
+///
+/// This is the execution engine behind `rcb_sim::Scenario::hopping`;
+/// prefer the `Scenario` builder in application code.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability (the `Scenario` builder
+/// rejects this with a typed error instead).
+#[must_use]
+pub fn execute_hopping(
+    config: &HoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    assert!(
+        (0.0..=1.0).contains(&config.listen_p),
+        "listen_p must be a probability"
+    );
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"hopping payload m"));
+
+    let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
+    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
+    roster.push(Box::new(HoppingAlice {
+        signed_m,
+        spectrum,
+        horizon: config.horizon,
+        tuned: ChannelId::ZERO,
+        done: false,
+    }));
+    for _ in 0..config.n {
+        roster.push(Box::new(HoppingNode {
+            verifier,
+            alice_key: alice_key.id(),
+            spectrum,
+            listen_p: config.listen_p,
+            relay_p,
+            horizon: config.horizon,
+            tuned: ChannelId::ZERO,
+            message: None,
+            done: false,
+        }));
+    }
+    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    let engine = ExactEngine::new(EngineConfig {
+        max_slots: config.horizon + 2,
+        spectrum,
+        ..EngineConfig::default()
+    });
+    let report =
+        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
+
+    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
+    let mut node_total = CostBreakdown::default();
+    for c in &node_costs {
+        node_total.absorb(c);
+    }
+    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
+    let outcome = BroadcastOutcome {
+        n: config.n,
+        informed_nodes,
+        uninformed_terminated: 0,
+        unterminated_nodes: config.n - informed_nodes,
+        alice_terminated: report.terminated[0],
+        alice_cost: report.participant_costs[0],
+        node_total_cost: node_total,
+        max_node_cost: node_costs.iter().map(CostBreakdown::total).max(),
+        carol_cost: report.carol_cost,
+        slots: report.slots_elapsed,
+        rounds_entered: 0,
+        engine: EngineKind::Exact,
+        node_costs: Some(node_costs),
+    };
+    (outcome, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_radio::SilentAdversary;
+
+    #[test]
+    fn quiet_hopping_delivers_on_any_spectrum() {
+        for channels in [1u16, 2, 8] {
+            let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), 7);
+            let (outcome, report) =
+                execute_hopping(&cfg, Spectrum::new(channels), &mut SilentAdversary);
+            assert_eq!(
+                outcome.informed_nodes, 24,
+                "C={channels}: everyone informs on a quiet spectrum"
+            );
+            assert_eq!(report.channel_stats.len(), channels as usize);
+        }
+    }
+
+    #[test]
+    fn hops_spread_activity_across_the_spectrum() {
+        let cfg = HoppingConfig::new(16, 8_000, Budget::unlimited(), 3);
+        let (_, report) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        for (i, stats) in report.channel_stats.iter().enumerate() {
+            assert!(stats.correct_sends > 0, "channel {i} never carried a send");
+            assert!(
+                stats.correct_listens > 0,
+                "channel {i} never hosted a listener"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_by_seed() {
+        let cfg = HoppingConfig::new(12, 5_000, Budget::unlimited(), 11);
+        let (a, _) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        let (b, _) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.node_total_cost, b.node_total_cost);
+        assert_eq!(a.node_costs, b.node_costs);
+    }
+
+    #[test]
+    #[should_panic(expected = "listen_p must be a probability")]
+    fn rejects_bad_listen_p() {
+        let mut cfg = HoppingConfig::new(4, 10, Budget::unlimited(), 0);
+        cfg.listen_p = -0.5;
+        let _ = execute_hopping(&cfg, Spectrum::single(), &mut SilentAdversary);
+    }
+}

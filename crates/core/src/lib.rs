@@ -43,8 +43,10 @@
 //! * [`Alice`] and [`ReceiverNode`] — the state machines, pluggable into
 //!   `rcb-radio`'s exact engine;
 //! * [`BroadcastScratch`] — exact-engine orchestration with in-place
-//!   roster reuse across runs, producing a [`BroadcastOutcome`]
-//!   (the deprecated [`run_broadcast`] shims wrap it);
+//!   roster reuse across runs, producing a [`BroadcastOutcome`];
+//! * [`execute_hopping`] / [`HoppingConfig`] — the multi-channel
+//!   epidemic-style random-hopping broadcast, the first `C > 1`
+//!   workload;
 //! * [`fast`] — the phase-level aggregated simulator for large `n`;
 //! * [`DecoyConfig`] — §4.1 reactive hardening; [`SizeKnowledge`] — §4.2
 //!   unknown-size operation.
@@ -69,6 +71,7 @@
 mod alice;
 mod broadcast;
 pub mod fast;
+mod hopping;
 mod node;
 mod outcome;
 mod params;
@@ -76,9 +79,8 @@ pub mod probabilities;
 mod schedule;
 
 pub use alice::Alice;
-#[allow(deprecated)]
-pub use broadcast::{run_broadcast, run_broadcast_with_report};
 pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
+pub use hopping::{execute_hopping, HoppingConfig};
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};
 pub use params::{DecoyConfig, Params, ParamsBuilder, ParamsError, SizeKnowledge, Variant};

@@ -5,31 +5,68 @@
 //! information model follows §1.1:
 //!
 //! * **adaptive** — [`Adversary::observe`] hands her complete information
-//!   about every past slot: who sent what, who listened, what the channel
-//!   resolution was. She never sees the *current* slot's actions before
-//!   committing… unless she is
+//!   about every past slot: who sent what on which channel, who listened
+//!   where, what the channel resolution was. She never sees the *current*
+//!   slot's actions before committing… unless she is
 //! * **reactive** — then [`Adversary::react`] is additionally called after
 //!   the correct devices' actions are fixed, with the RSSI bit (is anyone
-//!   transmitting right now?) but **not** message content. This is the
-//!   CCA/RSSI capability of §4.1: "while RSSI enables Carol to detect
-//!   channel activity, it provides no information about the transmitted
-//!   content."
+//!   transmitting right now, on any channel?) but **not** message
+//!   content. This is the CCA/RSSI capability of §4.1: "while RSSI
+//!   enables Carol to detect channel activity, it provides no information
+//!   about the transmitted content."
+//!
+//! In a multi-channel [`Spectrum`](crate::Spectrum), her per-slot
+//! [`AdversaryMove`] carries a [`JamPlan`] (one directive per targeted
+//! channel, each costing one unit when it executes) and channel-tagged
+//! Byzantine [`Transmission`]s — splitting her budget across channels is
+//! now her problem, which is the point of the multi-channel model.
 
-use crate::channel::JamDirective;
+use crate::channel::JamPlan;
 use crate::message::{Payload, PayloadKind};
 use crate::participant::ParticipantId;
 use crate::slot::Slot;
+use crate::spectrum::{ChannelId, Spectrum};
+
+/// One Byzantine frame: a payload aimed at a channel.
+///
+/// `From<Payload>` targets [`ChannelId::ZERO`], keeping single-channel
+/// adversary code one `.into()` away from its original shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transmission {
+    /// The channel the frame airs on.
+    pub channel: ChannelId,
+    /// The frame itself.
+    pub payload: Payload,
+}
+
+impl Transmission {
+    /// A frame on an explicit channel.
+    #[must_use]
+    pub fn on(channel: ChannelId, payload: Payload) -> Self {
+        Self { channel, payload }
+    }
+}
+
+impl From<Payload> for Transmission {
+    fn from(payload: Payload) -> Self {
+        Self {
+            channel: ChannelId::ZERO,
+            payload,
+        }
+    }
+}
 
 /// What Carol decides to do in one slot.
 #[derive(Debug, Clone, Default)]
 pub struct AdversaryMove {
-    /// Jamming decision. Anything but [`JamDirective::None`] costs one unit
-    /// (if the pool is broke, the jam fizzles and the engine records it).
-    pub jam: JamDirective,
+    /// Jamming decision across the spectrum. Every active channel entry
+    /// costs one unit when it executes; if the pool goes broke mid-plan,
+    /// the remaining channels' jams fizzle (ascending channel order).
+    pub jam: JamPlan,
     /// Frames transmitted by Byzantine devices this slot (spoofed nacks,
-    /// garbage, replayed `m`, …). Each costs one unit; frames beyond the
-    /// remaining budget are dropped.
-    pub sends: Vec<Payload>,
+    /// garbage, replayed `m`, …), each aimed at a channel. Each costs one
+    /// unit; frames beyond the remaining budget are dropped.
+    pub sends: Vec<Transmission>,
 }
 
 impl AdversaryMove {
@@ -39,11 +76,22 @@ impl AdversaryMove {
         Self::default()
     }
 
-    /// A move that jams every listener.
+    /// A move that jams every listener on channel 0 — the single-channel
+    /// "jam everything" of the source paper.
     #[must_use]
     pub fn jam_all() -> Self {
         Self {
-            jam: JamDirective::All,
+            jam: crate::channel::JamDirective::All.into(),
+            sends: Vec::new(),
+        }
+    }
+
+    /// A move that jams every listener on every channel of `spectrum`
+    /// (costs one unit per channel — the budget-splitting blanket).
+    #[must_use]
+    pub fn jam_spectrum(spectrum: Spectrum) -> Self {
+        Self {
+            jam: JamPlan::all_channels(spectrum),
             sends: Vec::new(),
         }
     }
@@ -52,12 +100,17 @@ impl AdversaryMove {
 /// What Carol learns about a slot after it resolves (full information).
 #[derive(Debug, Clone, Copy)]
 pub struct SlotObservation<'a> {
-    /// Which correct participants transmitted, and what kind of frame.
-    pub correct_sends: &'a [(ParticipantId, PayloadKind)],
-    /// Which correct participants listened.
-    pub listeners: &'a [ParticipantId],
-    /// Whether her jam directive actually took effect (budget permitting).
+    /// Which correct participants transmitted, on which channel, and what
+    /// kind of frame.
+    pub correct_sends: &'a [(ParticipantId, ChannelId, PayloadKind)],
+    /// Which correct participants listened, and on which channel.
+    pub listeners: &'a [(ParticipantId, ChannelId)],
+    /// Whether any part of her jam plan actually took effect (budget
+    /// permitting).
     pub jam_executed: bool,
+    /// The channels on which her jam executed (ascending, empty when
+    /// nothing executed).
+    pub jammed_channels: &'a [ChannelId],
 }
 
 /// Budget context handed to the adversary when planning.
@@ -91,8 +144,9 @@ pub trait Adversary {
 
     /// Reactive override: called only when [`is_reactive`](Self::is_reactive)
     /// is true, after correct actions are committed. `activity` is the RSSI
-    /// bit — “is at least one correct device transmitting right now?”.
-    /// Returns the final move (default: keep the planned one).
+    /// bit — “is at least one correct device transmitting right now, on
+    /// any channel?”. Returns the final move (default: keep the planned
+    /// one).
     fn react(&mut self, slot: Slot, activity: bool, planned: AdversaryMove) -> AdversaryMove {
         let _ = (slot, activity);
         planned
@@ -132,9 +186,25 @@ mod tests {
     }
 
     #[test]
-    fn jam_all_move() {
+    fn jam_all_move_targets_channel_zero_only() {
         let mv = AdversaryMove::jam_all();
         assert!(mv.jam.is_active());
+        assert_eq!(mv.jam.active_channel_count(), 1);
+        assert!(mv.jam.jams(ChannelId::ZERO, ParticipantId::new(0)));
+    }
+
+    #[test]
+    fn jam_spectrum_blankets_every_channel() {
+        let mv = AdversaryMove::jam_spectrum(Spectrum::new(4));
+        assert_eq!(mv.jam.active_channel_count(), 4);
+    }
+
+    #[test]
+    fn transmission_defaults_to_channel_zero() {
+        let tx: Transmission = Payload::Nack.into();
+        assert_eq!(tx.channel, ChannelId::ZERO);
+        let explicit = Transmission::on(ChannelId::new(3), Payload::Decoy);
+        assert_eq!(explicit.channel.index(), 3);
     }
 
     #[test]

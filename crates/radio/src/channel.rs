@@ -1,9 +1,17 @@
 //! Channel resolution: who hears what, under n-uniform jamming.
+//!
+//! Resolution is per **(listener, channel)**: each slot's transmissions
+//! are grouped by channel into a [`ChannelLoad`], the adversary's
+//! [`JamPlan`] names a [`JamDirective`] per channel, and a listener tuned
+//! to channel `c` perceives only that channel's traffic and jamming. With
+//! a single-channel [`Spectrum`] this degenerates to the original §1.1
+//! semantics of [`resolve_for_listener`], exactly.
 
 use std::fmt;
 
 use crate::message::Payload;
 use crate::participant::{ParticipantId, Reception};
+use crate::spectrum::{ChannelId, Spectrum};
 
 /// A set of participant ids, kept sorted for `O(log n)` membership tests.
 ///
@@ -120,6 +128,360 @@ impl fmt::Display for JamDirective {
             JamDirective::Only(s) => write!(f, "jam-only({})", s.len()),
         }
     }
+}
+
+/// Carol's full per-slot jamming decision across the spectrum: one
+/// [`JamDirective`] per targeted channel.
+///
+/// Each *active* channel entry costs one energy unit when it executes —
+/// blanketing a `C`-channel spectrum costs `C` units per slot, which is
+/// what forces a jammer to split its budget. Inactive
+/// ([`JamDirective::None`]) entries are never stored.
+///
+/// `From<JamDirective>` places a directive on [`ChannelId::ZERO`], so all
+/// single-channel code keeps its shape.
+///
+/// # Example
+///
+/// ```
+/// use rcb_radio::{ChannelId, JamDirective, JamPlan, ParticipantId, Spectrum};
+///
+/// let mut plan = JamPlan::none();
+/// plan.set(ChannelId::new(2), JamDirective::All);
+/// assert_eq!(plan.active_channel_count(), 1);
+/// assert!(plan.jams(ChannelId::new(2), ParticipantId::new(0)));
+/// assert!(!plan.jams(ChannelId::new(1), ParticipantId::new(0)));
+///
+/// let blanket = JamPlan::all_channels(Spectrum::new(4));
+/// assert_eq!(blanket.active_channel_count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JamPlan {
+    repr: PlanRepr,
+}
+
+/// Storage for a jam plan. The single-directive case — every
+/// single-channel adversary, every slot — is stored inline so the
+/// engine's hot path never allocates; only plans targeting two or more
+/// channels spill to the heap. Once spilled, the buffer is retained
+/// through [`JamPlan::clear`] and entry removals, so a reused plan (the
+/// engine's per-slot executed-jam scratch) stops allocating after the
+/// first multi-channel slot — which is why `Many` may transiently hold
+/// fewer than two entries, and why equality is defined on content, not
+/// representation.
+#[derive(Debug, Clone, Default)]
+enum PlanRepr {
+    /// Jams nothing.
+    #[default]
+    Empty,
+    /// One directive on one channel (allocation-free).
+    One((ChannelId, JamDirective)),
+    /// Directives sorted by channel (retained buffer; may hold any
+    /// number of entries).
+    Many(Vec<(ChannelId, JamDirective)>),
+}
+
+impl PartialEq for JamPlan {
+    /// Plans are equal when they name the same directives on the same
+    /// channels, regardless of storage representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for JamPlan {}
+
+impl JamPlan {
+    /// A plan that jams nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with one directive on one channel.
+    #[must_use]
+    pub fn on(channel: ChannelId, directive: JamDirective) -> Self {
+        let mut plan = Self::default();
+        plan.set(channel, directive);
+        plan
+    }
+
+    /// Blankets every channel of `spectrum` with [`JamDirective::All`] —
+    /// the budget-splitting uniform jam (costs `C` units per slot).
+    #[must_use]
+    pub fn all_channels(spectrum: Spectrum) -> Self {
+        let repr = if spectrum.is_single() {
+            PlanRepr::One((ChannelId::ZERO, JamDirective::All))
+        } else {
+            PlanRepr::Many(
+                spectrum
+                    .channels()
+                    .map(|c| (c, JamDirective::All))
+                    .collect(),
+            )
+        };
+        Self { repr }
+    }
+
+    /// Sets (or clears, for [`JamDirective::None`]) the directive on one
+    /// channel.
+    pub fn set(&mut self, channel: ChannelId, directive: JamDirective) {
+        let active = directive.is_active();
+        match &mut self.repr {
+            PlanRepr::Empty => {
+                if active {
+                    self.repr = PlanRepr::One((channel, directive));
+                }
+            }
+            PlanRepr::One((c, d)) => {
+                if *c == channel {
+                    if active {
+                        *d = directive;
+                    } else {
+                        self.repr = PlanRepr::Empty;
+                    }
+                } else if active {
+                    let mut entries = vec![(*c, d.clone()), (channel, directive)];
+                    entries.sort_by_key(|&(c, _)| c);
+                    self.repr = PlanRepr::Many(entries);
+                }
+            }
+            PlanRepr::Many(entries) => match entries.binary_search_by_key(&channel, |&(c, _)| c) {
+                Ok(i) => {
+                    if active {
+                        entries[i].1 = directive;
+                    } else {
+                        entries.remove(i);
+                    }
+                }
+                Err(i) => {
+                    if active {
+                        entries.insert(i, (channel, directive));
+                    }
+                }
+            },
+        }
+    }
+
+    /// Removes every directive. A spilled (multi-channel) plan keeps its
+    /// buffer, so clearing and refilling per slot — the engine's
+    /// executed-jam scratch pattern — stops allocating after the first
+    /// multi-channel slot.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            PlanRepr::Many(entries) => entries.clear(),
+            repr => *repr = PlanRepr::Empty,
+        }
+    }
+
+    /// The directive targeting `channel` ([`JamDirective::None`] when the
+    /// channel is untouched).
+    #[must_use]
+    pub fn directive_on(&self, channel: ChannelId) -> &JamDirective {
+        const NONE: JamDirective = JamDirective::None;
+        match &self.repr {
+            PlanRepr::Empty => &NONE,
+            PlanRepr::One((c, d)) => {
+                if *c == channel {
+                    d
+                } else {
+                    &NONE
+                }
+            }
+            PlanRepr::Many(entries) => match entries.binary_search_by_key(&channel, |&(c, _)| c) {
+                Ok(i) => &entries[i].1,
+                Err(_) => &NONE,
+            },
+        }
+    }
+
+    /// Whether `listener`, tuned to `channel`, is jammed under this plan.
+    #[must_use]
+    pub fn jams(&self, channel: ChannelId, listener: ParticipantId) -> bool {
+        self.directive_on(channel).jams(listener)
+    }
+
+    /// Number of channels with an active directive — the plan's energy
+    /// cost per slot when it fully executes.
+    #[must_use]
+    pub fn active_channel_count(&self) -> usize {
+        match &self.repr {
+            PlanRepr::Empty => 0,
+            PlanRepr::One(_) => 1,
+            PlanRepr::Many(entries) => entries.len(),
+        }
+    }
+
+    /// Whether the plan jams anything at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active_channel_count() > 0
+    }
+
+    /// The `(channel, directive)` entries, ascending by channel.
+    #[must_use]
+    pub fn entries(&self) -> &[(ChannelId, JamDirective)] {
+        match &self.repr {
+            PlanRepr::Empty => &[],
+            PlanRepr::One(pair) => std::slice::from_ref(pair),
+            PlanRepr::Many(entries) => entries,
+        }
+    }
+}
+
+/// Consuming iterator over a plan's `(channel, directive)` entries,
+/// ascending by channel. Allocation-free for empty and single-channel
+/// plans.
+#[derive(Debug)]
+pub struct JamPlanIntoIter {
+    repr: IntoIterRepr,
+}
+
+#[derive(Debug)]
+enum IntoIterRepr {
+    One(Option<(ChannelId, JamDirective)>),
+    Many(std::vec::IntoIter<(ChannelId, JamDirective)>),
+}
+
+impl Iterator for JamPlanIntoIter {
+    type Item = (ChannelId, JamDirective);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.repr {
+            IntoIterRepr::One(slot) => slot.take(),
+            IntoIterRepr::Many(iter) => iter.next(),
+        }
+    }
+}
+
+impl IntoIterator for JamPlan {
+    type Item = (ChannelId, JamDirective);
+    type IntoIter = JamPlanIntoIter;
+
+    fn into_iter(self) -> JamPlanIntoIter {
+        let repr = match self.repr {
+            PlanRepr::Empty => IntoIterRepr::One(None),
+            PlanRepr::One(pair) => IntoIterRepr::One(Some(pair)),
+            PlanRepr::Many(entries) => IntoIterRepr::Many(entries.into_iter()),
+        };
+        JamPlanIntoIter { repr }
+    }
+}
+
+impl From<JamDirective> for JamPlan {
+    /// A single-channel plan: the directive lands on [`ChannelId::ZERO`].
+    fn from(directive: JamDirective) -> Self {
+        JamPlan::on(ChannelId::ZERO, directive)
+    }
+}
+
+impl fmt::Display for JamPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_active() {
+            return write!(f, "no-jam");
+        }
+        for (i, (channel, directive)) in self.entries().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{channel}:{directive}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One slot's transmissions, grouped by channel.
+///
+/// The engine fills one `ChannelLoad` per slot; resolution for a listener
+/// tuned to channel `c` then inspects only bucket `c` — `O(1)` per
+/// listener after the `O(transmissions)` grouping pass, instead of
+/// `O(transmissions)` per listener.
+///
+/// # Example
+///
+/// ```
+/// use rcb_radio::{ChannelId, ChannelLoad, Payload, Spectrum};
+/// let mut load = ChannelLoad::new(Spectrum::new(2));
+/// load.push(ChannelId::new(1), Payload::Nack);
+/// assert!(load.on(ChannelId::new(0)).is_empty());
+/// assert_eq!(load.on(ChannelId::new(1)).len(), 1);
+/// assert_eq!(load.total(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelLoad {
+    buckets: Vec<Vec<Payload>>,
+}
+
+impl ChannelLoad {
+    /// An empty load over `spectrum`.
+    #[must_use]
+    pub fn new(spectrum: Spectrum) -> Self {
+        Self {
+            buckets: vec![Vec::new(); spectrum.channel_count() as usize],
+        }
+    }
+
+    /// Empties every bucket, keeping allocations (per-slot reuse).
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+    }
+
+    /// Adds a transmission on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the spectrum this load was built
+    /// for.
+    pub fn push(&mut self, channel: ChannelId, payload: Payload) {
+        self.buckets[channel.index() as usize].push(payload);
+    }
+
+    /// The transmissions on `channel`, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the spectrum.
+    #[must_use]
+    pub fn on(&self, channel: ChannelId) -> &[Payload] {
+        &self.buckets[channel.index() as usize]
+    }
+
+    /// Total transmissions across all channels.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no channel carries any transmission.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Number of channels in the underlying spectrum.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Resolves what one listener tuned to `channel` hears, given the slot's
+/// grouped transmissions and the executed jam plan.
+///
+/// Per-channel semantics are exactly the §1.1 rules of
+/// [`resolve_for_listener`], applied to the listener's channel only:
+/// traffic and jamming on any other channel are invisible to it. With a
+/// single-channel spectrum this is precisely the original function.
+#[must_use]
+pub fn resolve_for_listener_on(
+    listener: ParticipantId,
+    channel: ChannelId,
+    load: &ChannelLoad,
+    jam: &JamPlan,
+) -> Reception {
+    resolve_for_listener(listener, load.on(channel), jam.directive_on(channel))
 }
 
 /// Resolves what one listener hears, given this slot's transmissions and
@@ -251,5 +613,116 @@ mod tests {
         assert!(JamDirective::All.is_active());
         assert_eq!(JamDirective::None.to_string(), "no-jam");
         assert_eq!(JamDirective::All.to_string(), "jam-all");
+    }
+
+    #[test]
+    fn jam_plan_set_get_and_cost() {
+        let mut plan = JamPlan::none();
+        assert!(!plan.is_active());
+        plan.set(ChannelId::new(3), JamDirective::All);
+        plan.set(
+            ChannelId::new(1),
+            JamDirective::Only([pid(7)].into_iter().collect()),
+        );
+        assert_eq!(plan.active_channel_count(), 2);
+        assert_eq!(
+            plan.entries()
+                .iter()
+                .map(|&(c, _)| c.index())
+                .collect::<Vec<_>>(),
+            vec![1, 3],
+            "entries stay sorted by channel"
+        );
+        assert!(plan.jams(ChannelId::new(3), pid(0)));
+        assert!(plan.jams(ChannelId::new(1), pid(7)));
+        assert!(!plan.jams(ChannelId::new(1), pid(8)));
+        assert!(!plan.jams(ChannelId::new(0), pid(0)));
+        // Setting None clears the entry; overwriting replaces it.
+        plan.set(ChannelId::new(3), JamDirective::None);
+        assert_eq!(plan.active_channel_count(), 1);
+        plan.set(ChannelId::new(1), JamDirective::All);
+        assert!(plan.jams(ChannelId::new(1), pid(8)));
+        plan.clear();
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn jam_plan_equality_is_content_not_representation() {
+        // A cleared-and-refilled (spilled) plan must equal a fresh one:
+        // the retained Many buffer is an optimisation, not an observable.
+        let mut reused = JamPlan::all_channels(Spectrum::new(3));
+        reused.clear();
+        assert_eq!(reused, JamPlan::none());
+        assert!(!reused.is_active());
+        assert!(reused.entries().is_empty());
+        reused.set(ChannelId::new(1), JamDirective::All);
+        assert_eq!(reused, JamPlan::on(ChannelId::new(1), JamDirective::All));
+        assert_eq!(reused.active_channel_count(), 1);
+        // Removing down to one entry also matches the inline form.
+        let mut shrunk = JamPlan::all_channels(Spectrum::new(2));
+        shrunk.set(ChannelId::new(0), JamDirective::None);
+        assert_eq!(shrunk, JamPlan::on(ChannelId::new(1), JamDirective::All));
+        assert_eq!(
+            shrunk.into_iter().collect::<Vec<_>>(),
+            vec![(ChannelId::new(1), JamDirective::All)]
+        );
+    }
+
+    #[test]
+    fn jam_plan_from_directive_is_channel_zero() {
+        let plan: JamPlan = JamDirective::All.into();
+        assert!(plan.jams(ChannelId::ZERO, pid(0)));
+        assert!(!plan.jams(ChannelId::new(1), pid(0)));
+        let idle: JamPlan = JamDirective::None.into();
+        assert!(!idle.is_active());
+    }
+
+    #[test]
+    fn jam_plan_blanket_and_display() {
+        let plan = JamPlan::all_channels(Spectrum::new(3));
+        assert_eq!(plan.active_channel_count(), 3);
+        for c in Spectrum::new(3).channels() {
+            assert!(plan.jams(c, pid(0)));
+        }
+        assert_eq!(plan.to_string(), "ch0:jam-all, ch1:jam-all, ch2:jam-all");
+        assert_eq!(JamPlan::none().to_string(), "no-jam");
+    }
+
+    #[test]
+    fn channel_load_groups_by_channel() {
+        let mut load = ChannelLoad::new(Spectrum::new(3));
+        load.push(ChannelId::new(2), Payload::Nack);
+        load.push(ChannelId::new(2), Payload::Decoy);
+        load.push(ChannelId::new(0), Payload::Garbage(1));
+        assert_eq!(load.total(), 3);
+        assert!(!load.is_quiet());
+        assert_eq!(load.on(ChannelId::new(0)).len(), 1);
+        assert!(load.on(ChannelId::new(1)).is_empty());
+        assert_eq!(load.on(ChannelId::new(2)).len(), 2);
+        load.clear();
+        assert!(load.is_quiet());
+        assert_eq!(load.channel_count(), 3);
+    }
+
+    #[test]
+    fn per_channel_resolution_isolates_channels() {
+        let mut load = ChannelLoad::new(Spectrum::new(2));
+        load.push(ChannelId::new(0), Payload::Nack);
+        // Channel 1 jammed, channel 0 clear.
+        let jam = JamPlan::on(ChannelId::new(1), JamDirective::All);
+        assert_eq!(
+            resolve_for_listener_on(pid(0), ChannelId::new(0), &load, &jam),
+            Reception::Frame(Payload::Nack)
+        );
+        assert_eq!(
+            resolve_for_listener_on(pid(0), ChannelId::new(1), &load, &jam),
+            Reception::Noise
+        );
+        // A second transmission on channel 1 does not disturb channel 0.
+        load.push(ChannelId::new(1), Payload::Decoy);
+        assert_eq!(
+            resolve_for_listener_on(pid(0), ChannelId::new(0), &load, &jam),
+            Reception::Frame(Payload::Nack)
+        );
     }
 }

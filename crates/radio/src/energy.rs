@@ -11,6 +11,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::spectrum::{ChannelId, Spectrum};
+
 /// An energy budget: a cap on total units spendable, or unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Budget(Option<u64>);
@@ -150,7 +152,16 @@ impl Meter {
 }
 
 /// The simulation's energy ledger: one meter per correct participant plus
-/// Carol's pooled meter.
+/// Carol's pooled meter, with per-channel spend breakdowns on both sides.
+///
+/// Budgets are pooled across channels (energy is energy), but every
+/// charge names the channel it lands on, so "making evildoers pay"
+/// accounting survives the multi-channel split: after a run,
+/// [`carol_channel_spend`](Self::carol_channel_spend) shows exactly how
+/// her budget was divided across the spectrum. The channel-less
+/// [`charge_participant`](Self::charge_participant) /
+/// [`charge_carol`](Self::charge_carol) shims land on
+/// [`ChannelId::ZERO`].
 ///
 /// # Example
 ///
@@ -169,11 +180,16 @@ impl Meter {
 pub struct EnergyLedger {
     participants: Vec<Meter>,
     carol: Meter,
+    spectrum: Spectrum,
+    /// Aggregate correct-side spend per channel (all participants pooled).
+    correct_by_channel: Vec<CostBreakdown>,
+    /// Carol's spend per channel.
+    carol_by_channel: Vec<CostBreakdown>,
 }
 
 impl EnergyLedger {
-    /// Creates a ledger with the given per-participant budgets and Carol's
-    /// pooled budget.
+    /// Creates a single-channel ledger with the given per-participant
+    /// budgets and Carol's pooled budget.
     #[must_use]
     pub fn new(participant_budgets: Vec<Budget>, carol_budget: Budget) -> Self {
         Self::from_budgets(&participant_budgets, carol_budget)
@@ -184,6 +200,17 @@ impl EnergyLedger {
     /// run's ledger without an intermediate copy of it.
     #[must_use]
     pub fn from_budgets(participant_budgets: &[Budget], carol_budget: Budget) -> Self {
+        Self::from_budgets_on(participant_budgets, carol_budget, Spectrum::single())
+    }
+
+    /// A ledger accounting over an explicit [`Spectrum`].
+    #[must_use]
+    pub fn from_budgets_on(
+        participant_budgets: &[Budget],
+        carol_budget: Budget,
+        spectrum: Spectrum,
+    ) -> Self {
+        let channels = spectrum.channel_count() as usize;
         Self {
             participants: participant_budgets
                 .iter()
@@ -196,6 +223,9 @@ impl EnergyLedger {
                 budget: carol_budget,
                 ..Meter::default()
             },
+            spectrum,
+            correct_by_channel: vec![CostBreakdown::default(); channels],
+            carol_by_channel: vec![CostBreakdown::default(); channels],
         }
     }
 
@@ -205,19 +235,59 @@ impl EnergyLedger {
         self.participants.len()
     }
 
-    /// Attempts to charge one unit to a correct participant.
+    /// The spectrum this ledger accounts over.
+    #[must_use]
+    pub fn spectrum(&self) -> Spectrum {
+        self.spectrum
+    }
+
+    /// Attempts to charge one unit to a correct participant, on channel 0.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range for this ledger.
     pub fn charge_participant(&mut self, id: impl ParticipantIdLike, op: Op) -> ChargeOutcome {
-        let idx = id.into_index();
-        self.participants[idx].try_charge(op)
+        self.charge_participant_on(id, op, ChannelId::ZERO)
     }
 
-    /// Attempts to charge one unit to Carol's pool.
+    /// Attempts to charge one unit to a correct participant for an
+    /// operation on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range, or `channel` is outside the
+    /// ledger's spectrum.
+    pub fn charge_participant_on(
+        &mut self,
+        id: impl ParticipantIdLike,
+        op: Op,
+        channel: ChannelId,
+    ) -> ChargeOutcome {
+        let idx = id.into_index();
+        let outcome = self.participants[idx].try_charge(op);
+        if outcome.is_charged() {
+            charge_channel(&mut self.correct_by_channel, channel, op);
+        }
+        outcome
+    }
+
+    /// Attempts to charge one unit to Carol's pool, on channel 0.
     pub fn charge_carol(&mut self, op: Op) -> ChargeOutcome {
-        self.carol.try_charge(op)
+        self.charge_carol_on(op, ChannelId::ZERO)
+    }
+
+    /// Attempts to charge one unit to Carol's pool for an operation on
+    /// `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the ledger's spectrum.
+    pub fn charge_carol_on(&mut self, op: Op, channel: ChannelId) -> ChargeOutcome {
+        let outcome = self.carol.try_charge(op);
+        if outcome.is_charged() {
+            charge_channel(&mut self.carol_by_channel, channel, op);
+        }
+        outcome
     }
 
     /// A participant's spend so far.
@@ -255,6 +325,29 @@ impl EnergyLedger {
     #[must_use]
     pub fn all_participant_spend(&self) -> Vec<CostBreakdown> {
         self.participants.iter().map(|m| m.spent).collect()
+    }
+
+    /// Aggregate correct-side spend per channel (index = channel index).
+    #[must_use]
+    pub fn correct_channel_spend(&self) -> &[CostBreakdown] {
+        &self.correct_by_channel
+    }
+
+    /// Carol's spend per channel (index = channel index) — how her
+    /// budget was split across the spectrum.
+    #[must_use]
+    pub fn carol_channel_spend(&self) -> &[CostBreakdown] {
+        &self.carol_by_channel
+    }
+}
+
+/// Records a successful charge in a per-channel breakdown table.
+fn charge_channel(table: &mut [CostBreakdown], channel: ChannelId, op: Op) {
+    let entry = &mut table[channel.index() as usize];
+    match op {
+        Op::Send => entry.sends += 1,
+        Op::Listen => entry.listens += 1,
+        Op::Jam => entry.jams += 1,
     }
 }
 
@@ -341,6 +434,49 @@ mod tests {
             assert!(ledger.charge_participant(0usize, Op::Send).is_charged());
         }
         assert_eq!(ledger.participant_spend(0usize).sends, 10_000);
+    }
+
+    #[test]
+    fn per_channel_breakdowns_track_where_energy_lands() {
+        let mut ledger = EnergyLedger::from_budgets_on(
+            &[Budget::unlimited()],
+            Budget::limited(3),
+            Spectrum::new(3),
+        );
+        assert_eq!(ledger.spectrum().channel_count(), 3);
+        let c0 = ChannelId::new(0);
+        let c2 = ChannelId::new(2);
+        assert!(ledger
+            .charge_participant_on(0usize, Op::Listen, c2)
+            .is_charged());
+        assert!(ledger.charge_carol_on(Op::Jam, c0).is_charged());
+        assert!(ledger.charge_carol_on(Op::Jam, c2).is_charged());
+        assert!(ledger.charge_carol_on(Op::Send, c2).is_charged());
+        // Pool is now exhausted: the refused charge must not leak into
+        // the per-channel table.
+        assert!(!ledger.charge_carol_on(Op::Jam, c0).is_charged());
+        assert_eq!(ledger.correct_channel_spend()[2].listens, 1);
+        assert_eq!(ledger.correct_channel_spend()[0].total(), 0);
+        assert_eq!(ledger.carol_channel_spend()[0].jams, 1);
+        assert_eq!(ledger.carol_channel_spend()[2].jams, 1);
+        assert_eq!(ledger.carol_channel_spend()[2].sends, 1);
+        // Per-channel totals reconcile with the pooled meter.
+        let by_channel: u64 = ledger
+            .carol_channel_spend()
+            .iter()
+            .map(CostBreakdown::total)
+            .sum();
+        assert_eq!(by_channel, ledger.carol_spend().total());
+    }
+
+    #[test]
+    fn channel_zero_shims_are_the_single_channel_path() {
+        let mut ledger = EnergyLedger::new(vec![Budget::unlimited()], Budget::unlimited());
+        assert!(ledger.charge_participant(0usize, Op::Send).is_charged());
+        assert!(ledger.charge_carol(Op::Jam).is_charged());
+        assert_eq!(ledger.correct_channel_spend().len(), 1);
+        assert_eq!(ledger.correct_channel_spend()[0].sends, 1);
+        assert_eq!(ledger.carol_channel_spend()[0].jams, 1);
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! The exact per-node slot engine — ground truth for the whole workspace.
 //!
 //! Every participant's protocol state machine is driven slot-by-slot; the
-//! channel is resolved per listener (n-uniform semantics); every radio
-//! operation is charged against the [`EnergyLedger`]. The faster
+//! spectrum is resolved per (listener, channel) — transmissions are
+//! grouped by channel first, so each listener's resolution touches only
+//! its own channel's bucket (n-uniform semantics within a channel, total
+//! isolation across channels); every radio operation is charged against
+//! the [`EnergyLedger`] with per-channel attribution. The faster
 //! phase-level simulator in `rcb-core` is statistically cross-validated
-//! against this engine.
+//! against this engine on the single-channel model.
 
 use rcb_rng::{SeedTree, SimRng};
 
 use crate::adversary::{Adversary, AdversaryCtx, SlotObservation};
-use crate::channel::{resolve_for_listener, JamDirective};
+use crate::channel::{resolve_for_listener_on, ChannelLoad, JamPlan};
 use crate::energy::{Budget, CostBreakdown, EnergyLedger, Op};
-use crate::message::{Payload, PayloadKind};
+use crate::message::PayloadKind;
 use crate::participant::{Action, NodeProtocol, ParticipantId, Reception};
 use crate::slot::Slot;
+use crate::spectrum::{ChannelId, Spectrum};
 use crate::trace::{SlotRecord, Trace};
 
 /// Engine configuration.
@@ -28,6 +32,9 @@ pub struct EngineConfig {
     /// Stop as soon as every participant reports
     /// [`has_terminated`](NodeProtocol::has_terminated).
     pub stop_when_all_terminated: bool,
+    /// The channels available to this run (default: the single-channel
+    /// model of the source paper).
+    pub spectrum: Spectrum,
 }
 
 impl Default for EngineConfig {
@@ -36,8 +43,28 @@ impl Default for EngineConfig {
             max_slots: 10_000_000,
             trace_capacity: 0,
             stop_when_all_terminated: true,
+            spectrum: Spectrum::single(),
         }
     }
+}
+
+/// Per-channel activity and spend tallies for one run.
+///
+/// Index-aligned with the spectrum's channels in
+/// [`RunReport::channel_stats`]; the breakdown is what lets experiments
+/// show how a jammer's budget was split across channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Frames sent by correct participants on this channel.
+    pub correct_sends: u64,
+    /// Listen operations by correct participants on this channel.
+    pub correct_listens: u64,
+    /// Byzantine frames Carol aired on this channel.
+    pub byz_sends: u64,
+    /// Slots in which Carol's jam executed on this channel.
+    pub jammed_slots: u64,
+    /// Clean frame receptions on this channel.
+    pub delivered: u64,
 }
 
 /// Why a run ended.
@@ -66,10 +93,13 @@ pub struct RunReport {
     pub informed: Vec<bool>,
     /// Per-participant terminated flags at the end of the run.
     pub terminated: Vec<bool>,
-    /// Slots in which Carol's jam executed.
+    /// Slots in which Carol's jam executed (on at least one channel).
     pub jammed_slots: u64,
     /// Slots containing at least one transmission or an executed jam.
     pub noisy_slots: u64,
+    /// Per-channel activity/spend tallies, index-aligned with the
+    /// spectrum's channels (a single entry in the single-channel model).
+    pub channel_stats: Vec<ChannelStats>,
     /// Optional slot trace (empty if tracing was disabled).
     pub trace: Trace,
 }
@@ -195,16 +225,22 @@ impl ExactEngine {
             "one budget per participant required"
         );
         let n = participants.len();
-        let mut ledger = EnergyLedger::from_budgets(budgets, carol_budget);
+        let spectrum = self.config.spectrum;
+        let mut ledger = EnergyLedger::from_budgets_on(budgets, carol_budget, spectrum);
         let mut rngs: Vec<SimRng> = (0..n)
             .map(|i| seeds.stream("participant", i as u64))
             .collect();
         let mut trace = Trace::with_capacity(self.config.trace_capacity);
 
-        // Scratch buffers reused across slots.
-        let mut transmissions: Vec<Payload> = Vec::new();
-        let mut correct_sends: Vec<(ParticipantId, PayloadKind)> = Vec::new();
-        let mut listeners: Vec<ParticipantId> = Vec::new();
+        // Scratch buffers reused across slots. Transmissions are grouped
+        // by channel up front so per-listener resolution is O(1) — it
+        // inspects only the listener's own channel bucket.
+        let mut load = ChannelLoad::new(spectrum);
+        let mut correct_sends: Vec<(ParticipantId, ChannelId, PayloadKind)> = Vec::new();
+        let mut listeners: Vec<(ParticipantId, ChannelId)> = Vec::new();
+        let mut executed_jam = JamPlan::none();
+        let mut jammed_channels: Vec<ChannelId> = Vec::new();
+        let mut delivered_by_channel: Vec<u64> = vec![0; spectrum.channel_count() as usize];
 
         let mut jammed_slots = 0u64;
         let mut noisy_slots = 0u64;
@@ -219,11 +255,14 @@ impl ExactEngine {
                 break StopReason::AllTerminated;
             }
 
-            transmissions.clear();
+            load.clear();
             correct_sends.clear();
             listeners.clear();
+            executed_jam.clear();
+            jammed_channels.clear();
 
-            // 1. Correct participants commit their actions.
+            // 1. Correct participants commit their actions; active actions
+            //    are pinned to the channel the protocol reports.
             for (i, participant) in participants.iter_mut().enumerate() {
                 if participant.has_terminated() {
                     continue;
@@ -232,16 +271,32 @@ impl ExactEngine {
                 match participant.act(slot, &mut rngs[i]) {
                     Action::Sleep => {}
                     Action::Send(payload) => {
-                        if ledger.charge_participant(id, Op::Send).is_charged() {
-                            correct_sends.push((id, payload.kind()));
-                            transmissions.push(payload);
+                        let channel = participant.channel(slot);
+                        assert!(
+                            spectrum.contains(channel),
+                            "participant {id} tuned {channel} outside the {spectrum}"
+                        );
+                        if ledger
+                            .charge_participant_on(id, Op::Send, channel)
+                            .is_charged()
+                        {
+                            correct_sends.push((id, channel, payload.kind()));
+                            load.push(channel, payload);
                         } else {
                             participant.on_budget_exhausted(slot);
                         }
                     }
                     Action::Listen => {
-                        if ledger.charge_participant(id, Op::Listen).is_charged() {
-                            listeners.push(id);
+                        let channel = participant.channel(slot);
+                        assert!(
+                            spectrum.contains(channel),
+                            "participant {id} tuned {channel} outside the {spectrum}"
+                        );
+                        if ledger
+                            .charge_participant_on(id, Op::Listen, channel)
+                            .is_charged()
+                        {
+                            listeners.push((id, channel));
                         } else {
                             participant.on_budget_exhausted(slot);
                         }
@@ -256,39 +311,49 @@ impl ExactEngine {
             };
             let mut mv = adversary.plan(slot, &ctx);
             if adversary.is_reactive() {
-                let activity = !transmissions.is_empty();
+                let activity = !load.is_quiet();
                 mv = adversary.react(slot, activity, mv);
             }
 
-            // 3. Charge Carol: Byzantine sends first, then the jam.
-            for payload in mv.sends {
-                if ledger.charge_carol(Op::Send).is_charged() {
-                    transmissions.push(payload);
+            // 3. Charge Carol: Byzantine sends first, then the jam plan
+            //    channel by channel (ascending) — when the pool goes
+            //    broke mid-plan, the remaining channels' jams fizzle.
+            for tx in mv.sends {
+                assert!(
+                    spectrum.contains(tx.channel),
+                    "byzantine send targets {} outside the {spectrum}",
+                    tx.channel
+                );
+                if ledger.charge_carol_on(Op::Send, tx.channel).is_charged() {
+                    load.push(tx.channel, tx.payload);
                 } // beyond budget: the frame never airs
             }
-            let jam = if mv.jam.is_active() {
-                if ledger.charge_carol(Op::Jam).is_charged() {
-                    mv.jam
-                } else {
-                    JamDirective::None // broke: the jam fizzles
+            for (channel, directive) in mv.jam {
+                assert!(
+                    spectrum.contains(channel),
+                    "jam directive targets {channel} outside the {spectrum}"
+                );
+                if ledger.charge_carol_on(Op::Jam, channel).is_charged() {
+                    executed_jam.set(channel, directive);
+                    jammed_channels.push(channel);
                 }
-            } else {
-                JamDirective::None
-            };
-            let jam_executed = jam.is_active();
+            }
+            let jam_executed = executed_jam.is_active();
             if jam_executed {
                 jammed_slots += 1;
             }
-            if jam_executed || !transmissions.is_empty() {
+            if jam_executed || !load.is_quiet() {
                 noisy_slots += 1;
             }
 
-            // 4. Resolve the channel per listener (n-uniform semantics).
+            // 4. Resolve per (listener, channel): only the listener's own
+            //    channel bucket and directive are consulted.
             let mut delivered = 0u32;
-            for &listener in &listeners {
-                let reception = resolve_for_listener(listener, &transmissions, &jam);
+            for &(listener, channel) in &listeners {
+                let reception = resolve_for_listener_on(listener, channel, &load, &executed_jam);
                 if matches!(reception, Reception::Frame(_)) {
                     delivered += 1;
+                    delivered_by_channel[channel.index() as usize] += 1;
                 }
                 participants[listener.index() as usize].on_reception(slot, reception);
             }
@@ -300,14 +365,16 @@ impl ExactEngine {
                     correct_sends: &correct_sends,
                     listeners: &listeners,
                     jam_executed,
+                    jammed_channels: &jammed_channels,
                 },
             );
 
             if self.config.trace_capacity > 0 {
                 trace.push(SlotRecord {
                     slot: slot.index(),
-                    transmissions: transmissions.len().min(u16::MAX as usize) as u16,
-                    jammed: jam_executed,
+                    transmissions: load.total().min(u16::MAX as usize) as u16,
+                    jammed_channels: executed_jam.active_channel_count().min(u16::MAX as usize)
+                        as u16,
                     listeners: listeners.len() as u32,
                     delivered,
                 });
@@ -315,6 +382,22 @@ impl ExactEngine {
 
             slot = slot.next();
         };
+
+        let channel_stats = spectrum
+            .channels()
+            .map(|c| {
+                let i = c.index() as usize;
+                let correct = ledger.correct_channel_spend()[i];
+                let carol = ledger.carol_channel_spend()[i];
+                ChannelStats {
+                    correct_sends: correct.sends,
+                    correct_listens: correct.listens,
+                    byz_sends: carol.sends,
+                    jammed_slots: carol.jams,
+                    delivered: delivered_by_channel[i],
+                }
+            })
+            .collect();
 
         RunReport {
             slots_elapsed: slot.index(),
@@ -326,6 +409,7 @@ impl ExactEngine {
             terminated: participants.iter().map(|p| p.has_terminated()).collect(),
             jammed_slots,
             noisy_slots,
+            channel_stats,
             trace,
         }
     }
@@ -334,8 +418,9 @@ impl ExactEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{AdversaryMove, SilentAdversary};
-    use crate::channel::IdSet;
+    use crate::adversary::{AdversaryMove, SilentAdversary, Transmission};
+    use crate::channel::{IdSet, JamDirective};
+    use crate::message::Payload;
 
     /// Sends `payload` every slot, forever.
     struct Chatter(Payload);
@@ -384,7 +469,14 @@ mod tests {
         EngineConfig {
             max_slots,
             trace_capacity: 1024,
-            stop_when_all_terminated: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn cfg_on(max_slots: u64, spectrum: Spectrum) -> EngineConfig {
+        EngineConfig {
+            spectrum,
+            ..cfg(max_slots)
         }
     }
 
@@ -493,7 +585,7 @@ mod tests {
     impl Adversary for NUniformCarol {
         fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
             AdversaryMove {
-                jam: JamDirective::AllExcept([self.spare].into_iter().collect::<IdSet>()),
+                jam: JamDirective::AllExcept([self.spare].into_iter().collect::<IdSet>()).into(),
                 sends: Vec::new(),
             }
         }
@@ -545,8 +637,8 @@ mod tests {
         impl Adversary for NackSpammer {
             fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
                 AdversaryMove {
-                    jam: JamDirective::None,
-                    sends: vec![Payload::Garbage(0)],
+                    jam: JamPlan::none(),
+                    sends: vec![Payload::Garbage(0).into()],
                 }
             }
         }
@@ -607,7 +699,7 @@ mod tests {
         assert_eq!(r0.transmissions, 1);
         assert_eq!(r0.listeners, 1);
         assert_eq!(r0.delivered, 1);
-        assert!(!r0.jammed);
+        assert!(!r0.jammed());
     }
 
     #[test]
@@ -646,5 +738,202 @@ mod tests {
         assert_eq!(report.stop_reason, StopReason::AllTerminated);
         assert!(report.slots_elapsed < 1000);
         assert!(report.all_terminated_or_informed());
+    }
+
+    /// A chatter pinned to a fixed channel.
+    struct TunedChatter {
+        payload: Payload,
+        channel: ChannelId,
+    }
+    impl NodeProtocol for TunedChatter {
+        fn act(&mut self, _: Slot, _: &mut SimRng) -> Action {
+            Action::Send(self.payload.clone())
+        }
+        fn channel(&self, _: Slot) -> ChannelId {
+            self.channel
+        }
+        fn on_reception(&mut self, _: Slot, _: Reception) {}
+        fn has_terminated(&self) -> bool {
+            false
+        }
+        fn is_informed(&self) -> bool {
+            true
+        }
+    }
+
+    /// A recorder pinned to a fixed channel.
+    struct TunedRecorder {
+        channel: ChannelId,
+        inner: Recorder,
+    }
+    impl TunedRecorder {
+        fn new(channel: ChannelId) -> Self {
+            Self {
+                channel,
+                inner: Recorder::default(),
+            }
+        }
+    }
+    impl NodeProtocol for TunedRecorder {
+        fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+            self.inner.act(slot, rng)
+        }
+        fn channel(&self, _: Slot) -> ChannelId {
+            self.channel
+        }
+        fn on_reception(&mut self, slot: Slot, r: Reception) {
+            self.inner.on_reception(slot, r);
+        }
+        fn has_terminated(&self) -> bool {
+            self.inner.has_terminated()
+        }
+        fn is_informed(&self) -> bool {
+            self.inner.is_informed()
+        }
+    }
+
+    #[test]
+    fn channels_are_isolated_traffic_on_one_never_reaches_another() {
+        // Chatter on ch0; listeners on ch0 and ch1. Only the ch0 listener
+        // ever hears a frame; the ch1 listener hears pure silence.
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(TunedChatter {
+                payload: Payload::Nack,
+                channel: ChannelId::new(0),
+            }),
+            Box::new(TunedRecorder::new(ChannelId::new(0))),
+            Box::new(TunedRecorder::new(ChannelId::new(1))),
+        ];
+        let report = ExactEngine::new(cfg_on(10, Spectrum::new(2))).run(
+            participants,
+            vec![Budget::unlimited(); 3],
+            &mut SilentAdversary,
+            &SeedTree::new(20),
+        );
+        assert!(report.informed[1], "same-channel listener hears the frame");
+        assert!(!report.informed[2], "cross-channel listener hears nothing");
+        assert_eq!(report.channel_stats[0].delivered, 1);
+        assert_eq!(report.channel_stats[1].delivered, 0);
+        assert_eq!(report.channel_stats[0].correct_sends, 10);
+        assert_eq!(report.channel_stats[1].correct_listens, 10);
+    }
+
+    /// Jams only the given channel, forever.
+    struct ChannelJammer(ChannelId);
+    impl Adversary for ChannelJammer {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove {
+                jam: JamPlan::on(self.0, JamDirective::All),
+                sends: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn jamming_one_channel_leaves_the_others_clean() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(TunedChatter {
+                payload: Payload::Nack,
+                channel: ChannelId::new(0),
+            }),
+            Box::new(TunedChatter {
+                payload: Payload::Decoy,
+                channel: ChannelId::new(1),
+            }),
+            Box::new(TunedRecorder::new(ChannelId::new(0))),
+            Box::new(TunedRecorder::new(ChannelId::new(1))),
+        ];
+        let mut carol = ChannelJammer(ChannelId::new(0));
+        let report = ExactEngine::new(cfg_on(20, Spectrum::new(2))).run(
+            participants,
+            vec![Budget::unlimited(); 4],
+            &mut carol,
+            &SeedTree::new(21),
+        );
+        assert!(!report.informed[2], "jammed channel delivers nothing");
+        assert!(report.informed[3], "unjammed channel delivers in slot 0");
+        assert_eq!(report.channel_stats[0].jammed_slots, 20);
+        assert_eq!(report.channel_stats[1].jammed_slots, 0);
+        assert_eq!(report.carol_cost.jams, 20);
+    }
+
+    #[test]
+    fn blanket_jam_costs_one_unit_per_channel_and_fizzles_mid_plan() {
+        // Spectrum of 4; Carol blankets all channels with budget 10: two
+        // full slots (8 units) plus a partial third slot covering only
+        // channels 0 and 1 before the pool is dry.
+        struct Blanket;
+        impl Adversary for Blanket {
+            fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+                AdversaryMove::jam_spectrum(Spectrum::new(4))
+            }
+        }
+        let participants: Vec<Box<dyn NodeProtocol>> =
+            vec![Box::new(TunedRecorder::new(ChannelId::new(3)))];
+        let mut roster = participants;
+        let report = ExactEngine::new(cfg_on(5, Spectrum::new(4))).run_with_carol_budget(
+            &mut roster,
+            vec![Budget::unlimited()],
+            Budget::limited(10),
+            &mut Blanket,
+            &SeedTree::new(22),
+        );
+        assert_eq!(report.carol_cost.jams, 10, "she spends the whole pool");
+        // Channels 0 and 1 get the partial slot 2; channels 2 and 3 fizzle.
+        assert_eq!(report.channel_stats[0].jammed_slots, 3);
+        assert_eq!(report.channel_stats[1].jammed_slots, 3);
+        assert_eq!(report.channel_stats[2].jammed_slots, 2);
+        assert_eq!(report.channel_stats[3].jammed_slots, 2);
+        // The ch3 listener hears noise in slots 0-1 and silence after.
+        assert_eq!(report.trace.get(Slot::new(2)).unwrap().jammed_channels, 2);
+        assert_eq!(report.trace.get(Slot::new(3)).unwrap().jammed_channels, 0);
+    }
+
+    #[test]
+    fn byzantine_sends_land_on_their_target_channel() {
+        struct CrossSender;
+        impl Adversary for CrossSender {
+            fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+                AdversaryMove {
+                    jam: JamPlan::none(),
+                    sends: vec![Transmission::on(ChannelId::new(1), Payload::Nack)],
+                }
+            }
+        }
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(TunedRecorder::new(ChannelId::new(0))),
+            Box::new(TunedRecorder::new(ChannelId::new(1))),
+        ];
+        let mut carol = CrossSender;
+        let report = ExactEngine::new(cfg_on(5, Spectrum::new(2))).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut carol,
+            &SeedTree::new(23),
+        );
+        assert!(!report.informed[0]);
+        assert!(report.informed[1], "byzantine frame delivers on ch1");
+        assert_eq!(report.channel_stats[1].byz_sends, 5);
+        assert_eq!(report.channel_stats[0].byz_sends, 0);
+    }
+
+    #[test]
+    fn single_channel_stats_reconcile_with_totals() {
+        let participants: Vec<Box<dyn NodeProtocol>> = vec![
+            Box::new(Chatter(Payload::Nack)),
+            Box::new(Recorder::default()),
+        ];
+        let mut carol = JamAllCarol;
+        let report = ExactEngine::new(cfg(30)).run(
+            participants,
+            vec![Budget::unlimited(); 2],
+            &mut carol,
+            &SeedTree::new(24),
+        );
+        assert_eq!(report.channel_stats.len(), 1);
+        let stats = report.channel_stats[0];
+        assert_eq!(stats.jammed_slots, report.jammed_slots);
+        assert_eq!(stats.correct_sends, report.participant_costs[0].sends);
+        assert_eq!(stats.correct_listens, report.participant_costs[1].listens);
     }
 }

@@ -1,5 +1,6 @@
 //! Time-slotted single-hop radio simulator — the network model of
-//! Gilbert & Young (§1.1), implemented as an executable substrate.
+//! Gilbert & Young (§1.1), implemented as an executable substrate and
+//! generalised to a multi-channel spectrum.
 //!
 //! # The model
 //!
@@ -24,6 +25,31 @@
 //! individual budgets, Carol has a pooled budget covering herself and her
 //! Byzantine devices. When her budget is exhausted, jam directives fizzle —
 //! this is the mechanism that makes resource competitiveness *observable*.
+//!
+//! # The spectrum: `C ≥ 1` channels
+//!
+//! Following the multi-channel successors of the source paper (Chen &
+//! Zheng 2019/2020), every radio operation targets a channel
+//! `c ∈ 0..C` of a [`Spectrum`]:
+//!
+//! * a device's [`NodeProtocol::channel`] hook names the channel its
+//!   send/listen lands on (default: [`ChannelId::ZERO`]);
+//! * transmissions are grouped by channel into a [`ChannelLoad`], and a
+//!   listener tuned to channel `c` perceives **only** that channel's
+//!   traffic and jamming — resolution inspects one bucket per listener
+//!   (`O(active channels)` grouping, not `O(n)` scanning per listener);
+//! * Carol's per-slot [`JamPlan`] names a [`JamDirective`] per targeted
+//!   channel, **each costing one unit when it executes** — blanketing the
+//!   spectrum costs `C` units per slot, so she must split her budget;
+//! * the [`EnergyLedger`] attributes every charge to its channel, and the
+//!   engine's [`RunReport::channel_stats`] reports the split.
+//!
+//! **The `C = 1` equivalence guarantee.** With [`Spectrum::single`] (the
+//! default [`EngineConfig`]), every operation lands on channel 0, the
+//! per-channel resolution degenerates to [`resolve_for_listener`], no
+//! extra RNG draws occur, and runs are bit-for-bit identical to the
+//! pre-spectrum engine — the single-channel model of the source paper is
+//! a special case, not a compatibility mode.
 //!
 //! # Quick start
 //!
@@ -76,13 +102,20 @@ mod engine;
 mod message;
 mod participant;
 mod slot;
+mod spectrum;
 mod trace;
 
-pub use adversary::{Adversary, AdversaryCtx, AdversaryMove, SilentAdversary, SlotObservation};
-pub use channel::{resolve_for_listener, IdSet, JamDirective};
+pub use adversary::{
+    Adversary, AdversaryCtx, AdversaryMove, SilentAdversary, SlotObservation, Transmission,
+};
+pub use channel::{
+    resolve_for_listener, resolve_for_listener_on, ChannelLoad, IdSet, JamDirective, JamPlan,
+    JamPlanIntoIter,
+};
 pub use energy::{Budget, ChargeOutcome, CostBreakdown, EnergyLedger, Op};
-pub use engine::{EngineConfig, ExactEngine, RunReport, StopReason};
+pub use engine::{ChannelStats, EngineConfig, ExactEngine, RunReport, StopReason};
 pub use message::{Payload, PayloadKind};
 pub use participant::{Action, NodeProtocol, ParticipantId, Reception};
 pub use slot::Slot;
+pub use spectrum::{ChannelId, Spectrum};
 pub use trace::{SlotRecord, Trace};

@@ -99,6 +99,24 @@ pub trait NodeProtocol {
     /// deterministic stream.
     fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action;
 
+    /// The channel this slot's action targets, when the action is
+    /// [`Action::Send`] or [`Action::Listen`].
+    ///
+    /// Called by the engine *after* [`act`](Self::act) in the same slot,
+    /// and only for active actions. Channel-hopping protocols draw their
+    /// hop inside `act` (where the private RNG is available), store it,
+    /// and report it here.
+    ///
+    /// The default pins every operation to
+    /// [`ChannelId::ZERO`](crate::ChannelId::ZERO): existing
+    /// single-channel protocols need no changes, consume no extra RNG
+    /// draws, and behave bit-for-bit identically on a single-channel
+    /// [`Spectrum`](crate::Spectrum) — the `C = 1` equivalence guarantee.
+    fn channel(&self, slot: Slot) -> crate::spectrum::ChannelId {
+        let _ = slot;
+        crate::spectrum::ChannelId::ZERO
+    }
+
     /// Delivers what was heard. Called only for slots where `act` returned
     /// [`Action::Listen`] (and the energy charge succeeded).
     fn on_reception(&mut self, slot: Slot, reception: Reception);

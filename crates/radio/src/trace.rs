@@ -15,8 +15,9 @@ pub struct SlotRecord {
     pub slot: u64,
     /// Number of frames transmitted (correct + Byzantine), saturating.
     pub transmissions: u16,
-    /// Whether Carol's jam directive executed this slot.
-    pub jammed: bool,
+    /// Number of channels on which Carol's jam executed (0 or 1 in the
+    /// single-channel model).
+    pub jammed_channels: u16,
     /// Number of correct participants listening.
     pub listeners: u32,
     /// Number of listeners that received a frame cleanly.
@@ -24,11 +25,17 @@ pub struct SlotRecord {
 }
 
 impl SlotRecord {
+    /// Whether any of Carol's jam plan executed this slot.
+    #[must_use]
+    pub fn jammed(&self) -> bool {
+        self.jammed_channels > 0
+    }
+
     /// Whether the slot was noisy for at least some listener (activity or
     /// jamming present).
     #[must_use]
     pub fn had_activity(&self) -> bool {
-        self.transmissions > 0 || self.jammed
+        self.transmissions > 0 || self.jammed()
     }
 }
 
@@ -40,7 +47,9 @@ impl SlotRecord {
 /// use rcb_radio::{SlotRecord, Trace};
 /// let mut trace = Trace::with_capacity(2);
 /// for i in 0..5 {
-///     trace.push(SlotRecord { slot: i, transmissions: 0, jammed: false, listeners: 0, delivered: 0 });
+///     trace.push(SlotRecord {
+///         slot: i, transmissions: 0, jammed_channels: 0, listeners: 0, delivered: 0,
+///     });
 /// }
 /// assert_eq!(trace.len(), 2);           // capped
 /// assert_eq!(trace.dropped(), 3);       // but counted
@@ -109,7 +118,7 @@ impl Trace {
     /// Count of retained records where the jam executed.
     #[must_use]
     pub fn jammed_slots(&self) -> usize {
-        self.records.iter().filter(|r| r.jammed).count()
+        self.records.iter().filter(|r| r.jammed()).count()
     }
 }
 
@@ -121,7 +130,7 @@ mod tests {
         SlotRecord {
             slot,
             transmissions: 0,
-            jammed,
+            jammed_channels: u16::from(jammed),
             listeners: 0,
             delivered: 0,
         }
@@ -160,7 +169,7 @@ mod tests {
         let active = SlotRecord {
             slot: 3,
             transmissions: 2,
-            jammed: false,
+            jammed_channels: 0,
             listeners: 0,
             delivered: 0,
         };

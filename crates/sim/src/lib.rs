@@ -8,15 +8,39 @@
 //!
 //! ## The matrix
 //!
-//! | protocol | engines | adversaries |
-//! |---|---|---|
-//! | [`Scenario::broadcast`] (ε-BROADCAST) | [`Engine::Exact`], [`Engine::Fast`] | every [`StrategySpec`] (slot-only ones on `Exact` only) |
-//! | [`Scenario::naive`] (§1.1 strawman) | `Exact` | schedule-free strategies |
-//! | [`Scenario::epidemic`] (gossip) | `Exact` | schedule-free strategies |
-//! | [`Scenario::ksy`] (two-player [23]) | `Exact` | `Silent`, `Continuous` (budget required) |
+//! | protocol | engines | channels | adversaries |
+//! |---|---|---|---|
+//! | [`Scenario::broadcast`] (ε-BROADCAST) | [`Engine::Exact`], [`Engine::Fast`] | 1 | every single-channel [`StrategySpec`] (slot-only ones on `Exact` only) |
+//! | [`Scenario::naive`] (§1.1 strawman) | `Exact` | 1 | schedule-free single-channel strategies |
+//! | [`Scenario::epidemic`] (gossip) | `Exact` | 1 | schedule-free single-channel strategies |
+//! | [`Scenario::ksy`] (two-player \[23\]) | `Exact` | 1 | `Silent`, `Continuous` (budget required) |
+//! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact` | `C ≥ 1` via [`ScenarioBuilder::channels`] | schedule-free strategies, incl. the channel-aware family |
 //!
 //! Invalid combinations are rejected at [`ScenarioBuilder::build`] with a
-//! typed [`ScenarioError`] — never a mid-run panic.
+//! typed [`ScenarioError`] — never a mid-run panic. That includes the
+//! spectrum rules: `channels(c > 1)` on a single-channel protocol, or a
+//! channel-aware strategy (`SplitUniform`, `ChannelSweep`,
+//! `ChannelLagged`) on a protocol that cannot host a spectrum.
+//!
+//! ## Multi-channel runs
+//!
+//! ```
+//! use rcb_sim::{HoppingSpec, Scenario, StrategySpec};
+//!
+//! let outcome = Scenario::hopping(HoppingSpec::new(16, 4_000))
+//!     .channels(4)
+//!     .adversary(StrategySpec::SplitUniform)
+//!     .carol_budget(1_000)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
+//! // The blanket drains her budget 4× faster; per-channel accounting
+//! // shows the split.
+//! assert_eq!(outcome.carol_spend(), 1_000);
+//! assert_eq!(outcome.jam_slots_by_channel().len(), 4);
+//! assert_eq!(outcome.jam_slots_by_channel().iter().sum::<u64>(), 1_000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! ## One run
 //!
@@ -72,7 +96,7 @@ mod scenario;
 pub use batch::{run_trials, run_trials_scoped};
 pub use outcome::ScenarioOutcome;
 pub use scenario::{
-    Engine, EpidemicSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
+    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
     ScenarioError, ScenarioScratch,
 };
 
@@ -296,5 +320,169 @@ mod tests {
     fn builder_run_convenience() {
         let outcome = Scenario::broadcast(params(16)).seed(4).run().unwrap();
         assert!(outcome.completed());
+    }
+
+    #[test]
+    fn channels_one_is_the_default_single_channel_model() {
+        let base = Scenario::broadcast(params(16))
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(400)
+            .seed(12)
+            .build()
+            .unwrap()
+            .run();
+        let explicit = Scenario::broadcast(params(16))
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(400)
+            .channels(1)
+            .seed(12)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(base.slots, explicit.slots);
+        assert_eq!(base.broadcast.alice_cost, explicit.broadcast.alice_cost);
+        assert_eq!(base.broadcast.node_costs, explicit.broadcast.node_costs);
+        assert_eq!(base.broadcast.carol_cost, explicit.broadcast.carol_cost);
+        let stats = explicit.channel_stats.as_ref().unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].jammed_slots, 400);
+    }
+
+    #[test]
+    fn multi_channel_needs_a_channel_capable_protocol() {
+        let err = Scenario::broadcast(params(16))
+            .channels(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::MultiChannelUnsupported {
+                protocol: ProtocolKind::Broadcast,
+                channels: 4
+            }
+        );
+        for builder in [
+            Scenario::naive(NaiveSpec { n: 8, horizon: 10 }),
+            Scenario::epidemic(EpidemicSpec::new(8, 10)),
+            Scenario::ksy(KsySpec::default()),
+        ] {
+            let err = builder.channels(2).build().unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::MultiChannelUnsupported { .. }),
+                "{err}"
+            );
+        }
+        let err = Scenario::hopping(HoppingSpec::new(8, 10))
+            .channels(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn channel_aware_strategies_rejected_on_single_channel_protocols() {
+        for spec in StrategySpec::channel_roster() {
+            assert!(spec.requires_channels());
+            let err = Scenario::broadcast(params(16))
+                .adversary(spec)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::ChannelStrategyUnsupported { .. }),
+                "{err}"
+            );
+            let err = Scenario::epidemic(EpidemicSpec::new(8, 100))
+                .adversary(spec)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::ChannelStrategyUnsupported { .. }),
+                "{err}"
+            );
+            // ... but they are valid against the hopping protocol, even
+            // at C = 1 (where they degenerate to their single-channel
+            // counterparts).
+            let o = Scenario::hopping(HoppingSpec::new(8, 500))
+                .adversary(spec)
+                .carol_budget(100)
+                .seed(1)
+                .build()
+                .unwrap()
+                .run();
+            assert!(o.slots > 0);
+        }
+    }
+
+    #[test]
+    fn hopping_matrix_rules() {
+        // Fast engine cannot run it.
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .engine(Engine::Fast)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnsupportedEngine { .. }));
+        // Schedule-bound strategies make no sense against it.
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .adversary(StrategySpec::Reactive)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::ScheduleBoundStrategy { .. }));
+        // Bad gossip shape is a typed error.
+        let mut spec = HoppingSpec::new(8, 100);
+        spec.listen_p = 2.0;
+        let err = Scenario::hopping(spec).channels(2).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+        // A zero dwell would panic mid-run; build() rejects it instead.
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .channels(2)
+            .adversary(StrategySpec::ChannelSweep { dwell: 0 })
+            .carol_budget(10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn hopping_split_jammer_pays_per_channel() {
+        let outcome = Scenario::hopping(HoppingSpec::new(16, 4_000))
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(1_000)
+            .seed(5)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(outcome.protocol, ProtocolKind::Hopping);
+        assert_eq!(outcome.carol_spend(), 1_000);
+        let by_channel = outcome.jam_slots_by_channel();
+        assert_eq!(by_channel.len(), 4);
+        // The blanket is uniform: 1000 units over 4 channels = 250 slots
+        // each.
+        assert_eq!(by_channel, vec![250, 250, 250, 250]);
+        assert_eq!(outcome.informed_fraction(), 1.0, "she cannot stop it");
+    }
+
+    #[test]
+    fn hopping_batch_is_deterministic() {
+        let scenario = Scenario::hopping(HoppingSpec::new(12, 2_000))
+            .channels(2)
+            .adversary(StrategySpec::ChannelSweep { dwell: 4 })
+            .carol_budget(300)
+            .seed(8)
+            .build()
+            .unwrap();
+        let a = scenario.run_batch(4);
+        let b = scenario.run_batch(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.slots, y.slots);
+            assert_eq!(x.broadcast.node_total_cost, y.broadcast.node_total_cost);
+            assert_eq!(x.channel_stats, y.channel_stats);
+        }
+        let solo = scenario.run_seeded(a[1].seed);
+        assert_eq!(
+            solo.broadcast.node_total_cost,
+            a[1].broadcast.node_total_cost
+        );
     }
 }

@@ -4,7 +4,7 @@ use std::ops::Deref;
 
 use rcb_baselines::ksy::KsyOutcome;
 use rcb_core::BroadcastOutcome;
-use rcb_radio::{StopReason, Trace};
+use rcb_radio::{ChannelStats, StopReason, Trace};
 
 use crate::scenario::ProtocolKind;
 
@@ -41,6 +41,12 @@ pub struct ScenarioOutcome {
     /// Per-participant budget-refusal counts, index 0 = Alice (exact
     /// engine only).
     pub participant_refusals: Option<Vec<u64>>,
+    /// Per-channel activity/spend tallies, index-aligned with the
+    /// spectrum's channels (exact engine only; a single entry for
+    /// single-channel scenarios). This is where "making evildoers pay"
+    /// accounting survives the multi-channel split: it shows how the
+    /// jammer's budget divided across channels.
+    pub channel_stats: Option<Vec<ChannelStats>>,
     /// Captured slot trace, when tracing was requested (exact engine
     /// only).
     pub trace: Option<Trace>,
@@ -63,6 +69,16 @@ impl ScenarioOutcome {
             .as_ref()
             .map(|r| r.iter().sum())
             .unwrap_or(0)
+    }
+
+    /// Slots the jam executed on each channel (empty when the engine did
+    /// not track per-channel stats).
+    #[must_use]
+    pub fn jam_slots_by_channel(&self) -> Vec<u64> {
+        self.channel_stats
+            .as_ref()
+            .map(|stats| stats.iter().map(|s| s.jammed_slots).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -95,6 +111,16 @@ mod tests {
             ksy: None,
             stop_reason: None,
             participant_refusals: Some(vec![0, 2, 3]),
+            channel_stats: Some(vec![
+                ChannelStats {
+                    jammed_slots: 4,
+                    ..ChannelStats::default()
+                },
+                ChannelStats {
+                    jammed_slots: 1,
+                    ..ChannelStats::default()
+                },
+            ]),
             trace: None,
         }
     }
@@ -113,5 +139,13 @@ mod tests {
         assert_eq!(o.total_refusals(), 5);
         o.participant_refusals = None;
         assert_eq!(o.total_refusals(), 0);
+    }
+
+    #[test]
+    fn per_channel_jam_tallies() {
+        let mut o = outcome();
+        assert_eq!(o.jam_slots_by_channel(), vec![4, 1]);
+        o.channel_stats = None;
+        assert!(o.jam_slots_by_channel().is_empty());
     }
 }

@@ -7,8 +7,11 @@ use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{execute_epidemic, execute_naive, EpidemicConfig, NaiveConfig};
 use rcb_core::fast::{run_fast, FastConfig};
-use rcb_core::{BroadcastOutcome, BroadcastScratch, EngineKind, Params, RunConfig};
-use rcb_radio::{Budget, CostBreakdown};
+use rcb_core::{
+    execute_hopping, BroadcastOutcome, BroadcastScratch, EngineKind, HoppingConfig, Params,
+    RunConfig,
+};
+use rcb_radio::{Budget, CostBreakdown, Spectrum};
 
 use crate::batch::run_trials_scoped;
 use crate::outcome::ScenarioOutcome;
@@ -31,6 +34,18 @@ pub enum ProtocolKind {
     Epidemic,
     /// The King–Saia–Young-style two-player comparator.
     Ksy,
+    /// Multi-channel epidemic-style random-hopping broadcast.
+    Hopping,
+}
+
+impl ProtocolKind {
+    /// Whether this protocol can host a multi-channel spectrum
+    /// (`Scenario::channels(c)` with `c > 1`, and with it the
+    /// channel-aware adversary strategies).
+    #[must_use]
+    pub fn supports_channels(self) -> bool {
+        matches!(self, ProtocolKind::Hopping)
+    }
 }
 
 impl fmt::Display for ProtocolKind {
@@ -40,6 +55,7 @@ impl fmt::Display for ProtocolKind {
             ProtocolKind::Naive => "naive",
             ProtocolKind::Epidemic => "epidemic",
             ProtocolKind::Ksy => "ksy",
+            ProtocolKind::Hopping => "hopping",
         })
     }
 }
@@ -81,6 +97,35 @@ impl EpidemicSpec {
     }
 }
 
+/// Configuration for [`Scenario::hopping`] — the multi-channel
+/// epidemic-style random-hopping broadcast (budget, seed, and the
+/// channel count come from the builder; see
+/// [`ScenarioBuilder::channels`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HoppingSpec {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop.
+    pub horizon: u64,
+    /// Per-slot listen probability of uninformed nodes.
+    pub listen_p: f64,
+    /// Relay probability is `relay_rate / n`.
+    pub relay_rate: f64,
+}
+
+impl HoppingSpec {
+    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            listen_p: 0.5,
+            relay_rate: 1.0,
+        }
+    }
+}
+
 /// Configuration for [`Scenario::ksy`] (the jamming budget `T` comes from
 /// the builder's `carol_budget`).
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +146,7 @@ enum ProtocolSpec {
     Naive(NaiveSpec),
     Epidemic(EpidemicSpec),
     Ksy(KsySpec),
+    Hopping(HoppingSpec),
 }
 
 impl ProtocolSpec {
@@ -110,6 +156,7 @@ impl ProtocolSpec {
             ProtocolSpec::Naive(_) => ProtocolKind::Naive,
             ProtocolSpec::Epidemic(_) => ProtocolKind::Epidemic,
             ProtocolSpec::Ksy(_) => ProtocolKind::Ksy,
+            ProtocolSpec::Hopping(_) => ProtocolKind::Hopping,
         }
     }
 }
@@ -163,6 +210,22 @@ pub enum ScenarioError {
         /// The requested protocol.
         protocol: ProtocolKind,
     },
+    /// A multi-channel spectrum was requested for a protocol pinned to
+    /// the single-channel model.
+    MultiChannelUnsupported {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The requested channel count.
+        channels: u16,
+    },
+    /// A channel-aware strategy was paired with a protocol that cannot
+    /// host a multi-channel spectrum.
+    ChannelStrategyUnsupported {
+        /// The requested protocol.
+        protocol: ProtocolKind,
+        /// The offending strategy's stable name.
+        strategy: String,
+    },
     /// A protocol configuration value was out of range.
     InvalidConfig(String),
 }
@@ -194,6 +257,16 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BudgetRequired { protocol } => {
                 write!(f, "the {protocol} protocol requires a finite carol_budget")
             }
+            ScenarioError::MultiChannelUnsupported { protocol, channels } => write!(
+                f,
+                "the {protocol} protocol is pinned to the single-channel model and cannot \
+                 run on {channels} channels"
+            ),
+            ScenarioError::ChannelStrategyUnsupported { protocol, strategy } => write!(
+                f,
+                "strategy {strategy} is channel-aware, which the {protocol} protocol \
+                 cannot host"
+            ),
             ScenarioError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -236,6 +309,7 @@ pub struct Scenario {
     carol_budget: Option<u64>,
     enforce_correct_budgets: bool,
     trace_capacity: usize,
+    channels: u16,
     seed: u64,
 }
 
@@ -278,6 +352,13 @@ impl Scenario {
         ScenarioBuilder::new(ProtocolSpec::Ksy(spec))
     }
 
+    /// Starts building a multi-channel random-hopping broadcast scenario
+    /// (set the channel count with [`ScenarioBuilder::channels`]).
+    #[must_use]
+    pub fn hopping(spec: HoppingSpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Hopping(spec))
+    }
+
     /// Which protocol this scenario runs.
     #[must_use]
     pub fn protocol(&self) -> ProtocolKind {
@@ -301,6 +382,19 @@ impl Scenario {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Number of channels this scenario runs on (1 = the single-channel
+    /// model of the source paper).
+    #[must_use]
+    pub fn channels(&self) -> u16 {
+        self.channels
+    }
+
+    /// The spectrum this scenario runs on.
+    #[must_use]
+    pub fn spectrum(&self) -> Spectrum {
+        Spectrum::new(self.channels)
     }
 
     /// The ε-BROADCAST parameters, when this is a broadcast scenario.
@@ -337,6 +431,7 @@ impl Scenario {
             ProtocolSpec::Naive(spec) => self.run_naive(*spec, seed),
             ProtocolSpec::Epidemic(spec) => self.run_epidemic(*spec, seed),
             ProtocolSpec::Ksy(spec) => self.run_ksy(*spec, seed),
+            ProtocolSpec::Hopping(spec) => self.run_hopping(*spec, seed),
         }
     }
 
@@ -377,6 +472,7 @@ impl Scenario {
             ksy,
             stop_reason: None,
             participant_refusals: None,
+            channel_stats: None,
             trace: None,
         }
     }
@@ -398,9 +494,31 @@ impl Scenario {
         let mut outcome = self.outcome(broadcast, seed, None);
         outcome.stop_reason = Some(report.stop_reason);
         outcome.participant_refusals = Some(report.participant_refusals);
+        outcome.channel_stats = Some(report.channel_stats);
         if self.trace_capacity > 0 {
             outcome.trace = Some(report.trace);
         }
+        outcome
+    }
+
+    fn run_hopping(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+        let config = HoppingConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            carol_budget: self.carol_budget_as_budget(),
+            seed,
+        };
+        let mut adversary = self
+            .adversary
+            .schedule_free_slot_adversary_on(self.spectrum(), seed)
+            .expect("validated at build: strategy is schedule-free");
+        let (broadcast, report) = execute_hopping(&config, self.spectrum(), adversary.as_mut());
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.stop_reason = Some(report.stop_reason);
+        outcome.participant_refusals = Some(report.participant_refusals);
+        outcome.channel_stats = Some(report.channel_stats);
         outcome
     }
 
@@ -499,6 +617,7 @@ pub struct ScenarioBuilder {
     carol_budget: Option<u64>,
     enforce_correct_budgets: bool,
     trace_capacity: usize,
+    channels: u16,
     seed: u64,
 }
 
@@ -511,6 +630,7 @@ impl ScenarioBuilder {
             carol_budget: None,
             enforce_correct_budgets: true,
             trace_capacity: 0,
+            channels: 1,
             seed: 0,
         }
     }
@@ -558,6 +678,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the number of radio channels (default 1, the single-channel
+    /// model of the source paper — a scenario built with `channels(1)` is
+    /// byte-identical to one that never called this).
+    ///
+    /// `c > 1` requires a protocol that hosts a multi-channel spectrum
+    /// (currently [`Scenario::hopping`]); [`build`](Self::build) rejects
+    /// other combinations with
+    /// [`ScenarioError::MultiChannelUnsupported`].
+    #[must_use]
+    pub fn channels(mut self, c: u16) -> Self {
+        self.channels = c;
+        self
+    }
+
     /// Sets the master seed (default 0).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -590,10 +724,37 @@ impl ScenarioBuilder {
             });
         }
 
+        // Spectrum: a multi-channel run needs a channel-capable protocol,
+        // and channel-aware strategies need one too (even at C = 1 — a
+        // budget splitter makes no sense against a protocol pinned to a
+        // single channel).
+        if self.channels == 0 {
+            return Err(ScenarioError::InvalidConfig(
+                "a scenario needs at least one channel".into(),
+            ));
+        }
+        if self.channels > 1 && !protocol.supports_channels() {
+            return Err(ScenarioError::MultiChannelUnsupported {
+                protocol,
+                channels: self.channels,
+            });
+        }
+        if self.adversary.requires_channels() && !protocol.supports_channels() {
+            return Err(ScenarioError::ChannelStrategyUnsupported {
+                protocol,
+                strategy: self.adversary.name(),
+            });
+        }
+        if let StrategySpec::ChannelSweep { dwell: 0 } = self.adversary {
+            return Err(ScenarioError::InvalidConfig(
+                "channel-sweep dwell must be at least one slot".into(),
+            ));
+        }
+
         // Protocol × adversary.
         match protocol {
             ProtocolKind::Broadcast => {}
-            ProtocolKind::Naive | ProtocolKind::Epidemic => {
+            ProtocolKind::Naive | ProtocolKind::Epidemic | ProtocolKind::Hopping => {
                 if self.adversary.requires_schedule() {
                     return Err(ScenarioError::ScheduleBoundStrategy {
                         protocol,
@@ -630,17 +791,20 @@ impl ScenarioBuilder {
         }
 
         // Protocol-spec value validation.
-        if let ProtocolSpec::Epidemic(spec) = &self.protocol {
-            if !(0.0..=1.0).contains(&spec.listen_p) || !spec.listen_p.is_finite() {
+        let gossip_shape = match &self.protocol {
+            ProtocolSpec::Epidemic(spec) => Some((protocol, spec.listen_p, spec.relay_rate)),
+            ProtocolSpec::Hopping(spec) => Some((protocol, spec.listen_p, spec.relay_rate)),
+            _ => None,
+        };
+        if let Some((protocol, listen_p, relay_rate)) = gossip_shape {
+            if !(0.0..=1.0).contains(&listen_p) || !listen_p.is_finite() {
                 return Err(ScenarioError::InvalidConfig(format!(
-                    "epidemic listen_p must be a probability, got {}",
-                    spec.listen_p
+                    "{protocol} listen_p must be a probability, got {listen_p}"
                 )));
             }
-            if !spec.relay_rate.is_finite() || spec.relay_rate < 0.0 {
+            if !relay_rate.is_finite() || relay_rate < 0.0 {
                 return Err(ScenarioError::InvalidConfig(format!(
-                    "epidemic relay_rate must be nonnegative and finite, got {}",
-                    spec.relay_rate
+                    "{protocol} relay_rate must be nonnegative and finite, got {relay_rate}"
                 )));
             }
         }
@@ -652,6 +816,7 @@ impl ScenarioBuilder {
             carol_budget: self.carol_budget,
             enforce_correct_budgets: self.enforce_correct_budgets,
             trace_capacity: self.trace_capacity,
+            channels: self.channels,
             seed: self.seed,
         })
     }

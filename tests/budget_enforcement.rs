@@ -4,7 +4,7 @@
 
 use evildoers::adversary::StrategySpec;
 use evildoers::core::Params;
-use evildoers::sim::Scenario;
+use evildoers::sim::{HoppingSpec, Scenario};
 
 #[test]
 fn computed_budgets_are_never_exhausted_in_normal_operation() {
@@ -73,13 +73,27 @@ fn carols_pool_is_a_hard_cap_under_every_strategy() {
     let params = Params::builder(32).max_round_margin(2).build().unwrap();
     let budget = 777u64;
     for spec in StrategySpec::full_roster() {
-        let outcome = Scenario::broadcast(params.clone())
-            .adversary(spec)
-            .carol_budget(budget)
-            .seed(5)
-            .build()
-            .unwrap()
-            .run();
+        // Channel-aware strategies cannot target the single-channel
+        // ε-BROADCAST; the cap must hold for them on the multi-channel
+        // hopping protocol instead.
+        let outcome = if spec.requires_channels() {
+            Scenario::hopping(HoppingSpec::new(32, 4_000))
+                .channels(4)
+                .adversary(spec)
+                .carol_budget(budget)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run()
+        } else {
+            Scenario::broadcast(params.clone())
+                .adversary(spec)
+                .carol_budget(budget)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run()
+        };
         assert!(
             outcome.carol_spend() <= budget,
             "{}: spent {} of {budget}",

@@ -2,7 +2,10 @@
 //! everything else rests on. Inputs are drawn from a seeded RNG
 //! (replacing the earlier proptest harness, which is unavailable offline).
 
-use evildoers::radio::{resolve_for_listener, IdSet, JamDirective, ParticipantId, Payload};
+use evildoers::radio::{
+    resolve_for_listener, resolve_for_listener_on, ChannelId, ChannelLoad, IdSet, JamDirective,
+    JamPlan, ParticipantId, Payload, Reception, Spectrum,
+};
 use evildoers::rng::SimRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,6 +83,117 @@ fn targeting_partitions_by_membership() {
         let p = ParticipantId::new(probe);
         assert_eq!(except.jams(p), !set.contains(p));
         assert_eq!(only.jams(p), set.contains(p));
+    }
+}
+
+fn random_directive(rng: &mut SimRng, bound: u32, max_targets: usize) -> JamDirective {
+    let targets = random_ids(rng, bound, max_targets);
+    match rng.gen_range(0u8..4) {
+        0 => JamDirective::None,
+        1 => JamDirective::All,
+        2 => JamDirective::AllExcept(id_set(&targets)),
+        _ => JamDirective::Only(id_set(&targets)),
+    }
+}
+
+/// The §1.1 single-channel resolution semantics as they existed before
+/// the multi-channel refactor, reimplemented verbatim as a reference
+/// model: jammed → noise; 0 transmissions → silence; exactly 1 →
+/// delivery; ≥ 2 → collision noise.
+fn pre_refactor_resolve(
+    listener: ParticipantId,
+    transmissions: &[Payload],
+    jam: &JamDirective,
+) -> Reception {
+    if jam.jams(listener) {
+        return Reception::Noise;
+    }
+    match transmissions {
+        [] => Reception::Silence,
+        [only] => Reception::Frame(only.clone()),
+        _ => Reception::Noise,
+    }
+}
+
+/// C = 1 reproduces the exact pre-refactor `resolve_for_listener`
+/// semantics: on random slots, the per-channel resolution path over a
+/// single-channel spectrum agrees with the reference model (and with the
+/// surviving single-channel function) on every input.
+#[test]
+fn single_channel_resolution_reproduces_pre_refactor_semantics() {
+    let mut gen = SimRng::seed_from_u64(0xC0DE);
+    for _ in 0..256 {
+        let tx = payloads(gen.gen_range(0usize..5));
+        let listener = ParticipantId::new(gen.gen_range(0u32..16));
+        let directive = random_directive(&mut gen, 16, 5);
+
+        let mut load = ChannelLoad::new(Spectrum::single());
+        for payload in &tx {
+            load.push(ChannelId::ZERO, payload.clone());
+        }
+        let plan: JamPlan = directive.clone().into();
+
+        let reference = pre_refactor_resolve(listener, &tx, &directive);
+        assert_eq!(
+            resolve_for_listener_on(listener, ChannelId::ZERO, &load, &plan),
+            reference,
+            "multi-channel path diverged on C=1"
+        );
+        assert_eq!(
+            resolve_for_listener(listener, &tx, &directive),
+            reference,
+            "single-channel function diverged from its own pre-refactor semantics"
+        );
+    }
+}
+
+/// Cross-channel isolation: what a listener on channel `c` hears is a
+/// function of channel `c`'s traffic and directive only — rerolling all
+/// traffic and jamming on every other channel never changes its
+/// reception.
+#[test]
+fn listener_is_unaffected_by_other_channels() {
+    let mut gen = SimRng::seed_from_u64(0x15_0C8A);
+    for _ in 0..256 {
+        let channels = gen.gen_range(2u16..8);
+        let spectrum = Spectrum::new(channels);
+        let listener = ParticipantId::new(gen.gen_range(0u32..16));
+        let c = ChannelId::new(gen.gen_range(0..channels));
+
+        // The listener's own channel: fixed traffic and directive.
+        let own_tx = payloads(gen.gen_range(0usize..4));
+        let own_directive = random_directive(&mut gen, 16, 5);
+
+        let build = |gen: &mut SimRng| {
+            let mut load = ChannelLoad::new(spectrum);
+            let mut plan = JamPlan::none();
+            for payload in &own_tx {
+                load.push(c, payload.clone());
+            }
+            plan.set(c, own_directive.clone());
+            // Every *other* channel gets fresh random traffic and jamming.
+            for other in spectrum.channels().filter(|&ch| ch != c) {
+                for i in 0..gen.gen_range(0usize..4) {
+                    load.push(other, Payload::Garbage(0xFFFF + i as u64));
+                }
+                plan.set(other, random_directive(gen, 16, 5));
+            }
+            (load, plan)
+        };
+
+        let (load_a, plan_a) = build(&mut gen);
+        let (load_b, plan_b) = build(&mut gen);
+        let heard_a = resolve_for_listener_on(listener, c, &load_a, &plan_a);
+        let heard_b = resolve_for_listener_on(listener, c, &load_b, &plan_b);
+        assert_eq!(
+            heard_a, heard_b,
+            "reception on {c} changed when only other channels changed"
+        );
+        // And it equals the single-channel resolution of channel c alone.
+        assert_eq!(
+            heard_a,
+            pre_refactor_resolve(listener, &own_tx, &own_directive)
+        );
     }
 }
 

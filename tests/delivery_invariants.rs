@@ -37,6 +37,12 @@ fn every_strategy_with_finite_budget_lets_the_broadcast_through() {
     let n = 32u64;
     let budget = 1_500u64;
     for spec in StrategySpec::full_roster() {
+        if spec.requires_channels() {
+            // Channel-aware strategies cannot target single-channel
+            // ε-BROADCAST; their delivery invariants are covered by the
+            // hopping-protocol tests and E11.
+            continue;
+        }
         let params = if spec == StrategySpec::Reactive {
             // §4.1: reactive adversaries are only covered with decoys.
             Params::builder(n)

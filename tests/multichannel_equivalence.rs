@@ -1,0 +1,297 @@
+//! The `C = 1` equivalence guarantee, pinned against pre-refactor
+//! fingerprints.
+//!
+//! Every expected value in this file was captured by running the *exact
+//! same seeded scenarios on the engine as it existed before the
+//! multi-channel refactor* (single hard-coded channel, flat transmission
+//! list, channel-less ledger). The refactored stack must reproduce them
+//! byte-for-byte with `channels(1)` — multi-channel support is a strict
+//! generalisation, not a behaviour change.
+//!
+//! If one of these assertions ever fails, the single-channel model has
+//! drifted: that is a correctness regression, not a baseline to refresh.
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::Params;
+use evildoers::radio::CostBreakdown;
+use evildoers::sim::{Engine, EpidemicSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome};
+
+/// One pre-refactor outcome fingerprint.
+struct Fingerprint {
+    slots: u64,
+    informed: u64,
+    alice: (u64, u64, u64),
+    nodes: (u64, u64, u64),
+    carol: (u64, u64, u64),
+    max_node: Option<u64>,
+    rounds: u32,
+}
+
+fn assert_fingerprint(label: &str, outcome: &ScenarioOutcome, expected: &Fingerprint) {
+    let cost = |(sends, listens, jams): (u64, u64, u64)| CostBreakdown {
+        sends,
+        listens,
+        jams,
+    };
+    assert_eq!(outcome.slots, expected.slots, "{label}: slots");
+    assert_eq!(
+        outcome.informed_nodes, expected.informed,
+        "{label}: informed"
+    );
+    assert_eq!(
+        outcome.alice_cost,
+        cost(expected.alice),
+        "{label}: alice cost"
+    );
+    assert_eq!(
+        outcome.node_total_cost,
+        cost(expected.nodes),
+        "{label}: node cost"
+    );
+    assert_eq!(
+        outcome.carol_cost,
+        cost(expected.carol),
+        "{label}: carol cost"
+    );
+    assert_eq!(
+        outcome.max_node_cost, expected.max_node,
+        "{label}: max node"
+    );
+    assert_eq!(outcome.rounds_entered, expected.rounds, "{label}: rounds");
+}
+
+fn params(n: u64) -> Params {
+    Params::builder(n).build().unwrap()
+}
+
+#[test]
+fn broadcast_exact_matches_pre_refactor_continuous() {
+    let outcome = Scenario::broadcast(params(48))
+        .channels(1)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(1_500)
+        .seed(42)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "continuous",
+        &outcome,
+        &Fingerprint {
+            slots: 6724,
+            informed: 48,
+            alice: (1446, 1047, 0),
+            nodes: (2222, 86900, 0),
+            carol: (0, 0, 1500),
+            max_node: Some(1882),
+            rounds: 8,
+        },
+    );
+    // The per-channel accounting reconciles with the pooled totals.
+    let stats = outcome.channel_stats.as_ref().unwrap();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].jammed_slots, 1500);
+    assert_eq!(stats[0].correct_sends, 1446 + 2222);
+    assert_eq!(stats[0].correct_listens, 1047 + 86900);
+}
+
+#[test]
+fn broadcast_exact_matches_pre_refactor_lagged_reactive() {
+    let outcome = Scenario::broadcast(params(48))
+        .channels(1)
+        .adversary(StrategySpec::LaggedReactive)
+        .carol_budget(800)
+        .seed(7)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "lagged",
+        &outcome,
+        &Fingerprint {
+            slots: 2377,
+            informed: 48,
+            alice: (762, 672, 0),
+            nodes: (3, 48, 0),
+            carol: (0, 0, 765),
+            max_node: Some(2),
+            rounds: 7,
+        },
+    );
+}
+
+#[test]
+fn broadcast_exact_matches_pre_refactor_n_uniform_extraction() {
+    let outcome = Scenario::broadcast(params(48))
+        .channels(1)
+        .adversary(StrategySpec::Extract(5))
+        .carol_budget(3_000)
+        .seed(11)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "extract",
+        &outcome,
+        &Fingerprint {
+            slots: 6724,
+            informed: 42,
+            alice: (1466, 1039, 0),
+            nodes: (1839, 129982, 0),
+            carol: (0, 0, 3000),
+            max_node: Some(3294),
+            rounds: 8,
+        },
+    );
+}
+
+#[test]
+fn broadcast_exact_matches_pre_refactor_spoofing() {
+    let outcome = Scenario::broadcast(params(48))
+        .channels(1)
+        .adversary(StrategySpec::Spoof(1.0))
+        .carol_budget(2_000)
+        .seed(13)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "spoof",
+        &outcome,
+        &Fingerprint {
+            slots: 19012,
+            informed: 48,
+            alice: (2396, 1476, 0),
+            nodes: (5, 48, 0),
+            carol: (2000, 0, 0),
+            max_node: Some(3),
+            rounds: 8,
+        },
+    );
+}
+
+#[test]
+fn broadcast_fast_matches_pre_refactor_random_jamming() {
+    let outcome = Scenario::broadcast(params(1 << 12))
+        .engine(Engine::Fast)
+        .channels(1)
+        .adversary(StrategySpec::Random(0.4))
+        .carol_budget(5_000)
+        .seed(21)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "fast-random",
+        &outcome,
+        &Fingerprint {
+            slots: 152073,
+            informed: 4096,
+            alice: (21513, 4154, 0),
+            nodes: (9, 57344, 0),
+            carol: (0, 0, 5000),
+            max_node: None,
+            rounds: 10,
+        },
+    );
+}
+
+#[test]
+fn naive_baseline_matches_pre_refactor_bursty_jamming() {
+    let outcome = Scenario::naive(NaiveSpec { n: 8, horizon: 400 })
+        .channels(1)
+        .adversary(StrategySpec::Bursty { burst: 16, gap: 16 })
+        .carol_budget(150)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "naive-bursty",
+        &outcome,
+        &Fingerprint {
+            slots: 401,
+            informed: 8,
+            alice: (400, 0, 0),
+            nodes: (0, 136, 0),
+            carol: (0, 0, 150),
+            max_node: Some(17),
+            rounds: 0,
+        },
+    );
+}
+
+#[test]
+fn epidemic_baseline_matches_pre_refactor_random_jamming() {
+    let outcome = Scenario::epidemic(EpidemicSpec::new(16, 3_000))
+        .channels(1)
+        .adversary(StrategySpec::Random(0.5))
+        .carol_budget(700)
+        .seed(3)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "epidemic-random",
+        &outcome,
+        &Fingerprint {
+            slots: 3001,
+            informed: 16,
+            alice: (1530, 0, 0),
+            nodes: (3006, 40, 0),
+            carol: (0, 0, 700),
+            max_node: Some(213),
+            rounds: 0,
+        },
+    );
+}
+
+#[test]
+fn ksy_matches_pre_refactor_continuous_jamming() {
+    let outcome = Scenario::ksy(KsySpec::default())
+        .channels(1)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(9_000)
+        .seed(2)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "ksy-continuous",
+        &outcome,
+        &Fingerprint {
+            slots: 10727,
+            informed: 1,
+            alice: (757, 0, 0),
+            nodes: (0, 574, 0),
+            carol: (0, 0, 9000),
+            max_node: Some(574),
+            rounds: 13,
+        },
+    );
+}
+
+#[test]
+fn batched_trials_match_pre_refactor_seed_derivation() {
+    let scenario = Scenario::broadcast(params(32))
+        .channels(1)
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(900)
+        .seed(99)
+        .build()
+        .unwrap();
+    let batch = scenario.run_batch(4);
+    assert_fingerprint(
+        "batch[3]",
+        &batch[3],
+        &Fingerprint {
+            slots: 2377,
+            informed: 32,
+            alice: (675, 627, 0),
+            nodes: (784, 24225, 0),
+            carol: (0, 0, 900),
+            max_node: Some(794),
+            rounds: 7,
+        },
+    );
+}

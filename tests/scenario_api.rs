@@ -5,7 +5,7 @@
 use evildoers::adversary::StrategySpec;
 use evildoers::core::Params;
 use evildoers::sim::{
-    Engine, EpidemicSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioError,
+    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioError,
 };
 
 fn params(n: u64) -> Params {
@@ -42,15 +42,29 @@ fn every_strategy_constructs_slot_and_phase_adversaries_where_defined() {
 #[test]
 fn every_strategy_runs_through_the_scenario_builder_on_its_engines() {
     for spec in StrategySpec::full_roster() {
-        // Exact engine hosts everything.
-        let o = Scenario::broadcast(params(16))
-            .adversary(spec)
-            .carol_budget(400)
-            .seed(2)
-            .build()
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
-            .run();
-        assert!(o.slots > 0, "{}", spec.name());
+        // Channel-aware strategies need a channel-capable protocol; the
+        // exact engine hosts them there (multi-channel spectrum).
+        if spec.requires_channels() {
+            let o = Scenario::hopping(HoppingSpec::new(16, 1_000))
+                .channels(4)
+                .adversary(spec)
+                .carol_budget(400)
+                .seed(2)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
+                .run();
+            assert!(o.slots > 0, "{}", spec.name());
+        } else {
+            // Exact engine hosts every single-channel strategy.
+            let o = Scenario::broadcast(params(16))
+                .adversary(spec)
+                .carol_budget(400)
+                .seed(2)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()))
+                .run();
+            assert!(o.slots > 0, "{}", spec.name());
+        }
 
         // Fast engine hosts exactly the phase-capable ones.
         let fast = Scenario::broadcast(params(4096))
@@ -66,7 +80,11 @@ fn every_strategy_runs_through_the_scenario_builder_on_its_engines() {
             }
             Err(err) => {
                 assert!(!spec.supports_phase(), "{}: {err}", spec.name());
-                assert!(matches!(err, ScenarioError::SlotOnlyStrategy { .. }));
+                assert!(matches!(
+                    err,
+                    ScenarioError::SlotOnlyStrategy { .. }
+                        | ScenarioError::ChannelStrategyUnsupported { .. }
+                ));
             }
         }
     }
