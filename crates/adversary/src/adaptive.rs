@@ -1,0 +1,363 @@
+//! The adaptive multi-channel jammer — the strongest adversary class of
+//! the Chen–Zheng 2020 model.
+//!
+//! "Broadcasting Competitively against Adaptive Adversary in Multi-channel
+//! Radio Networks" (OPODIS 2020) strengthens the oblivious multi-channel
+//! jammers: its adversary watches where correct traffic actually lands and
+//! *reallocates* its per-slot jamming split toward the busy channels. The
+//! oblivious strategies shipped so far ignore that information —
+//! [`SplitJammer`](crate::SplitJammer) blankets everything,
+//! [`SweepJammer`](crate::SweepJammer) rotates blindly, and
+//! [`ChannelLaggedJammer`](crate::ChannelLaggedJammer) reacts to exactly
+//! one slot of history. [`AdaptiveJammer`] is the reproduction of the 2020
+//! adversary: it maintains per-channel traffic estimates from the full
+//! [`SlotObservation`] history and greedily concentrates its budget on the
+//! hottest channels.
+//!
+//! # Decision rule
+//!
+//! Per-channel state, fed exclusively by [`Adversary::observe`] (prior
+//! slots only — no same-slot clairvoyance):
+//!
+//! * a **windowed activity gate**: the channel is a candidate target iff a
+//!   correct device transmitted on it within the last `window` slots;
+//! * an **EMA heat score** with smoothing factor `reactivity`, updated
+//!   every slot from the observed correct sends *plus* clean deliveries on
+//!   the channel (a delivery is a rendezvous the jam failed to block — the
+//!   strongest evidence a channel is worth contesting);
+//! * the **observed traffic width**: how many channels carried correct
+//!   traffic in the immediately preceding slot.
+//!
+//! Each slot the jammer spends at the observed traffic rate — as many jam
+//! units as the traffic width, budget permitting — but *reallocates*
+//! them: the units land on the hottest windowed candidates (heat
+//! descending, channel index as the deterministic tie-break), not
+//! necessarily on the channels that were just active. That is the
+//! Chen–Zheng adaptive move: same pacing as a lagged detector, placement
+//! steered by the traffic estimate.
+//!
+//! # Degeneracy guarantees
+//!
+//! * At `C = 1` the traffic width is 0 or 1 and ranking is vacuous, so
+//!   the jammer is **slot-for-slot identical** to
+//!   [`LaggedJammer`](crate::LaggedJammer) for every `window` and
+//!   `reactivity` — pinned by fingerprint tests.
+//! * It diverges from [`ChannelLaggedJammer`](crate::ChannelLaggedJammer)
+//!   exactly when heat and recency disagree: a channel that carried heavy
+//!   traffic two slots ago outranks one that carried a stray frame last
+//!   slot, so the adaptive jammer keeps contesting the hot channel where
+//!   the lagged jammer blindly follows the latest blip.
+//!
+//! Like the whole channel-aware family this strategy is slot-only: the
+//! phase-level simulator has no per-channel traffic to adapt to, so
+//! `StrategySpec::Adaptive` has no phase model and `rcb_sim::Scenario`
+//! rejects it on the fast engine with a typed error.
+
+use std::collections::VecDeque;
+
+use rcb_radio::{
+    Adversary, AdversaryCtx, AdversaryMove, ChannelId, JamDirective, JamPlan, Slot,
+    SlotObservation, Spectrum,
+};
+
+/// The adaptive multi-channel jammer (Chen & Zheng 2020): tracks observed
+/// per-channel traffic and greedily reallocates its jamming split toward
+/// the hottest channels.
+///
+/// Decision rule, per slot: spend as many jam units as channels carried
+/// correct traffic in the previous slot (budget permitting), placed on
+/// the channels with traffic within the last `window` slots, ranked by an
+/// EMA heat score with smoothing `reactivity` (observed sends + clean
+/// deliveries). At `C = 1` this is slot-for-slot identical to
+/// [`LaggedJammer`](crate::LaggedJammer) for every `window` and
+/// `reactivity`; at `C > 1` it diverges from
+/// [`ChannelLaggedJammer`](crate::ChannelLaggedJammer) whenever heat and
+/// recency disagree or the budget forces a choice.
+#[derive(Debug, Clone)]
+pub struct AdaptiveJammer {
+    spectrum: Spectrum,
+    window: u32,
+    reactivity: f64,
+    /// EMA of per-slot traffic evidence (sends + deliveries) per channel.
+    heat: Vec<f64>,
+    /// How many of the windowed slots saw correct traffic per channel.
+    active_in_window: Vec<u32>,
+    /// The channels with correct traffic, per windowed slot (newest last).
+    history: VecDeque<Vec<ChannelId>>,
+    /// Channels that carried correct traffic in the previous slot — the
+    /// observed traffic width that paces this slot's spend.
+    prev_width: usize,
+    /// Plan-time scratch: candidate channels, reused across slots.
+    candidates: Vec<ChannelId>,
+    /// Observe-time scratch: the buffer recycled from the oldest expired
+    /// history entry, so steady-state observation allocates nothing.
+    spare: Vec<ChannelId>,
+}
+
+impl AdaptiveJammer {
+    /// Creates an adaptive jammer over `spectrum`.
+    ///
+    /// `window` is the activity-gate horizon in slots; `reactivity` is the
+    /// EMA smoothing factor (1.0 = only the latest slot counts, small
+    /// values average over a long history).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `reactivity` is not in `(0, 1]`
+    /// (`rcb_sim::Scenario` rejects these with a typed error instead).
+    #[must_use]
+    pub fn new(spectrum: Spectrum, window: u32, reactivity: f64) -> Self {
+        assert!(window > 0, "adaptive window must be at least one slot");
+        assert!(
+            reactivity > 0.0 && reactivity <= 1.0,
+            "adaptive reactivity must be in (0, 1]"
+        );
+        let c = spectrum.channel_count() as usize;
+        Self {
+            spectrum,
+            window,
+            reactivity,
+            heat: vec![0.0; c],
+            active_in_window: vec![0; c],
+            history: VecDeque::with_capacity(window as usize + 1),
+            prev_width: 0,
+            candidates: Vec::with_capacity(c),
+            spare: Vec::with_capacity(c),
+        }
+    }
+
+    /// The activity-gate horizon in slots.
+    #[must_use]
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The EMA smoothing factor.
+    #[must_use]
+    pub fn reactivity(&self) -> f64 {
+        self.reactivity
+    }
+
+    /// The current heat estimate for `channel` (0 until traffic is
+    /// observed).
+    #[must_use]
+    pub fn heat_on(&self, channel: ChannelId) -> f64 {
+        self.heat[channel.index() as usize]
+    }
+}
+
+impl Adversary for AdaptiveJammer {
+    fn plan(&mut self, _slot: Slot, ctx: &AdversaryCtx) -> AdversaryMove {
+        self.candidates.clear();
+        self.candidates.extend(
+            self.spectrum
+                .channels()
+                .filter(|c| self.active_in_window[c.index() as usize] > 0),
+        );
+        // Hottest first; channel index breaks ties deterministically. Heat
+        // values are finite (EMA of finite counts), so the comparison is
+        // total in practice.
+        self.candidates.sort_by(|a, b| {
+            let (ha, hb) = (self.heat[a.index() as usize], self.heat[b.index() as usize]);
+            hb.partial_cmp(&ha)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        // Spend at the observed traffic rate: one unit per channel that
+        // was active in the previous slot, placed on the hottest windowed
+        // candidates instead. (The candidate set contains the previous
+        // slot's active channels, so `prev_width` never exceeds it.)
+        let width = self.prev_width.min(self.candidates.len());
+        let affordable = match ctx.budget_remaining {
+            None => width,
+            Some(rem) => width.min(usize::try_from(rem).unwrap_or(usize::MAX)),
+        };
+        let mut jam = JamPlan::none();
+        for &channel in &self.candidates[..affordable] {
+            jam.set(channel, JamDirective::All);
+        }
+        AdversaryMove {
+            jam,
+            sends: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, _slot: Slot, observation: &SlotObservation<'_>) {
+        // EMA heat update: observed sends plus clean deliveries, per
+        // channel. Deliveries carry unit weight on top of their send — a
+        // rendezvous the jam missed is the strongest "hot channel" signal.
+        let mut active = std::mem::take(&mut self.spare);
+        active.clear();
+        for channel in self.spectrum.channels() {
+            let sends = observation.correct_sends_on(channel);
+            let evidence = (sends + observation.delivered_on(channel)) as f64;
+            let i = channel.index() as usize;
+            self.heat[i] += self.reactivity * (evidence - self.heat[i]);
+            if sends > 0 {
+                active.push(channel);
+            }
+        }
+        for &channel in &active {
+            self.active_in_window[channel.index() as usize] += 1;
+        }
+        self.prev_width = active.len();
+        self.history.push_back(active);
+        if self.history.len() > self.window as usize {
+            let expired = self.history.pop_front().expect("len > window >= 1");
+            for &channel in &expired {
+                self.active_in_window[channel.index() as usize] -= 1;
+            }
+            // Recycle the expired buffer: after the first `window` slots
+            // observe() allocates nothing — the engine calls it once per
+            // simulated slot.
+            self.spare = expired;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_radio::{ParticipantId, PayloadKind};
+
+    fn ctx() -> AdversaryCtx {
+        AdversaryCtx {
+            budget_remaining: None,
+            spent: 0,
+        }
+    }
+
+    fn sends_on(channels: &[u16]) -> Vec<(ParticipantId, ChannelId, PayloadKind)> {
+        channels
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    ParticipantId::new(i as u32),
+                    ChannelId::new(c),
+                    PayloadKind::Broadcast,
+                )
+            })
+            .collect()
+    }
+
+    fn observe_traffic(carol: &mut AdaptiveJammer, slot: u64, channels: &[u16]) {
+        let sends = sends_on(channels);
+        carol.observe(
+            Slot::new(slot),
+            &SlotObservation {
+                correct_sends: &sends,
+                listeners: &[],
+                jam_executed: false,
+                jammed_channels: &[],
+                delivered: &[],
+            },
+        );
+    }
+
+    #[test]
+    fn first_plan_is_idle_no_clairvoyance() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(4), 4, 0.5);
+        assert!(!carol.plan(Slot::ZERO, &ctx()).jam.is_active());
+    }
+
+    #[test]
+    fn jams_the_observed_channel_next_slot() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(4), 4, 0.5);
+        observe_traffic(&mut carol, 0, &[2]);
+        let mv = carol.plan(Slot::new(1), &ctx());
+        assert_eq!(mv.jam.active_channel_count(), 1);
+        assert!(mv.jam.jams(ChannelId::new(2), ParticipantId::new(0)));
+    }
+
+    #[test]
+    fn reallocates_toward_heat_not_just_recency() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(4), 4, 0.5);
+        // Channel 1 carried heavy traffic, then a stray frame appeared on
+        // channel 0. A lagged jammer would chase the blip on channel 0;
+        // the adaptive jammer keeps contesting the hotter channel 1.
+        observe_traffic(&mut carol, 0, &[1, 1, 1]);
+        observe_traffic(&mut carol, 1, &[0]);
+        let mv = carol.plan(Slot::new(2), &ctx());
+        assert_eq!(mv.jam.active_channel_count(), 1, "prev width paces spend");
+        assert!(mv.jam.jams(ChannelId::new(1), ParticipantId::new(0)));
+        assert!(!mv.jam.jams(ChannelId::new(0), ParticipantId::new(0)));
+    }
+
+    #[test]
+    fn quiet_previous_slot_means_no_spend() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(4), 3, 0.5);
+        observe_traffic(&mut carol, 0, &[1]);
+        observe_traffic(&mut carol, 1, &[]);
+        // The windowed gate still holds channel 1 as a candidate, but the
+        // observed traffic width is 0: the jammer paces its budget to the
+        // traffic and spends nothing after a quiet slot.
+        assert!(!carol.plan(Slot::new(2), &ctx()).jam.is_active());
+    }
+
+    #[test]
+    fn tight_budget_concentrates_on_the_hottest_channel() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(4), 4, 0.5);
+        // Channel 3 is twice as hot as channel 0.
+        observe_traffic(&mut carol, 0, &[3, 3, 0]);
+        observe_traffic(&mut carol, 1, &[3, 3, 0]);
+        let tight = AdversaryCtx {
+            budget_remaining: Some(1),
+            spent: 0,
+        };
+        let mv = carol.plan(Slot::new(2), &tight);
+        assert_eq!(mv.jam.active_channel_count(), 1);
+        assert!(
+            mv.jam.jams(ChannelId::new(3), ParticipantId::new(0)),
+            "the single affordable unit goes to the hottest channel"
+        );
+    }
+
+    #[test]
+    fn deliveries_raise_heat_beyond_sends_alone() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(2), 4, 1.0);
+        // One send on each channel, but channel 1's send also delivered.
+        let sends = sends_on(&[0, 1]);
+        carol.observe(
+            Slot::ZERO,
+            &SlotObservation {
+                correct_sends: &sends,
+                listeners: &[],
+                jam_executed: false,
+                jammed_channels: &[],
+                delivered: &[(ParticipantId::new(7), ChannelId::new(1))],
+            },
+        );
+        assert!(carol.heat_on(ChannelId::new(1)) > carol.heat_on(ChannelId::new(0)));
+        let tight = AdversaryCtx {
+            budget_remaining: Some(1),
+            spent: 0,
+        };
+        let mv = carol.plan(Slot::new(1), &tight);
+        assert!(mv.jam.jams(ChannelId::new(1), ParticipantId::new(0)));
+        assert!(!mv.jam.jams(ChannelId::new(0), ParticipantId::new(0)));
+    }
+
+    #[test]
+    fn broke_jammer_plans_nothing() {
+        let mut carol = AdaptiveJammer::new(Spectrum::new(2), 2, 0.5);
+        observe_traffic(&mut carol, 0, &[0, 1]);
+        let broke = AdversaryCtx {
+            budget_remaining: Some(0),
+            spent: 99,
+        };
+        assert!(!carol.plan(Slot::new(1), &broke).jam.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive window must be at least one slot")]
+    fn rejects_zero_window() {
+        let _ = AdaptiveJammer::new(Spectrum::new(2), 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive reactivity must be in (0, 1]")]
+    fn rejects_out_of_range_reactivity() {
+        let _ = AdaptiveJammer::new(Spectrum::new(2), 4, 1.5);
+    }
+}

@@ -65,6 +65,7 @@ mod tests {
             listeners: &[],
             jam_executed: false,
             jammed_channels: &[],
+            delivered: &[],
         }
     }
 

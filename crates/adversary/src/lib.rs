@@ -21,6 +21,7 @@
 //! | [`SplitJammer`] | Chen–Zheng multi-channel model | blanket every channel, splitting the budget (channel-aware) |
 //! | [`SweepJammer`] | Chen–Zheng multi-channel model | jam one channel at a time, sweeping the spectrum (channel-aware) |
 //! | [`ChannelLaggedJammer`] | multi-channel lagged CCA | jam last slot's active channels (channel-aware) |
+//! | [`AdaptiveJammer`] | Chen–Zheng 2020 adaptive adversary | track per-channel traffic estimates, greedily jam the hottest channels (channel-aware) |
 //!
 //! Every strategy is deterministic given its seed; the analysis harness
 //! constructs them from a serialisable [`StrategySpec`]. Strategies whose
@@ -35,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod bursty;
 mod continuous;
 mod lagged;
@@ -46,6 +48,7 @@ mod reactive;
 mod spec;
 mod spoofer;
 
+pub use adaptive::AdaptiveJammer;
 pub use bursty::BurstyJammer;
 pub use continuous::ContinuousJammer;
 pub use lagged::LaggedJammer;

@@ -201,6 +201,7 @@ mod tests {
                 listeners: &[],
                 jam_executed: false,
                 jammed_channels: &[],
+                delivered: &[],
             },
         );
         let mv = carol.plan(Slot::new(1), &ctx());
@@ -216,6 +217,7 @@ mod tests {
                 listeners: &[],
                 jam_executed: true,
                 jammed_channels: &[ChannelId::new(0), ChannelId::new(2)],
+                delivered: &[],
             },
         );
         assert!(!carol.plan(Slot::new(2), &ctx()).jam.is_active());
@@ -236,6 +238,7 @@ mod tests {
                 listeners: &[],
                 jam_executed: false,
                 jammed_channels: &[],
+                delivered: &[],
             },
         );
         let tight = AdversaryCtx {

@@ -7,9 +7,9 @@ use rcb_core::{Params, RoundSchedule};
 use rcb_radio::{Adversary, Spectrum};
 
 use crate::{
-    BurstyJammer, ChannelLaggedJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer,
-    NackSpoofer, PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary,
-    SilentPhaseAdversary, SplitJammer, SweepJammer,
+    AdaptiveJammer, BurstyJammer, ChannelLaggedJammer, ContinuousJammer, EpsilonExtractor,
+    LaggedJammer, NackSpoofer, PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer,
+    SilentAdversary, SilentPhaseAdversary, SplitJammer, SweepJammer,
 };
 
 /// A named, parameterised adversary strategy.
@@ -71,6 +71,17 @@ pub enum StrategySpec {
     /// Multi-channel lagged reactive: jam (next slot) every channel that
     /// carried correct traffic. Channel-aware.
     ChannelLagged,
+    /// Chen–Zheng 2020 adaptive adversary: maintain per-channel traffic
+    /// estimates from observed history and greedily reallocate the jam
+    /// split toward the hottest channels. Channel-aware.
+    Adaptive {
+        /// Activity-gate horizon: a channel is a candidate target iff it
+        /// carried correct traffic within this many recent slots (≥ 1).
+        window: u32,
+        /// EMA smoothing factor for the per-channel heat score, in
+        /// `(0, 1]` (1.0 = only the latest slot counts).
+        reactivity: f64,
+    },
 }
 
 impl StrategySpec {
@@ -92,6 +103,9 @@ impl StrategySpec {
             StrategySpec::SplitUniform => "split-uniform".into(),
             StrategySpec::ChannelSweep { dwell } => format!("channel-sweep(dwell={dwell})"),
             StrategySpec::ChannelLagged => "channel-lagged".into(),
+            StrategySpec::Adaptive { window, reactivity } => {
+                format!("adaptive(w={window},r={reactivity})")
+            }
         }
     }
 
@@ -122,6 +136,7 @@ impl StrategySpec {
                 | StrategySpec::SplitUniform
                 | StrategySpec::ChannelSweep { .. }
                 | StrategySpec::ChannelLagged
+                | StrategySpec::Adaptive { .. }
         )
     }
 
@@ -136,6 +151,7 @@ impl StrategySpec {
             StrategySpec::SplitUniform
                 | StrategySpec::ChannelSweep { .. }
                 | StrategySpec::ChannelLagged
+                | StrategySpec::Adaptive { .. }
         )
     }
 
@@ -182,6 +198,9 @@ impl StrategySpec {
             StrategySpec::SplitUniform => Box::new(SplitJammer::new(spectrum)),
             StrategySpec::ChannelSweep { dwell } => Box::new(SweepJammer::new(spectrum, dwell)),
             StrategySpec::ChannelLagged => Box::new(ChannelLaggedJammer::new()),
+            StrategySpec::Adaptive { window, reactivity } => {
+                Box::new(AdaptiveJammer::new(spectrum, window, reactivity))
+            }
         }
     }
 
@@ -213,6 +232,9 @@ impl StrategySpec {
                 Some(Box::new(SweepJammer::new(spectrum, dwell)))
             }
             StrategySpec::ChannelLagged => Some(Box::new(ChannelLaggedJammer::new())),
+            StrategySpec::Adaptive { window, reactivity } => {
+                Some(Box::new(AdaptiveJammer::new(spectrum, window, reactivity)))
+            }
             _ => None,
         }
     }
@@ -247,7 +269,8 @@ impl StrategySpec {
             StrategySpec::LaggedReactive
             | StrategySpec::SplitUniform
             | StrategySpec::ChannelSweep { .. }
-            | StrategySpec::ChannelLagged => return None,
+            | StrategySpec::ChannelLagged
+            | StrategySpec::Adaptive { .. } => return None,
         })
     }
 
@@ -287,6 +310,10 @@ impl StrategySpec {
             StrategySpec::SplitUniform,
             StrategySpec::ChannelSweep { dwell: 8 },
             StrategySpec::ChannelLagged,
+            StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            },
         ]
     }
 }

@@ -155,6 +155,9 @@ pub fn run(scale: Scale) -> ExperimentReport {
 mod tests {
     use super::*;
 
+    // Part of the slow tier: a full (small-scale) channel sweep on the
+    // exact engine. CI's fast lane skips it with `--no-default-features`.
+    #[cfg(feature = "slow-tests")]
     #[test]
     fn smoke_scale_shows_cost_improving_with_channels() {
         let report = run(Scale::Smoke);

@@ -15,6 +15,7 @@ use crate::Table;
 
 pub mod e10_k_sweep;
 pub mod e11_multichannel;
+pub mod e12_adaptive;
 pub mod e1_cost_scaling;
 pub mod e2_delivery;
 pub mod e3_latency;

@@ -12,7 +12,7 @@ use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{BroadcastOutcome, EngineKind};
 use rcb_radio::{
     Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
-    Reception, Slot,
+    Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -29,12 +29,15 @@ pub struct EpidemicConfig {
     pub horizon: u64,
     /// Carol's pooled budget.
     pub carol_budget: Budget,
+    /// Retain at most this many slot records in the report's trace
+    /// (0 disables tracing).
+    pub trace_capacity: usize,
     /// Master seed.
     pub seed: u64,
 }
 
 impl EpidemicConfig {
-    /// A reasonable default configuration.
+    /// A reasonable default configuration (no tracing).
     #[must_use]
     pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
         Self {
@@ -43,6 +46,7 @@ impl EpidemicConfig {
             relay_rate: 1.0,
             horizon,
             carol_budget,
+            trace_capacity: 0,
             seed,
         }
     }
@@ -126,7 +130,10 @@ impl NodeProtocol for GossipNode {
     }
 }
 
-/// Runs epidemic gossip and reports a [`BroadcastOutcome`].
+/// Runs epidemic gossip and reports a [`BroadcastOutcome`] plus the raw
+/// engine report — whose [`trace`](RunReport::trace) is populated when
+/// [`EpidemicConfig::trace_capacity`] is nonzero, so blocked runs can be
+/// post-mortemed slot by slot.
 ///
 /// This is the execution engine behind `rcb_sim::Scenario::epidemic`;
 /// prefer the `Scenario` builder in application code.
@@ -139,7 +146,7 @@ impl NodeProtocol for GossipNode {
 pub fn execute_epidemic(
     config: &EpidemicConfig,
     adversary: &mut dyn Adversary,
-) -> BroadcastOutcome {
+) -> (BroadcastOutcome, RunReport) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -171,6 +178,7 @@ pub fn execute_epidemic(
     let budgets = vec![Budget::unlimited(); config.n as usize + 1];
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     });
     let report =
@@ -182,7 +190,7 @@ pub fn execute_epidemic(
         node_total.absorb(c);
     }
     let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
-    BroadcastOutcome {
+    let outcome = BroadcastOutcome {
         n: config.n,
         informed_nodes,
         uninformed_terminated: 0,
@@ -196,7 +204,8 @@ pub fn execute_epidemic(
         rounds_entered: 0,
         engine: EngineKind::Exact,
         node_costs: Some(node_costs),
-    }
+    };
+    (outcome, report)
 }
 
 #[cfg(test)]
@@ -208,7 +217,7 @@ mod tests {
     #[test]
     fn gossip_delivers_quickly_when_quiet() {
         let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
-        let outcome = execute_epidemic(&cfg, &mut SilentAdversary);
+        let (outcome, _) = execute_epidemic(&cfg, &mut SilentAdversary);
         assert_eq!(outcome.informed_nodes, 32);
         // Gossip never stops on its own (the run lasts to the horizon),
         // but informed nodes stop listening: per-node listen cost is far
@@ -221,7 +230,7 @@ mod tests {
     fn listener_cost_scales_with_jamming() {
         let t = 3_000u64;
         let cfg = EpidemicConfig::new(8, t + 500, Budget::limited(t), 2);
-        let outcome = execute_epidemic(&cfg, &mut ContinuousJammer);
+        let (outcome, _) = execute_epidemic(&cfg, &mut ContinuousJammer);
         assert_eq!(outcome.informed_nodes, 8);
         // Uninformed nodes listened with p=0.5 through all T jammed slots:
         // expected cost ≈ T/2 each — linear in T, unlike ε-BROADCAST.

@@ -4,7 +4,7 @@ use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{BroadcastOutcome, EngineKind};
 use rcb_radio::{
     Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
-    Reception, Slot,
+    Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -19,8 +19,25 @@ pub struct NaiveConfig {
     pub horizon: u64,
     /// Carol's pooled budget.
     pub carol_budget: Budget,
+    /// Retain at most this many slot records in the report's trace
+    /// (0 disables tracing).
+    pub trace_capacity: usize,
     /// Master seed.
     pub seed: u64,
+}
+
+impl NaiveConfig {
+    /// A run without tracing.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            carol_budget,
+            trace_capacity: 0,
+            seed,
+        }
+    }
 }
 
 /// Alice: transmits `m` in **every** slot until the horizon.
@@ -78,7 +95,10 @@ impl NodeProtocol for NaiveReceiver {
 }
 
 /// Runs the naive protocol and reports a [`BroadcastOutcome`] (with
-/// `rounds_entered = 0`; the naive protocol has no rounds).
+/// `rounds_entered = 0`; the naive protocol has no rounds) plus the raw
+/// engine report — whose [`trace`](RunReport::trace) is populated when
+/// [`NaiveConfig::trace_capacity`] is nonzero, so blocked runs can be
+/// post-mortemed slot by slot.
 ///
 /// This is the execution engine behind `rcb_sim::Scenario::naive`; prefer
 /// the `Scenario` builder in application code.
@@ -89,14 +109,17 @@ impl NodeProtocol for NaiveReceiver {
 /// use rcb_baselines::{execute_naive, NaiveConfig};
 /// use rcb_radio::{Budget, SilentAdversary};
 ///
-/// let outcome = execute_naive(
-///     &NaiveConfig { n: 8, horizon: 100, carol_budget: Budget::unlimited(), seed: 1 },
+/// let (outcome, _report) = execute_naive(
+///     &NaiveConfig::new(8, 100, Budget::unlimited(), 1),
 ///     &mut SilentAdversary,
 /// );
 /// assert_eq!(outcome.informed_nodes, 8); // first slot delivers to all
 /// ```
 #[must_use]
-pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> BroadcastOutcome {
+pub fn execute_naive(
+    config: &NaiveConfig,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
     let seeds = SeedTree::new(config.seed);
     let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
     let alice_key = authority.issue_key();
@@ -119,6 +142,7 @@ pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Bro
     let budgets = vec![Budget::unlimited(); config.n as usize + 1];
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     });
     let mut roster = roster;
@@ -131,7 +155,7 @@ pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Bro
         node_total.absorb(c);
     }
     let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
-    BroadcastOutcome {
+    let outcome = BroadcastOutcome {
         n: config.n,
         informed_nodes,
         uninformed_terminated: 0,
@@ -145,7 +169,8 @@ pub fn execute_naive(config: &NaiveConfig, adversary: &mut dyn Adversary) -> Bro
         rounds_entered: 0,
         engine: EngineKind::Exact,
         node_costs: Some(node_costs),
-    }
+    };
+    (outcome, report)
 }
 
 #[cfg(test)]
@@ -156,15 +181,11 @@ mod tests {
 
     #[test]
     fn instant_delivery_without_jamming() {
-        let outcome = execute_naive(
-            &NaiveConfig {
-                n: 16,
-                horizon: 50,
-                carol_budget: Budget::unlimited(),
-                seed: 1,
-            },
+        let (outcome, report) = execute_naive(
+            &NaiveConfig::new(16, 50, Budget::unlimited(), 1),
             &mut SilentAdversary,
         );
+        assert!(report.trace.is_empty(), "tracing is off by default");
         assert_eq!(outcome.informed_nodes, 16);
         // Every receiver paid exactly one listen.
         assert_eq!(outcome.node_total_cost.listens, 16);
@@ -175,13 +196,8 @@ mod tests {
         // The point of the baseline: per-node cost ≈ T, competitive ratio
         // ≈ 1 — "each node spends at least as much as the adversary".
         for (t, seed) in [(200u64, 2u64), (2_000, 3)] {
-            let outcome = execute_naive(
-                &NaiveConfig {
-                    n: 4,
-                    horizon: t + 50,
-                    carol_budget: Budget::limited(t),
-                    seed,
-                },
+            let (outcome, _) = execute_naive(
+                &NaiveConfig::new(4, t + 50, Budget::limited(t), seed),
                 &mut ContinuousJammer,
             );
             assert_eq!(outcome.carol_spend(), t);
@@ -196,13 +212,8 @@ mod tests {
 
     #[test]
     fn alice_pays_every_slot_until_horizon_or_everyone_done() {
-        let outcome = execute_naive(
-            &NaiveConfig {
-                n: 2,
-                horizon: 1_000,
-                carol_budget: Budget::limited(100),
-                seed: 4,
-            },
+        let (outcome, _) = execute_naive(
+            &NaiveConfig::new(2, 1_000, Budget::limited(100), 4),
             &mut ContinuousJammer,
         );
         // Delivery at slot 100 (first un-jammed slot); engine stops when

@@ -42,12 +42,16 @@ pub struct HoppingConfig {
     pub relay_rate: f64,
     /// Carol's pooled budget.
     pub carol_budget: Budget,
+    /// Retain at most this many slot records in the report's trace
+    /// (0 disables tracing).
+    pub trace_capacity: usize,
     /// Master seed.
     pub seed: u64,
 }
 
 impl HoppingConfig {
-    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`.
+    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`,
+    /// no tracing.
     #[must_use]
     pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
         Self {
@@ -56,6 +60,7 @@ impl HoppingConfig {
             listen_p: 0.5,
             relay_rate: 1.0,
             carol_budget,
+            trace_capacity: 0,
             seed,
         }
     }
@@ -216,6 +221,7 @@ pub fn execute_hopping(
     let budgets = vec![Budget::unlimited(); config.n as usize + 1];
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
         spectrum,
         ..EngineConfig::default()
     });

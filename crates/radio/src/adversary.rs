@@ -98,6 +98,14 @@ impl AdversaryMove {
 }
 
 /// What Carol learns about a slot after it resolves (full information).
+///
+/// This is the feedback loop the adaptive multi-channel adversary of
+/// Chen & Zheng 2020 assumes: after every slot — at any channel count —
+/// Carol legally consumes the complete prior-slot outcome, including
+/// which channels carried traffic, where her jam landed, and which
+/// listeners a clean frame actually reached. She still never sees the
+/// *current* slot before committing (that is the separate reactive
+/// capability, [`Adversary::react`]).
 #[derive(Debug, Clone, Copy)]
 pub struct SlotObservation<'a> {
     /// Which correct participants transmitted, on which channel, and what
@@ -111,6 +119,31 @@ pub struct SlotObservation<'a> {
     /// The channels on which her jam executed (ascending, empty when
     /// nothing executed).
     pub jammed_channels: &'a [ChannelId],
+    /// Which listeners received a clean frame, and on which channel —
+    /// the per-channel jam *outcome*: a delivery on a channel she jammed
+    /// is impossible, so every entry marks a rendezvous she failed to
+    /// block.
+    pub delivered: &'a [(ParticipantId, ChannelId)],
+}
+
+impl SlotObservation<'_> {
+    /// Number of correct transmissions that aired on `channel`.
+    #[must_use]
+    pub fn correct_sends_on(&self, channel: ChannelId) -> usize {
+        self.correct_sends
+            .iter()
+            .filter(|&&(_, c, _)| c == channel)
+            .count()
+    }
+
+    /// Number of clean frame receptions on `channel`.
+    #[must_use]
+    pub fn delivered_on(&self, channel: ChannelId) -> usize {
+        self.delivered
+            .iter()
+            .filter(|&&(_, c)| c == channel)
+            .count()
+    }
 }
 
 /// Budget context handed to the adversary when planning.

@@ -240,6 +240,7 @@ impl ExactEngine {
         let mut listeners: Vec<(ParticipantId, ChannelId)> = Vec::new();
         let mut executed_jam = JamPlan::none();
         let mut jammed_channels: Vec<ChannelId> = Vec::new();
+        let mut delivered_listeners: Vec<(ParticipantId, ChannelId)> = Vec::new();
         let mut delivered_by_channel: Vec<u64> = vec![0; spectrum.channel_count() as usize];
 
         let mut jammed_slots = 0u64;
@@ -260,6 +261,7 @@ impl ExactEngine {
             listeners.clear();
             executed_jam.clear();
             jammed_channels.clear();
+            delivered_listeners.clear();
 
             // 1. Correct participants commit their actions; active actions
             //    are pinned to the channel the protocol reports.
@@ -354,6 +356,7 @@ impl ExactEngine {
                 if matches!(reception, Reception::Frame(_)) {
                     delivered += 1;
                     delivered_by_channel[channel.index() as usize] += 1;
+                    delivered_listeners.push((listener, channel));
                 }
                 participants[listener.index() as usize].on_reception(slot, reception);
             }
@@ -366,6 +369,7 @@ impl ExactEngine {
                     listeners: &listeners,
                     jam_executed,
                     jammed_channels: &jammed_channels,
+                    delivered: &delivered_listeners,
                 },
             );
 

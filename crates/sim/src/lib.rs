@@ -94,7 +94,7 @@ mod outcome;
 mod scenario;
 
 pub use batch::{run_trials, run_trials_scoped};
-pub use outcome::ScenarioOutcome;
+pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
     Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
     ScenarioError, ScenarioScratch,

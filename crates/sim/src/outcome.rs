@@ -80,6 +80,68 @@ impl ScenarioOutcome {
             .map(|stats| stats.iter().map(|s| s.jammed_slots).collect())
             .unwrap_or_default()
     }
+
+    /// Frames sent by correct participants on each channel (empty when
+    /// the engine did not track per-channel stats).
+    #[must_use]
+    pub fn correct_sends_by_channel(&self) -> Vec<u64> {
+        self.channel_stats
+            .as_ref()
+            .map(|stats| stats.iter().map(|s| s.correct_sends).collect())
+            .unwrap_or_default()
+    }
+
+    /// Pearson correlation between the per-channel correct traffic and
+    /// the per-channel jam spend — the whole-run tally of how closely the
+    /// jammer's budget split tracked where the traffic actually was.
+    ///
+    /// Returns `None` when per-channel stats are unavailable, the
+    /// spectrum has fewer than two channels, or either series is constant
+    /// (a perfectly uniform split has no defined correlation).
+    #[must_use]
+    pub fn jam_traffic_correlation(&self) -> Option<f64> {
+        let sends: Vec<f64> = self
+            .correct_sends_by_channel()
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let jams: Vec<f64> = self
+            .jam_slots_by_channel()
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        pearson(&sends, &jams)
+    }
+}
+
+/// Pearson correlation of two equal-length series; `None` on a length
+/// mismatch, below two points, or when either series is constant
+/// (a perfectly uniform series has no defined correlation).
+///
+/// Shared by [`ScenarioOutcome::jam_traffic_correlation`] and the
+/// experiment harness's traffic-tracking instrumentation, so the two
+/// reports cannot drift apart.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = |vs: &[f64]| vs.iter().sum::<f64>() / n;
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
 }
 
 #[cfg(test)]
@@ -147,5 +209,29 @@ mod tests {
         assert_eq!(o.jam_slots_by_channel(), vec![4, 1]);
         o.channel_stats = None;
         assert!(o.jam_slots_by_channel().is_empty());
+    }
+
+    #[test]
+    fn jam_traffic_correlation_tracks_alignment() {
+        let mut o = outcome();
+        let stats = |sends, jams| ChannelStats {
+            correct_sends: sends,
+            jammed_slots: jams,
+            ..ChannelStats::default()
+        };
+        // Jam split proportional to traffic: perfect correlation.
+        o.channel_stats = Some(vec![stats(10, 5), stats(20, 10), stats(40, 20)]);
+        assert!((o.jam_traffic_correlation().unwrap() - 1.0).abs() < 1e-12);
+        // Anti-aligned split: strongly negative.
+        o.channel_stats = Some(vec![stats(10, 20), stats(20, 10), stats(40, 5)]);
+        assert!(o.jam_traffic_correlation().unwrap() < 0.0);
+        // Constant jam series (uniform split): undefined.
+        o.channel_stats = Some(vec![stats(10, 7), stats(20, 7), stats(40, 7)]);
+        assert!(o.jam_traffic_correlation().is_none());
+        // Single channel or no stats: undefined.
+        o.channel_stats = Some(vec![stats(10, 7)]);
+        assert!(o.jam_traffic_correlation().is_none());
+        o.channel_stats = None;
+        assert!(o.jam_traffic_correlation().is_none());
     }
 }

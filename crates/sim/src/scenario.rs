@@ -197,7 +197,9 @@ pub enum ScenarioError {
         /// The offending strategy's stable name.
         strategy: String,
     },
-    /// Slot tracing was requested from an engine that records no slots.
+    /// Slot tracing was requested from an engine that records no slots
+    /// (the phase-level fast simulator, or the closed-form KSY
+    /// comparator).
     TraceUnsupported {
         /// The requested protocol.
         protocol: ProtocolKind,
@@ -491,14 +493,7 @@ impl Scenario {
             seed,
         };
         let (broadcast, report) = scratch.broadcast.run(params, adversary.as_mut(), &config);
-        let mut outcome = self.outcome(broadcast, seed, None);
-        outcome.stop_reason = Some(report.stop_reason);
-        outcome.participant_refusals = Some(report.participant_refusals);
-        outcome.channel_stats = Some(report.channel_stats);
-        if self.trace_capacity > 0 {
-            outcome.trace = Some(report.trace);
-        }
-        outcome
+        self.exact_outcome(broadcast, report, seed)
     }
 
     fn run_hopping(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
@@ -508,6 +503,7 @@ impl Scenario {
             listen_p: spec.listen_p,
             relay_rate: spec.relay_rate,
             carol_budget: self.carol_budget_as_budget(),
+            trace_capacity: self.trace_capacity,
             seed,
         };
         let mut adversary = self
@@ -515,10 +511,23 @@ impl Scenario {
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
         let (broadcast, report) = execute_hopping(&config, self.spectrum(), adversary.as_mut());
+        self.exact_outcome(broadcast, report, seed)
+    }
+
+    /// Folds an exact-engine report's extras into the outcome.
+    fn exact_outcome(
+        &self,
+        broadcast: BroadcastOutcome,
+        report: rcb_radio::RunReport,
+        seed: u64,
+    ) -> ScenarioOutcome {
         let mut outcome = self.outcome(broadcast, seed, None);
         outcome.stop_reason = Some(report.stop_reason);
         outcome.participant_refusals = Some(report.participant_refusals);
         outcome.channel_stats = Some(report.channel_stats);
+        if self.trace_capacity > 0 {
+            outcome.trace = Some(report.trace);
+        }
         outcome
     }
 
@@ -546,10 +555,12 @@ impl Scenario {
             n: spec.n,
             horizon: spec.horizon,
             carol_budget: self.carol_budget_as_budget(),
+            trace_capacity: self.trace_capacity,
             seed,
         };
-        let broadcast = execute_naive(&config, self.schedule_free_adversary(seed).as_mut());
-        self.outcome(broadcast, seed, None)
+        let (broadcast, report) =
+            execute_naive(&config, self.schedule_free_adversary(seed).as_mut());
+        self.exact_outcome(broadcast, report, seed)
     }
 
     fn run_epidemic(&self, spec: EpidemicSpec, seed: u64) -> ScenarioOutcome {
@@ -559,10 +570,12 @@ impl Scenario {
             relay_rate: spec.relay_rate,
             horizon: spec.horizon,
             carol_budget: self.carol_budget_as_budget(),
+            trace_capacity: self.trace_capacity,
             seed,
         };
-        let broadcast = execute_epidemic(&config, self.schedule_free_adversary(seed).as_mut());
-        self.outcome(broadcast, seed, None)
+        let (broadcast, report) =
+            execute_epidemic(&config, self.schedule_free_adversary(seed).as_mut());
+        self.exact_outcome(broadcast, report, seed)
     }
 
     fn run_ksy(&self, spec: KsySpec, seed: u64) -> ScenarioOutcome {
@@ -616,7 +629,7 @@ pub struct ScenarioBuilder {
     adversary: StrategySpec,
     carol_budget: Option<u64>,
     enforce_correct_budgets: bool,
-    trace_capacity: usize,
+    trace: Option<usize>,
     channels: u16,
     seed: u64,
 }
@@ -629,7 +642,7 @@ impl ScenarioBuilder {
             adversary: StrategySpec::Silent,
             carol_budget: None,
             enforce_correct_budgets: true,
-            trace_capacity: 0,
+            trace: None,
             channels: 1,
             seed: 0,
         }
@@ -671,10 +684,17 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Enables slot tracing with the given capacity (exact engine only).
+    /// Enables slot tracing with the given capacity.
+    ///
+    /// Every protocol that simulates slots on the exact engine records a
+    /// trace: ε-BROADCAST, the naive and epidemic baselines, and the
+    /// hopping workload. [`build`](Self::build) rejects tracing on the
+    /// phase-level fast simulator and on KSY (neither records slots) with
+    /// [`ScenarioError::TraceUnsupported`], and a zero capacity with
+    /// [`ScenarioError::InvalidConfig`].
     #[must_use]
     pub fn trace(mut self, capacity: usize) -> Self {
-        self.trace_capacity = capacity;
+        self.trace = Some(capacity);
         self
     }
 
@@ -750,6 +770,18 @@ impl ScenarioBuilder {
                 "channel-sweep dwell must be at least one slot".into(),
             ));
         }
+        if let StrategySpec::Adaptive { window, reactivity } = self.adversary {
+            if window == 0 {
+                return Err(ScenarioError::InvalidConfig(
+                    "adaptive window must be at least one slot".into(),
+                ));
+            }
+            if !(reactivity > 0.0 && reactivity <= 1.0 && reactivity.is_finite()) {
+                return Err(ScenarioError::InvalidConfig(format!(
+                    "adaptive reactivity must be in (0, 1], got {reactivity}"
+                )));
+            }
+        }
 
         // Protocol × adversary.
         match protocol {
@@ -778,17 +810,27 @@ impl ScenarioBuilder {
             },
         }
 
-        // Tracing exists only where a recording engine simulates slots
-        // one by one: ε-BROADCAST on the exact engine. (The baseline
-        // runners do not plumb trace capacity yet.)
-        if self.trace_capacity > 0
-            && (self.engine == Engine::Fast || protocol != ProtocolKind::Broadcast)
-        {
-            return Err(ScenarioError::TraceUnsupported {
-                protocol,
-                engine: self.engine,
-            });
-        }
+        // Tracing exists wherever a recording engine simulates slots one
+        // by one: every protocol on the exact engine except the
+        // closed-form KSY comparator. The phase-level fast simulator
+        // records no slots.
+        let trace_capacity = match self.trace {
+            None => 0,
+            Some(0) => {
+                return Err(ScenarioError::InvalidConfig(
+                    "slot tracing needs a nonzero capacity".into(),
+                ));
+            }
+            Some(capacity) => {
+                if self.engine == Engine::Fast || protocol == ProtocolKind::Ksy {
+                    return Err(ScenarioError::TraceUnsupported {
+                        protocol,
+                        engine: self.engine,
+                    });
+                }
+                capacity
+            }
+        };
 
         // Protocol-spec value validation.
         let gossip_shape = match &self.protocol {
@@ -815,7 +857,7 @@ impl ScenarioBuilder {
             adversary: self.adversary,
             carol_budget: self.carol_budget,
             enforce_correct_budgets: self.enforce_correct_budgets,
-            trace_capacity: self.trace_capacity,
+            trace_capacity,
             channels: self.channels,
             seed: self.seed,
         })

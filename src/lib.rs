@@ -18,7 +18,7 @@
 //! | [`core`] | `rcb-core` | ε-BROADCAST (Figures 1–2, §4.1, §4.2) and the fast simulator |
 //! | [`adversary`] | `rcb-adversary` | Carol strategies (blockers, spoofers, reactive, n-uniform) |
 //! | [`baselines`] | `rcb-baselines` | naive, epidemic, and KSY-style comparators |
-//! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E11/X2 |
+//! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E12/X2 |
 //!
 //! ## Quick start
 //!

@@ -3,7 +3,9 @@
 
 use evildoers::adversary::StrategySpec;
 use evildoers::core::{Params, Variant};
-use evildoers::sim::{Engine, EpidemicSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome};
+use evildoers::sim::{
+    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome,
+};
 
 fn assert_identical(a: &ScenarioOutcome, b: &ScenarioOutcome, label: &str) {
     assert_eq!(a.seed, b.seed, "{label}");
@@ -99,6 +101,29 @@ fn every_protocol_engine_combination_is_deterministic() {
             Scenario::ksy(KsySpec::default())
                 .adversary(StrategySpec::Continuous)
                 .carol_budget(5_000)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hopping-c4/adaptive",
+            Scenario::hopping(HoppingSpec::new(16, 2_000))
+                .channels(4)
+                .adversary(StrategySpec::Adaptive {
+                    window: 8,
+                    reactivity: 0.5,
+                })
+                .carol_budget(400)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hopping-c4/channel-lagged",
+            Scenario::hopping(HoppingSpec::new(16, 2_000))
+                .channels(4)
+                .adversary(StrategySpec::ChannelLagged)
+                .carol_budget(400)
                 .seed(11)
                 .build()
                 .unwrap(),

@@ -10,11 +10,24 @@
 //!
 //! If one of these assertions ever fails, the single-channel model has
 //! drifted: that is a correctness regression, not a baseline to refresh.
+//!
+//! A second family of fingerprints pins the *adversary* behaviour of the
+//! channel-aware strategies (`Adaptive`, `ChannelLagged`) at fixed seeds,
+//! captured when the adaptive adversary subsystem was introduced: future
+//! refactors of the adversary stack cannot silently change what these
+//! jammers do.
+//!
+//! This file is part of the `slow-tests` tier (on by default; CI's fast
+//! lane skips it with `--no-default-features`).
+
+#![cfg(feature = "slow-tests")]
 
 use evildoers::adversary::StrategySpec;
 use evildoers::core::Params;
 use evildoers::radio::CostBreakdown;
-use evildoers::sim::{Engine, EpidemicSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome};
+use evildoers::sim::{
+    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome,
+};
 
 /// One pre-refactor outcome fingerprint.
 struct Fingerprint {
@@ -269,6 +282,99 @@ fn ksy_matches_pre_refactor_continuous_jamming() {
             rounds: 13,
         },
     );
+}
+
+fn hopping_outcome(spec: StrategySpec, channels: u16, budget: u64, seed: u64) -> ScenarioOutcome {
+    Scenario::hopping(HoppingSpec::new(24, 6_000))
+        .channels(channels)
+        .adversary(spec)
+        .carol_budget(budget)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn hopping_c4_adaptive_matches_pinned_fingerprint() {
+    let outcome = hopping_outcome(
+        StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        },
+        4,
+        1_200,
+        77,
+    );
+    assert_fingerprint(
+        "hopping-adaptive-c4",
+        &outcome,
+        &Fingerprint {
+            slots: 6001,
+            informed: 24,
+            alice: (2944, 0, 0),
+            nodes: (5938, 162, 0),
+            carol: (0, 0, 1200),
+            max_node: Some(287),
+            rounds: 0,
+        },
+    );
+    assert_eq!(
+        outcome.jam_slots_by_channel(),
+        vec![285, 298, 321, 296],
+        "the adaptive jam split over channels is pinned"
+    );
+}
+
+#[test]
+fn hopping_c4_channel_lagged_matches_pinned_fingerprint() {
+    let outcome = hopping_outcome(StrategySpec::ChannelLagged, 4, 1_200, 77);
+    assert_fingerprint(
+        "hopping-lagged-c4",
+        &outcome,
+        &Fingerprint {
+            slots: 6001,
+            informed: 24,
+            alice: (2944, 0, 0),
+            nodes: (5934, 194, 0),
+            carol: (0, 0, 1200),
+            max_node: Some(287),
+            rounds: 0,
+        },
+    );
+    assert_eq!(outcome.jam_slots_by_channel(), vec![283, 307, 316, 294]);
+}
+
+#[test]
+fn hopping_c1_adaptive_is_byte_identical_to_lagged_jammer() {
+    // The degeneracy acceptance bound: at C = 1 with matched seeds the
+    // adaptive jammer *is* the single-channel LaggedJammer. Both runs
+    // must land on this pinned fingerprint — equal to each other and to
+    // the value captured when the adaptive subsystem was introduced.
+    let expected = Fingerprint {
+        slots: 6001,
+        informed: 24,
+        alice: (3002, 0, 0),
+        nodes: (5879, 98, 0),
+        carol: (0, 0, 600),
+        max_node: Some(278),
+        rounds: 0,
+    };
+    let adaptive = hopping_outcome(
+        StrategySpec::Adaptive {
+            window: 1,
+            reactivity: 1.0,
+        },
+        1,
+        600,
+        31,
+    );
+    let lagged = hopping_outcome(StrategySpec::LaggedReactive, 1, 600, 31);
+    assert_fingerprint("hopping-adaptive-c1", &adaptive, &expected);
+    assert_fingerprint("hopping-lagged-c1", &lagged, &expected);
+    assert_eq!(adaptive.broadcast.node_costs, lagged.broadcast.node_costs);
+    assert_eq!(adaptive.jam_slots_by_channel(), vec![600]);
+    assert_eq!(lagged.jam_slots_by_channel(), vec![600]);
 }
 
 #[test]

@@ -126,13 +126,73 @@ fn invalid_combinations_are_typed_errors_not_panics() {
         .unwrap_err();
     assert!(matches!(err, ScenarioError::BudgetRequired { .. }));
 
-    // Tracing off the exact broadcast path.
+    // Tracing off the slot-recording engines: the fast simulator and the
+    // closed-form KSY comparator record no slots.
     let err = Scenario::broadcast(params(4096))
         .engine(Engine::Fast)
         .trace(64)
         .build()
         .unwrap_err();
     assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+    let err = Scenario::ksy(KsySpec::default())
+        .adversary(StrategySpec::Continuous)
+        .carol_budget(1_000)
+        .trace(64)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+
+    // Tracing with zero capacity is a typed error, not a silent no-op.
+    let err = Scenario::naive(NaiveSpec { n: 8, horizon: 10 })
+        .trace(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+
+    // The adaptive adversary validates its parameters...
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .channels(4)
+        .adversary(StrategySpec::Adaptive {
+            window: 0,
+            reactivity: 0.5,
+        })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+    for reactivity in [0.0, -0.5, 1.5, f64::NAN] {
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .channels(4)
+            .adversary(StrategySpec::Adaptive {
+                window: 8,
+                reactivity,
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::InvalidConfig(_)),
+            "reactivity {reactivity} must be rejected, got {err}"
+        );
+    }
+
+    // ...and, like every channel-aware strategy, cannot target a protocol
+    // pinned to the single-channel model.
+    for builder in [
+        Scenario::broadcast(params(16)),
+        Scenario::naive(NaiveSpec { n: 8, horizon: 10 }),
+        Scenario::epidemic(EpidemicSpec::new(8, 10)),
+    ] {
+        let err = builder
+            .adversary(StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ChannelStrategyUnsupported { .. }),
+            "{err}"
+        );
+    }
 
     // Out-of-range protocol config: typed error where the old entry
     // point panicked.
@@ -167,6 +227,45 @@ fn outcome_carries_engine_specific_extras() {
         .run();
     assert!(o.stop_reason.is_none());
     assert!(o.participant_refusals.is_none());
+    assert!(o.trace.is_none());
+
+    // Baselines and hopping record traces too, now that trace capacity is
+    // threaded through their exact-engine runners.
+    let o = Scenario::naive(NaiveSpec { n: 8, horizon: 50 })
+        .trace(64)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    let trace = o.trace.as_ref().expect("naive records a trace on request");
+    assert!(!trace.is_empty());
+    assert!(o.stop_reason.is_some());
+    let o = Scenario::epidemic(EpidemicSpec::new(8, 200))
+        .trace(64)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.trace.is_some());
+    let o = Scenario::hopping(HoppingSpec::new(8, 200))
+        .channels(4)
+        .adversary(StrategySpec::Adaptive {
+            window: 4,
+            reactivity: 0.5,
+        })
+        .carol_budget(100)
+        .trace(64)
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.trace.is_some());
+    // Without an explicit trace() request there is no trace.
+    let o = Scenario::naive(NaiveSpec { n: 8, horizon: 50 })
+        .seed(5)
+        .build()
+        .unwrap()
+        .run();
     assert!(o.trace.is_none());
 
     // KSY: the raw two-player outcome rides along, consistently mapped.
