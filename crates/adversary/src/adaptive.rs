@@ -48,10 +48,13 @@
 //!   slot, so the adaptive jammer keeps contesting the hot channel where
 //!   the lagged jammer blindly follows the latest blip.
 //!
-//! Like the whole channel-aware family this strategy is slot-only: the
-//! phase-level simulator has no per-channel traffic to adapt to, so
-//! `StrategySpec::Adaptive` has no phase model and `rcb_sim::Scenario`
-//! rejects it on the fast engine with a typed error.
+//! Two granularities exist: this slot-level jammer drives the exact
+//! engine, and [`AdaptivePhaseJammer`](crate::AdaptivePhaseJammer) is
+//! its lowering onto the `fast_mc` phase-level hopping simulator
+//! (phase-aggregated observations, same heat/gate/pacing rule) — so
+//! `StrategySpec::Adaptive` runs on both engines. On the ε-BROADCAST
+//! fast simulator, which has no channel dimension, it remains a typed
+//! error.
 
 use std::collections::VecDeque;
 

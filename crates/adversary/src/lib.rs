@@ -24,14 +24,26 @@
 //! | [`AdaptiveJammer`] | Chen–Zheng 2020 adaptive adversary | track per-channel traffic estimates, greedily jam the hottest channels (channel-aware) |
 //!
 //! Every strategy is deterministic given its seed; the analysis harness
-//! constructs them from a serialisable [`StrategySpec`]. Strategies whose
-//! decisions are inherently slot-granular (currently [`LaggedJammer`] and
-//! the channel-aware family) have no phase-level counterpart —
-//! [`StrategySpec::phase_adversary`] returns `None` for them and
-//! `rcb_sim::Scenario` rejects the combination with a typed error.
-//! Channel-aware strategies additionally require a protocol hosting a
-//! multi-channel spectrum ([`StrategySpec::requires_channels`]), which
-//! `Scenario` also enforces at build time.
+//! constructs them from a serialisable [`StrategySpec`]. Three simulation
+//! granularities exist:
+//!
+//! * slot level ([`rcb_radio::Adversary`]) — every strategy;
+//! * ε-BROADCAST phase level ([`rcb_core::fast::PhaseAdversary`]) — the
+//!   single-channel strategies with a phase model
+//!   ([`StrategySpec::phase_adversary`] returns `None` for slot-only
+//!   ones like [`LaggedJammer`]);
+//! * multi-channel phase level ([`rcb_core::fast_mc::PhaseJammer`], the
+//!   `fast_mc` hopping simulator) — the channel-aware family plus
+//!   silent/continuous, via the lowerings in [`AdaptivePhaseJammer`] /
+//!   [`ChannelLaggedPhaseJammer`] and the direct `PhaseJammer` impls on
+//!   [`SplitJammer`] / [`SweepJammer`]
+//!   ([`StrategySpec::phase_jammer`] returns `None` for the rest).
+//!
+//! `rcb_sim::Scenario` rejects any strategy × engine combination without
+//! a model at the required granularity with a typed error. Channel-aware
+//! strategies additionally require a protocol hosting a multi-channel
+//! spectrum ([`StrategySpec::requires_channels`]), which `Scenario` also
+//! enforces at build time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +55,7 @@ mod lagged;
 mod multichannel;
 mod nuniform;
 mod phase_blocker;
+mod phase_mc;
 mod random;
 mod reactive;
 mod spec;
@@ -55,6 +68,7 @@ pub use lagged::LaggedJammer;
 pub use multichannel::{ChannelLaggedJammer, SplitJammer, SweepJammer};
 pub use nuniform::EpsilonExtractor;
 pub use phase_blocker::{PhaseBlocker, PhaseTarget};
+pub use phase_mc::{AdaptivePhaseJammer, ChannelLaggedPhaseJammer};
 pub use random::RandomJammer;
 pub use reactive::ReactiveJammer;
 pub use spec::StrategySpec;
@@ -63,6 +77,7 @@ pub use spoofer::NackSpoofer;
 // Re-export the passive baselines so downstream code has one import path
 // for "every adversary".
 pub use rcb_core::fast::SilentPhaseAdversary;
+pub use rcb_core::fast_mc::SilentPhaseJammer;
 pub use rcb_radio::SilentAdversary;
 
 #[cfg(test)]

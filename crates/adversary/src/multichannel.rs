@@ -14,9 +14,14 @@
 //!   [`LaggedJammer`](crate::LaggedJammer): jam (in the next slot) every
 //!   channel that carried correct traffic.
 //!
-//! All three are inherently slot- and channel-granular: they have no
-//! phase-level model, and `rcb_sim::Scenario` rejects them on protocols
-//! that cannot host a multi-channel spectrum.
+//! All three are defined at slot and channel granularity for the exact
+//! engine, and all three also run on the `fast_mc` phase-level hopping
+//! simulator: [`SplitJammer`] and [`SweepJammer`] implement
+//! `PhaseJammer` directly (their plans lower exactly to per-phase slot
+//! counts), while the lagged jammer has the statistical lowering
+//! [`ChannelLaggedPhaseJammer`](crate::ChannelLaggedPhaseJammer).
+//! `rcb_sim::Scenario` rejects them on protocols that cannot host a
+//! multi-channel spectrum.
 
 use rcb_radio::{
     Adversary, AdversaryCtx, AdversaryMove, ChannelId, JamDirective, JamPlan, Slot,
@@ -79,6 +84,12 @@ impl SweepJammer {
     pub fn target(&self, slot: Slot) -> ChannelId {
         let c = u64::from(self.spectrum.channel_count());
         ChannelId::new(((slot.index() / self.dwell) % c) as u16)
+    }
+
+    /// Slots spent on each channel before hopping to the next.
+    #[must_use]
+    pub fn dwell(&self) -> u64 {
+        self.dwell
     }
 }
 

@@ -3,13 +3,15 @@
 //! instances per trial.
 
 use rcb_core::fast::PhaseAdversary;
+use rcb_core::fast_mc::PhaseJammer;
 use rcb_core::{Params, RoundSchedule};
 use rcb_radio::{Adversary, Spectrum};
 
 use crate::{
-    AdaptiveJammer, BurstyJammer, ChannelLaggedJammer, ContinuousJammer, EpsilonExtractor,
-    LaggedJammer, NackSpoofer, PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer,
-    SilentAdversary, SilentPhaseAdversary, SplitJammer, SweepJammer,
+    AdaptiveJammer, AdaptivePhaseJammer, BurstyJammer, ChannelLaggedJammer,
+    ChannelLaggedPhaseJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer, NackSpoofer,
+    PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
+    SilentPhaseJammer, SplitJammer, SweepJammer,
 };
 
 /// A named, parameterised adversary strategy.
@@ -127,12 +129,37 @@ impl StrategySpec {
     }
 
     /// Whether a phase-level (fast simulator) model of this strategy
-    /// exists. See [`StrategySpec::phase_adversary`].
+    /// exists for the ε-BROADCAST schedule. See
+    /// [`StrategySpec::phase_adversary`].
     #[must_use]
     pub fn supports_phase(&self) -> bool {
         !matches!(
             self,
             StrategySpec::LaggedReactive
+                | StrategySpec::SplitUniform
+                | StrategySpec::ChannelSweep { .. }
+                | StrategySpec::ChannelLagged
+                | StrategySpec::Adaptive { .. }
+        )
+    }
+
+    /// Whether a phase-level **multi-channel** model of this strategy
+    /// exists — whether it can run on the `fast_mc` phase-level hopping
+    /// simulator. See [`StrategySpec::phase_jammer`].
+    ///
+    /// True for the whole channel-aware family (via the lowerings in
+    /// [`crate::AdaptivePhaseJammer`] / [`crate::ChannelLaggedPhaseJammer`]
+    /// and the direct impls on [`SplitJammer`] / [`SweepJammer`]) plus
+    /// `Silent` and `Continuous`. Strategies whose decisions are
+    /// inherently slot-granular with no channel dimension to aggregate
+    /// over (`Random`, `Bursty`, `LaggedReactive`) and the
+    /// schedule-bound family have no phase-mc model.
+    #[must_use]
+    pub fn supports_phase_mc(&self) -> bool {
+        matches!(
+            self,
+            StrategySpec::Silent
+                | StrategySpec::Continuous
                 | StrategySpec::SplitUniform
                 | StrategySpec::ChannelSweep { .. }
                 | StrategySpec::ChannelLagged
@@ -274,6 +301,25 @@ impl StrategySpec {
         })
     }
 
+    /// Builds the phase-level multi-channel jammer for the `fast_mc`
+    /// simulator over an explicit spectrum, or `None` when the strategy
+    /// has no phase-mc model (see [`StrategySpec::supports_phase_mc`]).
+    #[must_use]
+    pub fn phase_jammer(&self, spectrum: Spectrum, seed: u64) -> Option<Box<dyn PhaseJammer>> {
+        let _ = seed; // every current phase-mc lowering is deterministic
+        Some(match *self {
+            StrategySpec::Silent => Box::new(SilentPhaseJammer),
+            StrategySpec::Continuous => Box::new(ContinuousJammer),
+            StrategySpec::SplitUniform => Box::new(SplitJammer::new(spectrum)),
+            StrategySpec::ChannelSweep { dwell } => Box::new(SweepJammer::new(spectrum, dwell)),
+            StrategySpec::ChannelLagged => Box::new(ChannelLaggedPhaseJammer::new()),
+            StrategySpec::Adaptive { window, reactivity } => {
+                Box::new(AdaptivePhaseJammer::new(spectrum, window, reactivity))
+            }
+            _ => return None,
+        })
+    }
+
     /// Every phase-capable strategy with representative parameters, for
     /// the E2 delivery sweep (runs on the fast simulator).
     #[must_use]
@@ -382,6 +428,29 @@ mod tests {
                 "{}",
                 spec.name()
             );
+            assert_eq!(
+                spec.phase_jammer(Spectrum::new(4), 0).is_some(),
+                spec.supports_phase_mc(),
+                "{}",
+                spec.name()
+            );
         }
+    }
+
+    #[test]
+    fn every_channel_aware_strategy_has_a_phase_mc_model() {
+        for spec in StrategySpec::channel_roster() {
+            assert!(
+                spec.supports_phase_mc(),
+                "{} should run on the fast_mc engine",
+                spec.name()
+            );
+        }
+        // ...and silent/continuous ride along as the baselines.
+        assert!(StrategySpec::Silent.supports_phase_mc());
+        assert!(StrategySpec::Continuous.supports_phase_mc());
+        // The slot-only single-channel family stays slot-only.
+        assert!(!StrategySpec::LaggedReactive.supports_phase_mc());
+        assert!(!StrategySpec::Random(0.5).supports_phase_mc());
     }
 }

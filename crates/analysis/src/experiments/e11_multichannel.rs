@@ -10,6 +10,13 @@
 //! listeners' wasted energy — and with it the per-node cost — should
 //! shrink roughly like `1 / C`, while the per-channel jam accounting
 //! shows the split is uniform.
+//!
+//! A second table drills into the per-channel energy ledger
+//! (`ScenarioOutcome::channel_stats`) at the widest spectrum: the
+//! split-uniform jammer's budget share per channel against the sweep
+//! jammer's concentration at the same fixed `T` — the two extremes of
+//! the split/concentrate trade-off, and what each buys in suppressed
+//! deliveries per channel.
 
 use rcb_adversary::StrategySpec;
 use rcb_sim::{HoppingSpec, Scenario, ScenarioOutcome};
@@ -82,6 +89,44 @@ fn sweep_point(plan: &Plan, channels: u16, base_seed: u64) -> Point {
     }
 }
 
+/// Per-channel energy ledger of one strategy at the widest spectrum:
+/// trial-averaged jam slots and clean deliveries per channel, plus the
+/// induced node cost.
+struct EnergyLedger {
+    jam_by_channel: Vec<f64>,
+    delivered_by_channel: Vec<f64>,
+    mean_node_cost: f64,
+}
+
+fn energy_ledger(plan: &Plan, strategy: StrategySpec, channels: u16) -> EnergyLedger {
+    let outcomes = Scenario::hopping(HoppingSpec::new(plan.n, plan.horizon))
+        .channels(channels)
+        .adversary(strategy)
+        .carol_budget(plan.budget)
+        .seed(0xE11E ^ u64::from(channels))
+        .build()
+        .expect("hopping hosts every channel-aware strategy")
+        .run_batch(plan.trials);
+    let c = channels as usize;
+    let mut jam_by_channel = vec![0.0; c];
+    let mut delivered_by_channel = vec![0.0; c];
+    for o in &outcomes {
+        let stats = o.channel_stats.as_ref().expect("exact engine tallies");
+        for (ch, s) in stats.iter().enumerate() {
+            jam_by_channel[ch] += s.jammed_slots as f64;
+            delivered_by_channel[ch] += s.delivered as f64;
+        }
+    }
+    let trials = outcomes.len() as f64;
+    jam_by_channel.iter_mut().for_each(|v| *v /= trials);
+    delivered_by_channel.iter_mut().for_each(|v| *v /= trials);
+    EnergyLedger {
+        jam_by_channel,
+        delivered_by_channel,
+        mean_node_cost: outcomes.iter().map(|o| o.mean_node_cost()).sum::<f64>() / trials,
+    }
+}
+
 /// Runs E11 and renders the report.
 #[must_use]
 pub fn run(scale: Scale) -> ExperimentReport {
@@ -107,13 +152,62 @@ pub fn run(scale: Scale) -> ExperimentReport {
             format!("{}..{}", p.jam_split_min, p.jam_split_max),
         ]);
     }
-    let tables = vec![(
-        format!(
-            "random-hopping broadcast vs split-uniform jammer, n = {}, T = {}, {} trials",
-            plan.n, plan.budget, plan.trials
+    // Per-channel energy table: budget share under splitting vs sweep
+    // concentration at fixed T, on the widest spectrum.
+    let wide: u16 = 8;
+    let dwell: u64 = 8;
+    let split_ledger = energy_ledger(&plan, StrategySpec::SplitUniform, wide);
+    let sweep_ledger = energy_ledger(&plan, StrategySpec::ChannelSweep { dwell }, wide);
+    let share = |jam: &[f64], ch: usize| {
+        let total: f64 = jam.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            jam[ch] / total
+        }
+    };
+    let mut energy_table = Table::new(vec![
+        "channel",
+        "split jam slots (share)",
+        "split delivered",
+        "sweep jam slots (share)",
+        "sweep delivered",
+    ]);
+    for ch in 0..wide as usize {
+        energy_table.row(vec![
+            ch.to_string(),
+            format!(
+                "{} ({:.1}%)",
+                fmt_f(split_ledger.jam_by_channel[ch]),
+                100.0 * share(&split_ledger.jam_by_channel, ch)
+            ),
+            fmt_f(split_ledger.delivered_by_channel[ch]),
+            format!(
+                "{} ({:.1}%)",
+                fmt_f(sweep_ledger.jam_by_channel[ch]),
+                100.0 * share(&sweep_ledger.jam_by_channel, ch)
+            ),
+            fmt_f(sweep_ledger.delivered_by_channel[ch]),
+        ]);
+    }
+
+    let tables = vec![
+        (
+            format!(
+                "random-hopping broadcast vs split-uniform jammer, n = {}, T = {}, {} trials",
+                plan.n, plan.budget, plan.trials
+            ),
+            table,
         ),
-        table,
-    )];
+        (
+            format!(
+                "per-channel energy ledger at C = {wide}, fixed T = {}: uniform split vs \
+                 sweep (dwell {dwell}), {} trials",
+                plan.budget, plan.trials
+            ),
+            energy_table,
+        ),
+    ];
 
     let c1 = &points[0];
     let c8 = &points[3];
@@ -132,12 +226,45 @@ pub fn run(scale: Scale) -> ExperimentReport {
         if split_uniform { "yes" } else { "NO" }
     ));
 
+    // Energy-ledger findings: both strategies spend per-channel totals of
+    // ≈ T/C — the difference is temporal. The split's blanket is a
+    // T/C-slot full-spectrum outage (zero deliveries while it holds);
+    // the sweep stretches the same T over C× more wall-clock with 1/C
+    // instantaneous coverage, leaving C−1 channels open every slot.
+    let split_spend: f64 = split_ledger.jam_by_channel.iter().sum();
+    let sweep_spend: f64 = sweep_ledger.jam_by_channel.iter().sum();
+    let sweep_share_spread = sweep_ledger
+        .jam_by_channel
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v))
+        - sweep_ledger
+            .jam_by_channel
+            .iter()
+            .fold(f64::INFINITY, |m, &v| m.min(v));
+    findings.push(format!(
+        "energy ledger at C = 8, equal T: split and sweep both land ≈ T/C = {:.0} jam \
+         slots per channel (sweep per-channel spread {:.0} slots) — the split/concentrate \
+         trade-off is temporal, not budgetary: the blanket buys a {:.0}-slot full-spectrum \
+         outage, the sweep leaves 7 of 8 channels open every slot",
+        plan.budget as f64 / 8.0,
+        sweep_share_spread,
+        plan.budget as f64 / 8.0
+    ));
+    findings.push(format!(
+        "induced mean node cost at C = 8, equal T: {:.0} (split) vs {:.0} (sweep)",
+        split_ledger.mean_node_cost, sweep_ledger.mean_node_cost
+    ));
+
     let delivery_ok = points.iter().all(|p| p.informed_fraction > 0.95);
     let monotone = points.windows(2).all(|w| {
         // Costs should not grow with C (allow 5% measurement slack).
         w[1].mean_node_cost <= w[0].mean_node_cost * 1.05
     });
-    let pass = delivery_ok && split_uniform && monotone && cost_ratio < 0.5;
+    let energy_ok = split_spend > 0.0
+        && sweep_spend > 0.0
+        && (split_spend - plan.budget as f64).abs() < 1.0
+        && (sweep_spend - plan.budget as f64).abs() < 1.0;
+    let pass = delivery_ok && split_uniform && monotone && cost_ratio < 0.5 && energy_ok;
 
     ExperimentReport {
         id: "E11",

@@ -22,6 +22,12 @@
 //!   per-channel traffic and the current slot's per-channel jam
 //!   placement. Oblivious splitting shows ≈ 0; the adaptive jammer
 //!   tracks traffic strongly.
+//!
+//! A grid search over the adaptive family's `window × reactivity`
+//! parameter space (maximising induced node cost at the widest
+//! spectrum) then strengthens the claim from "this adaptive jammer
+//! stays within the envelope" toward "the **best** adaptive jammer of
+//! this family does".
 
 use rcb_adversary::StrategySpec;
 use rcb_core::{execute_hopping, HoppingConfig};
@@ -221,15 +227,53 @@ pub fn run(scale: Scale) -> ExperimentReport {
             points.push(p);
         }
     }
-    let tables = vec![(
-        format!(
-            "random-hopping broadcast vs adaptive / lagged / oblivious jammers, \
-             n = {}, T = {}, {} trials (chase corr: slot-level correlation between \
-             prior-slot traffic and jam placement, one instrumented run)",
-            plan.n, plan.budget, plan.trials
+    // Grid search over the adaptive family at the widest spectrum:
+    // which (window, reactivity) maximises the induced node cost?
+    let grid_c: u16 = 8;
+    let windows = [2u32, 8, 32];
+    let reactivities = [0.25f64, 0.5, 1.0];
+    let mut grid_table = Table::new(vec![
+        "window",
+        "reactivity",
+        "informed",
+        "mean node cost",
+        "chase corr",
+    ]);
+    let mut grid_points: Vec<(u32, f64, Point)> = Vec::new();
+    for &window in &windows {
+        for &reactivity in &reactivities {
+            let spec = StrategySpec::Adaptive { window, reactivity };
+            let p = sweep_point(&plan, spec, grid_c);
+            grid_table.row(vec![
+                window.to_string(),
+                format!("{reactivity}"),
+                fmt_f(p.informed_fraction),
+                fmt_f(p.mean_node_cost),
+                p.chase.map_or_else(|| "—".into(), fmt_f),
+            ]);
+            grid_points.push((window, reactivity, p));
+        }
+    }
+
+    let tables = vec![
+        (
+            format!(
+                "random-hopping broadcast vs adaptive / lagged / oblivious jammers, \
+                 n = {}, T = {}, {} trials (chase corr: slot-level correlation between \
+                 prior-slot traffic and jam placement, one instrumented run)",
+                plan.n, plan.budget, plan.trials
+            ),
+            table,
         ),
-        table,
-    )];
+        (
+            format!(
+                "adaptive-family grid search at C = {grid_c}, equal T = {}: induced node \
+                 cost across window × reactivity ({} trials per cell)",
+                plan.budget, plan.trials
+            ),
+            grid_table,
+        ),
+    ];
 
     let find = |s: StrategySpec, c: u16| {
         points
@@ -245,7 +289,18 @@ pub fn run(scale: Scale) -> ExperimentReport {
     let adapt_chase = adapt8.chase.unwrap_or(0.0);
     let split_chase = split8.chase.unwrap_or(0.0);
 
-    let findings = vec![
+    let (best_w, best_r, best) = grid_points
+        .iter()
+        .max_by(|a, b| {
+            a.2.mean_node_cost
+                .partial_cmp(&b.2.mean_node_cost)
+                .expect("costs are finite")
+        })
+        .map(|(w, r, p)| (*w, *r, p))
+        .expect("grid is nonempty");
+    let best_ratio_vs_split = best.mean_node_cost / split8.mean_node_cost.max(1.0);
+
+    let mut findings = vec![
         format!(
             "C=8, equal T = {}: mean node cost {:.0} under the adaptive jammer vs {:.0} \
              under the oblivious split — ratio {:.2}, within the 2× envelope the 2020 \
@@ -270,11 +325,30 @@ pub fn run(scale: Scale) -> ExperimentReport {
         ),
     ];
 
-    let delivery_ok = points.iter().all(|p| p.informed_fraction > 0.9);
-    let budgets_conserved = points.iter().all(|p| p.carol_spend <= plan.budget as f64);
+    findings.push(format!(
+        "grid search over window ∈ {{2, 8, 32}} × reactivity ∈ {{0.25, 0.5, 1.0}} at \
+         C=8: the cost-maximising member is (w={best_w}, r={best_r}) with mean node \
+         cost {:.0} — ratio {:.2} vs the oblivious split, so even the best adaptive \
+         jammer of this family stays within the 2× envelope",
+        best.mean_node_cost, best_ratio_vs_split
+    ));
+
+    let delivery_ok = points.iter().all(|p| p.informed_fraction > 0.9)
+        && grid_points
+            .iter()
+            .all(|(_, _, p)| p.informed_fraction > 0.9);
+    let budgets_conserved = points.iter().all(|p| p.carol_spend <= plan.budget as f64)
+        && grid_points
+            .iter()
+            .all(|(_, _, p)| p.carol_spend <= plan.budget as f64);
     let within_envelope = cost_ratio_vs_split <= 2.0;
+    let family_within_envelope = best_ratio_vs_split <= 2.0;
     let demonstrably_adaptive = adapt_chase > 0.3 && adapt_chase > split_chase + 0.2;
-    let pass = delivery_ok && budgets_conserved && within_envelope && demonstrably_adaptive;
+    let pass = delivery_ok
+        && budgets_conserved
+        && within_envelope
+        && family_within_envelope
+        && demonstrably_adaptive;
 
     ExperimentReport {
         id: "E12",
@@ -282,8 +356,10 @@ pub fn run(scale: Scale) -> ExperimentReport {
         claim: "Against random channel hopping, even an adaptive jammer that reallocates \
                 its split toward observed traffic gains at most a constant factor over \
                 oblivious uniform splitting: node cost at equal T stays within 2× of the \
-                SplitUniform baseline while the jam split demonstrably tracks traffic \
-                (adaptive-adversary model of Chen & Zheng 2020).",
+                SplitUniform baseline — for the roster member and for the cost-maximising \
+                point of a window × reactivity grid over the whole family — while the jam \
+                split demonstrably tracks traffic (adaptive-adversary model of \
+                Chen & Zheng 2020).",
         tables,
         findings,
         pass,

@@ -16,6 +16,7 @@ use crate::Table;
 pub mod e10_k_sweep;
 pub mod e11_multichannel;
 pub mod e12_adaptive;
+pub mod e13_fast_mc;
 pub mod e1_cost_scaling;
 pub mod e2_delivery;
 pub mod e3_latency;

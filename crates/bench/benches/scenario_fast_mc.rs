@@ -1,0 +1,52 @@
+//! `scenario_fast_mc` — the phase-level multi-channel engine against the
+//! exact slot engine at the largest overlapping scale.
+//!
+//! Four comparisons at `n = 2^12` (hopping vs the split-uniform jammer,
+//! equal budgets): `Exact` and `Fast` engines, each at `C ∈ {1, 8}`. The
+//! exact engine prices a trial at `O(n · horizon)` node-slots; the fast
+//! engine at `O(horizon / phase_len · C)` binomial draws — the acceptance
+//! bar for the fast_mc subsystem is a ≥ 10× per-trial speedup here
+//! (experiment E13 measures the same ratio and cross-validates the
+//! outcomes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcb_adversary::StrategySpec;
+use rcb_sim::{Engine, HoppingSpec, Scenario};
+
+const N: u64 = 1 << 12;
+const HORIZON: u64 = 2_000;
+const BUDGET: u64 = 1_500;
+const TRIALS: u32 = 4;
+
+fn scenario(engine: Engine, channels: u16) -> Scenario {
+    Scenario::hopping(HoppingSpec::new(N, HORIZON))
+        .engine(engine)
+        .channels(channels)
+        .adversary(StrategySpec::SplitUniform)
+        .carol_budget(BUDGET)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_fast_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_fast_mc");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(TRIALS)));
+
+    for channels in [1u16, 8] {
+        for (label, engine) in [("exact", Engine::Exact), ("fast", Engine::Fast)] {
+            let s = scenario(engine, channels);
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{label}/c{channels}/n{N}")),
+                |b| {
+                    b.iter(|| std::hint::black_box(s.run_batch(TRIALS)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_mc);
+criterion_main!(benches);

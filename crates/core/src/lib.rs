@@ -71,6 +71,7 @@
 mod alice;
 mod broadcast;
 pub mod fast;
+pub mod fast_mc;
 mod hopping;
 mod node;
 mod outcome;

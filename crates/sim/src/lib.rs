@@ -14,13 +14,43 @@
 //! | [`Scenario::naive`] (§1.1 strawman) | `Exact` | 1 | schedule-free single-channel strategies |
 //! | [`Scenario::epidemic`] (gossip) | `Exact` | 1 | schedule-free single-channel strategies |
 //! | [`Scenario::ksy`] (two-player \[23\]) | `Exact` | 1 | `Silent`, `Continuous` (budget required) |
-//! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact` | `C ≥ 1` via [`ScenarioBuilder::channels`] | schedule-free strategies, incl. the channel-aware family |
+//! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact`, `Fast` (the phase-level `fast_mc` spectrum simulator) | `C ≥ 1` via [`ScenarioBuilder::channels`] | `Exact`: schedule-free strategies incl. the channel-aware family; `Fast`: the channel-aware family plus `Silent`/`Continuous` |
 //!
 //! Invalid combinations are rejected at [`ScenarioBuilder::build`] with a
 //! typed [`ScenarioError`] — never a mid-run panic. That includes the
-//! spectrum rules: `channels(c > 1)` on a single-channel protocol, or a
+//! spectrum rules: `channels(c > 1)` on a single-channel protocol, a
 //! channel-aware strategy (`SplitUniform`, `ChannelSweep`,
-//! `ChannelLagged`) on a protocol that cannot host a spectrum.
+//! `ChannelLagged`, `Adaptive`) on a protocol that cannot host a
+//! spectrum, or a strategy without a phase-level model on either fast
+//! engine.
+//!
+//! ## Large-`n` multi-channel sweeps
+//!
+//! `channels(c)` composes with [`Engine::Fast`]: the hopping workload
+//! then runs on the phase-level multi-channel simulator
+//! (`rcb_core::fast_mc`), which advances whole phases
+//! ([`ScenarioBuilder::phase_len`] slots at a time, default
+//! [`DEFAULT_MC_PHASE_LEN`]) and draws per-channel rendezvous counts
+//! from binomial channel-coincidence approximations — `O(phases · C)`
+//! per run instead of `O(n · slots)`, which is what makes `n = 2^16`
+//! spectrum sweeps affordable (experiment E13 cross-validates the two
+//! engines and extends the E11/E12 curves to that scale).
+//!
+//! ```
+//! use rcb_sim::{Engine, HoppingSpec, Scenario, StrategySpec};
+//!
+//! let outcome = Scenario::hopping(HoppingSpec::new(1 << 16, 8_000))
+//!     .engine(Engine::Fast)
+//!     .channels(8)
+//!     .adversary(StrategySpec::Adaptive { window: 8, reactivity: 0.5 })
+//!     .carol_budget(4_000)
+//!     .build()?
+//!     .run();
+//! assert!(outcome.informed_fraction() > 0.9);
+//! // Per-channel tallies are populated by the fast engine too.
+//! assert_eq!(outcome.channel_stats.as_ref().map(Vec::len), Some(8));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! ## Multi-channel runs
 //!
@@ -97,7 +127,7 @@ pub use batch::{run_trials, run_trials_scoped};
 pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
     Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
-    ScenarioError, ScenarioScratch,
+    ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
 };
 
 // The strategy vocabulary is part of this crate's API surface.
@@ -415,12 +445,29 @@ mod tests {
 
     #[test]
     fn hopping_matrix_rules() {
-        // Fast engine cannot run it.
+        // The fast engine runs it — at phase granularity, with the
+        // per-channel tallies populated.
+        let o = Scenario::hopping(HoppingSpec::new(64, 2_000))
+            .engine(Engine::Fast)
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(400)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(o.carol_spend(), 400);
+        assert_eq!(o.jam_slots_by_channel(), vec![100, 100, 100, 100]);
+        // Slot-only strategies have no phase-mc model.
         let err = Scenario::hopping(HoppingSpec::new(8, 100))
             .engine(Engine::Fast)
+            .adversary(StrategySpec::Random(0.5))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ScenarioError::UnsupportedEngine { .. }));
+        assert!(
+            matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
+            "{err}"
+        );
         // Schedule-bound strategies make no sense against it.
         let err = Scenario::hopping(HoppingSpec::new(8, 100))
             .adversary(StrategySpec::Reactive)

@@ -42,8 +42,10 @@ pub struct ScenarioOutcome {
     /// engine only).
     pub participant_refusals: Option<Vec<u64>>,
     /// Per-channel activity/spend tallies, index-aligned with the
-    /// spectrum's channels (exact engine only; a single entry for
-    /// single-channel scenarios). This is where "making evildoers pay"
+    /// spectrum's channels (a single entry for single-channel
+    /// scenarios). Populated by every exact-engine protocol and by the
+    /// phase-level `fast_mc` hopping engine; absent on the ε-BROADCAST
+    /// fast simulator and KSY. This is where "making evildoers pay"
     /// accounting survives the multi-channel split: it shows how the
     /// jammer's budget divided across channels.
     pub channel_stats: Option<Vec<ChannelStats>>,

@@ -7,11 +7,21 @@ use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{execute_epidemic, execute_naive, EpidemicConfig, NaiveConfig};
 use rcb_core::fast::{run_fast, FastConfig};
+use rcb_core::fast_mc::{run_fast_mc, McConfig};
 use rcb_core::{
     execute_hopping, BroadcastOutcome, BroadcastScratch, EngineKind, HoppingConfig, Params,
     RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
+
+/// Default phase length (slots) of the `fast_mc` phase-level hopping
+/// engine; override with [`ScenarioBuilder::phase_len`]. Re-exported
+/// from `rcb_core::fast_mc` so the engine and the builder cannot
+/// diverge: short enough that the frozen-informed-set approximation
+/// tracks the exact engine (validated in experiment E13), long enough
+/// that a run costs `O(horizon / phase_len · C)` instead of
+/// `O(n · horizon)`.
+pub use rcb_core::fast_mc::DEFAULT_PHASE_LEN as DEFAULT_MC_PHASE_LEN;
 
 use crate::batch::run_trials_scoped;
 use crate::outcome::ScenarioOutcome;
@@ -19,8 +29,9 @@ use crate::outcome::ScenarioOutcome;
 /// Which simulation engine executes a scenario.
 ///
 /// Re-exported from `rcb_core`: [`Engine::Exact`] is the slot-by-slot
-/// ground truth, [`Engine::Fast`] the phase-level aggregated simulator
-/// (ε-BROADCAST only).
+/// ground truth; [`Engine::Fast`] selects the phase-level aggregated
+/// simulator — `rcb_core::fast` for ε-BROADCAST, `rcb_core::fast_mc`
+/// for the multi-channel hopping workload.
 pub use rcb_core::EngineKind as Engine;
 
 /// Which protocol a scenario runs.
@@ -167,8 +178,8 @@ impl ProtocolSpec {
 /// filter combinations instead of panicking mid-run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScenarioError {
-    /// The engine cannot run this protocol (the fast simulator models
-    /// ε-BROADCAST's phase structure only).
+    /// The engine cannot run this protocol (the fast simulators model
+    /// ε-BROADCAST's phase structure and the hopping workload only).
     UnsupportedEngine {
         /// The requested protocol.
         protocol: ProtocolKind,
@@ -312,6 +323,7 @@ pub struct Scenario {
     enforce_correct_budgets: bool,
     trace_capacity: usize,
     channels: u16,
+    mc_phase_len: u64,
     seed: u64,
 }
 
@@ -497,6 +509,13 @@ impl Scenario {
     }
 
     fn run_hopping(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+        match self.engine {
+            Engine::Exact => self.run_hopping_exact(spec, seed),
+            Engine::Fast => self.run_hopping_fast(spec, seed),
+        }
+    }
+
+    fn run_hopping_exact(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
         let config = HoppingConfig {
             n: spec.n,
             horizon: spec.horizon,
@@ -512,6 +531,30 @@ impl Scenario {
             .expect("validated at build: strategy is schedule-free");
         let (broadcast, report) = execute_hopping(&config, self.spectrum(), adversary.as_mut());
         self.exact_outcome(broadcast, report, seed)
+    }
+
+    /// The phase-level multi-channel engine (`rcb_core::fast_mc`):
+    /// phase-granularity aggregates instead of per-node slots, with
+    /// [`ScenarioOutcome::channel_stats`] populated from the engine's
+    /// per-channel tallies.
+    fn run_hopping_fast(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+        let config = McConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            phase_len: self.mc_phase_len,
+            carol_budget: self.carol_budget,
+            seed,
+        };
+        let mut jammer = self
+            .adversary
+            .phase_jammer(self.spectrum(), seed)
+            .expect("validated at build: strategy has a phase-mc model");
+        let (broadcast, channel_stats) = run_fast_mc(&config, self.spectrum(), jammer.as_mut());
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.channel_stats = Some(channel_stats);
+        outcome
     }
 
     /// Folds an exact-engine report's extras into the outcome.
@@ -631,6 +674,7 @@ pub struct ScenarioBuilder {
     enforce_correct_budgets: bool,
     trace: Option<usize>,
     channels: u16,
+    phase_len: Option<u64>,
     seed: u64,
 }
 
@@ -644,6 +688,7 @@ impl ScenarioBuilder {
             enforce_correct_budgets: true,
             trace: None,
             channels: 1,
+            phase_len: None,
             seed: 0,
         }
     }
@@ -712,6 +757,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the phase length (slots) of the phase-level multi-channel
+    /// engine (default [`DEFAULT_MC_PHASE_LEN`]).
+    ///
+    /// Only meaningful for `Scenario::hopping` on [`Engine::Fast`];
+    /// [`build`](Self::build) rejects it anywhere else (and a zero
+    /// length) with [`ScenarioError::InvalidConfig`]. Shorter phases
+    /// track the exact engine more closely; longer phases run faster.
+    #[must_use]
+    pub fn phase_len(mut self, slots: u64) -> Self {
+        self.phase_len = Some(slots);
+        self
+    }
+
     /// Sets the master seed (default 0).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -728,21 +786,58 @@ impl ScenarioBuilder {
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let protocol = self.protocol.kind();
 
-        // Engine × protocol: the fast simulator models ε-BROADCAST only.
-        if self.engine == Engine::Fast && protocol != ProtocolKind::Broadcast {
-            return Err(ScenarioError::UnsupportedEngine {
-                protocol,
-                engine: self.engine,
-            });
+        // Engine × protocol × adversary: two phase-level simulators
+        // exist — `fast` for ε-BROADCAST's round schedule and `fast_mc`
+        // for the multi-channel hopping workload — and each hosts only
+        // the strategies with a phase model at its granularity.
+        if self.engine == Engine::Fast {
+            match protocol {
+                ProtocolKind::Broadcast => {
+                    if !self.adversary.supports_phase() {
+                        return Err(ScenarioError::SlotOnlyStrategy {
+                            strategy: self.adversary.name(),
+                        });
+                    }
+                }
+                ProtocolKind::Hopping => {
+                    if !self.adversary.supports_phase_mc() && !self.adversary.requires_schedule() {
+                        return Err(ScenarioError::SlotOnlyStrategy {
+                            strategy: self.adversary.name(),
+                        });
+                    }
+                    // Schedule-bound strategies fall through to the
+                    // protocol × adversary check below, which names the
+                    // more precise error.
+                }
+                _ => {
+                    return Err(ScenarioError::UnsupportedEngine {
+                        protocol,
+                        engine: self.engine,
+                    });
+                }
+            }
         }
 
-        // Engine × adversary: slot-only strategies cannot run at phase
-        // granularity.
-        if self.engine == Engine::Fast && !self.adversary.supports_phase() {
-            return Err(ScenarioError::SlotOnlyStrategy {
-                strategy: self.adversary.name(),
-            });
-        }
+        // The phase length is a fast_mc knob; naming it anywhere else is
+        // a configuration error, not a silent no-op.
+        let mc_phase_len = match self.phase_len {
+            None => DEFAULT_MC_PHASE_LEN,
+            Some(0) => {
+                return Err(ScenarioError::InvalidConfig(
+                    "phase length must be at least one slot".into(),
+                ));
+            }
+            Some(slots) => {
+                if self.engine != Engine::Fast || protocol != ProtocolKind::Hopping {
+                    return Err(ScenarioError::InvalidConfig(format!(
+                        "phase_len applies to the phase-level multi-channel engine only \
+                         (hopping on the Fast engine), not {protocol} on {:?}",
+                        self.engine
+                    )));
+                }
+                slots
+            }
+        };
 
         // Spectrum: a multi-channel run needs a channel-capable protocol,
         // and channel-aware strategies need one too (even at C = 1 — a
@@ -859,6 +954,7 @@ impl ScenarioBuilder {
             enforce_correct_budgets: self.enforce_correct_budgets,
             trace_capacity,
             channels: self.channels,
+            mc_phase_len,
             seed: self.seed,
         })
     }

@@ -1,0 +1,287 @@
+//! Cross-validation of the phase-level multi-channel simulator
+//! (`fast_mc`): it must agree statistically with the exact slot engine —
+//! same delivery, same cost scales, same budget accounting — across
+//! quiet and jammed spectra at `C ∈ {1, 4}`. Both engines run through
+//! the same `Scenario`, differing only in `.engine(..)`.
+//!
+//! Determinism fingerprints for the new engine live at the bottom
+//! (slow-tests tier, like the other pinned suites).
+
+use evildoers::adversary::StrategySpec;
+use evildoers::rng::stats::RunningStats;
+use evildoers::sim::{Engine, HoppingSpec, Scenario};
+
+struct Agreement {
+    exact_informed: RunningStats,
+    fast_informed: RunningStats,
+    exact_node_cost: RunningStats,
+    fast_node_cost: RunningStats,
+    exact_carol: RunningStats,
+    fast_carol: RunningStats,
+}
+
+fn compare(
+    spec: StrategySpec,
+    channels: u16,
+    n: u64,
+    horizon: u64,
+    budget: Option<u64>,
+    trials: u64,
+) -> Agreement {
+    let mut agg = Agreement {
+        exact_informed: RunningStats::new(),
+        fast_informed: RunningStats::new(),
+        exact_node_cost: RunningStats::new(),
+        fast_node_cost: RunningStats::new(),
+        exact_carol: RunningStats::new(),
+        fast_carol: RunningStats::new(),
+    };
+    let scenario_for = |engine: Engine| {
+        let mut builder = Scenario::hopping(HoppingSpec::new(n, horizon))
+            .engine(engine)
+            .channels(channels)
+            .adversary(spec);
+        if let Some(b) = budget {
+            builder = builder.carol_budget(b);
+        }
+        builder.build().expect("valid on both engines")
+    };
+    let exact = scenario_for(Engine::Exact);
+    let fast = scenario_for(Engine::Fast);
+    for trial in 0..trials {
+        let seed = 5_000 + trial;
+        let e = exact.run_seeded(seed);
+        agg.exact_informed.push(e.informed_fraction());
+        agg.exact_node_cost.push(e.mean_node_cost());
+        agg.exact_carol.push(e.carol_spend() as f64);
+
+        let f = fast.run_seeded(seed);
+        agg.fast_informed.push(f.informed_fraction());
+        agg.fast_node_cost.push(f.mean_node_cost());
+        agg.fast_carol.push(f.carol_spend() as f64);
+    }
+    agg
+}
+
+fn assert_close(label: &str, a: f64, b: f64, rel_tol: f64, abs_tol: f64) {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1e-9);
+    assert!(
+        diff <= abs_tol + rel_tol * scale,
+        "{label}: exact {a} vs fast {b} (diff {diff})"
+    );
+}
+
+fn assert_agreement(label: &str, agg: &Agreement) {
+    assert_close(
+        &format!("{label}: informed fraction"),
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        &format!("{label}: mean node cost"),
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.20,
+        2.0,
+    );
+    assert_close(
+        &format!("{label}: carol spend"),
+        agg.exact_carol.mean(),
+        agg.fast_carol.mean(),
+        0.05,
+        2.0,
+    );
+}
+
+#[test]
+fn quiet_spectrum_agrees_at_c1() {
+    let agg = compare(StrategySpec::Silent, 1, 96, 1_500, None, 5);
+    assert_agreement("silent C=1", &agg);
+}
+
+#[test]
+fn quiet_spectrum_agrees_at_c4() {
+    let agg = compare(StrategySpec::Silent, 4, 96, 2_500, None, 5);
+    assert_agreement("silent C=4", &agg);
+}
+
+#[test]
+fn split_jamming_agrees_at_c1() {
+    let agg = compare(StrategySpec::SplitUniform, 1, 96, 2_000, Some(1_200), 5);
+    assert_agreement("split C=1", &agg);
+}
+
+#[test]
+fn split_jamming_agrees_at_c4() {
+    let agg = compare(StrategySpec::SplitUniform, 4, 96, 2_500, Some(2_400), 5);
+    assert_agreement("split C=4", &agg);
+}
+
+#[test]
+fn sweep_jamming_agrees_at_c4() {
+    let agg = compare(
+        StrategySpec::ChannelSweep { dwell: 8 },
+        4,
+        96,
+        2_500,
+        Some(1_500),
+        5,
+    );
+    assert_agreement("sweep C=4", &agg);
+}
+
+#[test]
+fn adaptive_jamming_agrees_at_c4() {
+    let agg = compare(
+        StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        },
+        4,
+        96,
+        2_500,
+        Some(1_500),
+        5,
+    );
+    // The adaptive lowering is statistical (phase-aggregated heat), so
+    // the cost band is wider than for the oblivious strategies.
+    assert_close(
+        "adaptive C=4: informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "adaptive C=4: mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.30,
+        2.0,
+    );
+}
+
+#[test]
+fn fast_mc_latency_proxy_tracks_channel_count() {
+    // More channels = rarer rendezvous = later full delivery. The
+    // fast-engine latency proxy (rounds_entered = phase of last
+    // delivery) must reproduce that ordering.
+    let phase_of_full_delivery = |channels: u16| {
+        Scenario::hopping(HoppingSpec::new(256, 40_000))
+            .engine(Engine::Fast)
+            .channels(channels)
+            .seed(11)
+            .build()
+            .unwrap()
+            .run()
+            .rounds_entered
+    };
+    let c1 = phase_of_full_delivery(1);
+    let c8 = phase_of_full_delivery(8);
+    assert!(
+        c8 > c1,
+        "full delivery at C=8 (phase {c8}) must come later than C=1 (phase {c1})"
+    );
+}
+
+#[test]
+fn fast_mc_is_deterministic_by_seed_through_scenario() {
+    let scenario = Scenario::hopping(HoppingSpec::new(4_096, 3_000))
+        .engine(Engine::Fast)
+        .channels(4)
+        .adversary(StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        })
+        .carol_budget(2_000)
+        .seed(21)
+        .build()
+        .unwrap();
+    let a = scenario.run();
+    let b = scenario.run();
+    assert_eq!(a.informed_nodes, b.informed_nodes);
+    assert_eq!(a.broadcast.node_total_cost, b.broadcast.node_total_cost);
+    assert_eq!(a.broadcast.carol_cost, b.broadcast.carol_cost);
+    assert_eq!(a.channel_stats, b.channel_stats);
+    // Batch execution reproduces solo runs seed-for-seed.
+    let batch = scenario.run_batch(3);
+    let solo = scenario.run_seeded(batch[2].seed);
+    assert_eq!(
+        batch[2].broadcast.node_total_cost,
+        solo.broadcast.node_total_cost
+    );
+    assert_eq!(batch[2].channel_stats, solo.channel_stats);
+}
+
+/// Pinned fingerprints: any change to the fast_mc engine's sampling
+/// order, probability model, or budget accounting shows up here as a
+/// byte-exact diff. Captured on the engine as first shipped.
+#[cfg(feature = "slow-tests")]
+mod fingerprints {
+    use super::*;
+
+    fn run(spec: StrategySpec, channels: u16, seed: u64) -> evildoers::sim::ScenarioOutcome {
+        Scenario::hopping(HoppingSpec::new(512, 2_000))
+            .engine(Engine::Fast)
+            .channels(channels)
+            .adversary(spec)
+            .carol_budget(1_000)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run()
+    }
+
+    fn fingerprint(o: &evildoers::sim::ScenarioOutcome) -> (u64, u64, u64, u64, Vec<u64>) {
+        (
+            o.informed_nodes,
+            o.broadcast.node_total_cost.sends,
+            o.broadcast.node_total_cost.listens,
+            o.carol_spend(),
+            o.jam_slots_by_channel(),
+        )
+    }
+
+    #[test]
+    fn split_c4_fingerprint() {
+        let o = run(StrategySpec::SplitUniform, 4, 77);
+        assert_eq!(
+            fingerprint(&o),
+            (512, 1728, 66069, 1000, vec![250, 250, 250, 250]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+
+    #[test]
+    fn adaptive_c4_fingerprint() {
+        let o = run(
+            StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            },
+            4,
+            77,
+        );
+        assert_eq!(
+            fingerprint(&o),
+            (512, 1958, 4017, 1000, vec![128, 250, 346, 276]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+
+    #[test]
+    fn silent_c1_fingerprint() {
+        let o = run(StrategySpec::Silent, 1, 77);
+        assert_eq!(
+            fingerprint(&o),
+            (512, 1983, 1040, 0, vec![0]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+}

@@ -87,6 +87,41 @@ fn every_strategy_runs_through_the_scenario_builder_on_its_engines() {
                 ));
             }
         }
+
+        // The fast multi-channel engine hosts exactly the phase-mc
+        // capable ones (the channel-aware family + silent/continuous).
+        let fast_mc = Scenario::hopping(HoppingSpec::new(256, 1_000))
+            .engine(Engine::Fast)
+            .channels(4)
+            .adversary(spec)
+            .carol_budget(400)
+            .seed(2)
+            .build();
+        match fast_mc {
+            Ok(scenario) => {
+                assert!(spec.supports_phase_mc(), "{}", spec.name());
+                let o = scenario.run();
+                assert!(o.slots > 0, "{}", spec.name());
+                assert_eq!(
+                    o.channel_stats.as_ref().map(Vec::len),
+                    Some(4),
+                    "{}: fast_mc populates per-channel tallies",
+                    spec.name()
+                );
+            }
+            Err(err) => {
+                assert!(!spec.supports_phase_mc(), "{}: {err}", spec.name());
+                assert!(
+                    matches!(
+                        err,
+                        ScenarioError::SlotOnlyStrategy { .. }
+                            | ScenarioError::ScheduleBoundStrategy { .. }
+                    ),
+                    "{}: {err}",
+                    spec.name()
+                );
+            }
+        }
     }
 }
 
@@ -148,6 +183,47 @@ fn invalid_combinations_are_typed_errors_not_panics() {
         .build()
         .unwrap_err();
     assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+
+    // Tracing the phase-level multi-channel engine: no slots recorded.
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .engine(Engine::Fast)
+        .channels(2)
+        .trace(64)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+
+    // The phase length is a fast_mc knob: zero is rejected, and so is
+    // naming it on any other protocol × engine combination.
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .engine(Engine::Fast)
+        .phase_len(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)));
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .phase_len(32) // exact engine has no phases
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+    let err = Scenario::broadcast(params(4096))
+        .engine(Engine::Fast)
+        .phase_len(32) // ε-BROADCAST phases come from the schedule
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+
+    // Slot-only strategies have no phase-mc model on the fast hopping
+    // engine.
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::LaggedReactive)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
+        "{err}"
+    );
 
     // The adaptive adversary validates its parameters...
     let err = Scenario::hopping(HoppingSpec::new(8, 100))
