@@ -7,12 +7,15 @@
 //! slot-level ground truth, so this experiment has two halves:
 //!
 //! 1. **Cross-validation** at overlapping scales: the hopping workload
-//!    vs the budget-splitting jammer at `n ∈ {2^8, 2^10, 2^12}` and
-//!    `C ∈ {1, 2, 4, 8}`, on both engines with equal budgets. The fast
-//!    engine's informed fraction must land within a small absolute band
-//!    of the exact engine's, its mean node cost within a stated relative
-//!    band, and the wall-clock ratio demonstrates the speedup that makes
-//!    half 2 feasible.
+//!    vs the budget-splitting jammer at `n ∈ {2^8, 2^10, 2^12, 2^13}`
+//!    and `C ∈ {1, 2, 4, 8}`, on both engines with equal budgets. The
+//!    fast engine's informed fraction must land within a small absolute
+//!    band of the exact engine's, its mean node cost within a stated
+//!    relative band, and the wall-clock ratio demonstrates the speedup
+//!    that makes half 2 feasible. (The `2^13` row was added when the
+//!    exact engine's hot path was overhauled — devirtualized rosters,
+//!    active-set scheduling, scratch reuse — which is what keeps the
+//!    exact side of the grid affordable.)
 //! 2. **Extension**: the E11 (oblivious split) and E12 (adaptive) curves
 //!    re-run at `n = 2^16` on the fast engine — a scale where one exact
 //!    trial alone would cost `n × horizon ≈ 2.6 × 10^9` node-slots.
@@ -57,7 +60,7 @@ fn plan(scale: Scale) -> Plan {
             big_trials: 2,
         },
         Scale::Full => Plan {
-            cross_ns: vec![1 << 8, 1 << 10, 1 << 12],
+            cross_ns: vec![1 << 8, 1 << 10, 1 << 12, 1 << 13],
             cross_channels: vec![1, 2, 4, 8],
             cross_horizon: 4_000,
             cross_budget: 3_000,

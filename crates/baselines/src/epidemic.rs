@@ -11,8 +11,8 @@
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{BroadcastOutcome, EngineKind};
 use rcb_radio::{
-    Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
-    Reception, RunReport, Slot,
+    Action, Adversary, Budget, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
+    NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -53,6 +53,7 @@ impl EpidemicConfig {
 }
 
 /// Alice under gossip: transmits with probability 1/2 until the horizon.
+#[derive(Debug)]
 struct GossipAlice {
     signed_m: Signed,
     horizon: u64,
@@ -82,6 +83,7 @@ impl NodeProtocol for GossipAlice {
 
 /// A gossip node: listens until informed, then relays forever (until the
 /// horizon).
+#[derive(Debug)]
 struct GossipNode {
     verifier: Verifier,
     alice_key: KeyId,
@@ -130,13 +132,85 @@ impl NodeProtocol for GossipNode {
     }
 }
 
+/// One epidemic-gossip roster slot: Alice or a gossip node.
+///
+/// Homogeneous roster type for the engine's monomorphized fast path.
+#[derive(Debug)]
+enum GossipParticipant {
+    Alice(GossipAlice),
+    Node(GossipNode),
+}
+
+impl NodeProtocol for GossipParticipant {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        match self {
+            GossipParticipant::Alice(a) => a.act(slot, rng),
+            GossipParticipant::Node(n) => n.act(slot, rng),
+        }
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> rcb_radio::ChannelId {
+        match self {
+            GossipParticipant::Alice(a) => a.channel(slot),
+            GossipParticipant::Node(n) => n.channel(slot),
+        }
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        match self {
+            GossipParticipant::Alice(a) => a.on_budget_exhausted(slot),
+            GossipParticipant::Node(n) => n.on_budget_exhausted(slot),
+        }
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        match self {
+            GossipParticipant::Alice(a) => a.on_reception(slot, reception),
+            GossipParticipant::Node(n) => n.on_reception(slot, reception),
+        }
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        match self {
+            GossipParticipant::Alice(a) => a.has_terminated(),
+            GossipParticipant::Node(n) => n.has_terminated(),
+        }
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        match self {
+            GossipParticipant::Alice(a) => a.is_informed(),
+            GossipParticipant::Node(n) => n.is_informed(),
+        }
+    }
+}
+
+/// Reusable scratch for batched epidemic-gossip runs.
+#[derive(Debug, Default)]
+pub struct EpidemicScratch {
+    roster: Vec<GossipParticipant>,
+    budgets: Vec<Budget>,
+    engine: EngineScratch,
+}
+
+impl EpidemicScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs epidemic gossip and reports a [`BroadcastOutcome`] plus the raw
 /// engine report — whose [`trace`](RunReport::trace) is populated when
 /// [`EpidemicConfig::trace_capacity`] is nonzero, so blocked runs can be
 /// post-mortemed slot by slot.
 ///
 /// This is the execution engine behind `rcb_sim::Scenario::epidemic`;
-/// prefer the `Scenario` builder in application code.
+/// prefer the `Scenario` builder in application code. Batched callers
+/// should use [`execute_epidemic_in`] with a per-worker
+/// [`EpidemicScratch`].
 ///
 /// # Panics
 ///
@@ -146,6 +220,21 @@ impl NodeProtocol for GossipNode {
 pub fn execute_epidemic(
     config: &EpidemicConfig,
     adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_epidemic_in(config, adversary, &mut EpidemicScratch::new())
+}
+
+/// Like [`execute_epidemic`], reusing caller-owned scratch allocations —
+/// the batched-trials entry point.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_epidemic_in(
+    config: &EpidemicConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut EpidemicScratch,
 ) -> (BroadcastOutcome, RunReport) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
@@ -158,14 +247,15 @@ pub fn execute_epidemic(
     let signed_m = alice_key.sign(&MessageBytes::from_static(b"gossip payload m"));
 
     let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
-    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
-    roster.push(Box::new(GossipAlice {
+    scratch.roster.clear();
+    scratch.roster.reserve(config.n as usize + 1);
+    scratch.roster.push(GossipParticipant::Alice(GossipAlice {
         signed_m,
         horizon: config.horizon,
         done: false,
     }));
     for _ in 0..config.n {
-        roster.push(Box::new(GossipNode {
+        scratch.roster.push(GossipParticipant::Node(GossipNode {
             verifier,
             alice_key: alice_key.id(),
             listen_p: config.listen_p,
@@ -175,14 +265,23 @@ pub fn execute_epidemic(
             done: false,
         }));
     }
-    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
         trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     });
-    let report =
-        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
+    let report = engine.run_with_roster_typed_in(
+        &mut scratch.engine,
+        &mut scratch.roster,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
 
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();

@@ -40,5 +40,5 @@ mod epidemic;
 pub mod ksy;
 mod naive;
 
-pub use epidemic::{execute_epidemic, EpidemicConfig};
-pub use naive::{execute_naive, NaiveConfig};
+pub use epidemic::{execute_epidemic, execute_epidemic_in, EpidemicConfig, EpidemicScratch};
+pub use naive::{execute_naive, execute_naive_in, NaiveConfig, NaiveScratch};

@@ -3,8 +3,8 @@
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{BroadcastOutcome, EngineKind};
 use rcb_radio::{
-    Action, Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, Payload,
-    Reception, RunReport, Slot,
+    Action, Adversary, Budget, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
+    NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -41,6 +41,7 @@ impl NaiveConfig {
 }
 
 /// Alice: transmits `m` in **every** slot until the horizon.
+#[derive(Debug)]
 struct NaiveAlice {
     signed_m: Signed,
     horizon: u64,
@@ -65,6 +66,7 @@ impl NodeProtocol for NaiveAlice {
 }
 
 /// Receiver: listens in **every** slot until it hears a verified `m`.
+#[derive(Debug)]
 struct NaiveReceiver {
     verifier: Verifier,
     alice_key: KeyId,
@@ -94,6 +96,76 @@ impl NodeProtocol for NaiveReceiver {
     }
 }
 
+/// One naive-broadcast roster slot: Alice or a receiver.
+///
+/// Homogeneous roster type for the engine's monomorphized fast path.
+#[derive(Debug)]
+enum NaiveParticipant {
+    Alice(NaiveAlice),
+    Receiver(NaiveReceiver),
+}
+
+impl NodeProtocol for NaiveParticipant {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        match self {
+            NaiveParticipant::Alice(a) => a.act(slot, rng),
+            NaiveParticipant::Receiver(r) => r.act(slot, rng),
+        }
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> rcb_radio::ChannelId {
+        match self {
+            NaiveParticipant::Alice(a) => a.channel(slot),
+            NaiveParticipant::Receiver(r) => r.channel(slot),
+        }
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        match self {
+            NaiveParticipant::Alice(a) => a.on_budget_exhausted(slot),
+            NaiveParticipant::Receiver(r) => r.on_budget_exhausted(slot),
+        }
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        match self {
+            NaiveParticipant::Alice(a) => a.on_reception(slot, reception),
+            NaiveParticipant::Receiver(r) => r.on_reception(slot, reception),
+        }
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        match self {
+            NaiveParticipant::Alice(a) => a.has_terminated(),
+            NaiveParticipant::Receiver(r) => r.has_terminated(),
+        }
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        match self {
+            NaiveParticipant::Alice(a) => a.is_informed(),
+            NaiveParticipant::Receiver(r) => r.is_informed(),
+        }
+    }
+}
+
+/// Reusable scratch for batched naive-broadcast runs.
+#[derive(Debug, Default)]
+pub struct NaiveScratch {
+    roster: Vec<NaiveParticipant>,
+    budgets: Vec<Budget>,
+    engine: EngineScratch,
+}
+
+impl NaiveScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the naive protocol and reports a [`BroadcastOutcome`] (with
 /// `rounds_entered = 0`; the naive protocol has no rounds) plus the raw
 /// engine report — whose [`trace`](RunReport::trace) is populated when
@@ -101,7 +173,8 @@ impl NodeProtocol for NaiveReceiver {
 /// post-mortemed slot by slot.
 ///
 /// This is the execution engine behind `rcb_sim::Scenario::naive`; prefer
-/// the `Scenario` builder in application code.
+/// the `Scenario` builder in application code. Batched callers should use
+/// [`execute_naive_in`] with a per-worker [`NaiveScratch`].
 ///
 /// # Example
 ///
@@ -120,34 +193,56 @@ pub fn execute_naive(
     config: &NaiveConfig,
     adversary: &mut dyn Adversary,
 ) -> (BroadcastOutcome, RunReport) {
+    execute_naive_in(config, adversary, &mut NaiveScratch::new())
+}
+
+/// Like [`execute_naive`], reusing caller-owned scratch allocations —
+/// the batched-trials entry point.
+#[must_use]
+pub fn execute_naive_in(
+    config: &NaiveConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut NaiveScratch,
+) -> (BroadcastOutcome, RunReport) {
     let seeds = SeedTree::new(config.seed);
     let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
     let alice_key = authority.issue_key();
     let verifier = authority.verifier();
     let signed_m = alice_key.sign(&MessageBytes::from_static(b"naive payload m"));
 
-    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
-    roster.push(Box::new(NaiveAlice {
+    scratch.roster.clear();
+    scratch.roster.reserve(config.n as usize + 1);
+    scratch.roster.push(NaiveParticipant::Alice(NaiveAlice {
         signed_m,
         horizon: config.horizon,
         done: false,
     }));
     for _ in 0..config.n {
-        roster.push(Box::new(NaiveReceiver {
-            verifier,
-            alice_key: alice_key.id(),
-            informed: false,
-        }));
+        scratch
+            .roster
+            .push(NaiveParticipant::Receiver(NaiveReceiver {
+                verifier,
+                alice_key: alice_key.id(),
+                informed: false,
+            }));
     }
-    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
         trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     });
-    let mut roster = roster;
-    let report =
-        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
+    let report = engine.run_with_roster_typed_in(
+        &mut scratch.engine,
+        &mut scratch.roster,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
 
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();

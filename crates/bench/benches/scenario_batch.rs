@@ -1,10 +1,15 @@
 //! `scenario_batch` — throughput baseline for `Scenario::run_batch`.
 //!
 //! Measures batched trial throughput (trials/sec) at n = 256, exact vs
-//! fast engine, quiet and jammed. This is the reference number future
-//! batching/sharding PRs must beat: run_batch owns per-worker scratch
-//! (rosters and budget vectors reset in place, not reallocated per
-//! trial), parallel workers, and channel-by-index result collection.
+//! fast engine, quiet and jammed, plus the large-`n` exact-engine group
+//! (`n = 2^12`) that tracks the devirtualized/active-set hot path. This
+//! is the reference number future batching/sharding PRs must beat:
+//! run_batch owns per-worker scratch (rosters, budget vectors, and the
+//! engine's working buffers reset in place, not reallocated per trial),
+//! parallel workers, and channel-by-index result collection.
+//!
+//! Set `RCB_THREADS=1` (or use `.threads(1)`, as the `1thread` cases do)
+//! to measure single-core engine throughput instead of pool throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rcb_adversary::StrategySpec;
@@ -14,13 +19,21 @@ use rcb_sim::{Engine, Scenario};
 const N: u64 = 256;
 const TRIALS: u32 = 16;
 
-fn scenario(engine: Engine, jammed: bool) -> Scenario {
-    let params = Params::builder(N).build().unwrap();
+/// The large-`n` point named by the exact-engine perf acceptance
+/// criteria; fewer trials so one iteration stays in bench territory.
+const N_LARGE: u64 = 1 << 12;
+const TRIALS_LARGE: u32 = 4;
+
+fn scenario(n: u64, engine: Engine, jammed: bool, threads: Option<usize>) -> Scenario {
+    let params = Params::builder(n).build().unwrap();
     let mut builder = Scenario::broadcast(params).engine(engine).seed(1);
     if jammed {
         builder = builder
             .adversary(StrategySpec::Continuous)
             .carol_budget(2_000);
+    }
+    if let Some(workers) = threads {
+        builder = builder.threads(workers);
     }
     builder.build().unwrap()
 }
@@ -31,7 +44,7 @@ fn bench_run_batch(c: &mut Criterion) {
     group.throughput(Throughput::Elements(u64::from(TRIALS)));
     for engine in [Engine::Exact, Engine::Fast] {
         for jammed in [false, true] {
-            let s = scenario(engine, jammed);
+            let s = scenario(N, engine, jammed, None);
             let label = format!(
                 "{engine:?}/{}/n{N}",
                 if jammed { "jammed" } else { "quiet" }
@@ -40,6 +53,18 @@ fn bench_run_batch(c: &mut Criterion) {
                 b.iter(|| std::hint::black_box(s.run_batch(TRIALS)));
             });
         }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scenario_batch_large");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(u64::from(TRIALS_LARGE)));
+    for (label, threads) in [("pool", None), ("1thread", Some(1))] {
+        let s = scenario(N_LARGE, Engine::Exact, true, threads);
+        let label = format!("Exact/jammed/n{N_LARGE}/{label}");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| std::hint::black_box(s.run_batch(TRIALS_LARGE)));
+        });
     }
     group.finish();
 }

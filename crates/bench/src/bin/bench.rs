@@ -1,0 +1,153 @@
+//! `bench` — machine-readable per-trial timings for the perf trajectory.
+//!
+//! Criterion benches are great for local A/B runs but awkward to diff
+//! across PRs; this binary measures the same hot paths with plain
+//! wall-clock timing and emits one JSON file (`BENCH_5.json` by default)
+//! that future PRs can regenerate and compare. Every measurement is a
+//! *sequential* per-trial time (no `run_batch` parallelism), so the
+//! numbers track single-core engine throughput, not the worker pool.
+//!
+//! ```text
+//! cargo run --release -p rcb-bench --bin bench            # full grid
+//! cargo run --release -p rcb-bench --bin bench -- --quick # CI smoke
+//! cargo run --release -p rcb-bench --bin bench -- --out my.json
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::{Engine, HoppingSpec, Scenario, ScenarioScratch};
+
+/// One measured configuration.
+struct Entry {
+    id: &'static str,
+    n: u64,
+    channels: u16,
+    trials: u32,
+    per_trial_ns: u128,
+}
+
+/// Builds the measured scenario for a grid point.
+fn scenario(kind: &str, n: u64, channels: u16) -> Scenario {
+    match kind {
+        // ε-BROADCAST on the exact engine, jammed — the `scenario_batch`
+        // configuration scaled up in `n`.
+        "exact-broadcast" => Scenario::broadcast(Params::builder(n).build().unwrap())
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(2_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // ε-BROADCAST on the phase-level fast simulator.
+        "fast-broadcast" => Scenario::broadcast(Params::builder(n).build().unwrap())
+            .engine(Engine::Fast)
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(2_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // Hopping on the exact engine — the E13 cross-validation shape.
+        "exact-hopping" => Scenario::hopping(HoppingSpec::new(n, 4_000))
+            .channels(channels)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(3_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // Hopping on the phase-level fast_mc engine, same shape.
+        "fast-mc-hopping" => Scenario::hopping(HoppingSpec::new(n, 4_000))
+            .engine(Engine::Fast)
+            .channels(channels)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(3_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        other => panic!("unknown bench kind {other}"),
+    }
+}
+
+/// Times `trials` sequential executions (after one warmup) and returns
+/// the mean per-trial nanoseconds. Scratch is reused across trials, as
+/// `run_batch` workers would.
+fn measure(s: &Scenario, trials: u32) -> u128 {
+    let mut scratch = ScenarioScratch::new();
+    std::hint::black_box(s.run_in(&mut scratch, 0xBEEF)); // warmup
+    let start = Instant::now();
+    for t in 0..trials {
+        std::hint::black_box(s.run_in(&mut scratch, u64::from(t)));
+    }
+    start.elapsed().as_nanos() / u128::from(trials.max(1))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+
+    // (id, kind, n, channels, full trials, quick trials)
+    let grid: &[(&'static str, &str, u64, u16, u32, u32)] = &[
+        ("exact/broadcast/n256", "exact-broadcast", 1 << 8, 1, 24, 2),
+        ("exact/broadcast/n1024", "exact-broadcast", 1 << 10, 1, 8, 1),
+        ("exact/broadcast/n4096", "exact-broadcast", 1 << 12, 1, 4, 1),
+        ("exact/hopping/n256", "exact-hopping", 1 << 8, 1, 24, 2),
+        ("exact/hopping/n1024", "exact-hopping", 1 << 10, 1, 8, 1),
+        ("exact/hopping/n4096", "exact-hopping", 1 << 12, 1, 4, 1),
+        ("exact/hopping/n4096c4", "exact-hopping", 1 << 12, 4, 4, 1),
+        ("fast/broadcast/n4096", "fast-broadcast", 1 << 12, 1, 64, 4),
+        (
+            "fast_mc/hopping/n4096",
+            "fast-mc-hopping",
+            1 << 12,
+            1,
+            64,
+            4,
+        ),
+        (
+            "fast_mc/hopping/n4096c4",
+            "fast-mc-hopping",
+            1 << 12,
+            4,
+            64,
+            4,
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for &(id, kind, n, channels, full_trials, quick_trials) in grid {
+        let trials = if quick { quick_trials } else { full_trials };
+        let s = scenario(kind, n, channels);
+        let per_trial_ns = measure(&s, trials);
+        eprintln!("{id:28} {per_trial_ns:>14} ns/trial  ({trials} trials)");
+        entries.push(Entry {
+            id,
+            n,
+            channels,
+            trials,
+            per_trial_ns,
+        });
+    }
+
+    // Hand-rolled JSON: the workspace deliberately vendors no serde_json.
+    let mut json = String::from("{\n  \"schema\": \"rcb-bench-v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"n\": {}, \"channels\": {}, \"trials\": {}, \
+             \"per_trial_ns\": {}}}{comma}",
+            e.id, e.n, e.channels, e.trials, e.per_trial_ns
+        )
+        .expect("string write cannot fail");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -9,16 +9,75 @@
 
 use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_radio::{
-    Adversary, Budget, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol, RunReport,
-    StopReason,
+    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
+    NodeProtocol, Reception, RunReport, Slot, StopReason,
 };
-use rcb_rng::SeedTree;
+use rcb_rng::{SeedTree, SimRng};
 
 use crate::alice::Alice;
 use crate::node::ReceiverNode;
 use crate::outcome::{BroadcastOutcome, EngineKind};
 use crate::params::Params;
 use crate::schedule::RoundSchedule;
+
+/// One ε-BROADCAST roster slot: Alice or a receiver node.
+///
+/// The enum makes the roster homogeneous (`Vec<BroadcastParticipant>`),
+/// which is what lets [`BroadcastScratch`] run on the engine's
+/// monomorphized [`run_with_roster_typed_in`]
+/// (`ExactEngine::run_with_roster_typed_in`) path: every protocol hook
+/// dispatches on a two-variant match that inlines, instead of a vtable
+/// call through a boxed trait object.
+#[derive(Debug)]
+enum BroadcastParticipant {
+    Alice(Alice),
+    Node(ReceiverNode),
+}
+
+impl NodeProtocol for BroadcastParticipant {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        match self {
+            BroadcastParticipant::Alice(a) => a.act(slot, rng),
+            BroadcastParticipant::Node(n) => n.act(slot, rng),
+        }
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> ChannelId {
+        match self {
+            BroadcastParticipant::Alice(a) => a.channel(slot),
+            BroadcastParticipant::Node(n) => n.channel(slot),
+        }
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        match self {
+            BroadcastParticipant::Alice(a) => a.on_reception(slot, reception),
+            BroadcastParticipant::Node(n) => n.on_reception(slot, reception),
+        }
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        match self {
+            BroadcastParticipant::Alice(a) => a.on_budget_exhausted(slot),
+            BroadcastParticipant::Node(n) => n.on_budget_exhausted(slot),
+        }
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        match self {
+            BroadcastParticipant::Alice(a) => a.has_terminated(),
+            BroadcastParticipant::Node(n) => n.has_terminated(),
+        }
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        match self {
+            BroadcastParticipant::Alice(a) => a.is_informed(),
+            BroadcastParticipant::Node(n) => n.is_informed(),
+        }
+    }
+}
 
 /// Per-run configuration that is not a protocol parameter.
 #[derive(Debug, Clone)]
@@ -108,9 +167,12 @@ impl RunConfig {
 pub struct BroadcastScratch {
     /// The parameter set the current roster was built for.
     built_for: Option<Params>,
-    alice: Option<Alice>,
-    nodes: Vec<ReceiverNode>,
+    /// Homogeneous roster: index 0 is Alice, `1..=n` the receiver nodes.
+    roster: Vec<BroadcastParticipant>,
     budgets: Vec<Budget>,
+    /// Engine-level working buffers (RNG streams, ledger, channel load),
+    /// reused across runs alongside the roster.
+    engine: EngineScratch,
 }
 
 impl BroadcastScratch {
@@ -138,18 +200,29 @@ impl BroadcastScratch {
         let n = params.n() as usize;
         if self.built_for.as_ref() == Some(params) {
             // Reset in place: every schedule/roster allocation survives.
-            let alice = self.alice.as_mut().expect("roster built");
-            alice.reset(signed_m);
-            for node in &mut self.nodes {
-                node.reset(verifier, alice_key.id());
+            let mut signed_m = Some(signed_m);
+            for participant in &mut self.roster {
+                match participant {
+                    BroadcastParticipant::Alice(alice) => {
+                        alice.reset(signed_m.take().expect("exactly one alice per roster"));
+                    }
+                    BroadcastParticipant::Node(node) => node.reset(verifier, alice_key.id()),
+                }
             }
         } else {
-            self.alice = Some(Alice::new(params.clone(), signed_m));
-            self.nodes.clear();
-            self.nodes.reserve(n);
+            self.roster.clear();
+            self.roster.reserve(n + 1);
+            self.roster.push(BroadcastParticipant::Alice(Alice::new(
+                params.clone(),
+                signed_m,
+            )));
             for _ in 0..n {
-                self.nodes
-                    .push(ReceiverNode::new(params.clone(), verifier, alice_key.id()));
+                self.roster
+                    .push(BroadcastParticipant::Node(ReceiverNode::new(
+                        params.clone(),
+                        verifier,
+                        alice_key.id(),
+                    )));
             }
             self.built_for = Some(params.clone());
         }
@@ -172,16 +245,11 @@ impl BroadcastScratch {
             trace_capacity: config.trace_capacity,
             ..EngineConfig::default()
         });
-        let alice = self.alice.as_mut().expect("roster built");
-        let mut roster: Vec<&mut dyn NodeProtocol> = Vec::with_capacity(n + 1);
-        roster.push(alice);
-        roster.extend(
-            self.nodes
-                .iter_mut()
-                .map(|node| node as &mut dyn NodeProtocol),
-        );
-        let report = engine.run_with_roster(
-            &mut roster,
+        // The typed fast path: a homogeneous roster on the monomorphized
+        // slot loop, with engine working buffers reused across runs.
+        let report = engine.run_with_roster_typed_in(
+            &mut self.engine,
+            &mut self.roster,
             &self.budgets,
             config.carol_budget,
             adversary,

@@ -19,8 +19,8 @@
 use rand::Rng;
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_radio::{
-    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, ExactEngine, NodeProtocol,
-    Payload, Reception, RunReport, Slot, Spectrum,
+    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
+    NodeProtocol, Payload, Reception, RunReport, Slot, Spectrum,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -78,6 +78,7 @@ fn hop(rng: &mut SimRng, spectrum: Spectrum) -> ChannelId {
 
 /// Alice under hopping gossip: transmits `m` with probability 1/2 on a
 /// fresh random channel each slot, until the horizon.
+#[derive(Debug)]
 struct HoppingAlice {
     signed_m: Signed,
     spectrum: Spectrum,
@@ -113,6 +114,7 @@ impl NodeProtocol for HoppingAlice {
 
 /// A hopping node: listens on random channels until informed, then
 /// relays on random channels (until the horizon).
+#[derive(Debug)]
 struct HoppingNode {
     verifier: Verifier,
     alice_key: KeyId,
@@ -168,13 +170,89 @@ impl NodeProtocol for HoppingNode {
     }
 }
 
+/// One hopping roster slot: Alice or a hopping node.
+///
+/// Homogeneous roster type for the engine's monomorphized fast path —
+/// see `BroadcastParticipant` in the `broadcast` module for the pattern.
+#[derive(Debug)]
+enum HoppingParticipant {
+    Alice(HoppingAlice),
+    Node(HoppingNode),
+}
+
+impl NodeProtocol for HoppingParticipant {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        match self {
+            HoppingParticipant::Alice(a) => a.act(slot, rng),
+            HoppingParticipant::Node(n) => n.act(slot, rng),
+        }
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> ChannelId {
+        match self {
+            HoppingParticipant::Alice(a) => a.channel(slot),
+            HoppingParticipant::Node(n) => n.channel(slot),
+        }
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        match self {
+            HoppingParticipant::Alice(a) => a.on_reception(slot, reception),
+            HoppingParticipant::Node(n) => n.on_reception(slot, reception),
+        }
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        match self {
+            HoppingParticipant::Alice(a) => a.on_budget_exhausted(slot),
+            HoppingParticipant::Node(n) => n.on_budget_exhausted(slot),
+        }
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        match self {
+            HoppingParticipant::Alice(a) => a.has_terminated(),
+            HoppingParticipant::Node(n) => n.has_terminated(),
+        }
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        match self {
+            HoppingParticipant::Alice(a) => a.is_informed(),
+            HoppingParticipant::Node(n) => n.is_informed(),
+        }
+    }
+}
+
+/// Reusable scratch for batched hopping runs: the roster and budget
+/// vectors plus the engine's working buffers survive across trials
+/// (participants are rebuilt *in place* per run — they are small value
+/// types, so a rebuild is a few stores per node and no allocation).
+#[derive(Debug, Default)]
+pub struct HoppingScratch {
+    roster: Vec<HoppingParticipant>,
+    budgets: Vec<Budget>,
+    engine: EngineScratch,
+}
+
+impl HoppingScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs random-hopping broadcast over `spectrum` and reports the outcome
 /// plus the raw engine report (whose
 /// [`channel_stats`](RunReport::channel_stats) carry the per-channel
 /// accounting).
 ///
 /// This is the execution engine behind `rcb_sim::Scenario::hopping`;
-/// prefer the `Scenario` builder in application code.
+/// prefer the `Scenario` builder in application code. Batched callers
+/// should use [`execute_hopping_in`] with a per-worker
+/// [`HoppingScratch`].
 ///
 /// # Panics
 ///
@@ -185,6 +263,22 @@ pub fn execute_hopping(
     config: &HoppingConfig,
     spectrum: Spectrum,
     adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_hopping_in(config, spectrum, adversary, &mut HoppingScratch::new())
+}
+
+/// Like [`execute_hopping`], reusing caller-owned scratch allocations —
+/// the batched-trials entry point.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_hopping_in(
+    config: &HoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+    scratch: &mut HoppingScratch,
 ) -> (BroadcastOutcome, RunReport) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
@@ -197,8 +291,9 @@ pub fn execute_hopping(
     let signed_m = alice_key.sign(&MessageBytes::from_static(b"hopping payload m"));
 
     let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
-    let mut roster: Vec<Box<dyn NodeProtocol>> = Vec::with_capacity(config.n as usize + 1);
-    roster.push(Box::new(HoppingAlice {
+    scratch.roster.clear();
+    scratch.roster.reserve(config.n as usize + 1);
+    scratch.roster.push(HoppingParticipant::Alice(HoppingAlice {
         signed_m,
         spectrum,
         horizon: config.horizon,
@@ -206,7 +301,7 @@ pub fn execute_hopping(
         done: false,
     }));
     for _ in 0..config.n {
-        roster.push(Box::new(HoppingNode {
+        scratch.roster.push(HoppingParticipant::Node(HoppingNode {
             verifier,
             alice_key: alice_key.id(),
             spectrum,
@@ -218,15 +313,24 @@ pub fn execute_hopping(
             done: false,
         }));
     }
-    let budgets = vec![Budget::unlimited(); config.n as usize + 1];
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
     let engine = ExactEngine::new(EngineConfig {
         max_slots: config.horizon + 2,
         trace_capacity: config.trace_capacity,
         spectrum,
         ..EngineConfig::default()
     });
-    let report =
-        engine.run_with_carol_budget(&mut roster, budgets, config.carol_budget, adversary, &seeds);
+    let report = engine.run_with_roster_typed_in(
+        &mut scratch.engine,
+        &mut scratch.roster,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
 
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();

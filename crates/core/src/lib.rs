@@ -81,7 +81,7 @@ mod schedule;
 
 pub use alice::Alice;
 pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
-pub use hopping::{execute_hopping, HoppingConfig};
+pub use hopping::{execute_hopping, execute_hopping_in, HoppingConfig, HoppingScratch};
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};
 pub use params::{DecoyConfig, Params, ParamsBuilder, ParamsError, SizeKnowledge, Variant};

@@ -407,7 +407,7 @@ impl fmt::Display for JamPlan {
 /// assert_eq!(load.on(ChannelId::new(1)).len(), 1);
 /// assert_eq!(load.total(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ChannelLoad {
     buckets: Vec<Vec<Payload>>,
 }
@@ -419,6 +419,16 @@ impl ChannelLoad {
         Self {
             buckets: vec![Vec::new(); spectrum.channel_count() as usize],
         }
+    }
+
+    /// Re-shapes this load to `spectrum` and empties every bucket,
+    /// keeping as many bucket allocations as possible — the engine
+    /// scratch path, where one load is reused across runs that may
+    /// target different spectra.
+    pub fn reset_for(&mut self, spectrum: Spectrum) {
+        self.buckets
+            .resize_with(spectrum.channel_count() as usize, Vec::new);
+        self.clear();
     }
 
     /// Empties every bucket, keeping allocations (per-slot reuse).

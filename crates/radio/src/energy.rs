@@ -187,6 +187,15 @@ pub struct EnergyLedger {
     carol_by_channel: Vec<CostBreakdown>,
 }
 
+impl Default for EnergyLedger {
+    /// An empty single-channel ledger (no participants, unlimited Carol) —
+    /// the placeholder state scratch holders start from before the first
+    /// [`reset_on`](Self::reset_on).
+    fn default() -> Self {
+        Self::from_budgets_on(&[], Budget::unlimited(), Spectrum::single())
+    }
+}
+
 impl EnergyLedger {
     /// Creates a single-channel ledger with the given per-participant
     /// budgets and Carol's pooled budget.
@@ -227,6 +236,37 @@ impl EnergyLedger {
             correct_by_channel: vec![CostBreakdown::default(); channels],
             carol_by_channel: vec![CostBreakdown::default(); channels],
         }
+    }
+
+    /// Rewinds this ledger to the pre-run state of
+    /// [`from_budgets_on`](Self::from_budgets_on) **in place**: meters and
+    /// per-channel tables are rebuilt inside their existing allocations.
+    /// This is the batched-trials path — one ledger per worker, reset per
+    /// trial, zero allocation after the first run at a given shape.
+    pub fn reset_on(
+        &mut self,
+        participant_budgets: &[Budget],
+        carol_budget: Budget,
+        spectrum: Spectrum,
+    ) {
+        self.participants.clear();
+        self.participants
+            .extend(participant_budgets.iter().map(|&budget| Meter {
+                budget,
+                ..Meter::default()
+            }));
+        self.carol = Meter {
+            budget: carol_budget,
+            ..Meter::default()
+        };
+        self.spectrum = spectrum;
+        let channels = spectrum.channel_count() as usize;
+        self.correct_by_channel.clear();
+        self.correct_by_channel
+            .resize(channels, CostBreakdown::default());
+        self.carol_by_channel.clear();
+        self.carol_by_channel
+            .resize(channels, CostBreakdown::default());
     }
 
     /// Number of correct participants tracked.

@@ -138,9 +138,61 @@ impl RunReport {
     }
 }
 
+/// Reusable cross-run scratch for the exact engine's hot path.
+///
+/// One run of the slot loop needs a handful of working buffers: the
+/// per-participant RNG streams, the energy ledger, the per-channel
+/// transmission buckets, the per-slot send/listen/delivery lists, and
+/// the active-participant index set. A fresh `EngineScratch` starts
+/// empty; every [`ExactEngine::run_with_roster_typed_in`] call re-shapes
+/// it in place, so a scratch held by a batch worker stops allocating
+/// after its first trial at a given roster shape.
+///
+/// Buffers escaping into the [`RunReport`] (cost/informed snapshots, the
+/// trace) are necessarily fresh per run and are not held here.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    rngs: Vec<SimRng>,
+    /// Indices of not-yet-terminated participants, ascending. Compacted
+    /// in place at the top of every slot, so late-run slots iterate only
+    /// the live roster instead of skip-scanning all `n` participants.
+    active: Vec<u32>,
+    ledger: EnergyLedger,
+    load: ChannelLoad,
+    correct_sends: Vec<(ParticipantId, ChannelId, PayloadKind)>,
+    listeners: Vec<(ParticipantId, ChannelId)>,
+    executed_jam: JamPlan,
+    jammed_channels: Vec<ChannelId>,
+    delivered_listeners: Vec<(ParticipantId, ChannelId)>,
+    delivered_by_channel: Vec<u64>,
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The exact slot-by-slot engine.
 ///
 /// See the [crate docs](crate) for a runnable example.
+///
+/// # Dispatch tiers
+///
+/// One slot loop serves every entry point, monomorphized over the
+/// roster's element type:
+///
+/// * **Typed** ([`run_with_roster_typed`](Self::run_with_roster_typed)) —
+///   a homogeneous roster (`&mut [P]` for a concrete `P`, typically a
+///   small per-protocol enum) runs with every protocol hook statically
+///   dispatched and inlinable. This is the hot path `rcb_sim::Scenario`
+///   uses for all built-in workloads.
+/// * **Dynamic** ([`run_with_roster`](Self::run_with_roster) /
+///   [`run`](Self::run)) — mixed rosters keep full flexibility through
+///   `&mut dyn NodeProtocol` / boxed trait objects; the same loop is
+///   instantiated at the trait-object type.
 #[derive(Debug, Clone)]
 pub struct ExactEngine {
     config: EngineConfig,
@@ -192,21 +244,22 @@ impl ExactEngine {
         adversary: &mut dyn Adversary,
         seeds: &SeedTree,
     ) -> RunReport {
-        let mut roster: Vec<&mut dyn NodeProtocol> = participants
-            .iter_mut()
-            .map(|p| &mut **p as &mut dyn NodeProtocol)
-            .collect();
-        self.run_with_roster(&mut roster, &budgets, carol_budget, adversary, seeds)
+        // Boxes implement `NodeProtocol` by delegation, so the boxed
+        // roster runs on the shared loop directly — no intermediate
+        // re-borrowed `Vec<&mut dyn NodeProtocol>` is ever built.
+        self.run_with_roster_typed(participants, &budgets, carol_budget, adversary, seeds)
     }
 
-    /// The allocation-light entry point: runs a roster of *borrowed*
-    /// participants against an adversary.
+    /// The allocation-light dynamic entry point: runs a roster of
+    /// *borrowed* participants against an adversary.
     ///
     /// Unlike [`run_with_carol_budget`](Self::run_with_carol_budget), the
     /// engine takes no ownership — callers that execute many runs (batched
     /// trials) keep their participant state machines and budget vectors
     /// alive across runs and only reset them, instead of re-boxing
-    /// `n + 1` trait objects per run.
+    /// `n + 1` trait objects per run. Homogeneous rosters should prefer
+    /// [`run_with_roster_typed`](Self::run_with_roster_typed), which
+    /// additionally removes the per-hook dynamic dispatch.
     ///
     /// # Panics
     ///
@@ -219,6 +272,55 @@ impl ExactEngine {
         adversary: &mut dyn Adversary,
         seeds: &SeedTree,
     ) -> RunReport {
+        self.run_with_roster_typed(participants, budgets, carol_budget, adversary, seeds)
+    }
+
+    /// The devirtualized entry point: runs a homogeneous roster with all
+    /// protocol hooks statically dispatched.
+    ///
+    /// Byte-identical to the dynamic path for the same participants in
+    /// the same order — the loop is the same code, monomorphized at `P`
+    /// instead of at a trait object, and RNG streams are indexed by
+    /// roster position either way (pinned by the fingerprint suites).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` and `budgets` lengths differ.
+    pub fn run_with_roster_typed<P: NodeProtocol>(
+        &self,
+        participants: &mut [P],
+        budgets: &[Budget],
+        carol_budget: Budget,
+        adversary: &mut dyn Adversary,
+        seeds: &SeedTree,
+    ) -> RunReport {
+        self.run_with_roster_typed_in(
+            &mut EngineScratch::new(),
+            participants,
+            budgets,
+            carol_budget,
+            adversary,
+            seeds,
+        )
+    }
+
+    /// Like [`run_with_roster_typed`](Self::run_with_roster_typed), with
+    /// caller-owned scratch: batched trials hand each worker one
+    /// [`EngineScratch`] and the engine performs no per-run allocation
+    /// beyond the buffers that escape into the [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` and `budgets` lengths differ.
+    pub fn run_with_roster_typed_in<P: NodeProtocol>(
+        &self,
+        scratch: &mut EngineScratch,
+        participants: &mut [P],
+        budgets: &[Budget],
+        carol_budget: Budget,
+        adversary: &mut dyn Adversary,
+        seeds: &SeedTree,
+    ) -> RunReport {
         assert_eq!(
             participants.len(),
             budgets.len(),
@@ -226,22 +328,36 @@ impl ExactEngine {
         );
         let n = participants.len();
         let spectrum = self.config.spectrum;
-        let mut ledger = EnergyLedger::from_budgets_on(budgets, carol_budget, spectrum);
-        let mut rngs: Vec<SimRng> = (0..n)
-            .map(|i| seeds.stream("participant", i as u64))
-            .collect();
-        let mut trace = Trace::with_capacity(self.config.trace_capacity);
+        let EngineScratch {
+            rngs,
+            active,
+            ledger,
+            load,
+            correct_sends,
+            listeners,
+            executed_jam,
+            jammed_channels,
+            delivered_listeners,
+            delivered_by_channel,
+        } = scratch;
 
-        // Scratch buffers reused across slots. Transmissions are grouped
-        // by channel up front so per-listener resolution is O(1) — it
-        // inspects only the listener's own channel bucket.
-        let mut load = ChannelLoad::new(spectrum);
-        let mut correct_sends: Vec<(ParticipantId, ChannelId, PayloadKind)> = Vec::new();
-        let mut listeners: Vec<(ParticipantId, ChannelId)> = Vec::new();
-        let mut executed_jam = JamPlan::none();
-        let mut jammed_channels: Vec<ChannelId> = Vec::new();
-        let mut delivered_listeners: Vec<(ParticipantId, ChannelId)> = Vec::new();
-        let mut delivered_by_channel: Vec<u64> = vec![0; spectrum.channel_count() as usize];
+        // Re-shape every buffer in place (allocation-free once warm).
+        ledger.reset_on(budgets, carol_budget, spectrum);
+        rngs.clear();
+        rngs.extend((0..n).map(|i| seeds.stream("participant", i as u64)));
+        load.reset_for(spectrum);
+        executed_jam.clear();
+        jammed_channels.clear();
+        correct_sends.clear();
+        correct_sends.reserve(n);
+        listeners.clear();
+        listeners.reserve(n);
+        delivered_listeners.clear();
+        delivered_by_channel.clear();
+        delivered_by_channel.resize(spectrum.channel_count() as usize, 0);
+        active.clear();
+        active.extend(0..n as u32);
+        let mut trace = Trace::with_capacity(self.config.trace_capacity);
 
         let mut jammed_slots = 0u64;
         let mut noisy_slots = 0u64;
@@ -249,11 +365,6 @@ impl ExactEngine {
         let stop_reason = loop {
             if slot.index() >= self.config.max_slots {
                 break StopReason::SlotCapReached;
-            }
-            if self.config.stop_when_all_terminated
-                && participants.iter().all(|p| p.has_terminated())
-            {
-                break StopReason::AllTerminated;
             }
 
             load.clear();
@@ -264,46 +375,56 @@ impl ExactEngine {
             delivered_listeners.clear();
 
             // 1. Correct participants commit their actions; active actions
-            //    are pinned to the channel the protocol reports.
-            for (i, participant) in participants.iter_mut().enumerate() {
+            //    are pinned to the channel the protocol reports, looked up
+            //    exactly once per action. The walk doubles as the active-set
+            //    compaction: participants that terminated (in a previous
+            //    slot's act or reception) are dropped in place and never
+            //    visited again. Terminated participants draw no RNG and
+            //    ordering stays ascending, so compaction is invisible to
+            //    the simulation — and a slot in which *everyone* turns out
+            //    terminated performs no action and no RNG draw, exactly
+            //    like the former top-of-slot all-terminated scan.
+            let mut kept = 0usize;
+            for cursor in 0..active.len() {
+                let idx = active[cursor];
+                let i = idx as usize;
+                let participant = &mut participants[i];
                 if participant.has_terminated() {
-                    continue;
+                    continue; // swept from the active set for good
                 }
-                let id = ParticipantId::new(i as u32);
+                active[kept] = idx;
+                kept += 1;
                 match participant.act(slot, &mut rngs[i]) {
                     Action::Sleep => {}
-                    Action::Send(payload) => {
+                    action => {
+                        let id = ParticipantId::new(idx);
                         let channel = participant.channel(slot);
                         assert!(
                             spectrum.contains(channel),
                             "participant {id} tuned {channel} outside the {spectrum}"
                         );
-                        if ledger
-                            .charge_participant_on(id, Op::Send, channel)
-                            .is_charged()
-                        {
-                            correct_sends.push((id, channel, payload.kind()));
-                            load.push(channel, payload);
-                        } else {
-                            participant.on_budget_exhausted(slot);
-                        }
-                    }
-                    Action::Listen => {
-                        let channel = participant.channel(slot);
-                        assert!(
-                            spectrum.contains(channel),
-                            "participant {id} tuned {channel} outside the {spectrum}"
-                        );
-                        if ledger
-                            .charge_participant_on(id, Op::Listen, channel)
-                            .is_charged()
-                        {
-                            listeners.push((id, channel));
+                        let op = match action {
+                            Action::Send(_) => Op::Send,
+                            _ => Op::Listen,
+                        };
+                        if ledger.charge_participant_on(id, op, channel).is_charged() {
+                            match action {
+                                Action::Send(payload) => {
+                                    correct_sends.push((id, channel, payload.kind()));
+                                    load.push(channel, payload);
+                                }
+                                Action::Listen => listeners.push((id, channel)),
+                                Action::Sleep => unreachable!("sleep matched above"),
+                            }
                         } else {
                             participant.on_budget_exhausted(slot);
                         }
                     }
                 }
+            }
+            active.truncate(kept);
+            if self.config.stop_when_all_terminated && active.is_empty() {
+                break StopReason::AllTerminated;
             }
 
             // 2. Carol plans; reactive Carol additionally sees the RSSI bit.
@@ -351,8 +472,8 @@ impl ExactEngine {
             // 4. Resolve per (listener, channel): only the listener's own
             //    channel bucket and directive are consulted.
             let mut delivered = 0u32;
-            for &(listener, channel) in &listeners {
-                let reception = resolve_for_listener_on(listener, channel, &load, &executed_jam);
+            for &(listener, channel) in listeners.iter() {
+                let reception = resolve_for_listener_on(listener, channel, load, executed_jam);
                 if matches!(reception, Reception::Frame(_)) {
                     delivered += 1;
                     delivered_by_channel[channel.index() as usize] += 1;
@@ -365,11 +486,11 @@ impl ExactEngine {
             adversary.observe(
                 slot,
                 &SlotObservation {
-                    correct_sends: &correct_sends,
-                    listeners: &listeners,
+                    correct_sends: correct_sends.as_slice(),
+                    listeners: listeners.as_slice(),
                     jam_executed,
-                    jammed_channels: &jammed_channels,
-                    delivered: &delivered_listeners,
+                    jammed_channels: jammed_channels.as_slice(),
+                    delivered: delivered_listeners.as_slice(),
                 },
             );
 
@@ -919,6 +1040,219 @@ mod tests {
         assert!(report.informed[1], "byzantine frame delivers on ch1");
         assert_eq!(report.channel_stats[1].byz_sends, 5);
         assert_eq!(report.channel_stats[0].byz_sends, 0);
+    }
+
+    /// A homogeneous roster type over the test protocols, mirroring the
+    /// per-protocol enums the workloads use on the typed fast path.
+    enum TestParticipant {
+        Chatter(TunedChatter),
+        Recorder(TunedRecorder),
+    }
+
+    impl NodeProtocol for TestParticipant {
+        fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+            match self {
+                TestParticipant::Chatter(c) => c.act(slot, rng),
+                TestParticipant::Recorder(r) => r.act(slot, rng),
+            }
+        }
+        fn channel(&self, slot: Slot) -> ChannelId {
+            match self {
+                TestParticipant::Chatter(c) => c.channel(slot),
+                TestParticipant::Recorder(r) => r.channel(slot),
+            }
+        }
+        fn on_reception(&mut self, slot: Slot, reception: Reception) {
+            match self {
+                TestParticipant::Chatter(c) => c.on_reception(slot, reception),
+                TestParticipant::Recorder(r) => r.on_reception(slot, reception),
+            }
+        }
+        fn has_terminated(&self) -> bool {
+            match self {
+                TestParticipant::Chatter(c) => c.has_terminated(),
+                TestParticipant::Recorder(r) => r.has_terminated(),
+            }
+        }
+        fn is_informed(&self) -> bool {
+            match self {
+                TestParticipant::Chatter(c) => c.is_informed(),
+                TestParticipant::Recorder(r) => r.is_informed(),
+            }
+        }
+    }
+
+    /// Jams channel `slot % C` and airs a Byzantine frame on channel 0
+    /// every third slot — deterministic multi-channel pressure that
+    /// exercises jamming, collisions, and budget fizzle identically on
+    /// every dispatch path.
+    struct RotaryCarol {
+        channels: u16,
+    }
+
+    impl Adversary for RotaryCarol {
+        fn plan(&mut self, slot: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            let target = ChannelId::new((slot.index() % u64::from(self.channels)) as u16);
+            let sends = if slot.index().is_multiple_of(3) {
+                vec![Transmission::on(ChannelId::ZERO, Payload::Garbage(7))]
+            } else {
+                Vec::new()
+            };
+            AdversaryMove {
+                jam: JamPlan::on(target, JamDirective::All),
+                sends,
+            }
+        }
+    }
+
+    /// Full-report equality: every observable the engine produces.
+    fn assert_reports_identical(label: &str, a: &RunReport, b: &RunReport) {
+        assert_eq!(a.slots_elapsed, b.slots_elapsed, "{label}: slots");
+        assert_eq!(a.stop_reason, b.stop_reason, "{label}: stop reason");
+        assert_eq!(a.participant_costs, b.participant_costs, "{label}: costs");
+        assert_eq!(
+            a.participant_refusals, b.participant_refusals,
+            "{label}: refusals"
+        );
+        assert_eq!(a.carol_cost, b.carol_cost, "{label}: carol");
+        assert_eq!(a.informed, b.informed, "{label}: informed");
+        assert_eq!(a.terminated, b.terminated, "{label}: terminated");
+        assert_eq!(a.jammed_slots, b.jammed_slots, "{label}: jammed slots");
+        assert_eq!(a.noisy_slots, b.noisy_slots, "{label}: noisy slots");
+        assert_eq!(a.channel_stats, b.channel_stats, "{label}: channel stats");
+        assert_eq!(a.trace.records(), b.trace.records(), "{label}: trace");
+    }
+
+    /// One roster shape, rebuilt fresh per dispatch path: chatters on the
+    /// low channels, recorders spread across the spectrum (same-channel
+    /// recorders terminate mid-run, exercising active-set compaction).
+    fn test_roster_spec(channels: u16) -> Vec<(bool, u16)> {
+        let mut spec = vec![(true, 0u16)];
+        for i in 0..6u16 {
+            spec.push((false, i % channels));
+        }
+        spec
+    }
+
+    fn build_typed(spec: &[(bool, u16)]) -> Vec<TestParticipant> {
+        spec.iter()
+            .map(|&(chatter, ch)| {
+                if chatter {
+                    TestParticipant::Chatter(TunedChatter {
+                        payload: Payload::Nack,
+                        channel: ChannelId::new(ch),
+                    })
+                } else {
+                    TestParticipant::Recorder(TunedRecorder::new(ChannelId::new(ch)))
+                }
+            })
+            .collect()
+    }
+
+    fn build_boxed(spec: &[(bool, u16)]) -> Vec<Box<dyn NodeProtocol>> {
+        spec.iter()
+            .map(|&(chatter, ch)| -> Box<dyn NodeProtocol> {
+                if chatter {
+                    Box::new(TunedChatter {
+                        payload: Payload::Nack,
+                        channel: ChannelId::new(ch),
+                    })
+                } else {
+                    Box::new(TunedRecorder::new(ChannelId::new(ch)))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn typed_and_dyn_paths_are_byte_identical() {
+        // The monomorphized fast path, the `&mut dyn` path, and the boxed
+        // path must be indistinguishable — same reports, down to the
+        // trace — on both the single-channel and a multi-channel
+        // spectrum, against a jamming + byzantine adversary with a
+        // budget that goes broke mid-run.
+        for channels in [1u16, 4] {
+            let spectrum = Spectrum::new(channels);
+            let spec = test_roster_spec(channels);
+            let engine = ExactEngine::new(cfg_on(40, spectrum));
+            let budgets = vec![Budget::unlimited(); spec.len()];
+            let carol = Budget::limited(25);
+            let seeds = SeedTree::new(99);
+
+            let mut typed = build_typed(&spec);
+            let typed_report = engine.run_with_roster_typed(
+                &mut typed,
+                &budgets,
+                carol,
+                &mut RotaryCarol { channels },
+                &seeds,
+            );
+
+            let mut boxed = build_boxed(&spec);
+            let mut dyn_refs: Vec<&mut dyn NodeProtocol> = boxed
+                .iter_mut()
+                .map(|p| &mut **p as &mut dyn NodeProtocol)
+                .collect();
+            let dyn_report = engine.run_with_roster(
+                &mut dyn_refs,
+                &budgets,
+                carol,
+                &mut RotaryCarol { channels },
+                &seeds,
+            );
+
+            let boxed_report = engine.run_with_carol_budget(
+                &mut build_boxed(&spec),
+                budgets.clone(),
+                carol,
+                &mut RotaryCarol { channels },
+                &seeds,
+            );
+
+            assert_reports_identical(
+                &format!("C={channels} typed/dyn"),
+                &typed_report,
+                &dyn_report,
+            );
+            assert_reports_identical(
+                &format!("C={channels} typed/boxed"),
+                &typed_report,
+                &boxed_report,
+            );
+        }
+    }
+
+    #[test]
+    fn engine_scratch_reuse_is_invisible_across_spectra() {
+        // One EngineScratch driven through runs of different spectra and
+        // roster shapes must reproduce fresh-scratch runs byte for byte —
+        // the reshaping in `run_with_roster_typed_in` leaks nothing.
+        let mut scratch = EngineScratch::new();
+        for channels in [4u16, 1, 4] {
+            let spectrum = Spectrum::new(channels);
+            let spec = test_roster_spec(channels);
+            let engine = ExactEngine::new(cfg_on(40, spectrum));
+            let budgets = vec![Budget::unlimited(); spec.len()];
+            let carol = Budget::limited(25);
+            let seeds = SeedTree::new(7);
+
+            let reused = engine.run_with_roster_typed_in(
+                &mut scratch,
+                &mut build_typed(&spec),
+                &budgets,
+                carol,
+                &mut RotaryCarol { channels },
+                &seeds,
+            );
+            let fresh = engine.run_with_roster_typed(
+                &mut build_typed(&spec),
+                &budgets,
+                carol,
+                &mut RotaryCarol { channels },
+                &seeds,
+            );
+            assert_reports_identical(&format!("C={channels} reuse"), &reused, &fresh);
+        }
     }
 
     #[test]

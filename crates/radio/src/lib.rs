@@ -114,7 +114,7 @@ pub use channel::{
     JamPlanIntoIter,
 };
 pub use energy::{Budget, ChargeOutcome, CostBreakdown, EnergyLedger, Op};
-pub use engine::{ChannelStats, EngineConfig, ExactEngine, RunReport, StopReason};
+pub use engine::{ChannelStats, EngineConfig, EngineScratch, ExactEngine, RunReport, StopReason};
 pub use message::{Payload, PayloadKind};
 pub use participant::{Action, NodeProtocol, ParticipantId, Reception};
 pub use slot::Slot;

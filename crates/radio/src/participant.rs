@@ -137,6 +137,66 @@ pub trait NodeProtocol {
     fn is_informed(&self) -> bool;
 }
 
+/// Delegation through mutable references, so the engine's monomorphized
+/// roster loop can be instantiated at `P = &mut dyn NodeProtocol` — the
+/// dynamic-dispatch path is just another instantiation of the one slot
+/// loop, not a second implementation.
+impl<T: NodeProtocol + ?Sized> NodeProtocol for &mut T {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        (**self).act(slot, rng)
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> crate::spectrum::ChannelId {
+        (**self).channel(slot)
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        (**self).on_reception(slot, reception)
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        (**self).on_budget_exhausted(slot)
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        (**self).has_terminated()
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        (**self).is_informed()
+    }
+}
+
+/// Delegation through boxes: a `Vec<Box<dyn NodeProtocol>>` roster runs
+/// on the engine directly, with no intermediate re-borrowed vector.
+impl<T: NodeProtocol + ?Sized> NodeProtocol for Box<T> {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        (**self).act(slot, rng)
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> crate::spectrum::ChannelId {
+        (**self).channel(slot)
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        (**self).on_reception(slot, reception)
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        (**self).on_budget_exhausted(slot)
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        (**self).has_terminated()
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        (**self).is_informed()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

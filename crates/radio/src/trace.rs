@@ -63,10 +63,23 @@ pub struct Trace {
 
 impl Trace {
     /// A trace retaining at most `cap` records (the earliest ones).
+    ///
+    /// `cap == 0` (tracing disabled — the engine's default) is guaranteed
+    /// to allocate nothing; a nonzero cap pre-reserves the record buffer
+    /// up front (bounded, so an absurd cap cannot OOM before a single
+    /// record exists), sparing the slot loop incremental regrowth.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
+        /// Pre-reservation bound: 24 bytes/record ⇒ at most ~6 MiB up
+        /// front; larger traces grow on demand.
+        const MAX_PREALLOC_RECORDS: usize = 1 << 18;
+        let records = if cap == 0 {
+            Vec::new()
+        } else {
+            Vec::with_capacity(cap.min(MAX_PREALLOC_RECORDS))
+        };
         Self {
-            records: Vec::new(),
+            records,
             cap,
             dropped: 0,
         }

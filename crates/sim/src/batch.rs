@@ -39,11 +39,66 @@ where
     run_trials_scoped(base_seed, trials, || (), |(), seed| trial_fn(seed))
 }
 
+/// The environment variable that overrides the worker-thread count for
+/// [`run_trials_scoped`] (and everything built on it, notably
+/// `Scenario::run_batch`) when no explicit override is passed. Invalid
+/// or zero values are ignored. Bench harnesses use it to measure thread
+/// scaling: `RCB_THREADS=1 cargo bench ...`.
+pub const THREADS_ENV_VAR: &str = "RCB_THREADS";
+
+/// Resolves the worker count: explicit override (zero is clamped to 1 —
+/// an explicit request never silently falls back to the environment),
+/// else [`THREADS_ENV_VAR`], else `available_parallelism`, always
+/// clamped to the trial count.
+fn resolve_worker_count(requested: Option<usize>, trials: u32) -> usize {
+    requested
+        .map(|w| w.max(1))
+        .or_else(|| {
+            std::env::var(THREADS_ENV_VAR)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&w| w > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .min(trials.max(1) as usize)
+}
+
 /// Like [`run_trials`], but each worker thread owns a scratch value built
 /// by `init` and passed to every trial it executes — the hook that lets
 /// `Scenario::run_batch` reuse roster and budget allocations across the
 /// trials of one worker instead of rebuilding them per trial.
+///
+/// The worker count defaults to `available_parallelism`, overridable via
+/// the [`THREADS_ENV_VAR`] environment variable; use
+/// [`run_trials_scoped_with`] for an explicit per-call override. Results
+/// are identical regardless of the worker count (per-trial seeds are
+/// derived, not shared).
 pub fn run_trials_scoped<S, T, F, Init>(
+    base_seed: u64,
+    trials: u32,
+    init: Init,
+    trial_fn: F,
+) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> T + Sync,
+{
+    run_trials_scoped_with(None, base_seed, trials, init, trial_fn)
+}
+
+/// Like [`run_trials_scoped`], with an explicit worker-count override
+/// (`None` falls back to [`THREADS_ENV_VAR`], then
+/// `available_parallelism`). `Some(1)` — and `Some(0)`, which clamps to
+/// 1 — forces fully sequential execution on the calling thread: the
+/// configuration bench harnesses use to measure single-core engine
+/// throughput and thread scaling.
+pub fn run_trials_scoped_with<S, T, F, Init>(
+    workers: Option<usize>,
     base_seed: u64,
     trials: u32,
     init: Init,
@@ -59,10 +114,7 @@ where
         .map(|i| tree.leaf_seed("trial", i.into()))
         .collect();
 
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials.max(1) as usize);
+    let workers = resolve_worker_count(workers, trials);
 
     if workers <= 1 || trials <= 1 {
         let mut scratch = init();

@@ -123,7 +123,7 @@ mod batch;
 mod outcome;
 mod scenario;
 
-pub use batch::{run_trials, run_trials_scoped};
+pub use batch::{run_trials, run_trials_scoped, run_trials_scoped_with, THREADS_ENV_VAR};
 pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
     Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,

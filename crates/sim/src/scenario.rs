@@ -5,12 +5,15 @@ use std::fmt;
 
 use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
-use rcb_baselines::{execute_epidemic, execute_naive, EpidemicConfig, NaiveConfig};
+use rcb_baselines::{
+    execute_epidemic_in, execute_naive_in, EpidemicConfig, EpidemicScratch, NaiveConfig,
+    NaiveScratch,
+};
 use rcb_core::fast::{run_fast, FastConfig};
 use rcb_core::fast_mc::{run_fast_mc, McConfig};
 use rcb_core::{
-    execute_hopping, BroadcastOutcome, BroadcastScratch, EngineKind, HoppingConfig, Params,
-    RunConfig,
+    execute_hopping_in, BroadcastOutcome, BroadcastScratch, EngineKind, HoppingConfig,
+    HoppingScratch, Params, RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
 
@@ -23,7 +26,7 @@ use rcb_radio::{Budget, CostBreakdown, Spectrum};
 /// `O(n · horizon)`.
 pub use rcb_core::fast_mc::DEFAULT_PHASE_LEN as DEFAULT_MC_PHASE_LEN;
 
-use crate::batch::run_trials_scoped;
+use crate::batch::run_trials_scoped_with;
 use crate::outcome::ScenarioOutcome;
 
 /// Which simulation engine executes a scenario.
@@ -324,13 +327,23 @@ pub struct Scenario {
     trace_capacity: usize,
     channels: u16,
     mc_phase_len: u64,
+    threads: Option<usize>,
     seed: u64,
 }
 
 /// Reusable per-worker scratch for batched scenario execution.
+///
+/// Holds one scratch per exact-engine protocol family (roster, budget
+/// vector, and the engine's [`rcb_radio::EngineScratch`] working
+/// buffers); a batch worker resets them in place across its trials, so
+/// steady-state trial execution performs no per-trial allocation beyond
+/// the outcome itself.
 #[derive(Debug, Default)]
 pub struct ScenarioScratch {
     broadcast: BroadcastScratch,
+    hopping: HoppingScratch,
+    naive: NaiveScratch,
+    epidemic: EpidemicScratch,
 }
 
 impl ScenarioScratch {
@@ -442,11 +455,18 @@ impl Scenario {
                 Engine::Exact => self.run_broadcast_exact(scratch, params, seed),
                 Engine::Fast => self.run_broadcast_fast(params, seed),
             },
-            ProtocolSpec::Naive(spec) => self.run_naive(*spec, seed),
-            ProtocolSpec::Epidemic(spec) => self.run_epidemic(*spec, seed),
+            ProtocolSpec::Naive(spec) => self.run_naive(scratch, *spec, seed),
+            ProtocolSpec::Epidemic(spec) => self.run_epidemic(scratch, *spec, seed),
             ProtocolSpec::Ksy(spec) => self.run_ksy(*spec, seed),
-            ProtocolSpec::Hopping(spec) => self.run_hopping(*spec, seed),
+            ProtocolSpec::Hopping(spec) => self.run_hopping(scratch, *spec, seed),
         }
+    }
+
+    /// The worker-thread override for [`run_batch`](Self::run_batch)
+    /// (`None` = `RCB_THREADS` env var, then `available_parallelism`).
+    #[must_use]
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Runs `trials` independent executions in parallel and returns their
@@ -457,12 +477,19 @@ impl Scenario {
     /// historical derivation, and independent of thread scheduling. Each
     /// worker thread owns one [`ScenarioScratch`], so rosters and budget
     /// vectors are reset in place across the trials it executes instead
-    /// of being reallocated per trial.
+    /// of being reallocated per trial. The worker count follows
+    /// [`ScenarioBuilder::threads`], the `RCB_THREADS` environment
+    /// variable, or `available_parallelism`, in that order — the choice
+    /// never changes the outcomes.
     #[must_use]
     pub fn run_batch(&self, trials: u32) -> Vec<ScenarioOutcome> {
-        run_trials_scoped(self.seed, trials, ScenarioScratch::new, |scratch, seed| {
-            self.run_in(scratch, seed)
-        })
+        run_trials_scoped_with(
+            self.threads,
+            self.seed,
+            trials,
+            ScenarioScratch::new,
+            |scratch, seed| self.run_in(scratch, seed),
+        )
     }
 
     fn carol_budget_as_budget(&self) -> Budget {
@@ -508,14 +535,24 @@ impl Scenario {
         self.exact_outcome(broadcast, report, seed)
     }
 
-    fn run_hopping(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+    fn run_hopping(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: HoppingSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
         match self.engine {
-            Engine::Exact => self.run_hopping_exact(spec, seed),
+            Engine::Exact => self.run_hopping_exact(scratch, spec, seed),
             Engine::Fast => self.run_hopping_fast(spec, seed),
         }
     }
 
-    fn run_hopping_exact(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+    fn run_hopping_exact(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: HoppingSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
         let config = HoppingConfig {
             n: spec.n,
             horizon: spec.horizon,
@@ -529,7 +566,12 @@ impl Scenario {
             .adversary
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
-        let (broadcast, report) = execute_hopping(&config, self.spectrum(), adversary.as_mut());
+        let (broadcast, report) = execute_hopping_in(
+            &config,
+            self.spectrum(),
+            adversary.as_mut(),
+            &mut scratch.hopping,
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -593,7 +635,12 @@ impl Scenario {
             .expect("validated at build: strategy is schedule-free")
     }
 
-    fn run_naive(&self, spec: NaiveSpec, seed: u64) -> ScenarioOutcome {
+    fn run_naive(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: NaiveSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
         let config = NaiveConfig {
             n: spec.n,
             horizon: spec.horizon,
@@ -601,12 +648,20 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) =
-            execute_naive(&config, self.schedule_free_adversary(seed).as_mut());
+        let (broadcast, report) = execute_naive_in(
+            &config,
+            self.schedule_free_adversary(seed).as_mut(),
+            &mut scratch.naive,
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
-    fn run_epidemic(&self, spec: EpidemicSpec, seed: u64) -> ScenarioOutcome {
+    fn run_epidemic(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: EpidemicSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
         let config = EpidemicConfig {
             n: spec.n,
             listen_p: spec.listen_p,
@@ -616,8 +671,11 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) =
-            execute_epidemic(&config, self.schedule_free_adversary(seed).as_mut());
+        let (broadcast, report) = execute_epidemic_in(
+            &config,
+            self.schedule_free_adversary(seed).as_mut(),
+            &mut scratch.epidemic,
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -675,6 +733,7 @@ pub struct ScenarioBuilder {
     trace: Option<usize>,
     channels: u16,
     phase_len: Option<u64>,
+    threads: Option<usize>,
     seed: u64,
 }
 
@@ -689,6 +748,7 @@ impl ScenarioBuilder {
             trace: None,
             channels: 1,
             phase_len: None,
+            threads: None,
             seed: 0,
         }
     }
@@ -770,6 +830,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Overrides the worker-thread count used by
+    /// [`Scenario::run_batch`].
+    ///
+    /// Defaults to the `RCB_THREADS` environment variable, then
+    /// `available_parallelism`. Outcomes are identical at any worker
+    /// count (per-trial seeds are derived from the master seed, not
+    /// shared state); the knob exists so bench harnesses can measure
+    /// single-core throughput (`threads(1)`) and thread scaling.
+    /// [`build`](Self::build) rejects 0 with
+    /// [`ScenarioError::InvalidConfig`].
+    #[must_use]
+    pub fn threads(mut self, workers: usize) -> Self {
+        self.threads = Some(workers);
+        self
+    }
+
     /// Sets the master seed (default 0).
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -838,6 +914,13 @@ impl ScenarioBuilder {
                 slots
             }
         };
+
+        // A zero-thread batch cannot make progress.
+        if self.threads == Some(0) {
+            return Err(ScenarioError::InvalidConfig(
+                "run_batch needs at least one worker thread".into(),
+            ));
+        }
 
         // Spectrum: a multi-channel run needs a channel-capable protocol,
         // and channel-aware strategies need one too (even at C = 1 — a
@@ -955,6 +1038,7 @@ impl ScenarioBuilder {
             trace_capacity,
             channels: self.channels,
             mc_phase_len,
+            threads: self.threads,
             seed: self.seed,
         })
     }

@@ -141,6 +141,129 @@ fn every_protocol_engine_combination_is_deterministic() {
 }
 
 #[test]
+fn shared_scratch_reuse_is_invisible_across_protocols() {
+    use evildoers::sim::ScenarioScratch;
+    // The typed-roster fast path reuses per-worker scratch (rosters,
+    // budget vectors, engine buffers). One scratch hopping between
+    // protocol families, adversaries, and channel counts must reproduce
+    // fresh-scratch runs bit for bit — across C ∈ {1, 4} and every
+    // exact-engine protocol family.
+    let combos: Vec<(&str, Scenario)> = vec![
+        (
+            "broadcast/continuous",
+            Scenario::broadcast(Params::builder(16).build().unwrap())
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(300)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "broadcast/lagged-reactive",
+            Scenario::broadcast(Params::builder(16).build().unwrap())
+                .adversary(StrategySpec::LaggedReactive)
+                .carol_budget(200)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "naive/random",
+            Scenario::naive(NaiveSpec { n: 8, horizon: 300 })
+                .adversary(StrategySpec::Random(0.5))
+                .carol_budget(100)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "epidemic/bursty",
+            Scenario::epidemic(EpidemicSpec::new(8, 600))
+                .adversary(StrategySpec::Bursty { burst: 8, gap: 8 })
+                .carol_budget(100)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hopping-c1/split",
+            Scenario::hopping(HoppingSpec::new(12, 1_500))
+                .channels(1)
+                .adversary(StrategySpec::SplitUniform)
+                .carol_budget(300)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hopping-c4/adaptive",
+            Scenario::hopping(HoppingSpec::new(12, 1_500))
+                .channels(4)
+                .adversary(StrategySpec::Adaptive {
+                    window: 8,
+                    reactivity: 0.5,
+                })
+                .carol_budget(300)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "hopping-c4/sweep",
+            Scenario::hopping(HoppingSpec::new(12, 1_500))
+                .channels(4)
+                .adversary(StrategySpec::ChannelSweep { dwell: 5 })
+                .carol_budget(300)
+                .seed(5)
+                .build()
+                .unwrap(),
+        ),
+    ];
+    let mut scratch = ScenarioScratch::new();
+    for pass in 0..2u64 {
+        for (label, scenario) in &combos {
+            let seed = 1_234 + pass;
+            let reused = scenario.run_in(&mut scratch, seed);
+            let fresh = scenario.run_seeded(seed);
+            assert_identical(&fresh, &reused, label);
+            assert_eq!(
+                fresh.channel_stats, reused.channel_stats,
+                "{label}: channel stats must survive scratch reuse"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_override_never_changes_outcomes() {
+    // run_batch results are defined by derived per-trial seeds, not by
+    // scheduling: any thread override (builder knob) must reproduce the
+    // default-pool outcomes exactly.
+    let build = |threads: Option<usize>| {
+        let mut b = Scenario::hopping(HoppingSpec::new(16, 2_000))
+            .channels(4)
+            .adversary(StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            })
+            .carol_budget(400)
+            .seed(11);
+        if let Some(workers) = threads {
+            b = b.threads(workers);
+        }
+        b.build().unwrap()
+    };
+    let reference = build(None).run_batch(5);
+    for threads in [1usize, 2, 5] {
+        let overridden = build(Some(threads)).run_batch(5);
+        assert_eq!(overridden.len(), reference.len());
+        for (a, b) in overridden.iter().zip(&reference) {
+            assert_identical(a, b, &format!("threads={threads}"));
+        }
+    }
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     let params = Params::builder(32).build().unwrap();
     let outcomes: Vec<_> = (0..4)

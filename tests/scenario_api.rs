@@ -213,6 +213,13 @@ fn invalid_combinations_are_typed_errors_not_panics() {
         .unwrap_err();
     assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
 
+    // A zero-worker batch pool is meaningless.
+    let err = Scenario::broadcast(params(16))
+        .threads(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+
     // Slot-only strategies have no phase-mc model on the fast hopping
     // engine.
     let err = Scenario::hopping(HoppingSpec::new(8, 100))

@@ -13,6 +13,10 @@
 //! There is no statistical analysis, outlier rejection, or plotting. The
 //! numbers are comparable run-to-run on the same machine, which is what
 //! the workspace's perf-baseline benches need.
+//!
+//! Like the real criterion, `cargo bench -- --test` runs every benchmark
+//! in **test mode**: a single un-timed iteration per benchmark, enough to
+//! catch bench bitrot in CI without paying for measurement windows.
 
 #![forbid(unsafe_code)]
 
@@ -78,12 +82,20 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `f`, first warming up, then iterating until the measurement
-    /// window is filled.
+    /// window is filled. In test mode (`--test`), runs `f` exactly once.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(f());
+            self.total = start.elapsed();
+            self.iters = 1;
+            return;
+        }
         // Warm-up: also estimates a single-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -112,9 +124,19 @@ impl Bencher {
 }
 
 /// The harness entry point.
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments: `--test` selects test mode (one
+    /// un-timed iteration per benchmark), mirroring
+    /// `cargo bench -- --test` on the real criterion.
+    fn default() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -130,12 +152,22 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut f: F,
+) {
     let mut bencher = Bencher {
         total: Duration::ZERO,
         iters: 0,
+        test_mode,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("{label:<50} ok (test mode: 1 iteration)");
+        return;
+    }
     if bencher.iters == 0 {
         println!("{label:<50} (no iterations measured)");
         return;
@@ -166,13 +198,14 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             throughput: None,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
 
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_one(id, None, f);
+        run_one(id, None, self.test_mode, f);
         self
     }
 }
@@ -181,6 +214,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -204,7 +238,7 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into());
-        run_one(&label, self.throughput, f);
+        run_one(&label, self.throughput, self.test_mode, f);
         self
     }
 
