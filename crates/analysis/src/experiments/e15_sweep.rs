@@ -1,0 +1,182 @@
+//! E15 — the resident sweep service: precision-driven trial counts and a
+//! content-addressed cache over an E12-style spectrum grid.
+//!
+//! E11–E13 validate the multi-channel claims with fixed-trial-count
+//! grids: every cell runs the same guessed number of trials, and
+//! re-running a grid recomputes cells it has already measured. The
+//! `rcb-sweep` service replaces both guesses: cells stop at the first
+//! deterministic checkpoint where the stop metric's CI half-width
+//! reaches the requested precision, and completed cells are keyed by
+//! canonical fingerprint so an identical resubmission executes **zero**
+//! trials. This experiment submits the E12-shaped grid (random-hopping
+//! broadcast, channel counts × adversaries at fixed budget) twice
+//! against one service and measures:
+//!
+//! * **cold** — per-cell trials actually spent vs the `max_trials` a
+//!   fixed-count grid would have paid, i.e. what early stopping saves;
+//! * **warm** — the identical resubmission: cache hits on every cell,
+//!   zero trials executed, and statistics that are **bit-identical** to
+//!   the cold pass (the cache stores Welford accumulators, not rounded
+//!   summaries).
+//!
+//! The determinism half of the story — sweep aggregates byte-identical
+//! to sequential `run_trials` at any worker count or shard size — is
+//! pinned by `tests/determinism.rs` and `tests/sweep_service.rs`; this
+//! experiment archives the service-level behaviour.
+
+use rcb_sim::StrategySpec;
+use rcb_sweep::{Metric, StopRule, SweepService, SweepSpec};
+
+use super::{ExperimentReport, Scale};
+use crate::sweep_runner::{hopping_channel_grid, sweep_table};
+use crate::table::fmt_f;
+
+struct Plan {
+    n: u64,
+    horizon: u64,
+    budget: u64,
+    half_width: f64,
+    max_trials: u32,
+}
+
+fn plan(scale: Scale) -> Plan {
+    match scale {
+        Scale::Smoke => Plan {
+            n: 16,
+            horizon: 800,
+            budget: 600,
+            half_width: 120.0,
+            max_trials: 48,
+        },
+        Scale::Full => Plan {
+            n: 96,
+            horizon: 20_000,
+            budget: 12_000,
+            half_width: 150.0,
+            max_trials: 96,
+        },
+    }
+}
+
+/// Runs E15 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let plan = plan(scale);
+    let adversaries = [
+        StrategySpec::SplitUniform,
+        StrategySpec::ChannelLagged,
+        StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        },
+    ];
+    let cells = hopping_channel_grid(
+        plan.n,
+        plan.horizon,
+        plan.budget,
+        0xE15,
+        &[1, 2, 4],
+        &adversaries,
+    );
+    let rule = StopRule::new(Metric::NodeTotalCost, plan.half_width).trials(8, 8, plan.max_trials);
+    let spec = SweepSpec::new(cells, rule);
+
+    let service = SweepService::in_memory();
+    let cold = service.submit(&spec).expect("the grid is valid");
+    let warm = service.submit(&spec).expect("the grid is valid");
+
+    let grid_cells = cold.cells.len() as u64;
+    let fixed_count_trials = grid_cells * u64::from(rule.max_trials);
+    let tables = vec![
+        (
+            format!(
+                "cold submission: hopping broadcast, n = {}, T = {}, stop at \
+                 half-width ≤ {} on {} (z = {}), checkpoints every {} trials, \
+                 cap {} — trials are spent where the variance is",
+                plan.n,
+                plan.budget,
+                plan.half_width,
+                rule.metric.name(),
+                rule.z,
+                rule.check_every,
+                rule.max_trials
+            ),
+            sweep_table(&cold, &rule),
+        ),
+        (
+            "warm resubmission of the identical grid: every cell served from the \
+             content-addressed cache"
+                .to_string(),
+            sweep_table(&warm, &rule),
+        ),
+    ];
+
+    let bits_identical = cold
+        .cells
+        .iter()
+        .zip(&warm.cells)
+        .all(|(a, b)| a.stats == b.stats && a.trials == b.trials);
+    let all_finished = cold
+        .cells
+        .iter()
+        .all(|c| c.met_target(&rule) || c.trials >= u64::from(rule.max_trials));
+    let precision_met = cold.cells.iter().filter(|c| c.met_target(&rule)).count();
+
+    let findings = vec![
+        format!(
+            "cold: {} trials executed for {} cells where a fixed-count grid at the \
+             same cap would run {} — early stopping saved {} trials ({:.0}%)",
+            cold.trials_executed(),
+            grid_cells,
+            fixed_count_trials,
+            cold.progress.trials_saved_by_stopping,
+            100.0 * cold.progress.trials_saved_by_stopping as f64 / fixed_count_trials as f64
+        ),
+        format!(
+            "{precision_met}/{grid_cells} cells reached the requested precision before \
+             the cap; the rest stopped at max_trials with their achieved half-width \
+             reported"
+        ),
+        format!(
+            "warm: {} trials executed, cache hit rate {} — and every warm cell's \
+             accumulators are bit-identical to the cold pass",
+            warm.trials_executed(),
+            fmt_f(warm.progress.cache_hit_rate())
+        ),
+    ];
+
+    let pass = warm.trials_executed() == 0
+        && warm.progress.cache_hits == grid_cells
+        && bits_identical
+        && all_finished;
+
+    ExperimentReport {
+        id: "E15",
+        title: "resident sweep service",
+        claim: "A resident sweep tier makes grid measurement precision-driven and \
+                incremental: cells stop at the first checkpoint where the stop metric's \
+                CI half-width reaches target (spending trials where the variance is), \
+                and a content-addressed cache over canonical scenario fingerprints \
+                serves identical resubmissions with zero trials and bit-identical \
+                statistics.",
+        tables,
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Part of the slow tier: two full (small-scale) grid submissions.
+    // CI's fast lane skips it with `--no-default-features`.
+    #[cfg(feature = "slow-tests")]
+    #[test]
+    fn smoke_scale_sweeps_and_caches() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+        assert_eq!(report.tables[0].1.len(), 9, "3 channels × 3 adversaries");
+        assert_eq!(report.tables[1].1.len(), 9);
+    }
+}

@@ -1,5 +1,5 @@
 //! Experiment harness: trial runner, statistics, regression, tables, and
-//! the reproduction experiments E1–E12/X2 of `DESIGN.md`.
+//! the reproduction experiments E1–E15/X2 of `DESIGN.md`.
 //!
 //! The paper is a theory paper — its "evaluation" is Theorem 1 and the
 //! lemma chain. Each analytical claim maps to an experiment here that
@@ -22,6 +22,7 @@ pub mod experiments;
 mod regression;
 mod runner;
 mod summary;
+pub mod sweep_runner;
 mod table;
 
 pub use regression::{fit_loglog, fit_ols, PowerLawFit};

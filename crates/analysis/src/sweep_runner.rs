@@ -1,0 +1,85 @@
+//! Bridges the experiment grids onto the resident sweep service.
+//!
+//! The E11/E12/E13 experiments describe their measurement grids as
+//! nested loops over channel counts and adversary strategies. This
+//! module expresses the same grids as [`ScenarioSpec`] cell lists, so an
+//! experiment can hand the whole grid to a [`rcb_sweep::SweepService`]
+//! submission —
+//! gaining CI-driven trial counts, work-stealing execution, and the
+//! content-addressed result cache — instead of one `run_batch` per cell.
+
+use rcb_sim::{HoppingSpec, StrategySpec};
+use rcb_sweep::{ScenarioSpec, StopRule, SweepReport};
+
+use crate::table::fmt_f;
+use crate::Table;
+
+/// The E12-shaped grid: random-hopping broadcast, channel counts ×
+/// adversary strategies, everything else pinned. Cell order is
+/// row-major over `channels × adversaries` and the master seed is shared
+/// — each cell's per-trial seeds still differ because the fingerprinted
+/// spec (and the scenario's own derivation) differ.
+#[must_use]
+pub fn hopping_channel_grid(
+    n: u64,
+    horizon: u64,
+    carol_budget: u64,
+    seed: u64,
+    channels: &[u16],
+    adversaries: &[StrategySpec],
+) -> Vec<ScenarioSpec> {
+    let mut cells = Vec::with_capacity(channels.len() * adversaries.len());
+    for &c in channels {
+        for &adversary in adversaries {
+            cells.push(
+                ScenarioSpec::hopping(HoppingSpec::new(n, horizon))
+                    .channels(c)
+                    .adversary(adversary)
+                    .carol_budget(carol_budget)
+                    .seed(seed),
+            );
+        }
+    }
+    cells
+}
+
+/// Renders a sweep report as a per-cell table: trials spent, the stop
+/// metric's mean and achieved CI half-width, and where the result came
+/// from.
+#[must_use]
+pub fn sweep_table(report: &SweepReport, rule: &StopRule) -> Table {
+    let mut table = Table::new(vec!["cell", "trials", "mean", "±hw", "source"]);
+    for cell in &report.cells {
+        table.row(vec![
+            cell.spec.label(),
+            cell.trials.to_string(),
+            fmt_f(cell.stats.mean(rule.metric)),
+            fmt_f(cell.half_width(rule)),
+            if cell.from_cache { "cache" } else { "run" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_row_major_and_complete() {
+        let cells = hopping_channel_grid(
+            8,
+            100,
+            50,
+            1,
+            &[1, 2],
+            &[StrategySpec::SplitUniform, StrategySpec::ChannelLagged],
+        );
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].channels, 1);
+        assert_eq!(cells[1].channels, 1);
+        assert_eq!(cells[2].channels, 2);
+        assert_eq!(cells[1].adversary, StrategySpec::ChannelLagged);
+        assert!(cells.iter().all(|c| c.seed == 1));
+    }
+}

@@ -11,14 +11,22 @@
 //! cargo run --release -p rcb-bench --bin bench            # full grid
 //! cargo run --release -p rcb-bench --bin bench -- --quick # CI smoke
 //! cargo run --release -p rcb-bench --bin bench -- --out my.json
+//! cargo run --release -p rcb-bench --bin bench -- --sweep # BENCH_6.json
 //! ```
+//!
+//! `--sweep` measures the resident sweep service instead of single-core
+//! engine throughput: one E12-style grid submitted cold (work-stealing
+//! execution + CI-driven early stopping) and then warm (every cell from
+//! the content-addressed cache), emitting `BENCH_6.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use rcb_adversary::StrategySpec;
+use rcb_analysis::sweep_runner::hopping_channel_grid;
 use rcb_core::Params;
 use rcb_sim::{Engine, HoppingSpec, Scenario, ScenarioScratch};
+use rcb_sweep::{Metric, StopRule, SweepService, SweepSpec};
 
 /// One measured configuration.
 struct Entry {
@@ -82,15 +90,104 @@ fn measure(s: &Scenario, trials: u32) -> u128 {
     start.elapsed().as_nanos() / u128::from(trials.max(1))
 }
 
+/// `--sweep`: cold-vs-warm wall time of the resident sweep service over
+/// an E12-style grid, plus the trials early stopping and the cache save.
+fn sweep_bench(quick: bool, out: &str) {
+    let (n, horizon, budget, half_width, max_trials) = if quick {
+        (16u64, 800u64, 600u64, 120.0, 32u32)
+    } else {
+        (64, 8_000, 5_000, 100.0, 96)
+    };
+    let adversaries = [
+        StrategySpec::SplitUniform,
+        StrategySpec::ChannelLagged,
+        StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        },
+    ];
+    let cells = hopping_channel_grid(n, horizon, budget, 0xB6, &[1, 2, 4], &adversaries);
+    let rule = StopRule::new(Metric::NodeTotalCost, half_width).trials(8, 8, max_trials);
+    let spec = SweepSpec::new(cells, rule);
+    let service = SweepService::in_memory();
+
+    let start = Instant::now();
+    let cold = service.submit(&spec).expect("the bench grid is valid");
+    let cold_ms = start.elapsed().as_micros() as f64 / 1_000.0;
+    let start = Instant::now();
+    let warm = service.submit(&spec).expect("the bench grid is valid");
+    let warm_ms = start.elapsed().as_micros() as f64 / 1_000.0;
+    assert_eq!(
+        warm.trials_executed(),
+        0,
+        "warm resubmission must be served entirely from the cache"
+    );
+
+    let cells_total = cold.progress.cells_total;
+    let fixed = cells_total * u64::from(max_trials);
+    eprintln!(
+        "sweep cold: {cold_ms:.1} ms, {} trials for {cells_total} cells \
+         (fixed-count grid: {fixed}), {} saved by early stopping",
+        cold.trials_executed(),
+        cold.progress.trials_saved_by_stopping
+    );
+    eprintln!(
+        "sweep warm: {warm_ms:.1} ms, {} trials, {} cache hits",
+        warm.trials_executed(),
+        warm.progress.cache_hits
+    );
+
+    // Hand-rolled JSON, same policy as the per-trial grid below.
+    let mut json = String::from("{\n  \"schema\": \"rcb-bench-sweep-v1\",\n");
+    writeln!(
+        json,
+        "  \"grid\": {{\"cells\": {cells_total}, \"n\": {n}, \"horizon\": {horizon}, \
+         \"carol_budget\": {budget}, \"max_trials\": {max_trials}, \
+         \"half_width\": {half_width}}},"
+    )
+    .expect("string write cannot fail");
+    writeln!(
+        json,
+        "  \"cold\": {{\"wall_ms\": {cold_ms:.3}, \"trials_executed\": {}, \
+         \"trials_saved_by_stopping\": {}}},",
+        cold.trials_executed(),
+        cold.progress.trials_saved_by_stopping
+    )
+    .expect("string write cannot fail");
+    writeln!(
+        json,
+        "  \"warm\": {{\"wall_ms\": {warm_ms:.3}, \"trials_executed\": {}, \
+         \"cache_hits\": {}, \"trials_saved_by_cache\": {}}}",
+        warm.trials_executed(),
+        warm.progress.cache_hits,
+        warm.progress.trials_saved_by_cache
+    )
+    .expect("string write cannot fail");
+    json.push_str("}\n");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let sweep = args.iter().any(|a| a == "--sweep");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| {
+            if sweep {
+                "BENCH_6.json".to_string()
+            } else {
+                "BENCH_5.json".to_string()
+            }
+        });
+    if sweep {
+        sweep_bench(quick, &out);
+        return;
+    }
 
     // (id, kind, n, channels, full trials, quick trials)
     let grid: &[(&'static str, &str, u64, u16, u32, u32)] = &[

@@ -117,6 +117,31 @@ impl RunningStats {
         self.max
     }
 
+    /// Raw sum of squared deviations from the mean (`M2` in Welford's
+    /// formulation). Exposed so accumulators can be serialised bit-exactly
+    /// (dividing through [`variance`](Self::variance) and multiplying back
+    /// would not round-trip); pair with [`from_raw_parts`](Self::from_raw_parts).
+    #[must_use]
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Reassembles an accumulator from its raw fields, the inverse of
+    /// (`count`, `mean`, [`m2`](Self::m2), `min`, `max`). The caller is
+    /// responsible for passing a consistent set — this is a serialisation
+    /// hook (the sweep result cache persists accumulators bit-exactly),
+    /// not a general constructor.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (Chan et al. formula).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {

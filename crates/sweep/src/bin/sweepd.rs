@@ -1,0 +1,215 @@
+//! `sweepd` — the resident sweep service on the command line.
+//!
+//! Runs an E12-style spectrum grid (hopping broadcast, channel counts ×
+//! adversaries) through [`SweepService`], printing per-cell statistics
+//! and the cache/early-stop savings. Submitting the same grid twice
+//! against a warm cache must execute zero trials — `--smoke` asserts
+//! exactly that and exits nonzero otherwise, which is what the CI slow
+//! lane runs.
+//!
+//! ```text
+//! cargo run --release -p rcb-sweep --bin sweepd -- --smoke
+//! cargo run --release -p rcb-sweep --bin sweepd -- --n 64 --budget 3000
+//! cargo run --release -p rcb-sweep --bin sweepd -- --cache-dir /tmp/rcb-sweep
+//! ```
+
+use std::process::ExitCode;
+
+use rcb_sim::{HoppingSpec, StrategySpec};
+use rcb_sweep::{
+    Metric, ResultCache, ScenarioSpec, StopRule, SweepConfig, SweepService, SweepSpec,
+};
+
+/// Parsed command line.
+struct Options {
+    smoke: bool,
+    cache_dir: Option<String>,
+    workers: Option<usize>,
+    shard: u32,
+    n: u64,
+    horizon: u64,
+    budget: u64,
+    half_width: f64,
+}
+
+impl Options {
+    fn parse() -> Result<Self, String> {
+        let mut opts = Self {
+            smoke: false,
+            cache_dir: None,
+            workers: None,
+            shard: 8,
+            n: 32,
+            horizon: 2_000,
+            budget: 1_500,
+            half_width: 250.0,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| -> Result<&str, String> {
+                args.get(i + 1)
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{} needs a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--smoke" => opts.smoke = true,
+                "--cache-dir" => {
+                    opts.cache_dir = Some(value(i)?.to_string());
+                    i += 1;
+                }
+                "--workers" => {
+                    opts.workers = Some(value(i)?.parse().map_err(|e| format!("--workers: {e}"))?);
+                    i += 1;
+                }
+                "--shard" => {
+                    opts.shard = value(i)?.parse().map_err(|e| format!("--shard: {e}"))?;
+                    i += 1;
+                }
+                "--n" => {
+                    opts.n = value(i)?.parse().map_err(|e| format!("--n: {e}"))?;
+                    i += 1;
+                }
+                "--horizon" => {
+                    opts.horizon = value(i)?.parse().map_err(|e| format!("--horizon: {e}"))?;
+                    i += 1;
+                }
+                "--budget" => {
+                    opts.budget = value(i)?.parse().map_err(|e| format!("--budget: {e}"))?;
+                    i += 1;
+                }
+                "--half-width" => {
+                    opts.half_width = value(i)?
+                        .parse()
+                        .map_err(|e| format!("--half-width: {e}"))?;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "sweepd: run a spectrum sweep through the resident sweep service\n\n\
+                         options:\n  \
+                         --smoke            small grid, resubmit, assert zero warm trials\n  \
+                         --cache-dir DIR    persist the result cache (default: in-memory)\n  \
+                         --workers N        worker threads (default: RCB_THREADS or all cores)\n  \
+                         --shard N          trials per shard (default 8)\n  \
+                         --n N              receiver count of the grid (default 32)\n  \
+                         --horizon SLOTS    hopping horizon (default 2000)\n  \
+                         --budget T         Carol budget of the jammed cells (default 1500)\n  \
+                         --half-width W     CI half-width target on node-total-cost (default 250)"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown option {other} (try --help)")),
+            }
+            i += 1;
+        }
+        Ok(opts)
+    }
+}
+
+/// The E12-style grid: channel counts × adversary strategies, everything
+/// else pinned.
+fn grid(opts: &Options) -> Vec<ScenarioSpec> {
+    let adversaries = [
+        ("split-uniform", StrategySpec::SplitUniform),
+        ("channel-lagged", StrategySpec::ChannelLagged),
+        ("sweep", StrategySpec::ChannelSweep { dwell: 16 }),
+    ];
+    let mut cells = Vec::new();
+    for channels in [1u16, 2, 4] {
+        for (_, adversary) in &adversaries {
+            cells.push(
+                ScenarioSpec::hopping(HoppingSpec::new(opts.n, opts.horizon))
+                    .channels(channels)
+                    .adversary(*adversary)
+                    .carol_budget(opts.budget)
+                    .seed(12),
+            );
+        }
+    }
+    cells
+}
+
+fn run() -> Result<(), String> {
+    let opts = Options::parse()?;
+    let (n, horizon, budget, hw) = if opts.smoke {
+        (16, 800, 600, opts.half_width)
+    } else {
+        (opts.n, opts.horizon, opts.budget, opts.half_width)
+    };
+    let opts = Options {
+        n,
+        horizon,
+        budget,
+        ..opts
+    };
+
+    let cache = match &opts.cache_dir {
+        Some(dir) => ResultCache::at_dir(dir).map_err(|e| format!("cache dir: {e}"))?,
+        None => ResultCache::in_memory(),
+    };
+    let config = SweepConfig {
+        workers: opts.workers,
+        shard_size: opts.shard,
+    };
+    let service = SweepService::new(config, cache);
+
+    let rule = StopRule::new(Metric::NodeTotalCost, hw).trials(8, 8, 96);
+    let spec = SweepSpec::new(grid(&opts), rule);
+    println!(
+        "sweep: {} cells, stop at half-width ≤ {hw} on {} (z={}), max {} trials/cell",
+        spec.cells.len(),
+        rule.metric.name(),
+        rule.z,
+        rule.max_trials
+    );
+
+    let cold = service.submit(&spec).map_err(|e| e.to_string())?;
+    println!("\ncold: {}", cold.progress);
+    println!(
+        "{:<46} {:>7} {:>12} {:>10} {:>6}",
+        "cell", "trials", "mean(cost)", "±hw", "cache"
+    );
+    for cell in &cold.cells {
+        println!(
+            "{:<46} {:>7} {:>12.1} {:>10.1} {:>6}",
+            cell.spec.label(),
+            cell.trials,
+            cell.stats.mean(rule.metric),
+            cell.half_width(&rule),
+            if cell.from_cache { "hit" } else { "miss" }
+        );
+    }
+
+    let warm = service.submit(&spec).map_err(|e| e.to_string())?;
+    println!("\nwarm: {}", warm.progress);
+
+    if opts.smoke {
+        if warm.trials_executed() != 0 {
+            return Err(format!(
+                "smoke failed: warm resubmission executed {} trials, expected 0",
+                warm.trials_executed()
+            ));
+        }
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            if a.stats != b.stats {
+                return Err(format!(
+                    "smoke failed: warm statistics differ for {}",
+                    a.spec.label()
+                ));
+            }
+        }
+        println!("smoke ok: warm resubmission executed 0 trials, statistics identical");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(why) => {
+            eprintln!("sweepd: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Content-addressed result cache: completed cell statistics keyed by
+//! canonical fingerprint.
+//!
+//! Entries live in memory always and, when the cache is rooted at a
+//! directory, in one small text file per fingerprint (`<hex>.cell`).
+//! Floats are stored as IEEE-754 bit patterns in hex, so a disk
+//! round-trip reproduces the in-memory accumulators **bit-exactly** —
+//! a warm-cache sweep reports byte-identical aggregates to the run that
+//! populated it. Files carry the [`ENGINE_ERA`] tag; entries from a
+//! different era (or any unparsable file) are treated as misses, never
+//! served.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rcb_rng::stats::RunningStats;
+
+use crate::fingerprint::{Fingerprint, ENGINE_ERA};
+use crate::stats::{CellStats, Metric, METRIC_COUNT};
+
+/// On-disk format version (the first line of every cell file).
+const FORMAT: &str = "rcb-sweep-cell-v1";
+
+/// One cached cell: the statistics a finished cell accumulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The cell's canonical fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Human-readable cell label (diagnostic only; never part of the key).
+    pub label: String,
+    /// Trials the statistics aggregate.
+    pub trials: u64,
+    /// The accumulated per-metric statistics.
+    pub stats: CellStats,
+}
+
+/// A content-addressed store of completed cell statistics.
+///
+/// Lookups check the in-memory map first, then the directory (when
+/// rooted); stores write through to both. The service keeps one cache
+/// across submissions, so repeated cells — within a sweep, across
+/// sweeps, or across process restarts via the directory — cost nothing.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<Fingerprint, CacheEntry>>,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache (dies with the service).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A cache rooted at `dir` (created if absent); entries survive
+    /// process restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error when the directory cannot be created.
+    pub fn at_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir: Some(dir),
+            mem: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The backing directory, when rooted.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of entries resident in memory (disk-only entries count
+    /// after their first lookup).
+    #[must_use]
+    pub fn resident_len(&self) -> usize {
+        self.mem.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// Looks up a fingerprint; `None` on miss, era mismatch, or an
+    /// unparsable file.
+    #[must_use]
+    pub fn lookup(&self, fingerprint: Fingerprint) -> Option<CacheEntry> {
+        if let Some(entry) = self
+            .mem
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(&fingerprint)
+        {
+            return Some(entry.clone());
+        }
+        let dir = self.dir.as_ref()?;
+        let text = fs::read_to_string(entry_path(dir, fingerprint)).ok()?;
+        let entry = parse_entry(&text).filter(|e| e.fingerprint == fingerprint)?;
+        self.mem
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(fingerprint, entry.clone());
+        Some(entry)
+    }
+
+    /// Stores a completed cell, writing through to disk when rooted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write error; the in-memory copy is kept either way.
+    pub fn store(&self, entry: CacheEntry) -> io::Result<()> {
+        let rendered = self
+            .dir
+            .as_ref()
+            .map(|dir| (entry_path(dir, entry.fingerprint), render_entry(&entry)));
+        self.mem
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(entry.fingerprint, entry);
+        if let Some((path, text)) = rendered {
+            fs::write(path, text)?;
+        }
+        Ok(())
+    }
+}
+
+fn entry_path(dir: &Path, fingerprint: Fingerprint) -> PathBuf {
+    dir.join(format!("{fingerprint}.cell"))
+}
+
+fn render_stats(line: &mut String, metric: Metric, stats: &RunningStats) {
+    let _ = writeln!(
+        line,
+        "stat.{}={} {:016x} {:016x} {:016x} {:016x}",
+        metric.name(),
+        stats.count(),
+        stats.mean().to_bits(),
+        stats.m2().to_bits(),
+        stats.min().to_bits(),
+        stats.max().to_bits(),
+    );
+}
+
+fn render_entry(entry: &CacheEntry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{FORMAT}");
+    let _ = writeln!(out, "era={ENGINE_ERA}");
+    let _ = writeln!(out, "fingerprint={}", entry.fingerprint);
+    let _ = writeln!(out, "label={}", entry.label);
+    let _ = writeln!(out, "trials={}", entry.trials);
+    for metric in Metric::ALL {
+        render_stats(&mut out, metric, entry.stats.stats(metric));
+    }
+    out
+}
+
+fn parse_bits(field: &str) -> Option<f64> {
+    u64::from_str_radix(field, 16).ok().map(f64::from_bits)
+}
+
+fn parse_stats_line(value: &str) -> Option<RunningStats> {
+    let mut fields = value.split_ascii_whitespace();
+    let count: u64 = fields.next()?.parse().ok()?;
+    let mean = parse_bits(fields.next()?)?;
+    let m2 = parse_bits(fields.next()?)?;
+    let min = parse_bits(fields.next()?)?;
+    let max = parse_bits(fields.next()?)?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(RunningStats::from_raw_parts(count, mean, m2, min, max))
+}
+
+fn parse_entry(text: &str) -> Option<CacheEntry> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let mut era = None;
+    let mut fingerprint = None;
+    let mut label = String::new();
+    let mut trials = None;
+    let mut per: [Option<RunningStats>; METRIC_COUNT] = [None; METRIC_COUNT];
+    for line in lines {
+        let (key, value) = line.split_once('=')?;
+        match key {
+            "era" => era = Some(value.to_string()),
+            "fingerprint" => fingerprint = value.parse::<Fingerprint>().ok(),
+            "label" => label = value.to_string(),
+            "trials" => trials = value.parse::<u64>().ok(),
+            stat_key => {
+                let name = stat_key.strip_prefix("stat.")?;
+                let metric = Metric::from_name(name)?;
+                per[metric as usize] = Some(parse_stats_line(value)?);
+            }
+        }
+    }
+    // The era guard: statistics from another engine era are stale.
+    if era.as_deref() != Some(ENGINE_ERA) {
+        return None;
+    }
+    let mut stats = [RunningStats::new(); METRIC_COUNT];
+    for (slot, parsed) in stats.iter_mut().zip(per) {
+        *slot = parsed?;
+    }
+    let trials = trials?;
+    let stats = CellStats::from_raw(stats);
+    if stats.count() != trials {
+        return None;
+    }
+    Some(CacheEntry {
+        fingerprint: fingerprint?,
+        label,
+        trials,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TrialMetrics;
+    use rcb_sim::{HoppingSpec, StrategySpec};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rcb-sweep-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry() -> CacheEntry {
+        let spec = crate::ScenarioSpec::hopping(HoppingSpec::new(16, 2_000))
+            .channels(2)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(500)
+            .seed(3);
+        let scenario = spec.build().unwrap();
+        let mut stats = CellStats::new();
+        for outcome in scenario.run_batch(5) {
+            stats.push(&TrialMetrics::from_outcome(&outcome));
+        }
+        CacheEntry {
+            fingerprint: crate::fingerprint(&spec),
+            label: spec.label(),
+            trials: 5,
+            stats,
+        }
+    }
+
+    #[test]
+    fn in_memory_round_trip() {
+        let cache = ResultCache::in_memory();
+        let entry = sample_entry();
+        assert!(cache.lookup(entry.fingerprint).is_none());
+        cache.store(entry.clone()).unwrap();
+        assert_eq!(cache.lookup(entry.fingerprint), Some(entry));
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_exact() {
+        let dir = temp_dir("roundtrip");
+        let entry = sample_entry();
+        {
+            let cache = ResultCache::at_dir(&dir).unwrap();
+            cache.store(entry.clone()).unwrap();
+        }
+        // A fresh cache (cold memory) must reload identical bits.
+        let cache = ResultCache::at_dir(&dir).unwrap();
+        assert_eq!(cache.resident_len(), 0);
+        let loaded = cache.lookup(entry.fingerprint).expect("disk hit");
+        assert_eq!(loaded, entry);
+        for metric in Metric::ALL {
+            assert_eq!(
+                loaded.stats.stats(metric).mean().to_bits(),
+                entry.stats.stats(metric).mean().to_bits(),
+            );
+            assert_eq!(
+                loaded.stats.stats(metric).m2().to_bits(),
+                entry.stats.stats(metric).m2().to_bits(),
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn era_mismatch_and_corruption_are_misses() {
+        let dir = temp_dir("guards");
+        let entry = sample_entry();
+        let cache = ResultCache::at_dir(&dir).unwrap();
+        cache.store(entry.clone()).unwrap();
+        let path = entry_path(&dir, entry.fingerprint);
+
+        // Stale era: rewritten tag must be refused by a cold cache.
+        let stale = fs::read_to_string(&path)
+            .unwrap()
+            .replace(ENGINE_ERA, "era0:ancient");
+        fs::write(&path, stale).unwrap();
+        let cold = ResultCache::at_dir(&dir).unwrap();
+        assert!(cold.lookup(entry.fingerprint).is_none());
+
+        // Corruption: truncated file is a miss, not a panic.
+        fs::write(&path, "rcb-sweep-cell-v1\nera=garbage").unwrap();
+        let cold = ResultCache::at_dir(&dir).unwrap();
+        assert!(cold.lookup(entry.fingerprint).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trials_stats_consistency_is_enforced() {
+        let entry = sample_entry();
+        let mut text = render_entry(&entry);
+        text = text.replace("trials=5", "trials=9");
+        assert!(parse_entry(&text).is_none());
+    }
+}

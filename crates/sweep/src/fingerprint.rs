@@ -1,0 +1,455 @@
+//! Canonical content-addressed fingerprints over [`ScenarioSpec`].
+//!
+//! A fingerprint is the cache key for a cell's completed statistics: two
+//! specs share one iff they describe the same outcome distribution under
+//! the current engines. The encoding is a fixed-order, field-tagged byte
+//! stream (never a `Debug` render — formatting is not canonical), hashed
+//! twice under independent keys into 128 bits. Three properties are
+//! load-bearing and pinned by tests:
+//!
+//! * **field order is frozen** — the encoder writes fields in one
+//!   documented order, and known specs hash to pinned hex digests, so a
+//!   refactor that silently reorders or drops a field breaks a test, not
+//!   the cache;
+//! * **defaults are canonical** — an omitted fast-engine phase length
+//!   encodes as the engine default ([`ScenarioSpec::canonical_phase_len`]),
+//!   and the default single-channel spectrum encodes identically to an
+//!   explicit `channels(1)`, so equal cells cannot key differently;
+//! * **the engine era tag is inside the hash** — [`ENGINE_ERA`] names the
+//!   current fingerprint era of the simulation engines; bumping it (e.g.
+//!   the ROADMAP's SoA slot engine, or a vendor-rand swap) invalidates
+//!   every cached cell at once instead of serving stale statistics.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rcb_auth::keyed_digest;
+use rcb_core::{SizeKnowledge, Variant};
+use rcb_sim::Engine;
+
+use crate::spec::{ProtocolSpec, ScenarioSpec};
+use rcb_adversary::StrategySpec;
+
+/// The engine-version tag hashed into every fingerprint.
+///
+/// Bump this whenever a change reshapes any engine's seeded outcome
+/// streams (new RNG, re-ordered draws, SoA rewrite …) — cached cell
+/// statistics from earlier eras then miss instead of lying.
+pub const ENGINE_ERA: &str = "era1:exact-pr5/fast-pr1/fastmc-pr4";
+
+/// The seed-lineage tag: how per-trial seeds derive from a cell's master
+/// seed. Hashed into the fingerprint so a change to the derivation tree
+/// (labels or structure) is a cache-invalidating event by construction.
+pub const SEED_LINEAGE: &str = "seedtree-v1/trial";
+
+/// A 128-bit content fingerprint; renders as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// The two 64-bit halves.
+    #[must_use]
+    pub fn as_parts(self) -> (u64, u64) {
+        (self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Error parsing a [`Fingerprint`] from hex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFingerprintError;
+
+impl fmt::Display for ParseFingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a fingerprint is exactly 32 lowercase hex digits")
+    }
+}
+
+impl std::error::Error for ParseFingerprintError {}
+
+impl FromStr for Fingerprint {
+    type Err = ParseFingerprintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseFingerprintError);
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|_| ParseFingerprintError)?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|_| ParseFingerprintError)?;
+        Ok(Self { hi, lo })
+    }
+}
+
+/// Field tags of the canonical encoding. Every field is written as
+/// `tag byte || payload bytes`; the tag values and write order are frozen
+/// (append new tags, never renumber).
+#[repr(u8)]
+enum Tag {
+    Era = 0x01,
+    SeedLineage = 0x02,
+    Protocol = 0x10,
+    Engine = 0x11,
+    Adversary = 0x12,
+    CarolBudget = 0x13,
+    Channels = 0x14,
+    PhaseLen = 0x15,
+    Seed = 0x16,
+}
+
+/// Fixed-order byte encoder for the canonical stream.
+#[derive(Default)]
+struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    fn tag(&mut self, tag: Tag) {
+        self.bytes.push(tag as u8);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Floats encode as their IEEE-754 bit pattern: `0.5` and `0.50` are
+    /// one value, but `0.1 + 0.2` and `0.3` are (correctly) not.
+    fn f64(&mut self, v: f64) {
+        self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+}
+
+fn encode_protocol(enc: &mut Encoder, protocol: &ProtocolSpec) {
+    match protocol {
+        ProtocolSpec::Broadcast(params) => {
+            enc.u8(0);
+            enc.u64(params.n());
+            enc.u32(params.k());
+            enc.f64(params.epsilon_prime());
+            enc.f64(params.c());
+            enc.u8(match params.variant() {
+                Variant::K2Paper => 0,
+                Variant::GeneralK => 1,
+            });
+            enc.u32(params.start_round());
+            enc.u32(params.min_termination_round());
+            enc.u32(params.max_round());
+            match params.decoys() {
+                None => enc.u8(0),
+                Some(decoys) => {
+                    enc.u8(1);
+                    enc.f64(decoys.rate);
+                    enc.f64(decoys.listen_boost);
+                }
+            }
+            match params.size_knowledge() {
+                SizeKnowledge::Exact => enc.u8(0),
+                SizeKnowledge::Approximate { n_hat } => {
+                    enc.u8(1);
+                    enc.u64(n_hat);
+                }
+                SizeKnowledge::PolynomialOverestimate { nu } => {
+                    enc.u8(2);
+                    enc.u64(nu);
+                }
+            }
+            // The budget scale has no getter; the derived budgets pin it.
+            enc.u64(params.node_budget());
+            enc.u64(params.alice_budget());
+        }
+        ProtocolSpec::Naive(spec) => {
+            enc.u8(1);
+            enc.u64(spec.n);
+            enc.u64(spec.horizon);
+        }
+        ProtocolSpec::Epidemic(spec) => {
+            enc.u8(2);
+            enc.u64(spec.n);
+            enc.u64(spec.horizon);
+            enc.f64(spec.listen_p);
+            enc.f64(spec.relay_rate);
+        }
+        ProtocolSpec::Ksy(spec) => {
+            enc.u8(3);
+            enc.u32(spec.max_epochs);
+        }
+        ProtocolSpec::Hopping(spec) => {
+            enc.u8(4);
+            enc.u64(spec.n);
+            enc.u64(spec.horizon);
+            enc.f64(spec.listen_p);
+            enc.f64(spec.relay_rate);
+        }
+    }
+}
+
+fn encode_adversary(enc: &mut Encoder, adversary: &StrategySpec) {
+    match *adversary {
+        StrategySpec::Silent => enc.u8(0),
+        StrategySpec::Continuous => enc.u8(1),
+        StrategySpec::Random(p) => {
+            enc.u8(2);
+            enc.f64(p);
+        }
+        StrategySpec::Bursty { burst, gap } => {
+            enc.u8(3);
+            enc.u64(burst);
+            enc.u64(gap);
+        }
+        StrategySpec::BlockDissemination(b) => {
+            enc.u8(4);
+            enc.f64(b);
+        }
+        StrategySpec::BlockRequest(b) => {
+            enc.u8(5);
+            enc.f64(b);
+        }
+        StrategySpec::BlockAll(b) => {
+            enc.u8(6);
+            enc.f64(b);
+        }
+        StrategySpec::Extract(x) => {
+            enc.u8(7);
+            enc.u32(x);
+        }
+        StrategySpec::Spoof(r) => {
+            enc.u8(8);
+            enc.f64(r);
+        }
+        StrategySpec::Reactive => enc.u8(9),
+        StrategySpec::LaggedReactive => enc.u8(10),
+        StrategySpec::SplitUniform => enc.u8(11),
+        StrategySpec::ChannelSweep { dwell } => {
+            enc.u8(12);
+            enc.u64(dwell);
+        }
+        StrategySpec::ChannelLagged => enc.u8(13),
+        StrategySpec::Adaptive { window, reactivity } => {
+            enc.u8(14);
+            enc.u32(window);
+            enc.f64(reactivity);
+        }
+    }
+}
+
+/// Canonical byte encoding of a spec under an explicit era tag.
+fn canonical_bytes(spec: &ScenarioSpec, era: &str) -> Vec<u8> {
+    let mut enc = Encoder::default();
+    enc.tag(Tag::Era);
+    enc.str(era);
+    enc.tag(Tag::SeedLineage);
+    enc.str(SEED_LINEAGE);
+    enc.tag(Tag::Protocol);
+    encode_protocol(&mut enc, &spec.protocol);
+    enc.tag(Tag::Engine);
+    enc.u8(match spec.engine {
+        Engine::Exact => 0,
+        Engine::Fast => 1,
+    });
+    enc.tag(Tag::Adversary);
+    encode_adversary(&mut enc, &spec.adversary);
+    enc.tag(Tag::CarolBudget);
+    enc.opt_u64(spec.carol_budget);
+    enc.tag(Tag::Channels);
+    enc.u16(spec.channels);
+    enc.tag(Tag::PhaseLen);
+    enc.u64(spec.canonical_phase_len());
+    enc.tag(Tag::Seed);
+    enc.u64(spec.seed);
+    enc.bytes
+}
+
+/// Independent digest keys for the two fingerprint halves.
+const KEY_HI: u64 = 0x5243_4253_5745_4550; // "RCBSWEEP"
+const KEY_LO: u64 = 0x4649_4e47_4552_5052; // "FINGERPR"
+
+/// Fingerprint of a spec under an explicit era tag (test hook; the cache
+/// always keys under [`ENGINE_ERA`] via [`fingerprint`]).
+#[must_use]
+pub fn fingerprint_with_era(spec: &ScenarioSpec, era: &str) -> Fingerprint {
+    let bytes = canonical_bytes(spec, era);
+    Fingerprint {
+        hi: keyed_digest(KEY_HI, &bytes),
+        lo: keyed_digest(KEY_LO, &bytes),
+    }
+}
+
+/// The content-addressed cache key of a cell under the current
+/// [`ENGINE_ERA`].
+#[must_use]
+pub fn fingerprint(spec: &ScenarioSpec) -> Fingerprint {
+    fingerprint_with_era(spec, ENGINE_ERA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_core::Params;
+    use rcb_sim::{HoppingSpec, KsySpec, NaiveSpec};
+
+    fn hopping_cell() -> ScenarioSpec {
+        ScenarioSpec::hopping(HoppingSpec::new(64, 4_000))
+            .channels(4)
+            .adversary(StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            })
+            .carol_budget(2_000)
+            .seed(7)
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_spec_sensitive() {
+        let base = fingerprint(&hopping_cell());
+        assert_eq!(base, fingerprint(&hopping_cell()));
+        // Every load-bearing field moves the key.
+        assert_ne!(base, fingerprint(&hopping_cell().seed(8)));
+        assert_ne!(base, fingerprint(&hopping_cell().channels(8)));
+        assert_ne!(base, fingerprint(&hopping_cell().carol_budget(2_001)));
+        assert_ne!(
+            base,
+            fingerprint(&hopping_cell().adversary(StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.25,
+            }))
+        );
+        assert_ne!(
+            base,
+            fingerprint(
+                &ScenarioSpec::hopping(HoppingSpec::new(65, 4_000))
+                    .channels(4)
+                    .adversary(StrategySpec::Adaptive {
+                        window: 8,
+                        reactivity: 0.5,
+                    })
+                    .carol_budget(2_000)
+                    .seed(7)
+            )
+        );
+    }
+
+    #[test]
+    fn key_stability_is_pinned() {
+        // Frozen digests: if any of these change, the canonical encoding
+        // changed (field order, a default, a tag value, the era string)
+        // and every on-disk cache silently mismatches. Bump ENGINE_ERA
+        // and re-pin deliberately instead of letting keys drift.
+        let pins: &[(ScenarioSpec, &str)] = &[
+            (hopping_cell(), "765c149ebe36a0c37990fdfbd0975a85"),
+            (
+                ScenarioSpec::broadcast(Params::builder(64).build().unwrap())
+                    .adversary(StrategySpec::Continuous)
+                    .carol_budget(2_000)
+                    .seed(42),
+                "1669f351316393c68204d2217f80224a",
+            ),
+            (
+                ScenarioSpec::naive(NaiveSpec { n: 8, horizon: 500 }).seed(1),
+                "35c5f3654cbdc722cc133a6b36c66b47",
+            ),
+            (
+                ScenarioSpec::ksy(KsySpec::default())
+                    .adversary(StrategySpec::Continuous)
+                    .carol_budget(5_000)
+                    .seed(11),
+                "12f784bd291aeb52f4d82e4f4b404a11",
+            ),
+        ];
+        for (spec, expect) in pins {
+            assert_eq!(
+                fingerprint(spec).to_string(),
+                *expect,
+                "canonical fingerprint drifted for {}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn default_phase_len_is_canonical() {
+        use rcb_sim::{Engine, DEFAULT_MC_PHASE_LEN};
+        let implicit = hopping_cell().engine(Engine::Fast);
+        let explicit = hopping_cell()
+            .engine(Engine::Fast)
+            .phase_len(DEFAULT_MC_PHASE_LEN);
+        assert_eq!(fingerprint(&implicit), fingerprint(&explicit));
+        let other = hopping_cell()
+            .engine(Engine::Fast)
+            .phase_len(DEFAULT_MC_PHASE_LEN * 2);
+        assert_ne!(fingerprint(&implicit), fingerprint(&other));
+        // On the exact engine there is no phase structure to key on.
+        assert_eq!(fingerprint(&hopping_cell()), fingerprint(&hopping_cell()),);
+    }
+
+    #[test]
+    fn single_channel_spectrum_repr_is_canonical() {
+        // A spec that never touched channels and one that set channels(1)
+        // describe the same single-channel model and must share a key.
+        let implicit = ScenarioSpec::naive(NaiveSpec { n: 8, horizon: 100 }).seed(2);
+        let explicit = ScenarioSpec::naive(NaiveSpec { n: 8, horizon: 100 })
+            .channels(1)
+            .seed(2);
+        assert_eq!(fingerprint(&implicit), fingerprint(&explicit));
+    }
+
+    #[test]
+    fn unlimited_budget_is_not_zero_budget() {
+        let unlimited = ScenarioSpec::hopping(HoppingSpec::new(8, 100)).seed(1);
+        let zero = ScenarioSpec::hopping(HoppingSpec::new(8, 100))
+            .carol_budget(0)
+            .seed(1);
+        assert_ne!(fingerprint(&unlimited), fingerprint(&zero));
+    }
+
+    #[test]
+    fn era_bump_invalidates_every_key() {
+        let spec = hopping_cell();
+        assert_ne!(
+            fingerprint_with_era(&spec, ENGINE_ERA),
+            fingerprint_with_era(&spec, "era2:hypothetical")
+        );
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trips() {
+        let fp = fingerprint(&hopping_cell());
+        let parsed: Fingerprint = fp.to_string().parse().unwrap();
+        assert_eq!(fp, parsed);
+        assert!("not-a-fingerprint".parse::<Fingerprint>().is_err());
+        assert!("0123".parse::<Fingerprint>().is_err());
+    }
+}

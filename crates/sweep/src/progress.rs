@@ -1,0 +1,99 @@
+//! Observability: a snapshot of where a sweep stands.
+
+use std::fmt;
+
+/// A point-in-time snapshot of a sweep submission.
+///
+/// The scheduler updates one of these as shards aggregate and cells
+/// finish; [`SweepService::submit_streaming`](crate::SweepService::submit_streaming)
+/// hands a copy to its callback after every state change, and the final
+/// snapshot rides along in the [`SweepReport`](crate::SweepReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// Cells in the submitted spec.
+    pub cells_total: u64,
+    /// Cells finished (cached + executed).
+    pub cells_done: u64,
+    /// Cells served from the result cache without executing a trial.
+    pub cells_from_cache: u64,
+    /// Trials executed and aggregated so far.
+    pub trials_executed: u64,
+    /// Trials the early-stop rule avoided: `max_trials − executed`,
+    /// summed over finished executed cells.
+    pub trials_saved_by_stopping: u64,
+    /// Trials the cache avoided: `max_trials` per cache-served cell.
+    pub trials_saved_by_cache: u64,
+    /// Cache lookups that hit.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (the cells that then executed).
+    pub cache_misses: u64,
+}
+
+impl SweepProgress {
+    /// Cells still executing or queued.
+    #[must_use]
+    pub fn cells_running(&self) -> u64 {
+        self.cells_total - self.cells_done
+    }
+
+    /// Fraction of cache lookups that hit (0 when none were made).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total trials avoided, by either mechanism.
+    #[must_use]
+    pub fn trials_saved(&self) -> u64 {
+        self.trials_saved_by_stopping + self.trials_saved_by_cache
+    }
+}
+
+impl fmt::Display for SweepProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cells {}/{} done ({} cached), trials: {} run, {} saved ({} stopping + {} cache), \
+             cache hit rate {:.0}%",
+            self.cells_done,
+            self.cells_total,
+            self.cells_from_cache,
+            self.trials_executed,
+            self.trials_saved(),
+            self.trials_saved_by_stopping,
+            self.trials_saved_by_cache,
+            self.cache_hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_measures() {
+        let progress = SweepProgress {
+            cells_total: 10,
+            cells_done: 7,
+            cells_from_cache: 3,
+            trials_executed: 40,
+            trials_saved_by_stopping: 24,
+            trials_saved_by_cache: 48,
+            cache_hits: 3,
+            cache_misses: 7,
+        };
+        assert_eq!(progress.cells_running(), 3);
+        assert_eq!(progress.trials_saved(), 72);
+        assert!((progress.cache_hit_rate() - 0.3).abs() < 1e-12);
+        let line = progress.to_string();
+        assert!(line.contains("7/10"));
+        assert!(line.contains("30%"));
+        assert_eq!(SweepProgress::default().cache_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Work-stealing shard queue for the sweep worker pool.
+//!
+//! Each worker owns a deque; the scheduler injects shards round-robin
+//! across them. A worker pops LIFO from its own deque (fresh shards are
+//! cache-warm: same cell, same scratch shape) and, when empty, steals
+//! FIFO from the other deques — so a worker that finishes its share
+//! drains the stragglers' backlogs instead of idling while one cell's
+//! wave finishes. Blocking `pop` parks on a condvar until a shard
+//! arrives or the queue closes.
+//!
+//! Shards are coarse (whole trial batches, milliseconds each), so a
+//! single mutex over the deque set is plenty; the stealing structure is
+//! about *load balance*, not lock-free throughput. Determinism does not
+//! depend on who executes a shard — results are re-ordered by trial
+//! index downstream — so stealing is free to be greedy.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    /// One deque per worker, indexed by worker id.
+    queues: Vec<VecDeque<T>>,
+    /// Round-robin injection cursor.
+    next: usize,
+    closed: bool,
+}
+
+/// A closeable multi-queue with per-worker deques and work stealing.
+pub struct ShardQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+impl<T> ShardQueue<T> {
+    /// Creates a queue for `workers` consumers (at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Number of worker slots.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("queue mutex poisoned")
+            .queues
+            .len()
+    }
+
+    /// Injects one shard (round-robin across worker deques). Pushing to
+    /// a closed queue is a no-op — by then every consumer has exited.
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return;
+        }
+        let slot = inner.next;
+        inner.next = (slot + 1) % inner.queues.len();
+        inner.queues[slot].push_back(item);
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Pops the next shard for `worker`: LIFO from its own deque, else
+    /// FIFO-steal from the first non-empty victim (scanned round-robin
+    /// from `worker + 1`), else block until work arrives. Returns `None`
+    /// once the queue is closed and fully drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            let own = worker % inner.queues.len();
+            if let Some(item) = inner.queues[own].pop_back() {
+                return Some(item);
+            }
+            let victims = inner.queues.len();
+            for offset in 1..victims {
+                let victim = (own + offset) % victims;
+                if let Some(item) = inner.queues[victim].pop_front() {
+                    return Some(item);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: blocked and future `pop`s return `None` once
+    /// the remaining shards drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_item_is_consumed_exactly_once() {
+        let queue = ShardQueue::new(4);
+        for i in 0..100u32 {
+            queue.push(i);
+        }
+        queue.close();
+        let consumed = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let queue = &queue;
+                let consumed = &consumed;
+                scope.spawn(move || {
+                    while let Some(item) = queue.pop(worker) {
+                        consumed.lock().unwrap().push(item);
+                    }
+                });
+            }
+        });
+        let mut items = consumed.into_inner().unwrap();
+        items.sort_unstable();
+        assert_eq!(items, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_lone_worker_steals_the_other_deques() {
+        // Round-robin injection spreads 10 items over 2 deques; a single
+        // consumer with worker id 0 must still drain all 10 (5 of them
+        // stolen from worker 1's deque).
+        let queue = ShardQueue::new(2);
+        for i in 0..10u32 {
+            queue.push(i);
+        }
+        queue.close();
+        let mut got = Vec::new();
+        while let Some(item) = queue.pop(0) {
+            got.push(item);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let queue = ShardQueue::new(2);
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..2 {
+                let queue = &queue;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while queue.pop(worker).is_some() {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            // Producers push after consumers are (likely) parked.
+            for i in 0..8u32 {
+                queue.push(i);
+            }
+            queue.close();
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn push_after_close_is_dropped() {
+        let queue = ShardQueue::new(1);
+        queue.close();
+        queue.push(1u32);
+        assert_eq!(queue.pop(0), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! The sweep service: validates submissions, serves cells from the
+//! result cache, executes the rest through the scheduler, and stores
+//! what it learns.
+//!
+//! This is the controller half of the controller/manager split the rest
+//! of the workspace uses: [`SweepService`] owns policy (validation,
+//! cache consultation, result assembly) and delegates mechanism (shard
+//! execution) to the [`scheduler`](crate::scheduler). Callers hand it a
+//! [`SweepSpec`] — a grid of cells plus one [`StopRule`] — and get back
+//! a [`SweepReport`] with per-cell statistics and provenance.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rcb_sim::{Scenario, ScenarioError};
+
+use crate::cache::{CacheEntry, ResultCache};
+use crate::fingerprint::{fingerprint, Fingerprint};
+use crate::progress::SweepProgress;
+use crate::scheduler;
+use crate::spec::ScenarioSpec;
+use crate::stats::{CellStats, StopRule};
+
+/// Tuning knobs of a [`SweepService`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Worker threads. `None` defers to `RCB_THREADS`, then to
+    /// `available_parallelism`. Results never depend on this.
+    pub workers: Option<usize>,
+    /// Trials per shard (clamped to ≥ 1). Coarser shards amortise
+    /// queue traffic; finer shards balance load. Results never depend
+    /// on this.
+    pub shard_size: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            shard_size: 8,
+        }
+    }
+}
+
+/// A sweep submission: the cells to measure and the precision to reach.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The grid cells, one scenario each.
+    pub cells: Vec<ScenarioSpec>,
+    /// The early-stop rule every cell runs under.
+    pub stop: StopRule,
+}
+
+impl SweepSpec {
+    /// Bundles cells with a stop rule.
+    #[must_use]
+    pub fn new(cells: Vec<ScenarioSpec>, stop: StopRule) -> Self {
+        Self { cells, stop }
+    }
+}
+
+/// Why a submission was rejected or failed.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The stop rule is degenerate.
+    InvalidRule(String),
+    /// A cell failed scenario validation.
+    InvalidCell {
+        /// Index of the offending cell in the submitted spec.
+        index: usize,
+        /// The underlying scenario error.
+        error: ScenarioError,
+    },
+    /// The result cache could not persist a completed cell.
+    Cache(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::InvalidRule(why) => write!(f, "invalid stop rule: {why}"),
+            SweepError::InvalidCell { index, error } => {
+                write!(f, "cell {index} is invalid: {error}")
+            }
+            SweepError::Cache(why) => write!(f, "result cache failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One finished cell of a sweep report.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell as submitted.
+    pub spec: ScenarioSpec,
+    /// Its canonical fingerprint (the cache key).
+    pub fingerprint: Fingerprint,
+    /// Accumulated statistics.
+    pub stats: CellStats,
+    /// Trials the statistics aggregate.
+    pub trials: u64,
+    /// Whether the cell was served without executing a trial (from the
+    /// cache, or deduplicated against an identical cell in the same
+    /// submission).
+    pub from_cache: bool,
+}
+
+impl CellResult {
+    /// CI half-width of the rule's metric at the rule's critical value.
+    #[must_use]
+    pub fn half_width(&self, rule: &StopRule) -> f64 {
+        self.stats.half_width(rule.metric, rule.z)
+    }
+
+    /// Whether the precision target was met (false only for cells that
+    /// hit `max_trials` first).
+    #[must_use]
+    pub fn met_target(&self, rule: &StopRule) -> bool {
+        rule.satisfied_by(&self.stats)
+    }
+}
+
+/// The outcome of one submission: a result per cell (submission order)
+/// plus the final progress snapshot.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-cell results, in submission order.
+    pub cells: Vec<CellResult>,
+    /// The final progress counters.
+    pub progress: SweepProgress,
+}
+
+impl SweepReport {
+    /// Trials actually executed for this submission.
+    #[must_use]
+    pub fn trials_executed(&self) -> u64 {
+        self.progress.trials_executed
+    }
+}
+
+/// The resident sweep service: one long-lived instance amortises its
+/// result cache over every submission.
+#[derive(Debug)]
+pub struct SweepService {
+    config: SweepConfig,
+    cache: ResultCache,
+}
+
+/// Submission-time classification of one cell.
+enum CellPlan {
+    /// Served from the cache; the entry is final under the rule.
+    Cached(Box<CacheEntry>),
+    /// Identical to an earlier cell of this submission (by index).
+    Duplicate(usize),
+    /// Must execute; index into the scheduler's run list.
+    Run(usize),
+}
+
+impl SweepService {
+    /// A service with an in-memory cache and default tuning.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::new(SweepConfig::default(), ResultCache::in_memory())
+    }
+
+    /// A service over an explicit cache and tuning.
+    #[must_use]
+    pub fn new(config: SweepConfig, cache: ResultCache) -> Self {
+        Self { config, cache }
+    }
+
+    /// The backing cache.
+    #[must_use]
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Runs a sweep to completion.
+    ///
+    /// # Errors
+    ///
+    /// Rejects degenerate stop rules and invalid cells before executing
+    /// anything; surfaces cache persistence failures.
+    pub fn submit(&self, spec: &SweepSpec) -> Result<SweepReport, SweepError> {
+        self.submit_streaming(spec, |_| {})
+    }
+
+    /// Runs a sweep, invoking `on_progress` with a fresh snapshot after
+    /// every cache decision, checkpoint evaluation, and cell completion.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`submit`](Self::submit).
+    pub fn submit_streaming(
+        &self,
+        spec: &SweepSpec,
+        mut on_progress: impl FnMut(&SweepProgress),
+    ) -> Result<SweepReport, SweepError> {
+        spec.stop.validate().map_err(SweepError::InvalidRule)?;
+        let rule = spec.stop;
+        let mut progress = SweepProgress {
+            cells_total: spec.cells.len() as u64,
+            ..SweepProgress::default()
+        };
+
+        // Validate every cell up front — a submission is rejected whole,
+        // never half-executed — and plan each one: cache hit, intra-sweep
+        // duplicate, or run.
+        let mut prints = Vec::with_capacity(spec.cells.len());
+        for (index, cell) in spec.cells.iter().enumerate() {
+            cell.build()
+                .map_err(|error| SweepError::InvalidCell { index, error })?;
+            prints.push(fingerprint(cell));
+        }
+        let mut plans: Vec<CellPlan> = Vec::with_capacity(spec.cells.len());
+        let mut to_run: Vec<(usize, Scenario)> = Vec::new();
+        let mut first_seen: HashMap<Fingerprint, usize> = HashMap::new();
+        for (index, (cell, &print)) in spec.cells.iter().zip(&prints).enumerate() {
+            if let Some(&earlier) = first_seen.get(&print) {
+                plans.push(CellPlan::Duplicate(earlier));
+                progress.cache_hits += 1;
+                continue;
+            }
+            first_seen.insert(print, index);
+            match self.cache.lookup(print) {
+                Some(entry) if rule.finished_by(&entry.stats) => {
+                    progress.cache_hits += 1;
+                    progress.cells_from_cache += 1;
+                    progress.cells_done += 1;
+                    progress.trials_saved_by_cache += u64::from(rule.max_trials);
+                    plans.push(CellPlan::Cached(Box::new(entry)));
+                }
+                _ => {
+                    progress.cache_misses += 1;
+                    plans.push(CellPlan::Run(to_run.len()));
+                    let scenario = cell.build().expect("cell validated above");
+                    to_run.push((index, scenario));
+                }
+            }
+        }
+        on_progress(&progress);
+
+        // Execute the misses.
+        let executed = scheduler::execute(
+            &to_run,
+            &rule,
+            self.config.workers,
+            self.config.shard_size,
+            &mut progress,
+            &mut on_progress,
+        );
+
+        // Persist what was learned.
+        for ((index, _), (stats, trials)) in to_run.iter().zip(&executed) {
+            let entry = CacheEntry {
+                fingerprint: prints[*index],
+                label: spec.cells[*index].label(),
+                trials: u64::from(*trials),
+                stats: stats.clone(),
+            };
+            self.cache
+                .store(entry)
+                .map_err(|e| SweepError::Cache(e.to_string()))?;
+        }
+
+        // Assemble the report in submission order.
+        let mut results: Vec<CellResult> = Vec::with_capacity(spec.cells.len());
+        for (index, (cell, plan)) in spec.cells.iter().zip(&plans).enumerate() {
+            let result = match plan {
+                CellPlan::Cached(entry) => CellResult {
+                    spec: cell.clone(),
+                    fingerprint: prints[index],
+                    stats: entry.stats.clone(),
+                    trials: entry.trials,
+                    from_cache: true,
+                },
+                CellPlan::Duplicate(earlier) => {
+                    let twin = &results[*earlier];
+                    progress.cells_done += 1;
+                    progress.cells_from_cache += 1;
+                    progress.trials_saved_by_cache += u64::from(rule.max_trials);
+                    CellResult {
+                        spec: cell.clone(),
+                        fingerprint: prints[index],
+                        stats: twin.stats.clone(),
+                        trials: twin.trials,
+                        from_cache: true,
+                    }
+                }
+                CellPlan::Run(slot) => {
+                    let (stats, trials) = &executed[*slot];
+                    CellResult {
+                        spec: cell.clone(),
+                        fingerprint: prints[index],
+                        stats: stats.clone(),
+                        trials: u64::from(*trials),
+                        from_cache: false,
+                    }
+                }
+            };
+            results.push(result);
+        }
+        on_progress(&progress);
+
+        Ok(SweepReport {
+            cells: results,
+            progress,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Metric;
+    use rcb_sim::{HoppingSpec, StrategySpec};
+
+    fn small_cell(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::hopping(HoppingSpec::new(8, 200))
+            .channels(2)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(100)
+            .seed(seed)
+    }
+
+    fn loose_rule() -> StopRule {
+        StopRule::new(Metric::NodeTotalCost, 1e18).trials(4, 4, 8)
+    }
+
+    #[test]
+    fn degenerate_rule_is_rejected_before_running() {
+        let service = SweepService::in_memory();
+        let spec = SweepSpec::new(
+            vec![small_cell(1)],
+            StopRule::new(Metric::Slots, 1.0).trials(1, 1, 1),
+        );
+        assert!(matches!(
+            service.submit(&spec),
+            Err(SweepError::InvalidRule(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_cell_rejects_the_whole_submission() {
+        let service = SweepService::in_memory();
+        // ε-BROADCAST is single-channel only; channels(4) cannot build.
+        let bad =
+            ScenarioSpec::broadcast(rcb_core::Params::builder(16).build().unwrap()).channels(4);
+        let spec = SweepSpec::new(vec![small_cell(1), bad], loose_rule());
+        match service.submit(&spec) {
+            Err(SweepError::InvalidCell { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected InvalidCell, got {other:?}"),
+        }
+        // Nothing was cached: the valid cell did not execute.
+        assert_eq!(service.cache().resident_len(), 0);
+    }
+
+    #[test]
+    fn resubmission_executes_zero_trials() {
+        let service = SweepService::in_memory();
+        let spec = SweepSpec::new(vec![small_cell(1), small_cell(2)], loose_rule());
+        let cold = service.submit(&spec).unwrap();
+        assert!(cold.trials_executed() > 0);
+        assert!(cold.cells.iter().all(|c| !c.from_cache));
+
+        let warm = service.submit(&spec).unwrap();
+        assert_eq!(warm.trials_executed(), 0, "warm submission must be free");
+        assert!(warm.cells.iter().all(|c| c.from_cache));
+        assert_eq!(warm.progress.cache_hits, 2);
+        // And the statistics are the same bits.
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.trials, b.trials);
+        }
+    }
+
+    #[test]
+    fn duplicate_cells_within_one_submission_execute_once() {
+        let service = SweepService::in_memory();
+        let spec = SweepSpec::new(vec![small_cell(7), small_cell(7)], loose_rule());
+        let report = service.submit(&spec).unwrap();
+        assert!(!report.cells[0].from_cache);
+        assert!(report.cells[1].from_cache);
+        assert_eq!(report.cells[0].stats, report.cells[1].stats);
+        // Only the first copy's trials were executed.
+        assert_eq!(report.trials_executed(), report.cells[0].trials);
+    }
+
+    #[test]
+    fn progress_callback_reaches_a_terminal_snapshot() {
+        let service = SweepService::in_memory();
+        let spec = SweepSpec::new(vec![small_cell(3)], loose_rule());
+        let mut last = SweepProgress::default();
+        service.submit_streaming(&spec, |p| last = *p).unwrap();
+        assert_eq!(last.cells_total, 1);
+        assert_eq!(last.cells_done, 1);
+        assert_eq!(last.cells_running(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Declarative scenario cells — the `Scenario` builder's inputs captured
+//! as data, so a sweep can be described, fingerprinted, and replayed.
+
+use rcb_adversary::StrategySpec;
+use rcb_core::Params;
+use rcb_sim::{
+    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, Scenario, ScenarioError,
+    DEFAULT_MC_PHASE_LEN,
+};
+
+/// The protocol half of a [`ScenarioSpec`]: the same vocabulary as the
+/// [`Scenario`] builder's entry points (`Scenario::broadcast`,
+/// `::naive`, `::epidemic`, `::ksy`, `::hopping`), as a value.
+#[derive(Debug, Clone)]
+pub enum ProtocolSpec {
+    /// ε-BROADCAST (Gilbert & Young, PODC 2012).
+    Broadcast(Box<Params>),
+    /// The §1.1 naive always-on strawman.
+    Naive(NaiveSpec),
+    /// Epidemic gossip without backoff.
+    Epidemic(EpidemicSpec),
+    /// The King–Saia–Young-style two-player comparator.
+    Ksy(KsySpec),
+    /// Multi-channel epidemic-style random-hopping broadcast.
+    Hopping(HoppingSpec),
+}
+
+impl ProtocolSpec {
+    /// Short stable name for labels and tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Broadcast(_) => "broadcast",
+            ProtocolSpec::Naive(_) => "naive",
+            ProtocolSpec::Epidemic(_) => "epidemic",
+            ProtocolSpec::Ksy(_) => "ksy",
+            ProtocolSpec::Hopping(_) => "hopping",
+        }
+    }
+
+    /// Number of receiver nodes (1 for the two-player KSY comparator).
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        match self {
+            ProtocolSpec::Broadcast(params) => params.n(),
+            ProtocolSpec::Naive(spec) => spec.n,
+            ProtocolSpec::Epidemic(spec) => spec.n,
+            ProtocolSpec::Ksy(_) => 1,
+            ProtocolSpec::Hopping(spec) => spec.n,
+        }
+    }
+}
+
+/// One sweep cell: everything that determines a scenario's distribution
+/// of outcomes, captured declaratively.
+///
+/// This is the unit the sweep service schedules, fingerprints
+/// ([`crate::fingerprint`]), and caches. [`build`](Self::build) lowers it
+/// onto the validated [`Scenario`] API, so a spec that builds runs
+/// exactly like its hand-built counterpart — per-trial seeds derive from
+/// [`seed`](Self::seed) via `SeedTree::new(seed).leaf_seed("trial", i)`,
+/// identical to `Scenario::run_batch`.
+///
+/// # Example
+///
+/// ```
+/// use rcb_sweep::ScenarioSpec;
+/// use rcb_sim::{Engine, HoppingSpec, StrategySpec};
+///
+/// let cell = ScenarioSpec::hopping(HoppingSpec::new(64, 4_000))
+///     .engine(Engine::Fast)
+///     .channels(4)
+///     .adversary(StrategySpec::SplitUniform)
+///     .carol_budget(2_000)
+///     .seed(7);
+/// let scenario = cell.build()?;
+/// assert_eq!(scenario.channels(), 4);
+/// # Ok::<(), rcb_sim::ScenarioError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Which protocol the cell runs.
+    pub protocol: ProtocolSpec,
+    /// Which engine executes it.
+    pub engine: Engine,
+    /// The adversary strategy.
+    pub adversary: StrategySpec,
+    /// Carol's pooled budget `T` (`None` = unlimited).
+    pub carol_budget: Option<u64>,
+    /// Number of radio channels (1 = the single-channel model).
+    pub channels: u16,
+    /// Phase length of the phase-level multi-channel engine (`None` =
+    /// the engine default, [`DEFAULT_MC_PHASE_LEN`]). Only meaningful
+    /// for hopping on [`Engine::Fast`].
+    pub phase_len: Option<u64>,
+    /// Master seed — the root of the cell's per-trial seed lineage.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    fn new(protocol: ProtocolSpec) -> Self {
+        Self {
+            protocol,
+            engine: Engine::Exact,
+            adversary: StrategySpec::Silent,
+            carol_budget: None,
+            channels: 1,
+            phase_len: None,
+            seed: 0,
+        }
+    }
+
+    /// Starts an ε-BROADCAST cell.
+    #[must_use]
+    pub fn broadcast(params: Params) -> Self {
+        Self::new(ProtocolSpec::Broadcast(Box::new(params)))
+    }
+
+    /// Starts a naive always-on cell.
+    #[must_use]
+    pub fn naive(spec: NaiveSpec) -> Self {
+        Self::new(ProtocolSpec::Naive(spec))
+    }
+
+    /// Starts an epidemic-gossip cell.
+    #[must_use]
+    pub fn epidemic(spec: EpidemicSpec) -> Self {
+        Self::new(ProtocolSpec::Epidemic(spec))
+    }
+
+    /// Starts a KSY two-player cell.
+    #[must_use]
+    pub fn ksy(spec: KsySpec) -> Self {
+        Self::new(ProtocolSpec::Ksy(spec))
+    }
+
+    /// Starts a multi-channel random-hopping cell.
+    #[must_use]
+    pub fn hopping(spec: HoppingSpec) -> Self {
+        Self::new(ProtocolSpec::Hopping(spec))
+    }
+
+    /// Selects the engine (default [`Engine::Exact`]).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the adversary (default `StrategySpec::Silent`).
+    #[must_use]
+    pub fn adversary(mut self, adversary: StrategySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Caps Carol's pooled budget (default unlimited).
+    #[must_use]
+    pub fn carol_budget(mut self, units: u64) -> Self {
+        self.carol_budget = Some(units);
+        self
+    }
+
+    /// Sets the channel count (default 1).
+    #[must_use]
+    pub fn channels(mut self, c: u16) -> Self {
+        self.channels = c;
+        self
+    }
+
+    /// Sets the fast-engine phase length (default: engine default).
+    #[must_use]
+    pub fn phase_len(mut self, slots: u64) -> Self {
+        self.phase_len = Some(slots);
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The canonical phase length this cell runs at: the explicit value
+    /// when one applies, the engine default when the phase-level
+    /// multi-channel engine is selected without one, and 0 (no phase
+    /// structure) everywhere else. The fingerprint hashes this, so
+    /// "default" and "explicitly the default" cannot key differently.
+    #[must_use]
+    pub fn canonical_phase_len(&self) -> u64 {
+        if self.engine == Engine::Fast && matches!(self.protocol, ProtocolSpec::Hopping(_)) {
+            self.phase_len.unwrap_or(DEFAULT_MC_PHASE_LEN)
+        } else {
+            0
+        }
+    }
+
+    /// Lowers this spec onto the validated [`Scenario`] API.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] from `ScenarioBuilder::build` — the
+    /// sweep service rejects invalid cells at submit time with the cell
+    /// index attached.
+    pub fn build(&self) -> Result<Scenario, ScenarioError> {
+        let mut builder = match &self.protocol {
+            ProtocolSpec::Broadcast(params) => Scenario::broadcast((**params).clone()),
+            ProtocolSpec::Naive(spec) => Scenario::naive(*spec),
+            ProtocolSpec::Epidemic(spec) => Scenario::epidemic(*spec),
+            ProtocolSpec::Ksy(spec) => Scenario::ksy(*spec),
+            ProtocolSpec::Hopping(spec) => Scenario::hopping(*spec),
+        };
+        builder = builder
+            .engine(self.engine)
+            .adversary(self.adversary)
+            .channels(self.channels)
+            .seed(self.seed);
+        if let Some(units) = self.carol_budget {
+            builder = builder.carol_budget(units);
+        }
+        if let Some(slots) = self.phase_len {
+            builder = builder.phase_len(slots);
+        }
+        builder.build()
+    }
+
+    /// Human-readable cell label for tables and progress lines, e.g.
+    /// `hopping/fast/C4/n65536/adaptive(w=8,r=0.5)/T24000/seed7`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let engine = match self.engine {
+            Engine::Exact => "exact",
+            Engine::Fast => "fast",
+        };
+        let budget = match self.carol_budget {
+            Some(t) => format!("T{t}"),
+            None => "T∞".to_string(),
+        };
+        format!(
+            "{}/{}/C{}/n{}/{}/{}/seed{}",
+            self.protocol.name(),
+            engine,
+            self.channels,
+            self.protocol.n(),
+            self.adversary.name(),
+            budget,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builds_the_equivalent_scenario() {
+        let spec = ScenarioSpec::hopping(HoppingSpec::new(16, 2_000))
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(500)
+            .seed(9);
+        let scenario = spec.build().unwrap();
+        assert_eq!(scenario.channels(), 4);
+        assert_eq!(scenario.seed(), 9);
+        // Outcomes match a hand-built scenario bit for bit.
+        let hand = Scenario::hopping(HoppingSpec::new(16, 2_000))
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(500)
+            .seed(9)
+            .build()
+            .unwrap();
+        let a = scenario.run();
+        let b = hand.run();
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.broadcast.node_total_cost, b.broadcast.node_total_cost);
+    }
+
+    #[test]
+    fn invalid_cells_surface_the_scenario_error() {
+        let spec = ScenarioSpec::broadcast(Params::builder(16).build().unwrap()).channels(4);
+        assert!(matches!(
+            spec.build(),
+            Err(ScenarioError::MultiChannelUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn canonical_phase_len_rules() {
+        let hop = ScenarioSpec::hopping(HoppingSpec::new(16, 100));
+        assert_eq!(hop.clone().canonical_phase_len(), 0, "exact: no phases");
+        assert_eq!(
+            hop.clone().engine(Engine::Fast).canonical_phase_len(),
+            DEFAULT_MC_PHASE_LEN
+        );
+        assert_eq!(
+            hop.engine(Engine::Fast).phase_len(64).canonical_phase_len(),
+            64
+        );
+    }
+
+    #[test]
+    fn labels_are_stable_and_descriptive() {
+        let label = ScenarioSpec::hopping(HoppingSpec::new(64, 4_000))
+            .channels(8)
+            .adversary(StrategySpec::ChannelLagged)
+            .carol_budget(2_000)
+            .seed(3)
+            .label();
+        assert_eq!(label, "hopping/exact/C8/n64/channel-lagged/T2000/seed3");
+    }
+}

@@ -1,0 +1,383 @@
+//! Streaming per-cell statistics and the CI-driven early-stop rule.
+//!
+//! Every trial collapses to a fixed vector of metrics
+//! ([`TrialMetrics`]); a cell accumulates them in one Welford
+//! accumulator per metric ([`CellStats`]). Aggregation happens strictly
+//! in trial-index order — floating-point addition is not associative, so
+//! order-invariance is what makes sweep aggregates byte-identical to a
+//! sequential `run_trials` pass at any worker count or shard size.
+//!
+//! The [`StopRule`] drives early stopping: a cell stops at the first
+//! *checkpoint* (fixed trial counts derived from the rule alone, never
+//! from scheduling) where the chosen metric's CI half-width is at or
+//! under target, or at `max_trials`. Because checkpoints are a pure
+//! function of the rule, stopped trial counts are also invariant to
+//! worker count and shard size, and monotone in the precision target.
+
+use rcb_rng::stats::RunningStats;
+use rcb_sim::ScenarioOutcome;
+
+/// The per-trial measures a sweep tracks for every cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fraction of nodes informed at stop.
+    InformedFraction,
+    /// Alice's total energy spend.
+    AliceCost,
+    /// Total energy spend across all nodes.
+    NodeTotalCost,
+    /// The most any single node spent (0 when the engine does not track
+    /// per-node maxima).
+    MaxNodeCost,
+    /// Carol's realised spend.
+    CarolSpend,
+    /// Slots simulated.
+    Slots,
+}
+
+/// Number of tracked metrics (the length of a [`TrialMetrics`] vector).
+pub const METRIC_COUNT: usize = 6;
+
+impl Metric {
+    /// All metrics, in vector order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::InformedFraction,
+        Metric::AliceCost,
+        Metric::NodeTotalCost,
+        Metric::MaxNodeCost,
+        Metric::CarolSpend,
+        Metric::Slots,
+    ];
+
+    /// Stable short name (also the cache-file key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::InformedFraction => "informed-fraction",
+            Metric::AliceCost => "alice-cost",
+            Metric::NodeTotalCost => "node-total-cost",
+            Metric::MaxNodeCost => "max-node-cost",
+            Metric::CarolSpend => "carol-spend",
+            Metric::Slots => "slots",
+        }
+    }
+
+    /// Parses a stable name back to the metric.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One trial's measurements, in [`Metric::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialMetrics {
+    values: [f64; METRIC_COUNT],
+}
+
+impl TrialMetrics {
+    /// Collapses a scenario outcome to the tracked metric vector.
+    #[must_use]
+    pub fn from_outcome(outcome: &ScenarioOutcome) -> Self {
+        Self {
+            values: [
+                outcome.informed_fraction(),
+                outcome.broadcast.alice_cost.total() as f64,
+                outcome.broadcast.node_total_cost.total() as f64,
+                outcome.broadcast.max_node_cost.unwrap_or(0) as f64,
+                outcome.carol_spend() as f64,
+                outcome.slots as f64,
+            ],
+        }
+    }
+
+    /// The value of one metric.
+    #[must_use]
+    pub fn get(&self, metric: Metric) -> f64 {
+        self.values[metric.index()]
+    }
+}
+
+/// Streaming statistics of one cell: a Welford accumulator per metric,
+/// fed strictly in trial-index order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellStats {
+    per: [RunningStats; METRIC_COUNT],
+}
+
+impl CellStats {
+    /// An empty accumulator set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one trial. Callers must push trials in index order for
+    /// bit-reproducible aggregates (the scheduler guarantees this).
+    pub fn push(&mut self, metrics: &TrialMetrics) {
+        for (stats, value) in self.per.iter_mut().zip(metrics.values) {
+            stats.push(value);
+        }
+    }
+
+    /// Trials absorbed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.per[0].count()
+    }
+
+    /// The accumulator of one metric.
+    #[must_use]
+    pub fn stats(&self, metric: Metric) -> &RunningStats {
+        &self.per[metric.index()]
+    }
+
+    /// Mean of one metric.
+    #[must_use]
+    pub fn mean(&self, metric: Metric) -> f64 {
+        self.stats(metric).mean()
+    }
+
+    /// CI half-width of one metric at critical value `z`
+    /// (`z · s / √count`; 0 until two trials exist — the stop rule's
+    /// `min_trials ≥ 2` floor is what keeps that from triggering a stop
+    /// on one sample).
+    #[must_use]
+    pub fn half_width(&self, metric: Metric, z: f64) -> f64 {
+        z * self.stats(metric).std_error()
+    }
+
+    /// Raw accumulators in metric order (cache serialisation hook).
+    #[must_use]
+    pub fn raw(&self) -> &[RunningStats; METRIC_COUNT] {
+        &self.per
+    }
+
+    /// Rebuilds from raw accumulators (cache deserialisation hook).
+    #[must_use]
+    pub fn from_raw(per: [RunningStats; METRIC_COUNT]) -> Self {
+        Self { per }
+    }
+}
+
+/// When a cell may stop executing trials.
+///
+/// A cell is evaluated only at **checkpoints**: `min_trials`, then every
+/// `check_every` further trials, capped at `max_trials` (which is always
+/// a checkpoint). At a checkpoint the cell stops iff the CI half-width
+/// of [`metric`](Self::metric) at critical value [`z`](Self::z) is ≤
+/// [`half_width`](Self::half_width), and unconditionally at
+/// `max_trials`. Checkpoints depend on the rule alone, so stopping is
+/// deterministic and scheduling-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// The metric whose confidence interval drives stopping.
+    pub metric: Metric,
+    /// Target CI half-width (absolute, in the metric's units).
+    pub half_width: f64,
+    /// Critical value of the normal CI (1.96 ≈ 95%).
+    pub z: f64,
+    /// Trials before the first checkpoint (≥ 2: variance needs two).
+    pub min_trials: u32,
+    /// Checkpoint spacing after `min_trials` (≥ 1).
+    pub check_every: u32,
+    /// Hard cap; the cell stops here even if the target was never met.
+    pub max_trials: u32,
+}
+
+impl StopRule {
+    /// A rule targeting `half_width` on `metric` at 95% confidence, with
+    /// the default checkpoint ladder (min 8, every 8, max 256).
+    #[must_use]
+    pub fn new(metric: Metric, half_width: f64) -> Self {
+        Self {
+            metric,
+            half_width,
+            z: 1.96,
+            min_trials: 8,
+            check_every: 8,
+            max_trials: 256,
+        }
+    }
+
+    /// Overrides the checkpoint ladder.
+    #[must_use]
+    pub fn trials(mut self, min: u32, every: u32, max: u32) -> Self {
+        self.min_trials = min;
+        self.check_every = every;
+        self.max_trials = max;
+        self
+    }
+
+    /// Overrides the CI critical value.
+    #[must_use]
+    pub fn z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+
+    /// Validates the rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_trials < 2 {
+            return Err("min_trials must be at least 2 (variance needs two samples)".into());
+        }
+        if self.check_every == 0 {
+            return Err("check_every must be at least 1".into());
+        }
+        if self.max_trials < self.min_trials {
+            return Err(format!(
+                "max_trials ({}) must be at least min_trials ({})",
+                self.max_trials, self.min_trials
+            ));
+        }
+        if !(self.half_width >= 0.0 && self.half_width.is_finite()) {
+            return Err(format!(
+                "half_width target must be finite and nonnegative, got {}",
+                self.half_width
+            ));
+        }
+        if !(self.z > 0.0 && self.z.is_finite()) {
+            return Err(format!("z must be positive and finite, got {}", self.z));
+        }
+        Ok(())
+    }
+
+    /// The first checkpoint (trial count).
+    #[must_use]
+    pub fn first_checkpoint(&self) -> u32 {
+        self.min_trials.min(self.max_trials)
+    }
+
+    /// The checkpoint after `current` trials, `None` past `max_trials`.
+    #[must_use]
+    pub fn next_checkpoint(&self, current: u32) -> Option<u32> {
+        if current >= self.max_trials {
+            None
+        } else if current < self.min_trials {
+            Some(self.first_checkpoint())
+        } else {
+            Some(
+                current
+                    .saturating_add(self.check_every)
+                    .min(self.max_trials),
+            )
+        }
+    }
+
+    /// Whether the precision target is met by these statistics.
+    #[must_use]
+    pub fn satisfied_by(&self, stats: &CellStats) -> bool {
+        stats.count() >= u64::from(self.min_trials)
+            && stats.half_width(self.metric, self.z) <= self.half_width
+    }
+
+    /// Whether a cell with these statistics is finished (target met, or
+    /// the trial cap reached).
+    #[must_use]
+    pub fn finished_by(&self, stats: &CellStats) -> bool {
+        self.satisfied_by(stats) || stats.count() >= u64::from(self.max_trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(v: f64) -> TrialMetrics {
+        TrialMetrics {
+            values: [v; METRIC_COUNT],
+        }
+    }
+
+    #[test]
+    fn cell_stats_track_each_metric() {
+        let mut stats = CellStats::new();
+        for v in [1.0, 2.0, 3.0] {
+            stats.push(&metrics(v));
+        }
+        assert_eq!(stats.count(), 3);
+        for metric in Metric::ALL {
+            assert!((stats.mean(metric) - 2.0).abs() < 1e-12);
+        }
+        assert!(stats.half_width(Metric::Slots, 1.96) > 0.0);
+    }
+
+    #[test]
+    fn zero_variance_has_zero_half_width() {
+        let mut stats = CellStats::new();
+        for _ in 0..4 {
+            stats.push(&metrics(5.0));
+        }
+        assert_eq!(stats.half_width(Metric::NodeTotalCost, 1.96), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_ladder_is_min_then_every_capped_at_max() {
+        let rule = StopRule::new(Metric::NodeTotalCost, 1.0).trials(4, 3, 12);
+        assert_eq!(rule.first_checkpoint(), 4);
+        let mut points = Vec::new();
+        let mut at = 0;
+        while let Some(next) = rule.next_checkpoint(at) {
+            points.push(next);
+            at = next;
+        }
+        assert_eq!(points, vec![4, 7, 10, 12]);
+        // max is always a checkpoint, even off the ladder.
+        let rule = StopRule::new(Metric::NodeTotalCost, 1.0).trials(4, 100, 10);
+        assert_eq!(rule.next_checkpoint(4), Some(10));
+    }
+
+    #[test]
+    fn rule_validation_rejects_degenerate_ladders() {
+        assert!(StopRule::new(Metric::Slots, 1.0).validate().is_ok());
+        assert!(StopRule::new(Metric::Slots, 1.0)
+            .trials(1, 4, 8)
+            .validate()
+            .is_err());
+        assert!(StopRule::new(Metric::Slots, 1.0)
+            .trials(4, 0, 8)
+            .validate()
+            .is_err());
+        assert!(StopRule::new(Metric::Slots, 1.0)
+            .trials(8, 4, 4)
+            .validate()
+            .is_err());
+        assert!(StopRule::new(Metric::Slots, f64::NAN).validate().is_err());
+        assert!(StopRule::new(Metric::Slots, 1.0).z(0.0).validate().is_err());
+    }
+
+    #[test]
+    fn satisfaction_needs_min_trials_and_the_target() {
+        let rule = StopRule::new(Metric::NodeTotalCost, 0.5).trials(3, 1, 100);
+        let mut stats = CellStats::new();
+        stats.push(&metrics(5.0));
+        stats.push(&metrics(5.0));
+        assert!(!rule.satisfied_by(&stats), "below min_trials");
+        stats.push(&metrics(5.0));
+        assert!(rule.satisfied_by(&stats), "zero variance at min_trials");
+        // High variance: not satisfied, but finished at max.
+        let noisy = StopRule::new(Metric::NodeTotalCost, 1e-9).trials(2, 1, 3);
+        let mut stats = CellStats::new();
+        for v in [1.0, 100.0, 1000.0] {
+            stats.push(&metrics(v));
+        }
+        assert!(!noisy.satisfied_by(&stats));
+        assert!(noisy.finished_by(&stats));
+    }
+
+    #[test]
+    fn metric_names_round_trip() {
+        for metric in Metric::ALL {
+            assert_eq!(Metric::from_name(metric.name()), Some(metric));
+        }
+        assert_eq!(Metric::from_name("nope"), None);
+    }
+}

@@ -18,7 +18,8 @@
 //! | [`core`] | `rcb-core` | ε-BROADCAST (Figures 1–2, §4.1, §4.2) and the fast simulator |
 //! | [`adversary`] | `rcb-adversary` | Carol strategies (blockers, spoofers, reactive, n-uniform) |
 //! | [`baselines`] | `rcb-baselines` | naive, epidemic, and KSY-style comparators |
-//! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E12/X2 |
+//! | [`sweep`] | `rcb-sweep` | resident sweep service: shards, early stopping, result cache |
+//! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E15/X2 |
 //!
 //! ## Quick start
 //!
@@ -58,3 +59,4 @@ pub use rcb_core as core;
 pub use rcb_radio as radio;
 pub use rcb_rng as rng;
 pub use rcb_sim as sim;
+pub use rcb_sweep as sweep;

@@ -1,5 +1,6 @@
 //! Cross-crate integration: exact replayability from a single master seed,
-//! across protocols, engines, adversaries, and protocol variants.
+//! across protocols, engines, adversaries, protocol variants, and the
+//! sweep service's sharded execution.
 
 use evildoers::adversary::StrategySpec;
 use evildoers::core::{Params, Variant};
@@ -259,6 +260,70 @@ fn worker_count_override_never_changes_outcomes() {
         assert_eq!(overridden.len(), reference.len());
         for (a, b) in overridden.iter().zip(&reference) {
             assert_identical(a, b, &format!("threads={threads}"));
+        }
+    }
+}
+
+#[test]
+fn sweep_sharding_is_invisible_at_any_worker_count_and_shard_size() {
+    use evildoers::sweep::{
+        CellStats, Metric, ResultCache, ScenarioSpec, StopRule, SweepConfig, SweepService,
+        SweepSpec, TrialMetrics,
+    };
+    // The sweep service's acceptance bar: per-cell aggregates must be
+    // byte-identical to a sequential `run_batch` pass over the same
+    // seeds, no matter how the trials were sharded across workers. A
+    // zero half-width target on a noisy metric never triggers early
+    // stopping, so every configuration runs exactly max_trials.
+    let trials: u32 = 13; // deliberately not a multiple of any shard size
+    let cells = vec![
+        ScenarioSpec::hopping(HoppingSpec::new(12, 1_500))
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(300)
+            .seed(21),
+        ScenarioSpec::hopping(HoppingSpec::new(12, 1_500))
+            .channels(2)
+            .adversary(StrategySpec::ChannelLagged)
+            .carol_budget(300)
+            .seed(22),
+    ];
+    let rule = StopRule::new(Metric::NodeTotalCost, 0.0).trials(trials, trials, trials);
+
+    // Sequential reference: run_batch outcomes folded in trial order.
+    let reference: Vec<CellStats> = cells
+        .iter()
+        .map(|cell| {
+            let mut stats = CellStats::new();
+            for outcome in cell.build().unwrap().run_batch(trials) {
+                stats.push(&TrialMetrics::from_outcome(&outcome));
+            }
+            stats
+        })
+        .collect();
+
+    for workers in [1usize, 2, 5] {
+        for shard_size in [1u32, 3, 16] {
+            let service = SweepService::new(
+                SweepConfig {
+                    workers: Some(workers),
+                    shard_size,
+                },
+                ResultCache::in_memory(),
+            );
+            let report = service
+                .submit(&SweepSpec::new(cells.clone(), rule))
+                .unwrap();
+            for (cell, expected) in report.cells.iter().zip(&reference) {
+                assert_eq!(cell.trials, u64::from(trials));
+                assert_eq!(
+                    &cell.stats,
+                    expected,
+                    "workers={workers} shard={shard_size}: sweep aggregate must be \
+                     byte-identical to the sequential pass for {}",
+                    cell.spec.label()
+                );
+            }
         }
     }
 }

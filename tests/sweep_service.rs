@@ -1,0 +1,152 @@
+//! Integration tests of the resident sweep service: early-stopping
+//! correctness, precision monotonicity, and the cache's zero-trial
+//! resubmission guarantee (in memory and across a disk round-trip).
+
+use evildoers::sim::{HoppingSpec, NaiveSpec, StrategySpec};
+use evildoers::sweep::{
+    Metric, ResultCache, ScenarioSpec, StopRule, SweepConfig, SweepService, SweepSpec,
+};
+
+/// A noisy cell: jammed hopping broadcast — node cost varies per trial.
+fn noisy_cell() -> ScenarioSpec {
+    ScenarioSpec::hopping(HoppingSpec::new(12, 1_500))
+        .channels(4)
+        .adversary(StrategySpec::SplitUniform)
+        .carol_budget(300)
+        .seed(33)
+}
+
+/// A zero-variance cell under [`Metric::Slots`]: the naive baseline runs
+/// a fixed horizon, so the slot count is a constant of the spec.
+fn constant_cell() -> ScenarioSpec {
+    ScenarioSpec::naive(NaiveSpec { n: 8, horizon: 400 }).seed(33)
+}
+
+fn submit_one(cell: ScenarioSpec, rule: StopRule) -> (u64, f64) {
+    let service = SweepService::in_memory();
+    let report = service
+        .submit(&SweepSpec::new(vec![cell], rule))
+        .expect("valid submission");
+    let c = &report.cells[0];
+    (c.trials, c.half_width(&rule))
+}
+
+#[test]
+fn high_variance_cells_run_until_the_target_half_width() {
+    // A moderately tight target on a noisy metric: the cell must run past
+    // the first checkpoint, stop before the cap, and actually achieve the
+    // requested precision.
+    let loose = StopRule::new(Metric::NodeTotalCost, 1e9).trials(4, 4, 128);
+    let (loose_trials, _) = submit_one(noisy_cell(), loose);
+    assert_eq!(
+        loose_trials, 4,
+        "a loose target stops at the first checkpoint"
+    );
+
+    let (probe_trials, probe_hw) = submit_one(
+        noisy_cell(),
+        StopRule::new(Metric::NodeTotalCost, 0.0).trials(4, 4, 128),
+    );
+    assert_eq!(probe_trials, 128, "zero target runs to the cap");
+    assert!(probe_hw > 0.0, "the cell really is noisy");
+
+    // Target midway between achieved-at-min and achieved-at-cap: the rule
+    // must stop strictly between the two, at or under the target.
+    let (_, min_hw) = submit_one(
+        noisy_cell(),
+        StopRule::new(Metric::NodeTotalCost, 1e9).trials(4, 4, 128),
+    );
+    let target = (probe_hw + min_hw) / 2.0;
+    let rule = StopRule::new(Metric::NodeTotalCost, target).trials(4, 4, 128);
+    let (trials, achieved) = submit_one(noisy_cell(), rule);
+    assert!(
+        achieved <= target,
+        "achieved half-width {achieved} must meet the target {target}"
+    );
+    assert!(
+        trials > 4 && trials < 128,
+        "expected a stop strictly between min and cap, got {trials}"
+    );
+}
+
+#[test]
+fn zero_variance_cells_stop_at_the_first_checkpoint() {
+    let rule = StopRule::new(Metric::Slots, 1e-12).trials(4, 4, 256);
+    let (trials, achieved) = submit_one(constant_cell(), rule);
+    assert_eq!(
+        trials, 4,
+        "zero variance satisfies any target at min_trials"
+    );
+    assert_eq!(achieved, 0.0);
+}
+
+#[test]
+fn stopped_trial_counts_are_monotone_in_the_precision_target() {
+    // Tightening the target can only run a cell longer: the checkpoint
+    // ladder is fixed, and hw ≤ tight ⇒ hw ≤ loose at the same checkpoint.
+    let mut targets = [5_000.0f64, 500.0, 50.0, 5.0, 0.0];
+    targets.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut last = 0u64;
+    for &target in &targets {
+        let rule = StopRule::new(Metric::NodeTotalCost, target).trials(4, 4, 64);
+        let (trials, _) = submit_one(noisy_cell(), rule);
+        assert!(
+            trials >= last,
+            "target {target}: {trials} trials, but a looser target needed {last}"
+        );
+        last = trials;
+    }
+}
+
+#[test]
+fn disk_cache_survives_a_service_restart() {
+    let dir = std::env::temp_dir().join(format!("rcb-sweep-service-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rule = StopRule::new(Metric::NodeTotalCost, 1e9).trials(4, 4, 16);
+    let spec = SweepSpec::new(vec![noisy_cell(), constant_cell()], rule);
+
+    let cold = {
+        let service = SweepService::new(SweepConfig::default(), ResultCache::at_dir(&dir).unwrap());
+        service.submit(&spec).unwrap()
+    };
+    assert!(cold.trials_executed() > 0);
+
+    // A fresh service over the same directory: zero trials, same bits.
+    let service = SweepService::new(SweepConfig::default(), ResultCache::at_dir(&dir).unwrap());
+    let warm = service.submit(&spec).unwrap();
+    assert_eq!(warm.trials_executed(), 0);
+    assert_eq!(warm.progress.cache_hits, 2);
+    for (a, b) in cold.cells.iter().zip(&warm.cells) {
+        assert!(b.from_cache);
+        assert_eq!(a.stats, b.stats, "{}", a.spec.label());
+        assert_eq!(a.trials, b.trials);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tighter_rules_invalidate_loose_cache_entries() {
+    // An entry finished under a loose rule is not good enough for a
+    // tighter submission: the service must re-run and then cache the
+    // longer statistics.
+    let service = SweepService::in_memory();
+    let loose = SweepSpec::new(
+        vec![noisy_cell()],
+        StopRule::new(Metric::NodeTotalCost, 1e9).trials(4, 4, 64),
+    );
+    let first = service.submit(&loose).unwrap();
+    assert_eq!(first.cells[0].trials, 4);
+
+    let tight = SweepSpec::new(
+        vec![noisy_cell()],
+        StopRule::new(Metric::NodeTotalCost, 0.0).trials(4, 4, 64),
+    );
+    let second = service.submit(&tight).unwrap();
+    assert!(!second.cells[0].from_cache, "loose entry cannot satisfy");
+    assert_eq!(second.cells[0].trials, 64);
+
+    // And the refreshed entry now serves the tight rule from cache.
+    let third = service.submit(&tight).unwrap();
+    assert!(third.cells[0].from_cache);
+    assert_eq!(third.trials_executed(), 0);
+}
