@@ -43,6 +43,14 @@ struct Plan {
     big_horizon: u64,
     big_budget: u64,
     big_trials: u32,
+    /// Required per-trial speedup of fast over exact at the largest
+    /// overlapping scale. Scale-dependent since the era-2 exact engine:
+    /// sleep-skipping made exact hopping `O(actions)`, so at smoke sizes
+    /// (n = 128) the two engines are within an order of magnitude and
+    /// only the full-scale grid still demonstrates a ≥10× gap. The fast
+    /// engine's headline property is n-independence (the extension
+    /// half), not the per-trial ratio at sizes exact handles easily.
+    speedup_band: f64,
 }
 
 fn plan(scale: Scale) -> Plan {
@@ -58,6 +66,7 @@ fn plan(scale: Scale) -> Plan {
             big_horizon: 8_000,
             big_budget: 4_000,
             big_trials: 2,
+            speedup_band: 1.5,
         },
         Scale::Full => Plan {
             cross_ns: vec![1 << 8, 1 << 10, 1 << 12, 1 << 13],
@@ -70,6 +79,7 @@ fn plan(scale: Scale) -> Plan {
             big_horizon: 40_000,
             big_budget: 24_000,
             big_trials: 4,
+            speedup_band: 10.0,
         },
     }
 }
@@ -306,10 +316,11 @@ pub fn run(scale: Scale) -> ExperimentReport {
             worst_cost
         ),
         format!(
-            "speedup at n = {} (the largest overlapping scale): ≥ {:.0}× per trial \
-             over the exact engine",
+            "speedup at n = {} (the largest overlapping scale): ≥ {:.1}× per trial \
+             over the era-2 exact engine (band ≥ {:.1}×)",
             plan.cross_ns.last().expect("nonempty"),
-            min_speedup
+            min_speedup,
+            plan.speedup_band
         ),
         format!(
             "E11 curve extended to n = {}: mean node cost ratio C={last_c} vs C=1 is {:.3} \
@@ -324,7 +335,7 @@ pub fn run(scale: Scale) -> ExperimentReport {
     ];
 
     let cross_ok = worst_informed <= INFORMED_BAND && worst_cost <= COST_BAND;
-    let speedup_ok = min_speedup >= 10.0;
+    let speedup_ok = min_speedup >= plan.speedup_band;
     let ext_delivery_ok = ext_points.iter().all(|(_, _, p)| p.informed > 0.9);
     let ext_shape_ok = ext_cost_ratio < 0.5 && adapt_vs_split <= 2.0;
     let pass = cross_ok && speedup_ok && ext_delivery_ok && ext_shape_ok;

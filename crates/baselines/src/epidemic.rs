@@ -9,10 +9,10 @@
 //! in WSNs suffer" (§1.1).
 
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
-use rcb_core::{BroadcastOutcome, EngineKind};
+use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    Action, Adversary, Budget, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
-    NodeProtocol, Payload, Reception, RunReport, Slot,
+    run_gossip_soa_in, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
+    GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -283,27 +283,100 @@ pub fn execute_epidemic_in(
         &seeds,
     );
 
-    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
-    let mut node_total = CostBreakdown::default();
-    for c in &node_costs {
-        node_total.absorb(c);
+    let outcome = gossip_outcome(config.n, &report);
+    (outcome, report)
+}
+
+/// Reusable scratch for batched era-2 epidemic-gossip runs.
+#[derive(Debug, Default)]
+pub struct EpidemicSoaScratch {
+    budgets: Vec<Budget>,
+    soa: GossipSoaScratch,
+}
+
+impl EpidemicSoaScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
-    let outcome = BroadcastOutcome {
+}
+
+/// Runs epidemic gossip on the era-2 sleep-skipping engine.
+///
+/// Statistically equivalent to [`execute_epidemic`] (validated by the
+/// `era1-oracle` cross-validation suite) but with per-slot cost
+/// proportional to the events in a run, not `n` — the default exact
+/// path since fingerprint era 2. Not stream-compatible with era 1.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_epidemic_soa(
+    config: &EpidemicConfig,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_epidemic_soa_in(config, adversary, &mut EpidemicSoaScratch::new())
+}
+
+/// Like [`execute_epidemic_soa`], reusing caller-owned scratch
+/// allocations — the batched-trials entry point.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_epidemic_soa_in(
+    config: &EpidemicConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut EpidemicSoaScratch,
+) -> (BroadcastOutcome, RunReport) {
+    assert!(
+        (0.0..=1.0).contains(&config.listen_p),
+        "listen_p must be a probability"
+    );
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"gossip payload m"));
+    let alice_id = alice_key.id();
+
+    let spec = GossipSpec {
         n: config.n,
-        informed_nodes,
-        uninformed_terminated: 0,
-        unterminated_nodes: config.n - informed_nodes,
-        alice_terminated: report.terminated[0],
-        alice_cost: report.participant_costs[0],
-        node_total_cost: node_total,
-        max_node_cost: node_costs.iter().map(CostBreakdown::total).max(),
-        carol_cost: report.carol_cost,
-        slots: report.slots_elapsed,
-        rounds_entered: 0,
-        engine: EngineKind::Exact,
-        node_costs: Some(node_costs),
+        horizon: config.horizon,
+        alice_send_p: 0.5,
+        listen_p: config.listen_p,
+        relay_p: (config.relay_rate / config.n as f64).clamp(0.0, 1.0),
+        hop_channels: false,
+        terminate_on_inform: false,
+        payload: Payload::Broadcast(signed_m),
     };
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
+    let engine_config = EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
+        ..EngineConfig::default()
+    };
+    let report = run_gossip_soa_in(
+        &engine_config,
+        &spec,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+        &mut |payload| {
+            matches!(payload, Payload::Broadcast(signed)
+                if signed.signer() == alice_id && verifier.verify_signed(signed))
+        },
+        &mut scratch.soa,
+    );
+
+    let outcome = gossip_outcome(config.n, &report);
     (outcome, report)
 }
 
@@ -347,5 +420,42 @@ mod tests {
         let mut cfg = EpidemicConfig::new(4, 10, Budget::unlimited(), 0);
         cfg.listen_p = 1.5;
         let _ = execute_epidemic(&cfg, &mut SilentAdversary);
+    }
+
+    #[test]
+    fn era2_gossip_delivers_quickly_when_quiet() {
+        let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
+        let (outcome, report) = execute_epidemic_soa(&cfg, &mut SilentAdversary);
+        assert_eq!(outcome.informed_nodes, 32);
+        let mean_listens = outcome.node_total_cost.listens as f64 / 32.0;
+        assert!(mean_listens < 200.0, "mean listens {mean_listens}");
+        // Timeline shape matches era 1: runs last to the horizon.
+        let (_, r1) = execute_epidemic(&cfg, &mut SilentAdversary);
+        assert_eq!(report.slots_elapsed, r1.slots_elapsed);
+        assert_eq!(report.stop_reason, r1.stop_reason);
+    }
+
+    #[test]
+    fn era2_listener_cost_scales_with_jamming() {
+        let t = 3_000u64;
+        let cfg = EpidemicConfig::new(8, t + 500, Budget::limited(t), 2);
+        let (outcome, _) = execute_epidemic_soa(&cfg, &mut ContinuousJammer);
+        assert_eq!(outcome.informed_nodes, 8);
+        let per_node = outcome.mean_node_cost();
+        assert!(
+            per_node > t as f64 * 0.4,
+            "per-node cost {per_node} should be ≈ T/2 = {}",
+            t / 2
+        );
+    }
+
+    #[test]
+    fn era2_runs_are_deterministic_by_seed() {
+        let cfg = EpidemicConfig::new(16, 1_500, Budget::limited(400), 9);
+        let (a, ra) = execute_epidemic_soa(&cfg, &mut ContinuousJammer);
+        let (b, rb) = execute_epidemic_soa(&cfg, &mut ContinuousJammer);
+        assert_eq!(a.node_costs, b.node_costs);
+        assert_eq!(a.informed_nodes, b.informed_nodes);
+        assert_eq!(ra.channel_stats, rb.channel_stats);
     }
 }

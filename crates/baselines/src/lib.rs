@@ -40,5 +40,11 @@ mod epidemic;
 pub mod ksy;
 mod naive;
 
-pub use epidemic::{execute_epidemic, execute_epidemic_in, EpidemicConfig, EpidemicScratch};
-pub use naive::{execute_naive, execute_naive_in, NaiveConfig, NaiveScratch};
+pub use epidemic::{
+    execute_epidemic, execute_epidemic_in, execute_epidemic_soa, execute_epidemic_soa_in,
+    EpidemicConfig, EpidemicScratch, EpidemicSoaScratch,
+};
+pub use naive::{
+    execute_naive, execute_naive_in, execute_naive_soa, execute_naive_soa_in, NaiveConfig,
+    NaiveScratch, NaiveSoaScratch,
+};

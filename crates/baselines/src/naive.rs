@@ -1,10 +1,10 @@
 //! The naive always-on broadcast — §1.1's strawman.
 
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
-use rcb_core::{BroadcastOutcome, EngineKind};
+use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    Action, Adversary, Budget, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
-    NodeProtocol, Payload, Reception, RunReport, Slot,
+    run_gossip_soa_in, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
+    GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -244,27 +244,90 @@ pub fn execute_naive_in(
         &seeds,
     );
 
-    let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
-    let mut node_total = CostBreakdown::default();
-    for c in &node_costs {
-        node_total.absorb(c);
+    let outcome = gossip_outcome(config.n, &report);
+    (outcome, report)
+}
+
+/// Reusable scratch for batched era-2 naive-broadcast runs.
+#[derive(Debug, Default)]
+pub struct NaiveSoaScratch {
+    budgets: Vec<Budget>,
+    soa: GossipSoaScratch,
+}
+
+impl NaiveSoaScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
-    let outcome = BroadcastOutcome {
+}
+
+/// Runs the naive protocol on the era-2 sleep-skipping engine.
+///
+/// Statistically equivalent to [`execute_naive`] (validated by the
+/// `era1-oracle` cross-validation suite); the default exact path since
+/// fingerprint era 2. The naive workload is fully deterministic apart
+/// from Carol, so era 1 and era 2 produce identical outcomes here
+/// whenever the adversary is deterministic too. Not stream-compatible
+/// with era 1.
+#[must_use]
+pub fn execute_naive_soa(
+    config: &NaiveConfig,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_naive_soa_in(config, adversary, &mut NaiveSoaScratch::new())
+}
+
+/// Like [`execute_naive_soa`], reusing caller-owned scratch allocations —
+/// the batched-trials entry point.
+#[must_use]
+pub fn execute_naive_soa_in(
+    config: &NaiveConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut NaiveSoaScratch,
+) -> (BroadcastOutcome, RunReport) {
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"naive payload m"));
+    let alice_id = alice_key.id();
+
+    let spec = GossipSpec {
         n: config.n,
-        informed_nodes,
-        uninformed_terminated: 0,
-        unterminated_nodes: config.n - informed_nodes,
-        alice_terminated: report.terminated[0],
-        alice_cost: report.participant_costs[0],
-        node_total_cost: node_total,
-        max_node_cost: node_costs.iter().map(CostBreakdown::total).max(),
-        carol_cost: report.carol_cost,
-        slots: report.slots_elapsed,
-        rounds_entered: 0,
-        engine: EngineKind::Exact,
-        node_costs: Some(node_costs),
+        horizon: config.horizon,
+        alice_send_p: 1.0,
+        listen_p: 1.0,
+        relay_p: 0.0,
+        hop_channels: false,
+        terminate_on_inform: true,
+        payload: Payload::Broadcast(signed_m),
     };
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
+    let engine_config = EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
+        ..EngineConfig::default()
+    };
+    let report = run_gossip_soa_in(
+        &engine_config,
+        &spec,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+        &mut |payload| {
+            matches!(payload, Payload::Broadcast(signed)
+                if signed.signer() == alice_id && verifier.verify_signed(signed))
+        },
+        &mut scratch.soa,
+    );
+
+    let outcome = gossip_outcome(config.n, &report);
     (outcome, report)
 }
 
@@ -316,5 +379,43 @@ mod tests {
         // keeps transmitting: cost equals slots elapsed.
         assert_eq!(outcome.alice_cost.sends, outcome.slots.min(1_000));
         assert!(outcome.alice_cost.sends >= 100);
+    }
+
+    #[test]
+    fn era2_matches_era1_exactly_on_deterministic_runs() {
+        // The naive workload has no correct-side randomness, so with a
+        // deterministic adversary the two engines must agree outcome-for-
+        // outcome (not just in distribution).
+        for (cfg, jam) in [
+            (NaiveConfig::new(16, 50, Budget::unlimited(), 1), false),
+            (NaiveConfig::new(4, 250, Budget::limited(200), 2), true),
+            (NaiveConfig::new(3, 40, Budget::unlimited(), 3), true),
+        ] {
+            let run = |era2: bool| {
+                if jam {
+                    let mut carol = ContinuousJammer;
+                    if era2 {
+                        execute_naive_soa(&cfg, &mut carol)
+                    } else {
+                        execute_naive(&cfg, &mut carol)
+                    }
+                } else if era2 {
+                    execute_naive_soa(&cfg, &mut SilentAdversary)
+                } else {
+                    execute_naive(&cfg, &mut SilentAdversary)
+                }
+            };
+            let (o1, r1) = run(false);
+            let (o2, r2) = run(true);
+            assert_eq!(o1.informed_nodes, o2.informed_nodes);
+            assert_eq!(o1.alice_cost, o2.alice_cost);
+            assert_eq!(o1.node_total_cost, o2.node_total_cost);
+            assert_eq!(o1.carol_cost, o2.carol_cost);
+            assert_eq!(o1.slots, o2.slots);
+            assert_eq!(r1.stop_reason, r2.stop_reason);
+            assert_eq!(r1.participant_costs, r2.participant_costs);
+            assert_eq!(r1.terminated, r2.terminated);
+            assert_eq!(r1.channel_stats, r2.channel_stats);
+        }
     }
 }

@@ -2,10 +2,18 @@
 //!
 //! Criterion benches are great for local A/B runs but awkward to diff
 //! across PRs; this binary measures the same hot paths with plain
-//! wall-clock timing and emits one JSON file (`BENCH_5.json` by default)
+//! wall-clock timing and emits one JSON file (`BENCH_7.json` by default)
 //! that future PRs can regenerate and compare. Every measurement is a
 //! *sequential* per-trial time (no `run_batch` parallelism), so the
 //! numbers track single-core engine throughput, not the worker pool.
+//!
+//! Besides per-trial wall time, every entry reports `per_node_slot_ns`:
+//! per-trial nanoseconds divided by `n × slots`, the cost of one
+//! node-slot of simulated radio time. For a full-roster walker this is
+//! roughly constant in `n`; for the era-2 sleep-skipping engine it
+//! *falls* as dormancy grows, because parked nodes cost nothing until
+//! their sampled wake slot. The `sleepskip/` group pins that scaling on
+//! quiet ε-BROADCAST runs, where waiters dominate.
 //!
 //! ```text
 //! cargo run --release -p rcb-bench --bin bench            # full grid
@@ -35,6 +43,11 @@ struct Entry {
     channels: u16,
     trials: u32,
     per_trial_ns: u128,
+    /// Mean simulated slots per trial.
+    slots_per_trial: f64,
+    /// `per_trial_ns / (n × slots_per_trial)` — cost of one node-slot of
+    /// simulated time. The sleep-skipping engine's headline metric.
+    per_node_slot_ns: f64,
 }
 
 /// Builds the measured scenario for a grid point.
@@ -73,21 +86,32 @@ fn scenario(kind: &str, n: u64, channels: u16) -> Scenario {
             .seed(1)
             .build()
             .unwrap(),
+        // Quiet ε-BROADCAST: no jamming, so after the first rounds the
+        // roster is almost entirely dormant waiters — the configuration
+        // where sleep-skipping (not tighter per-slot code) is the win.
+        "sleepskip-broadcast" => Scenario::broadcast(Params::builder(n).build().unwrap())
+            .adversary(StrategySpec::Silent)
+            .seed(1)
+            .build()
+            .unwrap(),
         other => panic!("unknown bench kind {other}"),
     }
 }
 
 /// Times `trials` sequential executions (after one warmup) and returns
-/// the mean per-trial nanoseconds. Scratch is reused across trials, as
-/// `run_batch` workers would.
-fn measure(s: &Scenario, trials: u32) -> u128 {
+/// the mean per-trial nanoseconds plus the mean simulated slots per
+/// trial. Scratch is reused across trials, as `run_batch` workers would.
+fn measure(s: &Scenario, trials: u32) -> (u128, f64) {
     let mut scratch = ScenarioScratch::new();
     std::hint::black_box(s.run_in(&mut scratch, 0xBEEF)); // warmup
+    let mut slots_total = 0u64;
     let start = Instant::now();
     for t in 0..trials {
-        std::hint::black_box(s.run_in(&mut scratch, u64::from(t)));
+        let outcome = std::hint::black_box(s.run_in(&mut scratch, u64::from(t)));
+        slots_total += outcome.slots;
     }
-    start.elapsed().as_nanos() / u128::from(trials.max(1))
+    let per_trial = start.elapsed().as_nanos() / u128::from(trials.max(1));
+    (per_trial, slots_total as f64 / f64::from(trials.max(1)))
 }
 
 /// `--sweep`: cold-vs-warm wall time of the resident sweep service over
@@ -181,7 +205,7 @@ fn main() {
             if sweep {
                 "BENCH_6.json".to_string()
             } else {
-                "BENCH_5.json".to_string()
+                "BENCH_7.json".to_string()
             }
         });
     if sweep {
@@ -215,32 +239,64 @@ fn main() {
             64,
             4,
         ),
+        // Sleep-skip scaling group: quiet runs, dormancy-dominated. The
+        // per_node_slot_ns column should *drop* as n doubles.
+        (
+            "sleepskip/broadcast/n4096",
+            "sleepskip-broadcast",
+            1 << 12,
+            1,
+            8,
+            1,
+        ),
+        (
+            "sleepskip/broadcast/n8192",
+            "sleepskip-broadcast",
+            1 << 13,
+            1,
+            4,
+            1,
+        ),
+        (
+            "sleepskip/broadcast/n16384",
+            "sleepskip-broadcast",
+            1 << 14,
+            1,
+            2,
+            1,
+        ),
     ];
 
     let mut entries = Vec::new();
     for &(id, kind, n, channels, full_trials, quick_trials) in grid {
         let trials = if quick { quick_trials } else { full_trials };
         let s = scenario(kind, n, channels);
-        let per_trial_ns = measure(&s, trials);
-        eprintln!("{id:28} {per_trial_ns:>14} ns/trial  ({trials} trials)");
+        let (per_trial_ns, slots_per_trial) = measure(&s, trials);
+        let per_node_slot_ns = per_trial_ns as f64 / (n as f64 * slots_per_trial.max(1.0));
+        eprintln!(
+            "{id:28} {per_trial_ns:>14} ns/trial  {per_node_slot_ns:>9.4} ns/node-slot  \
+             ({trials} trials)"
+        );
         entries.push(Entry {
             id,
             n,
             channels,
             trials,
             per_trial_ns,
+            slots_per_trial,
+            per_node_slot_ns,
         });
     }
 
     // Hand-rolled JSON: the workspace deliberately vendors no serde_json.
-    let mut json = String::from("{\n  \"schema\": \"rcb-bench-v1\",\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"rcb-bench-v2\",\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         writeln!(
             json,
             "    {{\"id\": \"{}\", \"n\": {}, \"channels\": {}, \"trials\": {}, \
-             \"per_trial_ns\": {}}}{comma}",
-            e.id, e.n, e.channels, e.trials, e.per_trial_ns
+             \"per_trial_ns\": {}, \"slots_per_trial\": {:.1}, \"per_node_slot_ns\": {:.4}}}{comma}",
+            e.id, e.n, e.channels, e.trials, e.per_trial_ns, e.slots_per_trial, e.per_node_slot_ns
         )
         .expect("string write cannot fail");
     }

@@ -262,8 +262,13 @@ impl BroadcastScratch {
 }
 
 /// Condenses an engine report into a [`BroadcastOutcome`] (roster layout:
-/// index 0 = Alice, `1..=n` = nodes).
-fn summarize(params: &Params, schedule: &RoundSchedule, report: &RunReport) -> BroadcastOutcome {
+/// index 0 = Alice, `1..=n` = nodes). Shared with the era-2 driver so both
+/// engines account identically.
+pub(crate) fn summarize(
+    params: &Params,
+    schedule: &RoundSchedule,
+    report: &RunReport,
+) -> BroadcastOutcome {
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();
     for c in &node_costs {

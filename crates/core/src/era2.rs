@@ -1,0 +1,934 @@
+//! Era-2 exact driver for ε-BROADCAST: sleep-skipping wake scheduling
+//! over structure-of-arrays state.
+//!
+//! The era-1 path ([`crate::BroadcastScratch`]) walks all `n + 1` state
+//! machines every slot, drawing per-slot Bernoullis even for devices that
+//! sleep with probability `1 − O(2^{−i})`. This driver replaces that walk
+//! with an event queue: within a *segment* — a maximal slot range over
+//! which a device class's action probabilities are constant (a phase, or
+//! a §4.2 g-loop subsegment of one) — each live device's next action slot
+//! is drawn geometrically and parked in a bucketed [`WakeQueue`]. A slot
+//! costs the adversary callback plus the handful of devices that actually
+//! act in it.
+//!
+//! ## The two-arm reduction
+//!
+//! Every per-slot decision in Figures 1/2 is (at most) two sequential
+//! Bernoullis: *try action A with `p₁`; failing that, try action B with
+//! `p₂`*. The pair is equivalent to waking with
+//! `p_w = 1 − (1−p₁)(1−p₂)` and, given a wake, performing A with
+//! probability `p₁ / p_w` (else B). Inter-wake gaps within a segment are
+//! then geometric with parameter `p_w`; geometric memorylessness makes it
+//! sound to re-draw pending gaps at every segment boundary, which is how
+//! probability changes (new phase, next g-loop subsegment) are applied.
+//!
+//! ## Fidelity
+//!
+//! Per-slot action *marginals* match era-1 exactly; receptions, noisy
+//! counts, informs, budget charges, and the adversary's
+//! [`SlotObservation`] are fully materialized (no deferred settlement —
+//! unlike the gossip driver, request-phase noise is per-node state).
+//! Termination timing replicates the era-1 state machines slot-for-slot:
+//! judged devices go quiet on the round-boundary slot, relayers terminate
+//! *after* acting on their step's final slot, and late recruits wait
+//! (sending decoys) until the next request phase. Draw *sequences* differ
+//! from era-1, so runs agree statistically, not bitwise — the
+//! `era1-oracle` suite checks that agreement.
+
+use rcb_auth::{Authority, Payload as MessageBytes};
+use rcb_radio::{
+    resolve_for_listener_on, Adversary, AdversaryCtx, Budget, ChannelId, ChannelLoad, ChannelStats,
+    EnergyLedger, JamPlan, Op, ParticipantId, Payload, PayloadKind, Reception, RunReport, Slot,
+    SlotObservation, SlotRecord, Spectrum, StopReason, Trace, WakeQueue,
+};
+use rcb_rng::{CounterRng, Geometric, SeedTree};
+
+use crate::broadcast::{summarize, RunConfig};
+use crate::outcome::BroadcastOutcome;
+use crate::params::{Params, SizeKnowledge};
+use crate::probabilities::{phase_probabilities, PhaseProbabilities};
+use crate::schedule::{PhaseKind, RoundSchedule};
+
+/// A maximal slot range with constant per-class action probabilities:
+/// one phase, or one g-loop subsegment of a propagation/request phase.
+/// Each class holds its `(p₁, p₂)` arm pair (see module docs).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u64,
+    round: u32,
+    phase: PhaseKind,
+    /// Alice: (send `m` — inform only, listen — request only).
+    alice: (f64, f64),
+    /// Uninformed node: (decoy, listen) in inform/propagation;
+    /// (g-adjusted nack, listen) in request.
+    uninformed: (f64, f64),
+    /// A node relaying in this exact step: (g-adjusted send `m`, decoy).
+    relaying: (f64, f64),
+    /// An informed node outside its relay step: decoy only.
+    waiting: f64,
+}
+
+/// An arm pair reduced to sampling form: wake probability and the
+/// geometric gap distribution (absent when the class never acts).
+struct Class {
+    p1: f64,
+    p2: f64,
+    pw: f64,
+    geo: Option<Geometric>,
+}
+
+fn class(arms: (f64, f64)) -> Class {
+    let (p1, p2) = arms;
+    let pw = p1 + p2 - p1 * p2;
+    let geo = (pw > 0.0).then(|| Geometric::new(pw).expect("probabilities are clamped to [0,1]"));
+    Class { p1, p2, pw, geo }
+}
+
+/// What a woken device does on each arm; resolved from (role, phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Alice,
+    Uninformed,
+    Relaying,
+    Waiting,
+}
+
+/// §4.2 g-loop segment count (1 = disabled), matching `ReceiverNode`.
+fn g_segments(params: &Params) -> u64 {
+    match params.size_knowledge() {
+        SizeKnowledge::PolynomialOverestimate { nu } => {
+            u64::from((64 - (nu.max(2) - 1).leading_zeros()).max(1))
+        }
+        _ => 1,
+    }
+}
+
+fn segment_for(
+    start: u64,
+    round: u32,
+    phase: PhaseKind,
+    probs: &PhaseProbabilities,
+    g_prob: Option<f64>,
+) -> Segment {
+    let (alice, uninformed, relaying) = match phase {
+        PhaseKind::Inform => (
+            (probs.alice_send, 0.0),
+            (probs.decoy_send, probs.uninformed_listen),
+            (0.0, 0.0),
+        ),
+        PhaseKind::Propagation { .. } => (
+            (0.0, 0.0),
+            (probs.decoy_send, probs.uninformed_listen),
+            (g_prob.unwrap_or(probs.informed_send), probs.decoy_send),
+        ),
+        PhaseKind::Request => (
+            (0.0, probs.alice_listen),
+            (
+                g_prob.unwrap_or(probs.uninformed_nack),
+                probs.uninformed_listen,
+            ),
+            (0.0, 0.0),
+        ),
+    };
+    // Informed nodes outside their relay step never act in request
+    // phases (they terminate at the first request slot instead).
+    let waiting = match phase {
+        PhaseKind::Request => 0.0,
+        _ => probs.decoy_send,
+    };
+    Segment {
+        start,
+        round,
+        phase,
+        alice,
+        uninformed,
+        relaying,
+        waiting,
+    }
+}
+
+/// Builds the run's segment table, splitting propagation and request
+/// phases at g-loop boundaries, plus one overtime segment pinned at the
+/// final request position (matching `Cursor`'s past-end behaviour).
+fn build_segments(params: &Params, schedule: &RoundSchedule) -> Vec<Segment> {
+    let gseg = g_segments(params);
+    let mut segments = Vec::new();
+    let mut acc = 0u64;
+    for (round, phase, len) in schedule.phases() {
+        let probs = phase_probabilities(params, round, phase);
+        let split = gseg > 1 && !matches!(phase, PhaseKind::Inform);
+        let seg_len = (len / gseg).max(1);
+        let mut offset = 0u64;
+        loop {
+            let g = (offset / seg_len + 1).min(gseg);
+            let g_prob = split.then(|| 0.5f64.powi(g as i32));
+            segments.push(segment_for(acc + offset, round, phase, &probs, g_prob));
+            if !split || g >= gseg {
+                break;
+            }
+            let next = g * seg_len;
+            if next >= len {
+                break;
+            }
+            offset = next;
+        }
+        acc += len;
+    }
+    // Overtime: the cursor pins to the final request slot, so the few
+    // slots between `total_slots` and the engine cap reuse its position.
+    let round = schedule.max_round();
+    let len = schedule.phase_len(round);
+    let probs = phase_probabilities(params, round, PhaseKind::Request);
+    let seg_len = (len / gseg).max(1);
+    let g = ((len - 1) / seg_len + 1).min(gseg);
+    let g_prob = (gseg > 1).then(|| 0.5f64.powi(g as i32));
+    segments.push(segment_for(acc, round, PhaseKind::Request, &probs, g_prob));
+    segments
+}
+
+/// The first slot strictly after `slot` whose schedule position is a
+/// request phase — when an `Informed { relay_step: None }` node next
+/// acts as such and terminates (era-1 `act_informed`).
+fn next_request_slot(schedule: &RoundSchedule, slot: u64, round: u32, phase: PhaseKind) -> u64 {
+    let len = schedule.phase_len(round);
+    let start = schedule.round_start(round);
+    let k = u64::from(schedule.k());
+    match phase {
+        PhaseKind::Request => {
+            let round_end = start + (k + 1) * len - 1;
+            if slot < round_end {
+                slot + 1
+            } else if round < schedule.max_round() {
+                let next = round + 1;
+                schedule.round_start(next) + k * schedule.phase_len(next)
+            } else {
+                // Pinned final request position: the next act is still
+                // "request phase" regardless of the slot index.
+                slot + 1
+            }
+        }
+        _ => start + k * len,
+    }
+}
+
+/// Reusable scratch for era-2 exact ε-BROADCAST executions.
+///
+/// The era-2 counterpart of [`crate::BroadcastScratch`]: same `Params` →
+/// same budgets, schedule, and [`BroadcastOutcome`] accounting, but the
+/// slot loop only touches devices that act (see module docs). Segment
+/// tables, per-node flag arrays, and both calendar queues are reused
+/// across runs with the same parameters.
+#[derive(Debug, Default)]
+pub struct BroadcastSoaScratch {
+    built_for: Option<Params>,
+    schedule: Option<RoundSchedule>,
+    segments: Vec<Segment>,
+    /// `(boundary slot, round judged at it)` — request-phase judgements
+    /// fire on the first slot after each round (era-1 `pending_eval`).
+    judges: Vec<(u64, u32)>,
+    budgets: Vec<Budget>,
+    // Per-device state, index 0 = Alice.
+    rngs: Vec<CounterRng>,
+    /// 0 = active/uninformed, 1 = informed, 2 = done.
+    status: Vec<u8>,
+    informed: Vec<bool>,
+    noisy: Vec<u64>,
+    relay_round: Vec<u32>,
+    /// Propagation step the node relays in (0 = no relay duty).
+    relay_step: Vec<u32>,
+    /// Last slot the device may act in (inclusive); `u64::MAX` until a
+    /// termination slot is known.
+    act_until: Vec<u64>,
+    wake: WakeQueue,
+    /// Calendar of known future terminations (informed nodes).
+    term: WakeQueue,
+    due: Vec<(u64, u32)>,
+    term_due: Vec<(u64, u32)>,
+    // Engine working buffers.
+    ledger: EnergyLedger,
+    load: ChannelLoad,
+    executed_jam: JamPlan,
+    jammed_channels: Vec<ChannelId>,
+    correct_sends: Vec<(ParticipantId, ChannelId, PayloadKind)>,
+    listeners: Vec<(ParticipantId, ChannelId)>,
+    delivered_listeners: Vec<(ParticipantId, ChannelId)>,
+}
+
+impl BroadcastSoaScratch {
+    /// Creates an empty scratch; tables are built on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one ε-BROADCAST execution on the era-2 engine and returns the
+    /// outcome plus the raw engine report — the drop-in counterpart of
+    /// [`crate::BroadcastScratch::run`].
+    #[allow(clippy::too_many_lines)]
+    pub fn run(
+        &mut self,
+        params: &Params,
+        adversary: &mut dyn Adversary,
+        config: &RunConfig,
+    ) -> (BroadcastOutcome, RunReport) {
+        let seeds = SeedTree::new(config.seed);
+        let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+        let alice_key = authority.issue_key();
+        let verifier = authority.verifier();
+        let signed_m = alice_key.sign(&MessageBytes::from_static(b"the broadcast payload m"));
+        let alice_id = alice_key.id();
+
+        let n = params.n() as usize;
+        if self.built_for.as_ref() != Some(params) {
+            let schedule = RoundSchedule::new(params);
+            self.segments = build_segments(params, &schedule);
+            self.judges = (schedule.start_round()..=schedule.max_round())
+                .map(|i| (schedule.round_start(i) + schedule.round_len(i), i))
+                .collect();
+            self.schedule = Some(schedule);
+            self.built_for = Some(params.clone());
+        }
+        self.budgets.clear();
+        if config.enforce_correct_budgets {
+            self.budgets.push(Budget::limited(params.alice_budget()));
+            self.budgets.extend(std::iter::repeat_n(
+                Budget::limited(params.node_budget()),
+                n,
+            ));
+        } else {
+            self.budgets
+                .extend(std::iter::repeat_n(Budget::unlimited(), n + 1));
+        }
+
+        let threshold = params.termination_threshold();
+        let min_term = params.min_termination_round();
+        let prop_steps = params.propagation_steps();
+        let spectrum = Spectrum::single();
+
+        let BroadcastSoaScratch {
+            schedule,
+            segments,
+            judges,
+            budgets,
+            rngs,
+            status,
+            informed,
+            noisy,
+            relay_round,
+            relay_step,
+            act_until,
+            wake,
+            term,
+            due,
+            term_due,
+            ledger,
+            load,
+            executed_jam,
+            jammed_channels,
+            correct_sends,
+            listeners,
+            delivered_listeners,
+            ..
+        } = self;
+        let schedule = schedule.as_ref().expect("built above");
+        let max_slots = schedule.total_slots() + 4;
+
+        ledger.reset_on(budgets, config.carol_budget, spectrum);
+        load.reset_for(spectrum);
+        executed_jam.clear();
+        jammed_channels.clear();
+        correct_sends.clear();
+        listeners.clear();
+        delivered_listeners.clear();
+        rngs.clear();
+        rngs.extend((0..=n).map(|i| CounterRng::new(seeds.leaf_seed("participant", i as u64))));
+        status.clear();
+        status.resize(n + 1, 0);
+        informed.clear();
+        informed.resize(n + 1, false);
+        informed[0] = true; // Alice holds m by definition.
+        noisy.clear();
+        noisy.resize(n + 1, 0);
+        relay_round.clear();
+        relay_round.resize(n + 1, 0);
+        relay_step.clear();
+        relay_step.resize(n + 1, 0);
+        act_until.clear();
+        act_until.resize(n + 1, u64::MAX);
+        wake.reset(n + 1, max_slots);
+        term.reset(n + 1, max_slots);
+        let mut trace = Trace::with_capacity(config.trace_capacity);
+        let mut delivered_on_zero = 0u64;
+
+        let mut live = (n + 1) as u64;
+        let mut seg_idx = 0usize;
+        let mut judge_idx = 0usize;
+        let mut alice_cls = class((0.0, 0.0));
+        let mut uninf_cls = class((0.0, 0.0));
+        let mut relay_cls = class((0.0, 0.0));
+        let mut wait_cls = class((0.0, 0.0));
+        let mut jammed_slots = 0u64;
+        let mut noisy_slots = 0u64;
+        let mut slot_idx = 0u64;
+
+        let stop_reason = loop {
+            if slot_idx >= max_slots {
+                break StopReason::SlotCapReached;
+            }
+            if live == 0 {
+                break StopReason::AllTerminated;
+            }
+            while seg_idx + 1 < segments.len() && segments[seg_idx + 1].start <= slot_idx {
+                seg_idx += 1;
+            }
+            let seg = segments[seg_idx];
+            if seg.start == slot_idx {
+                // Round boundary: judge the request phase that just ended
+                // (all of its receptions are in), then reset counters —
+                // exactly era-1's deferred `pending_eval`.
+                while judge_idx < judges.len() && judges[judge_idx].0 == slot_idx {
+                    let round = judges[judge_idx].1;
+                    judge_idx += 1;
+                    let may_terminate = round >= min_term;
+                    for node in 0..=n {
+                        if status[node] == 0 {
+                            if may_terminate && noisy[node] <= threshold {
+                                status[node] = 2;
+                                live -= 1;
+                                wake.cancel(node as u32);
+                            }
+                            noisy[node] = 0;
+                        }
+                    }
+                }
+                // New segment ⇒ new arm probabilities; geometric
+                // memorylessness makes a fresh draw for every live device
+                // distribution-preserving even where probabilities did
+                // not change.
+                alice_cls = class(seg.alice);
+                uninf_cls = class(seg.uninformed);
+                relay_cls = class(seg.relaying);
+                wait_cls = class((seg.waiting, 0.0));
+                for node in 0..=n as u32 {
+                    let nu = node as usize;
+                    if status[nu] == 2 {
+                        continue;
+                    }
+                    let cls = role_class(
+                        node,
+                        status[nu],
+                        relay_round[nu],
+                        relay_step[nu],
+                        &seg,
+                        &alice_cls,
+                        &uninf_cls,
+                        &relay_cls,
+                        &wait_cls,
+                    )
+                    .1;
+                    let mut next = None;
+                    if let Some(geo) = &cls.geo {
+                        let t = slot_idx + geo.sample(&mut rngs[nu]);
+                        if t <= act_until[nu] {
+                            next = Some(t);
+                        }
+                    }
+                    match next {
+                        Some(t) => wake.schedule(node, t),
+                        None => wake.cancel(node),
+                    }
+                }
+            }
+
+            let slot = Slot::new(slot_idx);
+            load.clear();
+            correct_sends.clear();
+            listeners.clear();
+            executed_jam.clear();
+            jammed_channels.clear();
+            delivered_listeners.clear();
+
+            // 1. Devices due this slot act: pick an arm, charge it, and
+            //    re-draw the next wake.
+            wake.drain_due(slot_idx, due);
+            for &(_, node) in due.iter() {
+                let nu = node as usize;
+                if status[nu] == 2 || slot_idx > act_until[nu] {
+                    continue;
+                }
+                let (role, cls) = role_class(
+                    node,
+                    status[nu],
+                    relay_round[nu],
+                    relay_step[nu],
+                    &seg,
+                    &alice_cls,
+                    &uninf_cls,
+                    &relay_cls,
+                    &wait_cls,
+                );
+                if cls.pw <= 0.0 {
+                    continue;
+                }
+                let rng = &mut rngs[nu];
+                let arm1 = if cls.p2 <= 0.0 {
+                    true
+                } else if cls.p1 <= 0.0 {
+                    false
+                } else {
+                    rand::Rng::gen_bool(rng, (cls.p1 / cls.pw).min(1.0))
+                };
+                let send = if arm1 {
+                    Some(match role {
+                        Role::Alice | Role::Relaying => Payload::Broadcast(signed_m.clone()),
+                        Role::Uninformed => match seg.phase {
+                            PhaseKind::Request => Payload::Nack,
+                            _ => Payload::Decoy,
+                        },
+                        Role::Waiting => Payload::Decoy,
+                    })
+                } else {
+                    match role {
+                        // Second arms: Alice and uninformed nodes listen;
+                        // a relayer that skipped m falls back to a decoy.
+                        Role::Relaying => Some(Payload::Decoy),
+                        Role::Alice | Role::Uninformed => None,
+                        Role::Waiting => unreachable!("waiting class has no second arm"),
+                    }
+                };
+                match send {
+                    Some(payload) => {
+                        if ledger
+                            .charge_participant_on(nu, Op::Send, ChannelId::ZERO)
+                            .is_charged()
+                        {
+                            correct_sends.push((
+                                ParticipantId::new(node),
+                                ChannelId::ZERO,
+                                payload.kind(),
+                            ));
+                            load.push(ChannelId::ZERO, payload);
+                        }
+                    }
+                    None => {
+                        if ledger
+                            .charge_participant_on(nu, Op::Listen, ChannelId::ZERO)
+                            .is_charged()
+                        {
+                            listeners.push((ParticipantId::new(node), ChannelId::ZERO));
+                        }
+                    }
+                }
+                if let Some(geo) = &cls.geo {
+                    let t = slot_idx + 1 + geo.sample(rng);
+                    if t <= act_until[nu] {
+                        wake.schedule(node, t);
+                    }
+                }
+            }
+
+            // 2. Carol plans; reactive Carol additionally sees the RSSI bit.
+            let ctx = AdversaryCtx {
+                budget_remaining: ledger.carol_remaining(),
+                spent: ledger.carol_spend().total(),
+            };
+            let mut mv = adversary.plan(slot, &ctx);
+            if adversary.is_reactive() {
+                let activity = !load.is_quiet();
+                mv = adversary.react(slot, activity, mv);
+            }
+            for tx in mv.sends {
+                assert!(
+                    spectrum.contains(tx.channel),
+                    "byzantine send targets {} outside the {spectrum}",
+                    tx.channel
+                );
+                if ledger.charge_carol_on(Op::Send, tx.channel).is_charged() {
+                    load.push(tx.channel, tx.payload);
+                }
+            }
+            for (channel, directive) in mv.jam {
+                assert!(
+                    spectrum.contains(channel),
+                    "jam directive targets {channel} outside the {spectrum}"
+                );
+                if ledger.charge_carol_on(Op::Jam, channel).is_charged() {
+                    executed_jam.set(channel, directive);
+                    jammed_channels.push(channel);
+                }
+            }
+            let jam_executed = executed_jam.is_active();
+            if jam_executed {
+                jammed_slots += 1;
+            }
+            if jam_executed || !load.is_quiet() {
+                noisy_slots += 1;
+            }
+
+            // 3. Resolve every listener exactly: informs flip state and
+            //    schedule the node's (now known) termination slot;
+            //    request-phase noise feeds the judgement counters.
+            let mut delivered = 0u32;
+            for &(pid, channel) in listeners.iter() {
+                let reception = resolve_for_listener_on(pid, channel, load, executed_jam);
+                if matches!(reception, Reception::Silence) {
+                    continue;
+                }
+                let node = pid.index();
+                let nu = node as usize;
+                let mut informs = false;
+                if let Reception::Frame(payload) = &reception {
+                    delivered += 1;
+                    delivered_on_zero += 1;
+                    delivered_listeners.push((pid, channel));
+                    if nu != 0 && status[nu] == 0 {
+                        if let Payload::Broadcast(signed) = payload {
+                            informs = signed.signer() == alice_id && verifier.verify_signed(signed);
+                        }
+                    }
+                }
+                if informs {
+                    status[nu] = 1;
+                    informed[nu] = true;
+                    let (rr, rs) = match seg.phase {
+                        PhaseKind::Inform => (seg.round, 1u32),
+                        PhaseKind::Propagation { step } if step < prop_steps => {
+                            (seg.round, step + 1)
+                        }
+                        // Too late in the round for a relay duty.
+                        _ => (seg.round, 0),
+                    };
+                    relay_round[nu] = rr;
+                    relay_step[nu] = rs;
+                    let done_at = if rs != 0 {
+                        // Done at the end of its relay step — still acting
+                        // on that step's final slot (era-1 `act_informed`).
+                        schedule.round_start(rr) + (u64::from(rs) + 1) * schedule.phase_len(rr) - 1
+                    } else {
+                        next_request_slot(schedule, slot_idx, seg.round, seg.phase)
+                    };
+                    act_until[nu] = if rs != 0 { done_at } else { done_at - 1 };
+                    term.schedule(node, done_at);
+                    // Re-draw under the informed class for the rest of the
+                    // current segment (relay duty, if any, starts at a
+                    // future segment boundary).
+                    wake.cancel(node);
+                    if let Some(geo) = &wait_cls.geo {
+                        let t = slot_idx + 1 + geo.sample(&mut rngs[nu]);
+                        if t <= act_until[nu] {
+                            wake.schedule(node, t);
+                        }
+                    }
+                } else if matches!(seg.phase, PhaseKind::Request) && status[nu] == 0 {
+                    // Nacks, forged frames, jamming, collisions: all noisy,
+                    // none distinguishable (Alice shares the tally rule).
+                    noisy[nu] += 1;
+                }
+            }
+
+            // 4. Full-information feedback to the adaptive adversary.
+            adversary.observe(
+                slot,
+                &SlotObservation {
+                    correct_sends: correct_sends.as_slice(),
+                    listeners: listeners.as_slice(),
+                    jam_executed,
+                    jammed_channels: jammed_channels.as_slice(),
+                    delivered: delivered_listeners.as_slice(),
+                },
+            );
+            if config.trace_capacity > 0 {
+                trace.push(SlotRecord {
+                    slot: slot_idx,
+                    transmissions: load.total().min(u16::MAX as usize) as u16,
+                    jammed_channels: executed_jam.active_channel_count().min(u16::MAX as usize)
+                        as u16,
+                    listeners: listeners.len() as u32,
+                    delivered,
+                });
+            }
+
+            // 5. Terminations determined earlier land now: the device set
+            //    its done flag while acting this slot (era-1 shape), so
+            //    `live` reflects it from the next slot on.
+            term.drain_due(slot_idx, term_due);
+            for &(_, term_node) in term_due.iter() {
+                let node = term_node as usize;
+                if status[node] == 1 {
+                    status[node] = 2;
+                    live -= 1;
+                }
+            }
+
+            slot_idx += 1;
+        };
+
+        let terminated: Vec<bool> = status.iter().map(|&s| s == 2).collect();
+        let channel_stats: Vec<ChannelStats> = spectrum
+            .channels()
+            .map(|c| {
+                let i = c.index() as usize;
+                let correct = ledger.correct_channel_spend()[i];
+                let carol = ledger.carol_channel_spend()[i];
+                ChannelStats {
+                    correct_sends: correct.sends,
+                    correct_listens: correct.listens,
+                    byz_sends: carol.sends,
+                    jammed_slots: carol.jams,
+                    delivered: delivered_on_zero,
+                }
+            })
+            .collect();
+        let report = RunReport {
+            slots_elapsed: slot_idx,
+            stop_reason,
+            participant_costs: ledger.all_participant_spend(),
+            participant_refusals: (0..=n).map(|i| ledger.participant_refusals(i)).collect(),
+            carol_cost: ledger.carol_spend(),
+            informed: std::mem::take(informed),
+            terminated,
+            jammed_slots,
+            noisy_slots,
+            channel_stats,
+            trace,
+        };
+        let outcome = summarize(params, schedule, &report);
+        (outcome, report)
+    }
+}
+
+/// Resolves which arm pair governs a device in the current segment.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn role_class<'a>(
+    node: u32,
+    status: u8,
+    relay_round: u32,
+    relay_step: u32,
+    seg: &Segment,
+    alice: &'a Class,
+    uninformed: &'a Class,
+    relaying: &'a Class,
+    waiting: &'a Class,
+) -> (Role, &'a Class) {
+    if node == 0 {
+        (Role::Alice, alice)
+    } else if status == 0 {
+        (Role::Uninformed, uninformed)
+    } else if relay_step != 0
+        && seg.round == relay_round
+        && seg.phase == (PhaseKind::Propagation { step: relay_step })
+    {
+        (Role::Relaying, relaying)
+    } else {
+        (Role::Waiting, waiting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::BroadcastScratch;
+    use crate::params::DecoyConfig;
+    use rcb_radio::{AdversaryMove, SilentAdversary};
+
+    fn params(n: u64, min_term: u32) -> Params {
+        Params::builder(n)
+            .min_termination_round(min_term)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn era2_quiet_run_informs_everyone_and_stops_cleanly() {
+        let params = params(64, 3);
+        let (outcome, report) =
+            BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &RunConfig::seeded(42));
+        assert!(
+            outcome.informed_fraction() >= 0.95,
+            "informed {}/{}",
+            outcome.informed_nodes,
+            outcome.n
+        );
+        assert!(outcome.alice_terminated);
+        assert_eq!(outcome.unterminated_nodes, 0);
+        assert_eq!(outcome.carol_spend(), 0);
+        assert_eq!(report.stop_reason, StopReason::AllTerminated);
+        assert_eq!(
+            report.channel_stats.len(),
+            1,
+            "ε-BROADCAST is single-channel"
+        );
+        let stats = report.channel_stats[0];
+        assert_eq!(
+            stats.correct_sends,
+            outcome.alice_cost.sends + outcome.node_total_cost.sends
+        );
+        assert_eq!(
+            stats.correct_listens,
+            outcome.alice_cost.listens + outcome.node_total_cost.listens
+        );
+    }
+
+    #[test]
+    fn era2_runs_are_deterministic_by_seed() {
+        let params = params(32, 3);
+        let run = |seed| {
+            BroadcastSoaScratch::new()
+                .run(&params, &mut SilentAdversary, &RunConfig::seeded(seed))
+                .0
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.informed_nodes, b.informed_nodes);
+        assert_eq!(a.alice_cost, b.alice_cost);
+        assert_eq!(a.node_total_cost, b.node_total_cost);
+        assert_eq!(a.node_costs, b.node_costs);
+        let c = run(10);
+        assert!(
+            a.slots != c.slots
+                || a.alice_cost != c.alice_cost
+                || a.node_total_cost != c.node_total_cost
+        );
+    }
+
+    #[test]
+    fn era2_scratch_reuse_reproduces_fresh_runs() {
+        let params_a = params(32, 3);
+        let params_b = params(16, 2);
+        let mut scratch = BroadcastSoaScratch::new();
+        for (params, seed) in [
+            (&params_a, 1u64),
+            (&params_a, 2),
+            (&params_b, 1),
+            (&params_a, 1),
+        ] {
+            let cfg = RunConfig::seeded(seed);
+            let (reused, _) = scratch.run(params, &mut SilentAdversary, &cfg);
+            let (fresh, _) = BroadcastSoaScratch::new().run(params, &mut SilentAdversary, &cfg);
+            assert_eq!(reused.slots, fresh.slots);
+            assert_eq!(reused.informed_nodes, fresh.informed_nodes);
+            assert_eq!(reused.alice_cost, fresh.alice_cost);
+            assert_eq!(reused.node_costs, fresh.node_costs);
+        }
+    }
+
+    struct JamAll;
+    impl Adversary for JamAll {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove::jam_all()
+        }
+    }
+
+    #[test]
+    fn era2_blanket_jamming_matches_era1_timeline() {
+        // Under unlimited blanket jamming no frame is ever delivered, and
+        // the two regimes of the termination rule are both deterministic:
+        // while request phases are shorter than the noise threshold,
+        // every device goes quiet at the `min_termination_round` boundary
+        // regardless of its listen draws; once they are much longer,
+        // noise overwhelms the threshold and no one ever terminates. Both
+        // engines must land on the identical timeline in each regime.
+        let cfg = RunConfig::seeded(3);
+
+        let early = params(16, 2);
+        let (o2, r2) = BroadcastSoaScratch::new().run(&early, &mut JamAll, &cfg);
+        let (o1, r1) = BroadcastScratch::new().run(&early, &mut JamAll, &cfg);
+        assert_eq!(r1.stop_reason, StopReason::AllTerminated);
+        assert_eq!(r2.stop_reason, StopReason::AllTerminated);
+        assert_eq!(o1.slots, o2.slots);
+        assert_eq!(r1.jammed_slots, r2.jammed_slots);
+        assert_eq!(o1.informed_nodes, 0);
+        assert_eq!(o2.informed_nodes, 0);
+
+        let late = params(16, 5);
+        let (o2, r2) = BroadcastSoaScratch::new().run(&late, &mut JamAll, &cfg);
+        let (o1, r1) = BroadcastScratch::new().run(&late, &mut JamAll, &cfg);
+        assert_eq!(r1.stop_reason, StopReason::SlotCapReached);
+        assert_eq!(r2.stop_reason, StopReason::SlotCapReached);
+        assert_eq!(o1.slots, o2.slots);
+        assert_eq!(r1.jammed_slots, r2.jammed_slots);
+        assert_eq!(o1.informed_nodes, 0);
+        assert_eq!(o2.informed_nodes, 0);
+    }
+
+    #[test]
+    fn era2_agrees_with_era1_on_quiet_delivery() {
+        let params = params(64, 3);
+        let cfg = RunConfig::seeded(7);
+        let (o2, _) = BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &cfg);
+        let (o1, _) = BroadcastScratch::new().run(&params, &mut SilentAdversary, &cfg);
+        assert!(o1.informed_fraction() >= 0.9);
+        assert!(o2.informed_fraction() >= 0.9);
+        assert!(o1.completed() && o2.completed());
+    }
+
+    #[test]
+    fn era2_respects_the_termination_floor() {
+        let params = params(32, 5);
+        let (outcome, _) =
+            BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &RunConfig::seeded(4));
+        assert!(outcome.alice_terminated);
+        assert!(
+            outcome.rounds_entered >= 5,
+            "no one may terminate before round 5, got {}",
+            outcome.rounds_entered
+        );
+    }
+
+    #[test]
+    fn era2_runs_hardened_variants() {
+        // §4.1 decoys exercise the waiting/decoy arms; §4.2 polynomial
+        // overestimates exercise the g-loop segment splitting.
+        let decoyed = Params::builder(32)
+            .min_termination_round(3)
+            .decoys(DecoyConfig::recommended())
+            .build()
+            .unwrap();
+        let (o, r) =
+            BroadcastSoaScratch::new().run(&decoyed, &mut SilentAdversary, &RunConfig::seeded(6));
+        assert!(o.informed_fraction() >= 0.9);
+        assert_eq!(r.stop_reason, StopReason::AllTerminated);
+
+        let overestimated = Params::builder(32)
+            .min_termination_round(3)
+            .size_knowledge(SizeKnowledge::PolynomialOverestimate { nu: 1 << 10 })
+            .build()
+            .unwrap();
+        let (o, _) = BroadcastSoaScratch::new().run(
+            &overestimated,
+            &mut SilentAdversary,
+            &RunConfig::seeded(6),
+        );
+        assert!(o.informed_fraction() >= 0.9);
+        assert!(o.completed());
+    }
+
+    #[test]
+    fn era2_unconstrained_config_lifts_budgets() {
+        let params = params(16, 2);
+        let cfg = RunConfig::seeded(3).unconstrained_correct();
+        let (_, report) = BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &cfg);
+        assert!(report.participant_refusals.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn era2_trace_capture_reconciles_with_charges() {
+        let params = params(16, 2);
+        let (_, report) = BroadcastSoaScratch::new().run(
+            &params,
+            &mut SilentAdversary,
+            &RunConfig::seeded(2).trace(1 << 20),
+        );
+        assert!(!report.trace.is_empty());
+        let traced: u64 = report
+            .trace
+            .records()
+            .iter()
+            .map(|r| u64::from(r.listeners))
+            .sum();
+        let charged: u64 = report.participant_costs.iter().map(|c| c.listens).sum();
+        assert_eq!(traced, charged);
+    }
+}

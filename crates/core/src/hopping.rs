@@ -19,8 +19,9 @@
 use rand::Rng;
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_radio::{
-    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
-    NodeProtocol, Payload, Reception, RunReport, Slot, Spectrum,
+    run_gossip_soa_in, Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig,
+    EngineScratch, ExactEngine, GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception,
+    RunReport, Slot, Spectrum,
 };
 use rcb_rng::{SeedTree, SimRng};
 
@@ -332,17 +333,123 @@ pub fn execute_hopping_in(
         &seeds,
     );
 
+    let outcome = gossip_outcome(config.n, &report);
+    (outcome, report)
+}
+
+/// Reusable scratch for batched era-2 hopping runs.
+#[derive(Debug, Default)]
+pub struct HoppingSoaScratch {
+    budgets: Vec<Budget>,
+    soa: GossipSoaScratch,
+}
+
+impl HoppingSoaScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs random-hopping broadcast on the era-2 sleep-skipping engine.
+///
+/// Statistically equivalent to [`execute_hopping`] (validated by the
+/// `era1-oracle` cross-validation suite) but runs in time proportional
+/// to the events in a run rather than `n × slots` — this is the default
+/// exact path since fingerprint era 2. Not stream-compatible with the
+/// era-1 engine: same-seed runs differ draw-by-draw while agreeing in
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_hopping_soa(
+    config: &HoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_hopping_soa_in(config, spectrum, adversary, &mut HoppingSoaScratch::new())
+}
+
+/// Like [`execute_hopping_soa`], reusing caller-owned scratch
+/// allocations — the batched-trials entry point.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_hopping_soa_in(
+    config: &HoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+    scratch: &mut HoppingSoaScratch,
+) -> (BroadcastOutcome, RunReport) {
+    assert!(
+        (0.0..=1.0).contains(&config.listen_p),
+        "listen_p must be a probability"
+    );
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"hopping payload m"));
+    let alice_id = alice_key.id();
+
+    let spec = GossipSpec {
+        n: config.n,
+        horizon: config.horizon,
+        alice_send_p: 0.5,
+        listen_p: config.listen_p,
+        relay_p: (config.relay_rate / config.n as f64).clamp(0.0, 1.0),
+        hop_channels: true,
+        terminate_on_inform: false,
+        payload: Payload::Broadcast(signed_m),
+    };
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
+    let engine_config = EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
+        spectrum,
+        ..EngineConfig::default()
+    };
+    let report = run_gossip_soa_in(
+        &engine_config,
+        &spec,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+        &mut |payload| {
+            matches!(payload, Payload::Broadcast(signed)
+                if signed.signer() == alice_id && verifier.verify_signed(signed))
+        },
+        &mut scratch.soa,
+    );
+
+    (gossip_outcome(config.n, &report), report)
+}
+
+/// Assembles the gossip-shaped [`BroadcastOutcome`] from an engine
+/// report (shared by the era-1 and era-2 paths, and by the baseline
+/// drivers in `rcb-baselines`).
+#[must_use]
+pub fn gossip_outcome(n: u64, report: &RunReport) -> BroadcastOutcome {
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
     let mut node_total = CostBreakdown::default();
     for c in &node_costs {
         node_total.absorb(c);
     }
     let informed_nodes = report.informed[1..].iter().filter(|&&b| b).count() as u64;
-    let outcome = BroadcastOutcome {
-        n: config.n,
+    BroadcastOutcome {
+        n,
         informed_nodes,
         uninformed_terminated: 0,
-        unterminated_nodes: config.n - informed_nodes,
+        unterminated_nodes: n - informed_nodes,
         alice_terminated: report.terminated[0],
         alice_cost: report.participant_costs[0],
         node_total_cost: node_total,
@@ -352,8 +459,7 @@ pub fn execute_hopping_in(
         rounds_entered: 0,
         engine: EngineKind::Exact,
         node_costs: Some(node_costs),
-    };
-    (outcome, report)
+    }
 }
 
 #[cfg(test)]
@@ -404,5 +510,45 @@ mod tests {
         let mut cfg = HoppingConfig::new(4, 10, Budget::unlimited(), 0);
         cfg.listen_p = -0.5;
         let _ = execute_hopping(&cfg, Spectrum::single(), &mut SilentAdversary);
+    }
+
+    #[test]
+    fn era2_quiet_hopping_delivers_on_any_spectrum() {
+        for channels in [1u16, 2, 8] {
+            let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), 7);
+            let (outcome, report) =
+                execute_hopping_soa(&cfg, Spectrum::new(channels), &mut SilentAdversary);
+            assert_eq!(
+                outcome.informed_nodes, 24,
+                "C={channels}: everyone informs on a quiet spectrum"
+            );
+            assert!(outcome.alice_terminated);
+            assert_eq!(report.channel_stats.len(), channels as usize);
+        }
+    }
+
+    #[test]
+    fn era2_runs_are_deterministic_by_seed() {
+        let cfg = HoppingConfig::new(12, 5_000, Budget::unlimited(), 11);
+        let (a, ra) = execute_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        let (b, rb) = execute_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.node_total_cost, b.node_total_cost);
+        assert_eq!(a.node_costs, b.node_costs);
+        assert_eq!(ra.channel_stats, rb.channel_stats);
+    }
+
+    #[test]
+    fn era2_agrees_with_era1_on_run_shape() {
+        // Same config through both engines: identical timeline shape and
+        // (quiet spectrum) identical delivery outcome. Statistical
+        // equivalence of costs is covered by the era1-oracle suite.
+        let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), 13);
+        let (era1, r1) = execute_hopping(&cfg, Spectrum::new(2), &mut SilentAdversary);
+        let (era2, r2) = execute_hopping_soa(&cfg, Spectrum::new(2), &mut SilentAdversary);
+        assert_eq!(r1.slots_elapsed, r2.slots_elapsed);
+        assert_eq!(r1.stop_reason, r2.stop_reason);
+        assert_eq!(era1.informed_nodes, era2.informed_nodes);
+        assert_eq!(era1.alice_terminated, era2.alice_terminated);
     }
 }

@@ -70,6 +70,7 @@
 
 mod alice;
 mod broadcast;
+mod era2;
 pub mod fast;
 pub mod fast_mc;
 mod hopping;
@@ -81,7 +82,11 @@ mod schedule;
 
 pub use alice::Alice;
 pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
-pub use hopping::{execute_hopping, execute_hopping_in, HoppingConfig, HoppingScratch};
+pub use era2::BroadcastSoaScratch;
+pub use hopping::{
+    execute_hopping, execute_hopping_in, execute_hopping_soa, execute_hopping_soa_in,
+    gossip_outcome, HoppingConfig, HoppingScratch, HoppingSoaScratch,
+};
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};
 pub use params::{DecoyConfig, Params, ParamsBuilder, ParamsError, SizeKnowledge, Variant};

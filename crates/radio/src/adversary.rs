@@ -194,6 +194,21 @@ pub trait Adversary {
     fn observe(&mut self, slot: Slot, observation: &SlotObservation<'_>) {
         let _ = (slot, observation);
     }
+
+    /// Whether [`observe`](Self::observe) needs exact per-listener
+    /// identity lists in every slot.
+    ///
+    /// The era-2 sleep-skipping engine settles provably-inert listens
+    /// (slots where every listener would hear silence or undirected
+    /// noise) in bulk, so its [`SlotObservation::listeners`] is empty in
+    /// those slots even though nodes did pay for listens there —
+    /// aggregate accounting stays exact, identities don't. An adversary
+    /// whose strategy reads listener identities returns `true` here to
+    /// force per-slot materialization (at era-1 cost). Sends, jams, and
+    /// deliveries are always exact regardless.
+    fn wants_listener_identities(&self) -> bool {
+        false
+    }
 }
 
 /// Per-channel rollup of a contiguous run of slots — the

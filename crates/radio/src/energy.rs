@@ -149,6 +149,22 @@ impl Meter {
         }
         ChargeOutcome::Charged
     }
+
+    /// Charges up to `count` units of `op` in one step, returning how many
+    /// were granted; the shortfall is recorded as refusals one-for-one.
+    fn try_charge_many(&mut self, op: Op, count: u64) -> u64 {
+        let granted = match self.budget.cap() {
+            None => count,
+            Some(cap) => cap.saturating_sub(self.spent.total()).min(count),
+        };
+        match op {
+            Op::Send => self.spent.sends += granted,
+            Op::Listen => self.spent.listens += granted,
+            Op::Jam => self.spent.jams += granted,
+        }
+        self.refusals += count - granted;
+        granted
+    }
 }
 
 /// The simulation's energy ledger: one meter per correct participant plus
@@ -309,6 +325,44 @@ impl EnergyLedger {
             charge_channel(&mut self.correct_by_channel, channel, op);
         }
         outcome
+    }
+
+    /// Bulk-charges `count` units of `op` to a correct participant on
+    /// `channel` in one call, returning how many units were actually
+    /// charged.
+    ///
+    /// This is the era-2 engine's settlement path: a sleep-skipping run
+    /// defers a dormant node's provably-inert listens and charges the
+    /// binomially-sampled total here when the node leaves the dormant
+    /// pool. Budget enforcement matches the unit path in aggregate — up
+    /// to the remaining budget is granted and every unit beyond it is
+    /// recorded as a refusal — though *which* of an interleaved
+    /// sequence's units get refused is coarser than charging one at a
+    /// time (the gossip workloads that use this run nodes on unlimited
+    /// budgets, where the two are indistinguishable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range, or `channel` is outside the
+    /// ledger's spectrum.
+    pub fn charge_participant_many_on(
+        &mut self,
+        id: impl ParticipantIdLike,
+        op: Op,
+        count: u64,
+        channel: ChannelId,
+    ) -> u64 {
+        let idx = id.into_index();
+        let granted = self.participants[idx].try_charge_many(op, count);
+        if granted > 0 {
+            let entry = &mut self.correct_by_channel[channel.index() as usize];
+            match op {
+                Op::Send => entry.sends += granted,
+                Op::Listen => entry.listens += granted,
+                Op::Jam => entry.jams += granted,
+            }
+        }
+        granted
     }
 
     /// Attempts to charge one unit to Carol's pool, on channel 0.
@@ -517,6 +571,45 @@ mod tests {
         assert_eq!(ledger.correct_channel_spend().len(), 1);
         assert_eq!(ledger.correct_channel_spend()[0].sends, 1);
         assert_eq!(ledger.carol_channel_spend()[0].jams, 1);
+    }
+
+    #[test]
+    fn bulk_charge_matches_unit_charges_in_aggregate() {
+        let mut unit = EnergyLedger::from_budgets_on(
+            &[Budget::limited(5)],
+            Budget::unlimited(),
+            Spectrum::new(2),
+        );
+        let mut bulk = unit.clone();
+        let ch = ChannelId::new(1);
+        for _ in 0..8 {
+            let _ = unit.charge_participant_on(0usize, Op::Listen, ch);
+        }
+        let granted = bulk.charge_participant_many_on(0usize, Op::Listen, 8, ch);
+        assert_eq!(granted, 5);
+        assert_eq!(
+            unit.participant_spend(0usize),
+            bulk.participant_spend(0usize)
+        );
+        assert_eq!(
+            unit.participant_refusals(0usize),
+            bulk.participant_refusals(0usize)
+        );
+        assert_eq!(unit.correct_channel_spend(), bulk.correct_channel_spend());
+        // Unlimited budgets grant everything, touching only the named
+        // channel.
+        let mut free = EnergyLedger::from_budgets_on(
+            &[Budget::unlimited()],
+            Budget::unlimited(),
+            Spectrum::new(2),
+        );
+        assert_eq!(
+            free.charge_participant_many_on(0usize, Op::Listen, 1_000, ch),
+            1_000
+        );
+        assert_eq!(free.correct_channel_spend()[1].listens, 1_000);
+        assert_eq!(free.correct_channel_spend()[0].total(), 0);
+        assert_eq!(free.participant_refusals(0usize), 0);
     }
 
     #[test]

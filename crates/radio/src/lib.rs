@@ -102,6 +102,7 @@ mod engine;
 mod message;
 mod participant;
 mod slot;
+mod soa;
 mod spectrum;
 mod trace;
 
@@ -118,5 +119,6 @@ pub use engine::{ChannelStats, EngineConfig, EngineScratch, ExactEngine, RunRepo
 pub use message::{Payload, PayloadKind};
 pub use participant::{Action, NodeProtocol, ParticipantId, Reception};
 pub use slot::Slot;
+pub use soa::{run_gossip_soa_in, GossipSoaScratch, GossipSpec, WakeQueue};
 pub use spectrum::{ChannelId, Spectrum};
 pub use trace::{SlotRecord, Trace};

@@ -1,0 +1,1030 @@
+//! The era-2 sleep-skipping slot engine for gossip-shaped workloads.
+//!
+//! The era-1 engine ([`ExactEngine`](crate::ExactEngine)) walks every
+//! live participant every slot — `O(n)` per slot even when almost every
+//! node sleeps, which is the common case for the gossip baselines (an
+//! uninformed node acts with probability `listen_p`, an informed relayer
+//! with probability `λ/n`). This module re-architects that hot path
+//! around structure-of-arrays state and event scheduling:
+//!
+//! * **SoA rosters** — informed flags, draw counters, and scheduling
+//!   state live in contiguous arrays indexed by node id instead of being
+//!   scattered across per-node state machines.
+//! * **Counter-based RNG** ([`CounterRng`]) — a node's stream is a pure
+//!   function of `(key, draw index)`, so skipping a node for thousands
+//!   of slots costs nothing and never perturbs its stream.
+//! * **Sleep-skipping senders** — each sender samples the gap to its
+//!   next transmission geometrically and parks in a bucketed
+//!   [`WakeQueue`]; the engine touches only nodes that act this slot.
+//! * **Deferred listener settlement** — in a slot where no channel
+//!   carries exactly one un-blanket-jammed transmission, every listener
+//!   provably hears silence or noise, neither of which changes gossip
+//!   state. Such *inert* slots are counted, not simulated; when a node
+//!   leaves the dormant pool its inert listens are sampled in one
+//!   binomial draw and bulk-charged. Slots where a frame *could*
+//!   deliver materialize the full listener set exactly.
+//!
+//! The result is statistically equivalent to the era-1 loop (validated
+//! by the `era1-oracle` cross-validation suite) but runs in time
+//! proportional to the *events* in a run rather than `n × slots`. It is
+//! **not** stream-compatible with era 1 — fingerprints bump to era 2.
+//!
+//! Exactness boundaries: per-slot listener *identities* are not
+//! materialized in inert slots, so [`SlotObservation::listeners`] is
+//! empty there (aggregate energy accounting is still exact). Tracing
+//! (`trace_capacity > 0`) or an adversary returning `true` from
+//! [`Adversary::wants_listener_identities`] forces full per-slot
+//! materialization, restoring era-1 observability at era-1-like cost.
+//! Traced and untraced runs of one seed are identically distributed but
+//! not bit-identical.
+
+use rand::Rng;
+use rcb_rng::subset::sample_distinct;
+use rcb_rng::{Binomial, CounterRng, Geometric, SeedTree};
+
+use crate::adversary::{Adversary, AdversaryCtx, SlotObservation};
+use crate::channel::{resolve_for_listener_on, ChannelLoad, JamDirective, JamPlan};
+use crate::energy::{Budget, EnergyLedger, Op};
+use crate::engine::{ChannelStats, EngineConfig, RunReport, StopReason};
+use crate::message::Payload;
+use crate::participant::{ParticipantId, Reception};
+use crate::slot::Slot;
+use crate::spectrum::ChannelId;
+use crate::trace::{SlotRecord, Trace};
+
+/// Upper bound on wheel size — beyond this, far-future wakes alias into
+/// earlier buckets and are skipped during drains (correctly, at a small
+/// re-scan cost).
+const MAX_BUCKETS: u64 = 1 << 16;
+
+/// A calendar queue over slots: each pending wakeup is parked in the
+/// bucket `slot & mask` of a power-of-two wheel.
+///
+/// The authoritative schedule is the `next_wake` array — one slot per
+/// node, `u64::MAX` meaning unscheduled — so rescheduling or cancelling
+/// is O(1): stale bucket entries are detected (entry slot ≠ the node's
+/// authoritative slot) and dropped lazily during drains. Scheduling at
+/// or past the queue's horizon is a no-op, which is how protocol
+/// deadlines ("senders stop at the horizon") are enforced without a
+/// per-wake branch at drain time.
+#[derive(Debug, Default)]
+pub struct WakeQueue {
+    buckets: Vec<Vec<(u64, u32)>>,
+    mask: u64,
+    next_wake: Vec<u64>,
+    horizon: u64,
+}
+
+impl WakeQueue {
+    /// Creates an empty queue; [`reset`](Self::reset) shapes it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-shapes the queue in place for `nodes` participants and wakes
+    /// strictly below `horizon`, reusing bucket allocations.
+    pub fn reset(&mut self, nodes: usize, horizon: u64) {
+        let buckets = horizon.max(1).next_power_of_two().min(MAX_BUCKETS);
+        self.reset_with_buckets(nodes, horizon, buckets);
+    }
+
+    /// [`reset`](Self::reset) with an explicit power-of-two bucket count
+    /// (test hook for exercising bucket aliasing on short horizons).
+    pub fn reset_with_buckets(&mut self, nodes: usize, horizon: u64, buckets: u64) {
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        self.buckets.resize_with(buckets as usize, Vec::new);
+        self.buckets.truncate(buckets as usize);
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.mask = buckets - 1;
+        self.next_wake.clear();
+        self.next_wake.resize(nodes, u64::MAX);
+        self.horizon = horizon;
+    }
+
+    /// Schedules `node` to wake at `slot`, replacing any pending wake.
+    /// Requests at or past the horizon leave the node unscheduled.
+    pub fn schedule(&mut self, node: u32, slot: u64) {
+        if slot >= self.horizon {
+            self.next_wake[node as usize] = u64::MAX;
+            return;
+        }
+        self.next_wake[node as usize] = slot;
+        self.buckets[(slot & self.mask) as usize].push((slot, node));
+    }
+
+    /// Unschedules `node` (lazily — any bucket entry goes stale).
+    pub fn cancel(&mut self, node: u32) {
+        self.next_wake[node as usize] = u64::MAX;
+    }
+
+    /// The slot `node` will next wake at, if scheduled.
+    #[must_use]
+    pub fn next_wake(&self, node: u32) -> Option<u64> {
+        let slot = self.next_wake[node as usize];
+        (slot != u64::MAX).then_some(slot)
+    }
+
+    /// Moves every wake due exactly at `slot` into `out`, sorted by node
+    /// id (ascending — the engine processes wakes in roster order).
+    /// Stale entries encountered along the way are discarded; entries
+    /// for future slots aliased into this bucket are kept.
+    pub fn drain_due(&mut self, slot: u64, out: &mut Vec<(u64, u32)>) {
+        out.clear();
+        let bucket = &mut self.buckets[(slot & self.mask) as usize];
+        let mut i = 0;
+        while i < bucket.len() {
+            let (s, node) = bucket[i];
+            if self.next_wake[node as usize] != s {
+                bucket.swap_remove(i);
+            } else if s == slot {
+                bucket.swap_remove(i);
+                self.next_wake[node as usize] = u64::MAX;
+                out.push((s, node));
+            } else {
+                i += 1;
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+/// Parameters of a gossip-shaped broadcast for the sleep-skipping
+/// engine.
+///
+/// One driver covers the three gossip baselines:
+///
+/// | workload | `alice_send_p` | `listen_p` | `relay_p` | `hop_channels` | `terminate_on_inform` |
+/// |----------|---------------:|-----------:|----------:|:--------------:|:---------------------:|
+/// | naive    | 1.0            | 1.0        | 0.0       | no             | yes                   |
+/// | epidemic | 0.5            | `listen_p` | `λ/n`     | no             | no                    |
+/// | hopping  | 0.5            | `listen_p` | `λ/n`     | yes            | no                    |
+#[derive(Debug, Clone)]
+pub struct GossipSpec {
+    /// Number of receiver nodes (the roster is `n + 1` with Alice at
+    /// index 0).
+    pub n: u64,
+    /// Senders transmit only in slots `< horizon`; in the
+    /// horizon-terminated mode (`terminate_on_inform = false`) every
+    /// participant terminates once slot `horizon` has been acted.
+    pub horizon: u64,
+    /// Alice's per-slot transmit probability.
+    pub alice_send_p: f64,
+    /// An uninformed node's per-slot listen probability.
+    pub listen_p: f64,
+    /// An informed node's per-slot relay probability.
+    pub relay_p: f64,
+    /// Whether devices retune to a uniformly random channel per action
+    /// (the hopping workload); otherwise everything lands on channel 0.
+    pub hop_channels: bool,
+    /// Naive mode: a node terminates the moment it is informed, and
+    /// uninformed nodes keep listening past the horizon (up to the
+    /// engine's slot cap) instead of stopping at the horizon.
+    pub terminate_on_inform: bool,
+    /// The frame Alice transmits and informed nodes relay.
+    pub payload: Payload,
+}
+
+/// Reusable cross-run scratch for [`run_gossip_soa_in`] — the SoA state
+/// arrays plus the per-slot buffers shared with the era-1 engine shape.
+#[derive(Debug, Default)]
+pub struct GossipSoaScratch {
+    ledger: EnergyLedger,
+    load: ChannelLoad,
+    correct_sends: Vec<(ParticipantId, ChannelId, crate::message::PayloadKind)>,
+    listeners: Vec<(ParticipantId, ChannelId)>,
+    executed_jam: JamPlan,
+    jammed_channels: Vec<ChannelId>,
+    delivered_listeners: Vec<(ParticipantId, ChannelId)>,
+    delivered_by_channel: Vec<u64>,
+    rngs: Vec<CounterRng>,
+    informed: Vec<bool>,
+    pool: Vec<u32>,
+    pool_pos: Vec<u32>,
+    wake: WakeQueue,
+    due: Vec<(u64, u32)>,
+    ids: Vec<u32>,
+}
+
+impl GossipSoaScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Draws the channel an action lands on.
+#[inline]
+fn pick_channel(rng: &mut CounterRng, hop: bool, channels: u16) -> ChannelId {
+    if hop && channels > 1 {
+        ChannelId::new(rng.gen_range(0..channels))
+    } else {
+        ChannelId::ZERO
+    }
+}
+
+/// Samples and bulk-charges a node's listens over `inert` deferred
+/// slots: total via one binomial, split across channels via the chained
+/// conditional binomials of a uniform multinomial.
+fn settle_inert(
+    ledger: &mut EnergyLedger,
+    rng: &mut CounterRng,
+    node: u32,
+    inert: u64,
+    listen_p: f64,
+    hop: bool,
+    channels: u16,
+) {
+    if inert == 0 || listen_p <= 0.0 {
+        return;
+    }
+    let total = if listen_p >= 1.0 {
+        inert
+    } else {
+        Binomial::new(inert, listen_p)
+            .expect("listen_p is a probability")
+            .sample(rng)
+    };
+    if total == 0 {
+        return;
+    }
+    if !hop || channels == 1 {
+        ledger.charge_participant_many_on(node as usize, Op::Listen, total, ChannelId::ZERO);
+        return;
+    }
+    let mut rem = total;
+    for c in 0..channels - 1 {
+        if rem == 0 {
+            return;
+        }
+        let take = Binomial::new(rem, 1.0 / f64::from(channels - c))
+            .expect("1/(C-c) is a probability")
+            .sample(rng);
+        if take > 0 {
+            ledger.charge_participant_many_on(node as usize, Op::Listen, take, ChannelId::new(c));
+        }
+        rem -= take;
+    }
+    if rem > 0 {
+        ledger.charge_participant_many_on(
+            node as usize,
+            Op::Listen,
+            rem,
+            ChannelId::new(channels - 1),
+        );
+    }
+}
+
+/// Runs a gossip-shaped broadcast on the sleep-skipping engine and
+/// returns a [`RunReport`] of the era-1 shape.
+///
+/// `is_informing` decides whether a delivered frame informs an
+/// uninformed node (signature verification lives with the caller, which
+/// keeps this driver payload-agnostic). `config` supplies the spectrum,
+/// slot cap, and trace capacity exactly as for the era-1 engine; per
+/// the module docs, `trace_capacity > 0` or an adversary that
+/// [`wants_listener_identities`](Adversary::wants_listener_identities)
+/// switches the run to full per-slot listener materialization.
+///
+/// # Panics
+///
+/// Panics if `budgets` is not `n + 1` long or a probability parameter
+/// is outside `[0, 1]`.
+#[must_use]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_gossip_soa_in(
+    config: &EngineConfig,
+    spec: &GossipSpec,
+    budgets: &[Budget],
+    carol_budget: Budget,
+    adversary: &mut dyn Adversary,
+    seeds: &SeedTree,
+    is_informing: &mut dyn FnMut(&Payload) -> bool,
+    scratch: &mut GossipSoaScratch,
+) -> RunReport {
+    let n = spec.n as usize;
+    assert_eq!(budgets.len(), n + 1, "one budget per participant required");
+    for (label, p) in [
+        ("alice_send_p", spec.alice_send_p),
+        ("listen_p", spec.listen_p),
+        ("relay_p", spec.relay_p),
+    ] {
+        assert!((0.0..=1.0).contains(&p), "{label} must be a probability");
+    }
+    let spectrum = config.spectrum;
+    let channels = spectrum.channel_count();
+    let hop = spec.hop_channels;
+    let materialize_all = config.trace_capacity > 0 || adversary.wants_listener_identities();
+
+    let GossipSoaScratch {
+        ledger,
+        load,
+        correct_sends,
+        listeners,
+        executed_jam,
+        jammed_channels,
+        delivered_listeners,
+        delivered_by_channel,
+        rngs,
+        informed,
+        pool,
+        pool_pos,
+        wake,
+        due,
+        ids,
+    } = scratch;
+
+    // Re-shape every buffer in place (allocation-free once warm).
+    ledger.reset_on(budgets, carol_budget, spectrum);
+    load.reset_for(spectrum);
+    executed_jam.clear();
+    jammed_channels.clear();
+    correct_sends.clear();
+    listeners.clear();
+    delivered_listeners.clear();
+    delivered_by_channel.clear();
+    delivered_by_channel.resize(channels as usize, 0);
+    rngs.clear();
+    rngs.extend((0..=n).map(|i| CounterRng::new(seeds.leaf_seed("participant", i as u64))));
+    let mut engine_rng = CounterRng::new(seeds.leaf_seed("era2-engine", 0));
+    informed.clear();
+    informed.resize(n + 1, false);
+    informed[0] = true;
+    pool.clear();
+    pool.extend(1..=n as u32);
+    pool_pos.clear();
+    pool_pos.resize(n + 1, u32::MAX);
+    for (pos, &node) in pool.iter().enumerate() {
+        pool_pos[node as usize] = pos as u32;
+    }
+    wake.reset(n + 1, spec.horizon);
+    let mut trace = Trace::with_capacity(config.trace_capacity);
+
+    let alice_geo = (spec.alice_send_p > 0.0)
+        .then(|| Geometric::new(spec.alice_send_p).expect("validated above"));
+    let relay_geo =
+        (spec.relay_p > 0.0).then(|| Geometric::new(spec.relay_p).expect("validated above"));
+    if let Some(geo) = &alice_geo {
+        let first = geo.sample(&mut rngs[0]);
+        wake.schedule(0, first);
+    }
+
+    let mut inert_slots = 0u64;
+    let mut jammed_slots = 0u64;
+    let mut noisy_slots = 0u64;
+    let mut slot_idx = 0u64;
+    let stop_reason = loop {
+        if slot_idx >= config.max_slots {
+            break StopReason::SlotCapReached;
+        }
+        // Era-1 termination shape: Alice and (in horizon mode) the nodes
+        // set their done flags while acting slot `horizon`, so from the
+        // next slot's perspective everyone is terminated. Naive-mode
+        // nodes terminate individually on informing.
+        let alice_terminated = slot_idx > spec.horizon;
+        let nodes_terminated = if spec.terminate_on_inform {
+            pool.is_empty()
+        } else {
+            slot_idx > spec.horizon
+        };
+        if config.stop_when_all_terminated && alice_terminated && nodes_terminated {
+            break StopReason::AllTerminated;
+        }
+        let slot = Slot::new(slot_idx);
+        load.clear();
+        correct_sends.clear();
+        listeners.clear();
+        executed_jam.clear();
+        jammed_channels.clear();
+        delivered_listeners.clear();
+
+        // 1. Senders due this slot transmit and re-draw their next wake.
+        wake.drain_due(slot_idx, due);
+        for &(_, node) in due.iter() {
+            let rng = &mut rngs[node as usize];
+            let channel = pick_channel(rng, hop, channels);
+            if ledger
+                .charge_participant_on(node as usize, Op::Send, channel)
+                .is_charged()
+            {
+                correct_sends.push((ParticipantId::new(node), channel, spec.payload.kind()));
+                load.push(channel, spec.payload.clone());
+            }
+            let geo = if node == 0 { &alice_geo } else { &relay_geo };
+            if let Some(geo) = geo {
+                let gap = geo.sample(rng);
+                wake.schedule(node, slot_idx.saturating_add(1).saturating_add(gap));
+            }
+        }
+
+        // 2. Carol plans; reactive Carol additionally sees the RSSI bit.
+        let ctx = AdversaryCtx {
+            budget_remaining: ledger.carol_remaining(),
+            spent: ledger.carol_spend().total(),
+        };
+        let mut mv = adversary.plan(slot, &ctx);
+        if adversary.is_reactive() {
+            let activity = !load.is_quiet();
+            mv = adversary.react(slot, activity, mv);
+        }
+        for tx in mv.sends {
+            assert!(
+                spectrum.contains(tx.channel),
+                "byzantine send targets {} outside the {spectrum}",
+                tx.channel
+            );
+            if ledger.charge_carol_on(Op::Send, tx.channel).is_charged() {
+                load.push(tx.channel, tx.payload);
+            }
+        }
+        for (channel, directive) in mv.jam {
+            assert!(
+                spectrum.contains(channel),
+                "jam directive targets {channel} outside the {spectrum}"
+            );
+            if ledger.charge_carol_on(Op::Jam, channel).is_charged() {
+                executed_jam.set(channel, directive);
+                jammed_channels.push(channel);
+            }
+        }
+        let jam_executed = executed_jam.is_active();
+        if jam_executed {
+            jammed_slots += 1;
+        }
+        if jam_executed || !load.is_quiet() {
+            noisy_slots += 1;
+        }
+
+        // 3. Listeners. A slot can change listener state (or deliver any
+        //    frame) only if some channel carries exactly one transmission
+        //    not blanket-jammed; otherwise every listen resolves to
+        //    silence or noise and is deferred to settlement.
+        let listen_open = spec.terminate_on_inform || slot_idx < spec.horizon;
+        let mut delivered = 0u32;
+        if listen_open && !pool.is_empty() {
+            let mut interesting = materialize_all;
+            if !interesting {
+                for c in 0..channels {
+                    let ch = ChannelId::new(c);
+                    if load.on(ch).len() == 1
+                        && !matches!(executed_jam.directive_on(ch), JamDirective::All)
+                    {
+                        interesting = true;
+                        break;
+                    }
+                }
+            }
+            if interesting {
+                // Materialize the exact listener set: count, identities,
+                // and per-listener channels, in roster order.
+                let u = pool.len() as u64;
+                let k = if spec.listen_p >= 1.0 {
+                    u
+                } else if spec.listen_p <= 0.0 {
+                    0
+                } else {
+                    Binomial::new(u, spec.listen_p)
+                        .expect("validated above")
+                        .sample(&mut engine_rng)
+                };
+                ids.clear();
+                if k == u {
+                    ids.extend_from_slice(pool);
+                } else {
+                    ids.extend(
+                        sample_distinct(&mut engine_rng, u, k)
+                            .into_iter()
+                            .map(|i| pool[i as usize]),
+                    );
+                }
+                ids.sort_unstable();
+                for &node in ids.iter() {
+                    let rng = &mut rngs[node as usize];
+                    let channel = pick_channel(rng, hop, channels);
+                    if ledger
+                        .charge_participant_on(node as usize, Op::Listen, channel)
+                        .is_charged()
+                    {
+                        listeners.push((ParticipantId::new(node), channel));
+                    }
+                }
+                for &(pid, channel) in listeners.iter() {
+                    let reception = resolve_for_listener_on(pid, channel, load, executed_jam);
+                    if let Reception::Frame(payload) = reception {
+                        delivered += 1;
+                        delivered_by_channel[channel.index() as usize] += 1;
+                        delivered_listeners.push((pid, channel));
+                        let node = pid.index();
+                        if !informed[node as usize] && is_informing(&payload) {
+                            informed[node as usize] = true;
+                            let pos = pool_pos[node as usize] as usize;
+                            pool.swap_remove(pos);
+                            if pos < pool.len() {
+                                pool_pos[pool[pos] as usize] = pos as u32;
+                            }
+                            pool_pos[node as usize] = u32::MAX;
+                            settle_inert(
+                                ledger,
+                                &mut rngs[node as usize],
+                                node,
+                                inert_slots,
+                                spec.listen_p,
+                                hop,
+                                channels,
+                            );
+                            if !spec.terminate_on_inform {
+                                if let Some(geo) = &relay_geo {
+                                    let gap = geo.sample(&mut rngs[node as usize]);
+                                    wake.schedule(
+                                        node,
+                                        slot_idx.saturating_add(1).saturating_add(gap),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                inert_slots += 1;
+            }
+        }
+
+        // 4. Full-information feedback to the adaptive adversary.
+        adversary.observe(
+            slot,
+            &SlotObservation {
+                correct_sends: correct_sends.as_slice(),
+                listeners: listeners.as_slice(),
+                jam_executed,
+                jammed_channels: jammed_channels.as_slice(),
+                delivered: delivered_listeners.as_slice(),
+            },
+        );
+
+        if config.trace_capacity > 0 {
+            trace.push(SlotRecord {
+                slot: slot_idx,
+                transmissions: load.total().min(u16::MAX as usize) as u16,
+                jammed_channels: executed_jam.active_channel_count().min(u16::MAX as usize) as u16,
+                listeners: listeners.len() as u32,
+                delivered,
+            });
+        }
+
+        slot_idx += 1;
+    };
+
+    // Nodes still dormant at the end settle their deferred listens now,
+    // in roster order.
+    for node in 1..=n as u32 {
+        if pool_pos[node as usize] != u32::MAX {
+            settle_inert(
+                ledger,
+                &mut rngs[node as usize],
+                node,
+                inert_slots,
+                spec.listen_p,
+                hop,
+                channels,
+            );
+        }
+    }
+
+    let alice_done = slot_idx > spec.horizon;
+    let terminated: Vec<bool> = if spec.terminate_on_inform {
+        std::iter::once(alice_done)
+            .chain(informed[1..].iter().copied())
+            .collect()
+    } else {
+        vec![alice_done; n + 1]
+    };
+    let channel_stats = spectrum
+        .channels()
+        .map(|c| {
+            let i = c.index() as usize;
+            let correct = ledger.correct_channel_spend()[i];
+            let carol = ledger.carol_channel_spend()[i];
+            ChannelStats {
+                correct_sends: correct.sends,
+                correct_listens: correct.listens,
+                byz_sends: carol.sends,
+                jammed_slots: carol.jams,
+                delivered: delivered_by_channel[i],
+            }
+        })
+        .collect();
+
+    RunReport {
+        slots_elapsed: slot_idx,
+        stop_reason,
+        participant_costs: ledger.all_participant_spend(),
+        participant_refusals: (0..=n).map(|i| ledger.participant_refusals(i)).collect(),
+        carol_cost: ledger.carol_spend(),
+        informed: std::mem::take(informed),
+        terminated,
+        jammed_slots,
+        noisy_slots,
+        channel_stats,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryMove, SilentAdversary};
+    use crate::spectrum::Spectrum;
+
+    fn quiet_spec(n: u64, horizon: u64) -> GossipSpec {
+        GossipSpec {
+            n,
+            horizon,
+            alice_send_p: 0.5,
+            listen_p: 0.5,
+            relay_p: 1.0 / n as f64,
+            hop_channels: false,
+            terminate_on_inform: false,
+            payload: Payload::Nack,
+        }
+    }
+
+    fn run(
+        config: &EngineConfig,
+        spec: &GossipSpec,
+        carol_budget: Budget,
+        adversary: &mut dyn Adversary,
+        seed: u64,
+    ) -> RunReport {
+        let budgets = vec![Budget::unlimited(); spec.n as usize + 1];
+        run_gossip_soa_in(
+            config,
+            spec,
+            &budgets,
+            carol_budget,
+            adversary,
+            &SeedTree::new(seed),
+            &mut |p| matches!(p, Payload::Nack),
+            &mut GossipSoaScratch::new(),
+        )
+    }
+
+    fn cfg(horizon: u64, spectrum: Spectrum, trace_capacity: usize) -> EngineConfig {
+        EngineConfig {
+            max_slots: horizon + 2,
+            trace_capacity,
+            spectrum,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn wake_queue_drains_in_node_order_and_respects_horizon() {
+        let mut q = WakeQueue::new();
+        q.reset(8, 100);
+        q.schedule(5, 10);
+        q.schedule(2, 10);
+        q.schedule(7, 11);
+        q.schedule(3, 100); // at horizon: dropped
+        assert_eq!(q.next_wake(3), None);
+        let mut out = Vec::new();
+        q.drain_due(10, &mut out);
+        assert_eq!(out, vec![(10, 2), (10, 5)]);
+        assert_eq!(q.next_wake(5), None);
+        q.drain_due(11, &mut out);
+        assert_eq!(out, vec![(11, 7)]);
+    }
+
+    #[test]
+    fn wake_queue_reschedule_and_cancel_go_stale_lazily() {
+        let mut q = WakeQueue::new();
+        q.reset(4, 1_000);
+        q.schedule(1, 5);
+        q.schedule(1, 9); // reschedule: entry at 5 is now stale
+        q.schedule(2, 5);
+        q.cancel(2);
+        let mut out = Vec::new();
+        q.drain_due(5, &mut out);
+        assert!(out.is_empty(), "stale and cancelled entries must not fire");
+        q.drain_due(9, &mut out);
+        assert_eq!(out, vec![(9, 1)]);
+    }
+
+    #[test]
+    fn wake_queue_aliasing_keeps_future_entries() {
+        let mut q = WakeQueue::new();
+        // 4 buckets: slots 3 and 7 share bucket 3.
+        q.reset_with_buckets(4, 1_000, 4);
+        q.schedule(0, 3);
+        q.schedule(1, 7);
+        let mut out = Vec::new();
+        q.drain_due(3, &mut out);
+        assert_eq!(out, vec![(3, 0)]);
+        q.drain_due(7, &mut out);
+        assert_eq!(out, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn quiet_gossip_informs_everyone_and_stops_at_the_horizon() {
+        let spec = quiet_spec(32, 4_000);
+        let report = run(
+            &cfg(4_000, Spectrum::single(), 0),
+            &spec,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            1,
+        );
+        assert_eq!(report.stop_reason, StopReason::AllTerminated);
+        assert_eq!(report.slots_elapsed, 4_001);
+        assert!(report.informed.iter().all(|&b| b), "everyone informs");
+        assert!(report.terminated.iter().all(|&b| b));
+        // Informed nodes stop listening: per-node listens far below the
+        // 0.5 × horizon an uninformed node would pay.
+        let listens: u64 = report.participant_costs[1..]
+            .iter()
+            .map(|c| c.listens)
+            .sum();
+        assert!(listens < 32 * 400, "mean listens too high: {listens}");
+        assert!(
+            report.participant_costs[0].sends > 1_500,
+            "Alice sends ~half the slots"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_by_seed() {
+        let spec = quiet_spec(24, 2_000);
+        let config = cfg(2_000, Spectrum::new(4), 0);
+        let mut hopping = spec.clone();
+        hopping.hop_channels = true;
+        let a = run(
+            &config,
+            &hopping,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            9,
+        );
+        let b = run(
+            &config,
+            &hopping,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            9,
+        );
+        assert_eq!(a.slots_elapsed, b.slots_elapsed);
+        assert_eq!(a.participant_costs, b.participant_costs);
+        assert_eq!(a.informed, b.informed);
+        assert_eq!(a.channel_stats, b.channel_stats);
+        let c = run(
+            &config,
+            &hopping,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            10,
+        );
+        assert_ne!(
+            a.participant_costs, c.participant_costs,
+            "different seeds should differ"
+        );
+    }
+
+    /// Jams every channel of the spectrum, every slot.
+    struct Blanket(Spectrum);
+    impl Adversary for Blanket {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove::jam_spectrum(self.0)
+        }
+    }
+
+    #[test]
+    fn blanket_jamming_defers_listens_but_still_charges_them() {
+        // Everything is jammed: no one informs, every listen is settled
+        // in bulk at the end, and aggregate listen counts look binomial.
+        let n = 64u64;
+        let horizon = 2_000u64;
+        let spec = quiet_spec(n, horizon);
+        let report = run(
+            &cfg(horizon, Spectrum::single(), 0),
+            &spec,
+            Budget::unlimited(),
+            &mut Blanket(Spectrum::single()),
+            3,
+        );
+        assert!(report.informed[1..].iter().all(|&b| !b), "no deliveries");
+        assert_eq!(report.jammed_slots, horizon + 1);
+        let listens: Vec<u64> = report.participant_costs[1..]
+            .iter()
+            .map(|c| c.listens)
+            .collect();
+        let mean = listens.iter().sum::<u64>() as f64 / n as f64;
+        let expected = horizon as f64 * spec.listen_p;
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean listens {mean} should be ≈ {expected}"
+        );
+        assert_eq!(report.channel_stats[0].delivered, 0);
+    }
+
+    #[test]
+    fn naive_mode_informs_in_slot_zero_for_one_listen_each() {
+        let spec = GossipSpec {
+            n: 16,
+            horizon: 50,
+            alice_send_p: 1.0,
+            listen_p: 1.0,
+            relay_p: 0.0,
+            hop_channels: false,
+            terminate_on_inform: true,
+            payload: Payload::Nack,
+        };
+        let report = run(
+            &cfg(50, Spectrum::single(), 0),
+            &spec,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            1,
+        );
+        assert!(report.informed.iter().all(|&b| b));
+        assert_eq!(report.stop_reason, StopReason::AllTerminated);
+        assert_eq!(report.slots_elapsed, 51, "Alice transmits to her horizon");
+        let listens: u64 = report.participant_costs[1..]
+            .iter()
+            .map(|c| c.listens)
+            .sum();
+        assert_eq!(listens, 16, "every receiver pays exactly one listen");
+        assert_eq!(report.participant_costs[0].sends, 50);
+    }
+
+    /// Jams channel 0 with `All` until broke.
+    struct JamAll;
+    impl Adversary for JamAll {
+        fn plan(&mut self, _: Slot, _: &AdversaryCtx) -> AdversaryMove {
+            AdversaryMove::jam_all()
+        }
+    }
+
+    #[test]
+    fn naive_mode_uninformed_nodes_listen_past_the_horizon_to_the_cap() {
+        // Carol outlasts the horizon: receivers never inform and keep
+        // listening until the slot cap, exactly like era 1.
+        let spec = GossipSpec {
+            n: 4,
+            horizon: 30,
+            alice_send_p: 1.0,
+            listen_p: 1.0,
+            relay_p: 0.0,
+            hop_channels: false,
+            terminate_on_inform: true,
+            payload: Payload::Nack,
+        };
+        let report = run(
+            &cfg(30, Spectrum::single(), 0),
+            &spec,
+            Budget::unlimited(),
+            &mut JamAll,
+            2,
+        );
+        assert_eq!(report.stop_reason, StopReason::SlotCapReached);
+        assert_eq!(report.slots_elapsed, 32);
+        assert!(report.informed[1..].iter().all(|&b| !b));
+        assert!(report.terminated[0], "Alice terminated at her horizon");
+        assert!(report.terminated[1..].iter().all(|&t| !t));
+        for cost in &report.participant_costs[1..] {
+            assert_eq!(cost.listens, 32, "listens continue through the cap");
+        }
+    }
+
+    #[test]
+    fn traced_runs_materialize_exact_listener_counts() {
+        let spec = quiet_spec(16, 500);
+        let report = run(
+            &cfg(500, Spectrum::single(), 1024),
+            &spec,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            5,
+        );
+        // With full materialization there is no bulk settlement: the
+        // trace's listener counts must reconcile exactly with the
+        // ledger's listen charges.
+        let traced: u64 = report
+            .trace
+            .records()
+            .iter()
+            .map(|r| u64::from(r.listeners))
+            .sum();
+        let charged: u64 = report.participant_costs[1..]
+            .iter()
+            .map(|c| c.listens)
+            .sum();
+        assert_eq!(traced, charged);
+        assert!(report.informed.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hopping_spreads_settled_listens_across_channels() {
+        let mut spec = quiet_spec(32, 3_000);
+        spec.hop_channels = true;
+        let spectrum = Spectrum::new(4);
+        let report = run(
+            &cfg(3_000, spectrum, 0),
+            &spec,
+            Budget::unlimited(),
+            &mut Blanket(spectrum),
+            7,
+        );
+        // Blanket jamming defers everything; the multinomial split must
+        // land listens on every channel.
+        for (i, stats) in report.channel_stats.iter().enumerate() {
+            assert!(
+                stats.correct_listens > 0,
+                "channel {i} never hosted a listener"
+            );
+        }
+        let per_channel: Vec<u64> = report
+            .channel_stats
+            .iter()
+            .map(|s| s.correct_listens)
+            .collect();
+        let total: u64 = per_channel.iter().sum();
+        for (i, &l) in per_channel.iter().enumerate() {
+            let share = l as f64 / total as f64;
+            assert!(
+                (share - 0.25).abs() < 0.05,
+                "channel {i} share {share} should be ≈ 1/4"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_limited_nodes_are_refused_past_their_cap() {
+        let spec = quiet_spec(8, 2_000);
+        let mut budgets = vec![Budget::unlimited(); 9];
+        budgets[3] = Budget::limited(10);
+        let report = run_gossip_soa_in(
+            &cfg(2_000, Spectrum::single(), 0),
+            &spec,
+            &budgets,
+            Budget::unlimited(),
+            &mut Blanket(Spectrum::single()),
+            &SeedTree::new(11),
+            &mut |p| matches!(p, Payload::Nack),
+            &mut GossipSoaScratch::new(),
+        );
+        assert_eq!(report.participant_costs[3].total(), 10);
+        assert!(report.participant_refusals[3] > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_runs() {
+        let spec = quiet_spec(24, 1_500);
+        let config = cfg(1_500, Spectrum::single(), 0);
+        let budgets = vec![Budget::unlimited(); 25];
+        let mut scratch = GossipSoaScratch::new();
+        let mut informs = |p: &Payload| matches!(p, Payload::Nack);
+        let first = run_gossip_soa_in(
+            &config,
+            &spec,
+            &budgets,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            &SeedTree::new(21),
+            &mut informs,
+            &mut scratch,
+        );
+        // Run something different through the same scratch, then repeat
+        // the first run: reuse must leak nothing.
+        let mut other = quiet_spec(8, 300);
+        other.hop_channels = true;
+        let other_budgets = vec![Budget::unlimited(); 9];
+        let _ = run_gossip_soa_in(
+            &cfg(300, Spectrum::new(4), 0),
+            &other,
+            &other_budgets,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            &SeedTree::new(22),
+            &mut informs,
+            &mut scratch,
+        );
+        let again = run_gossip_soa_in(
+            &config,
+            &spec,
+            &budgets,
+            Budget::unlimited(),
+            &mut SilentAdversary,
+            &SeedTree::new(21),
+            &mut informs,
+            &mut scratch,
+        );
+        assert_eq!(first.slots_elapsed, again.slots_elapsed);
+        assert_eq!(first.participant_costs, again.participant_costs);
+        assert_eq!(first.informed, again.informed);
+        assert_eq!(first.channel_stats, again.channel_stats);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`SeedTree`] — hierarchical, collision-resistant stream derivation:
 //!   every participant of a simulation gets an independent stream from a
 //!   single master seed (`master → domain label → index`).
+//! * [`CounterRng`] — counter-mode per-node streams for the era-2
+//!   sleep-skipping engine: word `i` is a pure function of `(key, i)`, so
+//!   a node's stream survives skipped slots and draw-order changes.
 //! * [`Binomial`] — exact binomial sampling (BINV inversion for small
 //!   `n·min(p,1−p)`, BTPE for large), plus a slow geometric-skip validator.
 //! * [`Geometric`] — geometric sampling for skip-ahead Bernoulli streams.
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod binomial;
+mod counter;
 mod geometric;
 pub mod math;
 mod splitmix;
@@ -51,6 +55,7 @@ pub mod subset;
 mod xoshiro;
 
 pub use binomial::{Binomial, BinomialError};
+pub use counter::CounterRng;
 pub use geometric::{Geometric, GeometricError};
 pub use splitmix::SplitMix64;
 pub use streams::SeedTree;

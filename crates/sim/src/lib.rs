@@ -126,8 +126,8 @@ mod scenario;
 pub use batch::{run_trials, run_trials_scoped, run_trials_scoped_with, THREADS_ENV_VAR};
 pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
-    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario, ScenarioBuilder,
-    ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
+    Engine, EngineEra, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario,
+    ScenarioBuilder, ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
 };
 
 // The strategy vocabulary is part of this crate's API surface.
@@ -344,6 +344,81 @@ mod tests {
         let solo = scenario.run_seeded(a[2].seed);
         assert_eq!(solo.slots, a[2].slots);
         assert_eq!(solo.broadcast.alice_cost, a[2].broadcast.alice_cost);
+    }
+
+    #[test]
+    fn exact_runs_default_to_the_era2_engine() {
+        let scenario = Scenario::broadcast(params(16)).seed(11).build().unwrap();
+        assert_eq!(scenario.engine_era(), EngineEra::Era2);
+        // The scenario path is the era-2 engine verbatim: identical to a
+        // direct BroadcastSoaScratch run with the same seed.
+        let via_scenario = scenario.run();
+        let (direct, _) = rcb_core::BroadcastSoaScratch::new().run(
+            &params(16),
+            &mut rcb_radio::SilentAdversary,
+            &rcb_core::RunConfig::seeded(11),
+        );
+        assert_eq!(via_scenario.slots, direct.slots);
+        assert_eq!(via_scenario.broadcast.alice_cost, direct.alice_cost);
+        assert_eq!(via_scenario.broadcast.node_costs, direct.node_costs);
+    }
+
+    #[cfg(feature = "era1-oracle")]
+    #[test]
+    fn era1_oracle_selection_dispatches_the_oracle_engine() {
+        let scenario = Scenario::broadcast(params(16))
+            .engine_era(EngineEra::Era1)
+            .seed(11)
+            .build()
+            .unwrap();
+        assert_eq!(scenario.engine_era(), EngineEra::Era1);
+        let via_scenario = scenario.run();
+        let (direct, _) = rcb_core::BroadcastScratch::new().run(
+            &params(16),
+            &mut rcb_radio::SilentAdversary,
+            &rcb_core::RunConfig::seeded(11),
+        );
+        assert_eq!(via_scenario.slots, direct.slots);
+        assert_eq!(via_scenario.broadcast.alice_cost, direct.alice_cost);
+        assert_eq!(via_scenario.broadcast.node_costs, direct.node_costs);
+
+        // The era switch reaches every slot-level protocol, not just
+        // ε-BROADCAST: the naive baseline's era-2 path is exactly
+        // equal to era-1 (its action pattern is deterministic), while the
+        // gossip protocols only agree statistically.
+        let naive = |era: EngineEra| {
+            Scenario::naive(NaiveSpec { n: 8, horizon: 50 })
+                .engine_era(era)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let (n1, n2) = (naive(EngineEra::Era1), naive(EngineEra::Era2));
+        assert_eq!(n1.informed_nodes, 8);
+        assert_eq!(n2.informed_nodes, 8);
+        for (era, spec) in [
+            (EngineEra::Era1, EpidemicSpec::new(8, 2_000)),
+            (EngineEra::Era2, EpidemicSpec::new(8, 2_000)),
+        ] {
+            let o = Scenario::epidemic(spec)
+                .engine_era(era)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(o.informed_nodes, 8, "epidemic on {era}");
+        }
+        for era in [EngineEra::Era1, EngineEra::Era2] {
+            let o = Scenario::hopping(HoppingSpec::new(8, 2_000))
+                .engine_era(era)
+                .channels(2)
+                .seed(5)
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(o.informed_nodes, 8, "hopping on {era}");
+        }
     }
 
     #[test]

@@ -6,14 +6,16 @@ use std::fmt;
 use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{
-    execute_epidemic_in, execute_naive_in, EpidemicConfig, EpidemicScratch, NaiveConfig,
-    NaiveScratch,
+    execute_epidemic_in, execute_epidemic_soa_in, execute_naive_in, execute_naive_soa_in,
+    EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, NaiveConfig, NaiveScratch,
+    NaiveSoaScratch,
 };
 use rcb_core::fast::{run_fast, FastConfig};
 use rcb_core::fast_mc::{run_fast_mc, McConfig};
 use rcb_core::{
-    execute_hopping_in, BroadcastOutcome, BroadcastScratch, EngineKind, HoppingConfig,
-    HoppingScratch, Params, RunConfig,
+    execute_hopping_in, execute_hopping_soa_in, BroadcastOutcome, BroadcastScratch,
+    BroadcastSoaScratch, EngineKind, HoppingConfig, HoppingScratch, HoppingSoaScratch, Params,
+    RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
 
@@ -36,6 +38,40 @@ use crate::outcome::ScenarioOutcome;
 /// simulator — `rcb_core::fast` for ε-BROADCAST, `rcb_core::fast_mc`
 /// for the multi-channel hopping workload.
 pub use rcb_core::EngineKind as Engine;
+
+/// Which generation of the exact engine executes slot-level runs.
+///
+/// Both eras implement the same protocols against the same adversary
+/// vocabulary and produce the same outcome types; they differ in *how*
+/// slots are simulated, and therefore in which RNG streams a seed maps
+/// to. Fingerprints, cached sweep results, and pinned regression vectors
+/// are era-scoped for exactly that reason (see `rcb-sweep`'s
+/// `ENGINE_ERA`).
+///
+/// * [`EngineEra::Era2`] (default) — structure-of-arrays rosters,
+///   counter-based per-node RNG, and sleep-skipping wakeup scheduling:
+///   a slot costs the devices that act in it, not `O(n)`.
+/// * [`EngineEra::Era1`] — the original per-node state machines walked
+///   every slot. Kept as a cross-validation oracle; selecting it
+///   requires the `era1-oracle` feature
+///   (`ScenarioBuilder::engine_era`, only compiled with that feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineEra {
+    /// The sleep-skipping SoA engine (current).
+    #[default]
+    Era2,
+    /// The per-slot full-roster oracle engine.
+    Era1,
+}
+
+impl fmt::Display for EngineEra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineEra::Era2 => "era2",
+            EngineEra::Era1 => "era1",
+        })
+    }
+}
 
 /// Which protocol a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,6 +364,7 @@ pub struct Scenario {
     channels: u16,
     mc_phase_len: u64,
     threads: Option<usize>,
+    era: EngineEra,
     seed: u64,
 }
 
@@ -344,6 +381,10 @@ pub struct ScenarioScratch {
     hopping: HoppingScratch,
     naive: NaiveScratch,
     epidemic: EpidemicScratch,
+    broadcast_soa: BroadcastSoaScratch,
+    hopping_soa: HoppingSoaScratch,
+    naive_soa: NaiveSoaScratch,
+    epidemic_soa: EpidemicSoaScratch,
 }
 
 impl ScenarioScratch {
@@ -396,6 +437,14 @@ impl Scenario {
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Which exact-engine era slot-level runs execute on (always
+    /// [`EngineEra::Era2`] unless the `era1-oracle` feature selected the
+    /// oracle via `ScenarioBuilder::engine_era`).
+    #[must_use]
+    pub fn engine_era(&self) -> EngineEra {
+        self.era
     }
 
     /// The adversary strategy.
@@ -531,7 +580,12 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = scratch.broadcast.run(params, adversary.as_mut(), &config);
+        let (broadcast, report) = match self.era {
+            EngineEra::Era2 => scratch
+                .broadcast_soa
+                .run(params, adversary.as_mut(), &config),
+            EngineEra::Era1 => scratch.broadcast.run(params, adversary.as_mut(), &config),
+        };
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -566,12 +620,20 @@ impl Scenario {
             .adversary
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
-        let (broadcast, report) = execute_hopping_in(
-            &config,
-            self.spectrum(),
-            adversary.as_mut(),
-            &mut scratch.hopping,
-        );
+        let (broadcast, report) = match self.era {
+            EngineEra::Era2 => execute_hopping_soa_in(
+                &config,
+                self.spectrum(),
+                adversary.as_mut(),
+                &mut scratch.hopping_soa,
+            ),
+            EngineEra::Era1 => execute_hopping_in(
+                &config,
+                self.spectrum(),
+                adversary.as_mut(),
+                &mut scratch.hopping,
+            ),
+        };
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -648,11 +710,18 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = execute_naive_in(
-            &config,
-            self.schedule_free_adversary(seed).as_mut(),
-            &mut scratch.naive,
-        );
+        let (broadcast, report) = match self.era {
+            EngineEra::Era2 => execute_naive_soa_in(
+                &config,
+                self.schedule_free_adversary(seed).as_mut(),
+                &mut scratch.naive_soa,
+            ),
+            EngineEra::Era1 => execute_naive_in(
+                &config,
+                self.schedule_free_adversary(seed).as_mut(),
+                &mut scratch.naive,
+            ),
+        };
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -671,11 +740,18 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = execute_epidemic_in(
-            &config,
-            self.schedule_free_adversary(seed).as_mut(),
-            &mut scratch.epidemic,
-        );
+        let (broadcast, report) = match self.era {
+            EngineEra::Era2 => execute_epidemic_soa_in(
+                &config,
+                self.schedule_free_adversary(seed).as_mut(),
+                &mut scratch.epidemic_soa,
+            ),
+            EngineEra::Era1 => execute_epidemic_in(
+                &config,
+                self.schedule_free_adversary(seed).as_mut(),
+                &mut scratch.epidemic,
+            ),
+        };
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -734,6 +810,7 @@ pub struct ScenarioBuilder {
     channels: u16,
     phase_len: Option<u64>,
     threads: Option<usize>,
+    era: EngineEra,
     seed: u64,
 }
 
@@ -749,6 +826,7 @@ impl ScenarioBuilder {
             channels: 1,
             phase_len: None,
             threads: None,
+            era: EngineEra::default(),
             seed: 0,
         }
     }
@@ -757,6 +835,18 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the exact-engine era (default [`EngineEra::Era2`]).
+    ///
+    /// Only available with the `era1-oracle` feature: era 1 exists as a
+    /// cross-validation oracle for the era-2 engine, not as a production
+    /// path. Fast-engine runs are unaffected by the era.
+    #[cfg(feature = "era1-oracle")]
+    #[must_use]
+    pub fn engine_era(mut self, era: EngineEra) -> Self {
+        self.era = era;
         self
     }
 
@@ -1039,6 +1129,7 @@ impl ScenarioBuilder {
             channels: self.channels,
             mc_phase_len,
             threads: self.threads,
+            era: self.era,
             seed: self.seed,
         })
     }

@@ -314,6 +314,44 @@ mod tests {
     }
 
     #[test]
+    fn era1_disk_cache_is_invalidated_loudly_not_corrupt_read() {
+        use crate::fingerprint::{fingerprint_with_era, PREVIOUS_ENGINE_ERA};
+
+        // Simulate a cache directory left behind by an era-1 build: one
+        // entry stored under the era-1 fingerprint with the era-1 body
+        // tag — exactly what `ResultCache::store` wrote before the PR-7
+        // era bump.
+        let dir = temp_dir("era1-upgrade");
+        let spec = crate::ScenarioSpec::hopping(HoppingSpec::new(16, 2_000))
+            .channels(2)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(500)
+            .seed(3);
+        let entry = sample_entry();
+        let era1_key = fingerprint_with_era(&spec, PREVIOUS_ENGINE_ERA);
+        fs::create_dir_all(&dir).unwrap();
+        let era1_body = render_entry(&CacheEntry {
+            fingerprint: era1_key,
+            ..entry.clone()
+        })
+        .replace(ENGINE_ERA, PREVIOUS_ENGINE_ERA);
+        fs::write(entry_path(&dir, era1_key), era1_body).unwrap();
+
+        let cache = ResultCache::at_dir(&dir).unwrap();
+        // Layer 1: the era-2 key addresses a different file, so the cell
+        // is recomputed rather than served from era-1 statistics.
+        let era2_key = crate::fingerprint(&spec);
+        assert_ne!(era2_key, era1_key);
+        assert!(cache.lookup(era2_key).is_none());
+        // Layer 2: even addressed directly (say, via a pinned key list
+        // from an old report), the era-1 body is refused — a miss, never
+        // a partial or reinterpreted read.
+        assert!(cache.lookup(era1_key).is_none());
+        assert_eq!(cache.resident_len(), 0, "nothing stale became resident");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn trials_stats_consistency_is_enforced() {
         let entry = sample_entry();
         let mut text = render_entry(&entry);

@@ -35,7 +35,15 @@ use rcb_adversary::StrategySpec;
 /// Bump this whenever a change reshapes any engine's seeded outcome
 /// streams (new RNG, re-ordered draws, SoA rewrite …) — cached cell
 /// statistics from earlier eras then miss instead of lying.
-pub const ENGINE_ERA: &str = "era1:exact-pr5/fast-pr1/fastmc-pr4";
+pub const ENGINE_ERA: &str = "era2:exact-soa-pr7/fast-pr7/fastmc-pr7";
+
+/// The previous era tag, kept for the invalidation regression tests: the
+/// PR-7 era bump covers both the exact-engine rewrite (SoA rosters,
+/// counter RNG, sleep-skipping — new RNG streams for every slot-level
+/// protocol) and the vendored-rand `gen_range` width change, which
+/// shifted the fast engines' streams too.
+#[cfg(test)]
+pub(crate) const PREVIOUS_ENGINE_ERA: &str = "era1:exact-pr5/fast-pr1/fastmc-pr4";
 
 /// The seed-lineage tag: how per-trial seeds derive from a cell's master
 /// seed. Hashed into the fingerprint so a change to the derivation tree
@@ -369,24 +377,24 @@ mod tests {
         // and every on-disk cache silently mismatches. Bump ENGINE_ERA
         // and re-pin deliberately instead of letting keys drift.
         let pins: &[(ScenarioSpec, &str)] = &[
-            (hopping_cell(), "765c149ebe36a0c37990fdfbd0975a85"),
+            (hopping_cell(), "8f370ba7d94b7696d85bf042b0d7a926"),
             (
                 ScenarioSpec::broadcast(Params::builder(64).build().unwrap())
                     .adversary(StrategySpec::Continuous)
                     .carol_budget(2_000)
                     .seed(42),
-                "1669f351316393c68204d2217f80224a",
+                "0e014f90ec01c6eebe13df3bba83ffc6",
             ),
             (
                 ScenarioSpec::naive(NaiveSpec { n: 8, horizon: 500 }).seed(1),
-                "35c5f3654cbdc722cc133a6b36c66b47",
+                "410ee2cf72195588fb392a2502835cfe",
             ),
             (
                 ScenarioSpec::ksy(KsySpec::default())
                     .adversary(StrategySpec::Continuous)
                     .carol_budget(5_000)
                     .seed(11),
-                "12f784bd291aeb52f4d82e4f4b404a11",
+                "be74e98c96368378c9315da8ab740b9a",
             ),
         ];
         for (spec, expect) in pins {
@@ -440,7 +448,13 @@ mod tests {
         let spec = hopping_cell();
         assert_ne!(
             fingerprint_with_era(&spec, ENGINE_ERA),
-            fingerprint_with_era(&spec, "era2:hypothetical")
+            fingerprint_with_era(&spec, "era3:hypothetical")
+        );
+        // The PR-7 era-2 bump moved every key: an era-1 store addresses a
+        // file the era-2 cache never reads.
+        assert_ne!(
+            fingerprint(&spec),
+            fingerprint_with_era(&spec, PREVIOUS_ENGINE_ERA)
         );
     }
 

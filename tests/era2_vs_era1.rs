@@ -1,0 +1,241 @@
+//! Era-2 ↔ era-1 cross-validation oracle (requires `--features
+//! era1-oracle`).
+//!
+//! The era-2 exact engine (SoA rosters, counter-based RNG,
+//! sleep-skipping wakeups) deliberately draws different random streams
+//! than the retired era-1 per-node state machines, so the two eras can
+//! never be compared byte-for-byte. What the rewrite *must* preserve is
+//! the distribution: same delivery, same cost scales, same termination
+//! behaviour, for every protocol family and across the adversary zoo.
+//! Era 1 is kept alive behind the `era1-oracle` feature precisely to act
+//! as the reference distribution here — each test runs the same seeded
+//! `Scenario` on both eras and compares per-metric means.
+//!
+//! Tolerances follow `fast_vs_exact.rs`: small trial counts, so the bars
+//! are scale-agreement bars, not tight confidence intervals. The exact
+//! per-slot semantics (phase boundaries, noisy-counter judging, relay
+//! hand-off timing) are additionally covered by deterministic
+//! cross-engine invariants in `rcb-core`'s era-2 unit tests.
+
+#![cfg(feature = "era1-oracle")]
+
+use evildoers::adversary::StrategySpec;
+use evildoers::core::Params;
+use evildoers::rng::stats::RunningStats;
+use evildoers::sim::{EngineEra, EpidemicSpec, HoppingSpec, NaiveSpec, Scenario, ScenarioBuilder};
+
+/// The same scenario built twice, differing only in the engine era.
+struct Pair {
+    era2: Scenario,
+    era1: Scenario,
+}
+
+fn pair(make: impl Fn() -> ScenarioBuilder) -> Pair {
+    Pair {
+        era2: make().build().expect("era-2 build"),
+        era1: make()
+            .engine_era(EngineEra::Era1)
+            .build()
+            .expect("era-1 build"),
+    }
+}
+
+/// Relative/absolute tolerance per compared metric.
+struct Tol {
+    informed: (f64, f64),
+    node_cost: (f64, f64),
+    alice: (f64, f64),
+    slots: (f64, f64),
+}
+
+impl Tol {
+    /// Scale-agreement bars for jammed / adversarial runs.
+    fn jammed() -> Self {
+        Tol {
+            informed: (0.05, 0.05),
+            node_cost: (0.3, 5.0),
+            alice: (0.35, 20.0),
+            slots: (0.25, 50.0),
+        }
+    }
+
+    /// Tighter bars for quiet runs, where both eras terminate at the
+    /// same deterministic round boundary almost surely.
+    fn quiet() -> Self {
+        Tol {
+            informed: (0.02, 0.02),
+            node_cost: (0.25, 2.0),
+            alice: (0.25, 10.0),
+            slots: (0.1, 10.0),
+        }
+    }
+}
+
+fn assert_close(label: &str, metric: &str, a: f64, b: f64, (rel, abs): (f64, f64)) {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1e-9);
+    assert!(
+        diff <= abs + rel * scale,
+        "{label}/{metric}: era2 {a} vs era1 {b} (diff {diff})"
+    );
+}
+
+/// Run `trials` paired trials (same derived seeds on both eras) and
+/// assert per-metric mean agreement.
+fn compare(label: &str, p: &Pair, trials: u64, tol: &Tol) {
+    let mut m: [[RunningStats; 4]; 2] = Default::default();
+    for trial in 0..trials {
+        let seed = 1_000 + trial;
+        for (era, outcome) in [(0, p.era2.run_seeded(seed)), (1, p.era1.run_seeded(seed))] {
+            m[era][0].push(outcome.informed_fraction());
+            m[era][1].push(outcome.mean_node_cost());
+            m[era][2].push(outcome.alice_cost.total() as f64);
+            m[era][3].push(outcome.slots as f64);
+        }
+    }
+    let names = ["informed fraction", "mean node cost", "alice cost", "slots"];
+    let tols = [tol.informed, tol.node_cost, tol.alice, tol.slots];
+    for i in 0..4 {
+        assert_close(label, names[i], m[0][i].mean(), m[1][i].mean(), tols[i]);
+    }
+}
+
+fn broadcast_pair(n: u64, spec: StrategySpec, budget: Option<u64>, margin: u32) -> Pair {
+    pair(move || {
+        let params = Params::builder(n).max_round_margin(margin).build().unwrap();
+        let mut b = Scenario::broadcast(params).adversary(spec);
+        if let Some(budget) = budget {
+            b = b.carol_budget(budget);
+        }
+        b
+    })
+}
+
+#[test]
+fn broadcast_quiet_agrees_at_n256() {
+    let p = broadcast_pair(256, StrategySpec::Silent, None, 2);
+    compare("broadcast/silent/n256", &p, 4, &Tol::quiet());
+}
+
+#[test]
+fn broadcast_adversary_zoo_agrees_at_n256() {
+    for (spec, budget) in [
+        (StrategySpec::Continuous, 4_000),
+        (StrategySpec::Random(0.5), 4_000),
+        (StrategySpec::Spoof(1.0), 6_000),
+        (StrategySpec::LaggedReactive, 3_000),
+        (StrategySpec::Extract(8), 6_000),
+    ] {
+        let p = broadcast_pair(256, spec, Some(budget), 3);
+        compare(
+            &format!("broadcast/{}/n256", spec.name()),
+            &p,
+            3,
+            &Tol::jammed(),
+        );
+    }
+}
+
+#[test]
+fn broadcast_agrees_at_n1024() {
+    let quiet = broadcast_pair(1 << 10, StrategySpec::Silent, None, 2);
+    compare("broadcast/silent/n1024", &quiet, 3, &Tol::quiet());
+    let jammed = broadcast_pair(1 << 10, StrategySpec::Continuous, Some(10_000), 3);
+    compare("broadcast/continuous/n1024", &jammed, 3, &Tol::jammed());
+}
+
+#[cfg(feature = "slow-tests")]
+#[test]
+fn broadcast_agrees_at_n4096() {
+    // The top of the E13-style grid: the sleep-skipping engine's target
+    // size. Era 1 is the slow side here, so trials stay minimal.
+    let p = broadcast_pair(1 << 12, StrategySpec::Silent, None, 2);
+    compare("broadcast/silent/n4096", &p, 2, &Tol::quiet());
+}
+
+fn hopping_pair(n: u64, channels: u16, spec: StrategySpec, budget: u64) -> Pair {
+    pair(move || {
+        Scenario::hopping(HoppingSpec::new(n, 6_000))
+            .channels(channels)
+            .adversary(spec)
+            .carol_budget(budget)
+    })
+}
+
+#[test]
+fn hopping_zoo_agrees_across_channel_counts() {
+    for channels in [1u16, 4] {
+        for spec in [
+            StrategySpec::SplitUniform,
+            StrategySpec::ChannelSweep { dwell: 5 },
+            StrategySpec::ChannelLagged,
+            StrategySpec::Adaptive {
+                window: 8,
+                reactivity: 0.5,
+            },
+        ] {
+            let p = hopping_pair(256, channels, spec, 1_500);
+            compare(
+                &format!("hopping-c{channels}/{}/n256", spec.name()),
+                &p,
+                3,
+                &Tol::jammed(),
+            );
+        }
+    }
+}
+
+#[test]
+fn naive_baseline_agrees() {
+    let p = pair(|| {
+        Scenario::naive(NaiveSpec {
+            n: 64,
+            horizon: 2_000,
+        })
+        .adversary(StrategySpec::Random(0.5))
+        .carol_budget(600)
+    });
+    compare("naive/random", &p, 3, &Tol::jammed());
+}
+
+#[test]
+fn epidemic_baseline_agrees() {
+    let p = pair(|| {
+        Scenario::epidemic(EpidemicSpec::new(64, 3_000))
+            .adversary(StrategySpec::Bursty { burst: 16, gap: 16 })
+            .carol_budget(800)
+    });
+    compare("epidemic/bursty", &p, 3, &Tol::jammed());
+}
+
+#[test]
+fn both_eras_replay_bit_for_bit_and_draw_distinct_streams() {
+    // Era selection must not leak nondeterminism, and the era bump must
+    // be real: the two engines draw different random streams, which is
+    // exactly why `rcb-sweep`'s `ENGINE_ERA` had to change.
+    let p = broadcast_pair(64, StrategySpec::Continuous, Some(1_500), 3);
+    for (label, scenario) in [("era2", &p.era2), ("era1", &p.era1)] {
+        let a = scenario.run_seeded(9);
+        let b = scenario.run_seeded(9);
+        assert_eq!(a.slots, b.slots, "{label} replay");
+        assert_eq!(a.alice_cost, b.alice_cost, "{label} replay");
+        assert_eq!(
+            a.broadcast.node_total_cost, b.broadcast.node_total_cost,
+            "{label} replay"
+        );
+    }
+    let e2 = p.era2.run_seeded(9);
+    let e1 = p.era1.run_seeded(9);
+    assert!(
+        (
+            e2.slots,
+            e2.alice_cost.total(),
+            e2.broadcast.node_total_cost.total()
+        ) != (
+            e1.slots,
+            e1.alice_cost.total(),
+            e1.broadcast.node_total_cost.total()
+        ),
+        "eras should draw distinct random streams"
+    );
+}

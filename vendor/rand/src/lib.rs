@@ -9,15 +9,14 @@
 //! The simulator pins its own generator (`rcb-rng`'s xoshiro256++) and
 //! overrides `seed_from_u64`, but protocol decisions *do* flow through
 //! this crate's conversion helpers (`gen_bool`, `gen_range`, `f64` in
-//! `[0, 1)`). `gen_bool` and `f64` match `rand 0.8` bit-for-bit;
-//! `gen_range` is unbiased Lemire sampling but always consumes one
-//! `next_u64` per draw, whereas `rand 0.8` width-matches sub-64-bit
-//! ranges (a `u32` range consumes 32 bits). **Swapping this stub for
-//! crates.io `rand` therefore shifts seeded simulation streams at
-//! `gen_range` call sites** — results stay statistically equivalent, but
-//! previously recorded `(seed → outcome)` pairs will not replay
-//! identically. Treat the swap as a stream-breaking change and re-baseline
-//! archived experiment numbers.
+//! `[0, 1)`). All of them match `rand 0.8.5` bit-for-bit: `gen_bool`
+//! is the 64-bit integer-threshold Bernoulli, `f64` is the 53-bit
+//! `Standard` conversion, and `gen_range` is the width-matched
+//! `sample_single_inclusive` algorithm (a `u8`/`u16`/`u32` range
+//! consumes one `next_u32`, a `u64`/`usize` range one `next_u64`, with
+//! the same zone computation and widening-multiply acceptance test).
+//! Swapping this stub for crates.io `rand 0.8.5` therefore preserves
+//! seeded simulation streams at every call site the workspace uses.
 
 #![forbid(unsafe_code)]
 
@@ -89,25 +88,77 @@ pub trait SeedableRng: Sized {
 }
 
 mod sealed {
+    use super::RngCore;
+
     /// Integer types usable with [`Rng::gen_range`](super::Rng::gen_range).
+    ///
+    /// Each type carries the `rand 0.8.5` `uniform_int_impl` width class:
+    /// `u8`/`u16`/`u32` sample via a `u32` draw (one `next_u32`),
+    /// `u64`/`usize` via a `u64` draw (one `next_u64`).
     pub trait RangeInt: Copy + PartialOrd {
-        fn to_u64(self) -> u64;
-        fn from_u64(v: u64) -> Self;
+        /// Uniform sample from `low..=high` — `rand 0.8.5`'s
+        /// `sample_single_inclusive`, bit-for-bit.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// `self - 1` (callers guarantee `self > 0`): lowers a half-open
+        /// upper bound onto the inclusive sampler.
+        fn dec(self) -> Self;
+    }
+
+    fn draw_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+
+    fn draw_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
     }
 
     macro_rules! range_int {
-        ($($t:ty),*) => {$(
-            impl RangeInt for $t {
-                fn to_u64(self) -> u64 {
-                    self as u64
+        ($ty:ty, $u_large:ty, $double:ty, $draw:ident) => {
+            impl RangeInt for $ty {
+                fn sample_inclusive<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    // Width arithmetic first (so a full-width range wraps
+                    // to 0), then widen to the sampling word.
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $u_large;
+                    if range == 0 {
+                        // Full-width range: any value is a valid sample.
+                        return $draw(rng) as $ty;
+                    }
+                    let zone = if (<$ty>::MAX as u128) <= (u16::MAX as u128) {
+                        // Small types: exact zone by modulus.
+                        let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        // Conservative approximation; `- 1` keeps the
+                        // `lo <= zone` comparison unbiased.
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v = $draw(rng) as $u_large;
+                        let m = (v as $double) * (range as $double);
+                        let hi = (m >> <$u_large>::BITS) as $u_large;
+                        let lo = m as $u_large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
                 }
-                fn from_u64(v: u64) -> Self {
-                    v as $t
+
+                fn dec(self) -> Self {
+                    self - 1
                 }
             }
-        )*};
+        };
     }
-    range_int!(u8, u16, u32, u64, usize);
+
+    range_int!(u8, u32, u64, draw_u32);
+    range_int!(u16, u32, u64, draw_u32);
+    range_int!(u32, u32, u64, draw_u32);
+    range_int!(u64, u64, u128, draw_u64);
+    range_int!(usize, usize, u128, draw_u64);
 }
 
 use sealed::RangeInt;
@@ -118,41 +169,18 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
-/// Uniform `u64` in `[0, span)` by widening multiply with rejection
-/// (Lemire's method — unbiased).
-fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
-    debug_assert!(span > 0);
-    if span == 0 {
-        return 0;
-    }
-    loop {
-        let x = rng.next_u64();
-        let m = u128::from(x) * u128::from(span);
-        let low = m as u64;
-        if low >= span.wrapping_neg() % span {
-            return (m >> 64) as u64;
-        }
-        // Rejected: resample to stay unbiased.
-    }
-}
-
 impl<T: RangeInt> SampleRange<T> for Range<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
-        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
-        assert!(lo < hi, "cannot sample from empty range");
-        T::from_u64(lo + uniform_below(rng, hi - lo))
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, self.end.dec())
     }
 }
 
 impl<T: RangeInt> SampleRange<T> for RangeInclusive<T> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
-        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
-        assert!(lo <= hi, "cannot sample from empty range");
-        let span = hi - lo;
-        if span == u64::MAX {
-            return T::from_u64(rng.next_u64());
-        }
-        T::from_u64(lo + uniform_below(rng, span + 1))
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
     }
 }
 
@@ -310,16 +338,75 @@ mod tests {
     }
 
     #[test]
-    fn uniform_below_is_unbiased_at_small_spans() {
+    fn gen_range_is_unbiased_at_small_spans() {
         let mut rng = SplitMix(5);
         let mut counts = [0u32; 3];
         for _ in 0..30_000 {
-            counts[uniform_below(&mut rng, 3) as usize] += 1;
+            counts[rng.gen_range(0usize..3)] += 1;
         }
         for &c in &counts {
             let freq = f64::from(c) / 30_000.0;
             assert!((freq - 1.0 / 3.0).abs() < 0.02, "freq {freq}");
         }
+    }
+
+    /// Counts word draws so tests can assert which width a sample consumed.
+    struct CountingRng {
+        inner: SplitMix,
+        u32_draws: u32,
+        u64_draws: u32,
+    }
+
+    impl RngCore for CountingRng {
+        fn next_u32(&mut self) -> u32 {
+            self.u32_draws += 1;
+            (self.inner.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.u64_draws += 1;
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest);
+        }
+    }
+
+    #[test]
+    fn gen_range_width_matches_rand_08() {
+        // rand 0.8 samples sub-64-bit integer ranges from a single u32
+        // draw and 64-bit ranges from a u64 draw; the stub must consume
+        // the identical word stream.
+        let mut rng = CountingRng {
+            inner: SplitMix(6),
+            u32_draws: 0,
+            u64_draws: 0,
+        };
+        for _ in 0..100 {
+            let _: u8 = rng.gen_range(0..200);
+            let _: u16 = rng.gen_range(0..50_000);
+            let _: u32 = rng.gen_range(0..3_000_000_000);
+        }
+        assert_eq!(rng.u64_draws, 0, "sub-64-bit ranges must not draw u64");
+        assert!(rng.u32_draws >= 300, "one u32 per accepted sample");
+        let u32_before = rng.u32_draws;
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0..u64::MAX / 2);
+            let _: usize = rng.gen_range(0..usize::MAX / 2);
+        }
+        assert_eq!(rng.u32_draws, u32_before, "64-bit ranges must not draw u32");
+        assert!(rng.u64_draws >= 200, "64-bit ranges draw u64 words");
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_pass_the_raw_word_through() {
+        let mut a = SplitMix(9);
+        let mut b = SplitMix(9);
+        let x: u64 = a.gen_range(0..=u64::MAX);
+        assert_eq!(x, b.next_u64());
+        let mut c = SplitMix(10);
+        let mut d = SplitMix(10);
+        let y: u8 = c.gen_range(0..=u8::MAX);
+        assert_eq!(y, (d.next_u64() >> 32) as u8);
     }
 
     #[test]
