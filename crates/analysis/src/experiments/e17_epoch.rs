@@ -1,0 +1,326 @@
+//! E17 — epoch-length resonance: sweeping jammers vs the epoch-hopping
+//! schedule (Chen & Zheng 2019).
+//!
+//! The epoch-structured schedule trades the per-slot unpredictability of
+//! random hopping for rendezvous amortization: every device holds one
+//! channel for `L` consecutive slots and re-randomizes only at epoch
+//! boundaries, with a listener-side defense — an uninformed node that
+//! sampled noise during an epoch excludes that channel from its next
+//! draw. The flip side is a *timing side channel*: a
+//! [`SweepJammer`](rcb_adversary::SweepJammer) whose dwell time matches
+//! `L` advances exactly one channel per epoch, so the evaders' escape
+//! draw (uniform over the other `C − 1` channels) lands on the sweep's
+//! *next* target with probability `1/(C − 1) > 1/C` — the defense
+//! herds listeners *into* the jam. Dwells far from `L` lose the
+//! resonance from either side: a short dwell spreads the same budget
+//! thinly across the spectrum within each epoch, and a long dwell parks
+//! on a channel that the detection rule has already evacuated.
+//!
+//! This experiment measures that resonance curve — mean node cost at a
+//! fixed epoch count, which integrates time-to-inform (an uninformed
+//! node pays `listen_p` per slot until it rendezvouses with a sender),
+//! over `dwell ∈ {L/4, L/2, L, 2L, 4L} × L` — and
+//! then runs the adaptive-family grid (`window × reactivity`, as in
+//! E12) against the epoch schedule at equal budget `T` to bound what a
+//! traffic-chasing jammer gains over the oblivious uniform split: the
+//! **envelope verdict**. Unlike per-slot hopping (E12), the epoch
+//! schedule leaks exploitable structure, so the envelope here is the
+//! *measured* price of amortized rendezvous rather than a
+//! no-clairvoyance bound.
+
+use rcb_sim::{EpochHoppingSpec, Scenario, ScenarioOutcome, StrategySpec};
+
+use super::{ExperimentReport, Scale};
+use crate::table::fmt_f;
+use crate::Table;
+
+struct Plan {
+    n: u64,
+    channels: u16,
+    epoch_lens: &'static [u64],
+    /// Horizon in *epochs* — every `L` row gets the same number of
+    /// boundary draws, so rows are comparable in defense opportunities.
+    horizon_epochs: u64,
+    /// Equal-`T` budget for the adaptive-envelope grid, in units of the
+    /// horizon at the grid's epoch length.
+    trials: u32,
+}
+
+fn plan(scale: Scale) -> Plan {
+    match scale {
+        Scale::Smoke => Plan {
+            n: 24,
+            channels: 4,
+            epoch_lens: &[16, 32],
+            horizon_epochs: 48,
+            trials: 16,
+        },
+        Scale::Full => Plan {
+            n: 64,
+            channels: 4,
+            epoch_lens: &[16, 32, 64],
+            horizon_epochs: 64,
+            trials: 48,
+        },
+    }
+}
+
+/// Dwell multipliers swept against each epoch length, as (num, den).
+const DWELL_GRID: [(u64, u64); 5] = [(1, 4), (1, 2), (1, 1), (2, 1), (4, 1)];
+
+fn dwell_label(num: u64, den: u64) -> String {
+    match (num, den) {
+        (1, 1) => "L".into(),
+        (n, 1) => format!("{n}L"),
+        (1, d) => format!("L/{d}"),
+        (n, d) => format!("{n}L/{d}"),
+    }
+}
+
+/// Trial-averaged measures for one cell.
+struct Point {
+    informed_fraction: f64,
+    survivors: f64,
+    mean_node_cost: f64,
+    carol_spend: f64,
+}
+
+fn measure(plan: &Plan, epoch_len: u64, strategy: StrategySpec, budget: u64, seed: u64) -> Point {
+    let horizon = plan.horizon_epochs * epoch_len;
+    let outcomes = Scenario::epoch_hopping(EpochHoppingSpec::new(plan.n, horizon, epoch_len))
+        .channels(plan.channels)
+        .adversary(strategy)
+        .carol_budget(budget)
+        .seed(seed)
+        .build()
+        .expect("epoch hopping hosts every schedule-free channel strategy")
+        .run_batch(plan.trials);
+    let avg = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+        outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+    };
+    Point {
+        informed_fraction: avg(&|o| o.broadcast.informed_fraction()),
+        survivors: avg(&|o| (o.broadcast.n - o.broadcast.informed_nodes) as f64),
+        mean_node_cost: avg(&|o| o.broadcast.mean_node_cost()),
+        carol_spend: avg(&|o| o.broadcast.carol_spend() as f64),
+    }
+}
+
+/// Runs E17 and renders the report.
+#[must_use]
+pub fn run(scale: Scale) -> ExperimentReport {
+    let plan = plan(scale);
+
+    // Part 1 — the resonance curve. The sweeper spends one unit per
+    // slot, so a budget of one horizon keeps it on the air throughout:
+    // the curve isolates *where* the jam lands, not how long it lasts.
+    let mut curve_table = Table::new(vec![
+        "L",
+        "dwell",
+        "dwell slots",
+        "informed",
+        "survivors",
+        "mean node cost",
+    ]);
+    // (epoch_len, resonant cost, short-dwell cost, long-dwell cost)
+    let mut resonance: Vec<(u64, f64, f64, f64)> = Vec::new();
+    for &epoch_len in plan.epoch_lens {
+        let mut row_points: Vec<(u64, u64, Point)> = Vec::new();
+        for &(num, den) in &DWELL_GRID {
+            let dwell = (epoch_len * num / den).max(1);
+            let horizon = plan.horizon_epochs * epoch_len;
+            let seed = 0xE17 ^ (epoch_len << 16) ^ (num << 8) ^ den;
+            let p = measure(
+                &plan,
+                epoch_len,
+                StrategySpec::ChannelSweep { dwell },
+                horizon,
+                seed,
+            );
+            curve_table.row(vec![
+                epoch_len.to_string(),
+                dwell_label(num, den),
+                dwell.to_string(),
+                fmt_f(p.informed_fraction),
+                fmt_f(p.survivors),
+                fmt_f(p.mean_node_cost),
+            ]);
+            row_points.push((num, den, p));
+        }
+        let at = |num: u64, den: u64| -> f64 {
+            row_points
+                .iter()
+                .find(|(n, d, _)| *n == num && *d == den)
+                .expect("the dwell grid is fixed")
+                .2
+                .mean_node_cost
+        };
+        resonance.push((epoch_len, at(1, 1), at(1, 4), at(4, 1)));
+    }
+
+    // Part 2 — the adaptive-family grid at equal T, against the
+    // oblivious uniform split and the resonant sweep as references.
+    let grid_len = plan.epoch_lens[plan.epoch_lens.len() / 2];
+    let grid_horizon = plan.horizon_epochs * grid_len;
+    let grid_budget = grid_horizon / 2;
+    let windows = [2u32, 8, 32];
+    let reactivities = [0.25f64, 0.5, 1.0];
+
+    let split = measure(
+        &plan,
+        grid_len,
+        StrategySpec::SplitUniform,
+        grid_budget,
+        0xE17_5111,
+    );
+    let sweep = measure(
+        &plan,
+        grid_len,
+        StrategySpec::ChannelSweep { dwell: grid_len },
+        grid_budget,
+        0xE17_5112,
+    );
+
+    let mut grid_table = Table::new(vec![
+        "strategy",
+        "window",
+        "reactivity",
+        "informed",
+        "survivors",
+        "mean node cost",
+        "carol spend",
+    ]);
+    grid_table.row(vec![
+        "split-uniform".into(),
+        "—".into(),
+        "—".into(),
+        fmt_f(split.informed_fraction),
+        fmt_f(split.survivors),
+        fmt_f(split.mean_node_cost),
+        fmt_f(split.carol_spend),
+    ]);
+    grid_table.row(vec![
+        "channel-sweep".into(),
+        "—".into(),
+        "—".into(),
+        fmt_f(sweep.informed_fraction),
+        fmt_f(sweep.survivors),
+        fmt_f(sweep.mean_node_cost),
+        fmt_f(sweep.carol_spend),
+    ]);
+    let mut grid_points: Vec<(u32, f64, Point)> = Vec::new();
+    for &window in &windows {
+        for &reactivity in &reactivities {
+            let spec = StrategySpec::Adaptive { window, reactivity };
+            let seed = 0xE17_AD00 ^ (u64::from(window) << 8) ^ (reactivity * 4.0) as u64;
+            let p = measure(&plan, grid_len, spec, grid_budget, seed);
+            grid_table.row(vec![
+                "adaptive".into(),
+                window.to_string(),
+                format!("{reactivity}"),
+                fmt_f(p.informed_fraction),
+                fmt_f(p.survivors),
+                fmt_f(p.mean_node_cost),
+                fmt_f(p.carol_spend),
+            ]);
+            grid_points.push((window, reactivity, p));
+        }
+    }
+
+    let tables = vec![
+        (
+            format!(
+                "resonance curve: epoch hopping vs channel-sweep jammers at C = {}, \
+                 n = {}, {} epochs per run, sweeper budget = horizon (always on), \
+                 {} trials per cell",
+                plan.channels, plan.n, plan.horizon_epochs, plan.trials
+            ),
+            curve_table,
+        ),
+        (
+            format!(
+                "adaptive-family grid at L = {grid_len}, equal T = {grid_budget}: \
+                 induced damage across window × reactivity vs the oblivious split and \
+                 the resonant sweep ({} trials per cell)",
+                plan.trials
+            ),
+            grid_table,
+        ),
+    ];
+
+    let resonant_everywhere = resonance
+        .iter()
+        .all(|&(_, at_l, short, long)| at_l > short && at_l > long);
+    let (best_w, best_r, best) = grid_points
+        .iter()
+        .max_by(|a, b| {
+            a.2.mean_node_cost
+                .partial_cmp(&b.2.mean_node_cost)
+                .expect("costs are finite")
+        })
+        .map(|(w, r, p)| (*w, *r, p))
+        .expect("grid is nonempty");
+    let best_ratio = best.mean_node_cost / split.mean_node_cost.max(1.0);
+    let budgets_conserved = grid_points
+        .iter()
+        .all(|(_, _, p)| p.carol_spend <= grid_budget as f64)
+        && split.carol_spend <= grid_budget as f64
+        && sweep.carol_spend <= grid_budget as f64;
+
+    let mut findings = Vec::new();
+    for &(epoch_len, at_l, short, long) in &resonance {
+        findings.push(format!(
+            "L = {epoch_len}: mean node cost {at_l:.1} at dwell = L vs {short:.1} at \
+             L/4 and {long:.1} at 4L — time-to-inform (which the listening cost \
+             integrates) peaks exactly when the sweep's dwell matches the epoch length"
+        ));
+    }
+    findings.push(format!(
+        "adaptive grid at L = {grid_len}, equal T = {grid_budget}: the cost-maximising \
+         member is (w={best_w}, r={best_r}) with mean node cost {:.0} — ratio {best_ratio:.2} \
+         vs the oblivious split, so even against the leakier epoch schedule the best \
+         traffic-chasing jammer of this family stays within the 2× envelope",
+        best.mean_node_cost
+    ));
+    findings.push(format!(
+        "budgets conserved: every adversary's measured spend stays within its T \
+         (grid T = {grid_budget}); minimum informed fraction across the adaptive grid is {:.3}",
+        grid_points
+            .iter()
+            .map(|(_, _, p)| p.informed_fraction)
+            .fold(f64::INFINITY, f64::min)
+    ));
+
+    let envelope_ok = best_ratio <= 2.0;
+    let pass = resonant_everywhere && envelope_ok && budgets_conserved;
+
+    ExperimentReport {
+        id: "E17",
+        title: "epoch-length resonance",
+        claim: "The epoch-structured hopping schedule amortizes rendezvous but leaks \
+                timing: a sweeping jammer whose dwell matches the epoch length L herds \
+                the noise-evading listeners into its next target, inducing strictly \
+                higher node cost (integrated time-to-inform) than dwells of L/4 or 4L \
+                at every epoch length — while the adaptive window × reactivity family \
+                at equal T still gains at most 2× over oblivious uniform splitting.",
+        tables,
+        findings,
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Part of the slow tier: a 2 × 5 resonance curve plus the adaptive
+    // grid. CI's fast lane skips it with `--no-default-features`.
+    #[cfg(feature = "slow-tests")]
+    #[test]
+    fn smoke_scale_reproduces_the_resonance() {
+        let report = run(Scale::Smoke);
+        assert!(report.pass, "{report}");
+        assert_eq!(report.tables[0].1.len(), 10, "2 epoch lengths × 5 dwells");
+        assert_eq!(report.tables[1].1.len(), 11, "2 references + 3×3 grid");
+    }
+}

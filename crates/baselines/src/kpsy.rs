@@ -1,0 +1,450 @@
+//! The KPSY resource-competitive jamming defense — the `n`-player,
+//! engine-driven descendant of [`crate::ksy`].
+//!
+//! King–Pettie–Saia–Young, *Resource-Competitive Broadcast* (see
+//! arXiv:1202.6456), extend the two-player golden-ratio epoch protocol
+//! to a broadcast setting: time is divided into doubling epochs
+//! `e = 1, 2, …` of length `L_e = 2^e`, and in epoch `e` every player
+//! participates in only `R_e = ⌈L_e^{φ−1}⌉` uniformly random secret
+//! slots of the epoch — Alice transmits in hers, an uninformed node
+//! listens in its, and an informed node relays in its. Since the slot
+//! choices are secret and uniform, a jammer must blanket a constant
+//! fraction of the whole epoch (cost `Ω(L_e)`) to reliably kill every
+//! send/listen coincidence, while each correct player spends only
+//! `O(L_e^{φ−1})` — the resource-competitive `O(T^{0.62})` listening
+//! defense.
+//!
+//! Unlike [`crate::ksy`]'s closed-form two-player run, this roster
+//! executes **slot-by-slot on the exact engine**, so the whole adversary
+//! zoo applies unchanged and outcomes carry real energy ledgers. There
+//! is deliberately one implementation for both fingerprint eras: the
+//! sparse secret schedules defeat the SoA engine's aggregated listener
+//! settlement (each node's activity pattern is an individually drawn
+//! subset, not an i.i.d. per-slot coin), so `rcb_sim::Scenario::kpsy`
+//! lowers era 1 and era 2 onto this same driver and the fast engines
+//! reject the protocol with a typed error.
+
+use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_core::{gossip_outcome, BroadcastOutcome};
+use rcb_radio::{
+    Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine, NodeProtocol, Payload,
+    Reception, RunReport, Slot,
+};
+use rcb_rng::{subset::sample_distinct, SeedTree, SimRng};
+
+use crate::ksy::PHI;
+
+/// Configuration for a KPSY-defense run.
+#[derive(Debug, Clone)]
+pub struct KpsyConfig {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop. Epochs double, so a horizon of `2^{e+1} − 2` runs
+    /// exactly `e` whole epochs.
+    pub horizon: u64,
+    /// Carol's pooled budget.
+    pub carol_budget: Budget,
+    /// Retain at most this many slot records in the report's trace
+    /// (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl KpsyConfig {
+    /// A run without tracing.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64, carol_budget: Budget, seed: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            carol_budget,
+            trace_capacity: 0,
+            seed,
+        }
+    }
+}
+
+/// First slot of epoch `e` (1-based): `2^e − 2`, so epoch `e` spans
+/// `[2^e − 2, 2^{e+1} − 2)` with length `L_e = 2^e`.
+fn epoch_start(epoch: u32) -> u64 {
+    (1u64 << epoch) - 2
+}
+
+/// The per-epoch activity quota `R_e = ⌈L_e^{φ−1}⌉`, capped at `L_e`.
+fn epoch_quota(len: u64) -> u64 {
+    ((len as f64).powf(PHI - 1.0).ceil() as u64).min(len)
+}
+
+/// The shared epoch clock + secret slot plan of one KPSY player.
+///
+/// At each epoch boundary the player draws `R_e` distinct slots of the
+/// epoch from its private stream; between boundaries it walks the sorted
+/// plan with a cursor.
+#[derive(Debug)]
+struct EpochPlan {
+    /// Current epoch (0 = no epoch entered yet).
+    epoch: u32,
+    /// First slot past the current epoch.
+    epoch_end: u64,
+    /// Absolute indices of this epoch's active slots, sorted.
+    slots: Vec<u64>,
+    /// Cursor into `slots`.
+    cursor: usize,
+}
+
+impl EpochPlan {
+    fn new() -> Self {
+        Self {
+            epoch: 0,
+            epoch_end: 0,
+            slots: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Advances the epoch clock to cover `slot`, redrawing the secret
+    /// plan at each boundary crossed (`active` gates the draw: a player
+    /// that will sleep the whole epoch — e.g. Alice past her horizon —
+    /// must not consume stream randomness).
+    fn roll_to(&mut self, slot: Slot, rng: &mut SimRng) {
+        while slot.index() >= self.epoch_end {
+            self.epoch += 1;
+            let len = 1u64 << self.epoch;
+            let start = epoch_start(self.epoch);
+            self.epoch_end = start + len;
+            let quota = epoch_quota(len);
+            self.slots = sample_distinct(rng, len, quota);
+            self.slots.sort_unstable();
+            for s in &mut self.slots {
+                *s += start;
+            }
+            self.cursor = 0;
+        }
+    }
+
+    /// Whether `slot` is one of the epoch's secret active slots.
+    fn is_active(&mut self, slot: Slot) -> bool {
+        while self.cursor < self.slots.len() && self.slots[self.cursor] < slot.index() {
+            self.cursor += 1;
+        }
+        self.cursor < self.slots.len() && self.slots[self.cursor] == slot.index()
+    }
+}
+
+/// Alice under KPSY: transmits `m` in `R_e` secret uniform slots per
+/// epoch until the horizon.
+#[derive(Debug)]
+struct KpsyAlice {
+    signed_m: Signed,
+    horizon: u64,
+    plan: EpochPlan,
+    done: bool,
+}
+
+impl NodeProtocol for KpsyAlice {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        self.plan.roll_to(slot, rng);
+        if self.plan.is_active(slot) {
+            Action::Send(Payload::Broadcast(self.signed_m.clone()))
+        } else {
+            Action::Sleep
+        }
+    }
+    fn on_reception(&mut self, _: Slot, _: Reception) {}
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        true
+    }
+}
+
+/// A KPSY node: listens in `R_e` secret slots per epoch until informed;
+/// from the next epoch boundary on, relays in `R_e` secret slots
+/// instead. A node informed mid-epoch sleeps out the rest of that epoch
+/// (the listening plan's unused tail is simply never executed — the
+/// engine charges only performed actions, mirroring the receiver refund
+/// of [`crate::ksy`]).
+#[derive(Debug)]
+struct KpsyNode {
+    verifier: Verifier,
+    alice_key: KeyId,
+    horizon: u64,
+    plan: EpochPlan,
+    /// Epoch in which the node became informed (it starts relaying at
+    /// the *next* boundary; `u32::MAX` = uninformed).
+    informed_epoch: u32,
+    message: Option<Signed>,
+    done: bool,
+}
+
+impl NodeProtocol for KpsyNode {
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        if slot.index() >= self.horizon {
+            self.done = true;
+            return Action::Sleep;
+        }
+        self.plan.roll_to(slot, rng);
+        if !self.plan.is_active(slot) {
+            return Action::Sleep;
+        }
+        match &self.message {
+            None => Action::Listen,
+            Some(m) if self.plan.epoch > self.informed_epoch => {
+                Action::Send(Payload::Broadcast(m.clone()))
+            }
+            // Informed mid-epoch: sit out the rest of the listening plan.
+            Some(_) => Action::Sleep,
+        }
+    }
+    fn on_reception(&mut self, _: Slot, reception: Reception) {
+        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
+            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
+                self.message = Some(signed);
+                self.informed_epoch = self.plan.epoch;
+            }
+        }
+    }
+    fn has_terminated(&self) -> bool {
+        self.done
+    }
+    fn is_informed(&self) -> bool {
+        self.message.is_some()
+    }
+}
+
+/// One KPSY roster slot: Alice or a node.
+///
+/// Homogeneous roster type for the engine's monomorphized fast path.
+#[derive(Debug)]
+enum KpsyParticipant {
+    Alice(KpsyAlice),
+    Node(KpsyNode),
+}
+
+impl NodeProtocol for KpsyParticipant {
+    #[inline]
+    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
+        match self {
+            KpsyParticipant::Alice(a) => a.act(slot, rng),
+            KpsyParticipant::Node(n) => n.act(slot, rng),
+        }
+    }
+    #[inline]
+    fn channel(&self, slot: Slot) -> rcb_radio::ChannelId {
+        match self {
+            KpsyParticipant::Alice(a) => a.channel(slot),
+            KpsyParticipant::Node(n) => n.channel(slot),
+        }
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, slot: Slot) {
+        match self {
+            KpsyParticipant::Alice(a) => a.on_budget_exhausted(slot),
+            KpsyParticipant::Node(n) => n.on_budget_exhausted(slot),
+        }
+    }
+    #[inline]
+    fn on_reception(&mut self, slot: Slot, reception: Reception) {
+        match self {
+            KpsyParticipant::Alice(a) => a.on_reception(slot, reception),
+            KpsyParticipant::Node(n) => n.on_reception(slot, reception),
+        }
+    }
+    #[inline]
+    fn has_terminated(&self) -> bool {
+        match self {
+            KpsyParticipant::Alice(a) => a.has_terminated(),
+            KpsyParticipant::Node(n) => n.has_terminated(),
+        }
+    }
+    #[inline]
+    fn is_informed(&self) -> bool {
+        match self {
+            KpsyParticipant::Alice(a) => a.is_informed(),
+            KpsyParticipant::Node(n) => n.is_informed(),
+        }
+    }
+}
+
+/// Reusable scratch for batched KPSY runs.
+#[derive(Debug, Default)]
+pub struct KpsyScratch {
+    roster: Vec<KpsyParticipant>,
+    budgets: Vec<Budget>,
+    engine: EngineScratch,
+}
+
+impl KpsyScratch {
+    /// Creates an empty scratch; buffers are shaped on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs the KPSY jamming defense on the exact engine and reports the
+/// outcome plus the raw engine report.
+///
+/// This is the execution engine behind `rcb_sim::Scenario::kpsy` (both
+/// fingerprint eras — see the module docs); prefer the `Scenario`
+/// builder in application code. Batched callers should use
+/// [`execute_kpsy_in`] with a per-worker [`KpsyScratch`].
+///
+/// # Example
+///
+/// ```
+/// use rcb_baselines::{execute_kpsy, KpsyConfig};
+/// use rcb_radio::{Budget, SilentAdversary};
+///
+/// let (outcome, _report) = execute_kpsy(
+///     &KpsyConfig::new(8, 2_000, Budget::unlimited(), 1),
+///     &mut SilentAdversary,
+/// );
+/// assert_eq!(outcome.informed_nodes, 8);
+/// // The defense's point: node spend is sublinear in elapsed time.
+/// assert!(outcome.mean_node_cost() < 2_000.0 / 4.0);
+/// ```
+#[must_use]
+pub fn execute_kpsy(
+    config: &KpsyConfig,
+    adversary: &mut dyn Adversary,
+) -> (BroadcastOutcome, RunReport) {
+    execute_kpsy_in(config, adversary, &mut KpsyScratch::new())
+}
+
+/// Like [`execute_kpsy`], reusing caller-owned scratch allocations — the
+/// batched-trials entry point.
+#[must_use]
+pub fn execute_kpsy_in(
+    config: &KpsyConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut KpsyScratch,
+) -> (BroadcastOutcome, RunReport) {
+    let seeds = SeedTree::new(config.seed);
+    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
+    let alice_key = authority.issue_key();
+    let verifier = authority.verifier();
+    let signed_m = alice_key.sign(&MessageBytes::from_static(b"kpsy payload m"));
+
+    scratch.roster.clear();
+    scratch.roster.reserve(config.n as usize + 1);
+    scratch.roster.push(KpsyParticipant::Alice(KpsyAlice {
+        signed_m,
+        horizon: config.horizon,
+        plan: EpochPlan::new(),
+        done: false,
+    }));
+    for _ in 0..config.n {
+        scratch.roster.push(KpsyParticipant::Node(KpsyNode {
+            verifier,
+            alice_key: alice_key.id(),
+            horizon: config.horizon,
+            plan: EpochPlan::new(),
+            informed_epoch: u32::MAX,
+            message: None,
+            done: false,
+        }));
+    }
+    scratch.budgets.clear();
+    scratch
+        .budgets
+        .resize(config.n as usize + 1, Budget::unlimited());
+    let engine = ExactEngine::new(EngineConfig {
+        max_slots: config.horizon + 2,
+        trace_capacity: config.trace_capacity,
+        ..EngineConfig::default()
+    });
+    let report = engine.run_with_roster_typed_in(
+        &mut scratch.engine,
+        &mut scratch.roster,
+        &scratch.budgets,
+        config.carol_budget,
+        adversary,
+        &seeds,
+    );
+
+    let outcome = gossip_outcome(config.n, &report);
+    (outcome, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcb_adversary::ContinuousJammer;
+    use rcb_radio::SilentAdversary;
+
+    #[test]
+    fn epoch_geometry() {
+        assert_eq!(epoch_start(1), 0);
+        assert_eq!(epoch_start(2), 2);
+        assert_eq!(epoch_start(3), 6);
+        assert_eq!(epoch_quota(2), 2);
+        // L = 1024: quota = ⌈1024^0.618⌉ = 73.
+        assert_eq!(epoch_quota(1024), 73);
+    }
+
+    #[test]
+    fn quiet_channel_informs_everyone() {
+        let (outcome, _) = execute_kpsy(
+            &KpsyConfig::new(12, 4_000, Budget::unlimited(), 1),
+            &mut SilentAdversary,
+        );
+        assert_eq!(outcome.informed_nodes, 12);
+        assert!(outcome.alice_terminated);
+    }
+
+    #[test]
+    fn node_cost_is_sublinear_in_elapsed_time() {
+        // 2^{e+1} − 2 slots = e whole epochs; per-node cost is
+        // Σ R_e = O(horizon^{φ−1}), far below horizon.
+        let horizon = (1u64 << 13) - 2;
+        let (outcome, _) = execute_kpsy(
+            &KpsyConfig::new(6, horizon, Budget::unlimited(), 5),
+            &mut SilentAdversary,
+        );
+        assert_eq!(outcome.informed_nodes, 6);
+        let bound: u64 = (1..=12u32).map(|e| epoch_quota(1 << e)).sum();
+        assert!(
+            outcome.alice_cost.sends <= bound,
+            "Alice within the quota: {} <= {bound}",
+            outcome.alice_cost.sends
+        );
+        // Quota sum ≈ 334 vs horizon 8190: the φ−1 exponent in action.
+        assert!((bound as f64) < (horizon as f64).powf(0.75));
+    }
+
+    #[test]
+    fn survives_continuous_jamming_past_the_budget() {
+        let t = 2_000u64;
+        let (outcome, _) = execute_kpsy(
+            &KpsyConfig::new(8, 16_000, Budget::limited(t), 7),
+            &mut ContinuousJammer,
+        );
+        assert_eq!(outcome.carol_spend(), t, "she spends it all");
+        assert_eq!(outcome.informed_nodes, 8, "delivery after she is broke");
+        // Resource-competitiveness: mean node spend well below Carol's
+        // (the naive baseline pays ≥ T here; KPSY's listening is
+        // O(T^{φ−1}), plus a relay tail over the remaining epochs).
+        assert!(
+            outcome.mean_node_cost() < t as f64 / 2.0,
+            "mean node cost {} vs T={t}",
+            outcome.mean_node_cost()
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = KpsyConfig::new(6, 2_000, Budget::limited(500), 9);
+        let (a, ra) = execute_kpsy(&cfg, &mut ContinuousJammer);
+        let (b, rb) = execute_kpsy(&cfg, &mut ContinuousJammer);
+        assert_eq!(a.node_costs, b.node_costs);
+        assert_eq!(a.carol_cost, b.carol_cost);
+        assert_eq!(ra.participant_costs, rb.participant_costs);
+    }
+}

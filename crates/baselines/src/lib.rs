@@ -32,11 +32,16 @@
 //!   jamming.
 //! * [`ksy`] — a two-player epoch protocol reproducing the *shape* of
 //!   \[23\]: per-player cost `O(T^{φ−1})` against a continuous jammer.
+//! * [`execute_kpsy`] / [`KpsyConfig`] — the `n`-player KPSY jamming
+//!   defense: doubling epochs with secret `O(L^{φ−1})`-slot activity
+//!   plans, run slot-by-slot on the exact engine against the whole
+//!   adversary zoo.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod epidemic;
+mod kpsy;
 pub mod ksy;
 mod naive;
 
@@ -44,6 +49,7 @@ pub use epidemic::{
     execute_epidemic, execute_epidemic_in, execute_epidemic_soa, execute_epidemic_soa_in,
     EpidemicConfig, EpidemicScratch, EpidemicSoaScratch,
 };
+pub use kpsy::{execute_kpsy, execute_kpsy_in, KpsyConfig, KpsyScratch};
 pub use naive::{
     execute_naive, execute_naive_in, execute_naive_soa, execute_naive_soa_in, NaiveConfig,
     NaiveScratch, NaiveSoaScratch,

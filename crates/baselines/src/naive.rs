@@ -302,6 +302,7 @@ pub fn execute_naive_soa_in(
         relay_p: 0.0,
         hop_channels: false,
         terminate_on_inform: true,
+        epoch_len: 0,
         payload: Payload::Broadcast(signed_m),
     };
     scratch.budgets.clear();

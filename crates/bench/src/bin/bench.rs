@@ -20,12 +20,17 @@
 //! cargo run --release -p rcb-bench --bin bench -- --quick # CI smoke
 //! cargo run --release -p rcb-bench --bin bench -- --out my.json
 //! cargo run --release -p rcb-bench --bin bench -- --sweep # BENCH_6.json
+//! cargo run --release -p rcb-bench --bin bench -- --epoch-hopping # BENCH_8.json
 //! ```
 //!
 //! `--sweep` measures the resident sweep service instead of single-core
 //! engine throughput: one E12-style grid submitted cold (work-stealing
 //! execution + CI-driven early stopping) and then warm (every cell from
 //! the content-addressed cache), emitting `BENCH_6.json`.
+//!
+//! `--epoch-hopping` measures the PR-8 protocol families — epoch-structured
+//! hopping on the era-2 exact engine and the epoch-aware phase lowering,
+//! plus the KPSY listening defense — emitting `BENCH_8.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,7 +38,7 @@ use std::time::Instant;
 use rcb_adversary::StrategySpec;
 use rcb_analysis::sweep_runner::hopping_channel_grid;
 use rcb_core::Params;
-use rcb_sim::{Engine, HoppingSpec, Scenario, ScenarioScratch};
+use rcb_sim::{Engine, EpochHoppingSpec, HoppingSpec, KpsySpec, Scenario, ScenarioScratch};
 use rcb_sweep::{Metric, StopRule, SweepService, SweepSpec};
 
 /// One measured configuration.
@@ -91,6 +96,31 @@ fn scenario(kind: &str, n: u64, channels: u16) -> Scenario {
         // where sleep-skipping (not tighter per-slot code) is the win.
         "sleepskip-broadcast" => Scenario::broadcast(Params::builder(n).build().unwrap())
             .adversary(StrategySpec::Silent)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // Epoch-structured hopping on the era-2 exact engine, swept by a
+        // resonant jammer (dwell = L) — the E17 configuration.
+        "exact-epoch-hopping" => Scenario::epoch_hopping(EpochHoppingSpec::new(n, 4_000, 32))
+            .channels(channels)
+            .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+            .carol_budget(3_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // The epoch-aware phase lowering at broadcast scale.
+        "fast-mc-epoch-hopping" => Scenario::epoch_hopping(EpochHoppingSpec::new(n, 4_000, 32))
+            .engine(Engine::Fast)
+            .channels(channels)
+            .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+            .carol_budget(3_000)
+            .seed(1)
+            .build()
+            .unwrap(),
+        // The KPSY listening defense under continuous jamming.
+        "exact-kpsy" => Scenario::kpsy(KpsySpec { n, horizon: 4_000 })
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(3_000)
             .seed(1)
             .build()
             .unwrap(),
@@ -196,6 +226,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
+    let epoch = args.iter().any(|a| a == "--epoch-hopping");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -204,6 +235,8 @@ fn main() {
         .unwrap_or_else(|| {
             if sweep {
                 "BENCH_6.json".to_string()
+            } else if epoch {
+                "BENCH_8.json".to_string()
             } else {
                 "BENCH_7.json".to_string()
             }
@@ -213,8 +246,39 @@ fn main() {
         return;
     }
 
+    // The PR-8 family group: epoch hopping on both engines plus KPSY.
     // (id, kind, n, channels, full trials, quick trials)
-    let grid: &[(&'static str, &str, u64, u16, u32, u32)] = &[
+    let epoch_grid: &[(&'static str, &str, u64, u16, u32, u32)] = &[
+        (
+            "exact/epoch_hopping/n1024c4",
+            "exact-epoch-hopping",
+            1 << 10,
+            4,
+            8,
+            1,
+        ),
+        (
+            "exact/epoch_hopping/n4096c4",
+            "exact-epoch-hopping",
+            1 << 12,
+            4,
+            4,
+            1,
+        ),
+        (
+            "fast_mc/epoch_hopping/n65536c4",
+            "fast-mc-epoch-hopping",
+            1 << 16,
+            4,
+            64,
+            4,
+        ),
+        ("exact/kpsy/n256", "exact-kpsy", 1 << 8, 1, 24, 2),
+        ("exact/kpsy/n1024", "exact-kpsy", 1 << 10, 1, 8, 1),
+    ];
+
+    // (id, kind, n, channels, full trials, quick trials)
+    let default_grid: &[(&'static str, &str, u64, u16, u32, u32)] = &[
         ("exact/broadcast/n256", "exact-broadcast", 1 << 8, 1, 24, 2),
         ("exact/broadcast/n1024", "exact-broadcast", 1 << 10, 1, 8, 1),
         ("exact/broadcast/n4096", "exact-broadcast", 1 << 12, 1, 4, 1),
@@ -266,6 +330,7 @@ fn main() {
             1,
         ),
     ];
+    let grid = if epoch { epoch_grid } else { default_grid };
 
     let mut entries = Vec::new();
     for &(id, kind, n, channels, full_trials, quick_trials) in grid {

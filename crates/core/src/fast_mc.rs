@@ -45,6 +45,7 @@
 //! [`rcb_radio::Adversary`] — and observes the previous phase only as a
 //! [`PhaseObservation`] rollup (no slot-level clairvoyance).
 
+use rand::Rng;
 use rcb_radio::{ChannelId, ChannelStats, CostBreakdown, PhaseObservation, Spectrum};
 use rcb_rng::{Binomial, SeedTree, SimRng};
 
@@ -412,6 +413,225 @@ pub fn run_fast_mc(
     (outcome, stats)
 }
 
+/// Runs the **epoch-structured** hopping broadcast (the Chen–Zheng
+/// schedule of [`crate::execute_epoch_hopping`]) at phase granularity,
+/// one phase per epoch.
+///
+/// Unlike [`run_fast_mc`], where every device retunes each slot and
+/// per-channel populations are memoryless, the epoch schedule pins each
+/// device to one channel for a whole epoch — so the state carried across
+/// phases is a *per-channel* census: uninformed listeners by channel,
+/// relays by channel, and Alice's channel. Rendezvous probability is
+/// computed per channel from the local sender census rather than from
+/// the `1/C` spectrum average, which is exactly the epoch-aware
+/// rendezvous boost the schedule exists to provide. The listener-side
+/// jam-evasion rule is carried too: a surviving listener detects jamming
+/// on its channel with probability `1 − (1 − listen_p)^{jammed_slots}`
+/// and redraws over the other `C − 1` channels at the boundary, while
+/// undetected survivors and all senders redraw uniformly.
+///
+/// The phase length *is* the epoch length (`config.phase_len` is
+/// ignored); the adversary is consulted once per epoch through the same
+/// [`PhaseJammer`] interface. Collision noise from concurrent correct
+/// senders is not modelled as a detection source — jamming is (the same
+/// simplification the memoryless lowering makes for delivery).
+///
+/// This is the execution engine behind
+/// `rcb_sim::Scenario::epoch_hopping(..).engine(Engine::Fast)`; prefer
+/// the `Scenario` builder in application code.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability, `relay_rate` is negative,
+/// or `epoch_len == 0` (the `Scenario` builder rejects these with typed
+/// errors instead).
+#[must_use]
+pub fn run_fast_mc_epoch(
+    config: &McConfig,
+    epoch_len: u64,
+    spectrum: Spectrum,
+    adversary: &mut dyn PhaseJammer,
+) -> (BroadcastOutcome, Vec<ChannelStats>) {
+    assert!(
+        (0.0..=1.0).contains(&config.listen_p),
+        "listen_p must be a probability"
+    );
+    assert!(
+        config.relay_rate.is_finite() && config.relay_rate >= 0.0,
+        "relay_rate must be nonnegative and finite"
+    );
+    assert!(epoch_len > 0, "epoch_len must be at least one slot");
+
+    let seeds = SeedTree::new(config.seed);
+    let mut rng: SimRng = seeds.stream("fast-mc", 0);
+    let c = spectrum.channel_count() as usize;
+    let n = config.n;
+    let p_r = if n == 0 {
+        0.0
+    } else {
+        (config.relay_rate / n as f64).clamp(0.0, 1.0)
+    };
+
+    // Per-channel census, the epoch schedule's carried state.
+    let mut u_by = split_uniform(&mut rng, n, c);
+    let mut r_by = vec![0u64; c];
+    let mut informed = 0u64;
+    let mut alice = CostBreakdown::default();
+    let mut nodes = CostBreakdown::default();
+    let mut carol = CostBreakdown::default();
+    let mut stats = vec![ChannelStats::default(); c];
+    let mut observation = PhaseObservation::empty(spectrum);
+    let mut full_delivery_phase: Option<u32> = None;
+
+    let mut start = 0u64;
+    let mut phase: u32 = 0;
+    while start < config.horizon {
+        let s = (config.horizon - start).min(epoch_len);
+        let uninformed: u64 = u_by.iter().sum();
+        let budget_remaining = config
+            .carol_budget
+            .map(|cap| cap.saturating_sub(carol.total()));
+        let plan = {
+            let ctx = McPhaseCtx {
+                phase,
+                start_slot: start,
+                phase_len: s,
+                spectrum,
+                budget_remaining,
+                uninformed,
+                informed,
+                observation: &observation,
+            };
+            adversary.plan_phase(&ctx)
+        };
+        let executed = execute_jam(&plan, c, s, budget_remaining);
+        carol.jams += executed.iter().sum::<u64>();
+
+        // Alice holds one uniform channel for the epoch.
+        let alice_ch = if c > 1 { rng.gen_range(0..c) } else { 0 };
+        let alice_sends = sample_bin(&mut rng, s, ALICE_SEND_P);
+        alice.sends += alice_sends;
+        let relay_sends = sample_bin(&mut rng, informed.saturating_mul(s), p_r);
+        let relay_weights: Vec<f64> = r_by.iter().map(|&r| r as f64).collect();
+        let relay_by_channel = split_weighted(&mut rng, relay_sends, &relay_weights);
+
+        // Per-channel rendezvous from the local sender census (no 1/C
+        // spectrum averaging — the whole point of holding a channel).
+        let mut sends_by_channel = vec![0u64; c];
+        let mut listens_by_channel = vec![0u64; c];
+        let mut delivered_by_channel = vec![0u64; c];
+        let mut survivors_by = vec![0u64; c];
+        for ch in 0..c {
+            let r_ch = r_by[ch] as f64;
+            let a_here = if ch == alice_ch { ALICE_SEND_P } else { 0.0 };
+            let p_one = (a_here * (1.0 - p_r).powf(r_ch)
+                + r_ch * p_r * (1.0 - a_here) * (1.0 - p_r).powf((r_ch - 1.0).max(0.0)))
+            .clamp(0.0, 1.0);
+            let clean = 1.0 - executed[ch] as f64 / s as f64;
+            let p_inform = (config.listen_p * p_one * clean).clamp(0.0, 1.0);
+            let p_informed_phase = 1.0 - (1.0 - p_inform).powf(s as f64);
+            let newly = sample_bin(&mut rng, u_by[ch], p_informed_phase);
+            let survivors = u_by[ch] - newly;
+            survivors_by[ch] = survivors;
+
+            let mut listens = sample_bin(&mut rng, survivors.saturating_mul(s), config.listen_p);
+            let mut post_inform_sends = 0u64;
+            if newly > 0 {
+                let e_slot = truncated_geometric_mean(p_inform, s);
+                let p_listen_pre = if p_inform >= 1.0 {
+                    0.0
+                } else {
+                    config.listen_p * (1.0 - p_one * clean) / (1.0 - p_inform)
+                };
+                listens +=
+                    newly + sample_scaled(&mut rng, newly, (e_slot - 1.0).max(0.0), p_listen_pre);
+                post_inform_sends =
+                    sample_scaled(&mut rng, newly, (s as f64 - e_slot).max(0.0), p_r);
+            }
+            nodes.listens += listens;
+            nodes.sends += relay_by_channel[ch] + post_inform_sends;
+            sends_by_channel[ch] = relay_by_channel[ch] + post_inform_sends;
+            listens_by_channel[ch] = listens;
+            delivered_by_channel[ch] = newly;
+            informed += newly;
+        }
+        sends_by_channel[alice_ch] += alice_sends;
+
+        observation.slots = s;
+        observation.correct_sends.copy_from_slice(&sends_by_channel);
+        observation.listens.copy_from_slice(&listens_by_channel);
+        observation.jammed_slots.copy_from_slice(&executed);
+        observation.delivered.copy_from_slice(&delivered_by_channel);
+        for (ch, stat) in stats.iter_mut().enumerate() {
+            stat.correct_sends += sends_by_channel[ch];
+            stat.correct_listens += listens_by_channel[ch];
+            stat.jammed_slots += executed[ch];
+            stat.delivered += delivered_by_channel[ch];
+        }
+
+        // Boundary redraw. Detected survivors (heard the jam) exclude
+        // their channel; everyone else — undetected survivors, relays —
+        // redraws uniformly.
+        if c > 1 {
+            let mut next_u = vec![0u64; c];
+            let mut uniform_pool = 0u64;
+            for ch in 0..c {
+                let p_detect = (1.0 - (1.0 - config.listen_p).powf(executed[ch].min(s) as f64))
+                    .clamp(0.0, 1.0);
+                let detected = sample_bin(&mut rng, survivors_by[ch], p_detect);
+                uniform_pool += survivors_by[ch] - detected;
+                if detected > 0 {
+                    let spread = split_uniform(&mut rng, detected, c - 1);
+                    let mut k = 0;
+                    for (other, slot) in next_u.iter_mut().enumerate() {
+                        if other != ch {
+                            *slot += spread[k];
+                            k += 1;
+                        }
+                    }
+                }
+            }
+            let uniform = split_uniform(&mut rng, uniform_pool, c);
+            for (ch, extra) in uniform.into_iter().enumerate() {
+                next_u[ch] += extra;
+            }
+            u_by = next_u;
+            r_by = split_uniform(&mut rng, informed, c);
+        } else {
+            u_by[0] = survivors_by[0];
+            r_by[0] = informed;
+        }
+
+        if u_by.iter().sum::<u64>() == 0 && full_delivery_phase.is_none() {
+            full_delivery_phase = Some(phase);
+        }
+        start += s;
+        phase += 1;
+    }
+
+    let outcome = BroadcastOutcome {
+        n,
+        informed_nodes: informed,
+        uninformed_terminated: 0,
+        unterminated_nodes: n - informed,
+        alice_terminated: true,
+        alice_cost: alice,
+        node_total_cost: nodes,
+        max_node_cost: None,
+        carol_cost: carol,
+        // Mirror the exact engine: every device terminates at its first
+        // activation past the horizon.
+        slots: config.horizon + 1,
+        // Fast-mc latency proxy: the epoch in which the last node was
+        // informed (or the total epoch count when delivery stayed
+        // incomplete).
+        rounds_entered: full_delivery_phase.unwrap_or(phase),
+        engine: EngineKind::Fast,
+        node_costs: None,
+    };
+    (outcome, stats)
+}
+
 /// Clamps a plan to the phase and to Carol's remaining budget.
 ///
 /// Each channel is capped at `s` slots; if the total still exceeds the
@@ -656,6 +876,69 @@ mod tests {
         assert_eq!(o.slots, 51);
         // 32 + 18 slots = 2 phases.
         assert!(o.rounds_entered <= 2);
+    }
+
+    #[test]
+    fn quiet_epoch_run_informs_everyone_on_any_spectrum() {
+        for channels in [1u16, 2, 8] {
+            let config = McConfig::new(10_000, 4_000, 3);
+            let (o, stats) =
+                run_fast_mc_epoch(&config, 32, Spectrum::new(channels), &mut SilentPhaseJammer);
+            assert!(
+                o.informed_fraction() > 0.99,
+                "C={channels}: {}",
+                o.informed_fraction()
+            );
+            assert_eq!(o.engine, EngineKind::Fast);
+            assert_eq!(o.carol_spend(), 0);
+            assert_eq!(stats.len(), channels as usize);
+            assert_eq!(o.slots, 4_001);
+        }
+    }
+
+    #[test]
+    fn epoch_lowering_scales_to_large_n_quickly() {
+        let config = McConfig::new(1 << 18, 8_000, 5);
+        let (o, _) = run_fast_mc_epoch(&config, 64, Spectrum::new(8), &mut SilentPhaseJammer);
+        assert!(o.informed_fraction() > 0.99);
+    }
+
+    #[test]
+    fn epoch_lowering_deterministic_by_seed() {
+        let config = McConfig::new(5_000, 2_000, 11).carol_budget(1_000);
+        let (a, sa) = run_fast_mc_epoch(&config, 32, Spectrum::new(4), &mut Blanket);
+        let (b, sb) = run_fast_mc_epoch(&config, 32, Spectrum::new(4), &mut Blanket);
+        assert_eq!(a.informed_nodes, b.informed_nodes);
+        assert_eq!(a.node_total_cost, b.node_total_cost);
+        assert_eq!(a.carol_cost, b.carol_cost);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn epoch_lowering_unlimited_blanket_blocks_all_delivery() {
+        let config = McConfig::new(2_000, 2_000, 9);
+        let (o, stats) = run_fast_mc_epoch(&config, 32, Spectrum::new(2), &mut Blanket);
+        assert_eq!(o.informed_nodes, 0);
+        assert_eq!(stats.iter().map(|s| s.delivered).sum::<u64>(), 0);
+        assert!(o.node_total_cost.listens > 0);
+    }
+
+    #[test]
+    fn epoch_lowering_redirects_deliveries_off_a_pinned_channel() {
+        let config = McConfig::new(4_000, 4_000, 13);
+        let (o, stats) = run_fast_mc_epoch(&config, 32, Spectrum::new(4), &mut PinChannelZero);
+        assert!(o.informed_fraction() > 0.95, "{}", o.informed_fraction());
+        assert_eq!(stats[0].delivered, 0, "jammed channel delivers nothing");
+        for (ch, stat) in stats.iter().enumerate().skip(1) {
+            assert!(stat.delivered > 0, "clean channel {ch} delivers");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_len must be at least one slot")]
+    fn epoch_lowering_rejects_zero_epoch_len() {
+        let config = McConfig::new(10, 10, 1);
+        let _ = run_fast_mc_epoch(&config, 0, Spectrum::new(2), &mut SilentPhaseJammer);
     }
 
     #[test]

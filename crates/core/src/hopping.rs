@@ -405,6 +405,7 @@ pub fn execute_hopping_soa_in(
         relay_p: (config.relay_rate / config.n as f64).clamp(0.0, 1.0),
         hop_channels: true,
         terminate_on_inform: false,
+        epoch_len: 0,
         payload: Payload::Broadcast(signed_m),
     };
     scratch.budgets.clear();

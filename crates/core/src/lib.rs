@@ -70,6 +70,7 @@
 
 mod alice;
 mod broadcast;
+mod epoch_hopping;
 mod era2;
 pub mod fast;
 pub mod fast_mc;
@@ -82,6 +83,10 @@ mod schedule;
 
 pub use alice::Alice;
 pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
+pub use epoch_hopping::{
+    execute_epoch_hopping, execute_epoch_hopping_in, execute_epoch_hopping_soa,
+    execute_epoch_hopping_soa_in, EpochHoppingConfig, EpochHoppingScratch, EpochHoppingSoaScratch,
+};
 pub use era2::BroadcastSoaScratch;
 pub use hopping::{
     execute_hopping, execute_hopping_in, execute_hopping_soa, execute_hopping_soa_in,

@@ -186,6 +186,16 @@ pub struct GossipSpec {
     /// uninformed nodes keep listening past the horizon (up to the
     /// engine's slot cap) instead of stopping at the horizon.
     pub terminate_on_inform: bool,
+    /// Epoch length in slots for epoch-structured hopping (the
+    /// Chen–Zheng 2019 schedule). When nonzero (requires
+    /// `hop_channels`), every device holds one channel for `epoch_len`
+    /// consecutive slots and redraws only at epoch boundaries; an
+    /// uninformed node that sampled noise on its channel during an
+    /// epoch excludes that channel from its next draw (listener-side
+    /// jam evasion — senders redraw uniformly, since a half-duplex
+    /// radio senses nothing while transmitting). `0` disables the
+    /// epoch structure (memoryless per-action hopping).
+    pub epoch_len: u64,
     /// The frame Alice transmits and informed nodes relay.
     pub payload: Payload,
 }
@@ -209,6 +219,9 @@ pub struct GossipSoaScratch {
     wake: WakeQueue,
     due: Vec<(u64, u32)>,
     ids: Vec<u32>,
+    epoch_channel: Vec<u16>,
+    epoch_detected: Vec<bool>,
+    epoch_noisy: Vec<u64>,
 }
 
 impl GossipSoaScratch {
@@ -281,6 +294,50 @@ fn settle_inert(
     }
 }
 
+/// Epoch-mode settlement: a dormant node's deferred listens within one
+/// epoch all land on its epoch channel, so the multinomial split of
+/// [`settle_inert`] collapses to two binomials — one over the epoch's
+/// noisy inert slots (which doubles as the node's jam-detection sample)
+/// and one over the quiet remainder. Returns whether any noisy slot was
+/// sampled.
+fn settle_epoch_inert(
+    ledger: &mut EnergyLedger,
+    rng: &mut CounterRng,
+    node: u32,
+    channel: u16,
+    inert: u64,
+    noisy: u64,
+    listen_p: f64,
+) -> bool {
+    if inert == 0 || listen_p <= 0.0 {
+        return false;
+    }
+    let noisy = noisy.min(inert);
+    let draw = |rng: &mut CounterRng, trials: u64| -> u64 {
+        if trials == 0 {
+            0
+        } else if listen_p >= 1.0 {
+            trials
+        } else {
+            Binomial::new(trials, listen_p)
+                .expect("listen_p is a probability")
+                .sample(rng)
+        }
+    };
+    let heard_noise = draw(rng, noisy);
+    let quiet = draw(rng, inert - noisy);
+    let total = heard_noise + quiet;
+    if total > 0 {
+        ledger.charge_participant_many_on(
+            node as usize,
+            Op::Listen,
+            total,
+            ChannelId::new(channel),
+        );
+    }
+    heard_noise > 0
+}
+
 /// Runs a gossip-shaped broadcast on the sleep-skipping engine and
 /// returns a [`RunReport`] of the era-1 shape.
 ///
@@ -317,6 +374,10 @@ pub fn run_gossip_soa_in(
     ] {
         assert!((0.0..=1.0).contains(&p), "{label} must be a probability");
     }
+    assert!(
+        spec.epoch_len == 0 || spec.hop_channels,
+        "epoch_len requires hop_channels"
+    );
     let spectrum = config.spectrum;
     let channels = spectrum.channel_count();
     let hop = spec.hop_channels;
@@ -338,6 +399,9 @@ pub fn run_gossip_soa_in(
         wake,
         due,
         ids,
+        epoch_channel,
+        epoch_detected,
+        epoch_noisy,
     } = scratch;
 
     // Re-shape every buffer in place (allocation-free once warm).
@@ -364,6 +428,19 @@ pub fn run_gossip_soa_in(
         pool_pos[node as usize] = pos as u32;
     }
     wake.reset(n + 1, spec.horizon);
+    // Epoch-structured hopping: with one channel the schedule degenerates
+    // to single-channel gossip and draws nothing — the stream stays
+    // identical to the memoryless C=1 run.
+    let epoch_mode = spec.epoch_len > 0 && hop && channels > 1;
+    epoch_channel.clear();
+    epoch_detected.clear();
+    epoch_noisy.clear();
+    let mut epoch_inert = 0u64;
+    if epoch_mode {
+        epoch_channel.extend((0..=n).map(|i| rngs[i].gen_range(0..channels)));
+        epoch_detected.resize(n + 1, false);
+        epoch_noisy.resize(channels as usize, 0);
+    }
     let mut trace = Trace::with_capacity(config.trace_capacity);
 
     let alice_geo = (spec.alice_send_p > 0.0)
@@ -396,6 +473,47 @@ pub fn run_gossip_soa_in(
         if config.stop_when_all_terminated && alice_terminated && nodes_terminated {
             break StopReason::AllTerminated;
         }
+        // Epoch boundary: settle every dormant node's deferred listens
+        // for the finished epoch and redraw channels, in roster order.
+        // An uninformed node that sampled noise evades its old channel;
+        // everyone else redraws uniformly.
+        if epoch_mode && slot_idx > 0 && slot_idx.is_multiple_of(spec.epoch_len) {
+            for node in 0..=n as u32 {
+                let i = node as usize;
+                let prev = epoch_channel[i];
+                if node > 0 && pool_pos[i] != u32::MAX {
+                    let heard = settle_epoch_inert(
+                        ledger,
+                        &mut rngs[i],
+                        node,
+                        prev,
+                        epoch_inert,
+                        epoch_noisy[prev as usize],
+                        spec.listen_p,
+                    );
+                    let detected = epoch_detected[i] || heard;
+                    let rng = &mut rngs[i];
+                    epoch_channel[i] = if detected {
+                        let r = rng.gen_range(0..channels - 1);
+                        if r >= prev {
+                            r + 1
+                        } else {
+                            r
+                        }
+                    } else {
+                        rng.gen_range(0..channels)
+                    };
+                } else {
+                    epoch_channel[i] = rngs[i].gen_range(0..channels);
+                }
+                epoch_detected[i] = false;
+            }
+            epoch_inert = 0;
+            for count in epoch_noisy.iter_mut() {
+                *count = 0;
+            }
+        }
+
         let slot = Slot::new(slot_idx);
         load.clear();
         correct_sends.clear();
@@ -408,7 +526,11 @@ pub fn run_gossip_soa_in(
         wake.drain_due(slot_idx, due);
         for &(_, node) in due.iter() {
             let rng = &mut rngs[node as usize];
-            let channel = pick_channel(rng, hop, channels);
+            let channel = if epoch_mode {
+                ChannelId::new(epoch_channel[node as usize])
+            } else {
+                pick_channel(rng, hop, channels)
+            };
             if ledger
                 .charge_participant_on(node as usize, Op::Send, channel)
                 .is_charged()
@@ -506,7 +628,11 @@ pub fn run_gossip_soa_in(
                 ids.sort_unstable();
                 for &node in ids.iter() {
                     let rng = &mut rngs[node as usize];
-                    let channel = pick_channel(rng, hop, channels);
+                    let channel = if epoch_mode {
+                        ChannelId::new(epoch_channel[node as usize])
+                    } else {
+                        pick_channel(rng, hop, channels)
+                    };
                     if ledger
                         .charge_participant_on(node as usize, Op::Listen, channel)
                         .is_charged()
@@ -516,6 +642,9 @@ pub fn run_gossip_soa_in(
                 }
                 for &(pid, channel) in listeners.iter() {
                     let reception = resolve_for_listener_on(pid, channel, load, executed_jam);
+                    if epoch_mode && reception.is_noisy() {
+                        epoch_detected[pid.index() as usize] = true;
+                    }
                     if let Reception::Frame(payload) = reception {
                         delivered += 1;
                         delivered_by_channel[channel.index() as usize] += 1;
@@ -529,15 +658,31 @@ pub fn run_gossip_soa_in(
                                 pool_pos[pool[pos] as usize] = pos as u32;
                             }
                             pool_pos[node as usize] = u32::MAX;
-                            settle_inert(
-                                ledger,
-                                &mut rngs[node as usize],
-                                node,
-                                inert_slots,
-                                spec.listen_p,
-                                hop,
-                                channels,
-                            );
+                            if epoch_mode {
+                                // Prior epochs settled at their
+                                // boundaries; only the current epoch's
+                                // inert listens remain.
+                                let ch = epoch_channel[node as usize];
+                                let _ = settle_epoch_inert(
+                                    ledger,
+                                    &mut rngs[node as usize],
+                                    node,
+                                    ch,
+                                    epoch_inert,
+                                    epoch_noisy[ch as usize],
+                                    spec.listen_p,
+                                );
+                            } else {
+                                settle_inert(
+                                    ledger,
+                                    &mut rngs[node as usize],
+                                    node,
+                                    inert_slots,
+                                    spec.listen_p,
+                                    hop,
+                                    channels,
+                                );
+                            }
                             if !spec.terminate_on_inform {
                                 if let Some(geo) = &relay_geo {
                                     let gap = geo.sample(&mut rngs[node as usize]);
@@ -552,6 +697,21 @@ pub fn run_gossip_soa_in(
                 }
             } else {
                 inert_slots += 1;
+                if epoch_mode {
+                    // Track which channels a deferred listener would have
+                    // heard noise on: blanket jam, or any transmission
+                    // (an inert slot's lone transmissions are exactly the
+                    // blanket-jammed ones; ≥ 2 collide).
+                    epoch_inert += 1;
+                    for c in 0..channels {
+                        let ch = ChannelId::new(c);
+                        if !load.on(ch).is_empty()
+                            || matches!(executed_jam.directive_on(ch), JamDirective::All)
+                        {
+                            epoch_noisy[c as usize] += 1;
+                        }
+                    }
+                }
             }
         }
 
@@ -581,18 +741,32 @@ pub fn run_gossip_soa_in(
     };
 
     // Nodes still dormant at the end settle their deferred listens now,
-    // in roster order.
+    // in roster order (epoch mode: only the final partial epoch is
+    // outstanding — earlier epochs settled at their boundaries).
     for node in 1..=n as u32 {
         if pool_pos[node as usize] != u32::MAX {
-            settle_inert(
-                ledger,
-                &mut rngs[node as usize],
-                node,
-                inert_slots,
-                spec.listen_p,
-                hop,
-                channels,
-            );
+            if epoch_mode {
+                let ch = epoch_channel[node as usize];
+                let _ = settle_epoch_inert(
+                    ledger,
+                    &mut rngs[node as usize],
+                    node,
+                    ch,
+                    epoch_inert,
+                    epoch_noisy[ch as usize],
+                    spec.listen_p,
+                );
+            } else {
+                settle_inert(
+                    ledger,
+                    &mut rngs[node as usize],
+                    node,
+                    inert_slots,
+                    spec.listen_p,
+                    hop,
+                    channels,
+                );
+            }
         }
     }
 
@@ -650,6 +824,7 @@ mod tests {
             relay_p: 1.0 / n as f64,
             hop_channels: false,
             terminate_on_inform: false,
+            epoch_len: 0,
             payload: Payload::Nack,
         }
     }
@@ -840,6 +1015,7 @@ mod tests {
             relay_p: 0.0,
             hop_channels: false,
             terminate_on_inform: true,
+            epoch_len: 0,
             payload: Payload::Nack,
         };
         let report = run(
@@ -880,6 +1056,7 @@ mod tests {
             relay_p: 0.0,
             hop_channels: false,
             terminate_on_inform: true,
+            epoch_len: 0,
             payload: Payload::Nack,
         };
         let report = run(

@@ -15,6 +15,8 @@
 //! | [`Scenario::epidemic`] (gossip) | `Exact` | 1 | schedule-free single-channel strategies |
 //! | [`Scenario::ksy`] (two-player \[23\]) | `Exact` | 1 | `Silent`, `Continuous` (budget required) |
 //! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact`, `Fast` (the phase-level `fast_mc` spectrum simulator) | `C ≥ 1` via [`ScenarioBuilder::channels`] | `Exact`: schedule-free strategies incl. the channel-aware family; `Fast`: the channel-aware family plus `Silent`/`Continuous` |
+//! | [`Scenario::epoch_hopping`] (Chen–Zheng epoch schedule) | `Exact`, `Fast` (one phase per epoch) | `C ≥ 1` via [`ScenarioBuilder::channels`] | same as `hopping`; the `phase_len` knob is rejected (`epoch_len` *is* the phase length) |
+//! | [`Scenario::kpsy`] (KPSY `n`-player jamming defense) | `Exact` only (sparse secret schedules have no phase-level aggregate) | 1 | schedule-free single-channel strategies |
 //!
 //! Invalid combinations are rejected at [`ScenarioBuilder::build`] with a
 //! typed [`ScenarioError`] — never a mid-run panic. That includes the
@@ -126,8 +128,8 @@ mod scenario;
 pub use batch::{run_trials, run_trials_scoped, run_trials_scoped_with, THREADS_ENV_VAR};
 pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
-    Engine, EngineEra, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, ProtocolKind, Scenario,
-    ScenarioBuilder, ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
+    Engine, EngineEra, EpidemicSpec, EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec,
+    ProtocolKind, Scenario, ScenarioBuilder, ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
 };
 
 // The strategy vocabulary is part of this crate's API surface.

@@ -6,16 +6,17 @@ use std::fmt;
 use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{
-    execute_epidemic_in, execute_epidemic_soa_in, execute_naive_in, execute_naive_soa_in,
-    EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, NaiveConfig, NaiveScratch,
-    NaiveSoaScratch,
+    execute_epidemic_in, execute_epidemic_soa_in, execute_kpsy_in, execute_naive_in,
+    execute_naive_soa_in, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, KpsyConfig,
+    KpsyScratch, NaiveConfig, NaiveScratch, NaiveSoaScratch,
 };
 use rcb_core::fast::{run_fast, FastConfig};
-use rcb_core::fast_mc::{run_fast_mc, McConfig};
+use rcb_core::fast_mc::{run_fast_mc, run_fast_mc_epoch, McConfig};
 use rcb_core::{
-    execute_hopping_in, execute_hopping_soa_in, BroadcastOutcome, BroadcastScratch,
-    BroadcastSoaScratch, EngineKind, HoppingConfig, HoppingScratch, HoppingSoaScratch, Params,
-    RunConfig,
+    execute_epoch_hopping_in, execute_epoch_hopping_soa_in, execute_hopping_in,
+    execute_hopping_soa_in, BroadcastOutcome, BroadcastScratch, BroadcastSoaScratch, EngineKind,
+    EpochHoppingConfig, EpochHoppingScratch, EpochHoppingSoaScratch, HoppingConfig, HoppingScratch,
+    HoppingSoaScratch, Params, RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
 
@@ -86,6 +87,12 @@ pub enum ProtocolKind {
     Ksy,
     /// Multi-channel epidemic-style random-hopping broadcast.
     Hopping,
+    /// Epoch-structured multi-channel hopping (the Chen–Zheng schedule:
+    /// channels held for `epoch_len` slots, redrawn at boundaries).
+    EpochHopping,
+    /// The King–Pettie–Saia–Young `n`-player resource-competitive
+    /// jamming defense (doubling epochs, secret sparse activity plans).
+    Kpsy,
 }
 
 impl ProtocolKind {
@@ -94,7 +101,7 @@ impl ProtocolKind {
     /// channel-aware adversary strategies).
     #[must_use]
     pub fn supports_channels(self) -> bool {
-        matches!(self, ProtocolKind::Hopping)
+        matches!(self, ProtocolKind::Hopping | ProtocolKind::EpochHopping)
     }
 }
 
@@ -106,6 +113,8 @@ impl fmt::Display for ProtocolKind {
             ProtocolKind::Epidemic => "epidemic",
             ProtocolKind::Ksy => "ksy",
             ProtocolKind::Hopping => "hopping",
+            ProtocolKind::EpochHopping => "epoch-hopping",
+            ProtocolKind::Kpsy => "kpsy",
         })
     }
 }
@@ -176,6 +185,51 @@ impl HoppingSpec {
     }
 }
 
+/// Configuration for [`Scenario::epoch_hopping`] — the epoch-structured
+/// multi-channel broadcast of Chen–Zheng (budget, seed, and channel
+/// count come from the builder; see [`ScenarioBuilder::channels`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochHoppingSpec {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop.
+    pub horizon: u64,
+    /// Per-slot listen probability of uninformed nodes.
+    pub listen_p: f64,
+    /// Relay probability is `relay_rate / n`.
+    pub relay_rate: f64,
+    /// Epoch length `L` in slots: every device holds its channel for `L`
+    /// consecutive slots and redraws only at epoch boundaries.
+    /// [`ScenarioBuilder::build`] rejects 0 with
+    /// [`ScenarioError::InvalidConfig`].
+    pub epoch_len: u64,
+}
+
+impl EpochHoppingSpec {
+    /// The default gossip shape: `listen_p = 0.5`, `relay_rate = 1.0`.
+    #[must_use]
+    pub fn new(n: u64, horizon: u64, epoch_len: u64) -> Self {
+        Self {
+            n,
+            horizon,
+            listen_p: 0.5,
+            relay_rate: 1.0,
+            epoch_len,
+        }
+    }
+}
+
+/// Configuration for [`Scenario::kpsy`] — the `n`-player KPSY jamming
+/// defense (budget and seed come from the builder).
+#[derive(Debug, Clone, Copy)]
+pub struct KpsySpec {
+    /// Number of receiver nodes.
+    pub n: u64,
+    /// Hard stop. Epochs double, so a horizon of `2^{e+1} − 2` runs
+    /// exactly `e` whole epochs.
+    pub horizon: u64,
+}
+
 /// Configuration for [`Scenario::ksy`] (the jamming budget `T` comes from
 /// the builder's `carol_budget`).
 #[derive(Debug, Clone, Copy)]
@@ -197,6 +251,8 @@ enum ProtocolSpec {
     Epidemic(EpidemicSpec),
     Ksy(KsySpec),
     Hopping(HoppingSpec),
+    EpochHopping(EpochHoppingSpec),
+    Kpsy(KpsySpec),
 }
 
 impl ProtocolSpec {
@@ -207,6 +263,8 @@ impl ProtocolSpec {
             ProtocolSpec::Epidemic(_) => ProtocolKind::Epidemic,
             ProtocolSpec::Ksy(_) => ProtocolKind::Ksy,
             ProtocolSpec::Hopping(_) => ProtocolKind::Hopping,
+            ProtocolSpec::EpochHopping(_) => ProtocolKind::EpochHopping,
+            ProtocolSpec::Kpsy(_) => ProtocolKind::Kpsy,
         }
     }
 }
@@ -385,6 +443,9 @@ pub struct ScenarioScratch {
     hopping_soa: HoppingSoaScratch,
     naive_soa: NaiveSoaScratch,
     epidemic_soa: EpidemicSoaScratch,
+    epoch_hopping: EpochHoppingScratch,
+    epoch_hopping_soa: EpochHoppingSoaScratch,
+    kpsy: KpsyScratch,
 }
 
 impl ScenarioScratch {
@@ -425,6 +486,23 @@ impl Scenario {
     #[must_use]
     pub fn hopping(spec: HoppingSpec) -> ScenarioBuilder {
         ScenarioBuilder::new(ProtocolSpec::Hopping(spec))
+    }
+
+    /// Starts building an epoch-structured hopping scenario — the
+    /// Chen–Zheng schedule, where each device holds its channel for
+    /// `spec.epoch_len` slots (set the channel count with
+    /// [`ScenarioBuilder::channels`]).
+    #[must_use]
+    pub fn epoch_hopping(spec: EpochHoppingSpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::EpochHopping(spec))
+    }
+
+    /// Starts building a KPSY jamming-defense scenario: `n` players with
+    /// secret `O(L^{φ−1})`-slot activity plans per doubling epoch, on
+    /// the exact engine only.
+    #[must_use]
+    pub fn kpsy(spec: KpsySpec) -> ScenarioBuilder {
+        ScenarioBuilder::new(ProtocolSpec::Kpsy(spec))
     }
 
     /// Which protocol this scenario runs.
@@ -508,6 +586,8 @@ impl Scenario {
             ProtocolSpec::Epidemic(spec) => self.run_epidemic(scratch, *spec, seed),
             ProtocolSpec::Ksy(spec) => self.run_ksy(*spec, seed),
             ProtocolSpec::Hopping(spec) => self.run_hopping(scratch, *spec, seed),
+            ProtocolSpec::EpochHopping(spec) => self.run_epoch_hopping(scratch, *spec, seed),
+            ProtocolSpec::Kpsy(spec) => self.run_kpsy(scratch, *spec, seed),
         }
     }
 
@@ -659,6 +739,105 @@ impl Scenario {
         let mut outcome = self.outcome(broadcast, seed, None);
         outcome.channel_stats = Some(channel_stats);
         outcome
+    }
+
+    fn run_epoch_hopping(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: EpochHoppingSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
+        match self.engine {
+            Engine::Exact => self.run_epoch_hopping_exact(scratch, spec, seed),
+            Engine::Fast => self.run_epoch_hopping_fast(spec, seed),
+        }
+    }
+
+    fn run_epoch_hopping_exact(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: EpochHoppingSpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
+        let config = EpochHoppingConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            epoch_len: spec.epoch_len,
+            carol_budget: self.carol_budget_as_budget(),
+            trace_capacity: self.trace_capacity,
+            seed,
+        };
+        let mut adversary = self
+            .adversary
+            .schedule_free_slot_adversary_on(self.spectrum(), seed)
+            .expect("validated at build: strategy is schedule-free");
+        let (broadcast, report) = match self.era {
+            EngineEra::Era2 => execute_epoch_hopping_soa_in(
+                &config,
+                self.spectrum(),
+                adversary.as_mut(),
+                &mut scratch.epoch_hopping_soa,
+            ),
+            EngineEra::Era1 => execute_epoch_hopping_in(
+                &config,
+                self.spectrum(),
+                adversary.as_mut(),
+                &mut scratch.epoch_hopping,
+            ),
+        };
+        self.exact_outcome(broadcast, report, seed)
+    }
+
+    /// The epoch-aware phase lowering (`rcb_core::fast_mc`): one phase
+    /// per epoch, per-channel rendezvous from the held-channel census.
+    /// The epoch length *is* the phase length, so the `phase_len` knob
+    /// is rejected at build time for this protocol.
+    fn run_epoch_hopping_fast(&self, spec: EpochHoppingSpec, seed: u64) -> ScenarioOutcome {
+        let config = McConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            phase_len: spec.epoch_len,
+            carol_budget: self.carol_budget,
+            seed,
+        };
+        let mut jammer = self
+            .adversary
+            .phase_jammer(self.spectrum(), seed)
+            .expect("validated at build: strategy has a phase-mc model");
+        let (broadcast, channel_stats) =
+            run_fast_mc_epoch(&config, spec.epoch_len, self.spectrum(), jammer.as_mut());
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.channel_stats = Some(channel_stats);
+        outcome
+    }
+
+    /// KPSY runs slot-by-slot on the exact roster engine in **both**
+    /// eras: its sparse secret schedules defeat the SoA engine's
+    /// aggregated listener settlement, so there is deliberately one
+    /// slot-level implementation (see `rcb_baselines::execute_kpsy`).
+    fn run_kpsy(
+        &self,
+        scratch: &mut ScenarioScratch,
+        spec: KpsySpec,
+        seed: u64,
+    ) -> ScenarioOutcome {
+        let config = KpsyConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            carol_budget: self.carol_budget_as_budget(),
+            trace_capacity: self.trace_capacity,
+            seed,
+        };
+        let (broadcast, report) = execute_kpsy_in(
+            &config,
+            self.schedule_free_adversary(seed).as_mut(),
+            &mut scratch.kpsy,
+        );
+        self.exact_outcome(broadcast, report, seed)
     }
 
     /// Folds an exact-engine report's extras into the outcome.
@@ -965,7 +1144,7 @@ impl ScenarioBuilder {
                         });
                     }
                 }
-                ProtocolKind::Hopping => {
+                ProtocolKind::Hopping | ProtocolKind::EpochHopping => {
                     if !self.adversary.supports_phase_mc() && !self.adversary.requires_schedule() {
                         return Err(ScenarioError::SlotOnlyStrategy {
                             strategy: self.adversary.name(),
@@ -1054,7 +1233,11 @@ impl ScenarioBuilder {
         // Protocol × adversary.
         match protocol {
             ProtocolKind::Broadcast => {}
-            ProtocolKind::Naive | ProtocolKind::Epidemic | ProtocolKind::Hopping => {
+            ProtocolKind::Naive
+            | ProtocolKind::Epidemic
+            | ProtocolKind::Hopping
+            | ProtocolKind::EpochHopping
+            | ProtocolKind::Kpsy => {
                 if self.adversary.requires_schedule() {
                     return Err(ScenarioError::ScheduleBoundStrategy {
                         protocol,
@@ -1101,9 +1284,17 @@ impl ScenarioBuilder {
         };
 
         // Protocol-spec value validation.
+        if let ProtocolSpec::EpochHopping(spec) = &self.protocol {
+            if spec.epoch_len == 0 {
+                return Err(ScenarioError::InvalidConfig(
+                    "epoch-hopping epoch_len must be at least one slot".into(),
+                ));
+            }
+        }
         let gossip_shape = match &self.protocol {
             ProtocolSpec::Epidemic(spec) => Some((protocol, spec.listen_p, spec.relay_rate)),
             ProtocolSpec::Hopping(spec) => Some((protocol, spec.listen_p, spec.relay_rate)),
+            ProtocolSpec::EpochHopping(spec) => Some((protocol, spec.listen_p, spec.relay_rate)),
             _ => None,
         };
         if let Some((protocol, listen_p, relay_rate)) = gossip_shape {

@@ -222,6 +222,19 @@ fn encode_protocol(enc: &mut Encoder, protocol: &ProtocolSpec) {
             enc.f64(spec.listen_p);
             enc.f64(spec.relay_rate);
         }
+        ProtocolSpec::EpochHopping(spec) => {
+            enc.u8(5);
+            enc.u64(spec.n);
+            enc.u64(spec.horizon);
+            enc.f64(spec.listen_p);
+            enc.f64(spec.relay_rate);
+            enc.u64(spec.epoch_len);
+        }
+        ProtocolSpec::Kpsy(spec) => {
+            enc.u8(6);
+            enc.u64(spec.n);
+            enc.u64(spec.horizon);
+        }
     }
 }
 
@@ -327,7 +340,7 @@ pub fn fingerprint(spec: &ScenarioSpec) -> Fingerprint {
 mod tests {
     use super::*;
     use rcb_core::Params;
-    use rcb_sim::{HoppingSpec, KsySpec, NaiveSpec};
+    use rcb_sim::{EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec};
 
     fn hopping_cell() -> ScenarioSpec {
         ScenarioSpec::hopping(HoppingSpec::new(64, 4_000))
@@ -395,6 +408,27 @@ mod tests {
                     .carol_budget(5_000)
                     .seed(11),
                 "be74e98c96368378c9315da8ab740b9a",
+            ),
+            // PR-8 additions: the new protocol discriminants (5 and 6)
+            // are appended, so every pre-existing pin above is untouched
+            // — the proof that this PR needed no ENGINE_ERA bump.
+            (
+                ScenarioSpec::epoch_hopping(EpochHoppingSpec::new(64, 4_000, 32))
+                    .channels(4)
+                    .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+                    .carol_budget(2_000)
+                    .seed(7),
+                "2f0b999ba426bd4b8bfd0a86e9589760",
+            ),
+            (
+                ScenarioSpec::kpsy(KpsySpec {
+                    n: 8,
+                    horizon: 2_000,
+                })
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(500)
+                .seed(11),
+                "5766c7c3b3b68131f496da3dc62cf15a",
             ),
         ];
         for (spec, expect) in pins {

@@ -4,8 +4,8 @@
 use rcb_adversary::StrategySpec;
 use rcb_core::Params;
 use rcb_sim::{
-    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, Scenario, ScenarioError,
-    DEFAULT_MC_PHASE_LEN,
+    Engine, EpidemicSpec, EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec, Scenario,
+    ScenarioError, DEFAULT_MC_PHASE_LEN,
 };
 
 /// The protocol half of a [`ScenarioSpec`]: the same vocabulary as the
@@ -23,6 +23,10 @@ pub enum ProtocolSpec {
     Ksy(KsySpec),
     /// Multi-channel epidemic-style random-hopping broadcast.
     Hopping(HoppingSpec),
+    /// Epoch-structured multi-channel hopping (the Chen–Zheng schedule).
+    EpochHopping(EpochHoppingSpec),
+    /// The KPSY `n`-player resource-competitive jamming defense.
+    Kpsy(KpsySpec),
 }
 
 impl ProtocolSpec {
@@ -35,6 +39,8 @@ impl ProtocolSpec {
             ProtocolSpec::Epidemic(_) => "epidemic",
             ProtocolSpec::Ksy(_) => "ksy",
             ProtocolSpec::Hopping(_) => "hopping",
+            ProtocolSpec::EpochHopping(_) => "epoch-hopping",
+            ProtocolSpec::Kpsy(_) => "kpsy",
         }
     }
 
@@ -47,6 +53,8 @@ impl ProtocolSpec {
             ProtocolSpec::Epidemic(spec) => spec.n,
             ProtocolSpec::Ksy(_) => 1,
             ProtocolSpec::Hopping(spec) => spec.n,
+            ProtocolSpec::EpochHopping(spec) => spec.n,
+            ProtocolSpec::Kpsy(spec) => spec.n,
         }
     }
 }
@@ -140,6 +148,18 @@ impl ScenarioSpec {
         Self::new(ProtocolSpec::Hopping(spec))
     }
 
+    /// Starts an epoch-structured hopping cell.
+    #[must_use]
+    pub fn epoch_hopping(spec: EpochHoppingSpec) -> Self {
+        Self::new(ProtocolSpec::EpochHopping(spec))
+    }
+
+    /// Starts a KPSY jamming-defense cell.
+    #[must_use]
+    pub fn kpsy(spec: KpsySpec) -> Self {
+        Self::new(ProtocolSpec::Kpsy(spec))
+    }
+
     /// Selects the engine (default [`Engine::Exact`]).
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
@@ -189,10 +209,13 @@ impl ScenarioSpec {
     /// "default" and "explicitly the default" cannot key differently.
     #[must_use]
     pub fn canonical_phase_len(&self) -> u64 {
-        if self.engine == Engine::Fast && matches!(self.protocol, ProtocolSpec::Hopping(_)) {
-            self.phase_len.unwrap_or(DEFAULT_MC_PHASE_LEN)
-        } else {
-            0
+        match &self.protocol {
+            ProtocolSpec::Hopping(_) if self.engine == Engine::Fast => {
+                self.phase_len.unwrap_or(DEFAULT_MC_PHASE_LEN)
+            }
+            // The epoch schedule's phase length IS the epoch length,
+            // which the protocol encoding already hashes.
+            _ => 0,
         }
     }
 
@@ -210,6 +233,8 @@ impl ScenarioSpec {
             ProtocolSpec::Epidemic(spec) => Scenario::epidemic(*spec),
             ProtocolSpec::Ksy(spec) => Scenario::ksy(*spec),
             ProtocolSpec::Hopping(spec) => Scenario::hopping(*spec),
+            ProtocolSpec::EpochHopping(spec) => Scenario::epoch_hopping(*spec),
+            ProtocolSpec::Kpsy(spec) => Scenario::kpsy(*spec),
         };
         builder = builder
             .engine(self.engine)

@@ -13,7 +13,8 @@
 use evildoers::adversary::StrategySpec;
 use evildoers::core::{Params, Variant};
 use evildoers::sim::{
-    Engine, EpidemicSpec, HoppingSpec, KsySpec, NaiveSpec, Scenario, ScenarioOutcome,
+    Engine, EpidemicSpec, EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec, Scenario,
+    ScenarioOutcome,
 };
 
 fn assert_identical(a: &ScenarioOutcome, b: &ScenarioOutcome, label: &str) {
@@ -136,6 +137,42 @@ fn every_protocol_engine_combination_is_deterministic() {
                 .seed(11)
                 .build()
                 .unwrap(),
+        ),
+        (
+            "epoch-hopping-c4/sweep",
+            Scenario::epoch_hopping(EpochHoppingSpec::new(16, 2_000, 32))
+                .channels(4)
+                .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+                .carol_budget(400)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "epoch-hopping-c4/fast-mc",
+            Scenario::epoch_hopping(EpochHoppingSpec::new(4_096, 2_000, 32))
+                .engine(Engine::Fast)
+                .channels(4)
+                .adversary(StrategySpec::Adaptive {
+                    window: 8,
+                    reactivity: 0.5,
+                })
+                .carol_budget(400)
+                .seed(11)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "kpsy/continuous",
+            Scenario::kpsy(KpsySpec {
+                n: 12,
+                horizon: 2_000,
+            })
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(500)
+            .seed(11)
+            .build()
+            .unwrap(),
         ),
     ];
     for (label, scenario) in &scenarios {
@@ -331,6 +368,57 @@ fn sweep_sharding_is_invisible_at_any_worker_count_and_shard_size() {
                      byte-identical to the sequential pass for {}",
                     cell.spec.label()
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_hopping_and_kpsy_batches_are_worker_count_invariant() {
+    // The PR-8 rosters join the same scheduling-invariance bar: batch
+    // outcomes are defined by derived per-trial seeds, not by how the
+    // worker pool interleaved them — for the era-2 epoch-hopping SoA
+    // driver and for the slot-level KPSY roster alike.
+    type ScenarioBuild = Box<dyn Fn(Option<usize>) -> Scenario>;
+    let builds: Vec<(&str, ScenarioBuild)> = vec![
+        (
+            "epoch-hopping-c4",
+            Box::new(|threads| {
+                let mut b = Scenario::epoch_hopping(EpochHoppingSpec::new(16, 2_000, 32))
+                    .channels(4)
+                    .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+                    .carol_budget(400)
+                    .seed(17);
+                if let Some(workers) = threads {
+                    b = b.threads(workers);
+                }
+                b.build().unwrap()
+            }),
+        ),
+        (
+            "kpsy",
+            Box::new(|threads| {
+                let mut b = Scenario::kpsy(KpsySpec {
+                    n: 12,
+                    horizon: 2_000,
+                })
+                .adversary(StrategySpec::Continuous)
+                .carol_budget(500)
+                .seed(17);
+                if let Some(workers) = threads {
+                    b = b.threads(workers);
+                }
+                b.build().unwrap()
+            }),
+        ),
+    ];
+    for (label, build) in &builds {
+        let reference = build(None).run_batch(5);
+        for threads in [1usize, 2, 5] {
+            let overridden = build(Some(threads)).run_batch(5);
+            assert_eq!(overridden.len(), reference.len());
+            for (a, b) in overridden.iter().zip(&reference) {
+                assert_identical(a, b, &format!("{label} threads={threads}"));
             }
         }
     }

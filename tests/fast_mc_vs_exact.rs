@@ -9,7 +9,7 @@
 
 use evildoers::adversary::StrategySpec;
 use evildoers::rng::stats::RunningStats;
-use evildoers::sim::{Engine, HoppingSpec, Scenario};
+use evildoers::sim::{Engine, EpochHoppingSpec, HoppingSpec, Scenario};
 
 struct Agreement {
     exact_informed: RunningStats,
@@ -157,6 +157,113 @@ fn adaptive_jamming_agrees_at_c4() {
     );
     assert_close(
         "adaptive C=4: mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.30,
+        2.0,
+    );
+}
+
+/// Same cross-validation for the epoch-structured schedule: the
+/// epoch-aware phase lowering (one phase per epoch, per-channel census)
+/// must agree statistically with the era-2 exact engine.
+fn compare_epoch(
+    spec: StrategySpec,
+    channels: u16,
+    n: u64,
+    epoch_len: u64,
+    horizon: u64,
+    budget: Option<u64>,
+    trials: u64,
+) -> Agreement {
+    let mut agg = Agreement {
+        exact_informed: RunningStats::new(),
+        fast_informed: RunningStats::new(),
+        exact_node_cost: RunningStats::new(),
+        fast_node_cost: RunningStats::new(),
+        exact_carol: RunningStats::new(),
+        fast_carol: RunningStats::new(),
+    };
+    let scenario_for = |engine: Engine| {
+        let mut builder = Scenario::epoch_hopping(EpochHoppingSpec::new(n, horizon, epoch_len))
+            .engine(engine)
+            .channels(channels)
+            .adversary(spec);
+        if let Some(b) = budget {
+            builder = builder.carol_budget(b);
+        }
+        builder.build().expect("valid on both engines")
+    };
+    let exact = scenario_for(Engine::Exact);
+    let fast = scenario_for(Engine::Fast);
+    for trial in 0..trials {
+        let seed = 6_000 + trial;
+        let e = exact.run_seeded(seed);
+        agg.exact_informed.push(e.informed_fraction());
+        agg.exact_node_cost.push(e.mean_node_cost());
+        agg.exact_carol.push(e.carol_spend() as f64);
+
+        let f = fast.run_seeded(seed);
+        agg.fast_informed.push(f.informed_fraction());
+        agg.fast_node_cost.push(f.mean_node_cost());
+        agg.fast_carol.push(f.carol_spend() as f64);
+    }
+    agg
+}
+
+#[test]
+fn epoch_hopping_quiet_agrees_at_c1() {
+    let agg = compare_epoch(StrategySpec::Silent, 1, 96, 32, 1_500, None, 5);
+    assert_agreement("epoch silent C=1", &agg);
+}
+
+#[test]
+fn epoch_hopping_quiet_agrees_at_c4() {
+    let agg = compare_epoch(StrategySpec::Silent, 4, 96, 32, 2_500, None, 5);
+    assert_agreement("epoch silent C=4", &agg);
+}
+
+#[test]
+fn epoch_hopping_sweep_jamming_agrees_at_c4() {
+    // The resonant dwell (= L): the configuration where the lowering's
+    // evasion model has to carry the most signal.
+    let agg = compare_epoch(
+        StrategySpec::ChannelSweep { dwell: 32 },
+        4,
+        96,
+        32,
+        2_500,
+        Some(1_500),
+        5,
+    );
+    assert_agreement("epoch sweep C=4", &agg);
+}
+
+#[test]
+fn epoch_hopping_adaptive_jamming_agrees_at_c4() {
+    let agg = compare_epoch(
+        StrategySpec::Adaptive {
+            window: 8,
+            reactivity: 0.5,
+        },
+        4,
+        96,
+        32,
+        2_500,
+        Some(1_500),
+        5,
+    );
+    // As for per-slot hopping, the adaptive lowering is statistical
+    // (phase-aggregated heat), so the cost band is wider.
+    assert_close(
+        "epoch adaptive C=4: informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "epoch adaptive C=4: mean node cost",
         agg.exact_node_cost.mean(),
         agg.fast_node_cost.mean(),
         0.30,

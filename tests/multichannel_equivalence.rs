@@ -522,3 +522,106 @@ fn batched_trials_match_pre_refactor_seed_derivation() {
         },
     );
 }
+
+#[test]
+fn epoch_hopping_c4_sweep_matches_pinned_fingerprint() {
+    // The epoch-structured schedule under its resonant sweeper
+    // (dwell = L = 32): captured when the family was introduced, on the
+    // era-2 exact engine.
+    use evildoers::sim::EpochHoppingSpec;
+    let outcome = Scenario::epoch_hopping(EpochHoppingSpec::new(24, 6_000, 32))
+        .channels(4)
+        .adversary(StrategySpec::ChannelSweep { dwell: 32 })
+        .carol_budget(1_200)
+        .seed(77)
+        .build()
+        .unwrap()
+        .run();
+    assert_fingerprint(
+        "epoch-hopping-sweep-c4",
+        &outcome,
+        &Fingerprint {
+            slots: 6001,
+            informed: 24,
+            alice: (3017, 0, 0),
+            nodes: (6034, 470, 0),
+            carol: (0, 0, 1200),
+            max_node: Some(318),
+            rounds: 0,
+        },
+    );
+    assert_eq!(
+        outcome.jam_slots_by_channel(),
+        vec![320, 304, 288, 288],
+        "the epoch-aligned sweep burns exactly dwell slots per channel visit"
+    );
+}
+
+#[test]
+fn kpsy_continuous_matches_pinned_fingerprint() {
+    // The KPSY listening defense under continuous jamming — the family's
+    // single-channel pin (the roster rejects C > 1 at build time), in
+    // the same configuration budget-conservation tests run at.
+    use evildoers::sim::KpsySpec;
+    let outcome = Scenario::kpsy(KpsySpec {
+        n: 12,
+        horizon: 2_000,
+    })
+    .adversary(StrategySpec::Continuous)
+    .carol_budget(600)
+    .seed(31)
+    .build()
+    .unwrap()
+    .run();
+    assert_fingerprint(
+        "kpsy-continuous",
+        &outcome,
+        &Fingerprint {
+            slots: 2001,
+            informed: 12,
+            alice: (205, 0, 0),
+            nodes: (828, 1292, 0),
+            carol: (0, 0, 600),
+            max_node: Some(193),
+            rounds: 0,
+        },
+    );
+    assert_eq!(outcome.jam_slots_by_channel(), vec![600]);
+}
+
+#[test]
+fn epoch_hopping_slow_sweep_resonates_at_dwell_equal_to_epoch_length() {
+    // The headline slow-lane claim from E17, pinned as a strict seeded
+    // inequality: a sweeping jammer whose dwell equals the epoch length
+    // L retunes exactly when the evaders do, and the noise-exclusion
+    // redraw herds them *toward* its next target. Delivery drags, and
+    // since uninformed nodes pay `listen_p` per slot until informed,
+    // mean node cost — the latency integral — is strictly worse at
+    // dwell = L than at dwell = L/4 (part-epoch jams barely delay
+    // within-epoch rendezvous) or dwell = 4L (nodes evacuate the jammed
+    // channel and stay out for epochs).
+    use evildoers::sim::EpochHoppingSpec;
+    const L: u64 = 32;
+    let mean_cost = |dwell: u64| -> f64 {
+        let outcomes = Scenario::epoch_hopping(EpochHoppingSpec::new(24, 48 * L, L))
+            .channels(4)
+            .adversary(StrategySpec::ChannelSweep { dwell })
+            .carol_budget(48 * L)
+            .seed(0xE17)
+            .build()
+            .unwrap()
+            .run_batch(16);
+        outcomes.iter().map(|o| o.mean_node_cost()).sum::<f64>() / outcomes.len() as f64
+    };
+    let short = mean_cost(L / 4);
+    let resonant = mean_cost(L);
+    let long = mean_cost(4 * L);
+    assert!(
+        resonant > short,
+        "dwell = L ({resonant:.1}) must cost strictly more than dwell = L/4 ({short:.1})"
+    );
+    assert!(
+        resonant > long,
+        "dwell = L ({resonant:.1}) must cost strictly more than dwell = 4L ({long:.1})"
+    );
+}

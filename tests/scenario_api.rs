@@ -289,6 +289,100 @@ fn invalid_combinations_are_typed_errors_not_panics() {
 }
 
 #[test]
+fn epoch_hopping_and_kpsy_reject_invalid_combinations() {
+    use evildoers::sim::{EpochHoppingSpec, KpsySpec};
+
+    // A zero-length epoch never reaches a boundary to redraw at.
+    let err = Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 0))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+
+    // KPSY is a slot-level listening defense: no phase lowering exists,
+    // on either fast engine shape.
+    for channels in [1u16, 4] {
+        let err = Scenario::kpsy(KpsySpec { n: 8, horizon: 100 })
+            .engine(Engine::Fast)
+            .channels(channels)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::UnsupportedEngine {
+                protocol: ProtocolKind::Kpsy,
+                engine: Engine::Fast,
+            }
+        );
+    }
+
+    // ...and it is pinned to the single-channel radio model.
+    let err = Scenario::kpsy(KpsySpec { n: 8, horizon: 100 })
+        .channels(2)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::MultiChannelUnsupported { .. }),
+        "{err}"
+    );
+    let err = Scenario::kpsy(KpsySpec { n: 8, horizon: 100 })
+        .adversary(StrategySpec::SplitUniform)
+        .carol_budget(100)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::ChannelStrategyUnsupported { .. }),
+        "{err}"
+    );
+    let err = Scenario::kpsy(KpsySpec { n: 8, horizon: 100 })
+        .adversary(StrategySpec::BlockAll(0.5))
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::ScheduleBoundStrategy { .. }),
+        "{err}"
+    );
+
+    // Slot-only strategies have no phase-mc model on the epoch-aware
+    // fast engine either.
+    let err = Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 32))
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::LaggedReactive)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
+        "{err}"
+    );
+
+    // The epoch schedule *is* the phase structure on the fast engine;
+    // naming the free-hopping phase_len knob alongside it is a config
+    // error, on either engine.
+    for engine in [Engine::Exact, Engine::Fast] {
+        let err = Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 32))
+            .engine(engine)
+            .phase_len(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+    }
+
+    // Valid configurations still build, so the gates above are not
+    // over-broad: epoch hopping on both engines, KPSY on exact.
+    Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 32))
+        .channels(4)
+        .build()
+        .unwrap();
+    Scenario::epoch_hopping(EpochHoppingSpec::new(256, 100, 32))
+        .engine(Engine::Fast)
+        .channels(4)
+        .build()
+        .unwrap();
+    Scenario::kpsy(KpsySpec { n: 8, horizon: 100 })
+        .build()
+        .unwrap();
+}
+
+#[test]
 fn outcome_carries_engine_specific_extras() {
     // Exact: stop reason, refusals, and (on request) the trace.
     let o = Scenario::broadcast(params(16))
