@@ -19,6 +19,7 @@ pub mod e12_adaptive;
 pub mod e13_fast_mc;
 pub mod e15_sweep;
 pub mod e17_epoch;
+pub mod e18_profile;
 pub mod e1_cost_scaling;
 pub mod e2_delivery;
 pub mod e3_latency;

@@ -11,10 +11,11 @@
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    run_gossip_soa_in, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
+    run_gossip_soa_with, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
     GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
+use rcb_telemetry::{Collector, NoopCollector};
 
 /// Configuration for an epidemic-gossip run.
 #[derive(Debug, Clone)]
@@ -332,6 +333,22 @@ pub fn execute_epidemic_soa_in(
     adversary: &mut dyn Adversary,
     scratch: &mut EpidemicSoaScratch,
 ) -> (BroadcastOutcome, RunReport) {
+    execute_epidemic_soa_with(config, adversary, scratch, &NoopCollector)
+}
+
+/// [`execute_epidemic_soa_in`] with a telemetry collector attached; the
+/// collector receives the era-2 engine's profile flush.
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_epidemic_soa_with<C: Collector + ?Sized>(
+    config: &EpidemicConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut EpidemicSoaScratch,
+    collector: &C,
+) -> (BroadcastOutcome, RunReport) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -363,7 +380,7 @@ pub fn execute_epidemic_soa_in(
         trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     };
-    let report = run_gossip_soa_in(
+    let report = run_gossip_soa_with(
         &engine_config,
         &spec,
         &scratch.budgets,
@@ -375,6 +392,7 @@ pub fn execute_epidemic_soa_in(
                 if signed.signer() == alice_id && verifier.verify_signed(signed))
         },
         &mut scratch.soa,
+        collector,
     );
 
     let outcome = gossip_outcome(config.n, &report);

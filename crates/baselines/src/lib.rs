@@ -47,10 +47,10 @@ mod naive;
 
 pub use epidemic::{
     execute_epidemic, execute_epidemic_in, execute_epidemic_soa, execute_epidemic_soa_in,
-    EpidemicConfig, EpidemicScratch, EpidemicSoaScratch,
+    execute_epidemic_soa_with, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch,
 };
 pub use kpsy::{execute_kpsy, execute_kpsy_in, KpsyConfig, KpsyScratch};
 pub use naive::{
-    execute_naive, execute_naive_in, execute_naive_soa, execute_naive_soa_in, NaiveConfig,
-    NaiveScratch, NaiveSoaScratch,
+    execute_naive, execute_naive_in, execute_naive_soa, execute_naive_soa_in,
+    execute_naive_soa_with, NaiveConfig, NaiveScratch, NaiveSoaScratch,
 };

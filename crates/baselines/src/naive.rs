@@ -3,10 +3,11 @@
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    run_gossip_soa_in, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
+    run_gossip_soa_with, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
     GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
 };
 use rcb_rng::{SeedTree, SimRng};
+use rcb_telemetry::{Collector, NoopCollector};
 
 /// Configuration for a naive-broadcast run.
 #[derive(Debug, Clone)]
@@ -287,6 +288,18 @@ pub fn execute_naive_soa_in(
     adversary: &mut dyn Adversary,
     scratch: &mut NaiveSoaScratch,
 ) -> (BroadcastOutcome, RunReport) {
+    execute_naive_soa_with(config, adversary, scratch, &NoopCollector)
+}
+
+/// [`execute_naive_soa_in`] with a telemetry collector attached; the
+/// collector receives the era-2 engine's profile flush.
+#[must_use]
+pub fn execute_naive_soa_with<C: Collector + ?Sized>(
+    config: &NaiveConfig,
+    adversary: &mut dyn Adversary,
+    scratch: &mut NaiveSoaScratch,
+    collector: &C,
+) -> (BroadcastOutcome, RunReport) {
     let seeds = SeedTree::new(config.seed);
     let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
     let alice_key = authority.issue_key();
@@ -314,7 +327,7 @@ pub fn execute_naive_soa_in(
         trace_capacity: config.trace_capacity,
         ..EngineConfig::default()
     };
-    let report = run_gossip_soa_in(
+    let report = run_gossip_soa_with(
         &engine_config,
         &spec,
         &scratch.budgets,
@@ -326,6 +339,7 @@ pub fn execute_naive_soa_in(
                 if signed.signer() == alice_id && verifier.verify_signed(signed))
         },
         &mut scratch.soa,
+        collector,
     );
 
     let outcome = gossip_outcome(config.n, &report);

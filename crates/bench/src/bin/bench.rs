@@ -31,8 +31,18 @@
 //! `--epoch-hopping` measures the PR-8 protocol families — epoch-structured
 //! hopping on the era-2 exact engine and the epoch-aware phase lowering,
 //! plus the KPSY listening defense — emitting `BENCH_8.json`.
+//!
+//! `--telemetry` measures the cost of the `rcb-telemetry` collector seam
+//! on the two headline engine shapes (exact jammed ε-BROADCAST and the
+//! fast_mc spectrum simulator): the static-noop baseline, a
+//! dyn-attached `NoopCollector` (what an unattached `Scenario` pays),
+//! and a `RecordingCollector`, emitting `BENCH_9.json` with overhead
+//! ratios. `--max-noop-overhead PCT` turns the dyn-noop ratio into an
+//! exit-code assertion — the CI slow lane runs it at 2 % on the quick
+//! grid.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rcb_adversary::StrategySpec;
@@ -40,6 +50,7 @@ use rcb_analysis::sweep_runner::hopping_channel_grid;
 use rcb_core::Params;
 use rcb_sim::{Engine, EpochHoppingSpec, HoppingSpec, KpsySpec, Scenario, ScenarioScratch};
 use rcb_sweep::{Metric, StopRule, SweepService, SweepSpec};
+use rcb_telemetry::{Collector, NoopCollector, RecordingCollector};
 
 /// One measured configuration.
 struct Entry {
@@ -222,11 +233,126 @@ fn sweep_bench(quick: bool, out: &str) {
     println!("wrote {out}");
 }
 
+/// `--telemetry`: the collector seam's cost on the two headline engine
+/// shapes, as overhead ratios against the static-noop baseline. Each
+/// variant is timed over several repetitions and the minimum per-trial
+/// time is kept (robust against scheduler noise — overhead can only
+/// *add* time, so minima compare the true floors).
+fn telemetry_bench(quick: bool, out: &str, max_noop_overhead_pct: Option<f64>) {
+    // More repetitions beat more trials here: the floor (minimum) over
+    // many short reps converges on the true per-trial cost much faster
+    // than a mean over one long rep, and the ratios compare floors.
+    let (exact_n, fast_n, exact_trials, fast_trials, reps) = if quick {
+        (1u64 << 9, 1u64 << 12, 1u32, 8u32, 11u32)
+    } else {
+        (1 << 12, 1 << 16, 4, 32, 7)
+    };
+
+    // (id, scenario factory parameterized on the optional collector)
+    type Factory<'a> = &'a dyn Fn(Option<Arc<dyn Collector>>) -> Scenario;
+    let exact = move |collector: Option<Arc<dyn Collector>>| {
+        let mut b = Scenario::broadcast(Params::builder(exact_n).build().unwrap())
+            .adversary(StrategySpec::Continuous)
+            .carol_budget(2_000)
+            .seed(1);
+        if let Some(c) = collector {
+            b = b.telemetry(c);
+        }
+        b.build().unwrap()
+    };
+    let fast_mc = move |collector: Option<Arc<dyn Collector>>| {
+        let mut b = Scenario::hopping(HoppingSpec::new(fast_n, 4_000))
+            .engine(Engine::Fast)
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(3_000)
+            .seed(1);
+        if let Some(c) = collector {
+            b = b.telemetry(c);
+        }
+        b.build().unwrap()
+    };
+    let configs: [(String, Factory, u32); 2] = [
+        (format!("exact/broadcast/n{exact_n}"), &exact, exact_trials),
+        (
+            format!("fast_mc/hopping/n{fast_n}c4"),
+            &fast_mc,
+            fast_trials,
+        ),
+    ];
+    type VariantCollector = fn() -> Option<Arc<dyn Collector>>;
+    let variants: [(&str, VariantCollector); 3] = [
+        ("baseline", || None),
+        ("dyn-noop", || Some(Arc::new(NoopCollector))),
+        ("recording", || Some(Arc::new(RecordingCollector::new()))),
+    ];
+
+    let mut rows: Vec<(String, &'static str, u128, f64)> = Vec::new();
+    let mut noop_ok = true;
+    for (id, factory, trials) in &configs {
+        // Interleave the variants within each repetition so slow drift
+        // (thermal, CPU frequency) hits all three equally instead of
+        // biasing whichever block ran last.
+        let mut floors = [u128::MAX; 3];
+        for _ in 0..reps {
+            for (slot, (_, collector)) in variants.iter().enumerate() {
+                let ns = measure(&factory(collector()), *trials).0;
+                floors[slot] = floors[slot].min(ns);
+            }
+        }
+        let baseline_ns = floors[0];
+        for (slot, (variant, _)) in variants.iter().enumerate() {
+            let ns = floors[slot];
+            let ratio = ns as f64 / baseline_ns.max(1) as f64;
+            eprintln!("{id:28} {variant:>9}: {ns:>12} ns/trial  overhead ×{ratio:.4}");
+            if *variant == "dyn-noop" {
+                if let Some(pct) = max_noop_overhead_pct {
+                    if ratio > 1.0 + pct / 100.0 {
+                        eprintln!(
+                            "FAIL: {id} dyn-noop overhead ×{ratio:.4} exceeds the \
+                             {pct}% budget"
+                        );
+                        noop_ok = false;
+                    }
+                }
+            }
+            rows.push((id.clone(), variant, ns, ratio));
+        }
+    }
+
+    // Hand-rolled JSON, same policy as the other grids.
+    let mut json = String::from("{\n  \"schema\": \"rcb-bench-telemetry-v1\",\n  \"entries\": [\n");
+    for (i, (id, variant, ns, ratio)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"id\": \"{id}\", \"variant\": \"{variant}\", \"per_trial_ns\": {ns}, \
+             \"overhead_ratio\": {ratio:.4}}}{comma}"
+        )
+        .expect("string write cannot fail");
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+    if !noop_ok {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
     let epoch = args.iter().any(|a| a == "--epoch-hopping");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    let max_noop_overhead = args
+        .iter()
+        .position(|a| a == "--max-noop-overhead")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<f64>()
+                .expect("--max-noop-overhead takes a percentage")
+        });
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -237,12 +363,18 @@ fn main() {
                 "BENCH_6.json".to_string()
             } else if epoch {
                 "BENCH_8.json".to_string()
+            } else if telemetry {
+                "BENCH_9.json".to_string()
             } else {
                 "BENCH_7.json".to_string()
             }
         });
     if sweep {
         sweep_bench(quick, &out);
+        return;
+    }
+    if telemetry {
+        telemetry_bench(quick, &out, max_noop_overhead);
         return;
     }
 

@@ -23,11 +23,12 @@
 use rand::Rng;
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_radio::{
-    run_gossip_soa_in, Action, Adversary, Budget, ChannelId, EngineConfig, EngineScratch,
+    run_gossip_soa_with, Action, Adversary, Budget, ChannelId, EngineConfig, EngineScratch,
     ExactEngine, GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
     Spectrum,
 };
 use rcb_rng::{SeedTree, SimRng};
+use rcb_telemetry::{Collector, NoopCollector};
 
 use crate::hopping::gossip_outcome;
 use crate::outcome::BroadcastOutcome;
@@ -440,6 +441,26 @@ pub fn execute_epoch_hopping_soa_in(
     adversary: &mut dyn Adversary,
     scratch: &mut EpochHoppingSoaScratch,
 ) -> (BroadcastOutcome, RunReport) {
+    execute_epoch_hopping_soa_with(config, spectrum, adversary, scratch, &NoopCollector)
+}
+
+/// [`execute_epoch_hopping_soa_in`] with a telemetry collector attached;
+/// the collector receives the era-2 engine's [`EngineProfile`] flush
+/// (wake-drain batches, listener passes, RNG draws, settled listens).
+///
+/// [`EngineProfile`]: rcb_telemetry::EngineProfile
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability or `epoch_len` is zero.
+#[must_use]
+pub fn execute_epoch_hopping_soa_with<C: Collector + ?Sized>(
+    config: &EpochHoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+    scratch: &mut EpochHoppingSoaScratch,
+    collector: &C,
+) -> (BroadcastOutcome, RunReport) {
     validate(config);
     let seeds = SeedTree::new(config.seed);
     let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
@@ -469,7 +490,7 @@ pub fn execute_epoch_hopping_soa_in(
         spectrum,
         ..EngineConfig::default()
     };
-    let report = run_gossip_soa_in(
+    let report = run_gossip_soa_with(
         &engine_config,
         &spec,
         &scratch.budgets,
@@ -481,6 +502,7 @@ pub fn execute_epoch_hopping_soa_in(
                 if signed.signer() == alice_id && verifier.verify_signed(signed))
         },
         &mut scratch.soa,
+        collector,
     );
 
     (gossip_outcome(config.n, &report), report)

@@ -42,6 +42,7 @@ use rcb_radio::{
     SlotObservation, SlotRecord, Spectrum, StopReason, Trace, WakeQueue,
 };
 use rcb_rng::{CounterRng, Geometric, SeedTree};
+use rcb_telemetry::{Collector, EngineProfile, MetricId, NoopCollector};
 
 use crate::broadcast::{summarize, RunConfig};
 use crate::outcome::BroadcastOutcome;
@@ -264,12 +265,29 @@ impl BroadcastSoaScratch {
     /// Runs one ε-BROADCAST execution on the era-2 engine and returns the
     /// outcome plus the raw engine report — the drop-in counterpart of
     /// [`crate::BroadcastScratch::run`].
-    #[allow(clippy::too_many_lines)]
     pub fn run(
         &mut self,
         params: &Params,
         adversary: &mut dyn Adversary,
         config: &RunConfig,
+    ) -> (BroadcastOutcome, RunReport) {
+        self.run_with(params, adversary, config, &NoopCollector)
+    }
+
+    /// [`run`](Self::run) with a telemetry collector attached.
+    ///
+    /// Telemetry is purely observational — the collector never draws
+    /// from the run's RNG streams, so instrumented and uninstrumented
+    /// runs of one seed are byte-identical. Hot-path counts batch in an
+    /// [`EngineProfile`] gated on one hoisted `enabled` bool and flush
+    /// once at run end.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_with<C: Collector + ?Sized>(
+        &mut self,
+        params: &Params,
+        adversary: &mut dyn Adversary,
+        config: &RunConfig,
+        collector: &C,
     ) -> (BroadcastOutcome, RunReport) {
         let seeds = SeedTree::new(config.seed);
         let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
@@ -359,6 +377,10 @@ impl BroadcastSoaScratch {
         term.reset(n + 1, max_slots);
         let mut trace = Trace::with_capacity(config.trace_capacity);
         let mut delivered_on_zero = 0u64;
+        // Telemetry: one hoisted bool gates all bookkeeping; counts batch
+        // in a plain-integer profile and flush once after the loop.
+        let telemetry = collector.enabled();
+        let mut prof = EngineProfile::new();
 
         let mut live = (n + 1) as u64;
         let mut seg_idx = 0usize;
@@ -414,6 +436,10 @@ impl BroadcastSoaScratch {
                     if status[nu] == 2 {
                         continue;
                     }
+                    if telemetry {
+                        // Segment boundaries redraw every live device's gap.
+                        prof.rng_draws += 1;
+                    }
                     let cls = role_class(
                         node,
                         status[nu],
@@ -451,6 +477,11 @@ impl BroadcastSoaScratch {
             // 1. Devices due this slot act: pick an arm, charge it, and
             //    re-draw the next wake.
             wake.drain_due(slot_idx, due);
+            if telemetry && !due.is_empty() {
+                prof.wake_drains += 1;
+                prof.wake_drained += due.len() as u64;
+                collector.observe(MetricId::EngineWakeDrainBatch, due.len() as f64);
+            }
             for &(_, node) in due.iter() {
                 let nu = node as usize;
                 if status[nu] == 2 || slot_idx > act_until[nu] {
@@ -469,6 +500,10 @@ impl BroadcastSoaScratch {
                 );
                 if cls.pw <= 0.0 {
                     continue;
+                }
+                if telemetry {
+                    // Arm choice plus the gap redraw below.
+                    prof.rng_draws += 2;
                 }
                 let rng = &mut rngs[nu];
                 let arm1 = if cls.p2 <= 0.0 {
@@ -569,6 +604,10 @@ impl BroadcastSoaScratch {
             //    schedule the node's (now known) termination slot;
             //    request-phase noise feeds the judgement counters.
             let mut delivered = 0u32;
+            if telemetry && !listeners.is_empty() {
+                prof.listener_passes += 1;
+                prof.listeners_resolved += listeners.len() as u64;
+            }
             for &(pid, channel) in listeners.iter() {
                 let reception = resolve_for_listener_on(pid, channel, load, executed_jam);
                 if matches!(reception, Reception::Silence) {
@@ -662,6 +701,14 @@ impl BroadcastSoaScratch {
 
             slot_idx += 1;
         };
+
+        if telemetry {
+            prof.slots = slot_idx;
+            // The adversary plans once per simulated slot; this engine
+            // materializes every listener (no deferred settlement).
+            prof.adversary_plans = slot_idx;
+            prof.flush(collector);
+        }
 
         let terminated: Vec<bool> = status.iter().map(|&s| s == 2).collect();
         let channel_stats: Vec<ChannelStats> = spectrum

@@ -27,6 +27,7 @@
 use rcb_radio::CostBreakdown;
 use rcb_rng::math::binomial_cdf_upto;
 use rcb_rng::{Binomial, SeedTree, SimRng};
+use rcb_telemetry::{Collector, EngineTier, Event, MetricId, NoopCollector};
 
 use crate::outcome::{BroadcastOutcome, EngineKind};
 use crate::params::Params;
@@ -147,6 +148,26 @@ pub fn run_fast(
     adversary: &mut dyn PhaseAdversary,
     config: &FastConfig,
 ) -> BroadcastOutcome {
+    run_fast_with(params, adversary, config, &NoopCollector)
+}
+
+/// [`run_fast`] with a telemetry collector attached.
+///
+/// When the collector is enabled, every phase emits one structured
+/// [`Event`] (tier `fast`) carrying the quantities the phase-level
+/// engine is otherwise opaque about: the rendezvous probability of an
+/// uninformed listener, the surviving-slot fraction after jam thinning,
+/// and requested-versus-executed jam slots (the difference is Carol's
+/// budget fizzle). Telemetry is purely observational — it never draws
+/// from the run's RNG stream.
+#[must_use]
+pub fn run_fast_with<C: Collector + ?Sized>(
+    params: &Params,
+    adversary: &mut dyn PhaseAdversary,
+    config: &FastConfig,
+    collector: &C,
+) -> BroadcastOutcome {
+    let telemetry = collector.enabled();
     let seeds = SeedTree::new(config.seed);
     let mut rng: SimRng = seeds.stream("fast-sim", 0);
     let schedule = RoundSchedule::new(params);
@@ -167,12 +188,12 @@ pub fn run_fast(
         rounds_entered: params.start_round(),
     };
 
-    for (round, phase, phase_len) in schedule.phases() {
+    for (phase_idx, (round, phase, phase_len)) in schedule.phases().enumerate() {
         if state.finished() {
             break;
         }
         state.rounds_entered = round;
-        let plan = {
+        let requested = {
             let ctx = PhaseCtx {
                 round,
                 phase,
@@ -182,26 +203,24 @@ pub fn run_fast(
             };
             adversary.plan_phase(&ctx)
         };
-        let plan = state.charge_carol(plan, phase_len);
+        let plan = state.charge_carol(requested, phase_len);
         let probs = phase_probabilities(params, round, phase);
 
-        match phase {
-            PhaseKind::Inform => {
-                state.run_seeding_phase(
-                    params,
-                    &mut rng,
-                    phase_len,
-                    &plan,
-                    SeedingKind::AliceInform {
-                        alice_send: probs.alice_send,
-                    },
-                    probs.uninformed_listen,
-                    probs.decoy_send,
-                );
-            }
+        let digest = match phase {
+            PhaseKind::Inform => state.run_seeding_phase(
+                params,
+                &mut rng,
+                phase_len,
+                &plan,
+                SeedingKind::AliceInform {
+                    alice_send: probs.alice_send,
+                },
+                probs.uninformed_listen,
+                probs.decoy_send,
+            ),
             PhaseKind::Propagation { step } => {
                 let relays = state.relay_set;
-                state.run_seeding_phase(
+                let digest = state.run_seeding_phase(
                     params,
                     &mut rng,
                     phase_len,
@@ -221,12 +240,37 @@ pub fn run_fast(
                     state.informed_done += state.relay_set;
                     state.relay_set = 0;
                 }
+                digest
             }
             PhaseKind::Request => {
-                state.run_request_phase(params, &mut rng, phase_len, &plan, threshold, round);
+                state.run_request_phase(params, &mut rng, phase_len, &plan, threshold, round)
             }
-        }
+        };
         state.slots += phase_len;
+
+        if telemetry {
+            collector.add(MetricId::FastPhases, 1);
+            collector.add(MetricId::FastInformed, digest.informed);
+            collector.add(
+                MetricId::FastJamRequested,
+                requested.jam_slots.min(phase_len),
+            );
+            collector.add(MetricId::FastJamExecuted, plan.jam_slots);
+            collector.gauge(MetricId::FastRendezvousP, digest.rendezvous_p);
+            collector.gauge(MetricId::FastSurviveP, digest.survive_p);
+            collector.event(
+                Event::new(EngineTier::Fast, "broadcast", "phase", phase_idx as u64)
+                    .field("round", f64::from(round))
+                    .field("phase_len", phase_len as f64)
+                    .field("jam_requested", requested.jam_slots.min(phase_len) as f64)
+                    .field("jam_executed", plan.jam_slots as f64)
+                    .field("newly_informed", digest.informed as f64)
+                    .field("terminated", digest.terminated as f64)
+                    .field("rendezvous_p", digest.rendezvous_p)
+                    .field("survive_p", digest.survive_p)
+                    .field("uninformed", state.uninformed as f64),
+            );
+        }
     }
 
     BroadcastOutcome {
@@ -250,6 +294,22 @@ pub fn run_fast(
 enum SeedingKind {
     AliceInform { alice_send: f64 },
     Relays { relays: u64, send_p: f64 },
+}
+
+/// Per-phase aggregates surfaced through telemetry events. Computed
+/// from values the phase derives anyway, so returning it costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseDigest {
+    /// Nodes newly informed this phase (seeding phases only).
+    informed: u64,
+    /// Uninformed nodes that terminated this phase (request phases only).
+    terminated: u64,
+    /// Probability an uninformed listener rendezvoused with a surviving
+    /// `m`-slot (request phases: 0).
+    rendezvous_p: f64,
+    /// Fraction of `m`-slots surviving jam/spoof/decoy thinning
+    /// (request phases: the complement of the noise probability).
+    survive_p: f64,
 }
 
 struct FastState {
@@ -303,7 +363,7 @@ impl FastState {
         seeding: SeedingKind,
         listen_p: f64,
         decoy_p: f64,
-    ) {
+    ) -> PhaseDigest {
         let u = self.uninformed;
         // Decoy-noise probability per slot (decoy senders: all active
         // correct nodes ≈ uninformed + relays).
@@ -329,7 +389,7 @@ impl FastState {
             SeedingKind::Relays { relays, send_p } => {
                 if relays == 0 {
                     self.relay_set = 0;
-                    return;
+                    return PhaseDigest::default();
                 }
                 let total_sends = sample_bin(rng, relays.saturating_mul(s), send_p);
                 self.nodes.sends += total_sends;
@@ -384,6 +444,13 @@ impl FastState {
         // The paper's lemmas require ε′n active uninformed nodes for the
         // seeding machinery; when u hits 0 everything downstream is a no-op.
         let _ = params;
+
+        PhaseDigest {
+            informed: newly,
+            terminated: 0,
+            rendezvous_p: p_informed,
+            survive_p,
+        }
     }
 
     fn run_request_phase(
@@ -394,7 +461,7 @@ impl FastState {
         plan: &PhasePlan,
         threshold: u64,
         round: u32,
-    ) {
+    ) -> PhaseDigest {
         let u = self.uninformed;
         let probs = phase_probabilities(params, round, PhaseKind::Request);
 
@@ -424,11 +491,19 @@ impl FastState {
 
         // Node termination: each uninformed node's noisy-heard count is
         // Bin(s, listen_p · p_noisy); it terminates iff ≤ threshold.
+        let mut terminators = 0;
         if u > 0 && round >= params.min_termination_round() {
             let p_term = binomial_cdf_upto(s, probs.uninformed_listen * p_noisy, threshold);
-            let terminators = sample_bin(rng, u, p_term);
+            terminators = sample_bin(rng, u, p_term);
             self.uninformed -= terminators;
             self.uninformed_terminated += terminators;
+        }
+
+        PhaseDigest {
+            informed: 0,
+            terminated: terminators,
+            rendezvous_p: 0.0,
+            survive_p: 1.0 - p_noisy,
         }
     }
 }

@@ -48,6 +48,7 @@
 use rand::Rng;
 use rcb_radio::{ChannelId, ChannelStats, CostBreakdown, PhaseObservation, Spectrum};
 use rcb_rng::{Binomial, SeedTree, SimRng};
+use rcb_telemetry::{Collector, EngineTier, Event, MetricId, NoopCollector};
 
 use crate::outcome::{BroadcastOutcome, EngineKind};
 
@@ -259,6 +260,26 @@ pub fn run_fast_mc(
     spectrum: Spectrum,
     adversary: &mut dyn PhaseJammer,
 ) -> (BroadcastOutcome, Vec<ChannelStats>) {
+    run_fast_mc_with(config, spectrum, adversary, &NoopCollector)
+}
+
+/// [`run_fast_mc`] with a telemetry collector attached.
+///
+/// When the collector is enabled, every phase emits one structured
+/// [`Event`] (tier `fast_mc`) with the engine's per-phase aggregates:
+/// the single-clean-transmission coincidence probability `p_one`, the
+/// spectrum-averaged clean fraction after jamming, the phase-level
+/// rendezvous probability, and requested-versus-executed jam slots (the
+/// difference is Carol's budget fizzle). Telemetry is purely
+/// observational — it never draws from the run's RNG stream.
+#[must_use]
+pub fn run_fast_mc_with<C: Collector + ?Sized>(
+    config: &McConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn PhaseJammer,
+    collector: &C,
+) -> (BroadcastOutcome, Vec<ChannelStats>) {
+    let telemetry = collector.enabled();
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -386,6 +407,26 @@ pub fn run_fast_mc(
         if uninformed == 0 && full_delivery_phase.is_none() {
             full_delivery_phase = Some(phase);
         }
+        if telemetry {
+            let requested: u64 = plan.jam_slots.iter().map(|&j| j.min(s)).sum();
+            collector.add(MetricId::FastPhases, 1);
+            collector.add(MetricId::FastInformed, newly);
+            collector.add(MetricId::FastJamRequested, requested);
+            collector.add(MetricId::FastJamExecuted, spend);
+            collector.gauge(MetricId::FastRendezvousP, p_informed_phase);
+            collector.gauge(MetricId::FastSurviveP, clean_avg);
+            collector.event(
+                Event::new(EngineTier::FastMc, "hopping", "phase", u64::from(phase))
+                    .field("phase_len", s as f64)
+                    .field("jam_requested", requested as f64)
+                    .field("jam_executed", spend as f64)
+                    .field("p_one", p_one)
+                    .field("clean_avg", clean_avg)
+                    .field("rendezvous_p", p_informed_phase)
+                    .field("newly_informed", newly as f64)
+                    .field("uninformed", uninformed as f64),
+            );
+        }
         start += s;
         phase += 1;
     }
@@ -452,6 +493,25 @@ pub fn run_fast_mc_epoch(
     spectrum: Spectrum,
     adversary: &mut dyn PhaseJammer,
 ) -> (BroadcastOutcome, Vec<ChannelStats>) {
+    run_fast_mc_epoch_with(config, epoch_len, spectrum, adversary, &NoopCollector)
+}
+
+/// [`run_fast_mc_epoch`] with a telemetry collector attached.
+///
+/// When enabled, each epoch emits one [`Event`] (tier `fast_mc`,
+/// protocol `epoch-hopping`) carrying the census-weighted rendezvous
+/// probability, the spectrum-average clean fraction, and
+/// requested-versus-executed jam slots. Telemetry never draws from the
+/// run's RNG stream.
+#[must_use]
+pub fn run_fast_mc_epoch_with<C: Collector + ?Sized>(
+    config: &McConfig,
+    epoch_len: u64,
+    spectrum: Spectrum,
+    adversary: &mut dyn PhaseJammer,
+    collector: &C,
+) -> (BroadcastOutcome, Vec<ChannelStats>) {
+    let telemetry = collector.enabled();
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -505,7 +565,8 @@ pub fn run_fast_mc_epoch(
             adversary.plan_phase(&ctx)
         };
         let executed = execute_jam(&plan, c, s, budget_remaining);
-        carol.jams += executed.iter().sum::<u64>();
+        let spend: u64 = executed.iter().sum();
+        carol.jams += spend;
 
         // Alice holds one uniform channel for the epoch.
         let alice_ch = if c > 1 { rng.gen_range(0..c) } else { 0 };
@@ -521,6 +582,8 @@ pub fn run_fast_mc_epoch(
         let mut listens_by_channel = vec![0u64; c];
         let mut delivered_by_channel = vec![0u64; c];
         let mut survivors_by = vec![0u64; c];
+        let mut rendezvous_acc = 0.0f64;
+        let mut clean_acc = 0.0f64;
         for ch in 0..c {
             let r_ch = r_by[ch] as f64;
             let a_here = if ch == alice_ch { ALICE_SEND_P } else { 0.0 };
@@ -533,6 +596,10 @@ pub fn run_fast_mc_epoch(
             let newly = sample_bin(&mut rng, u_by[ch], p_informed_phase);
             let survivors = u_by[ch] - newly;
             survivors_by[ch] = survivors;
+            if telemetry {
+                rendezvous_acc += p_informed_phase * u_by[ch] as f64;
+                clean_acc += clean;
+            }
 
             let mut listens = sample_bin(&mut rng, survivors.saturating_mul(s), config.listen_p);
             let mut post_inform_sends = 0u64;
@@ -604,6 +671,38 @@ pub fn run_fast_mc_epoch(
 
         if u_by.iter().sum::<u64>() == 0 && full_delivery_phase.is_none() {
             full_delivery_phase = Some(phase);
+        }
+        if telemetry {
+            let requested: u64 = plan.jam_slots.iter().map(|&j| j.min(s)).sum();
+            let newly: u64 = delivered_by_channel.iter().sum();
+            let survivors: u64 = survivors_by.iter().sum();
+            let rendezvous_p = if uninformed > 0 {
+                rendezvous_acc / uninformed as f64
+            } else {
+                0.0
+            };
+            let clean_avg = clean_acc / c as f64;
+            collector.add(MetricId::FastPhases, 1);
+            collector.add(MetricId::FastInformed, newly);
+            collector.add(MetricId::FastJamRequested, requested);
+            collector.add(MetricId::FastJamExecuted, spend);
+            collector.gauge(MetricId::FastRendezvousP, rendezvous_p);
+            collector.gauge(MetricId::FastSurviveP, clean_avg);
+            collector.event(
+                Event::new(
+                    EngineTier::FastMc,
+                    "epoch-hopping",
+                    "phase",
+                    u64::from(phase),
+                )
+                .field("phase_len", s as f64)
+                .field("jam_requested", requested as f64)
+                .field("jam_executed", spend as f64)
+                .field("clean_avg", clean_avg)
+                .field("rendezvous_p", rendezvous_p)
+                .field("newly_informed", newly as f64)
+                .field("uninformed", survivors as f64),
+            );
         }
         start += s;
         phase += 1;

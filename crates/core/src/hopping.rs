@@ -19,11 +19,12 @@
 use rand::Rng;
 use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
 use rcb_radio::{
-    run_gossip_soa_in, Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig,
+    run_gossip_soa_with, Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig,
     EngineScratch, ExactEngine, GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception,
     RunReport, Slot, Spectrum,
 };
 use rcb_rng::{SeedTree, SimRng};
+use rcb_telemetry::{Collector, NoopCollector};
 
 use crate::outcome::{BroadcastOutcome, EngineKind};
 
@@ -386,6 +387,26 @@ pub fn execute_hopping_soa_in(
     adversary: &mut dyn Adversary,
     scratch: &mut HoppingSoaScratch,
 ) -> (BroadcastOutcome, RunReport) {
+    execute_hopping_soa_with(config, spectrum, adversary, scratch, &NoopCollector)
+}
+
+/// [`execute_hopping_soa_in`] with a telemetry collector attached; the
+/// collector receives the era-2 engine's [`EngineProfile`] flush
+/// (wake-drain batches, listener passes, RNG draws, settled listens).
+///
+/// [`EngineProfile`]: rcb_telemetry::EngineProfile
+///
+/// # Panics
+///
+/// Panics if `listen_p` is not a probability.
+#[must_use]
+pub fn execute_hopping_soa_with<C: Collector + ?Sized>(
+    config: &HoppingConfig,
+    spectrum: Spectrum,
+    adversary: &mut dyn Adversary,
+    scratch: &mut HoppingSoaScratch,
+    collector: &C,
+) -> (BroadcastOutcome, RunReport) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
         "listen_p must be a probability"
@@ -418,7 +439,7 @@ pub fn execute_hopping_soa_in(
         spectrum,
         ..EngineConfig::default()
     };
-    let report = run_gossip_soa_in(
+    let report = run_gossip_soa_with(
         &engine_config,
         &spec,
         &scratch.budgets,
@@ -430,6 +451,7 @@ pub fn execute_hopping_soa_in(
                 if signed.signer() == alice_id && verifier.verify_signed(signed))
         },
         &mut scratch.soa,
+        collector,
     );
 
     (gossip_outcome(config.n, &report), report)

@@ -85,12 +85,13 @@ pub use alice::Alice;
 pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
 pub use epoch_hopping::{
     execute_epoch_hopping, execute_epoch_hopping_in, execute_epoch_hopping_soa,
-    execute_epoch_hopping_soa_in, EpochHoppingConfig, EpochHoppingScratch, EpochHoppingSoaScratch,
+    execute_epoch_hopping_soa_in, execute_epoch_hopping_soa_with, EpochHoppingConfig,
+    EpochHoppingScratch, EpochHoppingSoaScratch,
 };
 pub use era2::BroadcastSoaScratch;
 pub use hopping::{
     execute_hopping, execute_hopping_in, execute_hopping_soa, execute_hopping_soa_in,
-    gossip_outcome, HoppingConfig, HoppingScratch, HoppingSoaScratch,
+    execute_hopping_soa_with, gossip_outcome, HoppingConfig, HoppingScratch, HoppingSoaScratch,
 };
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};

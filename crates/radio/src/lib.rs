@@ -119,6 +119,6 @@ pub use engine::{ChannelStats, EngineConfig, EngineScratch, ExactEngine, RunRepo
 pub use message::{Payload, PayloadKind};
 pub use participant::{Action, NodeProtocol, ParticipantId, Reception};
 pub use slot::Slot;
-pub use soa::{run_gossip_soa_in, GossipSoaScratch, GossipSpec, WakeQueue};
+pub use soa::{run_gossip_soa_in, run_gossip_soa_with, GossipSoaScratch, GossipSpec, WakeQueue};
 pub use spectrum::{ChannelId, Spectrum};
 pub use trace::{SlotRecord, Trace};

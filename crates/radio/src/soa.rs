@@ -41,6 +41,7 @@
 use rand::Rng;
 use rcb_rng::subset::sample_distinct;
 use rcb_rng::{Binomial, CounterRng, Geometric, SeedTree};
+use rcb_telemetry::{Collector, EngineProfile, MetricId, NoopCollector};
 
 use crate::adversary::{Adversary, AdversaryCtx, SlotObservation};
 use crate::channel::{resolve_for_listener_on, ChannelLoad, JamDirective, JamPlan};
@@ -244,7 +245,8 @@ fn pick_channel(rng: &mut CounterRng, hop: bool, channels: u16) -> ChannelId {
 
 /// Samples and bulk-charges a node's listens over `inert` deferred
 /// slots: total via one binomial, split across channels via the chained
-/// conditional binomials of a uniform multinomial.
+/// conditional binomials of a uniform multinomial. Returns the listens
+/// charged.
 fn settle_inert(
     ledger: &mut EnergyLedger,
     rng: &mut CounterRng,
@@ -253,9 +255,9 @@ fn settle_inert(
     listen_p: f64,
     hop: bool,
     channels: u16,
-) {
+) -> u64 {
     if inert == 0 || listen_p <= 0.0 {
-        return;
+        return 0;
     }
     let total = if listen_p >= 1.0 {
         inert
@@ -265,16 +267,16 @@ fn settle_inert(
             .sample(rng)
     };
     if total == 0 {
-        return;
+        return 0;
     }
     if !hop || channels == 1 {
         ledger.charge_participant_many_on(node as usize, Op::Listen, total, ChannelId::ZERO);
-        return;
+        return total;
     }
     let mut rem = total;
     for c in 0..channels - 1 {
         if rem == 0 {
-            return;
+            return total;
         }
         let take = Binomial::new(rem, 1.0 / f64::from(channels - c))
             .expect("1/(C-c) is a probability")
@@ -292,6 +294,7 @@ fn settle_inert(
             ChannelId::new(channels - 1),
         );
     }
+    total
 }
 
 /// Epoch-mode settlement: a dormant node's deferred listens within one
@@ -299,7 +302,7 @@ fn settle_inert(
 /// [`settle_inert`] collapses to two binomials — one over the epoch's
 /// noisy inert slots (which doubles as the node's jam-detection sample)
 /// and one over the quiet remainder. Returns whether any noisy slot was
-/// sampled.
+/// sampled, and the listens charged.
 fn settle_epoch_inert(
     ledger: &mut EnergyLedger,
     rng: &mut CounterRng,
@@ -308,9 +311,9 @@ fn settle_epoch_inert(
     inert: u64,
     noisy: u64,
     listen_p: f64,
-) -> bool {
+) -> (bool, u64) {
     if inert == 0 || listen_p <= 0.0 {
-        return false;
+        return (false, 0);
     }
     let noisy = noisy.min(inert);
     let draw = |rng: &mut CounterRng, trials: u64| -> u64 {
@@ -335,7 +338,7 @@ fn settle_epoch_inert(
             ChannelId::new(channel),
         );
     }
-    heard_noise > 0
+    (heard_noise > 0, total)
 }
 
 /// Runs a gossip-shaped broadcast on the sleep-skipping engine and
@@ -354,7 +357,7 @@ fn settle_epoch_inert(
 /// Panics if `budgets` is not `n + 1` long or a probability parameter
 /// is outside `[0, 1]`.
 #[must_use]
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 pub fn run_gossip_soa_in(
     config: &EngineConfig,
     spec: &GossipSpec,
@@ -364,6 +367,40 @@ pub fn run_gossip_soa_in(
     seeds: &SeedTree,
     is_informing: &mut dyn FnMut(&Payload) -> bool,
     scratch: &mut GossipSoaScratch,
+) -> RunReport {
+    run_gossip_soa_with(
+        config,
+        spec,
+        budgets,
+        carol_budget,
+        adversary,
+        seeds,
+        is_informing,
+        scratch,
+        &NoopCollector,
+    )
+}
+
+/// [`run_gossip_soa_in`] with a telemetry collector attached.
+///
+/// Telemetry is purely observational: the collector never draws from
+/// the run's RNG streams, so instrumented and uninstrumented runs of
+/// one seed are byte-identical. Hot-path counts accumulate in a plain
+/// [`EngineProfile`] gated on one hoisted `enabled` bool and flush once
+/// at run end; with the default [`NoopCollector`] the whole apparatus
+/// folds away.
+#[must_use]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_gossip_soa_with<C: Collector + ?Sized>(
+    config: &EngineConfig,
+    spec: &GossipSpec,
+    budgets: &[Budget],
+    carol_budget: Budget,
+    adversary: &mut dyn Adversary,
+    seeds: &SeedTree,
+    is_informing: &mut dyn FnMut(&Payload) -> bool,
+    scratch: &mut GossipSoaScratch,
+    collector: &C,
 ) -> RunReport {
     let n = spec.n as usize;
     assert_eq!(budgets.len(), n + 1, "one budget per participant required");
@@ -382,6 +419,10 @@ pub fn run_gossip_soa_in(
     let channels = spectrum.channel_count();
     let hop = spec.hop_channels;
     let materialize_all = config.trace_capacity > 0 || adversary.wants_listener_identities();
+    // Telemetry: one hoisted bool gates all bookkeeping; counts batch in
+    // a plain-integer profile and flush once after the loop.
+    let telemetry = collector.enabled();
+    let mut prof = EngineProfile::new();
 
     let GossipSoaScratch {
         ledger,
@@ -478,11 +519,15 @@ pub fn run_gossip_soa_in(
         // An uninformed node that sampled noise evades its old channel;
         // everyone else redraws uniformly.
         if epoch_mode && slot_idx > 0 && slot_idx.is_multiple_of(spec.epoch_len) {
+            if telemetry {
+                // Every node redraws its epoch channel at the boundary.
+                prof.rng_draws += n as u64 + 1;
+            }
             for node in 0..=n as u32 {
                 let i = node as usize;
                 let prev = epoch_channel[i];
                 if node > 0 && pool_pos[i] != u32::MAX {
-                    let heard = settle_epoch_inert(
+                    let (heard, charged) = settle_epoch_inert(
                         ledger,
                         &mut rngs[i],
                         node,
@@ -491,6 +536,9 @@ pub fn run_gossip_soa_in(
                         epoch_noisy[prev as usize],
                         spec.listen_p,
                     );
+                    if telemetry {
+                        prof.settled_listens += charged;
+                    }
                     let detected = epoch_detected[i] || heard;
                     let rng = &mut rngs[i];
                     epoch_channel[i] = if detected {
@@ -524,6 +572,23 @@ pub fn run_gossip_soa_in(
 
         // 1. Senders due this slot transmit and re-draw their next wake.
         wake.drain_due(slot_idx, due);
+        if telemetry && !due.is_empty() {
+            prof.wake_drains += 1;
+            prof.wake_drained += due.len() as u64;
+            collector.observe(MetricId::EngineWakeDrainBatch, due.len() as f64);
+            // Each drained sender redraws its gap (when its rate is
+            // nonzero) and, off the epoch schedule, its channel.
+            let has_alice = u64::from(due.iter().any(|&(_, node)| node == 0));
+            if alice_geo.is_some() {
+                prof.rng_draws += has_alice;
+            }
+            if relay_geo.is_some() {
+                prof.rng_draws += due.len() as u64 - has_alice;
+            }
+            if !epoch_mode && hop && channels > 1 {
+                prof.rng_draws += due.len() as u64;
+            }
+        }
         for &(_, node) in due.iter() {
             let rng = &mut rngs[node as usize];
             let channel = if epoch_mode {
@@ -626,6 +691,17 @@ pub fn run_gossip_soa_in(
                     );
                 }
                 ids.sort_unstable();
+                if telemetry {
+                    prof.listener_passes += 1;
+                    prof.listeners_resolved += ids.len() as u64;
+                    // One binomial for the count, one subset sample for
+                    // identities, one channel pick per listener when
+                    // hopping off the epoch schedule.
+                    prof.rng_draws += 2;
+                    if !epoch_mode && hop && channels > 1 {
+                        prof.rng_draws += ids.len() as u64;
+                    }
+                }
                 for &node in ids.iter() {
                     let rng = &mut rngs[node as usize];
                     let channel = if epoch_mode {
@@ -658,12 +734,12 @@ pub fn run_gossip_soa_in(
                                 pool_pos[pool[pos] as usize] = pos as u32;
                             }
                             pool_pos[node as usize] = u32::MAX;
-                            if epoch_mode {
+                            let charged = if epoch_mode {
                                 // Prior epochs settled at their
                                 // boundaries; only the current epoch's
                                 // inert listens remain.
                                 let ch = epoch_channel[node as usize];
-                                let _ = settle_epoch_inert(
+                                settle_epoch_inert(
                                     ledger,
                                     &mut rngs[node as usize],
                                     node,
@@ -671,7 +747,8 @@ pub fn run_gossip_soa_in(
                                     epoch_inert,
                                     epoch_noisy[ch as usize],
                                     spec.listen_p,
-                                );
+                                )
+                                .1
                             } else {
                                 settle_inert(
                                     ledger,
@@ -681,7 +758,10 @@ pub fn run_gossip_soa_in(
                                     spec.listen_p,
                                     hop,
                                     channels,
-                                );
+                                )
+                            };
+                            if telemetry {
+                                prof.settled_listens += charged;
                             }
                             if !spec.terminate_on_inform {
                                 if let Some(geo) = &relay_geo {
@@ -745,9 +825,9 @@ pub fn run_gossip_soa_in(
     // outstanding — earlier epochs settled at their boundaries).
     for node in 1..=n as u32 {
         if pool_pos[node as usize] != u32::MAX {
-            if epoch_mode {
+            let charged = if epoch_mode {
                 let ch = epoch_channel[node as usize];
-                let _ = settle_epoch_inert(
+                settle_epoch_inert(
                     ledger,
                     &mut rngs[node as usize],
                     node,
@@ -755,7 +835,8 @@ pub fn run_gossip_soa_in(
                     epoch_inert,
                     epoch_noisy[ch as usize],
                     spec.listen_p,
-                );
+                )
+                .1
             } else {
                 settle_inert(
                     ledger,
@@ -765,9 +846,21 @@ pub fn run_gossip_soa_in(
                     spec.listen_p,
                     hop,
                     channels,
-                );
+                )
+            };
+            if telemetry {
+                prof.settled_listens += charged;
             }
         }
+    }
+
+    if telemetry {
+        prof.slots = slot_idx;
+        // The adversary plans once per simulated slot; inert slots were
+        // counted (not simulated) on the listener side.
+        prof.adversary_plans = slot_idx;
+        prof.inert_slots = inert_slots;
+        prof.flush(collector);
     }
 
     let alice_done = slot_idx > spec.horizon;

@@ -308,6 +308,26 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
 
+        // Even a zero capacity names the unsupported engine (the typed
+        // error points callers at the telemetry alternative) rather than
+        // complaining about the capacity.
+        let err = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .trace(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::TraceUnsupported { .. }));
+        assert!(
+            err.to_string().contains("ScenarioBuilder::telemetry"),
+            "{err}"
+        );
+
+        let err = Scenario::broadcast(params(16))
+            .trace(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
+
         let o = Scenario::broadcast(params(16))
             .trace(4096)
             .seed(3)
@@ -315,6 +335,42 @@ mod tests {
             .unwrap()
             .run();
         assert!(!o.trace.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn attached_collector_records_without_changing_outcomes() {
+        use rcb_telemetry::{MetricId, RecordingCollector};
+        use std::sync::Arc;
+
+        let plain = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .seed(11)
+            .build()
+            .unwrap()
+            .run();
+        assert!(plain.telemetry_snapshot().is_none());
+
+        let collector = Arc::new(RecordingCollector::new());
+        let observed = Scenario::broadcast(params(4096))
+            .engine(Engine::Fast)
+            .seed(11)
+            .telemetry(collector.clone())
+            .build()
+            .unwrap()
+            .run();
+
+        // Telemetry is observational: the measured run is byte-identical.
+        assert_eq!(observed.informed_nodes, plain.informed_nodes);
+        assert_eq!(observed.slots, plain.slots);
+        assert_eq!(observed.carol_spend(), plain.carol_spend());
+
+        // ... and the outcome carries the collector's snapshot.
+        let snapshot = observed.telemetry_snapshot().expect("snapshot present");
+        assert!(snapshot.counter(MetricId::FastPhases) > 0);
+        assert_eq!(
+            snapshot.counter(MetricId::FastPhases),
+            collector.counter(MetricId::FastPhases)
+        );
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct ScenarioOutcome {
     /// Captured slot trace, when tracing was requested (exact engine
     /// only).
     pub trace: Option<Trace>,
+    /// Telemetry snapshot taken after the run, when a snapshotting
+    /// collector was attached via `ScenarioBuilder::telemetry`. Unlike
+    /// [`trace`](Self::trace), this is available on **every** engine,
+    /// including the phase-level fast simulators. The snapshot is
+    /// cumulative over the collector's lifetime, so across a batch it
+    /// reflects all trials completed so far.
+    pub telemetry: Option<rcb_telemetry::Snapshot>,
 }
 
 impl Deref for ScenarioOutcome {
@@ -63,6 +70,14 @@ impl Deref for ScenarioOutcome {
 }
 
 impl ScenarioOutcome {
+    /// The telemetry snapshot taken after this run, if a snapshotting
+    /// collector was attached (`None` otherwise — including for the
+    /// default no-op collector, which records nothing).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<&rcb_telemetry::Snapshot> {
+        self.telemetry.as_ref()
+    }
+
     /// Total budget refusals across Alice and all nodes (0 when the
     /// engine does not track refusals).
     #[must_use]
@@ -186,6 +201,7 @@ mod tests {
                 },
             ]),
             trace: None,
+            telemetry: None,
         }
     }
 

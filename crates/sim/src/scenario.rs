@@ -2,23 +2,30 @@
 //! adversary.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{
-    execute_epidemic_in, execute_epidemic_soa_in, execute_kpsy_in, execute_naive_in,
-    execute_naive_soa_in, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, KpsyConfig,
+    execute_epidemic_in, execute_epidemic_soa_with, execute_kpsy_in, execute_naive_in,
+    execute_naive_soa_with, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, KpsyConfig,
     KpsyScratch, NaiveConfig, NaiveScratch, NaiveSoaScratch,
 };
-use rcb_core::fast::{run_fast, FastConfig};
-use rcb_core::fast_mc::{run_fast_mc, run_fast_mc_epoch, McConfig};
+use rcb_core::fast::{run_fast_with, FastConfig};
+use rcb_core::fast_mc::{run_fast_mc_epoch_with, run_fast_mc_with, McConfig};
 use rcb_core::{
-    execute_epoch_hopping_in, execute_epoch_hopping_soa_in, execute_hopping_in,
-    execute_hopping_soa_in, BroadcastOutcome, BroadcastScratch, BroadcastSoaScratch, EngineKind,
+    execute_epoch_hopping_in, execute_epoch_hopping_soa_with, execute_hopping_in,
+    execute_hopping_soa_with, BroadcastOutcome, BroadcastScratch, BroadcastSoaScratch, EngineKind,
     EpochHoppingConfig, EpochHoppingScratch, EpochHoppingSoaScratch, HoppingConfig, HoppingScratch,
     HoppingSoaScratch, Params, RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
+use rcb_telemetry::{Collector, NoopCollector};
+
+/// The statically-dispatched default collector: a `&NOOP` coerces to
+/// `&dyn Collector` whose `enabled()` is `false`, so every hook in the
+/// engines short-circuits.
+static NOOP: NoopCollector = NoopCollector;
 
 /// Default phase length (slots) of the `fast_mc` phase-level hopping
 /// engine; override with [`ScenarioBuilder::phase_len`]. Re-exported
@@ -362,7 +369,9 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::TraceUnsupported { protocol, engine } => write!(
                 f,
-                "slot tracing is unavailable for {protocol} on the {engine:?} engine"
+                "slot tracing is unavailable for {protocol} on the {engine:?} engine; \
+                 attach a collector via ScenarioBuilder::telemetry for phase-level \
+                 events and metrics instead"
             ),
             ScenarioError::BudgetRequired { protocol } => {
                 write!(f, "the {protocol} protocol requires a finite carol_budget")
@@ -424,6 +433,7 @@ pub struct Scenario {
     threads: Option<usize>,
     era: EngineEra,
     seed: u64,
+    telemetry: Option<Arc<dyn Collector>>,
 }
 
 /// Reusable per-worker scratch for batched scenario execution.
@@ -560,6 +570,19 @@ impl Scenario {
         }
     }
 
+    /// The attached telemetry collector, if any (see
+    /// [`ScenarioBuilder::telemetry`]).
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Arc<dyn Collector>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The collector every engine run receives: the attached one, or the
+    /// disabled noop singleton.
+    fn collector(&self) -> &dyn Collector {
+        self.telemetry.as_deref().unwrap_or(&NOOP)
+    }
+
     /// Runs the scenario once with its master seed.
     #[must_use]
     pub fn run(&self) -> ScenarioOutcome {
@@ -644,6 +667,7 @@ impl Scenario {
             participant_refusals: None,
             channel_stats: None,
             trace: None,
+            telemetry: self.telemetry.as_deref().and_then(Collector::snapshot),
         }
     }
 
@@ -661,9 +685,12 @@ impl Scenario {
             seed,
         };
         let (broadcast, report) = match self.era {
-            EngineEra::Era2 => scratch
-                .broadcast_soa
-                .run(params, adversary.as_mut(), &config),
+            EngineEra::Era2 => scratch.broadcast_soa.run_with(
+                params,
+                adversary.as_mut(),
+                &config,
+                self.collector(),
+            ),
             EngineEra::Era1 => scratch.broadcast.run(params, adversary.as_mut(), &config),
         };
         self.exact_outcome(broadcast, report, seed)
@@ -701,11 +728,12 @@ impl Scenario {
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
         let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_hopping_soa_in(
+            EngineEra::Era2 => execute_hopping_soa_with(
                 &config,
                 self.spectrum(),
                 adversary.as_mut(),
                 &mut scratch.hopping_soa,
+                self.collector(),
             ),
             EngineEra::Era1 => execute_hopping_in(
                 &config,
@@ -735,7 +763,8 @@ impl Scenario {
             .adversary
             .phase_jammer(self.spectrum(), seed)
             .expect("validated at build: strategy has a phase-mc model");
-        let (broadcast, channel_stats) = run_fast_mc(&config, self.spectrum(), jammer.as_mut());
+        let (broadcast, channel_stats) =
+            run_fast_mc_with(&config, self.spectrum(), jammer.as_mut(), self.collector());
         let mut outcome = self.outcome(broadcast, seed, None);
         outcome.channel_stats = Some(channel_stats);
         outcome
@@ -774,11 +803,12 @@ impl Scenario {
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
         let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_epoch_hopping_soa_in(
+            EngineEra::Era2 => execute_epoch_hopping_soa_with(
                 &config,
                 self.spectrum(),
                 adversary.as_mut(),
                 &mut scratch.epoch_hopping_soa,
+                self.collector(),
             ),
             EngineEra::Era1 => execute_epoch_hopping_in(
                 &config,
@@ -808,8 +838,13 @@ impl Scenario {
             .adversary
             .phase_jammer(self.spectrum(), seed)
             .expect("validated at build: strategy has a phase-mc model");
-        let (broadcast, channel_stats) =
-            run_fast_mc_epoch(&config, spec.epoch_len, self.spectrum(), jammer.as_mut());
+        let (broadcast, channel_stats) = run_fast_mc_epoch_with(
+            &config,
+            spec.epoch_len,
+            self.spectrum(),
+            jammer.as_mut(),
+            self.collector(),
+        );
         let mut outcome = self.outcome(broadcast, seed, None);
         outcome.channel_stats = Some(channel_stats);
         outcome
@@ -866,7 +901,7 @@ impl Scenario {
         if let Some(units) = self.carol_budget {
             config = config.carol_budget(units);
         }
-        let broadcast = run_fast(params, adversary.as_mut(), &config);
+        let broadcast = run_fast_with(params, adversary.as_mut(), &config, self.collector());
         self.outcome(broadcast, seed, None)
     }
 
@@ -890,10 +925,11 @@ impl Scenario {
             seed,
         };
         let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_naive_soa_in(
+            EngineEra::Era2 => execute_naive_soa_with(
                 &config,
                 self.schedule_free_adversary(seed).as_mut(),
                 &mut scratch.naive_soa,
+                self.collector(),
             ),
             EngineEra::Era1 => execute_naive_in(
                 &config,
@@ -920,10 +956,11 @@ impl Scenario {
             seed,
         };
         let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_epidemic_soa_in(
+            EngineEra::Era2 => execute_epidemic_soa_with(
                 &config,
                 self.schedule_free_adversary(seed).as_mut(),
                 &mut scratch.epidemic_soa,
+                self.collector(),
             ),
             EngineEra::Era1 => execute_epidemic_in(
                 &config,
@@ -991,6 +1028,7 @@ pub struct ScenarioBuilder {
     threads: Option<usize>,
     era: EngineEra,
     seed: u64,
+    telemetry: Option<Arc<dyn Collector>>,
 }
 
 impl ScenarioBuilder {
@@ -1007,6 +1045,7 @@ impl ScenarioBuilder {
             threads: None,
             era: EngineEra::default(),
             seed: 0,
+            telemetry: None,
         }
     }
 
@@ -1064,8 +1103,11 @@ impl ScenarioBuilder {
     /// trace: ε-BROADCAST, the naive and epidemic baselines, and the
     /// hopping workload. [`build`](Self::build) rejects tracing on the
     /// phase-level fast simulator and on KSY (neither records slots) with
-    /// [`ScenarioError::TraceUnsupported`], and a zero capacity with
-    /// [`ScenarioError::InvalidConfig`].
+    /// [`ScenarioError::TraceUnsupported`] — even at capacity 0 — and a
+    /// zero capacity elsewhere with [`ScenarioError::InvalidConfig`]. On
+    /// engines that cannot trace, attach a collector with
+    /// [`telemetry`](Self::telemetry) instead: it captures per-phase
+    /// events and metrics on every engine.
     #[must_use]
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace = Some(capacity);
@@ -1119,6 +1161,26 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a telemetry collector (see `rcb_telemetry`); every run
+    /// then routes engine metrics, per-phase events, and profile
+    /// flushes through it, and the resulting
+    /// [`ScenarioOutcome::telemetry`](crate::ScenarioOutcome::telemetry)
+    /// carries a snapshot when the collector records one.
+    ///
+    /// Works on **every** protocol × engine combination, including the
+    /// phase-level fast simulators that cannot record slot traces — it
+    /// is the observability path for exactly those engines. Telemetry
+    /// is observational only: outcomes are byte-identical with and
+    /// without a collector (pinned by the workspace's
+    /// telemetry-neutrality suite). The collector is shared across
+    /// [`Scenario::run_batch`] workers, so a recording collector
+    /// aggregates over all trials of a batch.
+    #[must_use]
+    pub fn telemetry(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.telemetry = Some(collector);
         self
     }
 
@@ -1264,20 +1326,22 @@ impl ScenarioBuilder {
         // Tracing exists wherever a recording engine simulates slots one
         // by one: every protocol on the exact engine except the
         // closed-form KSY comparator. The phase-level fast simulator
-        // records no slots.
+        // records no slots — that check comes first, so a traceless
+        // engine is named as such even at capacity 0 (the typed error
+        // points at the telemetry alternative).
         let trace_capacity = match self.trace {
             None => 0,
-            Some(0) => {
-                return Err(ScenarioError::InvalidConfig(
-                    "slot tracing needs a nonzero capacity".into(),
-                ));
-            }
             Some(capacity) => {
                 if self.engine == Engine::Fast || protocol == ProtocolKind::Ksy {
                     return Err(ScenarioError::TraceUnsupported {
                         protocol,
                         engine: self.engine,
                     });
+                }
+                if capacity == 0 {
+                    return Err(ScenarioError::InvalidConfig(
+                        "slot tracing needs a nonzero capacity".into(),
+                    ));
                 }
                 capacity
             }
@@ -1322,6 +1386,7 @@ impl ScenarioBuilder {
             threads: self.threads,
             era: self.era,
             seed: self.seed,
+            telemetry: self.telemetry,
         })
     }
 

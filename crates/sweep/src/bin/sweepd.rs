@@ -14,11 +14,13 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rcb_sim::{HoppingSpec, StrategySpec};
 use rcb_sweep::{
     Metric, ResultCache, ScenarioSpec, StopRule, SweepConfig, SweepService, SweepSpec,
 };
+use rcb_telemetry::{MetricId, RecordingCollector};
 
 /// Parsed command line.
 struct Options {
@@ -152,7 +154,8 @@ fn run() -> Result<(), String> {
         workers: opts.workers,
         shard_size: opts.shard,
     };
-    let service = SweepService::new(config, cache);
+    let collector = Arc::new(RecordingCollector::new());
+    let service = SweepService::new(config, cache).with_collector(collector.clone());
 
     let rule = StopRule::new(Metric::NodeTotalCost, hw).trials(8, 8, 96);
     let spec = SweepSpec::new(grid(&opts), rule);
@@ -201,6 +204,25 @@ fn run() -> Result<(), String> {
         }
         println!("smoke ok: warm resubmission executed 0 trials, statistics identical");
     }
+
+    // Service-level telemetry over both submissions (see rcb-telemetry
+    // for the full registry; this prints the cache-economy slice).
+    println!(
+        "\ntelemetry: {} cells seen, {} cache hits, {} misses, {} invalidated, {} deduped",
+        collector.counter(MetricId::SweepCells),
+        collector.counter(MetricId::SweepCacheHits),
+        collector.counter(MetricId::SweepCacheMisses),
+        collector.counter(MetricId::SweepCacheInvalidations),
+        collector.counter(MetricId::SweepDedupHits),
+    );
+    println!(
+        "telemetry: {} trials in {} shards ({} stolen), {} checkpoints, {} early stops",
+        collector.counter(MetricId::SweepTrials),
+        collector.counter(MetricId::SweepShards),
+        collector.counter(MetricId::SweepSteals),
+        collector.counter(MetricId::SweepCheckpoints),
+        collector.counter(MetricId::SweepEarlyStops),
+    );
     Ok(())
 }
 

@@ -38,6 +38,21 @@ pub struct CacheEntry {
     pub stats: CellStats,
 }
 
+/// How a cache lookup resolved — the telemetry-facing classification
+/// behind [`ResultCache::lookup`]'s `Option`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// A usable entry was found (in memory or on disk).
+    Hit(Box<CacheEntry>),
+    /// No entry exists for the fingerprint.
+    Miss,
+    /// A file exists for the fingerprint but was refused — stale engine
+    /// era, corruption, or a fingerprint mismatch. Served as a miss, but
+    /// worth distinguishing: a burst of these after an upgrade is the
+    /// era guard working, not a cold cache.
+    Invalidated,
+}
+
 /// A content-addressed store of completed cell statistics.
 ///
 /// Lookups check the in-memory map first, then the directory (when
@@ -92,22 +107,39 @@ impl ResultCache {
     /// unparsable file.
     #[must_use]
     pub fn lookup(&self, fingerprint: Fingerprint) -> Option<CacheEntry> {
+        match self.lookup_classified(fingerprint) {
+            CacheLookup::Hit(entry) => Some(*entry),
+            CacheLookup::Miss | CacheLookup::Invalidated => None,
+        }
+    }
+
+    /// Like [`lookup`](Self::lookup), but distinguishes a plain miss
+    /// (no entry) from an invalidated one (a file that exists but was
+    /// refused: stale era, corruption, fingerprint mismatch).
+    #[must_use]
+    pub fn lookup_classified(&self, fingerprint: Fingerprint) -> CacheLookup {
         if let Some(entry) = self
             .mem
             .lock()
             .expect("cache mutex poisoned")
             .get(&fingerprint)
         {
-            return Some(entry.clone());
+            return CacheLookup::Hit(Box::new(entry.clone()));
         }
-        let dir = self.dir.as_ref()?;
-        let text = fs::read_to_string(entry_path(dir, fingerprint)).ok()?;
-        let entry = parse_entry(&text).filter(|e| e.fingerprint == fingerprint)?;
+        let Some(dir) = self.dir.as_ref() else {
+            return CacheLookup::Miss;
+        };
+        let Ok(text) = fs::read_to_string(entry_path(dir, fingerprint)) else {
+            return CacheLookup::Miss;
+        };
+        let Some(entry) = parse_entry(&text).filter(|e| e.fingerprint == fingerprint) else {
+            return CacheLookup::Invalidated;
+        };
         self.mem
             .lock()
             .expect("cache mutex poisoned")
             .insert(fingerprint, entry.clone());
-        Some(entry)
+        CacheLookup::Hit(Box::new(entry))
     }
 
     /// Stores a completed cell, writing through to disk when rooted.
@@ -237,11 +269,15 @@ mod tests {
     }
 
     fn sample_entry() -> CacheEntry {
+        sample_entry_seeded(3)
+    }
+
+    fn sample_entry_seeded(seed: u64) -> CacheEntry {
         let spec = crate::ScenarioSpec::hopping(HoppingSpec::new(16, 2_000))
             .channels(2)
             .adversary(StrategySpec::SplitUniform)
             .carol_budget(500)
-            .seed(3);
+            .seed(seed);
         let scenario = spec.build().unwrap();
         let mut stats = CellStats::new();
         for outcome in scenario.run_batch(5) {
@@ -298,18 +334,31 @@ mod tests {
         cache.store(entry.clone()).unwrap();
         let path = entry_path(&dir, entry.fingerprint);
 
-        // Stale era: rewritten tag must be refused by a cold cache.
+        // Stale era: rewritten tag must be refused by a cold cache —
+        // and classified as an invalidation, not a plain miss.
         let stale = fs::read_to_string(&path)
             .unwrap()
             .replace(ENGINE_ERA, "era0:ancient");
         fs::write(&path, stale).unwrap();
         let cold = ResultCache::at_dir(&dir).unwrap();
         assert!(cold.lookup(entry.fingerprint).is_none());
+        assert_eq!(
+            cold.lookup_classified(entry.fingerprint),
+            CacheLookup::Invalidated
+        );
 
         // Corruption: truncated file is a miss, not a panic.
         fs::write(&path, "rcb-sweep-cell-v1\nera=garbage").unwrap();
         let cold = ResultCache::at_dir(&dir).unwrap();
         assert!(cold.lookup(entry.fingerprint).is_none());
+        assert_eq!(
+            cold.lookup_classified(entry.fingerprint),
+            CacheLookup::Invalidated
+        );
+
+        // An absent fingerprint is a plain miss.
+        let other = sample_entry_seeded(99).fingerprint;
+        assert_eq!(cold.lookup_classified(other), CacheLookup::Miss);
         let _ = fs::remove_dir_all(&dir);
     }
 

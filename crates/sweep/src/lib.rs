@@ -69,7 +69,7 @@ mod service;
 mod spec;
 mod stats;
 
-pub use cache::{CacheEntry, ResultCache};
+pub use cache::{CacheEntry, CacheLookup, ResultCache};
 pub use fingerprint::{
     fingerprint, fingerprint_with_era, Fingerprint, ParseFingerprintError, ENGINE_ERA, SEED_LINEAGE,
 };

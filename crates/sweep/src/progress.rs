@@ -27,6 +27,10 @@ pub struct SweepProgress {
     pub cache_hits: u64,
     /// Cache lookups that missed (the cells that then executed).
     pub cache_misses: u64,
+    /// Cells deduplicated against an identical earlier cell of the
+    /// *same* submission. These never reach the cache, so they are
+    /// neither hits nor misses.
+    pub dedup_hits: u64,
 }
 
 impl SweepProgress {
@@ -59,7 +63,7 @@ impl fmt::Display for SweepProgress {
         write!(
             f,
             "cells {}/{} done ({} cached), trials: {} run, {} saved ({} stopping + {} cache), \
-             cache hit rate {:.0}%",
+             cache hit rate {:.0}%, {} deduped",
             self.cells_done,
             self.cells_total,
             self.cells_from_cache,
@@ -68,6 +72,7 @@ impl fmt::Display for SweepProgress {
             self.trials_saved_by_stopping,
             self.trials_saved_by_cache,
             self.cache_hit_rate() * 100.0,
+            self.dedup_hits,
         )
     }
 }
@@ -87,6 +92,7 @@ mod tests {
             trials_saved_by_cache: 48,
             cache_hits: 3,
             cache_misses: 7,
+            dedup_hits: 2,
         };
         assert_eq!(progress.cells_running(), 3);
         assert_eq!(progress.trials_saved(), 72);
@@ -94,6 +100,7 @@ mod tests {
         let line = progress.to_string();
         assert!(line.contains("7/10"));
         assert!(line.contains("30%"));
+        assert!(line.contains("2 deduped"));
         assert_eq!(SweepProgress::default().cache_hit_rate(), 0.0);
     }
 }

@@ -15,6 +15,7 @@
 //! index downstream — so stealing is free to be greedy.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 struct Inner<T> {
@@ -29,6 +30,9 @@ struct Inner<T> {
 pub struct ShardQueue<T> {
     inner: Mutex<Inner<T>>,
     available: Condvar,
+    /// Pops served from a victim's deque rather than the worker's own —
+    /// the load-imbalance signal telemetry reports.
+    steals: AtomicU64,
 }
 
 impl<T> ShardQueue<T> {
@@ -42,7 +46,14 @@ impl<T> ShardQueue<T> {
                 closed: false,
             }),
             available: Condvar::new(),
+            steals: AtomicU64::new(0),
         }
+    }
+
+    /// Number of pops that had to steal from another worker's deque.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Number of worker slots.
@@ -84,6 +95,7 @@ impl<T> ShardQueue<T> {
             for offset in 1..victims {
                 let victim = (own + offset) % victims;
                 if let Some(item) = inner.queues[victim].pop_front() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(item);
                 }
             }
@@ -147,6 +159,7 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(queue.steals(), 5, "half the items came from the victim");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::sync::mpsc;
 
 use rcb_rng::SeedTree;
 use rcb_sim::{Scenario, ScenarioScratch, THREADS_ENV_VAR};
+use rcb_telemetry::{Collector, MetricId};
 
 use crate::progress::SweepProgress;
 use crate::queue::ShardQueue;
@@ -71,8 +72,10 @@ fn resolve_workers(requested: Option<usize>) -> usize {
         })
 }
 
-/// Issues shards covering `[state.issued, state.target)`.
-fn issue(queue: &ShardQueue<Shard>, cell: usize, state: &mut CellState, shard_size: u32) {
+/// Issues shards covering `[state.issued, state.target)`; returns how
+/// many shards were pushed.
+fn issue(queue: &ShardQueue<Shard>, cell: usize, state: &mut CellState, shard_size: u32) -> u64 {
+    let mut pushed = 0u64;
     while state.issued < state.target {
         let len = shard_size.min(state.target - state.issued);
         queue.push(Shard {
@@ -81,12 +84,17 @@ fn issue(queue: &ShardQueue<Shard>, cell: usize, state: &mut CellState, shard_si
             len,
         });
         state.issued += len;
+        pushed += 1;
     }
+    pushed
 }
 
 /// Executes `cells` under `rule`, returning `(stats, trials)` per cell in
 /// input order. `progress` is updated in place; `on_progress` fires after
-/// every checkpoint evaluation and cell completion.
+/// every checkpoint evaluation and cell completion. The collector (noop
+/// by default at the service level) sees shard issues, checkpoint
+/// evaluations, early stops, per-cell trial-count observations, and the
+/// queue's final steal count — never anything that affects results.
 pub(crate) fn execute(
     cells: &[(usize, Scenario)],
     rule: &StopRule,
@@ -94,12 +102,17 @@ pub(crate) fn execute(
     shard_size: u32,
     progress: &mut SweepProgress,
     on_progress: &mut dyn FnMut(&SweepProgress),
+    collector: &dyn Collector,
 ) -> Vec<(CellStats, u32)> {
     if cells.is_empty() {
         return Vec::new();
     }
+    let telemetry = collector.enabled();
     let shard_size = shard_size.max(1);
     let workers = resolve_workers(workers);
+    if telemetry {
+        collector.gauge(MetricId::SweepWorkers, workers as f64);
+    }
     let queue: ShardQueue<Shard> = ShardQueue::new(workers);
     // (scenario, seed tree) per cell, shared immutably with the workers;
     // mutable aggregation state stays on the scheduler thread.
@@ -120,8 +133,9 @@ pub(crate) fn execute(
         .collect();
 
     let (tx, rx) = mpsc::channel::<(usize, u32, Vec<TrialMetrics>)>();
+    let mut shards_issued = 0u64;
     for (cell, cell_state) in state.iter_mut().enumerate() {
-        issue(&queue, cell, cell_state, shard_size);
+        shards_issued += issue(&queue, cell, cell_state, shard_size);
     }
 
     std::thread::scope(|scope| {
@@ -161,26 +175,43 @@ pub(crate) fn execute(
                 }
                 cell_state.aggregated += batch.len() as u32;
                 progress.trials_executed += batch.len() as u64;
+                if telemetry {
+                    collector.add(MetricId::SweepTrials, batch.len() as u64);
+                }
             }
             // Checkpoint reached: stop, or issue the next wave.
             if cell_state.aggregated == cell_state.target && !cell_state.done {
+                if telemetry {
+                    collector.add(MetricId::SweepCheckpoints, 1);
+                }
                 if rule.finished_by(&cell_state.stats) {
                     cell_state.done = true;
                     remaining -= 1;
                     progress.cells_done += 1;
                     progress.trials_saved_by_stopping +=
                         u64::from(rule.max_trials - cell_state.aggregated);
+                    if telemetry {
+                        if cell_state.aggregated < rule.max_trials {
+                            collector.add(MetricId::SweepEarlyStops, 1);
+                        }
+                        collector
+                            .observe(MetricId::SweepCellTrials, f64::from(cell_state.aggregated));
+                    }
                 } else {
                     cell_state.target = rule
                         .next_checkpoint(cell_state.aggregated)
                         .expect("finished_by is true at max_trials");
-                    issue(&queue, cell, cell_state, shard_size);
+                    shards_issued += issue(&queue, cell, cell_state, shard_size);
                 }
                 on_progress(progress);
             }
         }
         queue.close();
     });
+    if telemetry {
+        collector.add(MetricId::SweepShards, shards_issued);
+        collector.add(MetricId::SweepSteals, queue.steals());
+    }
 
     state
         .into_iter()

@@ -11,10 +11,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use rcb_sim::{Scenario, ScenarioError};
+use rcb_telemetry::{Collector, MetricId, NoopCollector};
 
-use crate::cache::{CacheEntry, ResultCache};
+use crate::cache::{CacheEntry, CacheLookup, ResultCache};
 use crate::fingerprint::{fingerprint, Fingerprint};
 use crate::progress::SweepProgress;
 use crate::scheduler;
@@ -145,6 +147,7 @@ impl SweepReport {
 pub struct SweepService {
     config: SweepConfig,
     cache: ResultCache,
+    collector: Arc<dyn Collector>,
 }
 
 /// Submission-time classification of one cell.
@@ -167,7 +170,29 @@ impl SweepService {
     /// A service over an explicit cache and tuning.
     #[must_use]
     pub fn new(config: SweepConfig, cache: ResultCache) -> Self {
-        Self { config, cache }
+        Self {
+            config,
+            cache,
+            collector: Arc::new(NoopCollector),
+        }
+    }
+
+    /// Attaches a telemetry collector. Every submission then reports
+    /// cell counts, cache hit/miss/invalidation/dedup classification,
+    /// executed trials, shard issues, checkpoint evaluations, early
+    /// stops, and worker steals. With the default [`NoopCollector`]
+    /// every hook compiles to nothing; results never depend on the
+    /// collector either way.
+    #[must_use]
+    pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// The attached telemetry collector.
+    #[must_use]
+    pub fn collector(&self) -> &Arc<dyn Collector> {
+        &self.collector
     }
 
     /// The backing cache.
@@ -199,10 +224,15 @@ impl SweepService {
     ) -> Result<SweepReport, SweepError> {
         spec.stop.validate().map_err(SweepError::InvalidRule)?;
         let rule = spec.stop;
+        let collector = &*self.collector;
+        let telemetry = collector.enabled();
         let mut progress = SweepProgress {
             cells_total: spec.cells.len() as u64,
             ..SweepProgress::default()
         };
+        if telemetry {
+            collector.add(MetricId::SweepCells, spec.cells.len() as u64);
+        }
 
         // Validate every cell up front — a submission is rejected whole,
         // never half-executed — and plan each one: cache hit, intra-sweep
@@ -218,18 +248,38 @@ impl SweepService {
         let mut first_seen: HashMap<Fingerprint, usize> = HashMap::new();
         for (index, (cell, &print)) in spec.cells.iter().zip(&prints).enumerate() {
             if let Some(&earlier) = first_seen.get(&print) {
+                // An intra-submission duplicate never consults the
+                // cache: it is neither a hit nor a miss.
                 plans.push(CellPlan::Duplicate(earlier));
-                progress.cache_hits += 1;
+                progress.dedup_hits += 1;
+                if telemetry {
+                    collector.add(MetricId::SweepDedupHits, 1);
+                }
                 continue;
             }
             first_seen.insert(print, index);
-            match self.cache.lookup(print) {
-                Some(entry) if rule.finished_by(&entry.stats) => {
+            let lookup = self.cache.lookup_classified(print);
+            if telemetry {
+                // A hit that is under-precise for this rule still forces
+                // an execution, so it counts as a miss here.
+                collector.add(
+                    match &lookup {
+                        CacheLookup::Hit(entry) if rule.finished_by(&entry.stats) => {
+                            MetricId::SweepCacheHits
+                        }
+                        CacheLookup::Hit(_) | CacheLookup::Miss => MetricId::SweepCacheMisses,
+                        CacheLookup::Invalidated => MetricId::SweepCacheInvalidations,
+                    },
+                    1,
+                );
+            }
+            match lookup {
+                CacheLookup::Hit(entry) if rule.finished_by(&entry.stats) => {
                     progress.cache_hits += 1;
                     progress.cells_from_cache += 1;
                     progress.cells_done += 1;
                     progress.trials_saved_by_cache += u64::from(rule.max_trials);
-                    plans.push(CellPlan::Cached(Box::new(entry)));
+                    plans.push(CellPlan::Cached(entry));
                 }
                 _ => {
                     progress.cache_misses += 1;
@@ -249,6 +299,7 @@ impl SweepService {
             self.config.shard_size,
             &mut progress,
             &mut on_progress,
+            collector,
         );
 
         // Persist what was learned.
@@ -368,6 +419,7 @@ mod tests {
         assert_eq!(warm.trials_executed(), 0, "warm submission must be free");
         assert!(warm.cells.iter().all(|c| c.from_cache));
         assert_eq!(warm.progress.cache_hits, 2);
+        assert_eq!(warm.progress.dedup_hits, 0, "distinct cells, no dedup");
         // And the statistics are the same bits.
         for (a, b) in cold.cells.iter().zip(&warm.cells) {
             assert_eq!(a.stats, b.stats);
@@ -385,6 +437,39 @@ mod tests {
         assert_eq!(report.cells[0].stats, report.cells[1].stats);
         // Only the first copy's trials were executed.
         assert_eq!(report.trials_executed(), report.cells[0].trials);
+        // The twin never consulted the cache: it is a dedup hit, not a
+        // cache hit — and certainly not a miss.
+        assert_eq!(report.progress.dedup_hits, 1);
+        assert_eq!(report.progress.cache_hits, 0);
+        assert_eq!(report.progress.cache_misses, 1);
+    }
+
+    #[test]
+    fn attached_collector_sees_cache_and_dedup_classification() {
+        use rcb_telemetry::RecordingCollector;
+
+        let recorder = Arc::new(RecordingCollector::new());
+        let service = SweepService::new(SweepConfig::default(), ResultCache::in_memory())
+            .with_collector(recorder.clone());
+        // Two distinct cells plus one duplicate, twice: cold then warm.
+        let spec = SweepSpec::new(
+            vec![small_cell(1), small_cell(2), small_cell(1)],
+            loose_rule(),
+        );
+        service.submit(&spec).unwrap();
+        service.submit(&spec).unwrap();
+
+        let snap = recorder.snapshot().unwrap();
+        assert_eq!(snap.counter(MetricId::SweepCells), 6);
+        assert_eq!(snap.counter(MetricId::SweepCacheMisses), 2);
+        assert_eq!(snap.counter(MetricId::SweepCacheHits), 2);
+        assert_eq!(snap.counter(MetricId::SweepDedupHits), 2);
+        assert_eq!(snap.counter(MetricId::SweepCacheInvalidations), 0);
+        assert!(snap.counter(MetricId::SweepTrials) > 0);
+        assert!(snap.counter(MetricId::SweepShards) > 0);
+        assert!(snap.gauge(MetricId::SweepWorkers).is_some());
+        let trials = snap.histogram(MetricId::SweepCellTrials).unwrap();
+        assert_eq!(trials.count, 2, "one observation per executed cell");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Structured tracing events with engine-tier, protocol, and phase
+//! dimensions.
+//!
+//! The exact engines already have a slot-granular record type
+//! (`rcb_radio::Trace`'s `SlotRecord`); [`Event`] generalizes that shape
+//! to the phase-level engines, whose unit of progress is a whole phase
+//! and whose interesting quantities are *probabilities and aggregates*
+//! (rendezvous probability, jam thinning, budget fizzle) rather than
+//! per-slot transmission sets. An event is a named record at a point in
+//! engine time, dimensioned by [`EngineTier`] and protocol, carrying a
+//! small set of named numeric fields.
+
+use std::fmt;
+
+/// Which engine emitted a record — the coarsest dimension of every
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineTier {
+    /// The era-2 exact engine (SoA rosters, sleep-skipping wakeups).
+    Exact,
+    /// The phase-level ε-BROADCAST simulator (`rcb_core::fast`).
+    Fast,
+    /// The phase-level multi-channel spectrum simulator
+    /// (`rcb_core::fast_mc`).
+    FastMc,
+}
+
+impl fmt::Display for EngineTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineTier::Exact => "exact",
+            EngineTier::Fast => "fast",
+            EngineTier::FastMc => "fast_mc",
+        })
+    }
+}
+
+/// One structured tracing record.
+///
+/// Construction is gated on [`Collector::enabled`](crate::Collector::enabled)
+/// at every instrumented site, so the field vector is only allocated
+/// when a recording collector is attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Which engine emitted it.
+    pub tier: EngineTier,
+    /// Stable protocol name (`"broadcast"`, `"hopping"`, …).
+    pub protocol: &'static str,
+    /// Record kind (`"phase"`, `"run"`, …).
+    pub name: &'static str,
+    /// Position in engine time: phase index for the phase-level engines,
+    /// slot index for slot-granular records.
+    pub index: u64,
+    /// Named numeric payload, in emission order.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// Starts a record with an empty payload.
+    #[must_use]
+    pub fn new(tier: EngineTier, protocol: &'static str, name: &'static str, index: u64) -> Self {
+        Self {
+            tier,
+            protocol,
+            name,
+            index,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one named field (builder-style).
+    #[must_use]
+    pub fn field(mut self, name: &'static str, value: f64) -> Self {
+        self.fields.push((name, value));
+        self
+    }
+
+    /// Looks up a field by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} {}[{}]",
+            self.tier, self.protocol, self.name, self.index
+        )?;
+        for (name, value) in &self.fields {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let e = Event::new(EngineTier::FastMc, "hopping", "phase", 3)
+            .field("p_one", 0.25)
+            .field("newly_informed", 12.0);
+        assert_eq!(e.get("p_one"), Some(0.25));
+        assert_eq!(e.get("missing"), None);
+        let text = e.to_string();
+        assert!(text.contains("fast_mc/hopping phase[3]"));
+        assert!(text.contains("p_one=0.25"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The recording backend: a lock-free metric registry plus bounded
+//! event and span stores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::collector::Collector;
+use crate::event::Event;
+use crate::metric::{MetricId, MetricKind, METRIC_COUNT};
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+
+/// Relaxed ordering everywhere: metrics are statistical tallies with no
+/// cross-cell invariants, and a snapshot is explicitly point-in-time.
+const ORD: Ordering = Ordering::Relaxed;
+
+/// Gauges start as a NaN bit pattern and are reported only once written.
+const GAUGE_UNSET: u64 = f64::NAN.to_bits();
+
+/// One histogram's cells: per-bucket counts (the catalog's fixed bounds
+/// plus `+Inf`), the running sum, and the observation count.
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, bounds: &[f64], value: f64) {
+        let slot = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        self.buckets[slot].fetch_add(1, ORD);
+        self.count.fetch_add(1, ORD);
+        // Float accumulation over atomics: CAS loop on the bit pattern.
+        // Contention is negligible (histograms record batch shapes, not
+        // per-slot events), so the loop almost always succeeds at once.
+        let mut current = self.sum_bits.load(ORD);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(current, next, ORD, ORD) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// A shareable recording collector.
+///
+/// Counters and gauges are single atomics indexed by
+/// [`MetricId::index`]; histograms are fixed atomic bucket arrays — the
+/// metrics path takes no lock anywhere. Events and spans are colder
+/// (per phase / per section, not per slot) and live behind mutexes; the
+/// event store is bounded like `rcb_radio::Trace`, dropping (and
+/// counting) overflow instead of growing without limit.
+#[derive(Debug)]
+pub struct RecordingCollector {
+    counters: [AtomicU64; METRIC_COUNT],
+    gauge_bits: [AtomicU64; METRIC_COUNT],
+    histograms: Vec<(MetricId, HistogramCells)>,
+    events: Mutex<Vec<Event>>,
+    events_dropped: AtomicU64,
+    event_capacity: usize,
+    spans: Mutex<Vec<(&'static str, u64, u64)>>,
+}
+
+/// Default bound on retained events (a fast-engine run emits one per
+/// phase, so this covers thousands of runs before dropping).
+pub(crate) const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+impl RecordingCollector {
+    /// A fresh collector with the default event capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A fresh collector retaining at most `capacity` events (overflow
+    /// is dropped and counted, never reallocated).
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauge_bits: std::array::from_fn(|_| AtomicU64::new(GAUGE_UNSET)),
+            histograms: MetricId::ALL
+                .iter()
+                .filter(|id| id.kind() == MetricKind::Histogram)
+                .map(|&id| (id, HistogramCells::new(id.buckets())))
+                .collect(),
+            events: Mutex::new(Vec::new()),
+            events_dropped: AtomicU64::new(0),
+            event_capacity: capacity,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter(&self, id: MetricId) -> u64 {
+        self.counters[id.index()].load(ORD)
+    }
+
+    /// Events dropped after the capacity filled.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(ORD)
+    }
+
+    fn histogram_cells(&self, id: MetricId) -> Option<&HistogramCells> {
+        self.histograms
+            .iter()
+            .find(|(hid, _)| *hid == id)
+            .map(|(_, cells)| cells)
+    }
+}
+
+impl Default for RecordingCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector for RecordingCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, id: MetricId, delta: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Counter, "{id:?} is not a counter");
+        self.counters[id.index()].fetch_add(delta, ORD);
+    }
+
+    fn gauge(&self, id: MetricId, value: f64) {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge, "{id:?} is not a gauge");
+        self.gauge_bits[id.index()].store(value.to_bits(), ORD);
+    }
+
+    fn observe(&self, id: MetricId, value: f64) {
+        if let Some(cells) = self.histogram_cells(id) {
+            cells.observe(id.buckets(), value);
+        } else {
+            debug_assert!(false, "{id:?} is not a histogram");
+        }
+    }
+
+    fn event(&self, event: Event) {
+        let mut events = self.events.lock().expect("event store poisoned");
+        if events.len() < self.event_capacity {
+            events.push(event);
+        } else {
+            drop(events);
+            self.events_dropped.fetch_add(1, ORD);
+        }
+    }
+
+    fn span_ns(&self, name: &'static str, ns: u64) {
+        let mut spans = self.spans.lock().expect("span store poisoned");
+        match spans.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total = total.saturating_add(ns);
+            }
+            None => spans.push((name, 1, ns)),
+        }
+    }
+
+    fn snapshot(&self) -> Option<Snapshot> {
+        let counters = MetricId::ALL
+            .iter()
+            .filter(|id| id.kind() == MetricKind::Counter)
+            .map(|&id| (id, self.counter(id)))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        let gauges = MetricId::ALL
+            .iter()
+            .filter(|id| id.kind() == MetricKind::Gauge)
+            .map(|&id| (id, f64::from_bits(self.gauge_bits[id.index()].load(ORD))))
+            .filter(|(_, v)| !v.is_nan())
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter(|(_, cells)| cells.count.load(ORD) != 0)
+            .map(|(id, cells)| HistogramSnapshot {
+                id: *id,
+                buckets: cells.buckets.iter().map(|b| b.load(ORD)).collect(),
+                sum: f64::from_bits(cells.sum_bits.load(ORD)),
+                count: cells.count.load(ORD),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span store poisoned")
+            .iter()
+            .map(|&(name, count, total_ns)| SpanSnapshot {
+                name,
+                count,
+                total_ns,
+            })
+            .collect();
+        let events = self.events.lock().expect("event store poisoned").clone();
+        Some(Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            events,
+            events_dropped: self.events_dropped(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EngineTier;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = RecordingCollector::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        c.add(MetricId::EngineSlots, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.counter(MetricId::EngineSlots), 4_000);
+    }
+
+    #[test]
+    fn gauges_report_last_write_and_hide_unset() {
+        let c = RecordingCollector::new();
+        let snap = c.snapshot().unwrap();
+        assert!(snap.gauges.is_empty(), "unset gauges are not reported");
+        c.gauge(MetricId::SweepWorkers, 8.0);
+        c.gauge(MetricId::SweepWorkers, 4.0);
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.gauge(MetricId::SweepWorkers), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let c = RecordingCollector::new();
+        for v in [1.0, 2.0, 3.0, 5_000.0] {
+            c.observe(MetricId::EngineWakeDrainBatch, v);
+        }
+        let snap = c.snapshot().unwrap();
+        let h = snap.histogram(MetricId::EngineWakeDrainBatch).unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 5_006.0).abs() < 1e-9);
+        // 5000 exceeds every bound: it lands in the +Inf bucket.
+        assert_eq!(h.buckets.last().copied(), Some(1));
+        // Cumulative count over all buckets equals the observation count.
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn event_store_is_bounded_and_counts_drops() {
+        let c = RecordingCollector::with_event_capacity(2);
+        for i in 0..5 {
+            c.event(Event::new(EngineTier::Fast, "broadcast", "phase", i));
+        }
+        let snap = c.snapshot().unwrap();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events_dropped, 3);
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let c = RecordingCollector::new();
+        c.span_ns("submit", 100);
+        c.span_ns("submit", 50);
+        c.span_ns("execute", 7);
+        let snap = c.snapshot().unwrap();
+        let submit = snap.spans.iter().find(|s| s.name == "submit").unwrap();
+        assert_eq!((submit.count, submit.total_ns), (2, 150));
+    }
+}

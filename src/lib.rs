@@ -19,6 +19,7 @@
 //! | [`adversary`] | `rcb-adversary` | Carol strategies (blockers, spoofers, reactive, n-uniform) |
 //! | [`baselines`] | `rcb-baselines` | naive, epidemic, and KSY-style comparators |
 //! | [`sweep`] | `rcb-sweep` | resident sweep service: shards, early stopping, result cache |
+//! | [`telemetry`] | `rcb-telemetry` | lock-free metrics, structured events, engine profiles |
 //! | [`analysis`] | `rcb-analysis` | trial runner, regression, experiments E1–E15/X2 |
 //!
 //! ## Quick start
@@ -60,3 +61,4 @@ pub use rcb_radio as radio;
 pub use rcb_rng as rng;
 pub use rcb_sim as sim;
 pub use rcb_sweep as sweep;
+pub use rcb_telemetry as telemetry;
