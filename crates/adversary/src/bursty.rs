@@ -1,6 +1,7 @@
 //! The bursty jammer: alternating jam bursts and quiet gaps.
 
 use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
+use rcb_core::fast_mc::{McPhaseCtx, McPhasePlan, PhaseJammer};
 use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 
 /// Jams in fixed-length bursts separated by fixed-length gaps — the
@@ -50,6 +51,23 @@ impl BurstyJammer {
         let period = self.burst + self.gap;
         (slot + self.phase_offset) % period < self.burst
     }
+
+    /// Number of jammed slots in `[0, x)` of the shifted pattern: whole
+    /// periods contribute `burst` each, the trailing partial period its
+    /// overlap with the burst window.
+    fn jammed_before(&self, x: u64) -> u64 {
+        let period = self.burst + self.gap;
+        (x / period) * self.burst + (x % period).min(self.burst)
+    }
+
+    /// Exact number of jammed slots in `[start, start + len)` — bursts
+    /// straddling the range boundaries are counted by their overlap, not
+    /// rounded per burst.
+    #[must_use]
+    pub fn jammed_in_range(&self, start: u64, len: u64) -> u64 {
+        let shifted = start + self.phase_offset;
+        self.jammed_before(shifted + len) - self.jammed_before(shifted)
+    }
 }
 
 impl Adversary for BurstyJammer {
@@ -67,6 +85,23 @@ impl PhaseAdversary for BurstyJammer {
         // Deterministic duty cycle over the phase.
         let jam = (ctx.phase_len as f64 * self.duty_cycle()).round() as u64;
         PhasePlan::jam(jam)
+    }
+}
+
+impl PhaseJammer for BurstyJammer {
+    /// Multi-channel phase lowering: the exact jammed-slot count of the
+    /// periodic pattern over `[start_slot, start_slot + phase_len)` —
+    /// bursts straddling the phase boundary contribute exactly their
+    /// overlap — planned on channel 0 only, because the slot pattern is
+    /// `jam_all`, the source paper's single-channel "jam everything"
+    /// (one unit per firing slot, channel 0).
+    fn plan_phase(&mut self, ctx: &McPhaseCtx<'_>) -> McPhasePlan {
+        let mut plan = McPhasePlan::idle(ctx.spectrum);
+        plan.set_jam(
+            rcb_radio::ChannelId::ZERO,
+            self.jammed_in_range(ctx.start_slot, ctx.phase_len),
+        );
+        plan
     }
 }
 
@@ -122,6 +157,49 @@ mod tests {
     }
 
     #[test]
+    fn jammed_in_range_matches_the_slot_pattern_exactly() {
+        // Burst 3 / gap 2 with an offset: compare the closed form
+        // against brute-force slot enumeration over awkward ranges that
+        // straddle burst boundaries.
+        let carol = BurstyJammer::new(3, 2).with_offset(4);
+        for start in 0..12u64 {
+            for len in 0..17u64 {
+                let expected = (start..start + len).filter(|&t| carol.jams_at(t)).count() as u64;
+                assert_eq!(
+                    carol.jammed_in_range(start, len),
+                    expected,
+                    "start {start} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_mc_plan_counts_straddling_bursts_exactly() {
+        use rcb_core::fast_mc::{McPhaseCtx, PhaseJammer};
+        use rcb_radio::{PhaseObservation, Spectrum};
+
+        let spectrum = Spectrum::new(2);
+        let mut carol = BurstyJammer::new(50, 50);
+        let empty = PhaseObservation::empty(spectrum);
+        // Phase of 32 slots starting at slot 32: slots 32..50 are in the
+        // first burst (18 slots), 50..64 in the gap.
+        let ctx = McPhaseCtx {
+            phase: 1,
+            start_slot: 32,
+            phase_len: 32,
+            spectrum,
+            budget_remaining: None,
+            uninformed: 5,
+            informed: 0,
+            observation: &empty,
+        };
+        let plan = PhaseJammer::plan_phase(&mut carol, &ctx);
+        // jam_all is the single-channel pattern: channel 0 only.
+        assert_eq!(plan.jam_slots(), &[18, 0]);
+    }
+
+    #[test]
     fn phase_plan_respects_duty_cycle() {
         let mut carol = BurstyJammer::new(1, 3);
         let ctx = PhaseCtx {
@@ -131,6 +209,6 @@ mod tests {
             budget_remaining: None,
             uninformed: 1,
         };
-        assert_eq!(carol.plan_phase(&ctx).jam_slots, 1000);
+        assert_eq!(PhaseAdversary::plan_phase(&mut carol, &ctx).jam_slots, 1000);
     }
 }

@@ -15,12 +15,12 @@ use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 ///
 /// ```
 /// use rcb_adversary::ContinuousJammer;
-/// use rcb_core::{BroadcastScratch, Params, RunConfig};
+/// use rcb_core::{BroadcastSoaScratch, Params, RunConfig};
 /// use rcb_radio::Budget;
 ///
 /// let params = Params::builder(32).build()?;
 /// let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
-/// let (outcome, _) = BroadcastScratch::new().run(&params, &mut ContinuousJammer, &cfg);
+/// let (outcome, _) = BroadcastSoaScratch::new().run(&params, &mut ContinuousJammer, &cfg);
 /// assert_eq!(outcome.carol_spend(), 500); // she spends it all
 /// # Ok::<(), rcb_core::ParamsError>(())
 /// ```

@@ -1,0 +1,208 @@
+//! Fluid-tier expectation models of the jammer zoo.
+//!
+//! The fluid engine ([`rcb_core::fluid`]) is deterministic by contract —
+//! no RNG anywhere in a run — so every strategy joins the tier as its
+//! *expected* per-phase plan:
+//!
+//! * Every **deterministic** phase-mc lowering is already an expectation
+//!   model: [`PhaseLoweredFluidJammer`] adapts any
+//!   [`PhaseJammer`](rcb_core::fast_mc::PhaseJammer) onto the fluid
+//!   interface by rounding the fluid engine's expected observation into
+//!   the integer [`PhaseObservation`] the phase jammer reads, and
+//!   reinterpreting its integer plan as exact expected slot counts.
+//!   `Continuous`, `Bursty`, `SplitUniform`, `ChannelSweep`,
+//!   `ChannelLagged`, `LaggedReactive`, and `Adaptive` all route through
+//!   it.
+//! * [`RandomFluidJammer`] replaces `Random(p)`'s per-phase binomial
+//!   draw with its mean: `p · phase_len` expected jam slots on channel 0
+//!   (the slot pattern is the single-channel `jam_all`). Routing
+//!   `Random` through the adapter would smuggle an RNG into the tier.
+//!
+//! [`StrategySpec::fluid_jammer`](crate::StrategySpec::fluid_jammer)
+//! picks the right construction per strategy; agreement with `fast_mc`
+//! means is validated by experiment E19.
+
+use rcb_core::fast_mc::{McPhaseCtx, PhaseJammer};
+use rcb_core::fluid::{FluidJammer, FluidPhaseCtx, FluidPlan};
+use rcb_radio::{PhaseObservation, Spectrum};
+
+/// Adapts a deterministic [`PhaseJammer`] onto the fluid tier.
+///
+/// The wrapped jammer sees the fluid engine's expected per-channel
+/// tallies rounded to the nearest integer (a [`PhaseObservation`]), and
+/// its integer plan becomes the fluid plan verbatim. For plans that are
+/// closed-form functions of the phase window (`Bursty`, `ChannelSweep`,
+/// `Continuous`, blankets) the adaptation is exact; for
+/// observation-paced strategies (`Adaptive`, the lagged family) the
+/// rounding perturbs the expectation by at most half a slot per channel
+/// per phase.
+pub struct PhaseLoweredFluidJammer {
+    inner: Box<dyn PhaseJammer>,
+    obs_scratch: PhaseObservation,
+}
+
+impl std::fmt::Debug for PhaseLoweredFluidJammer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseLoweredFluidJammer")
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhaseLoweredFluidJammer {
+    /// Wraps a deterministic phase jammer. The caller is responsible for
+    /// not passing a stochastic one (the fluid tier's determinism
+    /// contract would silently break) — `StrategySpec::fluid_jammer`
+    /// routes `Random` to [`RandomFluidJammer`] instead.
+    #[must_use]
+    pub fn new(inner: Box<dyn PhaseJammer>, spectrum: Spectrum) -> Self {
+        Self {
+            inner,
+            obs_scratch: PhaseObservation::empty(spectrum),
+        }
+    }
+}
+
+fn round_vec(dst: &mut [u64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.round().max(0.0) as u64;
+    }
+}
+
+impl FluidJammer for PhaseLoweredFluidJammer {
+    fn plan_phase(&mut self, ctx: &FluidPhaseCtx<'_>) -> FluidPlan {
+        self.obs_scratch.slots = ctx.observation.slots;
+        round_vec(
+            &mut self.obs_scratch.correct_sends,
+            &ctx.observation.correct_sends,
+        );
+        round_vec(&mut self.obs_scratch.listens, &ctx.observation.listens);
+        round_vec(&mut self.obs_scratch.delivered, &ctx.observation.delivered);
+        round_vec(
+            &mut self.obs_scratch.jammed_slots,
+            &ctx.observation.jammed_slots,
+        );
+        let mc_ctx = McPhaseCtx {
+            phase: ctx.phase,
+            start_slot: ctx.start_slot,
+            phase_len: ctx.phase_len,
+            spectrum: ctx.spectrum,
+            budget_remaining: ctx.budget_remaining.map(|b| b.floor() as u64),
+            uninformed: ctx.uninformed.round().max(0.0) as u64,
+            informed: ctx.informed.round().max(0.0) as u64,
+            observation: &self.obs_scratch,
+        };
+        let mc_plan = self.inner.plan_phase(&mc_ctx);
+        let mut plan = FluidPlan::idle(ctx.spectrum);
+        for channel in ctx.spectrum.channels() {
+            plan.set_jam(channel, mc_plan.jam_on(channel) as f64);
+        }
+        plan
+    }
+}
+
+/// The fluid expectation model of `Random(p)`: `p · phase_len` expected
+/// jam slots on channel 0 (the single-channel `jam_all` pattern),
+/// deterministically — the mean of the phase-mc lowering's binomial
+/// draw.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomFluidJammer {
+    p: f64,
+}
+
+impl RandomFluidJammer {
+    /// Creates the expectation model for per-slot jam probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self { p }
+    }
+}
+
+impl FluidJammer for RandomFluidJammer {
+    fn plan_phase(&mut self, ctx: &FluidPhaseCtx<'_>) -> FluidPlan {
+        let mut plan = FluidPlan::idle(ctx.spectrum);
+        plan.set_jam(rcb_radio::ChannelId::ZERO, self.p * ctx.phase_len as f64);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BurstyJammer, SplitJammer};
+    use rcb_core::fluid::FluidObservation;
+    use rcb_radio::ChannelId;
+
+    fn fluid_ctx<'a>(
+        spectrum: Spectrum,
+        start_slot: u64,
+        phase_len: u64,
+        observation: &'a FluidObservation,
+    ) -> FluidPhaseCtx<'a> {
+        FluidPhaseCtx {
+            phase: 0,
+            start_slot,
+            phase_len,
+            spectrum,
+            budget_remaining: None,
+            uninformed: 100.0,
+            informed: 0.0,
+            observation,
+        }
+    }
+
+    #[test]
+    fn random_expectation_is_deterministic_and_scales_with_p() {
+        let spectrum = Spectrum::new(4);
+        let obs = FluidObservation::empty(spectrum);
+        let mut carol = RandomFluidJammer::new(0.25);
+        let ctx = fluid_ctx(spectrum, 0, 32, &obs);
+        let a = carol.plan_phase(&ctx);
+        let b = carol.plan_phase(&ctx);
+        assert_eq!(a, b);
+        assert_eq!(a.jam_on(ChannelId::ZERO), 8.0);
+        assert_eq!(a.total(), 8.0, "jam_all never leaves channel 0");
+    }
+
+    #[test]
+    fn adapter_preserves_closed_form_plans_exactly() {
+        let spectrum = Spectrum::new(2);
+        let obs = FluidObservation::empty(spectrum);
+        // Bursty 50/50 over slots 32..64: exactly 18 jammed slots on
+        // channel 0 (the single-channel jam_all pattern), identical to
+        // the phase-mc plan.
+        let mut carol = PhaseLoweredFluidJammer::new(Box::new(BurstyJammer::new(50, 50)), spectrum);
+        let plan = carol.plan_phase(&fluid_ctx(spectrum, 32, 32, &obs));
+        assert_eq!(plan.jam_slots(), &[18.0, 0.0]);
+        // A blanket stays a blanket.
+        let mut split =
+            PhaseLoweredFluidJammer::new(Box::new(SplitJammer::new(spectrum)), spectrum);
+        let plan = split.plan_phase(&fluid_ctx(spectrum, 0, 32, &obs));
+        assert_eq!(plan.jam_slots(), &[32.0, 32.0]);
+    }
+
+    #[test]
+    fn adapter_rounds_the_observation_for_paced_strategies() {
+        let spectrum = Spectrum::new(2);
+        let mut obs = FluidObservation::empty(spectrum);
+        obs.slots = 32;
+        obs.correct_sends = vec![40.2, 0.4];
+        let mut carol = PhaseLoweredFluidJammer::new(
+            Box::new(crate::ChannelLaggedPhaseJammer::new()),
+            spectrum,
+        );
+        let plan = carol.plan_phase(&fluid_ctx(spectrum, 32, 32, &obs));
+        assert!(plan.jam_on(ChannelId::new(0)) > 20.0, "{plan:?}");
+        assert_eq!(plan.jam_on(ChannelId::new(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn random_model_rejects_bad_probability() {
+        let _ = RandomFluidJammer::new(-0.1);
+    }
+}

@@ -11,11 +11,15 @@
 //! between the two isolates the value of the RSSI capability the paper's
 //! hardening is designed to defeat.
 //!
-//! This adversary is inherently **slot-only**: its decision depends on the
-//! activity of the immediately preceding slot, which the phase-level
-//! aggregated simulator does not represent. `StrategySpec::LaggedReactive`
-//! therefore has no phase-level counterpart, and the `Scenario` builder
-//! rejects it on the fast engine with a typed error.
+//! On the ε-BROADCAST schedule this adversary is slot-only: its decision
+//! depends on the activity of the immediately preceding slot, which the
+//! phase-level `fast` simulator does not represent, so the `Scenario`
+//! builder still rejects `StrategySpec::LaggedReactive` on the fast
+//! broadcast engine with a typed error. On the *hopping* tiers, though,
+//! its per-phase spend aggregates cleanly — one `jam_all` per
+//! union-active slot — so it lowers onto `fast_mc` (and the fluid tier)
+//! via expected union-activity pacing; see
+//! [`LaggedPhaseJammer`](crate::LaggedPhaseJammer).
 
 use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot, SlotObservation};
 
@@ -54,7 +58,7 @@ impl Adversary for LaggedJammer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_core::{BroadcastScratch, Params, RunConfig};
+    use rcb_core::{BroadcastSoaScratch, Params, RunConfig};
     use rcb_radio::{Budget, ParticipantId, PayloadKind};
 
     fn observation(
@@ -115,7 +119,7 @@ mod tests {
         let mut carol = LaggedJammer::new();
         assert!(!rcb_radio::Adversary::is_reactive(&carol));
         let cfg = RunConfig::seeded(3).carol_budget(Budget::limited(2_000));
-        let (outcome, _) = BroadcastScratch::new().run(&params, &mut carol, &cfg);
+        let (outcome, _) = BroadcastSoaScratch::new().run(&params, &mut carol, &cfg);
         assert!(
             outcome.informed_fraction() > 0.9,
             "informed {}",

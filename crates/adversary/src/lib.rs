@@ -24,7 +24,7 @@
 //! | [`AdaptiveJammer`] | Chen–Zheng 2020 adaptive adversary | track per-channel traffic estimates, greedily jam the hottest channels (channel-aware) |
 //!
 //! Every strategy is deterministic given its seed; the analysis harness
-//! constructs them from a serialisable [`StrategySpec`]. Three simulation
+//! constructs them from a serialisable [`StrategySpec`]. Four simulation
 //! granularities exist:
 //!
 //! * slot level ([`rcb_radio::Adversary`]) — every strategy;
@@ -33,11 +33,20 @@
 //!   ([`StrategySpec::phase_adversary`] returns `None` for slot-only
 //!   ones like [`LaggedJammer`]);
 //! * multi-channel phase level ([`rcb_core::fast_mc::PhaseJammer`], the
-//!   `fast_mc` hopping simulator) — the channel-aware family plus
-//!   silent/continuous, via the lowerings in [`AdaptivePhaseJammer`] /
+//!   `fast_mc` hopping simulator) — the **whole schedule-free zoo**: the
+//!   channel-aware family via [`AdaptivePhaseJammer`] /
 //!   [`ChannelLaggedPhaseJammer`] and the direct `PhaseJammer` impls on
-//!   [`SplitJammer`] / [`SweepJammer`]
-//!   ([`StrategySpec::phase_jammer`] returns `None` for the rest).
+//!   [`SplitJammer`] / [`SweepJammer`], plus the lowered single-channel
+//!   strategies — [`RandomJammer`] (per-phase binomial), [`BurstyJammer`]
+//!   (exact periodic interval counts), and [`LaggedPhaseJammer`]
+//!   (expected union-activity pacing). Only the schedule-bound family
+//!   stays off this tier ([`StrategySpec::phase_jammer`] returns `None`).
+//! * fluid mean-field level ([`rcb_core::fluid::FluidJammer`], the
+//!   deterministic O(phases) tier) — every phase-mc strategy joins via
+//!   its expectation model: [`PhaseLoweredFluidJammer`] adapts the
+//!   deterministic lowerings verbatim and [`RandomFluidJammer`] replaces
+//!   `Random`'s binomial draw with its mean
+//!   ([`StrategySpec::fluid_jammer`]).
 //!
 //! `rcb_sim::Scenario` rejects any strategy × engine combination without
 //! a model at the required granularity with a typed error. Channel-aware
@@ -51,6 +60,7 @@
 mod adaptive;
 mod bursty;
 mod continuous;
+mod fluid;
 mod lagged;
 mod multichannel;
 mod nuniform;
@@ -64,11 +74,12 @@ mod spoofer;
 pub use adaptive::AdaptiveJammer;
 pub use bursty::BurstyJammer;
 pub use continuous::ContinuousJammer;
+pub use fluid::{PhaseLoweredFluidJammer, RandomFluidJammer};
 pub use lagged::LaggedJammer;
 pub use multichannel::{ChannelLaggedJammer, SplitJammer, SweepJammer};
 pub use nuniform::EpsilonExtractor;
 pub use phase_blocker::{PhaseBlocker, PhaseTarget};
-pub use phase_mc::{AdaptivePhaseJammer, ChannelLaggedPhaseJammer};
+pub use phase_mc::{AdaptivePhaseJammer, ChannelLaggedPhaseJammer, LaggedPhaseJammer};
 pub use random::RandomJammer;
 pub use reactive::ReactiveJammer;
 pub use spec::StrategySpec;
@@ -78,11 +89,12 @@ pub use spoofer::NackSpoofer;
 // for "every adversary".
 pub use rcb_core::fast::SilentPhaseAdversary;
 pub use rcb_core::fast_mc::SilentPhaseJammer;
+pub use rcb_core::fluid::SilentFluidJammer;
 pub use rcb_radio::SilentAdversary;
 
 #[cfg(test)]
 mod test_util {
-    use rcb_core::{BroadcastOutcome, BroadcastScratch, Params, RunConfig};
+    use rcb_core::{BroadcastOutcome, BroadcastSoaScratch, Params, RunConfig};
 
     /// One-shot scratch run, shared by every strategy's test module.
     pub(crate) fn run_broadcast(
@@ -90,6 +102,6 @@ mod test_util {
         adversary: &mut dyn rcb_radio::Adversary,
         config: &RunConfig,
     ) -> BroadcastOutcome {
-        BroadcastScratch::new().run(params, adversary, config).0
+        BroadcastSoaScratch::new().run(params, adversary, config).0
     }
 }

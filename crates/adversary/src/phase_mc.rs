@@ -22,13 +22,25 @@
 //!
 //! * [`ChannelLaggedPhaseJammer`] — jam next phase on each channel in
 //!   proportion to its expected active slots last phase;
+//! * [`LaggedPhaseJammer`] — the single-channel-born lagged reactive
+//!   jammer ([`LaggedJammer`](crate::LaggedJammer)): jam the next phase,
+//!   on channel 0 (its slot pattern is `jam_all`, the single-channel
+//!   "jam everything"), for the expected number of slots whose
+//!   *predecessor* carried correct traffic — the union-activity
+//!   Poissonisation of last phase's total sends;
 //! * [`AdaptivePhaseJammer`] — the Chen–Zheng 2020 adaptive rule at
 //!   phase granularity: EMA heat per channel (observed sends + clean
 //!   deliveries), a windowed activity gate, spend paced by the observed
 //!   traffic rate, placement greedily on the hottest candidates.
 //!
+//! The remaining oblivious slot strategies (`Random`, `Bursty`) lower in
+//! their own modules, next to their private pattern state: a per-phase
+//! binomial draw and the exact periodic-interval count respectively.
+//! With those, the **whole schedule-free zoo** runs on `fast_mc`.
+//!
 //! Statistical agreement of the lowered family with the exact engine is
-//! validated by `tests/fast_mc_vs_exact.rs` and experiment E13.
+//! validated by `tests/fast_mc_vs_exact.rs`, the dedicated lowering
+//! suite in `tests/phase_lowerings.rs`, and experiments E13/E19.
 
 use std::collections::VecDeque;
 
@@ -110,6 +122,49 @@ impl PhaseJammer for ChannelLaggedPhaseJammer {
             let slots = (obs.expected_active_slots(channel) * scale).round() as u64;
             plan.set_jam(channel, slots.min(ctx.phase_len));
         }
+        plan
+    }
+}
+
+/// Phase lowering of [`LaggedJammer`](crate::LaggedJammer) — detection-
+/// then-jam with one slot of latency, at phase granularity.
+///
+/// The slot-level jammer fires `jam_all` — the source paper's
+/// single-channel "jam everything", which targets channel 0 only — in
+/// slot `t + 1` whenever any correct device transmitted in slot `t`, so
+/// over a phase it spends one unit per *union-active* slot (a slot with
+/// at least one correct send on any channel). The lowering reproduces
+/// that spend in expectation: Poissonising last phase's **total** send
+/// count over its slots gives the expected union-active slots
+/// `s · (1 − e^{−total_sends/s})`, which is scaled to the next phase's
+/// length and planned on channel 0. At `C = 1` this is exactly the
+/// single-channel strategy the exact engine runs; like its slot
+/// counterpart it is idle before the first observation.
+#[derive(Debug, Clone, Default)]
+pub struct LaggedPhaseJammer;
+
+impl LaggedPhaseJammer {
+    /// Creates a phase-lagged reactive jammer (idle until the first
+    /// observation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PhaseJammer for LaggedPhaseJammer {
+    fn plan_phase(&mut self, ctx: &McPhaseCtx<'_>) -> McPhasePlan {
+        let obs = ctx.observation;
+        if obs.slots == 0 {
+            return McPhasePlan::idle(ctx.spectrum);
+        }
+        let s = obs.slots as f64;
+        let total_sends: u64 = obs.correct_sends.iter().sum();
+        let union_active = s * (1.0 - (-(total_sends as f64) / s).exp());
+        let scale = ctx.phase_len as f64 / s;
+        let slots = ((union_active * scale).round() as u64).min(ctx.phase_len);
+        let mut plan = McPhasePlan::idle(ctx.spectrum);
+        plan.set_jam(ChannelId::ZERO, slots);
         plan
     }
 }
@@ -345,6 +400,35 @@ mod tests {
         let plan = carol.plan_phase(&ctx(spectrum, 1, 32, 32, &o));
         assert!(plan.jam_on(ChannelId::new(0)) > 20, "{plan:?}");
         assert_eq!(plan.jam_on(ChannelId::new(1)), 0);
+    }
+
+    #[test]
+    fn lagged_reactive_lowering_paces_channel_zero_by_union_activity() {
+        let spectrum = Spectrum::new(2);
+        let mut carol = LaggedPhaseJammer::new();
+        let empty = PhaseObservation::empty(spectrum);
+        assert_eq!(
+            carol.plan_phase(&ctx(spectrum, 0, 0, 32, &empty)).total(),
+            0,
+            "no clairvoyance before the first observation"
+        );
+        // Saturating traffic: essentially every slot was active, so the
+        // lowering jams essentially the whole next phase on channel 0
+        // (the slot jammer fires the single-channel jam_all after every
+        // active slot).
+        let busy = obs(spectrum, 32, &[200, 200], &[0, 0]);
+        let plan = carol.plan_phase(&ctx(spectrum, 1, 32, 32, &busy));
+        assert!(plan.jam_on(ChannelId::new(0)) >= 31, "{plan:?}");
+        assert_eq!(
+            plan.jam_on(ChannelId::new(1)),
+            0,
+            "jam_all never leaves channel 0"
+        );
+        // Sparse traffic: roughly one active slot maps to roughly one
+        // jammed slot, never more than Poissonisation allows.
+        let sparse = obs(spectrum, 32, &[1, 0], &[0, 0]);
+        let plan = carol.plan_phase(&ctx(spectrum, 2, 64, 32, &sparse));
+        assert_eq!(plan.jam_on(ChannelId::new(0)), 1, "{plan:?}");
     }
 
     #[test]

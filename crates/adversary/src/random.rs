@@ -2,6 +2,7 @@
 
 use rand::{Rng, SeedableRng};
 use rcb_core::fast::{PhaseAdversary, PhaseCtx, PhasePlan};
+use rcb_core::fast_mc::{McPhaseCtx, McPhasePlan, PhaseJammer};
 use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Slot};
 use rcb_rng::{Binomial, SimRng};
 
@@ -58,6 +59,23 @@ impl PhaseAdversary for RandomJammer {
     }
 }
 
+impl PhaseJammer for RandomJammer {
+    /// Multi-channel phase lowering: the slot adversary's `jam_all` is
+    /// the single-channel "jam everything" of the source paper — it
+    /// targets **channel 0 only**, at one unit per firing slot — so the
+    /// lowering plans one binomial draw `J ~ Bin(phase_len, p)` on
+    /// channel 0 and leaves the rest of the spectrum untouched, exactly
+    /// like the slot pattern it aggregates.
+    fn plan_phase(&mut self, ctx: &McPhaseCtx<'_>) -> McPhasePlan {
+        let jam = Binomial::new(ctx.phase_len, self.p)
+            .expect("validated probability")
+            .sample(&mut self.rng);
+        let mut plan = McPhasePlan::idle(ctx.spectrum);
+        plan.set_jam(rcb_radio::ChannelId::ZERO, jam);
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +114,34 @@ mod tests {
     }
 
     #[test]
+    fn phase_mc_plan_jams_channel_zero_at_density_p() {
+        use rcb_core::fast_mc::{McPhaseCtx, PhaseJammer};
+        use rcb_radio::{PhaseObservation, Spectrum};
+
+        let spectrum = Spectrum::new(4);
+        let mut carol = RandomJammer::new(0.25, 3);
+        let empty = PhaseObservation::empty(spectrum);
+        let ctx = McPhaseCtx {
+            phase: 0,
+            start_slot: 0,
+            phase_len: 100_000,
+            spectrum,
+            budget_remaining: None,
+            uninformed: 5,
+            informed: 0,
+            observation: &empty,
+        };
+        let plan = PhaseJammer::plan_phase(&mut carol, &ctx);
+        let per_channel = plan.jam_slots();
+        assert!(
+            per_channel[1..].iter().all(|&j| j == 0),
+            "jam_all never leaves channel 0: {per_channel:?}"
+        );
+        let frac = per_channel[0] as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
     fn phase_plan_density_matches_p() {
         let mut carol = RandomJammer::new(0.25, 3);
         let ctx = PhaseCtx {
@@ -105,7 +151,7 @@ mod tests {
             budget_remaining: None,
             uninformed: 5,
         };
-        let plan = carol.plan_phase(&ctx);
+        let plan = PhaseAdversary::plan_phase(&mut carol, &ctx);
         let frac = plan.jam_slots as f64 / 100_000.0;
         assert!((frac - 0.25).abs() < 0.02, "fraction {frac}");
     }

@@ -4,13 +4,15 @@
 
 use rcb_core::fast::PhaseAdversary;
 use rcb_core::fast_mc::PhaseJammer;
+use rcb_core::fluid::FluidJammer;
 use rcb_core::{Params, RoundSchedule};
 use rcb_radio::{Adversary, Spectrum};
 
 use crate::{
     AdaptiveJammer, AdaptivePhaseJammer, BurstyJammer, ChannelLaggedJammer,
-    ChannelLaggedPhaseJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer, NackSpoofer,
-    PhaseBlocker, PhaseTarget, RandomJammer, ReactiveJammer, SilentAdversary, SilentPhaseAdversary,
+    ChannelLaggedPhaseJammer, ContinuousJammer, EpsilonExtractor, LaggedJammer, LaggedPhaseJammer,
+    NackSpoofer, PhaseBlocker, PhaseLoweredFluidJammer, PhaseTarget, RandomFluidJammer,
+    RandomJammer, ReactiveJammer, SilentAdversary, SilentFluidJammer, SilentPhaseAdversary,
     SilentPhaseJammer, SplitJammer, SweepJammer,
 };
 
@@ -58,7 +60,9 @@ pub enum StrategySpec {
     /// §4.1 reactive RSSI jamming.
     Reactive,
     /// Detection-then-jam with one slot of latency (no in-slot CCA).
-    /// Slot-only: has no phase-level model.
+    /// Slot-only on the ε-BROADCAST schedule (no `fast` phase model),
+    /// but lowered onto the hopping tiers via expected union-activity
+    /// pacing ([`crate::LaggedPhaseJammer`]).
     LaggedReactive,
     /// Budget-splitting uniform jammer: blanket every channel of the
     /// spectrum each slot (costs `C` units per slot). Channel-aware:
@@ -147,24 +151,45 @@ impl StrategySpec {
     /// exists — whether it can run on the `fast_mc` phase-level hopping
     /// simulator. See [`StrategySpec::phase_jammer`].
     ///
-    /// True for the whole channel-aware family (via the lowerings in
-    /// [`crate::AdaptivePhaseJammer`] / [`crate::ChannelLaggedPhaseJammer`]
-    /// and the direct impls on [`SplitJammer`] / [`SweepJammer`]) plus
-    /// `Silent` and `Continuous`. Strategies whose decisions are
-    /// inherently slot-granular with no channel dimension to aggregate
-    /// over (`Random`, `Bursty`, `LaggedReactive`) and the
-    /// schedule-bound family have no phase-mc model.
+    /// True for the **whole schedule-free zoo**: the channel-aware family
+    /// (via the lowerings in [`crate::AdaptivePhaseJammer`] /
+    /// [`crate::ChannelLaggedPhaseJammer`] and the direct impls on
+    /// [`SplitJammer`] / [`SweepJammer`]), `Silent` and `Continuous`, and
+    /// the lowered single-channel strategies — `Random` (per-phase
+    /// binomial draws), `Bursty` (exact periodic interval counts, bursts
+    /// straddling phase boundaries included), and `LaggedReactive`
+    /// (expected union-activity pacing via [`crate::LaggedPhaseJammer`]).
+    /// Only the schedule-bound family has no phase-mc model — the
+    /// ε-BROADCAST round structure does not exist on the hopping
+    /// protocols.
     #[must_use]
     pub fn supports_phase_mc(&self) -> bool {
         matches!(
             self,
             StrategySpec::Silent
                 | StrategySpec::Continuous
+                | StrategySpec::Random(_)
+                | StrategySpec::Bursty { .. }
+                | StrategySpec::LaggedReactive
                 | StrategySpec::SplitUniform
                 | StrategySpec::ChannelSweep { .. }
                 | StrategySpec::ChannelLagged
                 | StrategySpec::Adaptive { .. }
         )
+    }
+
+    /// Whether a deterministic **fluid-tier** expectation model of this
+    /// strategy exists — whether it can run on the mean-field engine.
+    /// See [`StrategySpec::fluid_jammer`].
+    ///
+    /// Exactly the phase-mc family: every deterministic phase-mc
+    /// lowering adapts verbatim ([`crate::PhaseLoweredFluidJammer`]),
+    /// and `Random` — the one stochastic lowering — joins through its
+    /// dedicated expectation model ([`crate::RandomFluidJammer`]), so
+    /// the two capability sets coincide.
+    #[must_use]
+    pub fn supports_fluid(&self) -> bool {
+        self.supports_phase_mc()
     }
 
     /// Whether this strategy's behaviour is defined in terms of a
@@ -304,12 +329,16 @@ impl StrategySpec {
     /// Builds the phase-level multi-channel jammer for the `fast_mc`
     /// simulator over an explicit spectrum, or `None` when the strategy
     /// has no phase-mc model (see [`StrategySpec::supports_phase_mc`]).
+    /// `seed` drives the stochastic lowerings (`Random`'s per-phase
+    /// binomial draws); the deterministic ones ignore it.
     #[must_use]
     pub fn phase_jammer(&self, spectrum: Spectrum, seed: u64) -> Option<Box<dyn PhaseJammer>> {
-        let _ = seed; // every current phase-mc lowering is deterministic
         Some(match *self {
             StrategySpec::Silent => Box::new(SilentPhaseJammer),
             StrategySpec::Continuous => Box::new(ContinuousJammer),
+            StrategySpec::Random(p) => Box::new(RandomJammer::new(p, seed)),
+            StrategySpec::Bursty { burst, gap } => Box::new(BurstyJammer::new(burst, gap)),
+            StrategySpec::LaggedReactive => Box::new(LaggedPhaseJammer::new()),
             StrategySpec::SplitUniform => Box::new(SplitJammer::new(spectrum)),
             StrategySpec::ChannelSweep { dwell } => Box::new(SweepJammer::new(spectrum, dwell)),
             StrategySpec::ChannelLagged => Box::new(ChannelLaggedPhaseJammer::new()),
@@ -318,6 +347,23 @@ impl StrategySpec {
             }
             _ => return None,
         })
+    }
+
+    /// Builds the deterministic fluid-tier expectation model over an
+    /// explicit spectrum, or `None` when the strategy has no fluid model
+    /// (see [`StrategySpec::supports_fluid`]). No seed parameter on
+    /// purpose: the fluid tier has no RNG anywhere, so `Random` routes
+    /// to its mean-plan model instead of its sampling lowering.
+    #[must_use]
+    pub fn fluid_jammer(&self, spectrum: Spectrum) -> Option<Box<dyn FluidJammer>> {
+        match *self {
+            StrategySpec::Silent => Some(Box::new(SilentFluidJammer)),
+            StrategySpec::Random(p) => Some(Box::new(RandomFluidJammer::new(p))),
+            _ => {
+                let inner = self.phase_jammer(spectrum, 0)?;
+                Some(Box::new(PhaseLoweredFluidJammer::new(inner, spectrum)))
+            }
+        }
     }
 
     /// Every phase-capable strategy with representative parameters, for
@@ -368,7 +414,7 @@ impl StrategySpec {
 mod tests {
     use super::*;
     use rcb_core::fast::{run_fast, FastConfig};
-    use rcb_core::{BroadcastScratch, RunConfig};
+    use rcb_core::{BroadcastSoaScratch, RunConfig};
     use rcb_radio::Budget;
 
     #[test]
@@ -386,7 +432,7 @@ mod tests {
     #[test]
     fn every_spec_builds_and_runs_on_both_engines() {
         let params = Params::builder(16).build().unwrap();
-        let mut scratch = BroadcastScratch::new();
+        let mut scratch = BroadcastSoaScratch::new();
         for spec in StrategySpec::full_roster() {
             let mut slot_carol = spec.slot_adversary(&params, 1);
             let cfg = RunConfig::seeded(1).carol_budget(Budget::limited(500));
@@ -434,23 +480,70 @@ mod tests {
                 "{}",
                 spec.name()
             );
+            assert_eq!(
+                spec.fluid_jammer(Spectrum::new(4)).is_some(),
+                spec.supports_fluid(),
+                "{}",
+                spec.name()
+            );
+            assert_eq!(
+                spec.supports_fluid(),
+                spec.supports_phase_mc(),
+                "fluid and phase-mc capability sets coincide: {}",
+                spec.name()
+            );
         }
     }
 
     #[test]
-    fn every_channel_aware_strategy_has_a_phase_mc_model() {
-        for spec in StrategySpec::channel_roster() {
-            assert!(
+    fn the_whole_schedule_free_zoo_has_a_phase_mc_model() {
+        for spec in StrategySpec::full_roster() {
+            assert_eq!(
                 spec.supports_phase_mc(),
-                "{} should run on the fast_mc engine",
+                !spec.requires_schedule(),
+                "{}: phase-mc coverage is exactly the schedule-free zoo",
                 spec.name()
             );
         }
-        // ...and silent/continuous ride along as the baselines.
-        assert!(StrategySpec::Silent.supports_phase_mc());
-        assert!(StrategySpec::Continuous.supports_phase_mc());
-        // The slot-only single-channel family stays slot-only.
-        assert!(!StrategySpec::LaggedReactive.supports_phase_mc());
-        assert!(!StrategySpec::Random(0.5).supports_phase_mc());
+        // The former stragglers are now covered.
+        assert!(StrategySpec::LaggedReactive.supports_phase_mc());
+        assert!(StrategySpec::Random(0.5).supports_phase_mc());
+        assert!(StrategySpec::Bursty { burst: 64, gap: 64 }.supports_phase_mc());
+    }
+
+    #[test]
+    fn random_phase_lowering_is_seeded_and_fluid_model_is_not() {
+        // Two seeds give different binomial streams on the phase tier...
+        let spectrum = Spectrum::new(2);
+        let spec = StrategySpec::Random(0.5);
+        let obs = rcb_radio::PhaseObservation::empty(spectrum);
+        let ctx = rcb_core::fast_mc::McPhaseCtx {
+            phase: 0,
+            start_slot: 0,
+            phase_len: 10_000,
+            spectrum,
+            budget_remaining: None,
+            uninformed: 10,
+            informed: 0,
+            observation: &obs,
+        };
+        let plan_a = spec.phase_jammer(spectrum, 1).unwrap().plan_phase(&ctx);
+        let plan_b = spec.phase_jammer(spectrum, 2).unwrap().plan_phase(&ctx);
+        assert_ne!(plan_a.jam_slots(), plan_b.jam_slots(), "seed must matter");
+        // ...while the fluid model plans the exact mean, deterministically.
+        let fobs = rcb_core::fluid::FluidObservation::empty(spectrum);
+        let fctx = rcb_core::fluid::FluidPhaseCtx {
+            phase: 0,
+            start_slot: 0,
+            phase_len: 10_000,
+            spectrum,
+            budget_remaining: None,
+            uninformed: 10.0,
+            informed: 0.0,
+            observation: &fobs,
+        };
+        let fplan = spec.fluid_jammer(spectrum).unwrap().plan_phase(&fctx);
+        // jam_all targets channel 0 only, at the exact mean p·phase_len.
+        assert_eq!(fplan.jam_slots(), &[5_000.0, 0.0]);
     }
 }

@@ -30,7 +30,7 @@
 //! this family does".
 
 use rcb_adversary::StrategySpec;
-use rcb_core::{execute_hopping, HoppingConfig};
+use rcb_core::{execute_hopping_soa, HoppingConfig};
 use rcb_radio::{Adversary, AdversaryCtx, AdversaryMove, Budget, Slot, SlotObservation, Spectrum};
 use rcb_sim::{pearson, HoppingSpec, Scenario, ScenarioOutcome};
 
@@ -155,7 +155,7 @@ fn chase_correlation(plan: &Plan, strategy: StrategySpec, channels: u16, seed: u
         trace_capacity: 0,
         seed,
     };
-    let _ = execute_hopping(&config, spectrum, &mut probe);
+    let _ = execute_hopping_soa(&config, spectrum, &mut probe);
     pearson(&probe.traffic, &probe.jammed)
 }
 

@@ -122,6 +122,7 @@ impl TierProfile {
                 // informed/jam counters are outputs, not work items.
                 self.counter(MetricId::FastPhases)
             }
+            EngineTier::Fluid => self.counter(MetricId::FluidPhases),
         }
     }
 

@@ -20,6 +20,7 @@ pub mod e13_fast_mc;
 pub mod e15_sweep;
 pub mod e17_epoch;
 pub mod e18_profile;
+pub mod e19_fluid;
 pub mod e1_cost_scaling;
 pub mod e2_delivery;
 pub mod e3_latency;

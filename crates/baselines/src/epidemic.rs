@@ -8,13 +8,13 @@
 //! grows linearly in `T` — the pattern "many algorithms for communication
 //! in WSNs suffer" (§1.1).
 
-use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    run_gossip_soa_with, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
-    GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
+    run_gossip_soa_with, Adversary, Budget, EngineConfig, GossipSoaScratch, GossipSpec, Payload,
+    RunReport,
 };
-use rcb_rng::{SeedTree, SimRng};
+use rcb_rng::SeedTree;
 use rcb_telemetry::{Collector, NoopCollector};
 
 /// Configuration for an epidemic-gossip run.
@@ -53,242 +53,8 @@ impl EpidemicConfig {
     }
 }
 
-/// Alice under gossip: transmits with probability 1/2 until the horizon.
-#[derive(Debug)]
-struct GossipAlice {
-    signed_m: Signed,
-    horizon: u64,
-    done: bool,
-}
-
-impl NodeProtocol for GossipAlice {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        if rand::Rng::gen_bool(rng, 0.5) {
-            Action::Send(Payload::Broadcast(self.signed_m.clone()))
-        } else {
-            Action::Sleep
-        }
-    }
-    fn on_reception(&mut self, _: Slot, _: Reception) {}
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        true
-    }
-}
-
-/// A gossip node: listens until informed, then relays forever (until the
-/// horizon).
-#[derive(Debug)]
-struct GossipNode {
-    verifier: Verifier,
-    alice_key: KeyId,
-    listen_p: f64,
-    relay_p: f64,
-    horizon: u64,
-    message: Option<Signed>,
-    done: bool,
-}
-
-impl NodeProtocol for GossipNode {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        match &self.message {
-            Some(m) => {
-                if rand::Rng::gen_bool(rng, self.relay_p) {
-                    Action::Send(Payload::Broadcast(m.clone()))
-                } else {
-                    Action::Sleep
-                }
-            }
-            None => {
-                if rand::Rng::gen_bool(rng, self.listen_p) {
-                    Action::Listen
-                } else {
-                    Action::Sleep
-                }
-            }
-        }
-    }
-    fn on_reception(&mut self, _: Slot, reception: Reception) {
-        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
-            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
-                self.message = Some(signed);
-            }
-        }
-    }
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        self.message.is_some()
-    }
-}
-
-/// One epidemic-gossip roster slot: Alice or a gossip node.
-///
-/// Homogeneous roster type for the engine's monomorphized fast path.
-#[derive(Debug)]
-enum GossipParticipant {
-    Alice(GossipAlice),
-    Node(GossipNode),
-}
-
-impl NodeProtocol for GossipParticipant {
-    #[inline]
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        match self {
-            GossipParticipant::Alice(a) => a.act(slot, rng),
-            GossipParticipant::Node(n) => n.act(slot, rng),
-        }
-    }
-    #[inline]
-    fn channel(&self, slot: Slot) -> rcb_radio::ChannelId {
-        match self {
-            GossipParticipant::Alice(a) => a.channel(slot),
-            GossipParticipant::Node(n) => n.channel(slot),
-        }
-    }
-    #[inline]
-    fn on_budget_exhausted(&mut self, slot: Slot) {
-        match self {
-            GossipParticipant::Alice(a) => a.on_budget_exhausted(slot),
-            GossipParticipant::Node(n) => n.on_budget_exhausted(slot),
-        }
-    }
-    #[inline]
-    fn on_reception(&mut self, slot: Slot, reception: Reception) {
-        match self {
-            GossipParticipant::Alice(a) => a.on_reception(slot, reception),
-            GossipParticipant::Node(n) => n.on_reception(slot, reception),
-        }
-    }
-    #[inline]
-    fn has_terminated(&self) -> bool {
-        match self {
-            GossipParticipant::Alice(a) => a.has_terminated(),
-            GossipParticipant::Node(n) => n.has_terminated(),
-        }
-    }
-    #[inline]
-    fn is_informed(&self) -> bool {
-        match self {
-            GossipParticipant::Alice(a) => a.is_informed(),
-            GossipParticipant::Node(n) => n.is_informed(),
-        }
-    }
-}
-
-/// Reusable scratch for batched epidemic-gossip runs.
-#[derive(Debug, Default)]
-pub struct EpidemicScratch {
-    roster: Vec<GossipParticipant>,
-    budgets: Vec<Budget>,
-    engine: EngineScratch,
-}
-
-impl EpidemicScratch {
-    /// Creates an empty scratch; buffers are shaped on first use.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-/// Runs epidemic gossip and reports a [`BroadcastOutcome`] plus the raw
-/// engine report — whose [`trace`](RunReport::trace) is populated when
-/// [`EpidemicConfig::trace_capacity`] is nonzero, so blocked runs can be
-/// post-mortemed slot by slot.
-///
-/// This is the execution engine behind `rcb_sim::Scenario::epidemic`;
-/// prefer the `Scenario` builder in application code. Batched callers
-/// should use [`execute_epidemic_in`] with a per-worker
-/// [`EpidemicScratch`].
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability (the `Scenario` builder
-/// rejects this with a typed error instead).
-#[must_use]
-pub fn execute_epidemic(
-    config: &EpidemicConfig,
-    adversary: &mut dyn Adversary,
-) -> (BroadcastOutcome, RunReport) {
-    execute_epidemic_in(config, adversary, &mut EpidemicScratch::new())
-}
-
-/// Like [`execute_epidemic`], reusing caller-owned scratch allocations —
-/// the batched-trials entry point.
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability.
-#[must_use]
-pub fn execute_epidemic_in(
-    config: &EpidemicConfig,
-    adversary: &mut dyn Adversary,
-    scratch: &mut EpidemicScratch,
-) -> (BroadcastOutcome, RunReport) {
-    assert!(
-        (0.0..=1.0).contains(&config.listen_p),
-        "listen_p must be a probability"
-    );
-    let seeds = SeedTree::new(config.seed);
-    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-    let alice_key = authority.issue_key();
-    let verifier = authority.verifier();
-    let signed_m = alice_key.sign(&MessageBytes::from_static(b"gossip payload m"));
-
-    let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
-    scratch.roster.clear();
-    scratch.roster.reserve(config.n as usize + 1);
-    scratch.roster.push(GossipParticipant::Alice(GossipAlice {
-        signed_m,
-        horizon: config.horizon,
-        done: false,
-    }));
-    for _ in 0..config.n {
-        scratch.roster.push(GossipParticipant::Node(GossipNode {
-            verifier,
-            alice_key: alice_key.id(),
-            listen_p: config.listen_p,
-            relay_p,
-            horizon: config.horizon,
-            message: None,
-            done: false,
-        }));
-    }
-    scratch.budgets.clear();
-    scratch
-        .budgets
-        .resize(config.n as usize + 1, Budget::unlimited());
-    let engine = ExactEngine::new(EngineConfig {
-        max_slots: config.horizon + 2,
-        trace_capacity: config.trace_capacity,
-        ..EngineConfig::default()
-    });
-    let report = engine.run_with_roster_typed_in(
-        &mut scratch.engine,
-        &mut scratch.roster,
-        &scratch.budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
-
-    let outcome = gossip_outcome(config.n, &report);
-    (outcome, report)
-}
-
-/// Reusable scratch for batched era-2 epidemic-gossip runs.
+/// Reusable scratch for batched epidemic-gossip runs on the
+/// sleep-skipping SoA engine.
 #[derive(Debug, Default)]
 pub struct EpidemicSoaScratch {
     budgets: Vec<Budget>,
@@ -303,16 +69,22 @@ impl EpidemicSoaScratch {
     }
 }
 
-/// Runs epidemic gossip on the era-2 sleep-skipping engine.
+/// Runs epidemic gossip on the sleep-skipping SoA engine and reports a
+/// [`BroadcastOutcome`] plus the raw engine report — whose
+/// [`trace`](RunReport::trace) is populated when
+/// [`EpidemicConfig::trace_capacity`] is nonzero, so blocked runs can be
+/// post-mortemed slot by slot. Per-slot cost is proportional to the
+/// events in a run, not `n`.
 ///
-/// Statistically equivalent to [`execute_epidemic`] (validated by the
-/// `era1-oracle` cross-validation suite) but with per-slot cost
-/// proportional to the events in a run, not `n` — the default exact
-/// path since fingerprint era 2. Not stream-compatible with era 1.
+/// This is the execution engine behind `rcb_sim::Scenario::epidemic`;
+/// prefer the `Scenario` builder in application code. Batched callers
+/// should use [`execute_epidemic_soa_in`] with a per-worker
+/// [`EpidemicSoaScratch`].
 ///
 /// # Panics
 ///
-/// Panics if `listen_p` is not a probability.
+/// Panics if `listen_p` is not a probability (the `Scenario` builder
+/// rejects this with a typed error instead).
 #[must_use]
 pub fn execute_epidemic_soa(
     config: &EpidemicConfig,
@@ -406,39 +178,11 @@ mod tests {
     use rcb_radio::SilentAdversary;
 
     #[test]
-    fn gossip_delivers_quickly_when_quiet() {
-        let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
-        let (outcome, _) = execute_epidemic(&cfg, &mut SilentAdversary);
-        assert_eq!(outcome.informed_nodes, 32);
-        // Gossip never stops on its own (the run lasts to the horizon),
-        // but informed nodes stop listening: per-node listen cost is far
-        // below the 0.5 × horizon an uninformed node would pay.
-        let mean_listens = outcome.node_total_cost.listens as f64 / 32.0;
-        assert!(mean_listens < 200.0, "mean listens {mean_listens}");
-    }
-
-    #[test]
-    fn listener_cost_scales_with_jamming() {
-        let t = 3_000u64;
-        let cfg = EpidemicConfig::new(8, t + 500, Budget::limited(t), 2);
-        let (outcome, _) = execute_epidemic(&cfg, &mut ContinuousJammer);
-        assert_eq!(outcome.informed_nodes, 8);
-        // Uninformed nodes listened with p=0.5 through all T jammed slots:
-        // expected cost ≈ T/2 each — linear in T, unlike ε-BROADCAST.
-        let per_node = outcome.mean_node_cost();
-        assert!(
-            per_node > t as f64 * 0.4,
-            "per-node cost {per_node} should be ≈ T/2 = {}",
-            t / 2
-        );
-    }
-
-    #[test]
     #[should_panic(expected = "listen_p must be a probability")]
     fn rejects_bad_listen_p() {
         let mut cfg = EpidemicConfig::new(4, 10, Budget::unlimited(), 0);
         cfg.listen_p = 1.5;
-        let _ = execute_epidemic(&cfg, &mut SilentAdversary);
+        let _ = execute_epidemic_soa(&cfg, &mut SilentAdversary);
     }
 
     #[test]
@@ -446,12 +190,13 @@ mod tests {
         let cfg = EpidemicConfig::new(32, 2_000, Budget::unlimited(), 1);
         let (outcome, report) = execute_epidemic_soa(&cfg, &mut SilentAdversary);
         assert_eq!(outcome.informed_nodes, 32);
+        // Gossip never stops on its own (the run lasts to the horizon),
+        // but informed nodes stop listening: per-node listen cost is far
+        // below the 0.5 × horizon an uninformed node would pay.
         let mean_listens = outcome.node_total_cost.listens as f64 / 32.0;
         assert!(mean_listens < 200.0, "mean listens {mean_listens}");
-        // Timeline shape matches era 1: runs last to the horizon.
-        let (_, r1) = execute_epidemic(&cfg, &mut SilentAdversary);
-        assert_eq!(report.slots_elapsed, r1.slots_elapsed);
-        assert_eq!(report.stop_reason, r1.stop_reason);
+        // Relaying never terminates, so the run lasts to the horizon.
+        assert_eq!(report.slots_elapsed, 2_001);
     }
 
     #[test]

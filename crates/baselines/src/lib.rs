@@ -24,12 +24,12 @@
 //!
 //! ## Crate layout
 //!
-//! * [`execute_naive`] / [`NaiveConfig`] — always-on sender,
+//! * [`execute_naive_soa`] / [`NaiveConfig`] — always-on sender,
 //!   always-listening receivers; per-device cost `Θ(T)`. Runs on the
 //!   exact engine against any [`rcb_radio::Adversary`].
-//! * [`execute_epidemic`] / [`EpidemicConfig`] — constant-rate relaying
-//!   without backoff; receivers still pay `Θ(T)` listening through
-//!   jamming.
+//! * [`execute_epidemic_soa`] / [`EpidemicConfig`] — constant-rate
+//!   relaying without backoff; receivers still pay `Θ(T)` listening
+//!   through jamming.
 //! * [`ksy`] — a two-player epoch protocol reproducing the *shape* of
 //!   \[23\]: per-player cost `O(T^{φ−1})` against a continuous jammer.
 //! * [`execute_kpsy`] / [`KpsyConfig`] — the `n`-player KPSY jamming
@@ -46,11 +46,10 @@ pub mod ksy;
 mod naive;
 
 pub use epidemic::{
-    execute_epidemic, execute_epidemic_in, execute_epidemic_soa, execute_epidemic_soa_in,
-    execute_epidemic_soa_with, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch,
+    execute_epidemic_soa, execute_epidemic_soa_in, execute_epidemic_soa_with, EpidemicConfig,
+    EpidemicSoaScratch,
 };
 pub use kpsy::{execute_kpsy, execute_kpsy_in, KpsyConfig, KpsyScratch};
 pub use naive::{
-    execute_naive, execute_naive_in, execute_naive_soa, execute_naive_soa_in,
-    execute_naive_soa_with, NaiveConfig, NaiveScratch, NaiveSoaScratch,
+    execute_naive_soa, execute_naive_soa_in, execute_naive_soa_with, NaiveConfig, NaiveSoaScratch,
 };

@@ -1,12 +1,12 @@
 //! The naive always-on broadcast — §1.1's strawman.
 
-use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_core::{gossip_outcome, BroadcastOutcome};
 use rcb_radio::{
-    run_gossip_soa_with, Action, Adversary, Budget, EngineConfig, EngineScratch, ExactEngine,
-    GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
+    run_gossip_soa_with, Adversary, Budget, EngineConfig, GossipSoaScratch, GossipSpec, Payload,
+    RunReport,
 };
-use rcb_rng::{SeedTree, SimRng};
+use rcb_rng::SeedTree;
 use rcb_telemetry::{Collector, NoopCollector};
 
 /// Configuration for a naive-broadcast run.
@@ -41,215 +41,8 @@ impl NaiveConfig {
     }
 }
 
-/// Alice: transmits `m` in **every** slot until the horizon.
-#[derive(Debug)]
-struct NaiveAlice {
-    signed_m: Signed,
-    horizon: u64,
-    done: bool,
-}
-
-impl NodeProtocol for NaiveAlice {
-    fn act(&mut self, slot: Slot, _rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        Action::Send(Payload::Broadcast(self.signed_m.clone()))
-    }
-    fn on_reception(&mut self, _: Slot, _: Reception) {}
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        true
-    }
-}
-
-/// Receiver: listens in **every** slot until it hears a verified `m`.
-#[derive(Debug)]
-struct NaiveReceiver {
-    verifier: Verifier,
-    alice_key: KeyId,
-    informed: bool,
-}
-
-impl NodeProtocol for NaiveReceiver {
-    fn act(&mut self, _: Slot, _rng: &mut SimRng) -> Action {
-        if self.informed {
-            Action::Sleep
-        } else {
-            Action::Listen
-        }
-    }
-    fn on_reception(&mut self, _: Slot, reception: Reception) {
-        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
-            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
-                self.informed = true;
-            }
-        }
-    }
-    fn has_terminated(&self) -> bool {
-        self.informed
-    }
-    fn is_informed(&self) -> bool {
-        self.informed
-    }
-}
-
-/// One naive-broadcast roster slot: Alice or a receiver.
-///
-/// Homogeneous roster type for the engine's monomorphized fast path.
-#[derive(Debug)]
-enum NaiveParticipant {
-    Alice(NaiveAlice),
-    Receiver(NaiveReceiver),
-}
-
-impl NodeProtocol for NaiveParticipant {
-    #[inline]
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        match self {
-            NaiveParticipant::Alice(a) => a.act(slot, rng),
-            NaiveParticipant::Receiver(r) => r.act(slot, rng),
-        }
-    }
-    #[inline]
-    fn channel(&self, slot: Slot) -> rcb_radio::ChannelId {
-        match self {
-            NaiveParticipant::Alice(a) => a.channel(slot),
-            NaiveParticipant::Receiver(r) => r.channel(slot),
-        }
-    }
-    #[inline]
-    fn on_budget_exhausted(&mut self, slot: Slot) {
-        match self {
-            NaiveParticipant::Alice(a) => a.on_budget_exhausted(slot),
-            NaiveParticipant::Receiver(r) => r.on_budget_exhausted(slot),
-        }
-    }
-    #[inline]
-    fn on_reception(&mut self, slot: Slot, reception: Reception) {
-        match self {
-            NaiveParticipant::Alice(a) => a.on_reception(slot, reception),
-            NaiveParticipant::Receiver(r) => r.on_reception(slot, reception),
-        }
-    }
-    #[inline]
-    fn has_terminated(&self) -> bool {
-        match self {
-            NaiveParticipant::Alice(a) => a.has_terminated(),
-            NaiveParticipant::Receiver(r) => r.has_terminated(),
-        }
-    }
-    #[inline]
-    fn is_informed(&self) -> bool {
-        match self {
-            NaiveParticipant::Alice(a) => a.is_informed(),
-            NaiveParticipant::Receiver(r) => r.is_informed(),
-        }
-    }
-}
-
-/// Reusable scratch for batched naive-broadcast runs.
-#[derive(Debug, Default)]
-pub struct NaiveScratch {
-    roster: Vec<NaiveParticipant>,
-    budgets: Vec<Budget>,
-    engine: EngineScratch,
-}
-
-impl NaiveScratch {
-    /// Creates an empty scratch; buffers are shaped on first use.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-/// Runs the naive protocol and reports a [`BroadcastOutcome`] (with
-/// `rounds_entered = 0`; the naive protocol has no rounds) plus the raw
-/// engine report — whose [`trace`](RunReport::trace) is populated when
-/// [`NaiveConfig::trace_capacity`] is nonzero, so blocked runs can be
-/// post-mortemed slot by slot.
-///
-/// This is the execution engine behind `rcb_sim::Scenario::naive`; prefer
-/// the `Scenario` builder in application code. Batched callers should use
-/// [`execute_naive_in`] with a per-worker [`NaiveScratch`].
-///
-/// # Example
-///
-/// ```
-/// use rcb_baselines::{execute_naive, NaiveConfig};
-/// use rcb_radio::{Budget, SilentAdversary};
-///
-/// let (outcome, _report) = execute_naive(
-///     &NaiveConfig::new(8, 100, Budget::unlimited(), 1),
-///     &mut SilentAdversary,
-/// );
-/// assert_eq!(outcome.informed_nodes, 8); // first slot delivers to all
-/// ```
-#[must_use]
-pub fn execute_naive(
-    config: &NaiveConfig,
-    adversary: &mut dyn Adversary,
-) -> (BroadcastOutcome, RunReport) {
-    execute_naive_in(config, adversary, &mut NaiveScratch::new())
-}
-
-/// Like [`execute_naive`], reusing caller-owned scratch allocations —
-/// the batched-trials entry point.
-#[must_use]
-pub fn execute_naive_in(
-    config: &NaiveConfig,
-    adversary: &mut dyn Adversary,
-    scratch: &mut NaiveScratch,
-) -> (BroadcastOutcome, RunReport) {
-    let seeds = SeedTree::new(config.seed);
-    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-    let alice_key = authority.issue_key();
-    let verifier = authority.verifier();
-    let signed_m = alice_key.sign(&MessageBytes::from_static(b"naive payload m"));
-
-    scratch.roster.clear();
-    scratch.roster.reserve(config.n as usize + 1);
-    scratch.roster.push(NaiveParticipant::Alice(NaiveAlice {
-        signed_m,
-        horizon: config.horizon,
-        done: false,
-    }));
-    for _ in 0..config.n {
-        scratch
-            .roster
-            .push(NaiveParticipant::Receiver(NaiveReceiver {
-                verifier,
-                alice_key: alice_key.id(),
-                informed: false,
-            }));
-    }
-    scratch.budgets.clear();
-    scratch
-        .budgets
-        .resize(config.n as usize + 1, Budget::unlimited());
-    let engine = ExactEngine::new(EngineConfig {
-        max_slots: config.horizon + 2,
-        trace_capacity: config.trace_capacity,
-        ..EngineConfig::default()
-    });
-    let report = engine.run_with_roster_typed_in(
-        &mut scratch.engine,
-        &mut scratch.roster,
-        &scratch.budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
-
-    let outcome = gossip_outcome(config.n, &report);
-    (outcome, report)
-}
-
-/// Reusable scratch for batched era-2 naive-broadcast runs.
+/// Reusable scratch for batched naive-broadcast runs on the
+/// sleep-skipping SoA engine.
 #[derive(Debug, Default)]
 pub struct NaiveSoaScratch {
     budgets: Vec<Budget>,
@@ -264,14 +57,31 @@ impl NaiveSoaScratch {
     }
 }
 
-/// Runs the naive protocol on the era-2 sleep-skipping engine.
+/// Runs the naive protocol on the sleep-skipping SoA engine and reports
+/// a [`BroadcastOutcome`] (with `rounds_entered = 0`; the naive protocol
+/// has no rounds) plus the raw engine report — whose
+/// [`trace`](RunReport::trace) is populated when
+/// [`NaiveConfig::trace_capacity`] is nonzero, so blocked runs can be
+/// post-mortemed slot by slot. The naive workload is fully deterministic
+/// apart from Carol.
 ///
-/// Statistically equivalent to [`execute_naive`] (validated by the
-/// `era1-oracle` cross-validation suite); the default exact path since
-/// fingerprint era 2. The naive workload is fully deterministic apart
-/// from Carol, so era 1 and era 2 produce identical outcomes here
-/// whenever the adversary is deterministic too. Not stream-compatible
-/// with era 1.
+/// This is the execution engine behind `rcb_sim::Scenario::naive`;
+/// prefer the `Scenario` builder in application code. Batched callers
+/// should use [`execute_naive_soa_in`] with a per-worker
+/// [`NaiveSoaScratch`].
+///
+/// # Example
+///
+/// ```
+/// use rcb_baselines::{execute_naive_soa, NaiveConfig};
+/// use rcb_radio::{Budget, SilentAdversary};
+///
+/// let (outcome, _report) = execute_naive_soa(
+///     &NaiveConfig::new(8, 100, Budget::unlimited(), 1),
+///     &mut SilentAdversary,
+/// );
+/// assert_eq!(outcome.informed_nodes, 8); // first slot delivers to all
+/// ```
 #[must_use]
 pub fn execute_naive_soa(
     config: &NaiveConfig,
@@ -354,7 +164,7 @@ mod tests {
 
     #[test]
     fn instant_delivery_without_jamming() {
-        let (outcome, report) = execute_naive(
+        let (outcome, report) = execute_naive_soa(
             &NaiveConfig::new(16, 50, Budget::unlimited(), 1),
             &mut SilentAdversary,
         );
@@ -369,7 +179,7 @@ mod tests {
         // The point of the baseline: per-node cost ≈ T, competitive ratio
         // ≈ 1 — "each node spends at least as much as the adversary".
         for (t, seed) in [(200u64, 2u64), (2_000, 3)] {
-            let (outcome, _) = execute_naive(
+            let (outcome, _) = execute_naive_soa(
                 &NaiveConfig::new(4, t + 50, Budget::limited(t), seed),
                 &mut ContinuousJammer,
             );
@@ -385,7 +195,7 @@ mod tests {
 
     #[test]
     fn alice_pays_every_slot_until_horizon_or_everyone_done() {
-        let (outcome, _) = execute_naive(
+        let (outcome, _) = execute_naive_soa(
             &NaiveConfig::new(2, 1_000, Budget::limited(100), 4),
             &mut ContinuousJammer,
         );
@@ -397,40 +207,30 @@ mod tests {
     }
 
     #[test]
-    fn era2_matches_era1_exactly_on_deterministic_runs() {
+    fn deterministic_runs_are_seed_independent() {
         // The naive workload has no correct-side randomness, so with a
-        // deterministic adversary the two engines must agree outcome-for-
-        // outcome (not just in distribution).
-        for (cfg, jam) in [
-            (NaiveConfig::new(16, 50, Budget::unlimited(), 1), false),
-            (NaiveConfig::new(4, 250, Budget::limited(200), 2), true),
-            (NaiveConfig::new(3, 40, Budget::unlimited(), 3), true),
+        // deterministic adversary the seed cannot influence the outcome —
+        // every seed must reproduce the identical run.
+        for cfg in [
+            NaiveConfig::new(16, 50, Budget::unlimited(), 1),
+            NaiveConfig::new(4, 250, Budget::limited(200), 2),
         ] {
-            let run = |era2: bool| {
-                if jam {
-                    let mut carol = ContinuousJammer;
-                    if era2 {
-                        execute_naive_soa(&cfg, &mut carol)
-                    } else {
-                        execute_naive(&cfg, &mut carol)
-                    }
-                } else if era2 {
-                    execute_naive_soa(&cfg, &mut SilentAdversary)
-                } else {
-                    execute_naive(&cfg, &mut SilentAdversary)
-                }
-            };
-            let (o1, r1) = run(false);
-            let (o2, r2) = run(true);
-            assert_eq!(o1.informed_nodes, o2.informed_nodes);
-            assert_eq!(o1.alice_cost, o2.alice_cost);
-            assert_eq!(o1.node_total_cost, o2.node_total_cost);
-            assert_eq!(o1.carol_cost, o2.carol_cost);
-            assert_eq!(o1.slots, o2.slots);
-            assert_eq!(r1.stop_reason, r2.stop_reason);
-            assert_eq!(r1.participant_costs, r2.participant_costs);
-            assert_eq!(r1.terminated, r2.terminated);
-            assert_eq!(r1.channel_stats, r2.channel_stats);
+            let (base_o, base_r) = execute_naive_soa(&cfg, &mut ContinuousJammer);
+            for seed in [11u64, 99] {
+                let reseeded = NaiveConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                let (o, r) = execute_naive_soa(&reseeded, &mut ContinuousJammer);
+                assert_eq!(o.informed_nodes, base_o.informed_nodes, "seed {seed}");
+                assert_eq!(o.alice_cost, base_o.alice_cost, "seed {seed}");
+                assert_eq!(o.node_total_cost, base_o.node_total_cost, "seed {seed}");
+                assert_eq!(o.carol_cost, base_o.carol_cost, "seed {seed}");
+                assert_eq!(o.slots, base_o.slots, "seed {seed}");
+                assert_eq!(r.stop_reason, base_r.stop_reason, "seed {seed}");
+                assert_eq!(r.terminated, base_r.terminated, "seed {seed}");
+                assert_eq!(r.channel_stats, base_r.channel_stats, "seed {seed}");
+            }
         }
     }
 }

@@ -32,6 +32,14 @@
 //! hopping on the era-2 exact engine and the epoch-aware phase lowering,
 //! plus the KPSY listening defense — emitting `BENCH_8.json`.
 //!
+//! `--fluid` measures the tier-3 mean-field engine against the fast_mc
+//! sampler on the E19 matrix shape (hopping, C = 4, Random(0.5)) at
+//! `n ∈ {2^16, 2^20}`, emitting `BENCH_10.json`. The fluid engine's
+//! per-trial time must be independent of `n` (one f64 recurrence per
+//! phase × channel); `--max-fluid-eval-ms MS` turns the headline
+//! `n = 2^20` evaluation time into an exit-code assertion — the CI slow
+//! lane runs it at 1 ms.
+//!
 //! `--telemetry` measures the cost of the `rcb-telemetry` collector seam
 //! on the two headline engine shapes (exact jammed ε-BROADCAST and the
 //! fast_mc spectrum simulator): the static-noop baseline, a
@@ -233,6 +241,87 @@ fn sweep_bench(quick: bool, out: &str) {
     println!("wrote {out}");
 }
 
+/// `--fluid`: the tier-3 mean-field engine vs the fast_mc sampler on the
+/// E19 matrix shape. Every entry is a sequential per-trial time; the
+/// derived ratios are the headline properties — fluid-vs-fast speedup at
+/// each `n`, and the fluid engine's `2^20 / 2^16` per-trial ratio, which
+/// must sit near 1 (the recurrence never touches a roster).
+fn fluid_bench(quick: bool, out: &str, max_fluid_eval_ms: Option<f64>) {
+    let horizon = 40_000u64;
+    let budget = 24_000u64;
+    let build = |engine: Engine, n: u64| {
+        Scenario::hopping(HoppingSpec::new(n, horizon))
+            .engine(engine)
+            .channels(4)
+            .adversary(StrategySpec::Random(0.5))
+            .carol_budget(budget)
+            .seed(1)
+            .build()
+            .unwrap()
+    };
+    // (id, engine, n, full trials, quick trials)
+    let grid: &[(&'static str, Engine, u64, u32, u32)] = &[
+        ("fast_mc/hopping/n65536c4", Engine::Fast, 1 << 16, 32, 4),
+        ("fluid/hopping/n65536c4", Engine::Fluid, 1 << 16, 64, 8),
+        ("fast_mc/hopping/n1048576c4", Engine::Fast, 1 << 20, 16, 2),
+        ("fluid/hopping/n1048576c4", Engine::Fluid, 1 << 20, 64, 8),
+    ];
+    let mut rows: Vec<(&'static str, u64, u32, u128)> = Vec::new();
+    for &(id, engine, n, full_trials, quick_trials) in grid {
+        let trials = if quick { quick_trials } else { full_trials };
+        let (per_trial_ns, _) = measure(&build(engine, n), trials);
+        eprintln!("{id:28} {per_trial_ns:>12} ns/trial  ({trials} trials)");
+        rows.push((id, n, trials, per_trial_ns));
+    }
+    let ns_of = |id: &str| {
+        rows.iter()
+            .find(|(rid, ..)| *rid == id)
+            .map(|&(.., ns)| ns)
+            .expect("every grid id was measured")
+    };
+    let fluid_small = ns_of("fluid/hopping/n65536c4");
+    let fluid_big = ns_of("fluid/hopping/n1048576c4");
+    let speedup_small = ns_of("fast_mc/hopping/n65536c4") as f64 / fluid_small.max(1) as f64;
+    let speedup_big = ns_of("fast_mc/hopping/n1048576c4") as f64 / fluid_big.max(1) as f64;
+    let n_independence = fluid_big as f64 / fluid_small.max(1) as f64;
+    let fluid_big_ms = fluid_big as f64 / 1e6;
+    eprintln!(
+        "fluid speedup over fast_mc: ×{speedup_small:.1} at n=2^16, ×{speedup_big:.1} at n=2^20; \
+         fluid 2^20/2^16 per-trial ratio {n_independence:.2}; \
+         n=2^20 evaluation {fluid_big_ms:.3} ms"
+    );
+
+    // Hand-rolled JSON, same policy as the other grids.
+    let mut json = String::from("{\n  \"schema\": \"rcb-bench-fluid-v1\",\n  \"entries\": [\n");
+    for (i, (id, n, trials, ns)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            json,
+            "    {{\"id\": \"{id}\", \"n\": {n}, \"trials\": {trials}, \"per_trial_ns\": {ns}}}{comma}"
+        )
+        .expect("string write cannot fail");
+    }
+    writeln!(
+        json,
+        "  ],\n  \"derived\": {{\"speedup_n65536\": {speedup_small:.1}, \
+         \"speedup_n1048576\": {speedup_big:.1}, \
+         \"fluid_n_independence_ratio\": {n_independence:.3}, \
+         \"fluid_n1048576_eval_ms\": {fluid_big_ms:.4}}}"
+    )
+    .expect("string write cannot fail");
+    json.push_str("}\n");
+    std::fs::write(out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+    if let Some(ms) = max_fluid_eval_ms {
+        if fluid_big_ms > ms {
+            eprintln!(
+                "FAIL: fluid n=2^20 evaluation {fluid_big_ms:.3} ms exceeds the {ms} ms budget"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `--telemetry`: the collector seam's cost on the two headline engine
 /// shapes, as overhead ratios against the static-noop baseline. Each
 /// variant is timed over several repetitions and the minimum per-trial
@@ -345,6 +434,7 @@ fn main() {
     let sweep = args.iter().any(|a| a == "--sweep");
     let epoch = args.iter().any(|a| a == "--epoch-hopping");
     let telemetry = args.iter().any(|a| a == "--telemetry");
+    let fluid = args.iter().any(|a| a == "--fluid");
     let max_noop_overhead = args
         .iter()
         .position(|a| a == "--max-noop-overhead")
@@ -352,6 +442,14 @@ fn main() {
         .map(|v| {
             v.parse::<f64>()
                 .expect("--max-noop-overhead takes a percentage")
+        });
+    let max_fluid_eval_ms = args
+        .iter()
+        .position(|a| a == "--max-fluid-eval-ms")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<f64>()
+                .expect("--max-fluid-eval-ms takes milliseconds")
         });
     let out = args
         .iter()
@@ -365,6 +463,8 @@ fn main() {
                 "BENCH_8.json".to_string()
             } else if telemetry {
                 "BENCH_9.json".to_string()
+            } else if fluid {
+                "BENCH_10.json".to_string()
             } else {
                 "BENCH_7.json".to_string()
             }
@@ -375,6 +475,10 @@ fn main() {
     }
     if telemetry {
         telemetry_bench(quick, &out, max_noop_overhead);
+        return;
+    }
+    if fluid {
+        fluid_bench(quick, &out, max_fluid_eval_ms);
         return;
     }
 

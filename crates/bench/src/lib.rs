@@ -8,7 +8,7 @@ use rcb_analysis::experiments::{self, ExperimentReport, Scale};
 /// Every experiment in the reproduction suite, by id.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e15", "e17",
-    "e18", "x2",
+    "e18", "e19", "x2",
 ];
 
 /// Runs one experiment by id.
@@ -33,6 +33,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentReport> {
         "e15" => experiments::e15_sweep::run(scale),
         "e17" => experiments::e17_epoch::run(scale),
         "e18" => experiments::e18_profile::run(scale),
+        "e19" => experiments::e19_fluid::run(scale),
         "x2" => experiments::x2_nuniform::run(scale),
         _ => return None,
     };
@@ -54,6 +55,6 @@ mod tests {
         // the rest.
         assert!(run_experiment("x2", Scale::Smoke).is_some());
         assert!(run_experiment("E4", Scale::Smoke).is_some());
-        assert_eq!(EXPERIMENT_IDS.len(), 17);
+        assert_eq!(EXPERIMENT_IDS.len(), 18);
     }
 }

@@ -23,7 +23,7 @@ use crate::schedule::{Cursor, PhaseKind, RoundSchedule, SlotPosition};
 
 /// Alice's protocol state machine (implements [`NodeProtocol`]).
 ///
-/// Constructed by the orchestration in [`BroadcastScratch`](crate::BroadcastScratch); the signed
+/// Constructed by the exact-engine orchestration (see [`BroadcastSoaScratch`](crate::BroadcastSoaScratch)); the signed
 /// message is minted once and cloned into every transmission.
 #[derive(Debug)]
 pub struct Alice {

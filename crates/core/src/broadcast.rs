@@ -1,83 +1,16 @@
-//! Orchestration: assemble Alice, the nodes, budgets, and an adversary,
-//! and run ε-BROADCAST on the exact engine.
+//! Shared ε-BROADCAST orchestration pieces: the per-run [`RunConfig`]
+//! and the report-condensing accounting used by the exact engine.
 //!
-//! The primary entry point is [`BroadcastScratch`], which keeps the
-//! roster, budget vector, and every node's schedule allocation alive
-//! across runs — batched trials reset the state machines in place instead
-//! of re-boxing `n + 1` participants per trial. New code should go
-//! through `rcb_sim::Scenario`.
+//! The execution entry point is
+//! [`BroadcastSoaScratch`](crate::BroadcastSoaScratch) in the `era2`
+//! module — the sleep-skipping SoA engine. New code should go through
+//! `rcb_sim::Scenario`.
 
-use rcb_auth::{Authority, Payload as MessageBytes};
-use rcb_radio::{
-    Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig, EngineScratch, ExactEngine,
-    NodeProtocol, Reception, RunReport, Slot, StopReason,
-};
-use rcb_rng::{SeedTree, SimRng};
+use rcb_radio::{Budget, CostBreakdown, RunReport, StopReason};
 
-use crate::alice::Alice;
-use crate::node::ReceiverNode;
 use crate::outcome::{BroadcastOutcome, EngineKind};
 use crate::params::Params;
 use crate::schedule::RoundSchedule;
-
-/// One ε-BROADCAST roster slot: Alice or a receiver node.
-///
-/// The enum makes the roster homogeneous (`Vec<BroadcastParticipant>`),
-/// which is what lets [`BroadcastScratch`] run on the engine's
-/// monomorphized [`run_with_roster_typed_in`]
-/// (`ExactEngine::run_with_roster_typed_in`) path: every protocol hook
-/// dispatches on a two-variant match that inlines, instead of a vtable
-/// call through a boxed trait object.
-#[derive(Debug)]
-enum BroadcastParticipant {
-    Alice(Alice),
-    Node(ReceiverNode),
-}
-
-impl NodeProtocol for BroadcastParticipant {
-    #[inline]
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        match self {
-            BroadcastParticipant::Alice(a) => a.act(slot, rng),
-            BroadcastParticipant::Node(n) => n.act(slot, rng),
-        }
-    }
-    #[inline]
-    fn channel(&self, slot: Slot) -> ChannelId {
-        match self {
-            BroadcastParticipant::Alice(a) => a.channel(slot),
-            BroadcastParticipant::Node(n) => n.channel(slot),
-        }
-    }
-    #[inline]
-    fn on_reception(&mut self, slot: Slot, reception: Reception) {
-        match self {
-            BroadcastParticipant::Alice(a) => a.on_reception(slot, reception),
-            BroadcastParticipant::Node(n) => n.on_reception(slot, reception),
-        }
-    }
-    #[inline]
-    fn on_budget_exhausted(&mut self, slot: Slot) {
-        match self {
-            BroadcastParticipant::Alice(a) => a.on_budget_exhausted(slot),
-            BroadcastParticipant::Node(n) => n.on_budget_exhausted(slot),
-        }
-    }
-    #[inline]
-    fn has_terminated(&self) -> bool {
-        match self {
-            BroadcastParticipant::Alice(a) => a.has_terminated(),
-            BroadcastParticipant::Node(n) => n.has_terminated(),
-        }
-    }
-    #[inline]
-    fn is_informed(&self) -> bool {
-        match self {
-            BroadcastParticipant::Alice(a) => a.is_informed(),
-            BroadcastParticipant::Node(n) => n.is_informed(),
-        }
-    }
-}
 
 /// Per-run configuration that is not a protocol parameter.
 #[derive(Debug, Clone)]
@@ -139,131 +72,8 @@ impl RunConfig {
     }
 }
 
-/// Reusable scratch state for exact-engine ε-BROADCAST executions.
-///
-/// Holds Alice, the receiver roster, and the budget vector across runs.
-/// On every [`run`](Self::run) with the same `Params`, the state machines
-/// are *reset in place* — no participant is re-boxed, no schedule is
-/// re-derived, and the budget vector is rebuilt inside its existing
-/// allocation. Changing `Params` between runs transparently rebuilds the
-/// roster.
-///
-/// Index 0 of the roster is Alice; `1..=n` are the receiver nodes. The
-/// outcome separates her accounting from theirs.
-///
-/// # Example
-///
-/// ```
-/// use rcb_core::{BroadcastScratch, Params, RunConfig};
-/// use rcb_radio::SilentAdversary;
-///
-/// let params = Params::builder(32).min_termination_round(3).build()?;
-/// let mut scratch = BroadcastScratch::new();
-/// let (outcome, _report) = scratch.run(&params, &mut SilentAdversary, &RunConfig::seeded(7));
-/// assert!(outcome.informed_fraction() > 0.9);
-/// # Ok::<(), rcb_core::ParamsError>(())
-/// ```
-#[derive(Debug, Default)]
-pub struct BroadcastScratch {
-    /// The parameter set the current roster was built for.
-    built_for: Option<Params>,
-    /// Homogeneous roster: index 0 is Alice, `1..=n` the receiver nodes.
-    roster: Vec<BroadcastParticipant>,
-    budgets: Vec<Budget>,
-    /// Engine-level working buffers (RNG streams, ledger, channel load),
-    /// reused across runs alongside the roster.
-    engine: EngineScratch,
-}
-
-impl BroadcastScratch {
-    /// Creates an empty scratch; the roster is built on first use.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Runs one ε-BROADCAST execution on the exact engine, reusing the
-    /// scratch roster, and returns the outcome plus the raw engine report
-    /// (for trace inspection and engine-level assertions).
-    pub fn run(
-        &mut self,
-        params: &Params,
-        adversary: &mut dyn Adversary,
-        config: &RunConfig,
-    ) -> (BroadcastOutcome, RunReport) {
-        let seeds = SeedTree::new(config.seed);
-        let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-        let alice_key = authority.issue_key();
-        let verifier = authority.verifier();
-        let signed_m = alice_key.sign(&MessageBytes::from_static(b"the broadcast payload m"));
-
-        let n = params.n() as usize;
-        if self.built_for.as_ref() == Some(params) {
-            // Reset in place: every schedule/roster allocation survives.
-            let mut signed_m = Some(signed_m);
-            for participant in &mut self.roster {
-                match participant {
-                    BroadcastParticipant::Alice(alice) => {
-                        alice.reset(signed_m.take().expect("exactly one alice per roster"));
-                    }
-                    BroadcastParticipant::Node(node) => node.reset(verifier, alice_key.id()),
-                }
-            }
-        } else {
-            self.roster.clear();
-            self.roster.reserve(n + 1);
-            self.roster.push(BroadcastParticipant::Alice(Alice::new(
-                params.clone(),
-                signed_m,
-            )));
-            for _ in 0..n {
-                self.roster
-                    .push(BroadcastParticipant::Node(ReceiverNode::new(
-                        params.clone(),
-                        verifier,
-                        alice_key.id(),
-                    )));
-            }
-            self.built_for = Some(params.clone());
-        }
-
-        self.budgets.clear();
-        if config.enforce_correct_budgets {
-            self.budgets.push(Budget::limited(params.alice_budget()));
-            self.budgets.extend(std::iter::repeat_n(
-                Budget::limited(params.node_budget()),
-                n,
-            ));
-        } else {
-            self.budgets
-                .extend(std::iter::repeat_n(Budget::unlimited(), n + 1));
-        }
-
-        let schedule = RoundSchedule::new(params);
-        let engine = ExactEngine::new(EngineConfig {
-            max_slots: schedule.total_slots() + 4,
-            trace_capacity: config.trace_capacity,
-            ..EngineConfig::default()
-        });
-        // The typed fast path: a homogeneous roster on the monomorphized
-        // slot loop, with engine working buffers reused across runs.
-        let report = engine.run_with_roster_typed_in(
-            &mut self.engine,
-            &mut self.roster,
-            &self.budgets,
-            config.carol_budget,
-            adversary,
-            &seeds,
-        );
-
-        let outcome = summarize(params, &schedule, &report);
-        (outcome, report)
-    }
-}
-
 /// Condenses an engine report into a [`BroadcastOutcome`] (roster layout:
-/// index 0 = Alice, `1..=n` = nodes). Shared with the era-2 driver so both
-/// engines account identically.
+/// index 0 = Alice, `1..=n` = nodes).
 pub(crate) fn summarize(
     params: &Params,
     schedule: &RoundSchedule,
@@ -313,7 +123,8 @@ pub fn stopped_cleanly(report: &RunReport) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcb_radio::SilentAdversary;
+    use crate::era2::BroadcastSoaScratch;
+    use rcb_radio::{Adversary, SilentAdversary};
 
     /// Convenience for tests: one-shot scratch run.
     fn run_broadcast(
@@ -321,7 +132,7 @@ mod tests {
         adversary: &mut dyn Adversary,
         config: &RunConfig,
     ) -> BroadcastOutcome {
-        BroadcastScratch::new().run(params, adversary, config).0
+        BroadcastSoaScratch::new().run(params, adversary, config).0
     }
 
     #[test]
@@ -337,7 +148,7 @@ mod tests {
             .min_termination_round(2)
             .build()
             .unwrap();
-        let mut scratch = BroadcastScratch::new();
+        let mut scratch = BroadcastSoaScratch::new();
         for (params, seed) in [
             (&params_a, 1u64),
             (&params_a, 2),
@@ -346,7 +157,7 @@ mod tests {
         ] {
             let cfg = RunConfig::seeded(seed);
             let (reused, _) = scratch.run(params, &mut SilentAdversary, &cfg);
-            let (fresh, _) = BroadcastScratch::new().run(params, &mut SilentAdversary, &cfg);
+            let (fresh, _) = BroadcastSoaScratch::new().run(params, &mut SilentAdversary, &cfg);
             assert_eq!(reused.slots, fresh.slots);
             assert_eq!(reused.informed_nodes, fresh.informed_nodes);
             assert_eq!(reused.alice_cost, fresh.alice_cost);
@@ -448,7 +259,7 @@ mod tests {
             .min_termination_round(2)
             .build()
             .unwrap();
-        let (_, report) = BroadcastScratch::new().run(
+        let (_, report) = BroadcastSoaScratch::new().run(
             &params,
             &mut SilentAdversary,
             &RunConfig::seeded(2).trace(4096),
@@ -464,7 +275,7 @@ mod tests {
             .build()
             .unwrap();
         let cfg = RunConfig::seeded(3).unconstrained_correct();
-        let (_, report) = BroadcastScratch::new().run(&params, &mut SilentAdversary, &cfg);
+        let (_, report) = BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &cfg);
         assert!(report.participant_refusals.iter().all(|&r| r == 0));
     }
 
@@ -475,7 +286,7 @@ mod tests {
             .build()
             .unwrap();
         let (outcome, report) =
-            BroadcastScratch::new().run(&params, &mut SilentAdversary, &RunConfig::seeded(5));
+            BroadcastSoaScratch::new().run(&params, &mut SilentAdversary, &RunConfig::seeded(5));
         assert_eq!(
             report.channel_stats.len(),
             1,

@@ -1,6 +1,6 @@
 //! Epoch-structured channel-hopping broadcast — the Chen–Zheng schedule.
 //!
-//! Where [`crate::execute_hopping`] retunes every device to a fresh
+//! Where [`crate::execute_hopping_soa`] retunes every device to a fresh
 //! uniform channel *per slot*, the fast multi-channel broadcast protocol
 //! of Chen & Zheng (2019, arXiv:1904.06328) fixes each device's channel
 //! for an **epoch** of `L` consecutive slots and re-randomizes only at
@@ -20,14 +20,12 @@
 //! the detection rule (long dwell) — a resonance curve with its peak at
 //! `dwell = L`.
 
-use rand::Rng;
-use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_radio::{
-    run_gossip_soa_with, Action, Adversary, Budget, ChannelId, EngineConfig, EngineScratch,
-    ExactEngine, GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception, RunReport, Slot,
-    Spectrum,
+    run_gossip_soa_with, Adversary, Budget, EngineConfig, GossipSoaScratch, GossipSpec, Payload,
+    RunReport, Spectrum,
 };
-use rcb_rng::{SeedTree, SimRng};
+use rcb_rng::SeedTree;
 use rcb_telemetry::{Collector, NoopCollector};
 
 use crate::hopping::gossip_outcome;
@@ -35,8 +33,8 @@ use crate::outcome::BroadcastOutcome;
 
 /// Configuration for an epoch-structured hopping run.
 ///
-/// The spectrum is passed separately to [`execute_epoch_hopping`] so one
-/// config can be swept across channel counts.
+/// The spectrum is passed separately to [`execute_epoch_hopping_soa`] so
+/// one config can be swept across channel counts.
 #[derive(Debug, Clone)]
 pub struct EpochHoppingConfig {
     /// Number of receiver nodes.
@@ -77,195 +75,6 @@ impl EpochHoppingConfig {
     }
 }
 
-/// Alice under the epoch schedule: transmits `m` with probability 1/2 on
-/// a channel redrawn uniformly once per epoch, until the horizon.
-#[derive(Debug)]
-struct EpochAlice {
-    signed_m: Signed,
-    spectrum: Spectrum,
-    horizon: u64,
-    epoch_len: u64,
-    epoch: u64,
-    tuned: ChannelId,
-    done: bool,
-}
-
-impl NodeProtocol for EpochAlice {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        let epoch = slot.index() / self.epoch_len;
-        if epoch != self.epoch {
-            self.epoch = epoch;
-            let c = self.spectrum.channel_count();
-            if c > 1 {
-                self.tuned = ChannelId::new(rng.gen_range(0..c));
-            }
-        }
-        if rng.gen_bool(0.5) {
-            Action::Send(Payload::Broadcast(self.signed_m.clone()))
-        } else {
-            Action::Sleep
-        }
-    }
-    fn channel(&self, _: Slot) -> ChannelId {
-        self.tuned
-    }
-    fn on_reception(&mut self, _: Slot, _: Reception) {}
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        true
-    }
-}
-
-/// An epoch-hopping node: holds one channel per epoch; listens until
-/// informed, then relays. At each boundary an uninformed node that heard
-/// noise during the finished epoch redraws over the *other* `C − 1`
-/// channels; otherwise (and always once informed) it redraws uniformly.
-#[derive(Debug)]
-struct EpochNode {
-    verifier: Verifier,
-    alice_key: KeyId,
-    spectrum: Spectrum,
-    listen_p: f64,
-    relay_p: f64,
-    horizon: u64,
-    epoch_len: u64,
-    epoch: u64,
-    tuned: ChannelId,
-    heard_noise: bool,
-    message: Option<Signed>,
-    done: bool,
-}
-
-impl EpochNode {
-    fn retune(&mut self, rng: &mut SimRng) {
-        let c = self.spectrum.channel_count();
-        if c == 1 {
-            self.heard_noise = false;
-            return;
-        }
-        self.tuned = if self.message.is_none() && self.heard_noise {
-            let prev = self.tuned.index();
-            let draw = rng.gen_range(0..c - 1);
-            ChannelId::new(if draw >= prev { draw + 1 } else { draw })
-        } else {
-            ChannelId::new(rng.gen_range(0..c))
-        };
-        self.heard_noise = false;
-    }
-}
-
-impl NodeProtocol for EpochNode {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        let epoch = slot.index() / self.epoch_len;
-        if epoch != self.epoch {
-            self.epoch = epoch;
-            self.retune(rng);
-        }
-        match &self.message {
-            Some(m) => {
-                if rng.gen_bool(self.relay_p) {
-                    Action::Send(Payload::Broadcast(m.clone()))
-                } else {
-                    Action::Sleep
-                }
-            }
-            None => {
-                if rng.gen_bool(self.listen_p) {
-                    Action::Listen
-                } else {
-                    Action::Sleep
-                }
-            }
-        }
-    }
-    fn channel(&self, _: Slot) -> ChannelId {
-        self.tuned
-    }
-    fn on_reception(&mut self, _: Slot, reception: Reception) {
-        match reception {
-            Reception::Frame(Payload::Broadcast(signed))
-                if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) =>
-            {
-                self.message = Some(signed);
-            }
-            Reception::Noise if self.message.is_none() => {
-                self.heard_noise = true;
-            }
-            _ => {}
-        }
-    }
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        self.message.is_some()
-    }
-}
-
-/// One epoch-hopping roster slot: Alice or a node.
-///
-/// Homogeneous roster type for the engine's monomorphized fast path.
-#[derive(Debug)]
-enum EpochHoppingParticipant {
-    Alice(EpochAlice),
-    Node(EpochNode),
-}
-
-impl NodeProtocol for EpochHoppingParticipant {
-    #[inline]
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.act(slot, rng),
-            EpochHoppingParticipant::Node(n) => n.act(slot, rng),
-        }
-    }
-    #[inline]
-    fn channel(&self, slot: Slot) -> ChannelId {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.channel(slot),
-            EpochHoppingParticipant::Node(n) => n.channel(slot),
-        }
-    }
-    #[inline]
-    fn on_reception(&mut self, slot: Slot, reception: Reception) {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.on_reception(slot, reception),
-            EpochHoppingParticipant::Node(n) => n.on_reception(slot, reception),
-        }
-    }
-    #[inline]
-    fn on_budget_exhausted(&mut self, slot: Slot) {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.on_budget_exhausted(slot),
-            EpochHoppingParticipant::Node(n) => n.on_budget_exhausted(slot),
-        }
-    }
-    #[inline]
-    fn has_terminated(&self) -> bool {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.has_terminated(),
-            EpochHoppingParticipant::Node(n) => n.has_terminated(),
-        }
-    }
-    #[inline]
-    fn is_informed(&self) -> bool {
-        match self {
-            EpochHoppingParticipant::Alice(a) => a.is_informed(),
-            EpochHoppingParticipant::Node(n) => n.is_informed(),
-        }
-    }
-}
-
 fn validate(config: &EpochHoppingConfig) {
     assert!(
         (0.0..=1.0).contains(&config.listen_p),
@@ -274,119 +83,8 @@ fn validate(config: &EpochHoppingConfig) {
     assert!(config.epoch_len > 0, "epoch_len must be at least one slot");
 }
 
-/// Reusable scratch for batched era-1 epoch-hopping runs.
-#[derive(Debug, Default)]
-pub struct EpochHoppingScratch {
-    roster: Vec<EpochHoppingParticipant>,
-    budgets: Vec<Budget>,
-    engine: EngineScratch,
-}
-
-impl EpochHoppingScratch {
-    /// Creates an empty scratch; buffers are shaped on first use.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-/// Runs epoch-structured hopping broadcast over `spectrum` on the era-1
-/// roster engine and reports the outcome plus the raw engine report.
-///
-/// This is the execution engine behind `rcb_sim::Scenario::epoch_hopping`
-/// (era 1); prefer the `Scenario` builder in application code. Batched
-/// callers should use [`execute_epoch_hopping_in`] with a per-worker
-/// [`EpochHoppingScratch`].
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability or `epoch_len` is zero (the
-/// `Scenario` builder rejects these with typed errors instead).
-#[must_use]
-pub fn execute_epoch_hopping(
-    config: &EpochHoppingConfig,
-    spectrum: Spectrum,
-    adversary: &mut dyn Adversary,
-) -> (BroadcastOutcome, RunReport) {
-    execute_epoch_hopping_in(config, spectrum, adversary, &mut EpochHoppingScratch::new())
-}
-
-/// Like [`execute_epoch_hopping`], reusing caller-owned scratch
-/// allocations — the batched-trials entry point.
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability or `epoch_len` is zero.
-#[must_use]
-pub fn execute_epoch_hopping_in(
-    config: &EpochHoppingConfig,
-    spectrum: Spectrum,
-    adversary: &mut dyn Adversary,
-    scratch: &mut EpochHoppingScratch,
-) -> (BroadcastOutcome, RunReport) {
-    validate(config);
-    let seeds = SeedTree::new(config.seed);
-    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-    let alice_key = authority.issue_key();
-    let verifier = authority.verifier();
-    let signed_m = alice_key.sign(&MessageBytes::from_static(b"epoch hopping payload m"));
-
-    let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
-    scratch.roster.clear();
-    scratch.roster.reserve(config.n as usize + 1);
-    scratch
-        .roster
-        .push(EpochHoppingParticipant::Alice(EpochAlice {
-            signed_m,
-            spectrum,
-            horizon: config.horizon,
-            epoch_len: config.epoch_len,
-            epoch: u64::MAX,
-            tuned: ChannelId::ZERO,
-            done: false,
-        }));
-    for _ in 0..config.n {
-        scratch
-            .roster
-            .push(EpochHoppingParticipant::Node(EpochNode {
-                verifier,
-                alice_key: alice_key.id(),
-                spectrum,
-                listen_p: config.listen_p,
-                relay_p,
-                horizon: config.horizon,
-                epoch_len: config.epoch_len,
-                epoch: u64::MAX,
-                tuned: ChannelId::ZERO,
-                heard_noise: false,
-                message: None,
-                done: false,
-            }));
-    }
-    scratch.budgets.clear();
-    scratch
-        .budgets
-        .resize(config.n as usize + 1, Budget::unlimited());
-    let engine = ExactEngine::new(EngineConfig {
-        max_slots: config.horizon + 2,
-        trace_capacity: config.trace_capacity,
-        spectrum,
-        ..EngineConfig::default()
-    });
-    let report = engine.run_with_roster_typed_in(
-        &mut scratch.engine,
-        &mut scratch.roster,
-        &scratch.budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
-
-    let outcome = gossip_outcome(config.n, &report);
-    (outcome, report)
-}
-
-/// Reusable scratch for batched era-2 epoch-hopping runs.
+/// Reusable scratch for batched epoch-hopping runs on the
+/// sleep-skipping SoA engine.
 #[derive(Debug, Default)]
 pub struct EpochHoppingSoaScratch {
     budgets: Vec<Budget>,
@@ -401,19 +99,22 @@ impl EpochHoppingSoaScratch {
     }
 }
 
-/// Runs epoch-structured hopping on the era-2 sleep-skipping engine.
+/// Runs epoch-structured hopping on the sleep-skipping SoA engine.
 ///
 /// The epoch schedule is a natural fit for sleep-skipping: channel draws
 /// happen only at epoch boundaries (`O(n)` per epoch, not per slot), and
 /// a dormant node's deferred listens within an epoch all land on its one
 /// epoch channel, so settlement needs two binomials instead of a
-/// multinomial split. Statistically equivalent to
-/// [`execute_epoch_hopping`] (validated by the `era1-oracle`
-/// cross-validation suite) but not stream-compatible with it.
+/// multinomial split.
+///
+/// This is the execution engine behind
+/// `rcb_sim::Scenario::epoch_hopping`; prefer the `Scenario` builder in
+/// application code.
 ///
 /// # Panics
 ///
-/// Panics if `listen_p` is not a probability or `epoch_len` is zero.
+/// Panics if `listen_p` is not a probability or `epoch_len` is zero (the
+/// `Scenario` builder rejects these with typed errors instead).
 #[must_use]
 pub fn execute_epoch_hopping_soa(
     config: &EpochHoppingConfig,
@@ -514,20 +215,6 @@ mod tests {
     use rcb_radio::SilentAdversary;
 
     #[test]
-    fn quiet_epoch_hopping_delivers_on_any_spectrum() {
-        for channels in [1u16, 2, 8] {
-            let cfg = EpochHoppingConfig::new(24, 20_000, 32, Budget::unlimited(), 7);
-            let (outcome, report) =
-                execute_epoch_hopping(&cfg, Spectrum::new(channels), &mut SilentAdversary);
-            assert_eq!(
-                outcome.informed_nodes, 24,
-                "C={channels}: everyone informs on a quiet spectrum"
-            );
-            assert_eq!(report.channel_stats.len(), channels as usize);
-        }
-    }
-
-    #[test]
     fn era2_quiet_epoch_hopping_delivers_on_any_spectrum() {
         for channels in [1u16, 2, 8] {
             let cfg = EpochHoppingConfig::new(24, 20_000, 32, Budget::unlimited(), 7);
@@ -543,32 +230,27 @@ mod tests {
     }
 
     #[test]
-    fn both_eras_are_deterministic_by_seed() {
+    fn runs_are_deterministic_by_seed() {
         let cfg = EpochHoppingConfig::new(12, 5_000, 64, Budget::unlimited(), 11);
-        let (a1, _) = execute_epoch_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        let (b1, _) = execute_epoch_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        assert_eq!(a1.node_costs, b1.node_costs);
-        let (a2, ra) = execute_epoch_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        let (b2, rb) = execute_epoch_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        assert_eq!(a2.node_costs, b2.node_costs);
+        let (a, ra) = execute_epoch_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        let (b, rb) = execute_epoch_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        assert_eq!(a.node_costs, b.node_costs);
         assert_eq!(ra.channel_stats, rb.channel_stats);
     }
 
     #[test]
-    fn era2_agrees_with_era1_on_run_shape() {
+    fn run_shape_is_pinned_by_the_horizon() {
         let cfg = EpochHoppingConfig::new(24, 20_000, 32, Budget::unlimited(), 13);
-        let (era1, r1) = execute_epoch_hopping(&cfg, Spectrum::new(2), &mut SilentAdversary);
-        let (era2, r2) = execute_epoch_hopping_soa(&cfg, Spectrum::new(2), &mut SilentAdversary);
-        assert_eq!(r1.slots_elapsed, r2.slots_elapsed);
-        assert_eq!(r1.stop_reason, r2.stop_reason);
-        assert_eq!(era1.informed_nodes, era2.informed_nodes);
-        assert_eq!(era1.alice_terminated, era2.alice_terminated);
+        let (outcome, report) =
+            execute_epoch_hopping_soa(&cfg, Spectrum::new(2), &mut SilentAdversary);
+        assert_eq!(report.slots_elapsed, 20_001);
+        assert!(outcome.alice_terminated);
     }
 
     #[test]
     #[should_panic(expected = "epoch_len must be at least one slot")]
     fn rejects_zero_epoch_len() {
         let cfg = EpochHoppingConfig::new(4, 10, 0, Budget::unlimited(), 0);
-        let _ = execute_epoch_hopping(&cfg, Spectrum::new(2), &mut SilentAdversary);
+        let _ = execute_epoch_hopping_soa(&cfg, Spectrum::new(2), &mut SilentAdversary);
     }
 }

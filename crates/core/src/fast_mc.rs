@@ -6,7 +6,7 @@
 //! were capped far below the scales where the competitive bounds of the
 //! multi-channel successors (Chen & Zheng 2019/2020) actually bite. This
 //! module is the phase-level counterpart of [`crate::fast`] for the
-//! multi-channel random-hopping broadcast of [`crate::execute_hopping`]:
+//! multi-channel random-hopping broadcast of [`crate::execute_hopping_soa`]:
 //! it advances one *phase* (a contiguous block of slots) at a time and
 //! draws whole-phase aggregates from closed-form distributions, so a run
 //! costs `O(phases · C)` regardless of `n`.
@@ -62,6 +62,68 @@ const ALICE_SEND_P: f64 = 0.5;
 /// C)` instead of `O(n · horizon)`. `rcb_sim::ScenarioBuilder` uses the
 /// same default (re-exported there as `DEFAULT_MC_PHASE_LEN`).
 pub const DEFAULT_PHASE_LEN: u64 = 32;
+
+/// Buffered events per [`Collector::event_batch`] flush: one lock
+/// acquisition amortized over this many phases.
+const EVENT_FLUSH_CHUNK: usize = 256;
+
+/// One run's telemetry, accumulated locally and flushed in bulk.
+///
+/// The recording seam must stay cheap against the phase loop (the
+/// `bench --telemetry` guard): counters sum into plain integers here and
+/// hit the shared atomics once per run, gauges keep last-write-wins
+/// semantics by writing only the final phase's values, and events buffer
+/// into a reusable `Vec` flushed through [`Collector::event_batch`]
+/// every [`EVENT_FLUSH_CHUNK`] phases — one store lock per chunk
+/// instead of per phase. Snapshot contents are identical to the
+/// per-phase emission they replace.
+#[derive(Default)]
+struct PhaseTelemetry {
+    events: Vec<Event>,
+    phases: u64,
+    informed: u64,
+    jam_requested: u64,
+    jam_executed: u64,
+    rendezvous_p: f64,
+    clean_avg: f64,
+}
+
+impl PhaseTelemetry {
+    #[allow(clippy::too_many_arguments)]
+    fn record<C: Collector + ?Sized>(
+        &mut self,
+        collector: &C,
+        event: Event,
+        requested: u64,
+        executed: u64,
+        newly: u64,
+        rendezvous_p: f64,
+        clean_avg: f64,
+    ) {
+        self.phases += 1;
+        self.informed += newly;
+        self.jam_requested += requested;
+        self.jam_executed += executed;
+        self.rendezvous_p = rendezvous_p;
+        self.clean_avg = clean_avg;
+        self.events.push(event);
+        if self.events.len() >= EVENT_FLUSH_CHUNK {
+            collector.event_batch(&mut self.events);
+        }
+    }
+
+    fn finish<C: Collector + ?Sized>(&mut self, collector: &C) {
+        collector.add(MetricId::FastPhases, self.phases);
+        collector.add(MetricId::FastInformed, self.informed);
+        collector.add(MetricId::FastJamRequested, self.jam_requested);
+        collector.add(MetricId::FastJamExecuted, self.jam_executed);
+        if self.phases > 0 {
+            collector.gauge(MetricId::FastRendezvousP, self.rendezvous_p);
+            collector.gauge(MetricId::FastSurviveP, self.clean_avg);
+        }
+        collector.event_batch(&mut self.events);
+    }
+}
 
 /// Phase-level context handed to a [`PhaseJammer`].
 #[derive(Debug, Clone, Copy)]
@@ -308,6 +370,7 @@ pub fn run_fast_mc_with<C: Collector + ?Sized>(
     let mut stats = vec![ChannelStats::default(); c];
     let mut observation = PhaseObservation::empty(spectrum);
     let mut full_delivery_phase: Option<u32> = None;
+    let mut telemetry_batch = PhaseTelemetry::default();
 
     let mut start = 0u64;
     let mut phase: u32 = 0;
@@ -409,26 +472,36 @@ pub fn run_fast_mc_with<C: Collector + ?Sized>(
         }
         if telemetry {
             let requested: u64 = plan.jam_slots.iter().map(|&j| j.min(s)).sum();
-            collector.add(MetricId::FastPhases, 1);
-            collector.add(MetricId::FastInformed, newly);
-            collector.add(MetricId::FastJamRequested, requested);
-            collector.add(MetricId::FastJamExecuted, spend);
-            collector.gauge(MetricId::FastRendezvousP, p_informed_phase);
-            collector.gauge(MetricId::FastSurviveP, clean_avg);
-            collector.event(
-                Event::new(EngineTier::FastMc, "hopping", "phase", u64::from(phase))
-                    .field("phase_len", s as f64)
-                    .field("jam_requested", requested as f64)
-                    .field("jam_executed", spend as f64)
-                    .field("p_one", p_one)
-                    .field("clean_avg", clean_avg)
-                    .field("rendezvous_p", p_informed_phase)
-                    .field("newly_informed", newly as f64)
-                    .field("uninformed", uninformed as f64),
+            telemetry_batch.record(
+                collector,
+                Event {
+                    tier: EngineTier::FastMc,
+                    protocol: "hopping",
+                    name: "phase",
+                    index: u64::from(phase),
+                    fields: vec![
+                        ("phase_len", s as f64),
+                        ("jam_requested", requested as f64),
+                        ("jam_executed", spend as f64),
+                        ("p_one", p_one),
+                        ("clean_avg", clean_avg),
+                        ("rendezvous_p", p_informed_phase),
+                        ("newly_informed", newly as f64),
+                        ("uninformed", uninformed as f64),
+                    ],
+                },
+                requested,
+                spend,
+                newly,
+                p_informed_phase,
+                clean_avg,
             );
         }
         start += s;
         phase += 1;
+    }
+    if telemetry {
+        telemetry_batch.finish(collector);
     }
 
     let outcome = BroadcastOutcome {
@@ -455,7 +528,7 @@ pub fn run_fast_mc_with<C: Collector + ?Sized>(
 }
 
 /// Runs the **epoch-structured** hopping broadcast (the Chen–Zheng
-/// schedule of [`crate::execute_epoch_hopping`]) at phase granularity,
+/// schedule of [`crate::execute_epoch_hopping_soa`]) at phase granularity,
 /// one phase per epoch.
 ///
 /// Unlike [`run_fast_mc`], where every device retunes each slot and
@@ -542,6 +615,7 @@ pub fn run_fast_mc_epoch_with<C: Collector + ?Sized>(
     let mut stats = vec![ChannelStats::default(); c];
     let mut observation = PhaseObservation::empty(spectrum);
     let mut full_delivery_phase: Option<u32> = None;
+    let mut telemetry_batch = PhaseTelemetry::default();
 
     let mut start = 0u64;
     let mut phase: u32 = 0;
@@ -682,30 +756,35 @@ pub fn run_fast_mc_epoch_with<C: Collector + ?Sized>(
                 0.0
             };
             let clean_avg = clean_acc / c as f64;
-            collector.add(MetricId::FastPhases, 1);
-            collector.add(MetricId::FastInformed, newly);
-            collector.add(MetricId::FastJamRequested, requested);
-            collector.add(MetricId::FastJamExecuted, spend);
-            collector.gauge(MetricId::FastRendezvousP, rendezvous_p);
-            collector.gauge(MetricId::FastSurviveP, clean_avg);
-            collector.event(
-                Event::new(
-                    EngineTier::FastMc,
-                    "epoch-hopping",
-                    "phase",
-                    u64::from(phase),
-                )
-                .field("phase_len", s as f64)
-                .field("jam_requested", requested as f64)
-                .field("jam_executed", spend as f64)
-                .field("clean_avg", clean_avg)
-                .field("rendezvous_p", rendezvous_p)
-                .field("newly_informed", newly as f64)
-                .field("uninformed", survivors as f64),
+            telemetry_batch.record(
+                collector,
+                Event {
+                    tier: EngineTier::FastMc,
+                    protocol: "epoch-hopping",
+                    name: "phase",
+                    index: u64::from(phase),
+                    fields: vec![
+                        ("phase_len", s as f64),
+                        ("jam_requested", requested as f64),
+                        ("jam_executed", spend as f64),
+                        ("clean_avg", clean_avg),
+                        ("rendezvous_p", rendezvous_p),
+                        ("newly_informed", newly as f64),
+                        ("uninformed", survivors as f64),
+                    ],
+                },
+                requested,
+                spend,
+                newly,
+                rendezvous_p,
+                clean_avg,
             );
         }
         start += s;
         phase += 1;
+    }
+    if telemetry {
+        telemetry_batch.finish(collector);
     }
 
     let outcome = BroadcastOutcome {
@@ -771,8 +850,8 @@ fn execute_jam(plan: &McPhasePlan, c: usize, s: u64, budget_remaining: Option<u6
 
 /// `E[T | T ≤ s]` for `T ~ Geometric(p)` (first-success index, 1-based):
 /// the expected informing slot of a node known to inform within the
-/// phase.
-fn truncated_geometric_mean(p: f64, s: u64) -> f64 {
+/// phase. Shared with the fluid tier, which uses the same expectation.
+pub(crate) fn truncated_geometric_mean(p: f64, s: u64) -> f64 {
     if p <= 0.0 {
         return s as f64;
     }

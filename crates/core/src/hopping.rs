@@ -16,21 +16,19 @@
 //! channels through which hops rendezvous. Experiment E11 measures the
 //! resulting cost-competitiveness improvement as `C` grows.
 
-use rand::Rng;
-use rcb_auth::{Authority, KeyId, Payload as MessageBytes, Signed, Verifier};
+use rcb_auth::{Authority, Payload as MessageBytes};
 use rcb_radio::{
-    run_gossip_soa_with, Action, Adversary, Budget, ChannelId, CostBreakdown, EngineConfig,
-    EngineScratch, ExactEngine, GossipSoaScratch, GossipSpec, NodeProtocol, Payload, Reception,
-    RunReport, Slot, Spectrum,
+    run_gossip_soa_with, Adversary, Budget, CostBreakdown, EngineConfig, GossipSoaScratch,
+    GossipSpec, Payload, RunReport, Spectrum,
 };
-use rcb_rng::{SeedTree, SimRng};
+use rcb_rng::SeedTree;
 use rcb_telemetry::{Collector, NoopCollector};
 
 use crate::outcome::{BroadcastOutcome, EngineKind};
 
 /// Configuration for a random-hopping broadcast run.
 ///
-/// The spectrum is passed separately to [`execute_hopping`] so one
+/// The spectrum is passed separately to [`execute_hopping_soa`] so one
 /// config can be swept across channel counts.
 #[derive(Debug, Clone)]
 pub struct HoppingConfig {
@@ -68,277 +66,8 @@ impl HoppingConfig {
     }
 }
 
-/// Draws a uniformly random channel of `spectrum`.
-fn hop(rng: &mut SimRng, spectrum: Spectrum) -> ChannelId {
-    let c = spectrum.channel_count();
-    if c == 1 {
-        ChannelId::ZERO
-    } else {
-        ChannelId::new(rng.gen_range(0..c))
-    }
-}
-
-/// Alice under hopping gossip: transmits `m` with probability 1/2 on a
-/// fresh random channel each slot, until the horizon.
-#[derive(Debug)]
-struct HoppingAlice {
-    signed_m: Signed,
-    spectrum: Spectrum,
-    horizon: u64,
-    tuned: ChannelId,
-    done: bool,
-}
-
-impl NodeProtocol for HoppingAlice {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        if rng.gen_bool(0.5) {
-            self.tuned = hop(rng, self.spectrum);
-            Action::Send(Payload::Broadcast(self.signed_m.clone()))
-        } else {
-            Action::Sleep
-        }
-    }
-    fn channel(&self, _: Slot) -> ChannelId {
-        self.tuned
-    }
-    fn on_reception(&mut self, _: Slot, _: Reception) {}
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        true
-    }
-}
-
-/// A hopping node: listens on random channels until informed, then
-/// relays on random channels (until the horizon).
-#[derive(Debug)]
-struct HoppingNode {
-    verifier: Verifier,
-    alice_key: KeyId,
-    spectrum: Spectrum,
-    listen_p: f64,
-    relay_p: f64,
-    horizon: u64,
-    tuned: ChannelId,
-    message: Option<Signed>,
-    done: bool,
-}
-
-impl NodeProtocol for HoppingNode {
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        if slot.index() >= self.horizon {
-            self.done = true;
-            return Action::Sleep;
-        }
-        match &self.message {
-            Some(m) => {
-                if rng.gen_bool(self.relay_p) {
-                    self.tuned = hop(rng, self.spectrum);
-                    Action::Send(Payload::Broadcast(m.clone()))
-                } else {
-                    Action::Sleep
-                }
-            }
-            None => {
-                if rng.gen_bool(self.listen_p) {
-                    self.tuned = hop(rng, self.spectrum);
-                    Action::Listen
-                } else {
-                    Action::Sleep
-                }
-            }
-        }
-    }
-    fn channel(&self, _: Slot) -> ChannelId {
-        self.tuned
-    }
-    fn on_reception(&mut self, _: Slot, reception: Reception) {
-        if let Reception::Frame(Payload::Broadcast(signed)) = reception {
-            if signed.signer() == self.alice_key && self.verifier.verify_signed(&signed) {
-                self.message = Some(signed);
-            }
-        }
-    }
-    fn has_terminated(&self) -> bool {
-        self.done
-    }
-    fn is_informed(&self) -> bool {
-        self.message.is_some()
-    }
-}
-
-/// One hopping roster slot: Alice or a hopping node.
-///
-/// Homogeneous roster type for the engine's monomorphized fast path —
-/// see `BroadcastParticipant` in the `broadcast` module for the pattern.
-#[derive(Debug)]
-enum HoppingParticipant {
-    Alice(HoppingAlice),
-    Node(HoppingNode),
-}
-
-impl NodeProtocol for HoppingParticipant {
-    #[inline]
-    fn act(&mut self, slot: Slot, rng: &mut SimRng) -> Action {
-        match self {
-            HoppingParticipant::Alice(a) => a.act(slot, rng),
-            HoppingParticipant::Node(n) => n.act(slot, rng),
-        }
-    }
-    #[inline]
-    fn channel(&self, slot: Slot) -> ChannelId {
-        match self {
-            HoppingParticipant::Alice(a) => a.channel(slot),
-            HoppingParticipant::Node(n) => n.channel(slot),
-        }
-    }
-    #[inline]
-    fn on_reception(&mut self, slot: Slot, reception: Reception) {
-        match self {
-            HoppingParticipant::Alice(a) => a.on_reception(slot, reception),
-            HoppingParticipant::Node(n) => n.on_reception(slot, reception),
-        }
-    }
-    #[inline]
-    fn on_budget_exhausted(&mut self, slot: Slot) {
-        match self {
-            HoppingParticipant::Alice(a) => a.on_budget_exhausted(slot),
-            HoppingParticipant::Node(n) => n.on_budget_exhausted(slot),
-        }
-    }
-    #[inline]
-    fn has_terminated(&self) -> bool {
-        match self {
-            HoppingParticipant::Alice(a) => a.has_terminated(),
-            HoppingParticipant::Node(n) => n.has_terminated(),
-        }
-    }
-    #[inline]
-    fn is_informed(&self) -> bool {
-        match self {
-            HoppingParticipant::Alice(a) => a.is_informed(),
-            HoppingParticipant::Node(n) => n.is_informed(),
-        }
-    }
-}
-
-/// Reusable scratch for batched hopping runs: the roster and budget
-/// vectors plus the engine's working buffers survive across trials
-/// (participants are rebuilt *in place* per run — they are small value
-/// types, so a rebuild is a few stores per node and no allocation).
-#[derive(Debug, Default)]
-pub struct HoppingScratch {
-    roster: Vec<HoppingParticipant>,
-    budgets: Vec<Budget>,
-    engine: EngineScratch,
-}
-
-impl HoppingScratch {
-    /// Creates an empty scratch; buffers are shaped on first use.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-/// Runs random-hopping broadcast over `spectrum` and reports the outcome
-/// plus the raw engine report (whose
-/// [`channel_stats`](RunReport::channel_stats) carry the per-channel
-/// accounting).
-///
-/// This is the execution engine behind `rcb_sim::Scenario::hopping`;
-/// prefer the `Scenario` builder in application code. Batched callers
-/// should use [`execute_hopping_in`] with a per-worker
-/// [`HoppingScratch`].
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability (the `Scenario` builder
-/// rejects this with a typed error instead).
-#[must_use]
-pub fn execute_hopping(
-    config: &HoppingConfig,
-    spectrum: Spectrum,
-    adversary: &mut dyn Adversary,
-) -> (BroadcastOutcome, RunReport) {
-    execute_hopping_in(config, spectrum, adversary, &mut HoppingScratch::new())
-}
-
-/// Like [`execute_hopping`], reusing caller-owned scratch allocations —
-/// the batched-trials entry point.
-///
-/// # Panics
-///
-/// Panics if `listen_p` is not a probability.
-#[must_use]
-pub fn execute_hopping_in(
-    config: &HoppingConfig,
-    spectrum: Spectrum,
-    adversary: &mut dyn Adversary,
-    scratch: &mut HoppingScratch,
-) -> (BroadcastOutcome, RunReport) {
-    assert!(
-        (0.0..=1.0).contains(&config.listen_p),
-        "listen_p must be a probability"
-    );
-    let seeds = SeedTree::new(config.seed);
-    let mut authority = Authority::new(seeds.leaf_seed("auth-domain", 0));
-    let alice_key = authority.issue_key();
-    let verifier = authority.verifier();
-    let signed_m = alice_key.sign(&MessageBytes::from_static(b"hopping payload m"));
-
-    let relay_p = (config.relay_rate / config.n as f64).clamp(0.0, 1.0);
-    scratch.roster.clear();
-    scratch.roster.reserve(config.n as usize + 1);
-    scratch.roster.push(HoppingParticipant::Alice(HoppingAlice {
-        signed_m,
-        spectrum,
-        horizon: config.horizon,
-        tuned: ChannelId::ZERO,
-        done: false,
-    }));
-    for _ in 0..config.n {
-        scratch.roster.push(HoppingParticipant::Node(HoppingNode {
-            verifier,
-            alice_key: alice_key.id(),
-            spectrum,
-            listen_p: config.listen_p,
-            relay_p,
-            horizon: config.horizon,
-            tuned: ChannelId::ZERO,
-            message: None,
-            done: false,
-        }));
-    }
-    scratch.budgets.clear();
-    scratch
-        .budgets
-        .resize(config.n as usize + 1, Budget::unlimited());
-    let engine = ExactEngine::new(EngineConfig {
-        max_slots: config.horizon + 2,
-        trace_capacity: config.trace_capacity,
-        spectrum,
-        ..EngineConfig::default()
-    });
-    let report = engine.run_with_roster_typed_in(
-        &mut scratch.engine,
-        &mut scratch.roster,
-        &scratch.budgets,
-        config.carol_budget,
-        adversary,
-        &seeds,
-    );
-
-    let outcome = gossip_outcome(config.n, &report);
-    (outcome, report)
-}
-
-/// Reusable scratch for batched era-2 hopping runs.
+/// Reusable scratch for batched hopping runs on the sleep-skipping SoA
+/// engine.
 #[derive(Debug, Default)]
 pub struct HoppingSoaScratch {
     budgets: Vec<Budget>,
@@ -353,18 +82,21 @@ impl HoppingSoaScratch {
     }
 }
 
-/// Runs random-hopping broadcast on the era-2 sleep-skipping engine.
+/// Runs random-hopping broadcast over `spectrum` on the sleep-skipping
+/// SoA engine and reports the outcome plus the raw engine report (whose
+/// [`channel_stats`](RunReport::channel_stats) carry the per-channel
+/// accounting). Time is proportional to the events in a run rather than
+/// `n × slots`.
 ///
-/// Statistically equivalent to [`execute_hopping`] (validated by the
-/// `era1-oracle` cross-validation suite) but runs in time proportional
-/// to the events in a run rather than `n × slots` — this is the default
-/// exact path since fingerprint era 2. Not stream-compatible with the
-/// era-1 engine: same-seed runs differ draw-by-draw while agreeing in
-/// distribution.
+/// This is the execution engine behind `rcb_sim::Scenario::hopping`;
+/// prefer the `Scenario` builder in application code. Batched callers
+/// should use [`execute_hopping_soa_in`] with a per-worker
+/// [`HoppingSoaScratch`].
 ///
 /// # Panics
 ///
-/// Panics if `listen_p` is not a probability.
+/// Panics if `listen_p` is not a probability (the `Scenario` builder
+/// rejects this with a typed error instead).
 #[must_use]
 pub fn execute_hopping_soa(
     config: &HoppingConfig,
@@ -458,8 +190,8 @@ pub fn execute_hopping_soa_with<C: Collector + ?Sized>(
 }
 
 /// Assembles the gossip-shaped [`BroadcastOutcome`] from an engine
-/// report (shared by the era-1 and era-2 paths, and by the baseline
-/// drivers in `rcb-baselines`).
+/// report (shared by the hopping paths and by the baseline drivers in
+/// `rcb-baselines`).
 #[must_use]
 pub fn gossip_outcome(n: u64, report: &RunReport) -> BroadcastOutcome {
     let node_costs: Vec<CostBreakdown> = report.participant_costs[1..].to_vec();
@@ -491,23 +223,9 @@ mod tests {
     use rcb_radio::SilentAdversary;
 
     #[test]
-    fn quiet_hopping_delivers_on_any_spectrum() {
-        for channels in [1u16, 2, 8] {
-            let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), 7);
-            let (outcome, report) =
-                execute_hopping(&cfg, Spectrum::new(channels), &mut SilentAdversary);
-            assert_eq!(
-                outcome.informed_nodes, 24,
-                "C={channels}: everyone informs on a quiet spectrum"
-            );
-            assert_eq!(report.channel_stats.len(), channels as usize);
-        }
-    }
-
-    #[test]
     fn hops_spread_activity_across_the_spectrum() {
         let cfg = HoppingConfig::new(16, 8_000, Budget::unlimited(), 3);
-        let (_, report) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
+        let (_, report) = execute_hopping_soa(&cfg, Spectrum::new(4), &mut SilentAdversary);
         for (i, stats) in report.channel_stats.iter().enumerate() {
             assert!(stats.correct_sends > 0, "channel {i} never carried a send");
             assert!(
@@ -518,21 +236,11 @@ mod tests {
     }
 
     #[test]
-    fn runs_are_deterministic_by_seed() {
-        let cfg = HoppingConfig::new(12, 5_000, Budget::unlimited(), 11);
-        let (a, _) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        let (b, _) = execute_hopping(&cfg, Spectrum::new(4), &mut SilentAdversary);
-        assert_eq!(a.slots, b.slots);
-        assert_eq!(a.node_total_cost, b.node_total_cost);
-        assert_eq!(a.node_costs, b.node_costs);
-    }
-
-    #[test]
     #[should_panic(expected = "listen_p must be a probability")]
     fn rejects_bad_listen_p() {
         let mut cfg = HoppingConfig::new(4, 10, Budget::unlimited(), 0);
         cfg.listen_p = -0.5;
-        let _ = execute_hopping(&cfg, Spectrum::single(), &mut SilentAdversary);
+        let _ = execute_hopping_soa(&cfg, Spectrum::single(), &mut SilentAdversary);
     }
 
     #[test]
@@ -562,16 +270,17 @@ mod tests {
     }
 
     #[test]
-    fn era2_agrees_with_era1_on_run_shape() {
-        // Same config through both engines: identical timeline shape and
-        // (quiet spectrum) identical delivery outcome. Statistical
-        // equivalence of costs is covered by the era1-oracle suite.
-        let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), 13);
-        let (era1, r1) = execute_hopping(&cfg, Spectrum::new(2), &mut SilentAdversary);
-        let (era2, r2) = execute_hopping_soa(&cfg, Spectrum::new(2), &mut SilentAdversary);
-        assert_eq!(r1.slots_elapsed, r2.slots_elapsed);
-        assert_eq!(r1.stop_reason, r2.stop_reason);
-        assert_eq!(era1.informed_nodes, era2.informed_nodes);
-        assert_eq!(era1.alice_terminated, era2.alice_terminated);
+    fn run_shape_is_pinned_by_the_horizon() {
+        // The engine stops one slot past the horizon (every device
+        // sleeps from `horizon` on), independent of seed and spectrum —
+        // the timeline-shape invariant the retired oracle engine used to
+        // cross-check.
+        for (channels, seed) in [(1u16, 13u64), (2, 13), (4, 99)] {
+            let cfg = HoppingConfig::new(24, 20_000, Budget::unlimited(), seed);
+            let (outcome, report) =
+                execute_hopping_soa(&cfg, Spectrum::new(channels), &mut SilentAdversary);
+            assert_eq!(report.slots_elapsed, 20_001, "C={channels} seed={seed}");
+            assert!(outcome.alice_terminated);
+        }
     }
 }

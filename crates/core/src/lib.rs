@@ -42,23 +42,27 @@
 //! * [`probabilities`] — the Figure 1/2 formulas, in one auditable place;
 //! * [`Alice`] and [`ReceiverNode`] — the state machines, pluggable into
 //!   `rcb-radio`'s exact engine;
-//! * [`BroadcastScratch`] — exact-engine orchestration with in-place
-//!   roster reuse across runs, producing a [`BroadcastOutcome`];
-//! * [`execute_hopping`] / [`HoppingConfig`] — the multi-channel
+//! * [`BroadcastSoaScratch`] — exact-engine orchestration on the
+//!   sleep-skipping SoA engine, with in-place state reuse across runs,
+//!   producing a [`BroadcastOutcome`];
+//! * [`execute_hopping_soa`] / [`HoppingConfig`] — the multi-channel
 //!   epidemic-style random-hopping broadcast, the first `C > 1`
 //!   workload;
 //! * [`fast`] — the phase-level aggregated simulator for large `n`;
+//! * [`fast_mc`] — the phase-level Monte-Carlo spectrum simulator;
+//! * [`fluid`] — the deterministic mean-field tier (`O(phases · C)`,
+//!   independent of `n`);
 //! * [`DecoyConfig`] — §4.1 reactive hardening; [`SizeKnowledge`] — §4.2
 //!   unknown-size operation.
 //!
 //! ## Direct use (protocol-level code and tests)
 //!
 //! ```
-//! use rcb_core::{BroadcastScratch, Params, RunConfig};
+//! use rcb_core::{BroadcastSoaScratch, Params, RunConfig};
 //! use rcb_radio::SilentAdversary;
 //!
 //! let params = Params::builder(64).min_termination_round(3).build()?;
-//! let mut scratch = BroadcastScratch::new();
+//! let mut scratch = BroadcastSoaScratch::new();
 //! let (outcome, _report) = scratch.run(&params, &mut SilentAdversary, &RunConfig::seeded(1));
 //! assert!(outcome.informed_fraction() > 0.9);
 //! assert!(outcome.completed());
@@ -74,6 +78,7 @@ mod epoch_hopping;
 mod era2;
 pub mod fast;
 pub mod fast_mc;
+pub mod fluid;
 mod hopping;
 mod node;
 mod outcome;
@@ -82,16 +87,15 @@ pub mod probabilities;
 mod schedule;
 
 pub use alice::Alice;
-pub use broadcast::{stopped_cleanly, BroadcastScratch, RunConfig};
+pub use broadcast::{stopped_cleanly, RunConfig};
 pub use epoch_hopping::{
-    execute_epoch_hopping, execute_epoch_hopping_in, execute_epoch_hopping_soa,
-    execute_epoch_hopping_soa_in, execute_epoch_hopping_soa_with, EpochHoppingConfig,
-    EpochHoppingScratch, EpochHoppingSoaScratch,
+    execute_epoch_hopping_soa, execute_epoch_hopping_soa_in, execute_epoch_hopping_soa_with,
+    EpochHoppingConfig, EpochHoppingSoaScratch,
 };
 pub use era2::BroadcastSoaScratch;
 pub use hopping::{
-    execute_hopping, execute_hopping_in, execute_hopping_soa, execute_hopping_soa_in,
-    execute_hopping_soa_with, gossip_outcome, HoppingConfig, HoppingScratch, HoppingSoaScratch,
+    execute_hopping_soa, execute_hopping_soa_in, execute_hopping_soa_with, gossip_outcome,
+    HoppingConfig, HoppingSoaScratch,
 };
 pub use node::ReceiverNode;
 pub use outcome::{BroadcastOutcome, EngineKind};

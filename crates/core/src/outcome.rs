@@ -10,6 +10,9 @@ pub enum EngineKind {
     Exact,
     /// The phase-level aggregated simulator.
     Fast,
+    /// The deterministic mean-field fluid-limit engine (no RNG,
+    /// O(phases) independent of `n`).
+    Fluid,
 }
 
 /// Everything an experiment needs to know about one broadcast execution.

@@ -24,10 +24,10 @@
 //!   binomial draw and bulk-charged. Slots where a frame *could*
 //!   deliver materialize the full listener set exactly.
 //!
-//! The result is statistically equivalent to the era-1 loop (validated
-//! by the `era1-oracle` cross-validation suite) but runs in time
-//! proportional to the *events* in a run rather than `n × slots`. It is
-//! **not** stream-compatible with era 1 — fingerprints bump to era 2.
+//! The result is statistically equivalent to a naive per-slot roster
+//! walk (the retired era-1 loop) but runs in time proportional to the
+//! *events* in a run rather than `n × slots`. It is **not**
+//! stream-compatible with that loop — fingerprints bumped to era 2.
 //!
 //! Exactness boundaries: per-slot listener *identities* are not
 //! materialized in inert slots, so [`SlotObservation::listeners`] is

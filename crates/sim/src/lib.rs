@@ -14,8 +14,8 @@
 //! | [`Scenario::naive`] (§1.1 strawman) | `Exact` | 1 | schedule-free single-channel strategies |
 //! | [`Scenario::epidemic`] (gossip) | `Exact` | 1 | schedule-free single-channel strategies |
 //! | [`Scenario::ksy`] (two-player \[23\]) | `Exact` | 1 | `Silent`, `Continuous` (budget required) |
-//! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact`, `Fast` (the phase-level `fast_mc` spectrum simulator) | `C ≥ 1` via [`ScenarioBuilder::channels`] | `Exact`: schedule-free strategies incl. the channel-aware family; `Fast`: the channel-aware family plus `Silent`/`Continuous` |
-//! | [`Scenario::epoch_hopping`] (Chen–Zheng epoch schedule) | `Exact`, `Fast` (one phase per epoch) | `C ≥ 1` via [`ScenarioBuilder::channels`] | same as `hopping`; the `phase_len` knob is rejected (`epoch_len` *is* the phase length) |
+//! | [`Scenario::hopping`] (multi-channel random-hopping) | `Exact`, `Fast` (the phase-level `fast_mc` spectrum simulator), `Fluid` (deterministic mean-field, `O(phases · C)` independent of `n`) | `C ≥ 1` via [`ScenarioBuilder::channels`] | every schedule-free strategy on all three engines (the whole zoo has phase-mc and fluid lowerings) |
+//! | [`Scenario::epoch_hopping`] (Chen–Zheng epoch schedule) | `Exact`, `Fast`, `Fluid` (one phase per epoch) | `C ≥ 1` via [`ScenarioBuilder::channels`] | same as `hopping`; the `phase_len` knob is rejected (`epoch_len` *is* the phase length) |
 //! | [`Scenario::kpsy`] (KPSY `n`-player jamming defense) | `Exact` only (sparse secret schedules have no phase-level aggregate) | 1 | schedule-free single-channel strategies |
 //!
 //! Invalid combinations are rejected at [`ScenarioBuilder::build`] with a
@@ -51,6 +51,32 @@
 //! assert!(outcome.informed_fraction() > 0.9);
 //! // Per-channel tallies are populated by the fast engine too.
 //! assert_eq!(outcome.channel_stats.as_ref().map(Vec::len), Some(8));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## The fluid tier
+//!
+//! [`Engine::Fluid`] replaces the fast engine's per-phase sampling with
+//! the deterministic mean-field recurrence (`rcb_core::fluid`): one f64
+//! update per phase × channel, no RNG, `n` only a scale factor. A full
+//! `n = 2^20` evaluation costs microseconds, every seed produces the
+//! identical expectation run, and the outcome reports expected costs
+//! (no per-trial variance, no slot trace — those are inherently
+//! distributional and stay on the sampling tiers; experiment E19
+//! cross-validates all three).
+//!
+//! ```
+//! use rcb_sim::{Engine, HoppingSpec, Scenario, StrategySpec};
+//!
+//! let outcome = Scenario::hopping(HoppingSpec::new(1 << 20, 8_000))
+//!     .engine(Engine::Fluid)
+//!     .channels(8)
+//!     .adversary(StrategySpec::Random(0.3))
+//!     .carol_budget(4_000)
+//!     .build()?
+//!     .run();
+//! assert!(outcome.informed_fraction() > 0.9);
+//! assert_eq!(outcome.broadcast.engine, Engine::Fluid);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -128,7 +154,7 @@ mod scenario;
 pub use batch::{run_trials, run_trials_scoped, run_trials_scoped_with, THREADS_ENV_VAR};
 pub use outcome::{pearson, ScenarioOutcome};
 pub use scenario::{
-    Engine, EngineEra, EpidemicSpec, EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec,
+    Engine, EpidemicSpec, EpochHoppingSpec, HoppingSpec, KpsySpec, KsySpec, NaiveSpec,
     ProtocolKind, Scenario, ScenarioBuilder, ScenarioError, ScenarioScratch, DEFAULT_MC_PHASE_LEN,
 };
 
@@ -212,6 +238,114 @@ mod tests {
                 "{err}"
             );
         }
+    }
+
+    #[test]
+    fn fluid_engine_runs_hopping_protocols_only() {
+        // The mean-field tier models the hopping workload: everything
+        // else is a typed UnsupportedEngine.
+        for builder in [
+            Scenario::broadcast(params(16)),
+            Scenario::naive(NaiveSpec { n: 8, horizon: 10 }),
+            Scenario::epidemic(EpidemicSpec::new(8, 10)),
+            Scenario::ksy(KsySpec::default()),
+            Scenario::kpsy(KpsySpec { n: 8, horizon: 10 }),
+        ] {
+            let err = builder.engine(Engine::Fluid).build().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ScenarioError::UnsupportedEngine {
+                        engine: Engine::Fluid,
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+        }
+        // ... and it records no slot trace (expectations have no slots).
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .engine(Engine::Fluid)
+            .trace(64)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::TraceUnsupported { .. }),
+            "{err}"
+        );
+        // Schedule-bound strategies get the precise schedule error.
+        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+            .engine(Engine::Fluid)
+            .adversary(StrategySpec::Reactive)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ScheduleBoundStrategy { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fluid_engine_is_deterministic_across_seeds_and_workers() {
+        let scenario = |seed: u64| {
+            Scenario::hopping(HoppingSpec::new(1 << 16, 4_000))
+                .engine(Engine::Fluid)
+                .channels(4)
+                .adversary(StrategySpec::Random(0.3))
+                .carol_budget(2_000)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        // No RNG: every seed produces the identical expectation run.
+        let a = scenario(1).run();
+        let b = scenario(999).run();
+        assert_eq!(a.broadcast.engine, Engine::Fluid);
+        assert_eq!(a.informed_nodes, b.informed_nodes);
+        assert_eq!(a.broadcast.node_total_cost, b.broadcast.node_total_cost);
+        assert_eq!(a.channel_stats, b.channel_stats);
+        // Worker-count invariance: batched trials are all identical to
+        // the solo run regardless of thread count.
+        for workers in [1, 4] {
+            let batch = Scenario::hopping(HoppingSpec::new(1 << 16, 4_000))
+                .engine(Engine::Fluid)
+                .channels(4)
+                .adversary(StrategySpec::Random(0.3))
+                .carol_budget(2_000)
+                .threads(workers)
+                .seed(1)
+                .build()
+                .unwrap()
+                .run_batch(3);
+            for o in &batch {
+                assert_eq!(o.informed_nodes, a.informed_nodes);
+                assert_eq!(o.broadcast.node_total_cost, a.broadcast.node_total_cost);
+                assert_eq!(o.channel_stats, a.channel_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn fluid_epoch_hopping_runs_and_respects_the_epoch_length() {
+        let o = Scenario::epoch_hopping(EpochHoppingSpec::new(1 << 16, 8_000, 64))
+            .engine(Engine::Fluid)
+            .channels(4)
+            .adversary(StrategySpec::SplitUniform)
+            .carol_budget(2_000)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(o.broadcast.engine, Engine::Fluid);
+        assert!(o.informed_fraction() > 0.9, "{}", o.informed_fraction());
+        assert_eq!(o.carol_spend(), 2_000);
+        // The phase_len knob stays rejected for epoch hopping: the epoch
+        // *is* the phase.
+        let err = Scenario::epoch_hopping(EpochHoppingSpec::new(64, 1_000, 32))
+            .engine(Engine::Fluid)
+            .phase_len(16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
     }
 
     #[test]
@@ -405,10 +539,9 @@ mod tests {
     }
 
     #[test]
-    fn exact_runs_default_to_the_era2_engine() {
+    fn exact_runs_are_the_soa_engine_verbatim() {
         let scenario = Scenario::broadcast(params(16)).seed(11).build().unwrap();
-        assert_eq!(scenario.engine_era(), EngineEra::Era2);
-        // The scenario path is the era-2 engine verbatim: identical to a
+        // The scenario path is the SoA engine verbatim: identical to a
         // direct BroadcastSoaScratch run with the same seed.
         let via_scenario = scenario.run();
         let (direct, _) = rcb_core::BroadcastSoaScratch::new().run(
@@ -419,64 +552,6 @@ mod tests {
         assert_eq!(via_scenario.slots, direct.slots);
         assert_eq!(via_scenario.broadcast.alice_cost, direct.alice_cost);
         assert_eq!(via_scenario.broadcast.node_costs, direct.node_costs);
-    }
-
-    #[cfg(feature = "era1-oracle")]
-    #[test]
-    fn era1_oracle_selection_dispatches_the_oracle_engine() {
-        let scenario = Scenario::broadcast(params(16))
-            .engine_era(EngineEra::Era1)
-            .seed(11)
-            .build()
-            .unwrap();
-        assert_eq!(scenario.engine_era(), EngineEra::Era1);
-        let via_scenario = scenario.run();
-        let (direct, _) = rcb_core::BroadcastScratch::new().run(
-            &params(16),
-            &mut rcb_radio::SilentAdversary,
-            &rcb_core::RunConfig::seeded(11),
-        );
-        assert_eq!(via_scenario.slots, direct.slots);
-        assert_eq!(via_scenario.broadcast.alice_cost, direct.alice_cost);
-        assert_eq!(via_scenario.broadcast.node_costs, direct.node_costs);
-
-        // The era switch reaches every slot-level protocol, not just
-        // ε-BROADCAST: the naive baseline's era-2 path is exactly
-        // equal to era-1 (its action pattern is deterministic), while the
-        // gossip protocols only agree statistically.
-        let naive = |era: EngineEra| {
-            Scenario::naive(NaiveSpec { n: 8, horizon: 50 })
-                .engine_era(era)
-                .seed(5)
-                .build()
-                .unwrap()
-                .run()
-        };
-        let (n1, n2) = (naive(EngineEra::Era1), naive(EngineEra::Era2));
-        assert_eq!(n1.informed_nodes, 8);
-        assert_eq!(n2.informed_nodes, 8);
-        for (era, spec) in [
-            (EngineEra::Era1, EpidemicSpec::new(8, 2_000)),
-            (EngineEra::Era2, EpidemicSpec::new(8, 2_000)),
-        ] {
-            let o = Scenario::epidemic(spec)
-                .engine_era(era)
-                .seed(5)
-                .build()
-                .unwrap()
-                .run();
-            assert_eq!(o.informed_nodes, 8, "epidemic on {era}");
-        }
-        for era in [EngineEra::Era1, EngineEra::Era2] {
-            let o = Scenario::hopping(HoppingSpec::new(8, 2_000))
-                .engine_era(era)
-                .channels(2)
-                .seed(5)
-                .build()
-                .unwrap()
-                .run();
-            assert_eq!(o.informed_nodes, 8, "hopping on {era}");
-        }
     }
 
     #[test]
@@ -591,16 +666,17 @@ mod tests {
             .run();
         assert_eq!(o.carol_spend(), 400);
         assert_eq!(o.jam_slots_by_channel(), vec![100, 100, 100, 100]);
-        // Slot-only strategies have no phase-mc model.
-        let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        // The whole schedule-free zoo lowers onto the fast tier — the
+        // oblivious Random jammer included (one binomial draw per phase).
+        let o = Scenario::hopping(HoppingSpec::new(64, 2_000))
             .engine(Engine::Fast)
             .adversary(StrategySpec::Random(0.5))
+            .carol_budget(400)
+            .seed(3)
             .build()
-            .unwrap_err();
-        assert!(
-            matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
-            "{err}"
-        );
+            .unwrap()
+            .run();
+        assert_eq!(o.carol_spend(), 400);
         // Schedule-bound strategies make no sense against it.
         let err = Scenario::hopping(HoppingSpec::new(8, 100))
             .adversary(StrategySpec::Reactive)

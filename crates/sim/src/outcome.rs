@@ -43,9 +43,11 @@ pub struct ScenarioOutcome {
     pub participant_refusals: Option<Vec<u64>>,
     /// Per-channel activity/spend tallies, index-aligned with the
     /// spectrum's channels (a single entry for single-channel
-    /// scenarios). Populated by every exact-engine protocol and by the
-    /// phase-level `fast_mc` hopping engine; absent on the ε-BROADCAST
-    /// fast simulator and KSY. This is where "making evildoers pay"
+    /// scenarios). Populated by every exact-engine protocol, by the
+    /// phase-level `fast_mc` hopping engine, and by the fluid tier
+    /// (where the tallies are rounded expectations); absent on the
+    /// ε-BROADCAST fast simulator and KSY. This is where "making
+    /// evildoers pay"
     /// accounting survives the multi-channel split: it shows how the
     /// jammer's budget divided across channels.
     pub channel_stats: Option<Vec<ChannelStats>>,

@@ -7,16 +7,15 @@ use std::sync::Arc;
 use rcb_adversary::StrategySpec;
 use rcb_baselines::ksy::{run_ksy, KsyConfig, KsyOutcome};
 use rcb_baselines::{
-    execute_epidemic_in, execute_epidemic_soa_with, execute_kpsy_in, execute_naive_in,
-    execute_naive_soa_with, EpidemicConfig, EpidemicScratch, EpidemicSoaScratch, KpsyConfig,
-    KpsyScratch, NaiveConfig, NaiveScratch, NaiveSoaScratch,
+    execute_epidemic_soa_with, execute_kpsy_in, execute_naive_soa_with, EpidemicConfig,
+    EpidemicSoaScratch, KpsyConfig, KpsyScratch, NaiveConfig, NaiveSoaScratch,
 };
 use rcb_core::fast::{run_fast_with, FastConfig};
 use rcb_core::fast_mc::{run_fast_mc_epoch_with, run_fast_mc_with, McConfig};
+use rcb_core::fluid::{run_fluid_epoch_with, run_fluid_with, FluidConfig};
 use rcb_core::{
-    execute_epoch_hopping_in, execute_epoch_hopping_soa_with, execute_hopping_in,
-    execute_hopping_soa_with, BroadcastOutcome, BroadcastScratch, BroadcastSoaScratch, EngineKind,
-    EpochHoppingConfig, EpochHoppingScratch, EpochHoppingSoaScratch, HoppingConfig, HoppingScratch,
+    execute_epoch_hopping_soa_with, execute_hopping_soa_with, BroadcastOutcome,
+    BroadcastSoaScratch, EngineKind, EpochHoppingConfig, EpochHoppingSoaScratch, HoppingConfig,
     HoppingSoaScratch, Params, RunConfig,
 };
 use rcb_radio::{Budget, CostBreakdown, Spectrum};
@@ -44,42 +43,10 @@ use crate::outcome::ScenarioOutcome;
 /// Re-exported from `rcb_core`: [`Engine::Exact`] is the slot-by-slot
 /// ground truth; [`Engine::Fast`] selects the phase-level aggregated
 /// simulator — `rcb_core::fast` for ε-BROADCAST, `rcb_core::fast_mc`
-/// for the multi-channel hopping workload.
+/// for the multi-channel hopping workload; [`Engine::Fluid`] selects
+/// the deterministic mean-field tier (`rcb_core::fluid`, hopping
+/// protocols only) whose cost is independent of `n`.
 pub use rcb_core::EngineKind as Engine;
-
-/// Which generation of the exact engine executes slot-level runs.
-///
-/// Both eras implement the same protocols against the same adversary
-/// vocabulary and produce the same outcome types; they differ in *how*
-/// slots are simulated, and therefore in which RNG streams a seed maps
-/// to. Fingerprints, cached sweep results, and pinned regression vectors
-/// are era-scoped for exactly that reason (see `rcb-sweep`'s
-/// `ENGINE_ERA`).
-///
-/// * [`EngineEra::Era2`] (default) — structure-of-arrays rosters,
-///   counter-based per-node RNG, and sleep-skipping wakeup scheduling:
-///   a slot costs the devices that act in it, not `O(n)`.
-/// * [`EngineEra::Era1`] — the original per-node state machines walked
-///   every slot. Kept as a cross-validation oracle; selecting it
-///   requires the `era1-oracle` feature
-///   (`ScenarioBuilder::engine_era`, only compiled with that feature).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineEra {
-    /// The sleep-skipping SoA engine (current).
-    #[default]
-    Era2,
-    /// The per-slot full-roster oracle engine.
-    Era1,
-}
-
-impl fmt::Display for EngineEra {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            EngineEra::Era2 => "era2",
-            EngineEra::Era1 => "era1",
-        })
-    }
-}
 
 /// Which protocol a scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -431,7 +398,6 @@ pub struct Scenario {
     channels: u16,
     mc_phase_len: u64,
     threads: Option<usize>,
-    era: EngineEra,
     seed: u64,
     telemetry: Option<Arc<dyn Collector>>,
 }
@@ -445,15 +411,10 @@ pub struct Scenario {
 /// the outcome itself.
 #[derive(Debug, Default)]
 pub struct ScenarioScratch {
-    broadcast: BroadcastScratch,
-    hopping: HoppingScratch,
-    naive: NaiveScratch,
-    epidemic: EpidemicScratch,
     broadcast_soa: BroadcastSoaScratch,
     hopping_soa: HoppingSoaScratch,
     naive_soa: NaiveSoaScratch,
     epidemic_soa: EpidemicSoaScratch,
-    epoch_hopping: EpochHoppingScratch,
     epoch_hopping_soa: EpochHoppingSoaScratch,
     kpsy: KpsyScratch,
 }
@@ -527,14 +488,6 @@ impl Scenario {
         self.engine
     }
 
-    /// Which exact-engine era slot-level runs execute on (always
-    /// [`EngineEra::Era2`] unless the `era1-oracle` feature selected the
-    /// oracle via `ScenarioBuilder::engine_era`).
-    #[must_use]
-    pub fn engine_era(&self) -> EngineEra {
-        self.era
-    }
-
     /// The adversary strategy.
     #[must_use]
     pub fn adversary(&self) -> StrategySpec {
@@ -604,6 +557,7 @@ impl Scenario {
             ProtocolSpec::Broadcast(params) => match self.engine {
                 Engine::Exact => self.run_broadcast_exact(scratch, params, seed),
                 Engine::Fast => self.run_broadcast_fast(params, seed),
+                Engine::Fluid => unreachable!("validated at build: fluid runs hopping only"),
             },
             ProtocolSpec::Naive(spec) => self.run_naive(scratch, *spec, seed),
             ProtocolSpec::Epidemic(spec) => self.run_epidemic(scratch, *spec, seed),
@@ -684,15 +638,10 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = match self.era {
-            EngineEra::Era2 => scratch.broadcast_soa.run_with(
-                params,
-                adversary.as_mut(),
-                &config,
-                self.collector(),
-            ),
-            EngineEra::Era1 => scratch.broadcast.run(params, adversary.as_mut(), &config),
-        };
+        let (broadcast, report) =
+            scratch
+                .broadcast_soa
+                .run_with(params, adversary.as_mut(), &config, self.collector());
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -705,6 +654,7 @@ impl Scenario {
         match self.engine {
             Engine::Exact => self.run_hopping_exact(scratch, spec, seed),
             Engine::Fast => self.run_hopping_fast(spec, seed),
+            Engine::Fluid => self.run_hopping_fluid(spec, seed),
         }
     }
 
@@ -727,21 +677,13 @@ impl Scenario {
             .adversary
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
-        let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_hopping_soa_with(
-                &config,
-                self.spectrum(),
-                adversary.as_mut(),
-                &mut scratch.hopping_soa,
-                self.collector(),
-            ),
-            EngineEra::Era1 => execute_hopping_in(
-                &config,
-                self.spectrum(),
-                adversary.as_mut(),
-                &mut scratch.hopping,
-            ),
-        };
+        let (broadcast, report) = execute_hopping_soa_with(
+            &config,
+            self.spectrum(),
+            adversary.as_mut(),
+            &mut scratch.hopping_soa,
+            self.collector(),
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -770,6 +712,30 @@ impl Scenario {
         outcome
     }
 
+    /// The deterministic mean-field tier (`rcb_core::fluid`): one f64
+    /// recurrence per phase × channel, no RNG, cost independent of `n`.
+    /// The `seed` is recorded in the outcome for provenance but never
+    /// consumed — every seed produces the identical expectation run.
+    fn run_hopping_fluid(&self, spec: HoppingSpec, seed: u64) -> ScenarioOutcome {
+        let config = FluidConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            phase_len: self.mc_phase_len,
+            carol_budget: self.carol_budget,
+        };
+        let mut jammer = self
+            .adversary
+            .fluid_jammer(self.spectrum())
+            .expect("validated at build: strategy has a fluid model");
+        let (broadcast, channel_stats) =
+            run_fluid_with(&config, self.spectrum(), jammer.as_mut(), self.collector());
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.channel_stats = Some(channel_stats);
+        outcome
+    }
+
     fn run_epoch_hopping(
         &self,
         scratch: &mut ScenarioScratch,
@@ -779,6 +745,7 @@ impl Scenario {
         match self.engine {
             Engine::Exact => self.run_epoch_hopping_exact(scratch, spec, seed),
             Engine::Fast => self.run_epoch_hopping_fast(spec, seed),
+            Engine::Fluid => self.run_epoch_hopping_fluid(spec, seed),
         }
     }
 
@@ -802,21 +769,13 @@ impl Scenario {
             .adversary
             .schedule_free_slot_adversary_on(self.spectrum(), seed)
             .expect("validated at build: strategy is schedule-free");
-        let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_epoch_hopping_soa_with(
-                &config,
-                self.spectrum(),
-                adversary.as_mut(),
-                &mut scratch.epoch_hopping_soa,
-                self.collector(),
-            ),
-            EngineEra::Era1 => execute_epoch_hopping_in(
-                &config,
-                self.spectrum(),
-                adversary.as_mut(),
-                &mut scratch.epoch_hopping,
-            ),
-        };
+        let (broadcast, report) = execute_epoch_hopping_soa_with(
+            &config,
+            self.spectrum(),
+            adversary.as_mut(),
+            &mut scratch.epoch_hopping_soa,
+            self.collector(),
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -839,6 +798,34 @@ impl Scenario {
             .phase_jammer(self.spectrum(), seed)
             .expect("validated at build: strategy has a phase-mc model");
         let (broadcast, channel_stats) = run_fast_mc_epoch_with(
+            &config,
+            spec.epoch_len,
+            self.spectrum(),
+            jammer.as_mut(),
+            self.collector(),
+        );
+        let mut outcome = self.outcome(broadcast, seed, None);
+        outcome.channel_stats = Some(channel_stats);
+        outcome
+    }
+
+    /// The epoch-census fluid tier (`rcb_core::fluid`): deterministic
+    /// per-channel uninformed/relay masses with expectation-averaged
+    /// boundary redraws. One phase per epoch, like the fast lowering.
+    fn run_epoch_hopping_fluid(&self, spec: EpochHoppingSpec, seed: u64) -> ScenarioOutcome {
+        let config = FluidConfig {
+            n: spec.n,
+            horizon: spec.horizon,
+            listen_p: spec.listen_p,
+            relay_rate: spec.relay_rate,
+            phase_len: spec.epoch_len,
+            carol_budget: self.carol_budget,
+        };
+        let mut jammer = self
+            .adversary
+            .fluid_jammer(self.spectrum())
+            .expect("validated at build: strategy has a fluid model");
+        let (broadcast, channel_stats) = run_fluid_epoch_with(
             &config,
             spec.epoch_len,
             self.spectrum(),
@@ -924,19 +911,12 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_naive_soa_with(
-                &config,
-                self.schedule_free_adversary(seed).as_mut(),
-                &mut scratch.naive_soa,
-                self.collector(),
-            ),
-            EngineEra::Era1 => execute_naive_in(
-                &config,
-                self.schedule_free_adversary(seed).as_mut(),
-                &mut scratch.naive,
-            ),
-        };
+        let (broadcast, report) = execute_naive_soa_with(
+            &config,
+            self.schedule_free_adversary(seed).as_mut(),
+            &mut scratch.naive_soa,
+            self.collector(),
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -955,19 +935,12 @@ impl Scenario {
             trace_capacity: self.trace_capacity,
             seed,
         };
-        let (broadcast, report) = match self.era {
-            EngineEra::Era2 => execute_epidemic_soa_with(
-                &config,
-                self.schedule_free_adversary(seed).as_mut(),
-                &mut scratch.epidemic_soa,
-                self.collector(),
-            ),
-            EngineEra::Era1 => execute_epidemic_in(
-                &config,
-                self.schedule_free_adversary(seed).as_mut(),
-                &mut scratch.epidemic,
-            ),
-        };
+        let (broadcast, report) = execute_epidemic_soa_with(
+            &config,
+            self.schedule_free_adversary(seed).as_mut(),
+            &mut scratch.epidemic_soa,
+            self.collector(),
+        );
         self.exact_outcome(broadcast, report, seed)
     }
 
@@ -1026,7 +999,6 @@ pub struct ScenarioBuilder {
     channels: u16,
     phase_len: Option<u64>,
     threads: Option<usize>,
-    era: EngineEra,
     seed: u64,
     telemetry: Option<Arc<dyn Collector>>,
 }
@@ -1043,7 +1015,6 @@ impl ScenarioBuilder {
             channels: 1,
             phase_len: None,
             threads: None,
-            era: EngineEra::default(),
             seed: 0,
             telemetry: None,
         }
@@ -1053,18 +1024,6 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
-        self
-    }
-
-    /// Selects the exact-engine era (default [`EngineEra::Era2`]).
-    ///
-    /// Only available with the `era1-oracle` feature: era 1 exists as a
-    /// cross-validation oracle for the era-2 engine, not as a production
-    /// path. Fast-engine runs are unaffected by the era.
-    #[cfg(feature = "era1-oracle")]
-    #[must_use]
-    pub fn engine_era(mut self, era: EngineEra) -> Self {
-        self.era = era;
         self
     }
 
@@ -1129,12 +1088,13 @@ impl ScenarioBuilder {
     }
 
     /// Sets the phase length (slots) of the phase-level multi-channel
-    /// engine (default [`DEFAULT_MC_PHASE_LEN`]).
+    /// engines (default [`DEFAULT_MC_PHASE_LEN`]).
     ///
-    /// Only meaningful for `Scenario::hopping` on [`Engine::Fast`];
-    /// [`build`](Self::build) rejects it anywhere else (and a zero
-    /// length) with [`ScenarioError::InvalidConfig`]. Shorter phases
-    /// track the exact engine more closely; longer phases run faster.
+    /// Only meaningful for `Scenario::hopping` on [`Engine::Fast`] or
+    /// [`Engine::Fluid`]; [`build`](Self::build) rejects it anywhere
+    /// else (and a zero length) with [`ScenarioError::InvalidConfig`].
+    /// Shorter phases track the exact engine more closely; longer phases
+    /// run faster.
     #[must_use]
     pub fn phase_len(mut self, slots: u64) -> Self {
         self.phase_len = Some(slots);
@@ -1193,10 +1153,12 @@ impl ScenarioBuilder {
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let protocol = self.protocol.kind();
 
-        // Engine × protocol × adversary: two phase-level simulators
-        // exist — `fast` for ε-BROADCAST's round schedule and `fast_mc`
-        // for the multi-channel hopping workload — and each hosts only
-        // the strategies with a phase model at its granularity.
+        // Engine × protocol × adversary: three aggregated simulators
+        // exist — `fast` for ε-BROADCAST's round schedule, `fast_mc` for
+        // the multi-channel hopping workload, and the deterministic
+        // `fluid` mean-field tier for the hopping workload only — and
+        // each hosts only the strategies with a model at its
+        // granularity.
         if self.engine == Engine::Fast {
             match protocol {
                 ProtocolKind::Broadcast => {
@@ -1224,6 +1186,25 @@ impl ScenarioBuilder {
                 }
             }
         }
+        if self.engine == Engine::Fluid {
+            match protocol {
+                ProtocolKind::Hopping | ProtocolKind::EpochHopping => {
+                    if !self.adversary.supports_fluid() && !self.adversary.requires_schedule() {
+                        return Err(ScenarioError::SlotOnlyStrategy {
+                            strategy: self.adversary.name(),
+                        });
+                    }
+                    // Schedule-bound strategies fall through to the
+                    // protocol × adversary check below.
+                }
+                _ => {
+                    return Err(ScenarioError::UnsupportedEngine {
+                        protocol,
+                        engine: self.engine,
+                    });
+                }
+            }
+        }
 
         // The phase length is a fast_mc knob; naming it anywhere else is
         // a configuration error, not a silent no-op.
@@ -1235,10 +1216,12 @@ impl ScenarioBuilder {
                 ));
             }
             Some(slots) => {
-                if self.engine != Engine::Fast || protocol != ProtocolKind::Hopping {
+                let phase_level_engine =
+                    self.engine == Engine::Fast || self.engine == Engine::Fluid;
+                if !phase_level_engine || protocol != ProtocolKind::Hopping {
                     return Err(ScenarioError::InvalidConfig(format!(
-                        "phase_len applies to the phase-level multi-channel engine only \
-                         (hopping on the Fast engine), not {protocol} on {:?}",
+                        "phase_len applies to the phase-level multi-channel engines only \
+                         (hopping on the Fast or Fluid engine), not {protocol} on {:?}",
                         self.engine
                     )));
                 }
@@ -1332,7 +1315,7 @@ impl ScenarioBuilder {
         let trace_capacity = match self.trace {
             None => 0,
             Some(capacity) => {
-                if self.engine == Engine::Fast || protocol == ProtocolKind::Ksy {
+                if self.engine != Engine::Exact || protocol == ProtocolKind::Ksy {
                     return Err(ScenarioError::TraceUnsupported {
                         protocol,
                         engine: self.engine,
@@ -1384,7 +1367,6 @@ impl ScenarioBuilder {
             channels: self.channels,
             mc_phase_len,
             threads: self.threads,
-            era: self.era,
             seed: self.seed,
             telemetry: self.telemetry,
         })

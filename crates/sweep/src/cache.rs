@@ -15,7 +15,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::SystemTime;
 
 use rcb_rng::stats::RunningStats;
 
@@ -63,6 +65,20 @@ pub enum CacheLookup {
 pub struct ResultCache {
     dir: Option<PathBuf>,
     mem: Mutex<HashMap<Fingerprint, CacheEntry>>,
+    bound: Option<DiskBound>,
+}
+
+/// Compaction state for a size-bounded disk store.
+///
+/// `tracked_bytes` is the believed total size of the `.cell` files,
+/// maintained incrementally across stores (initialized by one directory
+/// scan, lazily). Compaction rescans, so external deletions only make
+/// the estimate conservative, never unsafe.
+#[derive(Debug)]
+struct DiskBound {
+    max_bytes: u64,
+    tracked_bytes: Mutex<Option<u64>>,
+    evicted: AtomicU64,
 }
 
 impl ResultCache {
@@ -72,6 +88,7 @@ impl ResultCache {
         Self {
             dir: None,
             mem: Mutex::new(HashMap::new()),
+            bound: None,
         }
     }
 
@@ -87,7 +104,48 @@ impl ResultCache {
         Ok(Self {
             dir: Some(dir),
             mem: Mutex::new(HashMap::new()),
+            bound: None,
         })
+    }
+
+    /// A rooted cache whose disk footprint is compacted to at most
+    /// `max_bytes` of `.cell` files, evicting the **oldest entries
+    /// first** (by file modification time; evicted cells are simply
+    /// recomputed on their next submission).
+    ///
+    /// Compaction runs once at open — so a restart against a directory
+    /// that outgrew the bound shrinks it immediately — and after any
+    /// store that pushes the tracked total past the bound. The store
+    /// that triggered a compaction is the newest file and therefore the
+    /// last eviction candidate; it only goes when `max_bytes` is smaller
+    /// than that single entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error when the directory cannot be created or the
+    /// opening compaction scan fails.
+    pub fn at_dir_bounded(dir: impl Into<PathBuf>, max_bytes: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let cache = Self {
+            dir: Some(dir),
+            mem: Mutex::new(HashMap::new()),
+            bound: Some(DiskBound {
+                max_bytes,
+                tracked_bytes: Mutex::new(None),
+                evicted: AtomicU64::new(0),
+            }),
+        };
+        cache.compact()?;
+        Ok(cache)
+    }
+
+    /// Disk entries evicted by compaction over this cache's lifetime.
+    #[must_use]
+    pub fn evicted_entries(&self) -> u64 {
+        self.bound
+            .as_ref()
+            .map_or(0, |b| b.evicted.load(Ordering::Relaxed))
     }
 
     /// The backing directory, when rooted.
@@ -157,10 +215,102 @@ impl ResultCache {
             .expect("cache mutex poisoned")
             .insert(entry.fingerprint, entry);
         if let Some((path, text)) = rendered {
+            let written = text.len() as u64;
             fs::write(path, text)?;
+            self.note_written(written)?;
         }
         Ok(())
     }
+
+    /// Adds `written` bytes to the tracked disk total (initializing it
+    /// with one directory scan on first use) and compacts if the bound
+    /// is now exceeded.
+    fn note_written(&self, written: u64) -> io::Result<()> {
+        let (Some(dir), Some(bound)) = (self.dir.as_ref(), self.bound.as_ref()) else {
+            return Ok(());
+        };
+        let over = {
+            let mut tracked = bound.tracked_bytes.lock().expect("cache mutex poisoned");
+            let total = match *tracked {
+                // `store` overwrites on a repeated fingerprint, so the
+                // increment over-counts re-stores; compaction rescans,
+                // which only makes this estimate trigger early, never
+                // miss.
+                Some(total) => total + written,
+                None => scan_cells(dir)?.iter().map(|c| c.bytes).sum::<u64>(),
+            };
+            *tracked = Some(total);
+            total > bound.max_bytes
+        };
+        if over {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Evicts oldest-first until the `.cell` files fit the bound; a
+    /// no-op for unbounded caches.
+    fn compact(&self) -> io::Result<()> {
+        let (Some(dir), Some(bound)) = (self.dir.as_ref(), self.bound.as_ref()) else {
+            return Ok(());
+        };
+        let mut cells = scan_cells(dir)?;
+        let mut total: u64 = cells.iter().map(|c| c.bytes).sum();
+        // Oldest first; ties (e.g. coarse mtime clocks within one sweep)
+        // break by file name so eviction order is deterministic.
+        cells.sort_by(|a, b| {
+            a.modified
+                .cmp(&b.modified)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        let mut evicted = 0u64;
+        for cell in &cells {
+            if total <= bound.max_bytes {
+                break;
+            }
+            match fs::remove_file(&cell.path) {
+                Ok(()) => {}
+                // Already gone (another handle compacted): nothing to do.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            total -= cell.bytes;
+            evicted += 1;
+        }
+        if evicted > 0 {
+            bound.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+        *bound.tracked_bytes.lock().expect("cache mutex poisoned") = Some(total);
+        Ok(())
+    }
+}
+
+/// One `.cell` file's eviction-relevant metadata.
+struct CellFile {
+    path: PathBuf,
+    bytes: u64,
+    modified: SystemTime,
+}
+
+fn scan_cells(dir: &Path) -> io::Result<Vec<CellFile>> {
+    let mut cells = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().is_none_or(|ext| ext != "cell") {
+            continue;
+        }
+        let meta = entry.metadata()?;
+        if !meta.is_file() {
+            continue;
+        }
+        cells.push(CellFile {
+            path,
+            bytes: meta.len(),
+            modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+        });
+    }
+    Ok(cells)
 }
 
 fn entry_path(dir: &Path, fingerprint: Fingerprint) -> PathBuf {
@@ -397,6 +547,86 @@ mod tests {
         // a partial or reinterpreted read.
         assert!(cache.lookup(era1_key).is_none());
         assert_eq!(cache.resident_len(), 0, "nothing stale became resident");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_evicts_oldest_entries_to_fit_the_bound() {
+        let dir = temp_dir("compaction");
+        let entries: Vec<CacheEntry> = (0..4).map(sample_entry_seeded).collect();
+        let cell_bytes = render_entry(&entries[0]).len() as u64;
+        // Room for roughly two cells: storing four must evict the two
+        // oldest from disk (the in-memory copies are untouched).
+        let cache = ResultCache::at_dir_bounded(&dir, 2 * cell_bytes + cell_bytes / 2).unwrap();
+        for (i, entry) in entries.iter().enumerate() {
+            cache.store(entry.clone()).unwrap();
+            // Distinct mtimes even on coarse filesystem clocks.
+            let when = fs::FileTimes::new()
+                .set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(i as u64));
+            fs::File::options()
+                .append(true)
+                .open(entry_path(&dir, entry.fingerprint))
+                .unwrap()
+                .set_times(when)
+                .unwrap();
+        }
+        cache.compact().unwrap();
+        assert_eq!(cache.evicted_entries(), 2, "two oldest cells evicted");
+        assert!(!entry_path(&dir, entries[0].fingerprint).exists());
+        assert!(!entry_path(&dir, entries[1].fingerprint).exists());
+        assert!(entry_path(&dir, entries[2].fingerprint).exists());
+        assert!(entry_path(&dir, entries[3].fingerprint).exists());
+        // Memory still serves every entry this process stored...
+        assert!(cache.lookup(entries[0].fingerprint).is_some());
+
+        // ...but a restart sees only the survivors: evicted cells are
+        // plain misses (recomputed on next submission), survivors load
+        // bit-exactly.
+        let cold = ResultCache::at_dir_bounded(&dir, 2 * cell_bytes + cell_bytes / 2).unwrap();
+        assert_eq!(
+            cold.lookup_classified(entries[0].fingerprint),
+            CacheLookup::Miss
+        );
+        assert_eq!(
+            cold.lookup_classified(entries[1].fingerprint),
+            CacheLookup::Miss
+        );
+        assert_eq!(
+            cold.lookup(entries[3].fingerprint),
+            Some(entries[3].clone())
+        );
+        assert_eq!(cold.evicted_entries(), 0, "nothing left to evict at open");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_bounded_cache_shrinks_an_overgrown_directory() {
+        let dir = temp_dir("compaction-open");
+        // Populate unbounded, past any bound we will set.
+        {
+            let unbounded = ResultCache::at_dir(&dir).unwrap();
+            for seed in 0..5 {
+                unbounded.store(sample_entry_seeded(seed)).unwrap();
+            }
+        }
+        let cell_bytes = render_entry(&sample_entry()).len() as u64;
+        let bounded = ResultCache::at_dir_bounded(&dir, 3 * cell_bytes).unwrap();
+        assert_eq!(bounded.evicted_entries(), 2, "open-time compaction ran");
+        let remaining = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "cell")
+            })
+            .count();
+        assert_eq!(remaining, 3);
+        // An unbounded handle over the same directory never compacts.
+        let unbounded = ResultCache::at_dir(&dir).unwrap();
+        unbounded.store(sample_entry_seeded(100)).unwrap();
+        assert_eq!(unbounded.evicted_entries(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

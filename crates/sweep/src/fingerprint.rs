@@ -300,6 +300,9 @@ fn canonical_bytes(spec: &ScenarioSpec, era: &str) -> Vec<u8> {
     enc.u8(match spec.engine {
         Engine::Exact => 0,
         Engine::Fast => 1,
+        // Appended discriminant (never renumber): existing Exact/Fast
+        // keys are byte-identical across the fluid-tier addition.
+        Engine::Fluid => 2,
     });
     enc.tag(Tag::Adversary);
     encode_adversary(&mut enc, &spec.adversary);
@@ -429,6 +432,18 @@ mod tests {
                 .carol_budget(500)
                 .seed(11),
                 "5766c7c3b3b68131f496da3dc62cf15a",
+            ),
+            // PR-10 addition: the fluid engine discriminant (2) is
+            // appended to the engine tag, so every pre-existing pin
+            // above is untouched — no ENGINE_ERA bump needed.
+            (
+                ScenarioSpec::hopping(HoppingSpec::new(1 << 20, 8_000))
+                    .engine(Engine::Fluid)
+                    .channels(4)
+                    .adversary(StrategySpec::Random(0.3))
+                    .carol_budget(2_000)
+                    .seed(7),
+                "67ef9e7a9e8e0dfe3c61d80fc26ef9f2",
             ),
         ];
         for (spec, expect) in pins {

@@ -97,9 +97,9 @@ pub struct ScenarioSpec {
     pub carol_budget: Option<u64>,
     /// Number of radio channels (1 = the single-channel model).
     pub channels: u16,
-    /// Phase length of the phase-level multi-channel engine (`None` =
+    /// Phase length of the phase-level multi-channel engines (`None` =
     /// the engine default, [`DEFAULT_MC_PHASE_LEN`]). Only meaningful
-    /// for hopping on [`Engine::Fast`].
+    /// for hopping on [`Engine::Fast`] or [`Engine::Fluid`].
     pub phase_len: Option<u64>,
     /// Master seed — the root of the cell's per-trial seed lineage.
     pub seed: u64,
@@ -210,7 +210,7 @@ impl ScenarioSpec {
     #[must_use]
     pub fn canonical_phase_len(&self) -> u64 {
         match &self.protocol {
-            ProtocolSpec::Hopping(_) if self.engine == Engine::Fast => {
+            ProtocolSpec::Hopping(_) if matches!(self.engine, Engine::Fast | Engine::Fluid) => {
                 self.phase_len.unwrap_or(DEFAULT_MC_PHASE_LEN)
             }
             // The epoch schedule's phase length IS the epoch length,
@@ -257,6 +257,7 @@ impl ScenarioSpec {
         let engine = match self.engine {
             Engine::Exact => "exact",
             Engine::Fast => "fast",
+            Engine::Fluid => "fluid",
         };
         let budget = match self.carol_budget {
             Some(t) => format!("T{t}"),
@@ -321,7 +322,22 @@ mod tests {
             DEFAULT_MC_PHASE_LEN
         );
         assert_eq!(
-            hop.engine(Engine::Fast).phase_len(64).canonical_phase_len(),
+            hop.clone()
+                .engine(Engine::Fast)
+                .phase_len(64)
+                .canonical_phase_len(),
+            64
+        );
+        // The fluid tier shares the phase-length structure (and the
+        // default) with fast_mc.
+        assert_eq!(
+            hop.clone().engine(Engine::Fluid).canonical_phase_len(),
+            DEFAULT_MC_PHASE_LEN
+        );
+        assert_eq!(
+            hop.engine(Engine::Fluid)
+                .phase_len(64)
+                .canonical_phase_len(),
             64
         );
     }

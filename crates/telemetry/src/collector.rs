@@ -40,6 +40,20 @@ pub trait Collector: fmt::Debug + Send + Sync {
     /// Records one structured tracing event.
     fn event(&self, _event: Event) {}
 
+    /// Drains a buffer of events into the collector, preserving order.
+    ///
+    /// Hot engine loops that emit one event per phase should buffer
+    /// locally and flush through here: a recording backend can then take
+    /// its store lock once per batch instead of once per event. The
+    /// default forwards each event through [`event`](Self::event), so
+    /// implementations only need to override this for performance. The
+    /// buffer is left empty (capacity retained) so callers can reuse it.
+    fn event_batch(&self, events: &mut Vec<Event>) {
+        for event in events.drain(..) {
+            self.event(event);
+        }
+    }
+
     /// Records `ns` nanoseconds against the named span.
     fn span_ns(&self, _name: &'static str, _ns: u64) {}
 
@@ -75,6 +89,11 @@ impl Collector for NoopCollector {
 
     #[inline(always)]
     fn event(&self, _event: Event) {}
+
+    #[inline(always)]
+    fn event_batch(&self, events: &mut Vec<Event>) {
+        events.clear();
+    }
 
     #[inline(always)]
     fn span_ns(&self, _name: &'static str, _ns: u64) {}
@@ -127,6 +146,29 @@ mod tests {
         c.add(MetricId::EngineSlots, 1);
         c.observe(MetricId::EngineWakeDrainBatch, 1.0);
         assert!(c.snapshot().is_none());
+    }
+
+    #[test]
+    fn default_event_batch_forwards_through_event() {
+        /// Counts `event` calls, so the default `event_batch` is observed
+        /// routing every buffered event through the per-event hook.
+        #[derive(Debug, Default)]
+        struct Counting(std::sync::atomic::AtomicU64);
+        impl Collector for Counting {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn event(&self, _event: Event) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let c = Counting::default();
+        let mut buf: Vec<Event> = (0..4)
+            .map(|i| Event::new(crate::EngineTier::FastMc, "hopping", "phase", i))
+            .collect();
+        c.event_batch(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(c.0.load(std::sync::atomic::Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! small set of named numeric fields.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Which engine emitted a record — the coarsest dimension of every
 /// event.
@@ -23,6 +24,9 @@ pub enum EngineTier {
     /// The phase-level multi-channel spectrum simulator
     /// (`rcb_core::fast_mc`).
     FastMc,
+    /// The deterministic mean-field fluid-limit engine
+    /// (`rcb_core::fluid`).
+    Fluid,
 }
 
 impl fmt::Display for EngineTier {
@@ -31,6 +35,7 @@ impl fmt::Display for EngineTier {
             EngineTier::Exact => "exact",
             EngineTier::Fast => "fast",
             EngineTier::FastMc => "fast_mc",
+            EngineTier::Fluid => "fluid",
         })
     }
 }
@@ -99,9 +104,110 @@ impl fmt::Display for Event {
     }
 }
 
+/// An immutable sequence of recorded events, cheap to clone.
+///
+/// Backed by shared chunks (one per [`Collector::event_batch`] flush),
+/// so snapshotting a store of `E` events costs `O(chunks)` reference
+/// bumps rather than `O(E)` deep copies — what keeps per-trial
+/// [`Snapshot`](crate::Snapshot)s affordable when one recording
+/// collector is shared across a whole batch of runs. Iteration order is
+/// emission order; chunk boundaries are invisible to every accessor and
+/// to equality.
+///
+/// [`Collector::event_batch`]: crate::Collector::event_batch
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    chunks: Vec<Arc<[Event]>>,
+    len: usize,
+}
+
+impl EventLog {
+    /// Builds a log over pre-sealed chunks.
+    pub(crate) fn from_chunks(chunks: Vec<Arc<[Event]>>) -> Self {
+        let len = chunks.iter().map(|c| c.len()).sum();
+        Self { chunks, len }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events were retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+
+    /// The event at `index` in emission order, if in range.
+    #[must_use]
+    pub fn get(&self, mut index: usize) -> Option<&Event> {
+        for chunk in &self.chunks {
+            if index < chunk.len() {
+                return Some(&chunk[index]);
+            }
+            index -= chunk.len();
+        }
+        None
+    }
+}
+
+impl PartialEq for EventLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a Event;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Arc<[Event]>>,
+        std::slice::Iter<'a, Event>,
+        fn(&'a Arc<[Event]>) -> std::slice::Iter<'a, Event>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+}
+
+impl From<Vec<Event>> for EventLog {
+    fn from(events: Vec<Event>) -> Self {
+        if events.is_empty() {
+            return Self::default();
+        }
+        Self::from_chunks(vec![events.into()])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_log_hides_chunk_boundaries() {
+        let e = |i| Event::new(EngineTier::FastMc, "hopping", "phase", i);
+        let split = EventLog::from_chunks(vec![
+            vec![e(0), e(1)].into(),
+            vec![e(2)].into(),
+            vec![e(3), e(4)].into(),
+        ]);
+        let flat = EventLog::from(vec![e(0), e(1), e(2), e(3), e(4)]);
+        assert_eq!(split.len(), 5);
+        assert_eq!(split, flat, "equality ignores chunking");
+        assert_eq!(split.get(2), Some(&e(2)));
+        assert_eq!(split.get(4), Some(&e(4)));
+        assert_eq!(split.get(5), None);
+        let indices: Vec<u64> = split.iter().map(|ev| ev.index).collect();
+        assert_eq!(indices, [0, 1, 2, 3, 4]);
+        assert!(EventLog::default().is_empty());
+    }
 
     #[test]
     fn builder_and_lookup() {

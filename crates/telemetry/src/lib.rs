@@ -65,7 +65,7 @@ mod record;
 mod snapshot;
 
 pub use collector::{Collector, NoopCollector, SpanTimer};
-pub use event::{EngineTier, Event};
+pub use event::{EngineTier, Event, EventLog};
 pub use metric::{MetricId, MetricKind, METRIC_COUNT};
 pub use profile::EngineProfile;
 pub use record::RecordingCollector;

@@ -54,6 +54,12 @@ pub enum MetricId {
     /// Per-phase surviving-slot fraction after jam thinning (last value).
     FastSurviveP,
 
+    // --- fluid mean-field tier ---
+    /// Phases the fluid-limit engine advanced.
+    FluidPhases,
+    /// Expected uninformed mass after the last fluid phase (gauge).
+    FluidUninformed,
+
     // --- sweep service ---
     /// Cells planned across submissions.
     SweepCells,
@@ -84,7 +90,7 @@ pub enum MetricId {
 
 /// Number of metrics in the catalog (array size of the recording
 /// backend).
-pub const METRIC_COUNT: usize = 28;
+pub const METRIC_COUNT: usize = 30;
 
 /// What kind of instrument a metric is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +128,8 @@ impl MetricId {
         MetricId::FastJamExecuted,
         MetricId::FastRendezvousP,
         MetricId::FastSurviveP,
+        MetricId::FluidPhases,
+        MetricId::FluidUninformed,
         MetricId::SweepCells,
         MetricId::SweepTrials,
         MetricId::SweepCacheHits,
@@ -162,6 +170,8 @@ impl MetricId {
             MetricId::FastJamExecuted => "rcb_fast_jam_executed_total",
             MetricId::FastRendezvousP => "rcb_fast_rendezvous_p",
             MetricId::FastSurviveP => "rcb_fast_survive_p",
+            MetricId::FluidPhases => "rcb_fluid_phases_total",
+            MetricId::FluidUninformed => "rcb_fluid_uninformed",
             MetricId::SweepCells => "rcb_sweep_cells_total",
             MetricId::SweepTrials => "rcb_sweep_trials_executed_total",
             MetricId::SweepCacheHits => "rcb_sweep_cache_hits_total",
@@ -197,6 +207,8 @@ impl MetricId {
             MetricId::FastJamExecuted => "Jam slots executed after budget clamping",
             MetricId::FastRendezvousP => "Last per-phase rendezvous probability",
             MetricId::FastSurviveP => "Last per-phase surviving-slot fraction after jamming",
+            MetricId::FluidPhases => "Phases advanced by the fluid mean-field engine",
+            MetricId::FluidUninformed => "Expected uninformed mass after the last fluid phase",
             MetricId::SweepCells => "Cells planned by the sweep service",
             MetricId::SweepTrials => "Trials executed by the sweep worker pool",
             MetricId::SweepCacheHits => "Result-cache hits",
@@ -217,9 +229,10 @@ impl MetricId {
     pub fn kind(self) -> MetricKind {
         match self {
             MetricId::EngineWakeDrainBatch | MetricId::SweepCellTrials => MetricKind::Histogram,
-            MetricId::FastRendezvousP | MetricId::FastSurviveP | MetricId::SweepWorkers => {
-                MetricKind::Gauge
-            }
+            MetricId::FastRendezvousP
+            | MetricId::FastSurviveP
+            | MetricId::FluidUninformed
+            | MetricId::SweepWorkers => MetricKind::Gauge,
             _ => MetricKind::Counter,
         }
     }

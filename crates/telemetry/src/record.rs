@@ -2,10 +2,10 @@
 //! event and span stores.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::collector::Collector;
-use crate::event::Event;
+use crate::event::{Event, EventLog};
 use crate::metric::{MetricId, MetricKind, METRIC_COUNT};
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
 
@@ -68,10 +68,33 @@ pub struct RecordingCollector {
     counters: [AtomicU64; METRIC_COUNT],
     gauge_bits: [AtomicU64; METRIC_COUNT],
     histograms: Vec<(MetricId, HistogramCells)>,
-    events: Mutex<Vec<Event>>,
+    events: Mutex<EventStore>,
     events_dropped: AtomicU64,
     event_capacity: usize,
     spans: Mutex<Vec<(&'static str, u64, u64)>>,
+}
+
+/// The retained events: immutable sealed chunks (one per
+/// [`Collector::event_batch`] flush) plus a mutable tail fed by
+/// single-event appends. Snapshots clone chunk references, not events,
+/// so snapshot cost is `O(chunks + tail)` — which is what lets a shared
+/// collector serve a per-trial snapshot across a whole batch without
+/// quadratic copying.
+#[derive(Debug, Default)]
+struct EventStore {
+    sealed: Vec<Arc<[Event]>>,
+    tail: Vec<Event>,
+    len: usize,
+}
+
+impl EventStore {
+    /// Moves the mutable tail into a sealed chunk (order-preserving:
+    /// called before appending a batch chunk behind it).
+    fn seal_tail(&mut self) {
+        if !self.tail.is_empty() {
+            self.sealed.push(std::mem::take(&mut self.tail).into());
+        }
+    }
 }
 
 /// Default bound on retained events (a fast-engine run emits one per
@@ -97,7 +120,7 @@ impl RecordingCollector {
                 .filter(|id| id.kind() == MetricKind::Histogram)
                 .map(|&id| (id, HistogramCells::new(id.buckets())))
                 .collect(),
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(EventStore::default()),
             events_dropped: AtomicU64::new(0),
             event_capacity: capacity,
             spans: Mutex::new(Vec::new()),
@@ -154,12 +177,32 @@ impl Collector for RecordingCollector {
     }
 
     fn event(&self, event: Event) {
-        let mut events = self.events.lock().expect("event store poisoned");
-        if events.len() < self.event_capacity {
-            events.push(event);
+        let mut store = self.events.lock().expect("event store poisoned");
+        if store.len < self.event_capacity {
+            store.tail.push(event);
+            store.len += 1;
         } else {
-            drop(events);
+            drop(store);
             self.events_dropped.fetch_add(1, ORD);
+        }
+    }
+
+    fn event_batch(&self, batch: &mut Vec<Event>) {
+        let dropped = {
+            let mut store = self.events.lock().expect("event store poisoned");
+            let room = self.event_capacity.saturating_sub(store.len);
+            let take = batch.len().min(room);
+            if take > 0 {
+                store.seal_tail();
+                let chunk: Arc<[Event]> = batch.drain(..take).collect();
+                store.sealed.push(chunk);
+                store.len += take;
+            }
+            batch.len()
+        };
+        batch.clear();
+        if dropped > 0 {
+            self.events_dropped.fetch_add(dropped as u64, ORD);
         }
     }
 
@@ -209,7 +252,14 @@ impl Collector for RecordingCollector {
                 total_ns,
             })
             .collect();
-        let events = self.events.lock().expect("event store poisoned").clone();
+        let events = {
+            let store = self.events.lock().expect("event store poisoned");
+            let mut chunks = store.sealed.clone();
+            if !store.tail.is_empty() {
+                chunks.push(store.tail.as_slice().into());
+            }
+            EventLog::from_chunks(chunks)
+        };
         Some(Snapshot {
             counters,
             gauges,
@@ -277,6 +327,28 @@ mod tests {
         let snap = c.snapshot().unwrap();
         assert_eq!(snap.events.len(), 2);
         assert_eq!(snap.events_dropped, 3);
+    }
+
+    #[test]
+    fn event_batches_match_the_per_event_path() {
+        let single = RecordingCollector::with_event_capacity(3);
+        let batched = RecordingCollector::with_event_capacity(3);
+        let mut buf = Vec::new();
+        for i in 0..5 {
+            let e = Event::new(EngineTier::FastMc, "hopping", "phase", i).field("x", i as f64);
+            single.event(e.clone());
+            buf.push(e);
+        }
+        batched.event_batch(&mut buf);
+        assert!(buf.is_empty(), "the batch buffer is drained for reuse");
+        let (s, b) = (single.snapshot().unwrap(), batched.snapshot().unwrap());
+        assert_eq!(s.events, b.events, "retained events agree in order");
+        assert_eq!(s.events_dropped, b.events_dropped);
+        // A second batch against a full store drops everything, counted.
+        buf.push(Event::new(EngineTier::FastMc, "hopping", "phase", 9));
+        batched.event_batch(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(batched.events_dropped(), 3);
     }
 
     #[test]

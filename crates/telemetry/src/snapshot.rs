@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::event::Event;
+use crate::event::EventLog;
 use crate::metric::MetricId;
 
 /// One histogram's recorded state.
@@ -55,8 +55,9 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Aggregated spans, in first-seen order.
     pub spans: Vec<SpanSnapshot>,
-    /// Retained tracing events, in emission order.
-    pub events: Vec<Event>,
+    /// Retained tracing events, in emission order (shared with the
+    /// collector's store — cloning a snapshot never copies events).
+    pub events: EventLog,
     /// Events discarded after the retention capacity filled.
     pub events_dropped: u64,
 }

@@ -96,7 +96,7 @@ fn informed_nodes_carry_verified_message_only() {
     // spoofs merely collide). This configuration (polluting_inform) is not
     // a named StrategySpec, so it exercises the lower-level scratch API a
     // custom adversary would use.
-    use evildoers::core::{BroadcastScratch, RunConfig};
+    use evildoers::core::{BroadcastSoaScratch, RunConfig};
     use evildoers::radio::Budget;
 
     let params = Params::builder(32).max_round_margin(3).build().unwrap();
@@ -108,7 +108,7 @@ fn informed_nodes_carry_verified_message_only() {
         trace_capacity: 0,
         seed: 23,
     };
-    let (outcome, _) = BroadcastScratch::new().run(&params, &mut carol, &cfg);
+    let (outcome, _) = BroadcastSoaScratch::new().run(&params, &mut carol, &cfg);
     assert!(
         outcome.informed_fraction() > 0.9,
         "informed {}",

@@ -7,8 +7,8 @@
 //! default since the era bump. Counter-based streams are what make these
 //! guarantees structural: a node's draws depend only on its leaf seed
 //! and counter, never on which worker ran it or how trials were sharded.
-//! The retired era-1 engine keeps the same guarantees behind the
-//! `era1-oracle` feature.
+//! The fluid tier is deterministic by construction (no RNG at all), so
+//! its invariance is covered by the `rcb-sim` unit tests.
 
 use evildoers::adversary::StrategySpec;
 use evildoers::core::{Params, Variant};
@@ -443,32 +443,6 @@ fn era2_broadcast_batches_are_worker_count_invariant() {
         let overridden = build(Some(threads)).run_batch(4);
         for (a, b) in overridden.iter().zip(&reference) {
             assert_identical(a, b, &format!("era2 broadcast threads={threads}"));
-        }
-    }
-}
-
-#[cfg(feature = "era1-oracle")]
-#[test]
-fn era1_oracle_batches_are_worker_count_invariant() {
-    use evildoers::sim::EngineEra;
-    // The oracle era keeps the same scheduling-invariance bar as era 2,
-    // so oracle cross-validation runs are themselves replayable.
-    let build = |threads: Option<usize>| {
-        let mut b = Scenario::broadcast(Params::builder(32).max_round_margin(3).build().unwrap())
-            .adversary(StrategySpec::Continuous)
-            .carol_budget(900)
-            .seed(29)
-            .engine_era(EngineEra::Era1);
-        if let Some(workers) = threads {
-            b = b.threads(workers);
-        }
-        b.build().unwrap()
-    };
-    let reference = build(None).run_batch(4);
-    for threads in [1usize, 3] {
-        let overridden = build(Some(threads)).run_batch(4);
-        for (a, b) in overridden.iter().zip(&reference) {
-            assert_identical(a, b, &format!("era1 broadcast threads={threads}"));
         }
     }
 }

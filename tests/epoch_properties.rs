@@ -17,7 +17,7 @@
 //!   spends past her `T`, and nodes are never refused an operation.
 
 use evildoers::adversary::{SplitJammer, StrategySpec};
-use evildoers::core::{execute_epoch_hopping, EpochHoppingConfig};
+use evildoers::core::{execute_epoch_hopping_soa, EpochHoppingConfig};
 use evildoers::radio::{
     Adversary, AdversaryCtx, AdversaryMove, Budget, Slot, SlotObservation, Spectrum,
 };
@@ -39,6 +39,11 @@ impl Adversary for ListenerProbe {
             self.seen.push((slot.index(), pid.index(), channel.index()));
         }
         self.inner.observe(slot, observation);
+    }
+    fn wants_listener_identities(&self) -> bool {
+        // The sleep-skipping engine leaves `listeners` empty in inert
+        // slots unless an observer opts in to full materialization.
+        true
     }
 }
 
@@ -65,7 +70,7 @@ fn channel_redraws_happen_only_at_epoch_boundaries() {
         inner: SplitJammer::new(spectrum),
         seen: Vec::new(),
     };
-    let (outcome, _) = execute_epoch_hopping(&config, spectrum, &mut probe);
+    let (outcome, _) = execute_epoch_hopping_soa(&config, spectrum, &mut probe);
     assert_eq!(
         outcome.informed_nodes, 0,
         "a blanket jam must block every delivery"

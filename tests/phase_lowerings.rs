@@ -1,0 +1,343 @@
+//! Cross-validation of the PR-10 phase lowerings: `Random`, `Bursty`,
+//! and `LaggedReactive` now run on the phase-level hopping engine
+//! (`fast_mc`), and the whole schedule-free zoo runs on the fluid tier.
+//! The statistical suites here hold the new lowerings to the same bar
+//! `tests/fast_mc_vs_exact.rs` set for the original zoo: same delivery,
+//! same cost scales, same budget accounting as the exact slot engine at
+//! `C ∈ {1, 4}`, with only `.engine(..)` differing.
+//!
+//! The fluid tier has no RNG at all, so its entries are exact rather
+//! than statistical: pinned fingerprints plus determinism and
+//! worker-invariance checks (every trial of a batch is the same
+//! trajectory, no matter how it was scheduled).
+
+use evildoers::adversary::StrategySpec;
+use evildoers::rng::stats::RunningStats;
+use evildoers::sim::{Engine, HoppingSpec, Scenario, ScenarioOutcome};
+
+struct Agreement {
+    exact_informed: RunningStats,
+    fast_informed: RunningStats,
+    exact_node_cost: RunningStats,
+    fast_node_cost: RunningStats,
+    exact_carol: RunningStats,
+    fast_carol: RunningStats,
+}
+
+fn compare(
+    spec: StrategySpec,
+    channels: u16,
+    n: u64,
+    horizon: u64,
+    budget: Option<u64>,
+    trials: u64,
+) -> Agreement {
+    let mut agg = Agreement {
+        exact_informed: RunningStats::new(),
+        fast_informed: RunningStats::new(),
+        exact_node_cost: RunningStats::new(),
+        fast_node_cost: RunningStats::new(),
+        exact_carol: RunningStats::new(),
+        fast_carol: RunningStats::new(),
+    };
+    let scenario_for = |engine: Engine| {
+        let mut builder = Scenario::hopping(HoppingSpec::new(n, horizon))
+            .engine(engine)
+            .channels(channels)
+            .adversary(spec);
+        if let Some(b) = budget {
+            builder = builder.carol_budget(b);
+        }
+        builder.build().expect("valid on both engines")
+    };
+    let exact = scenario_for(Engine::Exact);
+    let fast = scenario_for(Engine::Fast);
+    for trial in 0..trials {
+        let seed = 7_000 + trial;
+        let e = exact.run_seeded(seed);
+        agg.exact_informed.push(e.informed_fraction());
+        agg.exact_node_cost.push(e.mean_node_cost());
+        agg.exact_carol.push(e.carol_spend() as f64);
+
+        let f = fast.run_seeded(seed);
+        agg.fast_informed.push(f.informed_fraction());
+        agg.fast_node_cost.push(f.mean_node_cost());
+        agg.fast_carol.push(f.carol_spend() as f64);
+    }
+    agg
+}
+
+fn assert_close(label: &str, a: f64, b: f64, rel_tol: f64, abs_tol: f64) {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1e-9);
+    assert!(
+        diff <= abs_tol + rel_tol * scale,
+        "{label}: exact {a} vs fast {b} (diff {diff})"
+    );
+}
+
+fn assert_agreement(label: &str, agg: &Agreement) {
+    assert_close(
+        &format!("{label}: informed fraction"),
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        &format!("{label}: mean node cost"),
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.20,
+        2.0,
+    );
+    assert_close(
+        &format!("{label}: carol spend"),
+        agg.exact_carol.mean(),
+        agg.fast_carol.mean(),
+        0.05,
+        2.0,
+    );
+}
+
+#[test]
+fn random_jamming_agrees_at_c1() {
+    let agg = compare(StrategySpec::Random(0.5), 1, 96, 2_000, Some(800), 5);
+    assert_agreement("random(0.5) C=1", &agg);
+}
+
+#[test]
+fn random_jamming_agrees_at_c4() {
+    // Budget binds on both engines (the exact engine stops spending at
+    // full delivery, so an unconstrained comparison would measure the
+    // stopping time, not the lowering).
+    let agg = compare(StrategySpec::Random(0.5), 4, 96, 2_500, Some(1_000), 5);
+    assert_agreement("random(0.5) C=4", &agg);
+}
+
+#[test]
+fn bursty_jamming_agrees_at_c1() {
+    let agg = compare(
+        StrategySpec::Bursty { burst: 64, gap: 64 },
+        1,
+        96,
+        2_000,
+        Some(1_200),
+        5,
+    );
+    assert_agreement("bursty(64/64) C=1", &agg);
+}
+
+#[test]
+fn bursty_jamming_agrees_at_c4() {
+    // A burst length that straddles phase boundaries: the lowering's
+    // exact interval accounting (not a density approximation) is what
+    // keeps the carol tolerance this tight.
+    let agg = compare(
+        StrategySpec::Bursty { burst: 48, gap: 80 },
+        4,
+        96,
+        2_500,
+        Some(800),
+        5,
+    );
+    assert_agreement("bursty(48/80) C=4", &agg);
+}
+
+#[test]
+fn lagged_reactive_jamming_agrees_at_c1() {
+    let agg = compare(StrategySpec::LaggedReactive, 1, 96, 2_000, Some(1_500), 5);
+    // The lagged lowering is statistical (expected union-activity
+    // pacing rather than per-slot detection), so the cost bands are
+    // wider than for the oblivious lowerings — same policy as the
+    // adaptive suite in fast_mc_vs_exact.
+    assert_close(
+        "lagged C=1: informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "lagged C=1: mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.30,
+        2.0,
+    );
+    assert_close(
+        "lagged C=1: carol spend",
+        agg.exact_carol.mean(),
+        agg.fast_carol.mean(),
+        0.10,
+        10.0,
+    );
+}
+
+#[test]
+fn lagged_reactive_jamming_agrees_at_c4() {
+    let agg = compare(StrategySpec::LaggedReactive, 4, 96, 2_500, Some(2_000), 5);
+    assert_close(
+        "lagged C=4: informed fraction",
+        agg.exact_informed.mean(),
+        agg.fast_informed.mean(),
+        0.05,
+        0.05,
+    );
+    assert_close(
+        "lagged C=4: mean node cost",
+        agg.exact_node_cost.mean(),
+        agg.fast_node_cost.mean(),
+        0.30,
+        2.0,
+    );
+    assert_close(
+        "lagged C=4: carol spend",
+        agg.exact_carol.mean(),
+        agg.fast_carol.mean(),
+        0.10,
+        10.0,
+    );
+}
+
+fn fingerprint(o: &ScenarioOutcome) -> (u64, u64, u64, u64, Vec<u64>) {
+    (
+        o.informed_nodes,
+        o.broadcast.node_total_cost.sends,
+        o.broadcast.node_total_cost.listens,
+        o.carol_spend(),
+        o.jam_slots_by_channel(),
+    )
+}
+
+/// The fluid tier is deterministic by construction: the per-trial seed
+/// feeds nothing, so every trial of a batch is the same trajectory and
+/// scheduling can never show through.
+#[test]
+fn fluid_tier_is_deterministic_and_worker_invariant() {
+    let build = |threads: Option<usize>| {
+        let mut b = Scenario::hopping(HoppingSpec::new(4_096, 3_000))
+            .engine(Engine::Fluid)
+            .channels(4)
+            .adversary(StrategySpec::Random(0.5))
+            .carol_budget(2_000)
+            .seed(11);
+        if let Some(workers) = threads {
+            b = b.threads(workers);
+        }
+        b.build().unwrap()
+    };
+    let scenario = build(None);
+    let reference = scenario.run();
+    assert_eq!(fingerprint(&scenario.run()), fingerprint(&reference));
+    // Distinct seeds converge on the same expectation trajectory.
+    assert_eq!(
+        fingerprint(&scenario.run_seeded(999)),
+        fingerprint(&reference)
+    );
+    for threads in [1usize, 2, 5] {
+        let batch = build(Some(threads)).run_batch(4);
+        assert_eq!(batch.len(), 4);
+        for o in &batch {
+            assert_eq!(
+                fingerprint(o),
+                fingerprint(&reference),
+                "threads={threads}: fluid batch trial diverged"
+            );
+        }
+    }
+}
+
+/// Pinned fluid-tier fingerprints. The engine has no RNG, so these are
+/// plain runs (no slow-tests gate): any change to the recurrence, the
+/// jam-thinning folds, or the rounding at the outcome boundary shows up
+/// as an exact diff. Captured on the engine as first shipped.
+#[test]
+fn fluid_fingerprints_are_pinned() {
+    let run = |spec: StrategySpec, channels: u16| {
+        Scenario::hopping(HoppingSpec::new(512, 2_000))
+            .engine(Engine::Fluid)
+            .channels(channels)
+            .adversary(spec)
+            .carol_budget(1_000)
+            .seed(77)
+            .build()
+            .unwrap()
+            .run()
+    };
+    let silent = run(StrategySpec::Silent, 1);
+    assert_eq!(
+        fingerprint(&silent),
+        (512, 1996, 1024, 0, vec![0]),
+        "silent C=1: got {:?}",
+        fingerprint(&silent)
+    );
+    let random = run(StrategySpec::Random(0.5), 4);
+    assert_eq!(
+        fingerprint(&random),
+        (512, 1983, 4376, 1000, vec![1000, 0, 0, 0]),
+        "random C=4: got {:?}",
+        fingerprint(&random)
+    );
+    let lagged = run(StrategySpec::LaggedReactive, 4);
+    assert_eq!(
+        fingerprint(&lagged),
+        (512, 1985, 3958, 1000, vec![1000, 0, 0, 0]),
+        "lagged C=4: got {:?}",
+        fingerprint(&lagged)
+    );
+}
+
+/// Pinned fingerprints for the new fast_mc lowerings, mirroring the
+/// fast_mc_vs_exact suite: any change to sampling order, the interval
+/// accounting, or the pacing model is a byte-exact diff here. Captured
+/// on the lowerings as first shipped.
+#[cfg(feature = "slow-tests")]
+mod fingerprints {
+    use super::*;
+
+    fn run(spec: StrategySpec, channels: u16, seed: u64) -> ScenarioOutcome {
+        Scenario::hopping(HoppingSpec::new(512, 2_000))
+            .engine(Engine::Fast)
+            .channels(channels)
+            .adversary(spec)
+            .carol_budget(1_000)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn random_c1_fingerprint() {
+        let o = run(StrategySpec::Random(0.5), 1, 77);
+        assert_eq!(
+            fingerprint(&o),
+            (512, 2004, 1946, 1000, vec![1000]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+
+    #[test]
+    fn bursty_c4_fingerprint() {
+        let o = run(StrategySpec::Bursty { burst: 64, gap: 64 }, 4, 77);
+        assert_eq!(
+            fingerprint(&o),
+            (512, 1958, 5005, 1000, vec![1000, 0, 0, 0]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+
+    #[test]
+    fn lagged_c4_fingerprint() {
+        let o = run(StrategySpec::LaggedReactive, 4, 77);
+        assert_eq!(
+            fingerprint(&o),
+            (512, 1939, 3978, 1000, vec![1000, 0, 0, 0]),
+            "got {:?}",
+            fingerprint(&o)
+        );
+    }
+}

@@ -220,15 +220,23 @@ fn invalid_combinations_are_typed_errors_not_panics() {
         .unwrap_err();
     assert!(matches!(err, ScenarioError::InvalidConfig(_)), "{err}");
 
-    // Slot-only strategies have no phase-mc model on the fast hopping
-    // engine.
-    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+    // The lagged-reactive jammer lowers onto the phase-mc hopping
+    // engine now; only the schedule-bound family stays slot-only there.
+    let o = Scenario::hopping(HoppingSpec::new(256, 1_000))
         .engine(Engine::Fast)
         .adversary(StrategySpec::LaggedReactive)
+        .carol_budget(400)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.slots > 0);
+    let err = Scenario::hopping(HoppingSpec::new(8, 100))
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::BlockAll(0.5))
         .build()
         .unwrap_err();
     assert!(
-        matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
+        matches!(err, ScenarioError::ScheduleBoundStrategy { .. }),
         "{err}"
     );
 
@@ -342,15 +350,23 @@ fn epoch_hopping_and_kpsy_reject_invalid_combinations() {
         "{err}"
     );
 
-    // Slot-only strategies have no phase-mc model on the epoch-aware
-    // fast engine either.
-    let err = Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 32))
+    // The lagged-reactive lowering reaches the epoch-aware fast engine
+    // too; schedule-bound strategies still have no phase-mc model there.
+    let o = Scenario::epoch_hopping(EpochHoppingSpec::new(256, 1_000, 32))
         .engine(Engine::Fast)
         .adversary(StrategySpec::LaggedReactive)
+        .carol_budget(400)
+        .build()
+        .unwrap()
+        .run();
+    assert!(o.slots > 0);
+    let err = Scenario::epoch_hopping(EpochHoppingSpec::new(8, 100, 32))
+        .engine(Engine::Fast)
+        .adversary(StrategySpec::BlockAll(0.5))
         .build()
         .unwrap_err();
     assert!(
-        matches!(err, ScenarioError::SlotOnlyStrategy { .. }),
+        matches!(err, ScenarioError::ScheduleBoundStrategy { .. }),
         "{err}"
     );
 
